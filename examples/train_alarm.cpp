@@ -1,0 +1,81 @@
+//===--- train_alarm.cpp - The paper's PROCESS_ALARM, narrated ------------===//
+///
+/// Runs the Figure-5 train alarm through a braking scenario and narrates
+/// what the clock calculus achieved: sensors are *sampled only when their
+/// value is necessary* — BRAKE while idle, STOP_OK/LIMIT_REACHED while
+/// braking — and the pace of sampling (the master clock ĉ) is a free
+/// variable the environment provides, exactly as Section 3.3 concludes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "interp/StepExecutor.h"
+#include "programs/Programs.h"
+
+#include <cstdio>
+
+using namespace sigc;
+
+namespace {
+
+/// The scripted story, one entry per instant.
+struct Scenario {
+  bool Brake;        // sampled while idle
+  bool StopOk;       // sampled while braking
+  bool LimitReached; // sampled while braking
+  const char *Narration;
+};
+
+} // namespace
+
+int main() {
+  auto C = compileSource("train_alarm.sig", alarmFigure5Source());
+  if (!C->Ok) {
+    std::fprintf(stderr, "%s", C->Diags.render().c_str());
+    return 1;
+  }
+
+  std::printf("PROCESS_ALARM — the train alarm of the paper's Figure 5\n\n");
+  std::printf("The compiler found %zu free clock(s); the environment "
+              "chooses the sampling pace\n(every metre or every "
+              "millisecond — not the alarm's business).\n\n",
+              C->Forest->freeClocks().size());
+
+  const Scenario Story[] = {
+      {false, false, false, "cruising; brakes untouched"},
+      {false, false, false, "still cruising"},
+      {true, false, false, "driver hits the brakes -> braking state"},
+      {false, false, false, "braking; not stopped, limit not reached"},
+      {false, false, true, "braking; LIMIT passed while still moving!"},
+      {false, true, false, "train finally stops -> back to idle"},
+      {false, false, false, "idle again; brake sensor sampled anew"},
+  };
+  constexpr unsigned N = sizeof(Story) / sizeof(Story[0]);
+
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  for (unsigned I = 0; I < N; ++I) {
+    Env.set("BRAKE", I, Value::makeBool(Story[I].Brake));
+    Env.set("STOP_OK", I, Value::makeBool(Story[I].StopOk));
+    Env.set("LIMIT_REACHED", I, Value::makeBool(Story[I].LimitReached));
+  }
+
+  StepExecutor Exec(*C->Kernel, C->Step);
+  for (unsigned I = 0; I < N; ++I) {
+    size_t Before = Env.outputs().size();
+    Exec.step(Env, I, ExecMode::Nested);
+    std::string AlarmState = "   (alarm silent: not braking)";
+    if (Env.outputs().size() > Before) {
+      const OutputEvent &E = Env.outputs().back();
+      AlarmState = E.Val.asBool() ? ">> ALARM RAISED <<"
+                                  : "   alarm checked: ok";
+    }
+    std::printf("instant %u: %-52s %s\n", I, Story[I].Narration,
+                AlarmState.c_str());
+  }
+
+  std::printf("\nNote how ALARM only has occurrences while braking: its "
+              "clock is [BRAKING_STATE],\na strict subset of the master "
+              "clock, derived entirely at compile time.\n");
+  return 0;
+}

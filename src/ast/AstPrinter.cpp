@@ -1,0 +1,139 @@
+//===--- AstPrinter.cpp ---------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+
+using namespace sigc;
+
+namespace {
+
+std::string nameOf(Symbol S, const StringInterner &Names) {
+  std::string_view Sp = Names.spelling(S);
+  return Sp.empty() ? std::string("<anon>") : std::string(Sp);
+}
+
+} // namespace
+
+std::string sigc::printExpr(const Expr *E, const StringInterner &Names) {
+  switch (E->kind()) {
+  case ExprKind::Name:
+    return nameOf(cast<NameExpr>(E)->name(), Names);
+  case ExprKind::Const:
+    return cast<ConstExpr>(E)->value().str();
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    std::string Op = unaryOpName(U->op());
+    std::string Sep = (U->op() == UnaryOp::Not) ? " " : "";
+    return "(" + Op + Sep + printExpr(U->operand(), Names) + ")";
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return "(" + printExpr(B->lhs(), Names) + " " + binaryOpName(B->op()) +
+           " " + printExpr(B->rhs(), Names) + ")";
+  }
+  case ExprKind::Delay: {
+    const auto *D = cast<DelayExpr>(E);
+    return "(" + printExpr(D->operand(), Names) + " $ " +
+           std::to_string(D->depth()) + " init " + D->init().str() + ")";
+  }
+  case ExprKind::When: {
+    const auto *W = cast<WhenExpr>(E);
+    return "(" + printExpr(W->value(), Names) + " when " +
+           printExpr(W->condition(), Names) + ")";
+  }
+  case ExprKind::Default: {
+    const auto *D = cast<DefaultExpr>(E);
+    return "(" + printExpr(D->preferred(), Names) + " default " +
+           printExpr(D->alternative(), Names) + ")";
+  }
+  case ExprKind::Event:
+    return "(event " + printExpr(cast<EventExpr>(E)->operand(), Names) + ")";
+  case ExprKind::UnaryWhen:
+    return "(when " + printExpr(cast<UnaryWhenExpr>(E)->condition(), Names) +
+           ")";
+  case ExprKind::Cell: {
+    const auto *C = cast<CellExpr>(E);
+    return "(" + printExpr(C->value(), Names) + " cell " +
+           printExpr(C->condition(), Names) + " init " + C->init().str() + ")";
+  }
+  }
+  return "<bad-expr>";
+}
+
+std::string sigc::printProcess(const Process *P, const StringInterner &Names,
+                               unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  switch (P->kind()) {
+  case ProcessKind::Equation: {
+    const auto *E = cast<EquationProc>(P);
+    return Pad + nameOf(E->target(), Names) + " := " +
+           printExpr(E->rhs(), Names);
+  }
+  case ProcessKind::Composition: {
+    const auto *C = cast<CompositionProc>(P);
+    std::string Out = Pad + "(|\n";
+    bool First = true;
+    for (const Process *Child : C->children()) {
+      if (!First)
+        Out += "\n";
+      First = false;
+      Out += printProcess(Child, Names, Indent + 2);
+    }
+    Out += "\n" + Pad + "|)";
+    return Out;
+  }
+  case ProcessKind::Synchro: {
+    const auto *S = cast<SynchroProc>(P);
+    std::string Out = Pad + "synchro {";
+    for (unsigned I = 0; I < S->operands().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(S->operands()[I], Names);
+    }
+    Out += "}";
+    return Out;
+  }
+  case ProcessKind::ClockEq: {
+    const auto *C = cast<ClockEqProc>(P);
+    return Pad + printExpr(C->lhs(), Names) + " ^= " +
+           printExpr(C->rhs(), Names);
+  }
+  }
+  return "<bad-process>";
+}
+
+std::string sigc::printProcessDecl(const ProcessDecl &D,
+                                   const StringInterner &Names) {
+  std::string Out = "process " + nameOf(D.Name, Names) + " =\n  ( ";
+  auto emitGroup = [&](SignalDir Dir, const char *Marker) {
+    bool Any = false;
+    for (const SignalDecl &S : D.Signals) {
+      if (S.Dir != Dir)
+        continue;
+      if (!Any)
+        Out += std::string(Marker) + " ";
+      Any = true;
+      Out += std::string(typeName(S.Type)) + " " + nameOf(S.Name, Names) +
+             "; ";
+    }
+  };
+  emitGroup(SignalDir::Input, "?");
+  emitGroup(SignalDir::Output, "!");
+  Out += ")\n";
+  if (D.Body)
+    Out += printProcess(D.Body, Names, 2);
+
+  bool AnyLocal = false;
+  for (const SignalDecl &S : D.Signals) {
+    if (S.Dir != SignalDir::Local)
+      continue;
+    if (!AnyLocal)
+      Out += "\n  where\n";
+    AnyLocal = true;
+    Out += "    " + std::string(typeName(S.Type)) + " " +
+           nameOf(S.Name, Names) + ";\n";
+  }
+  if (AnyLocal)
+    Out += "  end";
+  Out += ";\n";
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===--- AstPrinter.h - SIGNAL source rendering -----------------*- C++-*-===//
+///
+/// \file
+/// Renders AST nodes back to SIGNAL source text, used by tests
+/// (parse/print round trips), -dump-ast, and error messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_AST_ASTPRINTER_H
+#define SIGNALC_AST_ASTPRINTER_H
+
+#include "ast/Ast.h"
+
+#include <string>
+
+namespace sigc {
+
+/// Renders \p E as SIGNAL concrete syntax (fully parenthesized where the
+/// grammar is ambiguous).
+std::string printExpr(const Expr *E, const StringInterner &Names);
+
+/// Renders \p P, one equation per line, with "(| ... |)" for compositions.
+std::string printProcess(const Process *P, const StringInterner &Names,
+                         unsigned Indent = 0);
+
+/// Renders a complete process declaration.
+std::string printProcessDecl(const ProcessDecl &D, const StringInterner &Names);
+
+} // namespace sigc
+
+#endif // SIGNALC_AST_ASTPRINTER_H

@@ -1,0 +1,381 @@
+//===--- Bdd.cpp - ROBDD package implementation ---------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace sigc;
+
+namespace {
+
+/// 64-bit mix for hashing node triples and cache keys (splitmix64 finalizer).
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t hashTriple(uint64_t A, uint64_t B, uint64_t C) {
+  return mix64(A * 0x100000001b3ull ^ mix64(B) ^ (mix64(C) << 1));
+}
+
+constexpr unsigned InitialUniqueLog2 = 14; // 16384 slots
+constexpr unsigned CacheLog2 = 16;         // 65536 entries per cache
+
+} // namespace
+
+BddManager::BddManager() {
+  Nodes.reserve(1024);
+  // Terminals. Their branches point to themselves; Var sorts after all real
+  // variables so terminal checks fall out of the ordering comparisons.
+  Nodes.push_back({TerminalVar, 0, 0}); // False
+  Nodes.push_back({TerminalVar, 1, 1}); // True
+  UniqueTable.assign(1u << InitialUniqueLog2, NoEntry);
+  UniqueMask = (1u << InitialUniqueLog2) - 1;
+  IteCache.assign(1u << CacheLog2, CacheEntry());
+  OpCache.assign(1u << CacheLog2, CacheEntry());
+  CacheMask = (1u << CacheLog2) - 1;
+}
+
+bool BddManager::pollBudget() {
+  if (!Bud)
+    return true;
+  if (Bud->exhausted())
+    return false;
+  if (!Bud->checkNodes(Nodes.size()))
+    return false;
+  if (++AllocsSincePoll >= 4096) {
+    AllocsSincePoll = 0;
+    if (!Bud->checkTime())
+      return false;
+  }
+  return true;
+}
+
+uint32_t *BddManager::uniqueSlot(BddVar Var, uint32_t Low, uint32_t High) {
+  uint64_t H = hashTriple(Var, Low, High);
+  uint32_t Idx = static_cast<uint32_t>(H) & UniqueMask;
+  for (;;) {
+    uint32_t &Slot = UniqueTable[Idx];
+    if (Slot == NoEntry)
+      return &Slot;
+    const Node &N = Nodes[Slot];
+    if (N.Var == Var && N.Low == Low && N.High == High)
+      return &Slot;
+    Idx = (Idx + 1) & UniqueMask;
+  }
+}
+
+void BddManager::growUnique() {
+  uint32_t NewSize = (UniqueMask + 1) * 2;
+  UniqueTable.assign(NewSize, NoEntry);
+  UniqueMask = NewSize - 1;
+  for (uint32_t I = 2; I < Nodes.size(); ++I) {
+    const Node &N = Nodes[I];
+    uint64_t H = hashTriple(N.Var, N.Low, N.High);
+    uint32_t Idx = static_cast<uint32_t>(H) & UniqueMask;
+    while (UniqueTable[Idx] != NoEntry)
+      Idx = (Idx + 1) & UniqueMask;
+    UniqueTable[Idx] = I;
+  }
+}
+
+BddRef BddManager::mkNode(BddVar Var, BddRef Low, BddRef High) {
+  if (!Low.isValid() || !High.isValid())
+    return BddRef::invalid();
+  // Reduction rule: both branches equal => the node is redundant.
+  if (Low == High)
+    return Low;
+  if (!pollBudget())
+    return BddRef::invalid();
+
+  uint32_t *Slot = uniqueSlot(Var, Low.index(), High.index());
+  if (*Slot != NoEntry)
+    return BddRef(*Slot);
+
+  uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back({Var, Low.index(), High.index()});
+  *Slot = Idx;
+
+  // Keep the open-addressed table under 2/3 load.
+  if (Nodes.size() * 3 > static_cast<uint64_t>(UniqueMask + 1) * 2)
+    growUnique();
+  return BddRef(Idx);
+}
+
+BddRef BddManager::var(BddVar Var) {
+  if (Var + 1 > NumVars)
+    NumVars = Var + 1;
+  return mkNode(Var, bottom(), top());
+}
+
+BddRef BddManager::nvar(BddVar Var) {
+  if (Var + 1 > NumVars)
+    NumVars = Var + 1;
+  return mkNode(Var, top(), bottom());
+}
+
+BddRef BddManager::ite(BddRef F, BddRef G, BddRef H) {
+  if (!F.isValid() || !G.isValid() || !H.isValid())
+    return BddRef::invalid();
+  return iteRec(F, G, H);
+}
+
+BddRef BddManager::iteRec(BddRef F, BddRef G, BddRef H) {
+  // Terminal cases.
+  if (F.isTrue())
+    return G;
+  if (F.isFalse())
+    return H;
+  if (G == H)
+    return G;
+  if (G.isTrue() && H.isFalse())
+    return F;
+
+  uint64_t Key = hashTriple(F.index(), G.index(), H.index());
+  CacheEntry &E = IteCache[Key & CacheMask];
+  if (E.Key == Key && E.Result != NoEntry)
+    return BddRef(E.Result);
+
+  // Top variable of the three operands.
+  BddVar TopF = Nodes[F.index()].Var;
+  BddVar TopG = G.isTerminal() ? TerminalVar : Nodes[G.index()].Var;
+  BddVar TopH = H.isTerminal() ? TerminalVar : Nodes[H.index()].Var;
+  BddVar Top = std::min(TopF, std::min(TopG, TopH));
+
+  auto cof = [&](BddRef X, bool High) -> BddRef {
+    if (X.isTerminal() || Nodes[X.index()].Var != Top)
+      return X;
+    return BddRef(High ? Nodes[X.index()].High : Nodes[X.index()].Low);
+  };
+
+  BddRef HighRes = iteRec(cof(F, true), cof(G, true), cof(H, true));
+  if (!HighRes.isValid())
+    return BddRef::invalid();
+  BddRef LowRes = iteRec(cof(F, false), cof(G, false), cof(H, false));
+  if (!LowRes.isValid())
+    return BddRef::invalid();
+
+  BddRef R = mkNode(Top, LowRes, HighRes);
+  if (R.isValid()) {
+    E.Key = Key;
+    E.Result = R.index();
+  }
+  return R;
+}
+
+BddRef BddManager::apply_diff(BddRef F, BddRef G) {
+  BddRef NotG = apply_not(G);
+  return apply_and(F, NotG);
+}
+
+BddRef BddManager::apply_xor(BddRef F, BddRef G) {
+  return ite(F, apply_not(G), G);
+}
+
+BddRef BddManager::apply_iff(BddRef F, BddRef G) {
+  return ite(F, G, apply_not(G));
+}
+
+BddRef BddManager::apply_imp(BddRef F, BddRef G) {
+  return ite(F, G, top());
+}
+
+bool BddManager::implies(BddRef F, BddRef G) {
+  assert(F.isValid() && G.isValid() && "implies() on invalid refs");
+  BddRef D = apply_diff(F, G);
+  return D.isValid() && D.isFalse();
+}
+
+BddRef BddManager::restrict(BddRef F, BddVar Var, bool Value) {
+  if (!F.isValid())
+    return BddRef::invalid();
+  return restrictRec(F, Var, Value);
+}
+
+BddRef BddManager::restrictRec(BddRef F, BddVar Var, bool Value) {
+  if (F.isTerminal())
+    return F;
+  const Node &N = Nodes[F.index()];
+  if (N.Var > Var)
+    return F; // Var does not occur in F.
+  if (N.Var == Var)
+    return BddRef(Value ? N.High : N.Low);
+
+  uint64_t Key = hashTriple(F.index(), (uint64_t(Var) << 1) | Value,
+                            0xC0FEC0FEull);
+  CacheEntry &E = OpCache[Key & CacheMask];
+  if (E.Key == Key && E.Result != NoEntry)
+    return BddRef(E.Result);
+
+  BddRef Low = restrictRec(BddRef(N.Low), Var, Value);
+  BddRef High = restrictRec(BddRef(N.High), Var, Value);
+  BddRef R = mkNode(N.Var, Low, High);
+  if (R.isValid()) {
+    E.Key = Key;
+    E.Result = R.index();
+  }
+  return R;
+}
+
+BddRef BddManager::exists(BddRef F, BddVar Var) {
+  BddRef F0 = restrict(F, Var, false);
+  BddRef F1 = restrict(F, Var, true);
+  return apply_or(F0, F1);
+}
+
+BddRef BddManager::forall(BddRef F, BddVar Var) {
+  BddRef F0 = restrict(F, Var, false);
+  BddRef F1 = restrict(F, Var, true);
+  return apply_and(F0, F1);
+}
+
+BddRef BddManager::existsMany(BddRef F, const std::vector<BddVar> &Vars) {
+  BddRef R = F;
+  for (BddVar V : Vars) {
+    R = exists(R, V);
+    if (!R.isValid())
+      return R;
+  }
+  return R;
+}
+
+BddRef BddManager::compose(BddRef F, BddVar Var, BddRef G) {
+  if (!F.isValid() || !G.isValid())
+    return BddRef::invalid();
+  return composeRec(F, Var, G);
+}
+
+BddRef BddManager::composeRec(BddRef F, BddVar Var, BddRef G) {
+  if (F.isTerminal())
+    return F;
+  const Node &N = Nodes[F.index()];
+  if (N.Var > Var)
+    return F;
+  if (N.Var == Var)
+    return iteRec(G, BddRef(N.High), BddRef(N.Low));
+
+  uint64_t Key = hashTriple(F.index(), G.index() ^ (uint64_t(Var) << 32),
+                            0xC04450ull);
+  CacheEntry &E = OpCache[Key & CacheMask];
+  if (E.Key == Key && E.Result != NoEntry)
+    return BddRef(E.Result);
+
+  BddRef Low = composeRec(BddRef(N.Low), Var, G);
+  if (!Low.isValid())
+    return BddRef::invalid();
+  BddRef High = composeRec(BddRef(N.High), Var, G);
+  if (!High.isValid())
+    return BddRef::invalid();
+  // The substituted branches may now start above N.Var, so rebuild with ITE
+  // on the branch variable rather than mkNode.
+  BddRef VarF = mkNode(N.Var, bottom(), top());
+  BddRef R = iteRec(VarF, High, Low);
+  if (R.isValid()) {
+    E.Key = Key;
+    E.Result = R.index();
+  }
+  return R;
+}
+
+std::vector<BddVar> BddManager::support(BddRef F) {
+  std::vector<BddVar> Result;
+  if (!F.isValid() || F.isTerminal())
+    return Result;
+  std::unordered_set<uint32_t> Seen;
+  std::unordered_set<BddVar> Vars;
+  std::vector<BddRef> Stack{F};
+  while (!Stack.empty()) {
+    BddRef Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur.isTerminal() || !Seen.insert(Cur.index()).second)
+      continue;
+    const Node &N = Nodes[Cur.index()];
+    Vars.insert(N.Var);
+    Stack.push_back(BddRef(N.Low));
+    Stack.push_back(BddRef(N.High));
+  }
+  Result.assign(Vars.begin(), Vars.end());
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+double BddManager::satCount(BddRef F, unsigned NumVarsTotal) {
+  if (!F.isValid())
+    return 0.0;
+  std::vector<double> Memo(Nodes.size(), -1.0);
+  double Fraction = satCountRec(F, Memo);
+  double Count = Fraction;
+  for (unsigned I = 0; I < NumVarsTotal; ++I)
+    Count *= 2.0;
+  return Count;
+}
+
+/// \returns the fraction of the full assignment space satisfying F.
+double BddManager::satCountRec(BddRef F, std::vector<double> &Memo) {
+  if (F.isFalse())
+    return 0.0;
+  if (F.isTrue())
+    return 1.0;
+  double &M = Memo[F.index()];
+  if (M >= 0.0)
+    return M;
+  const Node &N = Nodes[F.index()];
+  double R = 0.5 * satCountRec(BddRef(N.Low), Memo) +
+             0.5 * satCountRec(BddRef(N.High), Memo);
+  M = R;
+  return R;
+}
+
+std::vector<std::pair<BddVar, bool>> BddManager::anySat(BddRef F) {
+  std::vector<std::pair<BddVar, bool>> Path;
+  assert(F.isValid() && !F.isFalse() && "anySat() requires satisfiable input");
+  while (!F.isTerminal()) {
+    const Node &N = Nodes[F.index()];
+    if (!BddRef(N.High).isFalse()) {
+      Path.emplace_back(N.Var, true);
+      F = BddRef(N.High);
+    } else {
+      Path.emplace_back(N.Var, false);
+      F = BddRef(N.Low);
+    }
+  }
+  return Path;
+}
+
+uint64_t BddManager::countNodes(BddRef F) const {
+  return countNodesMany({F});
+}
+
+uint64_t BddManager::countNodesMany(const std::vector<BddRef> &Roots) const {
+  std::unordered_set<uint32_t> Seen;
+  std::vector<BddRef> Stack;
+  for (BddRef R : Roots)
+    if (R.isValid() && !R.isTerminal())
+      Stack.push_back(R);
+  uint64_t Count = 0;
+  while (!Stack.empty()) {
+    BddRef Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur.isTerminal() || !Seen.insert(Cur.index()).second)
+      continue;
+    ++Count;
+    const Node &N = Nodes[Cur.index()];
+    Stack.push_back(BddRef(N.Low));
+    Stack.push_back(BddRef(N.High));
+  }
+  return Count;
+}
+
+bool BddManager::evaluate(BddRef F, const std::vector<bool> &Assignment) const {
+  assert(F.isValid() && "evaluate() on invalid ref");
+  while (!F.isTerminal()) {
+    const Node &N = Nodes[F.index()];
+    bool Value = N.Var < Assignment.size() && Assignment[N.Var];
+    F = BddRef(Value ? N.High : N.Low);
+  }
+  return F.isTrue();
+}

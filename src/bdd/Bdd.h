@@ -1,0 +1,194 @@
+//===--- Bdd.h - Reduced ordered binary decision diagrams -------*- C++-*-===//
+///
+/// \file
+/// A from-scratch ROBDD package in the style of Bryant's original algorithms
+/// (Bryant, IEEE ToC 1986), standing in for the UC Berkeley package the paper
+/// used. It provides the operations the SIGNAL clock calculus needs:
+///
+///   * canonical node construction through a shared unique table,
+///   * ITE and the derived boolean connectives (and/or/not/diff/xor/iff),
+///   * cofactors, existential/universal quantification, composition,
+///   * implication (inclusion) tests, support and node counting,
+///   * satisfying-assignment counting and one-path extraction,
+///   * a node budget hooked into sigc::Budget so that runaway constructions
+///     surface as the paper's "unable-mem"/"unable-cpu" verdicts instead of
+///     exhausting the machine.
+///
+/// Nodes are referenced by 32-bit indices into an arena. Index 0 is the
+/// False terminal, index 1 the True terminal. There is no garbage collector:
+/// managers are cheap and short-lived (one per solver run), which matches
+/// how the compiler uses them and keeps reference semantics trivial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_BDD_BDD_H
+#define SIGNALC_BDD_BDD_H
+
+#include "support/Budget.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sigc {
+
+/// A reference to a BDD node inside a BddManager.
+///
+/// The null reference (invalid()) is returned by operations that were cut
+/// short by the resource budget; it propagates through all operations.
+class BddRef {
+public:
+  BddRef() = default;
+  explicit BddRef(uint32_t Index) : Index(Index) {}
+
+  static BddRef falseRef() { return BddRef(0); }
+  static BddRef trueRef() { return BddRef(1); }
+  static BddRef invalid() { return BddRef(); }
+
+  bool isValid() const { return Index != InvalidIndex; }
+  bool isFalse() const { return Index == 0; }
+  bool isTrue() const { return Index == 1; }
+  bool isTerminal() const { return Index <= 1; }
+
+  uint32_t index() const { return Index; }
+
+  bool operator==(const BddRef &RHS) const { return Index == RHS.Index; }
+  bool operator!=(const BddRef &RHS) const { return Index != RHS.Index; }
+  bool operator<(const BddRef &RHS) const { return Index < RHS.Index; }
+
+private:
+  static constexpr uint32_t InvalidIndex = 0xFFFFFFFFu;
+  uint32_t Index = InvalidIndex;
+};
+
+/// A BDD variable, identified by its position in the (fixed) order:
+/// smaller value = closer to the root.
+using BddVar = uint32_t;
+
+/// Shared-unique-table BDD manager.
+class BddManager {
+public:
+  BddManager();
+
+  /// Attaches a resource budget. The manager checks the node limit on every
+  /// allocation and the time limit periodically; once the budget trips, all
+  /// operations return BddRef::invalid().
+  void setBudget(Budget *B) { Bud = B; }
+
+  /// Declares (or returns) the projection function of variable \p Var.
+  BddRef var(BddVar Var);
+  /// \returns the complement of variable \p Var.
+  BddRef nvar(BddVar Var);
+
+  BddRef top() const { return BddRef::trueRef(); }
+  BddRef bottom() const { return BddRef::falseRef(); }
+
+  /// If-then-else: the universal connective.
+  BddRef ite(BddRef F, BddRef G, BddRef H);
+
+  BddRef apply_and(BddRef F, BddRef G) { return ite(F, G, bottom()); }
+  BddRef apply_or(BddRef F, BddRef G) { return ite(F, top(), G); }
+  BddRef apply_not(BddRef F) { return ite(F, bottom(), top()); }
+  /// Set difference F \ G  =  F ∧ ¬G.
+  BddRef apply_diff(BddRef F, BddRef G);
+  BddRef apply_xor(BddRef F, BddRef G);
+  /// Biconditional F ⇔ G.
+  BddRef apply_iff(BddRef F, BddRef G);
+  /// Implication as a function: ¬F ∨ G.
+  BddRef apply_imp(BddRef F, BddRef G);
+
+  /// \returns true iff F ⇒ G is a tautology, i.e. F ∧ ¬G = 0.
+  /// For clocks this is the inclusion test F ⊆ G.
+  bool implies(BddRef F, BddRef G);
+
+  /// \returns true iff F and G denote the same function (trivial, since
+  /// BDDs are canonical — provided for readability at call sites).
+  bool equivalent(BddRef F, BddRef G) const { return F == G; }
+
+  /// Positive/negative cofactor of \p F by variable \p Var.
+  BddRef restrict(BddRef F, BddVar Var, bool Value);
+
+  /// Existential quantification of a single variable.
+  BddRef exists(BddRef F, BddVar Var);
+  /// Universal quantification of a single variable.
+  BddRef forall(BddRef F, BddVar Var);
+  /// Existential quantification of a set of variables.
+  BddRef existsMany(BddRef F, const std::vector<BddVar> &Vars);
+
+  /// Substitutes function \p G for variable \p Var inside \p F.
+  BddRef compose(BddRef F, BddVar Var, BddRef G);
+
+  /// \returns the set of variables F depends on, ascending.
+  std::vector<BddVar> support(BddRef F);
+
+  /// Number of satisfying assignments of \p F over \p NumVars variables.
+  double satCount(BddRef F, unsigned NumVars);
+
+  /// Extracts one satisfying assignment as (var, value) pairs along a
+  /// true-path; requires F != 0 and F valid.
+  std::vector<std::pair<BddVar, bool>> anySat(BddRef F);
+
+  /// Structural size of the graph rooted at \p F (terminals not counted).
+  uint64_t countNodes(BddRef F) const;
+  /// Structural size of the union of the graphs rooted at \p Roots.
+  uint64_t countNodesMany(const std::vector<BddRef> &Roots) const;
+
+  /// Total nodes ever allocated in this manager (excludes terminals).
+  uint64_t numNodes() const { return Nodes.size() - 2; }
+
+  /// Largest variable ever mentioned, plus one.
+  unsigned numVars() const { return NumVars; }
+
+  /// Accessors for traversals.
+  BddVar nodeVar(BddRef F) const { return Nodes[F.index()].Var; }
+  BddRef nodeLow(BddRef F) const { return BddRef(Nodes[F.index()].Low); }
+  BddRef nodeHigh(BddRef F) const { return BddRef(Nodes[F.index()].High); }
+
+  /// Evaluates F under a full assignment (index = variable).
+  bool evaluate(BddRef F, const std::vector<bool> &Assignment) const;
+
+  /// \returns true once the attached budget has tripped.
+  bool budgetExhausted() const { return Bud && Bud->exhausted(); }
+
+private:
+  struct Node {
+    BddVar Var;    ///< Terminals use TerminalVar.
+    uint32_t Low;  ///< Else-branch (Var = false).
+    uint32_t High; ///< Then-branch (Var = true).
+  };
+
+  static constexpr BddVar TerminalVar = 0xFFFFFFFFu;
+  static constexpr uint32_t NoEntry = 0xFFFFFFFFu;
+
+  /// Hashed (op,f,g,h) -> result cache entry.
+  struct CacheEntry {
+    uint64_t Key = ~0ull;
+    uint32_t Result = NoEntry;
+  };
+
+  BddRef mkNode(BddVar Var, BddRef Low, BddRef High);
+  uint32_t *uniqueSlot(BddVar Var, uint32_t Low, uint32_t High);
+  void growUnique();
+  bool pollBudget();
+
+  BddRef iteRec(BddRef F, BddRef G, BddRef H);
+  BddRef restrictRec(BddRef F, BddVar Var, bool Value);
+  BddRef composeRec(BddRef F, BddVar Var, BddRef G);
+  double satCountRec(BddRef F, std::vector<double> &Memo);
+
+  std::vector<Node> Nodes;
+  std::vector<uint32_t> UniqueTable; ///< Open-addressed, stores node indices.
+  uint32_t UniqueMask = 0;
+
+  std::vector<CacheEntry> IteCache;
+  std::vector<CacheEntry> OpCache; ///< restrict/compose/quantify.
+  uint64_t CacheMask = 0;
+
+  unsigned NumVars = 0;
+  Budget *Bud = nullptr;
+  uint64_t AllocsSincePoll = 0;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_BDD_BDD_H

@@ -1,0 +1,56 @@
+//===--- BddDot.cpp -------------------------------------------------------===//
+
+#include "bdd/BddDot.h"
+
+#include <unordered_set>
+
+using namespace sigc;
+
+std::string sigc::bddToDot(const BddManager &Mgr,
+                           const std::vector<BddRef> &Roots,
+                           const std::function<std::string(BddVar)> &VarName) {
+  std::string Out = "digraph bdd {\n";
+  Out += "  node [shape=circle];\n";
+  Out += "  f [label=\"0\", shape=box];\n";
+  Out += "  t [label=\"1\", shape=box];\n";
+
+  auto nodeId = [](BddRef R) -> std::string {
+    if (R.isFalse())
+      return "f";
+    if (R.isTrue())
+      return "t";
+    return "n" + std::to_string(R.index());
+  };
+
+  std::unordered_set<uint32_t> Seen;
+  std::vector<BddRef> Stack;
+  for (unsigned I = 0; I < Roots.size(); ++I) {
+    BddRef R = Roots[I];
+    if (!R.isValid())
+      continue;
+    Out += "  r" + std::to_string(I) + " [label=\"root" + std::to_string(I) +
+           "\", shape=plaintext];\n";
+    Out += "  r" + std::to_string(I) + " -> " + nodeId(R) + ";\n";
+    if (!R.isTerminal())
+      Stack.push_back(R);
+  }
+
+  while (!Stack.empty()) {
+    BddRef Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur.isTerminal() || !Seen.insert(Cur.index()).second)
+      continue;
+    BddVar V = Mgr.nodeVar(Cur);
+    std::string Label = VarName ? VarName(V) : ("x" + std::to_string(V));
+    Out += "  " + nodeId(Cur) + " [label=\"" + Label + "\"];\n";
+    BddRef Low = Mgr.nodeLow(Cur), High = Mgr.nodeHigh(Cur);
+    Out += "  " + nodeId(Cur) + " -> " + nodeId(Low) + " [style=dashed];\n";
+    Out += "  " + nodeId(Cur) + " -> " + nodeId(High) + ";\n";
+    if (!Low.isTerminal())
+      Stack.push_back(Low);
+    if (!High.isTerminal())
+      Stack.push_back(High);
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,27 @@
+//===--- BddDot.h - Graphviz export of BDDs ---------------------*- C++-*-===//
+///
+/// \file
+/// Renders a BDD (or a set of shared BDDs) as a Graphviz "dot" digraph for
+/// debugging and documentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_BDD_BDDDOT_H
+#define SIGNALC_BDD_BDDDOT_H
+
+#include "bdd/Bdd.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sigc {
+
+/// Produces a dot digraph of the graphs rooted at \p Roots.
+/// \param VarName maps a BddVar to its label; pass nullptr for "x<N>".
+std::string bddToDot(const BddManager &Mgr, const std::vector<BddRef> &Roots,
+                     const std::function<std::string(BddVar)> &VarName = {});
+
+} // namespace sigc
+
+#endif // SIGNALC_BDD_BDDDOT_H

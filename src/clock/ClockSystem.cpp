@@ -1,0 +1,126 @@
+//===--- ClockSystem.cpp --------------------------------------------------===//
+
+#include "clock/ClockSystem.h"
+
+#include <cassert>
+
+using namespace sigc;
+
+const char *sigc::clockOpName(ClockOp Op) {
+  switch (Op) {
+  case ClockOp::Inter:
+    return "^*";
+  case ClockOp::Union:
+    return "^+";
+  case ClockOp::Diff:
+    return "^-";
+  }
+  return "<bad>";
+}
+
+ClockVarId ClockSystem::addSignalClock(SignalId S) {
+  if (S < SignalClockVar.size() && SignalClockVar[S] != InvalidClockVar)
+    return SignalClockVar[S];
+  if (S >= SignalClockVar.size())
+    SignalClockVar.resize(S + 1, InvalidClockVar);
+  ClockVarId V = static_cast<ClockVarId>(Vars.size());
+  Vars.push_back({ClockVarKind::SignalClock, S});
+  SignalClockVar[S] = V;
+  return V;
+}
+
+void ClockSystem::addLiterals(SignalId S) {
+  if (S < PosLitVar.size() && PosLitVar[S] != InvalidClockVar)
+    return;
+  if (S >= PosLitVar.size()) {
+    PosLitVar.resize(S + 1, InvalidClockVar);
+    NegLitVar.resize(S + 1, InvalidClockVar);
+  }
+  ClockVarId Pos = static_cast<ClockVarId>(Vars.size());
+  Vars.push_back({ClockVarKind::PosLiteral, S});
+  ClockVarId Neg = static_cast<ClockVarId>(Vars.size());
+  Vars.push_back({ClockVarKind::NegLiteral, S});
+  PosLitVar[S] = Pos;
+  NegLitVar[S] = Neg;
+  Conditions.push_back(S);
+}
+
+std::string ClockSystem::varName(ClockVarId V, const KernelProgram &Prog,
+                                 const StringInterner &Names) const {
+  const ClockVarInfo &Info = Vars[V];
+  std::string SigName(Names.spelling(Prog.Signals[Info.Signal].Name));
+  switch (Info.Kind) {
+  case ClockVarKind::SignalClock:
+    return "^" + SigName;
+  case ClockVarKind::PosLiteral:
+    return "[" + SigName + "]";
+  case ClockVarKind::NegLiteral:
+    return "[~" + SigName + "]";
+  }
+  return "<bad>";
+}
+
+std::string ClockSystem::dump(const KernelProgram &Prog,
+                              const StringInterner &Names) const {
+  std::string Out;
+  for (const ClockEquality &E : Equalities)
+    Out += "  " + varName(E.A, Prog, Names) + " = " +
+           varName(E.B, Prog, Names) + "\n";
+  for (const ClockEquation &E : Equations)
+    Out += "  " + varName(E.Lhs, Prog, Names) + " = " +
+           varName(E.A, Prog, Names) + " " + clockOpName(E.Op) + " " +
+           varName(E.B, Prog, Names) + "\n";
+  for (SignalId C : Conditions) {
+    std::string CN(Names.spelling(Prog.Signals[C].Name));
+    Out += "  [" + CN + "] ^+ [~" + CN + "] = ^" + CN + "\n";
+    Out += "  [" + CN + "] ^* [~" + CN + "] = 0\n";
+  }
+  return Out;
+}
+
+ClockSystem sigc::extractClockSystem(const KernelProgram &Prog) {
+  ClockSystem Sys;
+
+  // One clock variable per signal; literals for every boolean signal.
+  for (SignalId S = 0; S < Prog.numSignals(); ++S) {
+    Sys.addSignalClock(S);
+    if (Prog.Signals[S].Type == TypeKind::Boolean)
+      Sys.addLiterals(S);
+  }
+
+  for (const KernelEq &Eq : Prog.Equations) {
+    ClockVarId Y = Sys.signalClock(Eq.Target);
+    switch (Eq.Kind) {
+    case KernelEqKind::Func:
+      for (SignalId Arg : Eq.Args)
+        Sys.addEquality(Y, Sys.signalClock(Arg), Eq.Loc);
+      break;
+    case KernelEqKind::Delay:
+      Sys.addEquality(Y, Sys.signalClock(Eq.DelaySource), Eq.Loc);
+      break;
+    case KernelEqKind::When: {
+      ClockVarId Lit = Eq.WhenPositive ? Sys.posLiteral(Eq.WhenCond)
+                                       : Sys.negLiteral(Eq.WhenCond);
+      assert(Lit != InvalidClockVar &&
+             "when-condition must be a boolean signal with literals");
+      if (Eq.WhenValue.isSignal())
+        Sys.addEquation(Y, ClockOp::Inter,
+                        Sys.signalClock(Eq.WhenValue.Sig), Lit, Eq.Loc);
+      else
+        Sys.addEquality(Y, Lit, Eq.Loc); // constant adapts: ŷ = [C]
+      break;
+    }
+    case KernelEqKind::Default:
+      Sys.addEquation(Y, ClockOp::Union,
+                      Sys.signalClock(Eq.DefaultPreferred),
+                      Sys.signalClock(Eq.DefaultAlternative), Eq.Loc);
+      break;
+    }
+  }
+
+  for (const ClockConstraint &C : Prog.Constraints)
+    Sys.addEquality(Sys.signalClock(C.First), Sys.signalClock(C.Second),
+                    C.Loc);
+
+  return Sys;
+}

@@ -1,0 +1,136 @@
+//===--- ClockSystem.h - Systems of boolean clock equations -----*- C++-*-===//
+///
+/// \file
+/// The system of boolean equations underlying a SIGNAL process (Table 1 of
+/// the paper). Clock variables come in three kinds:
+///
+///   SignalClock  x̂      — the clock of signal X,
+///   PosLiteral   [C]    — the instants where boolean C is present and true,
+///   NegLiteral   [¬C]   — the instants where boolean C is present and false.
+///
+/// The system contains:
+///   * equalities  k = k'                       (Func, Delay, synchro, ...)
+///   * equations   k = k1 <op> k2 with <op> in {∧, ∨, \}   (when, default)
+///   * implicit partition constraints for every boolean signal C:
+///       [C] ∨ [¬C] = ĉ   and   [C] ∧ [¬C] = 0̂.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_CLOCK_CLOCKSYSTEM_H
+#define SIGNALC_CLOCK_CLOCKSYSTEM_H
+
+#include "sema/Kernel.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace sigc {
+
+/// Index of a clock variable within a ClockSystem.
+using ClockVarId = uint32_t;
+constexpr ClockVarId InvalidClockVar = 0xFFFFFFFFu;
+
+/// What a clock variable stands for.
+enum class ClockVarKind {
+  SignalClock, ///< x̂ of some signal X.
+  PosLiteral,  ///< [C] of some boolean signal C.
+  NegLiteral,  ///< [¬C] of some boolean signal C.
+};
+
+/// Descriptor of one clock variable.
+struct ClockVarInfo {
+  ClockVarKind Kind = ClockVarKind::SignalClock;
+  SignalId Signal = InvalidSignal; ///< The signal this variable belongs to.
+};
+
+/// The set-theoretic clock operators of the paper (Section 2.1 notation).
+enum class ClockOp {
+  Inter, ///< ∧ (set intersection)
+  Union, ///< ∨ (set union)
+  Diff,  ///< \ (set difference)
+};
+
+/// \returns "^*", "^+", "^-" style ASCII spelling of \p Op.
+const char *clockOpName(ClockOp Op);
+
+/// One oriented-able equation k = a <op> b.
+struct ClockEquation {
+  ClockVarId Lhs = InvalidClockVar;
+  ClockOp Op = ClockOp::Inter;
+  ClockVarId A = InvalidClockVar;
+  ClockVarId B = InvalidClockVar;
+  SourceLoc Loc;
+};
+
+/// One equality k = k'.
+struct ClockEquality {
+  ClockVarId A = InvalidClockVar;
+  ClockVarId B = InvalidClockVar;
+  SourceLoc Loc;
+};
+
+/// The boolean equation system of one kernel program.
+class ClockSystem {
+public:
+  /// Adds the clock variable of signal \p S.
+  ClockVarId addSignalClock(SignalId S);
+  /// Adds the pair of condition literals of boolean signal \p S.
+  void addLiterals(SignalId S);
+
+  ClockVarId signalClock(SignalId S) const { return SignalClockVar[S]; }
+  /// \returns the [C] variable of \p S, or InvalidClockVar.
+  ClockVarId posLiteral(SignalId S) const {
+    return S < PosLitVar.size() ? PosLitVar[S] : InvalidClockVar;
+  }
+  /// \returns the [¬C] variable of \p S, or InvalidClockVar.
+  ClockVarId negLiteral(SignalId S) const {
+    return S < NegLitVar.size() ? NegLitVar[S] : InvalidClockVar;
+  }
+
+  void addEquality(ClockVarId A, ClockVarId B, SourceLoc Loc) {
+    Equalities.push_back({A, B, Loc});
+  }
+  void addEquation(ClockVarId Lhs, ClockOp Op, ClockVarId A, ClockVarId B,
+                   SourceLoc Loc) {
+    Equations.push_back({Lhs, Op, A, B, Loc});
+  }
+
+  const ClockVarInfo &varInfo(ClockVarId V) const { return Vars[V]; }
+  unsigned numVars() const { return static_cast<unsigned>(Vars.size()); }
+  const std::vector<ClockEquation> &equations() const { return Equations; }
+  const std::vector<ClockEquality> &equalities() const { return Equalities; }
+
+  /// Signals whose literals exist (i.e. the boolean conditions).
+  const std::vector<SignalId> &conditions() const { return Conditions; }
+
+  /// Human-readable name of a clock variable: "^X", "[C]" or "[~C]".
+  std::string varName(ClockVarId V, const KernelProgram &Prog,
+                      const StringInterner &Names) const;
+
+  /// Renders the whole system (for tests and -dump-clocks).
+  std::string dump(const KernelProgram &Prog,
+                   const StringInterner &Names) const;
+
+private:
+  std::vector<ClockVarInfo> Vars;
+  std::vector<ClockVarId> SignalClockVar;
+  std::vector<ClockVarId> PosLitVar;
+  std::vector<ClockVarId> NegLitVar;
+  std::vector<SignalId> Conditions;
+  std::vector<ClockEquation> Equations;
+  std::vector<ClockEquality> Equalities;
+};
+
+/// Builds the clock system of \p Prog following Table 1:
+///   Y := f(X1..Xn)   ==>  ŷ = x̂1 = ... = x̂n
+///   Y := X $ 1       ==>  ŷ = x̂
+///   Y := A when C    ==>  ŷ = â ∧ [C]   (ŷ = [C] when A is a constant)
+///   Y := A default B ==>  ŷ = â ∨ b̂
+/// plus one equality per clock constraint, plus literals for every boolean
+/// signal.
+ClockSystem extractClockSystem(const KernelProgram &Prog);
+
+} // namespace sigc
+
+#endif // SIGNALC_CLOCK_CLOCKSYSTEM_H

@@ -1,0 +1,57 @@
+//===--- UnionFind.cpp ----------------------------------------------------===//
+
+#include "clock/UnionFind.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace sigc;
+
+void UnionFind::reset(uint32_t Size) {
+  Parent.resize(Size);
+  std::iota(Parent.begin(), Parent.end(), 0u);
+  Rank.assign(Size, 0);
+}
+
+void UnionFind::ensure(uint32_t Size) {
+  uint32_t Old = size();
+  if (Size <= Old)
+    return;
+  Parent.resize(Size);
+  std::iota(Parent.begin() + Old, Parent.end(), Old);
+  Rank.resize(Size, 0);
+}
+
+uint32_t UnionFind::find(uint32_t X) {
+  assert(X < Parent.size() && "find() out of range");
+  uint32_t Root = X;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression.
+  while (Parent[X] != Root) {
+    uint32_t Next = Parent[X];
+    Parent[X] = Root;
+    X = Next;
+  }
+  return Root;
+}
+
+uint32_t UnionFind::unite(uint32_t A, uint32_t B) {
+  uint32_t RA = find(A), RB = find(B);
+  if (RA == RB)
+    return RA;
+  if (Rank[RA] < Rank[RB])
+    std::swap(RA, RB);
+  Parent[RB] = RA;
+  if (Rank[RA] == Rank[RB])
+    ++Rank[RA];
+  return RA;
+}
+
+std::vector<uint32_t> UnionFind::representatives() {
+  std::vector<uint32_t> Result;
+  for (uint32_t I = 0; I < size(); ++I)
+    if (find(I) == I)
+      Result.push_back(I);
+  return Result;
+}

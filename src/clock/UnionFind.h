@@ -1,0 +1,49 @@
+//===--- UnionFind.h - Disjoint sets for clock equalities -------*- C++-*-===//
+///
+/// \file
+/// Union-find with path compression and union by rank, used to normalize
+/// the clock-equality equations ("choose one variable which will replace
+/// the others when they are referenced", Section 3.3 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_CLOCK_UNIONFIND_H
+#define SIGNALC_CLOCK_UNIONFIND_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sigc {
+
+/// Disjoint-set structure over dense uint32_t ids.
+class UnionFind {
+public:
+  explicit UnionFind(uint32_t Size = 0) { reset(Size); }
+
+  void reset(uint32_t Size);
+
+  /// Grows the universe to at least \p Size elements.
+  void ensure(uint32_t Size);
+
+  /// \returns the canonical representative of \p X.
+  uint32_t find(uint32_t X);
+
+  /// Merges the classes of \p A and \p B.
+  /// \returns the representative of the merged class.
+  uint32_t unite(uint32_t A, uint32_t B);
+
+  bool same(uint32_t A, uint32_t B) { return find(A) == find(B); }
+
+  uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
+
+  /// \returns all class representatives, ascending.
+  std::vector<uint32_t> representatives();
+
+private:
+  std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_CLOCK_UNIONFIND_H

@@ -1,0 +1,385 @@
+//===--- CEmitter.cpp -----------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+
+#include <cassert>
+
+using namespace sigc;
+
+std::string sigc::sanitizeIdent(const std::string &Name) {
+  std::string Out;
+  for (char C : Name) {
+    if ((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+        (C >= '0' && C <= '9') || C == '_') {
+      Out += C;
+      continue;
+    }
+    switch (C) {
+    case '^':
+      Out += "ck_";
+      break;
+    case '[':
+      Out += "on_";
+      break;
+    case '~':
+      Out += "not_";
+      break;
+    case ']':
+      break;
+    default:
+      Out += '_';
+      break;
+    }
+  }
+  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
+    Out = "x" + Out;
+  return Out;
+}
+
+namespace {
+
+const char *cTypeOf(TypeKind T) {
+  switch (T) {
+  case TypeKind::Boolean:
+  case TypeKind::Event:
+    return "int";
+  case TypeKind::Integer:
+    return "long";
+  case TypeKind::Real:
+    return "double";
+  case TypeKind::Unknown:
+    return "int";
+  }
+  return "int";
+}
+
+std::string cLiteral(const Value &V) {
+  switch (V.Kind) {
+  case TypeKind::Boolean:
+  case TypeKind::Event:
+    return V.Bool ? "1" : "0";
+  case TypeKind::Integer:
+    return std::to_string(V.Int) + "L";
+  case TypeKind::Real: {
+    std::string S = std::to_string(V.Real);
+    return S;
+  }
+  case TypeKind::Unknown:
+    return "0";
+  }
+  return "0";
+}
+
+/// Renders one step program as C.
+class Emitter {
+public:
+  Emitter(const KernelProgram &Prog, const StepProgram &Step,
+          const StringInterner &Names, std::string ProcName,
+          const CEmitOptions &Options)
+      : Prog(Prog), Step(Step), Names(Names), Proc(std::move(ProcName)),
+        Options(Options) {}
+
+  std::string run();
+
+private:
+  std::string valueVar(int Slot) const { return "v" + std::to_string(Slot); }
+  std::string clockVar(int Slot) const { return "c" + std::to_string(Slot); }
+  std::string stateVar(int Slot) const {
+    return "st->s" + std::to_string(Slot);
+  }
+
+  TypeKind slotType(int ValueSlot) const {
+    for (SignalId S = 0; S < Prog.numSignals(); ++S)
+      if (Step.SignalValueSlot[S] == ValueSlot)
+        return Prog.Signals[S].Type;
+    return TypeKind::Unknown;
+  }
+
+  std::string funcExpr(const KernelEq &Eq, int Node) const;
+  std::string instrStmt(const StepInstr &In) const;
+  void emitFlatBody(std::string &Out) const;
+  void emitNestedBlock(int BlockIdx, unsigned Indent, std::string &Out) const;
+  void emitDriver(std::string &Out) const;
+
+  const KernelProgram &Prog;
+  const StepProgram &Step;
+  const StringInterner &Names;
+  std::string Proc;
+  CEmitOptions Options;
+};
+
+std::string Emitter::funcExpr(const KernelEq &Eq, int Node) const {
+  const FuncNode &N = Eq.Nodes[Node];
+  switch (N.Kind) {
+  case FuncNode::Kind::Arg:
+    return valueVar(Step.SignalValueSlot[Eq.Args[N.ArgIndex]]);
+  case FuncNode::Kind::Const:
+    return cLiteral(N.Const);
+  case FuncNode::Kind::Unary: {
+    std::string Inner = funcExpr(Eq, N.Lhs);
+    return N.UOp == UnaryOp::Not ? "(!" + Inner + ")" : "(-" + Inner + ")";
+  }
+  case FuncNode::Kind::Binary: {
+    std::string L = funcExpr(Eq, N.Lhs);
+    std::string R = funcExpr(Eq, N.Rhs);
+    switch (N.BOp) {
+    case BinaryOp::Add:
+      return "(" + L + " + " + R + ")";
+    case BinaryOp::Sub:
+      return "(" + L + " - " + R + ")";
+    case BinaryOp::Mul:
+      return "(" + L + " * " + R + ")";
+    case BinaryOp::Div:
+      // Match the interpreter: division by zero yields zero.
+      return "((" + R + ") == 0 ? 0 : (" + L + ") / (" + R + "))";
+    case BinaryOp::Mod:
+      return "((" + R + ") == 0 ? 0 : (((" + L + ") % (" + R + ")) + (" + R +
+             ")) % (" + R + "))";
+    case BinaryOp::And:
+      return "(" + L + " && " + R + ")";
+    case BinaryOp::Or:
+      return "(" + L + " || " + R + ")";
+    case BinaryOp::Xor:
+      return "(!!" + L + " != !!" + R + ")";
+    case BinaryOp::Eq:
+      return "(" + L + " == " + R + ")";
+    case BinaryOp::Ne:
+      return "(" + L + " != " + R + ")";
+    case BinaryOp::Lt:
+      return "(" + L + " < " + R + ")";
+    case BinaryOp::Le:
+      return "(" + L + " <= " + R + ")";
+    case BinaryOp::Gt:
+      return "(" + L + " > " + R + ")";
+    case BinaryOp::Ge:
+      return "(" + L + " >= " + R + ")";
+    }
+    return "0";
+  }
+  }
+  return "0";
+}
+
+std::string Emitter::instrStmt(const StepInstr &In) const {
+  switch (In.Op) {
+  case StepOp::ReadClockInput: {
+    for (const auto &CI : Step.ClockInputs)
+      if (CI.Slot == In.Target)
+        return clockVar(In.Target) + " = in->tick_" +
+               sanitizeIdent(CI.Name) + ";";
+    return clockVar(In.Target) + " = 0;";
+  }
+  case StepOp::EvalClockLiteral:
+    return clockVar(In.Target) + " = " + (In.Positive ? "" : "!") +
+           valueVar(In.A) + ";";
+  case StepOp::EvalClockOp: {
+    std::string A = In.A >= 0 ? clockVar(In.A) : std::string("0");
+    std::string B = In.B >= 0 ? clockVar(In.B) : std::string("0");
+    switch (In.COp) {
+    case ClockOp::Inter:
+      return clockVar(In.Target) + " = " + A + " && " + B + ";";
+    case ClockOp::Union:
+      return clockVar(In.Target) + " = " + A + " || " + B + ";";
+    case ClockOp::Diff:
+      return clockVar(In.Target) + " = " + A + " && !" + B + ";";
+    }
+    return "";
+  }
+  case StepOp::ReadSignal: {
+    std::string Name;
+    for (const auto &SI : Step.Inputs)
+      if (SI.ValueSlot == In.Target)
+        Name = SI.Name;
+    return valueVar(In.Target) + " = in->" + sanitizeIdent(Name) + ";";
+  }
+  case StepOp::EvalFunc: {
+    const KernelEq &Eq = Prog.Equations[In.EqIndex];
+    return valueVar(In.Target) + " = " +
+           funcExpr(Eq, static_cast<int>(Eq.Nodes.size()) - 1) + ";";
+  }
+  case StepOp::EvalWhen: {
+    const KernelEq &Eq = Prog.Equations[In.EqIndex];
+    if (Eq.WhenValue.isSignal())
+      return valueVar(In.Target) + " = " + valueVar(In.A) + ";";
+    return valueVar(In.Target) + " = " + cLiteral(Eq.WhenValue.Const) + ";";
+  }
+  case StepOp::EvalDefault: {
+    if (In.A < 0)
+      return valueVar(In.Target) + " = " + valueVar(In.B) + ";";
+    if (In.B < 0)
+      return valueVar(In.Target) + " = " + valueVar(In.A) + ";";
+    return valueVar(In.Target) + " = " + clockVar(In.PresA) + " ? " +
+           valueVar(In.A) + " : " + valueVar(In.B) + ";";
+  }
+  case StepOp::LoadDelay:
+    return valueVar(In.Target) + " = " + stateVar(In.A) + ";";
+  case StepOp::StoreDelay:
+    return stateVar(In.Target) + " = " + valueVar(In.A) + ";";
+  case StepOp::WriteOutput: {
+    std::string Name;
+    for (const auto &SO : Step.Outputs)
+      if (SO.Sig == In.Sig)
+        Name = SO.Name;
+    std::string Id = sanitizeIdent(Name);
+    return "out->" + Id + "_present = 1; out->" + Id + " = " +
+           valueVar(In.A) + ";";
+  }
+  }
+  return "";
+}
+
+void Emitter::emitFlatBody(std::string &Out) const {
+  for (const StepInstr &In : Step.Instrs) {
+    if (In.Guard >= 0)
+      Out += "  if (" + clockVar(In.Guard) + ") { " + instrStmt(In) + " }\n";
+    else
+      Out += "  " + instrStmt(In) + "\n";
+  }
+}
+
+void Emitter::emitNestedBlock(int BlockIdx, unsigned Indent,
+                              std::string &Out) const {
+  const StepBlock &B = Step.Blocks[BlockIdx];
+  std::string Pad(Indent, ' ');
+  if (B.GuardSlot >= 0)
+    Out += Pad + "if (" + clockVar(B.GuardSlot) + ") {\n";
+  unsigned Inner = B.GuardSlot >= 0 ? Indent + 2 : Indent;
+  std::string InnerPad(Inner, ' ');
+  for (const StepBlock::Item &It : B.Items) {
+    if (It.IsBlock)
+      emitNestedBlock(It.Index, Inner, Out);
+    else
+      Out += InnerPad + instrStmt(Step.Instrs[It.Index]) + "\n";
+  }
+  if (B.GuardSlot >= 0)
+    Out += Pad + "}\n";
+}
+
+std::string Emitter::run() {
+  std::string Out;
+  Out += "/* Generated by signalc from process " + Proc + ".\n";
+  Out += " * Control structure: " +
+         std::string(Options.Nested ? "nested (clock-tree if nesting)"
+                                    : "flat (one guard per statement)") +
+         ".\n */\n";
+  Out += "#include <string.h>\n";
+  if (Options.WithDriver)
+    Out += "#include <stdio.h>\n";
+  Out += "\n";
+
+  // State struct.
+  Out += "typedef struct {\n";
+  for (unsigned I = 0; I < Step.StateInit.size(); ++I)
+    Out += "  " + std::string(cTypeOf(Step.StateInit[I].Kind)) + " s" +
+           std::to_string(I) + ";\n";
+  if (Step.StateInit.empty())
+    Out += "  int unused;\n";
+  Out += "} " + Proc + "_state_t;\n\n";
+
+  // Input struct.
+  Out += "typedef struct {\n";
+  for (const auto &CI : Step.ClockInputs)
+    Out += "  int tick_" + sanitizeIdent(CI.Name) + ";\n";
+  for (const auto &SI : Step.Inputs)
+    Out += "  " + std::string(cTypeOf(SI.Type)) + " " +
+           sanitizeIdent(SI.Name) + ";\n";
+  if (Step.ClockInputs.empty() && Step.Inputs.empty())
+    Out += "  int unused;\n";
+  Out += "} " + Proc + "_in_t;\n\n";
+
+  // Output struct.
+  Out += "typedef struct {\n";
+  for (const auto &SO : Step.Outputs) {
+    std::string Id = sanitizeIdent(SO.Name);
+    Out += "  int " + Id + "_present;\n";
+    Out += "  " + std::string(cTypeOf(SO.Type)) + " " + Id + ";\n";
+  }
+  if (Step.Outputs.empty())
+    Out += "  int unused;\n";
+  Out += "} " + Proc + "_out_t;\n\n";
+
+  // Init.
+  Out += "void " + Proc + "_init(" + Proc + "_state_t *st) {\n";
+  for (unsigned I = 0; I < Step.StateInit.size(); ++I)
+    Out += "  st->s" + std::to_string(I) + " = " +
+           cLiteral(Step.StateInit[I]) + ";\n";
+  if (Step.StateInit.empty())
+    Out += "  st->unused = 0;\n";
+  Out += "}\n\n";
+
+  // Step.
+  Out += "void " + Proc + "_step(" + Proc + "_state_t *st, const " + Proc +
+         "_in_t *in, " + Proc + "_out_t *out) {\n";
+  Out += "  memset(out, 0, sizeof *out);\n";
+  for (unsigned I = 0; I < Step.NumClockSlots; ++I)
+    Out += "  int c" + std::to_string(I) + " = 0;\n";
+  for (unsigned I = 0; I < Step.NumValueSlots; ++I) {
+    TypeKind T = slotType(static_cast<int>(I));
+    Out += "  " + std::string(cTypeOf(T)) + " v" + std::to_string(I) +
+           " = 0;\n";
+  }
+  Out += "\n";
+  if (Options.Nested)
+    emitNestedBlock(Step.RootBlock, 2, Out);
+  else
+    emitFlatBody(Out);
+  // Silence unused-variable warnings for slots only written.
+  Out += "\n";
+  for (unsigned I = 0; I < Step.NumClockSlots; ++I)
+    Out += "  (void)c" + std::to_string(I) + ";";
+  Out += "\n";
+  for (unsigned I = 0; I < Step.NumValueSlots; ++I)
+    Out += "  (void)v" + std::to_string(I) + ";";
+  Out += "\n}\n";
+
+  if (Options.WithDriver)
+    emitDriver(Out);
+  return Out;
+}
+
+void Emitter::emitDriver(std::string &Out) const {
+  Out += "\n/* Deterministic pseudo-random driver. */\n";
+  Out += "static unsigned long rng_state = 0x12345678UL;\n";
+  Out += "static unsigned long rng(void) {\n";
+  Out += "  rng_state = rng_state * 6364136223846793005UL + "
+         "1442695040888963407UL;\n";
+  Out += "  return rng_state >> 33;\n}\n\n";
+  Out += "int main(void) {\n";
+  Out += "  " + Proc + "_state_t st;\n";
+  Out += "  " + Proc + "_in_t in;\n";
+  Out += "  " + Proc + "_out_t out;\n";
+  Out += "  " + Proc + "_init(&st);\n";
+  Out += "  for (unsigned i = 0; i < " + std::to_string(Options.DriverSteps) +
+         "; ++i) {\n";
+  for (const auto &CI : Step.ClockInputs)
+    Out += "    in.tick_" + sanitizeIdent(CI.Name) + " = 1;\n";
+  for (const auto &SI : Step.Inputs) {
+    std::string Id = sanitizeIdent(SI.Name);
+    if (SI.Type == TypeKind::Boolean || SI.Type == TypeKind::Event)
+      Out += "    in." + Id + " = (int)(rng() & 1);\n";
+    else if (SI.Type == TypeKind::Integer)
+      Out += "    in." + Id + " = (long)(rng() % 100);\n";
+    else
+      Out += "    in." + Id + " = (double)(rng() % 1000) / 10.0;\n";
+  }
+  Out += "    " + Proc + "_step(&st, &in, &out);\n";
+  for (const auto &SO : Step.Outputs) {
+    std::string Id = sanitizeIdent(SO.Name);
+    const char *Fmt = (SO.Type == TypeKind::Real) ? "%f" : "%ld";
+    if (SO.Type == TypeKind::Boolean || SO.Type == TypeKind::Event)
+      Fmt = "%d";
+    Out += "    if (out." + Id + "_present) printf(\"%u " + Id + "=" + Fmt +
+           "\\n\", i, out." + Id + ");\n";
+  }
+  Out += "  }\n  return 0;\n}\n";
+}
+
+} // namespace
+
+std::string sigc::emitC(const KernelProgram &Prog, const StepProgram &Step,
+                        const StringInterner &Names,
+                        const std::string &ProcName,
+                        const CEmitOptions &Options) {
+  Emitter E(Prog, Step, Names, ProcName, Options);
+  return E.run();
+}

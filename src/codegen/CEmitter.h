@@ -1,0 +1,49 @@
+//===--- CEmitter.h - Sequential C code generation --------------*- C++-*-===//
+///
+/// \file
+/// Renders a StepProgram as a self-contained C source file implementing
+/// the single-loop code generation scheme of Section 2.6. Two control
+/// structures are supported:
+///
+///   * nested — the if-then-else nesting along the clock tree that the
+///     paper's hierarchy enables (code a of Figure 9),
+///   * flat — one guard test per statement (code b of Figure 9),
+///
+/// so a reader can diff exactly what the clock inclusion tree buys.
+///
+/// Contract of the generated code: the caller fills the input struct with
+/// the free-clock ticks and the value of every input signal it may need
+/// this instant; the step reads an input value only when the corresponding
+/// clock is present, and sets <name>_present flags on outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_CODEGEN_CEMITTER_H
+#define SIGNALC_CODEGEN_CEMITTER_H
+
+#include "codegen/StepProgram.h"
+#include "support/StringInterner.h"
+
+#include <string>
+
+namespace sigc {
+
+/// Options for C emission.
+struct CEmitOptions {
+  bool Nested = true;     ///< Clock-tree if-nesting vs. flat guards.
+  bool WithDriver = false;///< Also emit a main() exercising the step with a
+                          ///< deterministic pseudo-random environment.
+  unsigned DriverSteps = 32;
+};
+
+/// Emits C for \p Step. \p ProcName names the generated symbols.
+std::string emitC(const KernelProgram &Prog, const StepProgram &Step,
+                  const StringInterner &Names, const std::string &ProcName,
+                  const CEmitOptions &Options);
+
+/// Makes an arbitrary string a valid C identifier fragment.
+std::string sanitizeIdent(const std::string &Name);
+
+} // namespace sigc
+
+#endif // SIGNALC_CODEGEN_CEMITTER_H

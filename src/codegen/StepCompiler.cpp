@@ -1,0 +1,239 @@
+//===--- StepCompiler.cpp -------------------------------------------------===//
+
+#include "codegen/StepCompiler.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace sigc;
+
+namespace {
+
+/// Builds the nested block structure over the emitted instructions: blocks
+/// follow the clock tree, instructions live in the block of their guard,
+/// and a block is (re)opened lazily when the schedule reaches an
+/// instruction guarded by it.
+class NestedBuilder {
+public:
+  NestedBuilder(StepProgram &Prog, ClockForest &Forest,
+                const std::unordered_map<ForestNodeId, int> &SlotOfNode)
+      : Prog(Prog), Forest(Forest), SlotOfNode(SlotOfNode) {
+    Prog.Blocks.emplace_back(); // Root block, guard -1.
+    Prog.RootBlock = 0;
+    Stack.push_back({InvalidForestNode, 0});
+  }
+
+  /// Appends instruction \p InstrIdx guarded by tree node \p GuardNode
+  /// (InvalidForestNode = unguarded).
+  void append(int InstrIdx, ForestNodeId GuardNode) {
+    openPathTo(GuardNode);
+    Prog.Blocks[Stack.back().Block].Items.push_back({false, InstrIdx});
+  }
+
+private:
+  struct Frame {
+    ForestNodeId Node;
+    int Block;
+  };
+
+  void openPathTo(ForestNodeId Target) {
+    // Path of tree nodes from the root to Target.
+    std::vector<ForestNodeId> Path;
+    for (ForestNodeId N = Target; N != InvalidForestNode;
+         N = Forest.node(N).Parent)
+      Path.push_back(N);
+    // Stack[0] is the unguarded root; align the rest with Path reversed.
+    size_t Keep = 1;
+    for (size_t I = 0; I < Path.size(); ++I) {
+      size_t StackIdx = 1 + I;
+      ForestNodeId Want = Path[Path.size() - 1 - I];
+      if (StackIdx < Stack.size() && Stack[StackIdx].Node == Want)
+        Keep = StackIdx + 1;
+      else
+        break;
+    }
+    Stack.resize(Keep);
+    // Open the missing blocks down to Target.
+    for (size_t I = Keep - 1; I < Path.size(); ++I) {
+      ForestNodeId Want = Path[Path.size() - 1 - I];
+      int BlockIdx = static_cast<int>(Prog.Blocks.size());
+      StepBlock B;
+      B.GuardSlot = SlotOfNode.at(Want);
+      Prog.Blocks.push_back(B);
+      Prog.Blocks[Stack.back().Block].Items.push_back({true, BlockIdx});
+      Stack.push_back({Want, BlockIdx});
+    }
+  }
+
+  StepProgram &Prog;
+  ClockForest &Forest;
+  const std::unordered_map<ForestNodeId, int> &SlotOfNode;
+  std::vector<Frame> Stack;
+};
+
+std::string clockName(ForestNodeId N, ClockForest &Forest,
+                      const ClockSystem &Sys, const KernelProgram &Prog,
+                      const StringInterner &Names) {
+  return Sys.varName(Forest.node(N).Rep, Prog, Names);
+}
+
+} // namespace
+
+StepProgram sigc::compileStep(const KernelProgram &Prog,
+                              const ClockSystem &Sys, ClockForest &Forest,
+                              const CondDepGraph &Graph,
+                              const StringInterner &Names) {
+  StepProgram SP;
+
+  // --- Slot assignment ----------------------------------------------------
+  std::unordered_map<ForestNodeId, int> SlotOfNode;
+  for (ForestNodeId N : Forest.dfsOrder())
+    SlotOfNode.emplace(N, static_cast<int>(SlotOfNode.size()));
+  SP.NumClockSlots = static_cast<unsigned>(SlotOfNode.size());
+
+  SP.SignalValueSlot.assign(Prog.numSignals(), -1);
+  SP.SignalClockSlot.assign(Prog.numSignals(), -1);
+  for (SignalId S = 0; S < Prog.numSignals(); ++S) {
+    ForestNodeId N = Forest.nodeOf(Sys.signalClock(S));
+    if (N == InvalidForestNode)
+      continue;
+    SP.SignalClockSlot[S] = SlotOfNode.at(N);
+    SP.SignalValueSlot[S] = static_cast<int>(SP.NumValueSlots++);
+  }
+
+  // State slots, one per delay equation with a live target.
+  std::unordered_map<int, int> StateSlotOfEq;
+  for (unsigned EqI = 0; EqI < Prog.Equations.size(); ++EqI) {
+    const KernelEq &Eq = Prog.Equations[EqI];
+    if (Eq.Kind != KernelEqKind::Delay ||
+        SP.SignalValueSlot[Eq.Target] < 0)
+      continue;
+    StateSlotOfEq[static_cast<int>(EqI)] =
+        static_cast<int>(SP.StateInit.size());
+    SP.StateInit.push_back(Eq.DelayInit);
+  }
+
+  NestedBuilder Nest(SP, Forest, SlotOfNode);
+
+  auto sigName = [&](SignalId S) {
+    return std::string(Names.spelling(Prog.Signals[S].Name));
+  };
+
+  // --- Instruction emission, one per scheduled action ---------------------
+  for (int ActIdx : Graph.schedule()) {
+    const Action &A = Graph.actions()[ActIdx];
+    StepInstr In;
+    ForestNodeId GuardNode = InvalidForestNode;
+
+    switch (A.Kind) {
+    case ActionKind::ClockInput: {
+      In.Op = StepOp::ReadClockInput;
+      In.Target = SlotOfNode.at(A.Clock);
+      SP.ClockInputs.push_back(
+          {In.Target, clockName(A.Clock, Forest, Sys, Prog, Names)});
+      break;
+    }
+    case ActionKind::ClockEval: {
+      const ClockNode &Node = Forest.node(A.Clock);
+      In.Target = SlotOfNode.at(A.Clock);
+      if (Node.Def == ClockDefKind::Literal) {
+        // [C] = present(ĉ) ∧ (C == polarity): guarded by the condition's
+        // clock (an ancestor in the tree), so the slot stays false when C
+        // is absent.
+        In.Op = StepOp::EvalClockLiteral;
+        In.A = SP.SignalValueSlot[Node.CondSignal];
+        In.Positive = Node.Positive;
+        ForestNodeId CondClock =
+            Forest.nodeOf(Sys.signalClock(Node.CondSignal));
+        In.Guard = SlotOfNode.at(CondClock);
+        GuardNode = CondClock;
+      } else {
+        // Derived/residual presence is a cheap boolean over already
+        // computed slots; it runs unguarded because its operands may sit
+        // below it in the tree (reparenting).
+        In.Op = StepOp::EvalClockOp;
+        In.COp = Node.Op;
+        ForestNodeId NA = Forest.nodeOf(Node.OpA);
+        ForestNodeId NB = Forest.nodeOf(Node.OpB);
+        In.A = NA == InvalidForestNode ? -1 : SlotOfNode.at(NA);
+        In.B = NB == InvalidForestNode ? -1 : SlotOfNode.at(NB);
+      }
+      break;
+    }
+    case ActionKind::SignalInput: {
+      In.Op = StepOp::ReadSignal;
+      In.Target = SP.SignalValueSlot[A.Sig];
+      In.Sig = A.Sig;
+      In.Guard = SP.SignalClockSlot[A.Sig];
+      GuardNode = A.Clock;
+      SP.Inputs.push_back({A.Sig, In.Target, In.Guard,
+                           Prog.Signals[A.Sig].Type, sigName(A.Sig)});
+      break;
+    }
+    case ActionKind::SignalEval: {
+      const KernelEq &Eq = Prog.Equations[A.EqIndex];
+      In.Target = SP.SignalValueSlot[A.Sig];
+      In.EqIndex = A.EqIndex;
+      In.Sig = A.Sig;
+      In.Guard = SP.SignalClockSlot[A.Sig];
+      GuardNode = A.Clock;
+      switch (Eq.Kind) {
+      case KernelEqKind::Func:
+        In.Op = StepOp::EvalFunc;
+        break;
+      case KernelEqKind::When:
+        In.Op = StepOp::EvalWhen;
+        if (Eq.WhenValue.isSignal())
+          In.A = SP.SignalValueSlot[Eq.WhenValue.Sig];
+        break;
+      case KernelEqKind::Default:
+        In.Op = StepOp::EvalDefault;
+        In.A = SP.SignalValueSlot[Eq.DefaultPreferred];
+        In.B = SP.SignalValueSlot[Eq.DefaultAlternative];
+        In.PresA = SP.SignalClockSlot[Eq.DefaultPreferred];
+        break;
+      case KernelEqKind::Delay:
+        assert(false && "delay scheduled as SignalEval");
+        break;
+      }
+      break;
+    }
+    case ActionKind::LoadDelay: {
+      In.Op = StepOp::LoadDelay;
+      In.Target = SP.SignalValueSlot[A.Sig];
+      In.A = StateSlotOfEq.at(A.EqIndex);
+      In.Sig = A.Sig;
+      In.Guard = SP.SignalClockSlot[A.Sig];
+      GuardNode = A.Clock;
+      break;
+    }
+    case ActionKind::StoreDelay: {
+      const KernelEq &Eq = Prog.Equations[A.EqIndex];
+      In.Op = StepOp::StoreDelay;
+      In.Target = StateSlotOfEq.at(A.EqIndex);
+      In.A = SP.SignalValueSlot[Eq.DelaySource];
+      In.Sig = A.Sig;
+      In.Guard = SP.SignalClockSlot[A.Sig];
+      GuardNode = A.Clock;
+      break;
+    }
+    case ActionKind::WriteOutput: {
+      In.Op = StepOp::WriteOutput;
+      In.A = SP.SignalValueSlot[A.Sig];
+      In.Target = In.A;
+      In.Sig = A.Sig;
+      In.Guard = SP.SignalClockSlot[A.Sig];
+      GuardNode = A.Clock;
+      SP.Outputs.push_back({A.Sig, In.A, In.Guard, Prog.Signals[A.Sig].Type,
+                            sigName(A.Sig)});
+      break;
+    }
+    }
+
+    int InstrIdx = static_cast<int>(SP.Instrs.size());
+    SP.Instrs.push_back(In);
+    Nest.append(InstrIdx, GuardNode);
+  }
+
+  return SP;
+}

@@ -1,0 +1,70 @@
+//===--- Driver.cpp -------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "codegen/StepCompiler.h"
+#include "sema/Sema.h"
+
+using namespace sigc;
+
+std::unique_ptr<Compilation> sigc::compileSource(std::string BufferName,
+                                                 std::string Source,
+                                                 const CompileOptions &Options) {
+  auto C = std::make_unique<Compilation>();
+  SourceLoc Start = C->SM.addBuffer(BufferName, Source);
+  std::string_view Text = C->SM.bufferText(Start);
+
+  // Parse.
+  Parser P(Text, Start, C->Ctx, C->Diags);
+  C->Ast = P.parseProgram();
+  if (!C->Ast || C->Diags.hasErrors()) {
+    C->FailedStage = "parse";
+    return C;
+  }
+
+  // Select the process.
+  if (Options.ProcessName.empty()) {
+    C->Decl = C->Ast->Processes.front();
+  } else {
+    Symbol Name = C->Ctx.interner().lookup(Options.ProcessName);
+    C->Decl = Name.isValid() ? C->Ast->findProcess(Name) : nullptr;
+    if (!C->Decl) {
+      C->Diags.error("no process named '" + Options.ProcessName + "'");
+      C->FailedStage = "select";
+      return C;
+    }
+  }
+
+  // Sema + kernel lowering.
+  Sema S(C->Ctx, C->Diags);
+  C->Kernel = S.analyze(*C->Decl);
+  if (!C->Kernel || C->Diags.hasErrors()) {
+    C->FailedStage = "sema";
+    return C;
+  }
+
+  // Clock calculus.
+  C->Clocks = extractClockSystem(*C->Kernel);
+  C->ForestBudget = Options.Limits;
+  C->ForestBudget.start();
+  C->Bdds.setBudget(&C->ForestBudget);
+  C->Forest = std::make_unique<ClockForest>(C->Bdds);
+  if (!C->Forest->build(C->Clocks, *C->Kernel, C->Ctx.interner(),
+                        C->Diags)) {
+    C->FailedStage = "clock-calculus";
+    return C;
+  }
+
+  // Dependency graph + schedule.
+  if (!C->Graph.build(*C->Kernel, C->Clocks, *C->Forest, C->Ctx.interner(),
+                      C->Diags)) {
+    C->FailedStage = "graph";
+    return C;
+  }
+
+  // Step program.
+  C->Step = compileStep(*C->Kernel, C->Clocks, *C->Forest, C->Graph,
+                        C->Ctx.interner());
+  C->Ok = true;
+  return C;
+}

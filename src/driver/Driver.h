@@ -1,0 +1,79 @@
+//===--- Driver.h - End-to-end compilation pipeline -------------*- C++-*-===//
+///
+/// \file
+/// The public entry point of the library: source text in, compiled
+/// process out. The pipeline is the paper's (Sections 2 and 3):
+///
+///   parse → sema/lowering → clock extraction (Table 1) → arborescent
+///   resolution (Section 3.4) → conditional dependency graph (Table 2) →
+///   scheduling → step program (+ optional C emission).
+///
+/// A Compilation owns every intermediate artifact so callers (tests,
+/// examples, benchmarks, the CLI) can inspect any stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_DRIVER_DRIVER_H
+#define SIGNALC_DRIVER_DRIVER_H
+
+#include "ast/Ast.h"
+#include "bdd/Bdd.h"
+#include "clock/ClockSystem.h"
+#include "codegen/StepProgram.h"
+#include "forest/ClockForest.h"
+#include "graph/CondDepGraph.h"
+#include "parser/Parser.h"
+#include "sema/Kernel.h"
+#include "support/Budget.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace sigc {
+
+/// Compilation options.
+struct CompileOptions {
+  /// Resource limits for the clock calculus (default: unlimited).
+  Budget Limits;
+  /// Process to compile when the file declares several; empty = first.
+  std::string ProcessName;
+};
+
+/// Every artifact of one compilation, stage by stage.
+class Compilation {
+public:
+  SourceManager SM;
+  DiagnosticEngine Diags{&SM};
+  AstContext Ctx;
+
+  const Program *Ast = nullptr;
+  const ProcessDecl *Decl = nullptr;
+  std::optional<KernelProgram> Kernel;
+  ClockSystem Clocks;
+  Budget ForestBudget;
+  BddManager Bdds;
+  std::unique_ptr<ClockForest> Forest;
+  CondDepGraph Graph;
+  StepProgram Step;
+
+  /// True when every stage completed.
+  bool Ok = false;
+  /// The stage that failed, for error reporting ("parse", "sema", ...).
+  std::string FailedStage;
+
+  /// The interner used for all names.
+  StringInterner &names() { return Ctx.interner(); }
+};
+
+/// Compiles \p Source (registered under \p BufferName).
+/// Always returns a Compilation; check ->Ok and ->Diags.
+std::unique_ptr<Compilation> compileSource(std::string BufferName,
+                                           std::string Source,
+                                           const CompileOptions &Options = {});
+
+} // namespace sigc
+
+#endif // SIGNALC_DRIVER_DRIVER_H

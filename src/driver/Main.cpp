@@ -1,0 +1,197 @@
+//===--- Main.cpp - The signalc command-line driver -----------------------===//
+///
+/// \file
+/// Usage:
+///   signalc [options] file.sig
+///   signalc --builtin NAME          compile a Figure-13 suite program
+///
+/// Options:
+///   --process NAME     pick a process when the file declares several
+///   --dump-kernel      print the flattened kernel equations
+///   --dump-clocks      print the extracted boolean equation system
+///   --dump-tree        print the resolved clock forest
+///   --dump-graph       print the scheduled dependency actions
+///   --dump-step        print the step program (flat listing)
+///   --emit-c[=nested|flat]  print generated C (default nested)
+///   --with-driver      add a main() to the generated C
+///   --simulate N       run N instants with a random environment
+///   --seed S           PRNG seed for --simulate
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "driver/Driver.h"
+#include "interp/StepExecutor.h"
+#include "programs/Programs.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace sigc;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: signalc [options] file.sig\n"
+               "       signalc --builtin NAME [options]\n"
+               "options: --process NAME --dump-kernel --dump-clocks\n"
+               "         --dump-tree --dump-tree-dot --dump-graph "
+               "--dump-step\n"
+               "         --emit-c[=nested|flat] --with-driver\n"
+               "         --simulate N --seed S\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string File, Builtin, ProcessName;
+  bool DumpKernel = false, DumpClocks = false, DumpTree = false;
+  bool DumpTreeDot = false;
+  bool DumpGraph = false, DumpStep = false, EmitC = false;
+  bool WithDriver = false, Nested = true;
+  unsigned Simulate = 0;
+  uint64_t Seed = 1;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--builtin") {
+      if (const char *V = next())
+        Builtin = V;
+    } else if (Arg == "--process") {
+      if (const char *V = next())
+        ProcessName = V;
+    } else if (Arg == "--dump-kernel") {
+      DumpKernel = true;
+    } else if (Arg == "--dump-clocks") {
+      DumpClocks = true;
+    } else if (Arg == "--dump-tree") {
+      DumpTree = true;
+    } else if (Arg == "--dump-tree-dot") {
+      DumpTreeDot = true;
+    } else if (Arg == "--dump-graph") {
+      DumpGraph = true;
+    } else if (Arg == "--dump-step") {
+      DumpStep = true;
+    } else if (Arg == "--emit-c" || Arg == "--emit-c=nested") {
+      EmitC = true;
+    } else if (Arg == "--emit-c=flat") {
+      EmitC = true;
+      Nested = false;
+    } else if (Arg == "--with-driver") {
+      WithDriver = true;
+    } else if (Arg == "--simulate") {
+      if (const char *V = next())
+        Simulate = static_cast<unsigned>(std::stoul(V));
+    } else if (Arg == "--seed") {
+      if (const char *V = next())
+        Seed = std::stoull(V);
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      File = Arg;
+    } else {
+      std::fprintf(stderr, "signalc: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    }
+  }
+
+  std::string Source, BufferName;
+  if (!Builtin.empty()) {
+    if (Builtin == "FIG5_ALARM") {
+      Source = alarmFigure5Source();
+    } else {
+      for (const Figure13Program &P : figure13Suite())
+        if (P.Name == Builtin)
+          Source = P.Source;
+    }
+    if (Source.empty()) {
+      std::fprintf(stderr,
+                   "signalc: unknown builtin '%s' (try FIG5_ALARM, "
+                   "STOPWATCH, WATCH, ALARM, CHRONO, SUPERVISOR, "
+                   "PACE_MAKER, ROBOT)\n",
+                   Builtin.c_str());
+      return 2;
+    }
+    BufferName = "<builtin:" + Builtin + ">";
+  } else if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "signalc: cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+    BufferName = File;
+  } else {
+    printUsage();
+    return 2;
+  }
+
+  CompileOptions Options;
+  Options.ProcessName = ProcessName;
+  auto C = compileSource(BufferName, std::move(Source), Options);
+
+  std::string Diags = C->Diags.render();
+  if (!Diags.empty())
+    std::fputs(Diags.c_str(), stderr);
+  if (!C->Ok) {
+    std::fprintf(stderr, "signalc: compilation failed during %s\n",
+                 C->FailedStage.c_str());
+    return 1;
+  }
+
+  const StringInterner &Names = C->names();
+  std::string ProcName(Names.spelling(C->Decl->Name));
+  std::printf("process %s: %u signals, %u clock variables, %u clock "
+              "classes alive, %u free clock(s)\n",
+              ProcName.c_str(), C->Kernel->numSignals(),
+              C->Clocks.numVars(),
+              static_cast<unsigned>(C->Forest->dfsOrder().size()),
+              static_cast<unsigned>(C->Forest->freeClocks().size()));
+
+  if (DumpKernel)
+    std::printf("kernel:\n%s", C->Kernel->dump(Names).c_str());
+  if (DumpClocks)
+    std::printf("clock system:\n%s",
+                C->Clocks.dump(*C->Kernel, Names).c_str());
+  if (DumpTree)
+    std::printf("clock forest:\n%s",
+                C->Forest->dump(C->Clocks, *C->Kernel, Names).c_str());
+  if (DumpTreeDot)
+    std::fputs(C->Forest->toDot(C->Clocks, *C->Kernel, Names).c_str(),
+               stdout);
+  if (DumpGraph)
+    std::printf("schedule:\n%s",
+                C->Graph.dump(*C->Kernel, Names, *C->Forest,
+                              C->Clocks)
+                    .c_str());
+  if (DumpStep)
+    std::printf("step program:\n%s", C->Step.dump().c_str());
+
+  if (EmitC) {
+    CEmitOptions EO;
+    EO.Nested = Nested;
+    EO.WithDriver = WithDriver;
+    std::string CSource = emitC(*C->Kernel, C->Step, Names, ProcName, EO);
+    std::fputs(CSource.c_str(), stdout);
+  }
+
+  if (Simulate) {
+    RandomEnvironment Env(Seed);
+    StepExecutor Exec(*C->Kernel, C->Step);
+    Exec.run(Env, Simulate, ExecMode::Nested);
+    std::printf("simulation (%u instants, seed %llu):\n%s", Simulate,
+                static_cast<unsigned long long>(Seed),
+                formatEvents(Env.outputs()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===--- Environment.cpp --------------------------------------------------===//
+
+#include "interp/Environment.h"
+
+#include <cassert>
+
+using namespace sigc;
+
+Environment::~Environment() = default;
+
+void Environment::writeOutput(const std::string &SignalName, unsigned Instant,
+                              const Value &V) {
+  Outputs.push_back({Instant, SignalName, V});
+}
+
+std::string sigc::formatEvents(const std::vector<OutputEvent> &Events) {
+  std::string Out;
+  for (const OutputEvent &E : Events)
+    Out += std::to_string(E.Instant) + " " + E.Signal + "=" + E.Val.str() +
+           "\n";
+  return Out;
+}
+
+uint64_t RandomEnvironment::draw(const std::string &Name,
+                                 unsigned Instant) const {
+  // splitmix64 over a combination of the seed, the name hash and the
+  // instant: a pure function of its inputs, independent of query order.
+  uint64_t X = Seed ^ (std::hash<std::string>()(Name) * 0x9e3779b97f4a7c15ull)
+               ^ (static_cast<uint64_t>(Instant) * 0xbf58476d1ce4e5b9ull);
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+bool RandomEnvironment::clockTick(const std::string &ClockName,
+                                  unsigned Instant) {
+  return draw("tick:" + ClockName, Instant) % 1000 < TickPermille;
+}
+
+Value RandomEnvironment::inputValue(const std::string &SignalName,
+                                    TypeKind Type, unsigned Instant) {
+  uint64_t R = draw("val:" + SignalName, Instant);
+  switch (Type) {
+  case TypeKind::Boolean:
+    return Value::makeBool(R % 2 == 0);
+  case TypeKind::Event:
+    return Value::makeEvent();
+  case TypeKind::Integer: {
+    uint64_t Span = static_cast<uint64_t>(IntHi - IntLo + 1);
+    return Value::makeInt(IntLo + static_cast<int64_t>(R % Span));
+  }
+  case TypeKind::Real:
+    return Value::makeReal(static_cast<double>(R % 10000) / 100.0);
+  case TypeKind::Unknown:
+    break;
+  }
+  return Value::makeInt(0);
+}
+
+bool ScriptedEnvironment::clockTick(const std::string &ClockName,
+                                    unsigned Instant) {
+  auto It = Ticks.find({ClockName, Instant});
+  if (It != Ticks.end())
+    return It->second;
+  return AlwaysTick;
+}
+
+Value ScriptedEnvironment::inputValue(const std::string &SignalName,
+                                      TypeKind Type, unsigned Instant) {
+  auto It = Values.find({SignalName, Instant});
+  if (It != Values.end())
+    return It->second;
+  // Absent script entries default to neutral values; tests that care set
+  // every queried value explicitly.
+  switch (Type) {
+  case TypeKind::Boolean:
+    return Value::makeBool(false);
+  case TypeKind::Event:
+    return Value::makeEvent();
+  case TypeKind::Integer:
+    return Value::makeInt(0);
+  case TypeKind::Real:
+    return Value::makeReal(0.0);
+  case TypeKind::Unknown:
+    break;
+  }
+  return Value::makeInt(0);
+}

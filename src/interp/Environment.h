@@ -1,0 +1,125 @@
+//===--- Environment.h - Reactive environment interface ---------*- C++-*-===//
+///
+/// \file
+/// The execution environment of a compiled process. Per instant the
+/// runtime asks the environment for
+///   * the tick of every *free clock* exhibited by the clock calculus (the
+///     paper's point in Section 3.3: free variables are inputs the
+///     environment must provide),
+///   * the value of an input signal — queried only when the runtime has
+///     established the signal is present,
+/// and hands back the outputs produced in that instant.
+///
+/// Two ready-made environments cover testing and benchmarking:
+/// RandomEnvironment (deterministic PRNG) and ScriptedEnvironment (exact
+/// per-instant values). Both record outputs for comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_INTERP_ENVIRONMENT_H
+#define SIGNALC_INTERP_ENVIRONMENT_H
+
+#include "ast/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sigc {
+
+/// One recorded output occurrence.
+struct OutputEvent {
+  unsigned Instant = 0;
+  std::string Signal;
+  Value Val;
+
+  bool operator==(const OutputEvent &RHS) const {
+    return Instant == RHS.Instant && Signal == RHS.Signal && Val == RHS.Val;
+  }
+};
+
+/// Renders a sequence of output events, one per line (testing helper).
+std::string formatEvents(const std::vector<OutputEvent> &Events);
+
+/// Abstract environment; implementations decide presence and values.
+class Environment {
+public:
+  virtual ~Environment();
+
+  /// \returns true if free clock \p ClockName ticks at \p Instant.
+  virtual bool clockTick(const std::string &ClockName, unsigned Instant) = 0;
+
+  /// \returns the value of input \p SignalName at \p Instant; called only
+  /// when the signal is present.
+  virtual Value inputValue(const std::string &SignalName, TypeKind Type,
+                           unsigned Instant) = 0;
+
+  /// Receives output \p V of \p SignalName at \p Instant.
+  virtual void writeOutput(const std::string &SignalName, unsigned Instant,
+                           const Value &V);
+
+  const std::vector<OutputEvent> &outputs() const { return Outputs; }
+  void clearOutputs() { Outputs.clear(); }
+
+private:
+  std::vector<OutputEvent> Outputs;
+};
+
+/// Deterministic pseudo-random environment: every free clock ticks with
+/// probability TickPermille/1000, values are drawn uniformly.
+///
+/// Each answer is a pure function of (seed, name, instant) — *not* of the
+/// query order — so the fixpoint interpreter and the step executor, which
+/// interrogate the environment in different orders, observe the same
+/// trace. This is what makes differential testing sound.
+class RandomEnvironment : public Environment {
+public:
+  explicit RandomEnvironment(uint64_t Seed, unsigned TickPermille = 800)
+      : Seed(Seed), TickPermille(TickPermille) {}
+
+  bool clockTick(const std::string &ClockName, unsigned Instant) override;
+  Value inputValue(const std::string &SignalName, TypeKind Type,
+                   unsigned Instant) override;
+
+  void setIntRange(int64_t Lo, int64_t Hi) {
+    IntLo = Lo;
+    IntHi = Hi;
+  }
+
+private:
+  uint64_t draw(const std::string &Name, unsigned Instant) const;
+
+  uint64_t Seed;
+  unsigned TickPermille;
+  int64_t IntLo = 0, IntHi = 99;
+};
+
+/// Scripted environment: exact presence and values per instant.
+class ScriptedEnvironment : public Environment {
+public:
+  /// Makes \p ClockName tick at \p Instant.
+  void tick(const std::string &ClockName, unsigned Instant) {
+    Ticks[{ClockName, Instant}] = true;
+  }
+  /// Makes every queried clock tick at every instant below \p Limit.
+  void tickAlways(bool On = true) { AlwaysTick = On; }
+
+  /// Sets the value of \p SignalName at \p Instant.
+  void set(const std::string &SignalName, unsigned Instant, Value V) {
+    Values[{SignalName, Instant}] = V;
+  }
+
+  bool clockTick(const std::string &ClockName, unsigned Instant) override;
+  Value inputValue(const std::string &SignalName, TypeKind Type,
+                   unsigned Instant) override;
+
+private:
+  std::map<std::pair<std::string, unsigned>, bool> Ticks;
+  std::map<std::pair<std::string, unsigned>, Value> Values;
+  bool AlwaysTick = false;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_INTERP_ENVIRONMENT_H

@@ -1,0 +1,238 @@
+//===--- KernelInterp.cpp -------------------------------------------------===//
+
+#include "interp/KernelInterp.h"
+
+#include <cassert>
+
+using namespace sigc;
+
+KernelInterp::KernelInterp(const KernelProgram &Prog, const ClockSystem &Sys,
+                           ClockForest &Forest, const StringInterner &Names)
+    : Prog(Prog), Sys(Sys), Forest(Forest), Names(Names) {
+  NodeOrder = Forest.dfsOrder();
+  SignalNode.assign(Prog.numSignals(), -1);
+  for (SignalId S = 0; S < Prog.numSignals(); ++S)
+    SignalNode[S] = Forest.nodeOf(Sys.signalClock(S));
+  for (unsigned EqI = 0; EqI < Prog.Equations.size(); ++EqI)
+    if (Prog.Equations[EqI].Kind == KernelEqKind::Delay)
+      DelayEqIndex.push_back(static_cast<int>(EqI));
+  reset();
+}
+
+void KernelInterp::reset() {
+  DelayState.clear();
+  for (int EqI : DelayEqIndex)
+    DelayState.push_back(Prog.Equations[EqI].DelayInit);
+}
+
+bool KernelInterp::step(Environment &Env, unsigned Instant) {
+  unsigned MaxNode = Forest.numNodes();
+  ClockKnown.assign(MaxNode, 0);
+  ClockOn.assign(MaxNode, 0);
+  ValueKnown.assign(Prog.numSignals(), 0);
+  Present.assign(Prog.numSignals(), 0);
+  Values.assign(Prog.numSignals(), Value());
+
+  // Free roots tick per the environment; everything else starts unknown.
+  for (ForestNodeId N : NodeOrder) {
+    const ClockNode &Node = Forest.node(N);
+    if (Node.Def == ClockDefKind::Root) {
+      std::string Name = Sys.varName(Node.Rep, Prog, Names);
+      ClockKnown[N] = 1;
+      ClockOn[N] = Env.clockTick(Name, Instant) ? 1 : 0;
+    }
+  }
+
+  auto nodeKnown = [&](ForestNodeId N) {
+    return N == InvalidForestNode || ClockKnown[N];
+  };
+  auto nodeOn = [&](ForestNodeId N) {
+    return N != InvalidForestNode && ClockOn[N];
+  };
+
+  // Chaotic iteration until stable.
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+
+    // Clocks.
+    for (ForestNodeId N : NodeOrder) {
+      if (ClockKnown[N])
+        continue;
+      const ClockNode &Node = Forest.node(N);
+      switch (Node.Def) {
+      case ClockDefKind::Root:
+        break;
+      case ClockDefKind::Literal: {
+        // The literal's recipe reads its condition's clock, which may sit
+        // above the tree parent after reparenting.
+        ForestNodeId P = Forest.nodeOf(Sys.signalClock(Node.CondSignal));
+        if (P == InvalidForestNode || !ClockKnown[P])
+          break;
+        if (!ClockOn[P]) {
+          ClockKnown[N] = 1;
+          ClockOn[N] = 0;
+          Progress = true;
+          break;
+        }
+        if (!ValueKnown[Node.CondSignal])
+          break;
+        bool V = Values[Node.CondSignal].asBool();
+        ClockKnown[N] = 1;
+        ClockOn[N] = (V == Node.Positive) ? 1 : 0;
+        Progress = true;
+        break;
+      }
+      case ClockDefKind::Derived:
+      case ClockDefKind::Residual: {
+        ForestNodeId A = Forest.nodeOf(Node.OpA);
+        ForestNodeId B = Forest.nodeOf(Node.OpB);
+        if (!nodeKnown(A) || !nodeKnown(B))
+          break;
+        bool On = false;
+        switch (Node.Op) {
+        case ClockOp::Inter:
+          On = nodeOn(A) && nodeOn(B);
+          break;
+        case ClockOp::Union:
+          On = nodeOn(A) || nodeOn(B);
+          break;
+        case ClockOp::Diff:
+          On = nodeOn(A) && !nodeOn(B);
+          break;
+        }
+        ClockKnown[N] = 1;
+        ClockOn[N] = On ? 1 : 0;
+        Progress = true;
+        break;
+      }
+      }
+    }
+
+    // Signals.
+    for (SignalId S = 0; S < Prog.numSignals(); ++S) {
+      if (ValueKnown[S])
+        continue;
+      int N = SignalNode[S];
+      if (N == InvalidForestNode) {
+        // Null clock: never present.
+        ValueKnown[S] = 1;
+        Progress = true;
+        continue;
+      }
+      if (!ClockKnown[N])
+        continue;
+      if (!ClockOn[N]) {
+        ValueKnown[S] = 1;
+        Progress = true;
+        continue;
+      }
+      const KernelEq *Def = Prog.definition(S);
+      if (!Def) {
+        // Environment input (or free local).
+        std::string Name(Names.spelling(Prog.Signals[S].Name));
+        Values[S] = Env.inputValue(Name, Prog.Signals[S].Type, Instant);
+        Present[S] = 1;
+        ValueKnown[S] = 1;
+        Progress = true;
+        continue;
+      }
+      switch (Def->Kind) {
+      case KernelEqKind::Delay: {
+        // Which delay equation is this? Look up its index.
+        for (unsigned DI = 0; DI < DelayEqIndex.size(); ++DI) {
+          if (Prog.Equations[DelayEqIndex[DI]].Target == S) {
+            Values[S] = DelayState[DI];
+            break;
+          }
+        }
+        Present[S] = 1;
+        ValueKnown[S] = 1;
+        Progress = true;
+        break;
+      }
+      case KernelEqKind::Func: {
+        bool Ready = true;
+        for (SignalId Arg : Def->Args)
+          Ready &= ValueKnown[Arg] != 0;
+        if (!Ready)
+          break;
+        std::vector<Value> Args;
+        for (SignalId Arg : Def->Args)
+          Args.push_back(Values[Arg]);
+        Values[S] = evalFuncTree(*Def, Args);
+        Present[S] = 1;
+        ValueKnown[S] = 1;
+        Progress = true;
+        break;
+      }
+      case KernelEqKind::When: {
+        if (Def->WhenValue.isSignal()) {
+          if (!ValueKnown[Def->WhenValue.Sig])
+            break;
+          Values[S] = Values[Def->WhenValue.Sig];
+        } else {
+          Values[S] = Def->WhenValue.Const;
+        }
+        Present[S] = 1;
+        ValueKnown[S] = 1;
+        Progress = true;
+        break;
+      }
+      case KernelEqKind::Default: {
+        SignalId U = Def->DefaultPreferred;
+        SignalId V = Def->DefaultAlternative;
+        int UN = SignalNode[U];
+        bool UPresent = UN != InvalidForestNode && ClockKnown[UN] &&
+                        ClockOn[UN];
+        bool UKnownAbsent =
+            UN == InvalidForestNode || (ClockKnown[UN] && !ClockOn[UN]);
+        if (UPresent) {
+          if (!ValueKnown[U])
+            break;
+          Values[S] = Values[U];
+        } else if (UKnownAbsent) {
+          if (!ValueKnown[V])
+            break;
+          Values[S] = Values[V];
+        } else {
+          break; // U's presence not decided yet.
+        }
+        Present[S] = 1;
+        ValueKnown[S] = 1;
+        Progress = true;
+        break;
+      }
+      }
+    }
+  }
+
+  // Everything must have resolved.
+  for (ForestNodeId N : NodeOrder)
+    if (!ClockKnown[N])
+      return false;
+  for (SignalId S = 0; S < Prog.numSignals(); ++S)
+    if (!ValueKnown[S])
+      return false;
+
+  // Outputs.
+  for (SignalId S : Prog.outputs())
+    if (Present[S])
+      Env.writeOutput(std::string(Names.spelling(Prog.Signals[S].Name)),
+                      Instant, Values[S]);
+
+  // Advance delay memories.
+  for (unsigned DI = 0; DI < DelayEqIndex.size(); ++DI) {
+    const KernelEq &Eq = Prog.Equations[DelayEqIndex[DI]];
+    if (Present[Eq.Target])
+      DelayState[DI] = Values[Eq.DelaySource];
+  }
+  return true;
+}
+
+bool KernelInterp::run(Environment &Env, unsigned Count) {
+  for (unsigned I = 0; I < Count; ++I)
+    if (!step(Env, I))
+      return false;
+  return true;
+}

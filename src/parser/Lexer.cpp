@@ -1,0 +1,275 @@
+//===--- Lexer.cpp --------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+using namespace sigc;
+
+const char *sigc::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::RealLiteral:
+    return "real literal";
+  case TokenKind::KwProcess:
+    return "'process'";
+  case TokenKind::KwWhere:
+    return "'where'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwBoolean:
+    return "'boolean'";
+  case TokenKind::KwInteger:
+    return "'integer'";
+  case TokenKind::KwReal:
+    return "'real'";
+  case TokenKind::KwEvent:
+    return "'event'";
+  case TokenKind::KwWhen:
+    return "'when'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::KwCell:
+    return "'cell'";
+  case TokenKind::KwInit:
+    return "'init'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwXor:
+    return "'xor'";
+  case TokenKind::KwMod:
+    return "'mod'";
+  case TokenKind::KwSynchro:
+    return "'synchro'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LParenBar:
+    return "'(|'";
+  case TokenKind::BarRParen:
+    return "'|)'";
+  case TokenKind::Bar:
+    return "'|'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::ClockEq:
+    return "'^='";
+  case TokenKind::Dollar:
+    return "'$'";
+  case TokenKind::Eq:
+    return "'='";
+  case TokenKind::Ne:
+    return "'/='";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  }
+  return "<bad-token>";
+}
+
+Lexer::Lexer(std::string_view Text, SourceLoc BufferStart)
+    : Text(Text), Base(BufferStart.offset()) {}
+
+char Lexer::peek(size_t LookAhead) const {
+  size_t I = Pos + LookAhead;
+  return I < Text.size() ? Text[I] : '\0';
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    while (!atEnd() && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (!atEnd() && Text[Pos] == '%') {
+      while (!atEnd() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, size_t Begin) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = SourceLoc(Base + static_cast<uint32_t>(Begin));
+  T.Text = Text.substr(Begin, Pos - Begin);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  size_t Begin = Pos;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+                      Text[Pos] == '_'))
+    ++Pos;
+  std::string Lower(Text.substr(Begin, Pos - Begin));
+  for (char &C : Lower)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"process", TokenKind::KwProcess}, {"where", TokenKind::KwWhere},
+      {"end", TokenKind::KwEnd},         {"boolean", TokenKind::KwBoolean},
+      {"integer", TokenKind::KwInteger}, {"real", TokenKind::KwReal},
+      {"event", TokenKind::KwEvent},     {"when", TokenKind::KwWhen},
+      {"default", TokenKind::KwDefault}, {"cell", TokenKind::KwCell},
+      {"init", TokenKind::KwInit},       {"not", TokenKind::KwNot},
+      {"and", TokenKind::KwAnd},         {"or", TokenKind::KwOr},
+      {"xor", TokenKind::KwXor},         {"mod", TokenKind::KwMod},
+      {"synchro", TokenKind::KwSynchro}, {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  auto It = Keywords.find(Lower);
+  return makeToken(It != Keywords.end() ? It->second : TokenKind::Identifier,
+                   Begin);
+}
+
+Token Lexer::lexNumber() {
+  size_t Begin = Pos;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+    ++Pos;
+  bool IsReal = false;
+  // A '.' followed by a digit continues a real literal.
+  if (!atEnd() && Text[Pos] == '.' && Pos + 1 < Text.size() &&
+      std::isdigit(static_cast<unsigned char>(Text[Pos + 1]))) {
+    IsReal = true;
+    ++Pos;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+  if (!atEnd() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+    size_t Save = Pos;
+    ++Pos;
+    if (!atEnd() && (Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (!atEnd() && std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      IsReal = true;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    } else {
+      Pos = Save;
+    }
+  }
+  return makeToken(IsReal ? TokenKind::RealLiteral : TokenKind::IntLiteral,
+                   Begin);
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  if (atEnd())
+    return makeToken(TokenKind::Eof, Pos);
+
+  char C = Text[Pos];
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+
+  size_t Begin = Pos;
+  auto single = [&](TokenKind K) {
+    ++Pos;
+    return makeToken(K, Begin);
+  };
+  auto pair = [&](TokenKind K) {
+    Pos += 2;
+    return makeToken(K, Begin);
+  };
+
+  switch (C) {
+  case '(':
+    return peek(1) == '|' ? pair(TokenKind::LParenBar)
+                          : single(TokenKind::LParen);
+  case ')':
+    return single(TokenKind::RParen);
+  case '|':
+    return peek(1) == ')' ? pair(TokenKind::BarRParen)
+                          : single(TokenKind::Bar);
+  case '{':
+    return single(TokenKind::LBrace);
+  case '}':
+    return single(TokenKind::RBrace);
+  case ',':
+    return single(TokenKind::Comma);
+  case ';':
+    return single(TokenKind::Semi);
+  case '?':
+    return single(TokenKind::Question);
+  case '!':
+    return single(TokenKind::Bang);
+  case ':':
+    return peek(1) == '=' ? pair(TokenKind::Assign)
+                          : single(TokenKind::Error);
+  case '^':
+    return peek(1) == '=' ? pair(TokenKind::ClockEq)
+                          : single(TokenKind::Error);
+  case '$':
+    return single(TokenKind::Dollar);
+  case '=':
+    return single(TokenKind::Eq);
+  case '/':
+    return peek(1) == '=' ? pair(TokenKind::Ne) : single(TokenKind::Slash);
+  case '<':
+    return peek(1) == '=' ? pair(TokenKind::Le) : single(TokenKind::Lt);
+  case '>':
+    return peek(1) == '=' ? pair(TokenKind::Ge) : single(TokenKind::Gt);
+  case '+':
+    return single(TokenKind::Plus);
+  case '-':
+    return single(TokenKind::Minus);
+  case '*':
+    return single(TokenKind::Star);
+  default:
+    return single(TokenKind::Error);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = lex();
+    Tokens.push_back(T);
+    if (T.is(TokenKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,120 @@
+//===--- Lexer.h - SIGNAL lexical analysis ----------------------*- C++-*-===//
+///
+/// \file
+/// Tokenizer for the SIGNAL subset. Notable lexical points:
+///   * "(|" and "|)" open/close parallel composition; a bare "|" separates
+///     composed processes,
+///   * "%" starts a line comment (the paper's Figure 5 style),
+///   * ":=", "^=", "/=", "<=", ">=" are multi-character operators,
+///   * identifiers may contain "_"; keywords are reserved and
+///     case-insensitive (the paper's examples use upper-case signals and
+///     lower-case keywords).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_PARSER_LEXER_H
+#define SIGNALC_PARSER_LEXER_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sigc {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind {
+  Eof,
+  Error,
+  Identifier,
+  IntLiteral,
+  RealLiteral,
+  // Keywords.
+  KwProcess,
+  KwWhere,
+  KwEnd,
+  KwBoolean,
+  KwInteger,
+  KwReal,
+  KwEvent,
+  KwWhen,
+  KwDefault,
+  KwCell,
+  KwInit,
+  KwNot,
+  KwAnd,
+  KwOr,
+  KwXor,
+  KwMod,
+  KwSynchro,
+  KwTrue,
+  KwFalse,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LParenBar, ///< "(|"
+  BarRParen, ///< "|)"
+  Bar,       ///< "|"
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Question,
+  Bang,
+  Assign,  ///< ":="
+  ClockEq, ///< "^="
+  Dollar,
+  Eq,
+  Ne, ///< "/="
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+};
+
+/// \returns a human-readable description of \p K for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+/// One token: kind, source range, and its spelling.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Single-pass lexer over one buffer.
+class Lexer {
+public:
+  /// Lexes \p Text whose first byte lives at global offset \p BufferStart.
+  Lexer(std::string_view Text, SourceLoc BufferStart);
+
+  /// \returns the next token, advancing the cursor.
+  Token lex();
+
+  /// Lexes the entire input (testing helper).
+  std::vector<Token> lexAll();
+
+private:
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, size_t Begin);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+
+  char peek(size_t LookAhead = 0) const;
+  bool atEnd() const { return Pos >= Text.size(); }
+
+  std::string_view Text;
+  uint32_t Base;
+  size_t Pos = 0;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_PARSER_LEXER_H

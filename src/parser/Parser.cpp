@@ -1,0 +1,574 @@
+//===--- Parser.cpp -------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include <charconv>
+
+using namespace sigc;
+
+Parser::Parser(std::string_view Text, SourceLoc BufferStart, AstContext &Ctx,
+               DiagnosticEngine &Diags)
+    : Lex(Text, BufferStart), Ctx(Ctx), Diags(Diags) {
+  Tok = Lex.lex();
+}
+
+void Parser::advance() { Tok = Lex.lex(); }
+
+bool Parser::consumeIf(TokenKind K) {
+  if (!Tok.is(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (consumeIf(K))
+    return true;
+  Diags.error(Tok.Loc, std::string("expected ") + tokenKindName(K) + " " +
+                           Context + ", found " + tokenKindName(Tok.Kind));
+  return false;
+}
+
+Symbol Parser::internTok() { return Ctx.interner().intern(Tok.Text); }
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+Program *Parser::parseProgram() {
+  auto *Prog = Ctx.create<Program>();
+  while (!Tok.is(TokenKind::Eof)) {
+    ProcessDecl *D = parseProcessDecl();
+    if (!D)
+      return nullptr;
+    Prog->Processes.push_back(D);
+  }
+  if (Prog->Processes.empty()) {
+    Diags.error(Tok.Loc, "no process declaration found");
+    return nullptr;
+  }
+  return Prog;
+}
+
+ProcessDecl *Parser::parseProcessDecl() {
+  SourceLoc Loc = Tok.Loc;
+  if (!expect(TokenKind::KwProcess, "to start a declaration"))
+    return nullptr;
+  if (!Tok.is(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected process name");
+    return nullptr;
+  }
+  auto *D = Ctx.create<ProcessDecl>();
+  D->Name = internTok();
+  D->Loc = Loc;
+  advance();
+  if (!expect(TokenKind::Eq, "after process name"))
+    return nullptr;
+  if (!parseInterface(*D))
+    return nullptr;
+
+  D->Body = parseComposition();
+  if (!D->Body)
+    return nullptr;
+
+  if (consumeIf(TokenKind::KwWhere)) {
+    while (!Tok.is(TokenKind::KwEnd)) {
+      if (Tok.is(TokenKind::Eof)) {
+        Diags.error(Tok.Loc, "expected 'end' to close 'where' clause");
+        return nullptr;
+      }
+      if (!parseDeclGroup(*D, SignalDir::Local))
+        return nullptr;
+    }
+    advance(); // 'end'
+  }
+  consumeIf(TokenKind::Semi);
+  return D;
+}
+
+bool Parser::parseInterface(ProcessDecl &D) {
+  if (!expect(TokenKind::LParen, "to open the process interface"))
+    return false;
+  if (consumeIf(TokenKind::Question)) {
+    while (Tok.is(TokenKind::KwBoolean) || Tok.is(TokenKind::KwInteger) ||
+           Tok.is(TokenKind::KwReal) || Tok.is(TokenKind::KwEvent))
+      if (!parseDeclGroup(D, SignalDir::Input))
+        return false;
+  }
+  if (consumeIf(TokenKind::Bang)) {
+    while (Tok.is(TokenKind::KwBoolean) || Tok.is(TokenKind::KwInteger) ||
+           Tok.is(TokenKind::KwReal) || Tok.is(TokenKind::KwEvent))
+      if (!parseDeclGroup(D, SignalDir::Output))
+        return false;
+  }
+  return expect(TokenKind::RParen, "to close the process interface");
+}
+
+std::optional<TypeKind> Parser::parseType() {
+  TypeKind T;
+  switch (Tok.Kind) {
+  case TokenKind::KwBoolean:
+    T = TypeKind::Boolean;
+    break;
+  case TokenKind::KwInteger:
+    T = TypeKind::Integer;
+    break;
+  case TokenKind::KwReal:
+    T = TypeKind::Real;
+    break;
+  case TokenKind::KwEvent:
+    T = TypeKind::Event;
+    break;
+  default:
+    Diags.error(Tok.Loc, std::string("expected a type, found ") +
+                             tokenKindName(Tok.Kind));
+    return std::nullopt;
+  }
+  advance();
+  return T;
+}
+
+bool Parser::parseDeclGroup(ProcessDecl &D, SignalDir Dir) {
+  std::optional<TypeKind> T = parseType();
+  if (!T)
+    return false;
+  for (;;) {
+    if (!Tok.is(TokenKind::Identifier)) {
+      Diags.error(Tok.Loc, "expected signal name in declaration");
+      return false;
+    }
+    SignalDecl S;
+    S.Name = internTok();
+    S.Type = *T;
+    S.Dir = Dir;
+    S.Loc = Tok.Loc;
+    if (D.findSignal(S.Name)) {
+      Diags.error(Tok.Loc, "signal '" + std::string(Tok.Text) +
+                               "' declared twice");
+      return false;
+    }
+    D.Signals.push_back(S);
+    advance();
+    if (consumeIf(TokenKind::Comma))
+      continue;
+    return expect(TokenKind::Semi, "after signal declaration");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Processes
+//===----------------------------------------------------------------------===//
+
+Process *Parser::parseComposition() {
+  SourceLoc Loc = Tok.Loc;
+  if (!expect(TokenKind::LParenBar, "to open a composition"))
+    return nullptr;
+  std::vector<Process *> Children;
+  for (;;) {
+    Process *P = parseProcessItem();
+    if (!P)
+      return nullptr;
+    Children.push_back(P);
+    if (consumeIf(TokenKind::Bar))
+      continue;
+    if (!expect(TokenKind::BarRParen, "to close a composition"))
+      return nullptr;
+    return Ctx.create<CompositionProc>(std::move(Children), Loc);
+  }
+}
+
+Process *Parser::parseProcessItem() {
+  SourceLoc Loc = Tok.Loc;
+
+  // Nested composition.
+  if (Tok.is(TokenKind::LParenBar))
+    return parseComposition();
+
+  // synchro { e1, ..., en }
+  if (consumeIf(TokenKind::KwSynchro)) {
+    if (!expect(TokenKind::LBrace, "after 'synchro'"))
+      return nullptr;
+    std::vector<Expr *> Operands;
+    for (;;) {
+      Expr *E = parseExpr();
+      if (!E)
+        return nullptr;
+      Operands.push_back(E);
+      if (consumeIf(TokenKind::Comma))
+        continue;
+      if (!expect(TokenKind::RBrace, "to close 'synchro'"))
+        return nullptr;
+      break;
+    }
+    if (Operands.size() < 2) {
+      Diags.error(Loc, "'synchro' needs at least two operands");
+      return nullptr;
+    }
+    return Ctx.create<SynchroProc>(std::move(Operands), Loc);
+  }
+
+  // "X := E" needs two tokens of lookahead; the lexer is one-token, so
+  // peek by trial: an Identifier followed by ':=' is an equation, anything
+  // else falls through to the clock-equality production.
+  if (Tok.is(TokenKind::Identifier)) {
+    Symbol Target = internTok();
+    Token Save = Tok;
+    advance();
+    if (consumeIf(TokenKind::Assign)) {
+      Expr *RHS = parseExpr();
+      if (!RHS)
+        return nullptr;
+      return Ctx.create<EquationProc>(Target, RHS, Loc);
+    }
+    // Not an equation: re-interpret the identifier as the start of an
+    // expression for "E1 ^= E2". Build the NameExpr directly (the current
+    // token is already past it).
+    Expr *LHS = Ctx.create<NameExpr>(Target, Save.Loc);
+    // Continue parsing the rest of the expression after the identifier:
+    // only postfix/infix continuations are possible here. For simplicity,
+    // clock equality operands that are more complex than a name must be
+    // parenthesized.
+    if (!consumeIf(TokenKind::ClockEq)) {
+      Diags.error(Tok.Loc, "expected ':=' or '^=' after signal name");
+      return nullptr;
+    }
+    Expr *RHS = parseExpr();
+    if (!RHS)
+      return nullptr;
+    return Ctx.create<ClockEqProc>(LHS, RHS, Loc);
+  }
+
+  // General clock equality: expr ^= expr.
+  Expr *LHS = parseExpr();
+  if (!LHS)
+    return nullptr;
+  if (!expect(TokenKind::ClockEq, "in clock constraint"))
+    return nullptr;
+  Expr *RHS = parseExpr();
+  if (!RHS)
+    return nullptr;
+  return Ctx.create<ClockEqProc>(LHS, RHS, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() { return parseDefaultExpr(); }
+
+Expr *Parser::parseDefaultExpr() {
+  Expr *LHS = parseWhenExpr();
+  if (!LHS)
+    return nullptr;
+  while (Tok.is(TokenKind::KwDefault)) {
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    Expr *RHS = parseWhenExpr();
+    if (!RHS)
+      return nullptr;
+    LHS = Ctx.create<DefaultExpr>(LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseWhenExpr() {
+  // Unary "when C" at expression start.
+  if (Tok.is(TokenKind::KwWhen)) {
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    Expr *Cond = parseOrExpr();
+    if (!Cond)
+      return nullptr;
+    return Ctx.create<UnaryWhenExpr>(Cond, Loc);
+  }
+
+  Expr *LHS = parseOrExpr();
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    if (Tok.is(TokenKind::KwWhen)) {
+      SourceLoc Loc = Tok.Loc;
+      advance();
+      Expr *Cond = parseOrExpr();
+      if (!Cond)
+        return nullptr;
+      LHS = Ctx.create<WhenExpr>(LHS, Cond, Loc);
+      continue;
+    }
+    if (Tok.is(TokenKind::KwCell)) {
+      SourceLoc Loc = Tok.Loc;
+      advance();
+      Expr *Cond = parseOrExpr();
+      if (!Cond)
+        return nullptr;
+      if (!expect(TokenKind::KwInit, "in 'cell' expression"))
+        return nullptr;
+      std::optional<Value> Init = parseConstValue();
+      if (!Init)
+        return nullptr;
+      LHS = Ctx.create<CellExpr>(LHS, Cond, *Init, Loc);
+      continue;
+    }
+    return LHS;
+  }
+}
+
+Expr *Parser::parseOrExpr() {
+  Expr *LHS = parseAndExpr();
+  if (!LHS)
+    return nullptr;
+  while (Tok.is(TokenKind::KwOr) || Tok.is(TokenKind::KwXor)) {
+    BinaryOp Op = Tok.is(TokenKind::KwOr) ? BinaryOp::Or : BinaryOp::Xor;
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    Expr *RHS = parseAndExpr();
+    if (!RHS)
+      return nullptr;
+    LHS = Ctx.create<BinaryExpr>(Op, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseAndExpr() {
+  Expr *LHS = parseNotExpr();
+  if (!LHS)
+    return nullptr;
+  while (Tok.is(TokenKind::KwAnd)) {
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    Expr *RHS = parseNotExpr();
+    if (!RHS)
+      return nullptr;
+    LHS = Ctx.create<BinaryExpr>(BinaryOp::And, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseNotExpr() {
+  if (Tok.is(TokenKind::KwNot)) {
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    Expr *Operand = parseNotExpr();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(UnaryOp::Not, Operand, Loc);
+  }
+  return parseCmpExpr();
+}
+
+Expr *Parser::parseCmpExpr() {
+  Expr *LHS = parseAddExpr();
+  if (!LHS)
+    return nullptr;
+  BinaryOp Op;
+  switch (Tok.Kind) {
+  case TokenKind::Eq:
+    Op = BinaryOp::Eq;
+    break;
+  case TokenKind::Ne:
+    Op = BinaryOp::Ne;
+    break;
+  case TokenKind::Lt:
+    Op = BinaryOp::Lt;
+    break;
+  case TokenKind::Le:
+    Op = BinaryOp::Le;
+    break;
+  case TokenKind::Gt:
+    Op = BinaryOp::Gt;
+    break;
+  case TokenKind::Ge:
+    Op = BinaryOp::Ge;
+    break;
+  default:
+    return LHS;
+  }
+  SourceLoc Loc = Tok.Loc;
+  advance();
+  Expr *RHS = parseAddExpr();
+  if (!RHS)
+    return nullptr;
+  return Ctx.create<BinaryExpr>(Op, LHS, RHS, Loc);
+}
+
+Expr *Parser::parseAddExpr() {
+  Expr *LHS = parseMulExpr();
+  if (!LHS)
+    return nullptr;
+  while (Tok.is(TokenKind::Plus) || Tok.is(TokenKind::Minus)) {
+    BinaryOp Op = Tok.is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    Expr *RHS = parseMulExpr();
+    if (!RHS)
+      return nullptr;
+    LHS = Ctx.create<BinaryExpr>(Op, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseMulExpr() {
+  Expr *LHS = parseUnaryExpr();
+  if (!LHS)
+    return nullptr;
+  while (Tok.is(TokenKind::Star) || Tok.is(TokenKind::Slash) ||
+         Tok.is(TokenKind::KwMod)) {
+    BinaryOp Op = Tok.is(TokenKind::Star)    ? BinaryOp::Mul
+                  : Tok.is(TokenKind::Slash) ? BinaryOp::Div
+                                             : BinaryOp::Mod;
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    Expr *RHS = parseUnaryExpr();
+    if (!RHS)
+      return nullptr;
+    LHS = Ctx.create<BinaryExpr>(Op, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseUnaryExpr() {
+  if (Tok.is(TokenKind::Minus)) {
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    Expr *Operand = parseUnaryExpr();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(UnaryOp::Neg, Operand, Loc);
+  }
+  return parsePostfixExpr();
+}
+
+Expr *Parser::parsePostfixExpr() {
+  Expr *E = parsePrimaryExpr();
+  if (!E)
+    return nullptr;
+  while (Tok.is(TokenKind::Dollar)) {
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    unsigned Depth = 1;
+    if (Tok.is(TokenKind::IntLiteral)) {
+      unsigned Parsed = 0;
+      std::from_chars(Tok.Text.data(), Tok.Text.data() + Tok.Text.size(),
+                      Parsed);
+      Depth = Parsed;
+      advance();
+    }
+    if (Depth == 0) {
+      Diags.error(Loc, "delay depth must be at least 1");
+      return nullptr;
+    }
+    if (!expect(TokenKind::KwInit, "in delay expression"))
+      return nullptr;
+    std::optional<Value> Init = parseConstValue();
+    if (!Init)
+      return nullptr;
+    E = Ctx.create<DelayExpr>(E, Depth, *Init, Loc);
+  }
+  return E;
+}
+
+std::optional<Value> Parser::parseConstValue() {
+  bool Negate = consumeIf(TokenKind::Minus);
+  SourceLoc Loc = Tok.Loc;
+  Value V;
+  if (Tok.is(TokenKind::KwTrue)) {
+    V = Value::makeBool(true);
+  } else if (Tok.is(TokenKind::KwFalse)) {
+    V = Value::makeBool(false);
+  } else if (Tok.is(TokenKind::IntLiteral)) {
+    int64_t I = 0;
+    std::from_chars(Tok.Text.data(), Tok.Text.data() + Tok.Text.size(), I);
+    V = Value::makeInt(I);
+  } else if (Tok.is(TokenKind::RealLiteral)) {
+    V = Value::makeReal(std::stod(std::string(Tok.Text)));
+  } else {
+    Diags.error(Loc, std::string("expected a constant, found ") +
+                         tokenKindName(Tok.Kind));
+    return std::nullopt;
+  }
+  advance();
+  if (Negate) {
+    if (V.Kind == TypeKind::Integer)
+      V.Int = -V.Int;
+    else if (V.Kind == TypeKind::Real)
+      V.Real = -V.Real;
+    else {
+      Diags.error(Loc, "cannot negate a boolean constant");
+      return std::nullopt;
+    }
+  }
+  return V;
+}
+
+Expr *Parser::parsePrimaryExpr() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::Identifier: {
+    Symbol Name = internTok();
+    advance();
+    return Ctx.create<NameExpr>(Name, Loc);
+  }
+  case TokenKind::KwTrue:
+    advance();
+    return Ctx.create<ConstExpr>(Value::makeBool(true), Loc);
+  case TokenKind::KwFalse:
+    advance();
+    return Ctx.create<ConstExpr>(Value::makeBool(false), Loc);
+  case TokenKind::IntLiteral: {
+    int64_t I = 0;
+    std::from_chars(Tok.Text.data(), Tok.Text.data() + Tok.Text.size(), I);
+    advance();
+    return Ctx.create<ConstExpr>(Value::makeInt(I), Loc);
+  }
+  case TokenKind::RealLiteral: {
+    double R = std::stod(std::string(Tok.Text));
+    advance();
+    return Ctx.create<ConstExpr>(Value::makeReal(R), Loc);
+  }
+  case TokenKind::KwEvent: {
+    advance();
+    Expr *Operand = parsePrimaryExpr();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<EventExpr>(Operand, Loc);
+  }
+  case TokenKind::KwWhen: {
+    // Parenthesized sub-expressions may start a unary when again, e.g.
+    // "(when C)".
+    advance();
+    Expr *Cond = parseOrExpr();
+    if (!Cond)
+      return nullptr;
+    return Ctx.create<UnaryWhenExpr>(Cond, Loc);
+  }
+  case TokenKind::LParen: {
+    advance();
+    Expr *E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close a parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  default:
+    Diags.error(Loc, std::string("expected an expression, found ") +
+                         tokenKindName(Tok.Kind));
+    return nullptr;
+  }
+}
+
+Expr *Parser::parseStandaloneExpr() {
+  Expr *E = parseExpr();
+  if (E && !Tok.is(TokenKind::Eof))
+    Diags.error(Tok.Loc, std::string("unexpected ") + tokenKindName(Tok.Kind) +
+                             " after expression");
+  return E;
+}
+
+Process *Parser::parseStandaloneProcess() {
+  Process *P = parseComposition();
+  if (P && !Tok.is(TokenKind::Eof))
+    Diags.error(Tok.Loc, std::string("unexpected ") + tokenKindName(Tok.Kind) +
+                             " after process");
+  return P;
+}

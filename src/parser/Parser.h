@@ -1,0 +1,77 @@
+//===--- Parser.h - SIGNAL recursive-descent parser -------------*- C++-*-===//
+///
+/// \file
+/// Parses the SIGNAL subset into the AST of ast/Ast.h.
+///
+/// Expression precedence, loosest first (following the SIGNAL reference
+/// grammar): default < when/cell < or/xor < and < not < comparison <
+/// additive < multiplicative < unary minus < "$ init" < primary.
+/// "when C" at the start of an expression is the derived unary when.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_PARSER_PARSER_H
+#define SIGNALC_PARSER_PARSER_H
+
+#include "ast/Ast.h"
+#include "parser/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace sigc {
+
+/// Recursive-descent parser for one buffer.
+class Parser {
+public:
+  Parser(std::string_view Text, SourceLoc BufferStart, AstContext &Ctx,
+         DiagnosticEngine &Diags);
+
+  /// Parses a whole file of process declarations.
+  /// \returns nullptr after reporting diagnostics on failure.
+  Program *parseProgram();
+
+  /// Parses a single expression (testing entry point).
+  Expr *parseStandaloneExpr();
+
+  /// Parses a single process body "(| ... |)" (testing entry point).
+  Process *parseStandaloneProcess();
+
+private:
+  // Token plumbing.
+  const Token &tok() const { return Tok; }
+  void advance();
+  bool consumeIf(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  Symbol internTok();
+
+  // Grammar productions.
+  ProcessDecl *parseProcessDecl();
+  bool parseInterface(ProcessDecl &D);
+  bool parseDeclGroup(ProcessDecl &D, SignalDir Dir);
+  std::optional<TypeKind> parseType();
+  Process *parseProcessItem();
+  Process *parseComposition();
+  Expr *parseExpr();
+  Expr *parseDefaultExpr();
+  Expr *parseWhenExpr();
+  Expr *parseOrExpr();
+  Expr *parseAndExpr();
+  Expr *parseNotExpr();
+  Expr *parseCmpExpr();
+  Expr *parseAddExpr();
+  Expr *parseMulExpr();
+  Expr *parseUnaryExpr();
+  Expr *parsePostfixExpr();
+  Expr *parsePrimaryExpr();
+  std::optional<Value> parseConstValue();
+
+  Lexer Lex;
+  Token Tok;
+  AstContext &Ctx;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_PARSER_PARSER_H

@@ -1,0 +1,240 @@
+//===--- Programs.cpp -----------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+using namespace sigc;
+
+std::string sigc::alarmFigure5Source() {
+  return R"(% The paper's Figure 5: PROCESS_ALARM.
+% Sensors are sampled only when their value is necessary.
+process ALARM =
+  ( ? boolean BRAKE, STOP_OK, LIMIT_REACHED;
+    ! boolean ALARM; )
+  (| BRAKING_STATE := BRAKING_NEXT_STATE $ 1 init false   % memorize state
+   | BRAKING_NEXT_STATE :=
+       (true when BRAKE) default                           % enter braking
+       (false when STOP_OK) default                        % leave braking
+       BRAKING_STATE                                       % stay
+   | synchro {when BRAKING_STATE, STOP_OK, LIMIT_REACHED}  % braking samples
+   | synchro {when (not BRAKING_STATE), BRAKE}             % idle samples
+   | ALARM := LIMIT_REACHED and (not STOP_OK)
+  |)
+  where
+    boolean BRAKING_STATE, BRAKING_NEXT_STATE;
+  end;
+)";
+}
+
+namespace {
+
+/// Accumulates declarations and equations of one generated process.
+class SourceBuilder {
+public:
+  void input(const std::string &Type, const std::string &Name) {
+    Inputs += "    " + Type + " " + Name + ";\n";
+  }
+  void output(const std::string &Type, const std::string &Name) {
+    Outputs += "    " + Type + " " + Name + ";\n";
+  }
+  void local(const std::string &Type, const std::string &Name) {
+    Locals += "    " + Type + " " + Name + ";\n";
+  }
+  void eq(const std::string &Text) {
+    Body += Body.empty() ? "   " : "   | ";
+    Body += Text + "\n";
+  }
+
+  std::string finish(const std::string &Name) const {
+    std::string Out = "process " + Name + " =\n  ( ";
+    if (!Inputs.empty())
+      Out += "?\n" + Inputs;
+    if (!Outputs.empty())
+      Out += "  !\n" + Outputs;
+    Out += "  )\n  (|\n" + Body + "  |)\n";
+    if (!Locals.empty())
+      Out += "  where\n" + Locals + "  end";
+    Out += ";\n";
+    return Out;
+  }
+
+private:
+  std::string Inputs, Outputs, Locals, Body;
+};
+
+std::string num(unsigned I) { return std::to_string(I); }
+
+/// Divider chain: stage i halves the rate of stage i-1 and accumulates.
+/// Feeds CUR (the running signal name) forward; returns the final name.
+std::string emitDividerChain(SourceBuilder &B, const std::string &Prefix,
+                             std::string Cur, unsigned Stages) {
+  for (unsigned I = 1; I <= Stages; ++I) {
+    std::string C = Prefix + "C" + num(I);
+    std::string T = Prefix + "T" + num(I);
+    std::string Z = Prefix + "Z" + num(I);
+    std::string N = Prefix + "S" + num(I);
+    B.local("boolean", C);
+    B.local("integer", T);
+    B.local("integer", Z);
+    B.local("integer", N);
+    B.eq(C + " := (" + Cur + " mod 2) = 0");
+    B.eq(T + " := " + Cur + " when " + C);
+    B.eq(Z + " := " + N + " $ 1 init 0");
+    B.eq(N + " := " + T + " + " + Z);
+    Cur = N;
+  }
+  return Cur;
+}
+
+/// One Figure-5 alarm automaton over dedicated sensors; returns the alarm
+/// output signal name.
+std::string emitAlarmInstance(SourceBuilder &B, unsigned Index) {
+  std::string Sfx = num(Index);
+  std::string Brake = "BRAKE" + Sfx;
+  std::string StopOk = "STOP_OK" + Sfx;
+  std::string Limit = "LIMIT" + Sfx;
+  std::string State = "STATE" + Sfx;
+  std::string Next = "NEXT" + Sfx;
+  std::string Alarm = "AL" + Sfx;
+  B.input("boolean", Brake);
+  B.input("boolean", StopOk);
+  B.input("boolean", Limit);
+  B.local("boolean", State);
+  B.local("boolean", Next);
+  B.local("boolean", Alarm);
+  B.eq(State + " := " + Next + " $ 1 init false");
+  B.eq(Next + " := (true when " + Brake + ") default (false when " + StopOk +
+       ") default " + State);
+  B.eq("synchro {when " + State + ", " + StopOk + ", " + Limit + "}");
+  B.eq("synchro {when (not " + State + "), " + Brake + "}");
+  B.eq(Alarm + " := " + Limit + " and (not " + StopOk + ")");
+  return Alarm;
+}
+
+/// Sampling grid: two condition families over BASE's clock, crossed with
+/// "when". Returns the name of the merged result.
+std::string emitGrid(SourceBuilder &B, const std::string &Prefix,
+                     const std::string &Base, unsigned NA, unsigned NB) {
+  for (unsigned I = 1; I <= NA; ++I) {
+    std::string P = Prefix + "P" + num(I);
+    std::string S = Prefix + "A" + num(I);
+    B.local("boolean", P);
+    B.local("integer", S);
+    B.eq(P + " := (" + Base + " mod " + num(I + 1) + ") = 0");
+    B.eq(S + " := " + Base + " when " + P);
+  }
+  for (unsigned J = 1; J <= NB; ++J) {
+    std::string Q = Prefix + "Q" + num(J);
+    B.local("boolean", Q);
+    B.eq(Q + " := (" + Base + " mod " + num(J + 2) + ") = 1");
+  }
+  // Cross every sampled stream with every Q condition and merge.
+  std::string Merged;
+  for (unsigned I = 1; I <= NA; ++I) {
+    for (unsigned J = 1; J <= NB; ++J) {
+      std::string M = Prefix + "M" + num(I) + "_" + num(J);
+      B.local("integer", M);
+      B.eq(M + " := " + Prefix + "A" + num(I) + " when " + Prefix + "Q" +
+           num(J));
+      if (Merged.empty()) {
+        Merged = M;
+        continue;
+      }
+      std::string G = Prefix + "G" + num(I) + "_" + num(J);
+      B.local("integer", G);
+      B.eq(G + " := " + Merged + " default " + M);
+      Merged = G;
+    }
+  }
+  return Merged;
+}
+
+} // namespace
+
+std::string sigc::generateProgram(const std::string &Name,
+                                  const ProgramShape &Shape) {
+  SourceBuilder B;
+  B.input("integer", "IN");
+  B.output("integer", "OUT");
+
+  std::string Last = "IN";
+  if (Shape.DividerStages)
+    Last = emitDividerChain(B, "D", "IN", Shape.DividerStages);
+
+  std::string GridOut;
+  if (Shape.GridA && Shape.GridB)
+    GridOut = emitGrid(B, "G", "IN", Shape.GridA, Shape.GridB);
+
+  std::string AlarmOut;
+  for (unsigned I = 1; I <= Shape.AlarmInstances; ++I) {
+    std::string A = emitAlarmInstance(B, I);
+    if (AlarmOut.empty()) {
+      AlarmOut = A;
+      continue;
+    }
+    // Merge alarm streams; each automaton runs on its own free clock.
+    std::string M = "ALM" + num(I);
+    B.local("boolean", M);
+    B.eq(M + " := " + AlarmOut + " default " + A);
+    AlarmOut = M;
+  }
+
+  // Tie everything into OUT so nothing is dead.
+  std::string Expr = Last;
+  if (!GridOut.empty())
+    Expr = Expr + " default " + GridOut;
+  if (!AlarmOut.empty()) {
+    B.local("integer", "ALI");
+    B.eq("ALI := (1 when " + AlarmOut + ") default (0 when (not " + AlarmOut +
+         "))");
+    Expr = Expr + " default ALI";
+  }
+  B.eq("OUT := " + Expr);
+  return B.finish(Name);
+}
+
+std::vector<Figure13Program> sigc::figure13Suite() {
+  // Shapes tuned so the clock-variable count lands near the paper's
+  // figures (see tests/programs_test.cpp for the enforced tolerances).
+  std::vector<Figure13Program> Suite;
+
+  auto add = [&](const std::string &Name, unsigned PaperVars,
+                 uint64_t PaperNodes, double PaperSecs,
+                 const std::string &PaperChar, const std::string &PaperHyb,
+                 ProgramShape Shape) {
+    Figure13Program P;
+    P.Name = Name;
+    P.PaperVariables = PaperVars;
+    P.PaperTreeNodes = PaperNodes;
+    P.PaperTreeSeconds = PaperSecs;
+    P.PaperCharFunc = PaperChar;
+    P.PaperHybrid = PaperHyb;
+    P.Shape = Shape;
+    P.Source = generateProgram(Name, Shape);
+    Suite.push_back(std::move(P));
+  };
+
+  // Name, paper vars, paper T&BDD nodes/time, paper char-func, paper
+  // hybrid, our generator shape.
+  add("STOPWATCH", 1318, 61893, 27.07, "unable-cpu", "unable-cpu",
+      {/*DividerStages=*/132, /*AlarmInstances=*/8, /*GridA=*/10,
+       /*GridB=*/10});
+  add("WATCH", 785, 34753, 14.67, "unable-cpu", "unable-cpu",
+      {/*DividerStages=*/73, /*AlarmInstances=*/5, /*GridA=*/8,
+       /*GridB=*/8});
+  add("ALARM", 465, 3428, 2.19, "unable-mem", "unable-cpu",
+      {/*DividerStages=*/0, /*AlarmInstances=*/12, /*GridA=*/5,
+       /*GridB=*/5});
+  add("CHRONO", 282, 1548, 0.92, "unable-mem", "422975 nodes / 409.09s",
+      {/*DividerStages=*/35, /*AlarmInstances=*/1, /*GridA=*/3,
+       /*GridB=*/3});
+  add("SUPERVISOR", 202, 425, 0.45, "unable-cpu", "226472 nodes / 146.32s",
+      {/*DividerStages=*/14, /*AlarmInstances=*/3, /*GridA=*/2,
+       /*GridB=*/2});
+  add("PACE_MAKER", 96, 50, 0.10, "53610 nodes / 160.50s", "582 / 0.36s",
+      {/*DividerStages=*/16, /*AlarmInstances=*/0, /*GridA=*/0,
+       /*GridB=*/0});
+  add("ROBOT", 99, 36, 0.27, "unable-cpu", "415 / 0.31s",
+      {/*DividerStages=*/11, /*AlarmInstances=*/1, /*GridA=*/0,
+       /*GridB=*/0});
+  return Suite;
+}

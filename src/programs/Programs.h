@@ -1,0 +1,64 @@
+//===--- Programs.h - Figure-13 benchmark program suite ---------*- C++-*-===//
+///
+/// \file
+/// The seven SIGNAL programs of the paper's Figure 13, rebuilt as
+/// parameterized generators (the IRISA originals are not available; see
+/// DESIGN.md "Substitutions"). ALARM embeds the paper's Figure-5 process
+/// verbatim; the others are built from three realistic reactive motifs:
+///
+///   * divider chains — cascaded "sample every other occurrence" counters;
+///     they produce the deep partition hierarchies the tree representation
+///     is good at,
+///   * alarm instances — the Figure-5 two-state mode automaton,
+///   * sampling grids — two condition families over one clock crossed with
+///     "when", producing the wide clock-intersection lattices that make
+///     monolithic characteristic functions explode.
+///
+/// Generator sizes are tuned so each program's clock-variable count is
+/// within a few percent of the paper's "number of variables" column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_PROGRAMS_PROGRAMS_H
+#define SIGNALC_PROGRAMS_PROGRAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sigc {
+
+/// The paper's Figure-5 PROCESS_ALARM, in this compiler's syntax.
+std::string alarmFigure5Source();
+
+/// Knobs of the generic generator.
+struct ProgramShape {
+  unsigned DividerStages = 0; ///< Length of the divider chain.
+  unsigned AlarmInstances = 0;///< Figure-5 automata, merged with default.
+  unsigned GridA = 0;         ///< Sampling-grid first condition family.
+  unsigned GridB = 0;         ///< Sampling-grid second condition family.
+};
+
+/// Generates a complete process source with the given shape.
+std::string generateProgram(const std::string &Name,
+                            const ProgramShape &Shape);
+
+/// One row of the Figure-13 reproduction, with the paper's reported
+/// numbers attached for EXPERIMENTS.md.
+struct Figure13Program {
+  std::string Name;
+  unsigned PaperVariables; ///< Paper column "number of variables".
+  uint64_t PaperTreeNodes; ///< Paper column "T&BDD nodes".
+  double PaperTreeSeconds; ///< Paper column "T&BDD time".
+  std::string PaperCharFunc; ///< e.g. "unable-cpu" or "53610 / 160.50s".
+  std::string PaperHybrid;   ///< e.g. "unable-cpu" or "582 / 0.36s".
+  ProgramShape Shape;
+  std::string Source;
+};
+
+/// The seven programs, largest first (paper order).
+std::vector<Figure13Program> figure13Suite();
+
+} // namespace sigc
+
+#endif // SIGNALC_PROGRAMS_PROGRAMS_H

@@ -1,0 +1,189 @@
+//===--- Kernel.cpp - Kernel program helpers ------------------------------===//
+
+#include "sema/Kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace sigc;
+
+std::vector<SignalId> KernelProgram::inputs() const {
+  std::vector<SignalId> Result;
+  for (SignalId I = 0; I < Signals.size(); ++I)
+    if (Signals[I].Dir == SignalDir::Input)
+      Result.push_back(I);
+  return Result;
+}
+
+std::vector<SignalId> KernelProgram::outputs() const {
+  std::vector<SignalId> Result;
+  for (SignalId I = 0; I < Signals.size(); ++I)
+    if (Signals[I].Dir == SignalDir::Output)
+      Result.push_back(I);
+  return Result;
+}
+
+unsigned KernelProgram::countClockVariables() const {
+  unsigned Count = 0;
+  for (const KernelSignal &S : Signals) {
+    ++Count; // the clock variable x̂
+    if (S.Type == TypeKind::Boolean)
+      Count += 2; // the condition literals [C] and [¬C]
+  }
+  return Count;
+}
+
+namespace {
+
+std::string atomStr(const Atom &A, const KernelProgram &P,
+                    const StringInterner &Names) {
+  if (A.IsConst)
+    return A.Const.str();
+  return std::string(Names.spelling(P.Signals[A.Sig].Name));
+}
+
+std::string funcNodeStr(const KernelEq &Eq, int Node, const KernelProgram &P,
+                        const StringInterner &Names) {
+  const FuncNode &N = Eq.Nodes[Node];
+  switch (N.Kind) {
+  case FuncNode::Kind::Arg:
+    return std::string(Names.spelling(P.Signals[Eq.Args[N.ArgIndex]].Name));
+  case FuncNode::Kind::Const:
+    return N.Const.str();
+  case FuncNode::Kind::Unary:
+    return std::string("(") + unaryOpName(N.UOp) +
+           (N.UOp == UnaryOp::Not ? " " : "") +
+           funcNodeStr(Eq, N.Lhs, P, Names) + ")";
+  case FuncNode::Kind::Binary:
+    return "(" + funcNodeStr(Eq, N.Lhs, P, Names) + " " +
+           binaryOpName(N.BOp) + " " + funcNodeStr(Eq, N.Rhs, P, Names) + ")";
+  }
+  return "<bad>";
+}
+
+} // namespace
+
+std::string KernelProgram::dump(const StringInterner &Names) const {
+  std::string Out;
+  auto sigName = [&](SignalId Id) {
+    return std::string(Names.spelling(Signals[Id].Name));
+  };
+  for (const KernelEq &Eq : Equations) {
+    Out += "  " + sigName(Eq.Target) + " := ";
+    switch (Eq.Kind) {
+    case KernelEqKind::Func:
+      if (Eq.Nodes.empty())
+        Out += "<empty>";
+      else
+        Out += funcNodeStr(Eq, static_cast<int>(Eq.Nodes.size()) - 1, *this,
+                           Names);
+      break;
+    case KernelEqKind::Delay:
+      Out += sigName(Eq.DelaySource) + " $ 1 init " + Eq.DelayInit.str();
+      break;
+    case KernelEqKind::When:
+      Out += atomStr(Eq.WhenValue, *this, Names) + " when " +
+             (Eq.WhenPositive ? "" : "not ") + sigName(Eq.WhenCond);
+      break;
+    case KernelEqKind::Default:
+      Out += sigName(Eq.DefaultPreferred) + " default " +
+             sigName(Eq.DefaultAlternative);
+      break;
+    }
+    Out += "\n";
+  }
+  for (const ClockConstraint &C : Constraints)
+    Out += "  synchro {" + sigName(C.First) + ", " + sigName(C.Second) + "}\n";
+  return Out;
+}
+
+Value sigc::evalFuncTree(const KernelEq &Eq,
+                         const std::vector<Value> &ArgValues) {
+  assert(Eq.Kind == KernelEqKind::Func && !Eq.Nodes.empty());
+
+  // Evaluate bottom-up: children always precede parents in Nodes (the
+  // lowering emits them in post-order).
+  std::vector<Value> Results(Eq.Nodes.size());
+  for (unsigned I = 0; I < Eq.Nodes.size(); ++I) {
+    const FuncNode &N = Eq.Nodes[I];
+    switch (N.Kind) {
+    case FuncNode::Kind::Arg:
+      assert(N.ArgIndex < ArgValues.size());
+      Results[I] = ArgValues[N.ArgIndex];
+      break;
+    case FuncNode::Kind::Const:
+      Results[I] = N.Const;
+      break;
+    case FuncNode::Kind::Unary: {
+      const Value &V = Results[N.Lhs];
+      if (N.UOp == UnaryOp::Not)
+        Results[I] = Value::makeBool(!V.asBool());
+      else if (V.Kind == TypeKind::Integer)
+        Results[I] = Value::makeInt(-V.Int);
+      else
+        Results[I] = Value::makeReal(-V.asReal());
+      break;
+    }
+    case FuncNode::Kind::Binary: {
+      const Value &L = Results[N.Lhs];
+      const Value &R = Results[N.Rhs];
+      bool BothInt =
+          L.Kind == TypeKind::Integer && R.Kind == TypeKind::Integer;
+      switch (N.BOp) {
+      case BinaryOp::Add:
+        Results[I] = BothInt ? Value::makeInt(L.Int + R.Int)
+                             : Value::makeReal(L.asReal() + R.asReal());
+        break;
+      case BinaryOp::Sub:
+        Results[I] = BothInt ? Value::makeInt(L.Int - R.Int)
+                             : Value::makeReal(L.asReal() - R.asReal());
+        break;
+      case BinaryOp::Mul:
+        Results[I] = BothInt ? Value::makeInt(L.Int * R.Int)
+                             : Value::makeReal(L.asReal() * R.asReal());
+        break;
+      case BinaryOp::Div:
+        if (BothInt)
+          Results[I] = Value::makeInt(R.Int == 0 ? 0 : L.Int / R.Int);
+        else
+          Results[I] = Value::makeReal(
+              R.asReal() == 0.0 ? 0.0 : L.asReal() / R.asReal());
+        break;
+      case BinaryOp::Mod:
+        Results[I] = Value::makeInt(
+            R.Int == 0 ? 0 : ((L.Int % R.Int) + R.Int) % R.Int);
+        break;
+      case BinaryOp::And:
+        Results[I] = Value::makeBool(L.asBool() && R.asBool());
+        break;
+      case BinaryOp::Or:
+        Results[I] = Value::makeBool(L.asBool() || R.asBool());
+        break;
+      case BinaryOp::Xor:
+        Results[I] = Value::makeBool(L.asBool() != R.asBool());
+        break;
+      case BinaryOp::Eq:
+        Results[I] = Value::makeBool(L == R);
+        break;
+      case BinaryOp::Ne:
+        Results[I] = Value::makeBool(!(L == R));
+        break;
+      case BinaryOp::Lt:
+        Results[I] = Value::makeBool(L.asReal() < R.asReal());
+        break;
+      case BinaryOp::Le:
+        Results[I] = Value::makeBool(L.asReal() <= R.asReal());
+        break;
+      case BinaryOp::Gt:
+        Results[I] = Value::makeBool(L.asReal() > R.asReal());
+        break;
+      case BinaryOp::Ge:
+        Results[I] = Value::makeBool(L.asReal() >= R.asReal());
+        break;
+      }
+      break;
+    }
+    }
+  }
+  return Results.back();
+}

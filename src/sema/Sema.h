@@ -1,0 +1,77 @@
+//===--- Sema.h - Semantic analysis and kernel lowering ---------*- C++-*-===//
+///
+/// \file
+/// Two cooperating passes over a parsed ProcessDecl:
+///
+///   1. type checking / name resolution (Sema.cpp): every name must be
+///      declared, every signal defined at most once, inputs never defined,
+///      outputs always defined, operator typing rules enforced;
+///   2. lowering (Lowering.cpp): derived operators are rewritten into the
+///      kernel (Section 2.3 of the paper) and nested expressions are
+///      flattened into three-address kernel equations, introducing fresh
+///      signals named "t$<n>" (unspeakable in the surface syntax).
+///
+/// Derived-operator expansions implemented:
+///   event X          ==>  E := (X = X)
+///   when C           ==>  W := C when C
+///   X cell B init v  ==>  Z := Y $ 1 init v | Y := X default Z
+///                         | W := when B | T := X default W | synchro {Y,T}
+///   X $ n init v     ==>  chain of n unit delays
+///   synchro {E1..En} ==>  pairwise clock constraints
+///   E1 ^= E2         ==>  clock constraint
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_SEMA_SEMA_H
+#define SIGNALC_SEMA_SEMA_H
+
+#include "ast/Ast.h"
+#include "sema/Kernel.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace sigc {
+
+/// Runs type checking then kernel lowering on one process.
+class Sema {
+public:
+  Sema(AstContext &Ctx, DiagnosticEngine &Diags) : Ctx(Ctx), Diags(Diags) {}
+
+  /// Checks and lowers \p D.
+  /// \returns the kernel program, or std::nullopt after reporting errors.
+  std::optional<KernelProgram> analyze(const ProcessDecl &D);
+
+private:
+  // --- Type checking (Sema.cpp) ---
+  bool checkProcess(const ProcessDecl &D, const Process *P);
+  TypeKind checkExpr(const ProcessDecl &D, Expr *E);
+  bool typesCompatible(TypeKind Target, TypeKind Source) const;
+
+  // --- Lowering (Lowering.cpp) ---
+  struct LowerState;
+  bool lowerProcess(LowerState &LS, const Process *P);
+  bool lowerEquation(LowerState &LS, const EquationProc *E);
+  /// Flattens \p E into an atom, emitting equations for intermediates.
+  Atom lowerToAtom(LowerState &LS, const Expr *E);
+  /// Flattens \p E into a signal (wrapping constants is an error, reported).
+  SignalId lowerToSignal(LowerState &LS, const Expr *E);
+  /// Lowers \p E into (the definition of) signal \p Target.
+  bool lowerInto(LowerState &LS, SignalId Target, const Expr *E);
+  /// Builds a Func operator tree rooted at \p E into \p Eq; \returns the
+  /// node index or -1 on error.
+  int buildFuncTree(LowerState &LS, KernelEq &Eq, const Expr *E);
+
+  AstContext &Ctx;
+  DiagnosticEngine &Diags;
+
+  /// Per-analysis map from names to declared/inferred types.
+  std::unordered_map<Symbol, TypeKind> NameTypes;
+  /// Equation targets seen so far (single-assignment check).
+  std::unordered_map<Symbol, SourceLoc> Defined;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_SEMA_SEMA_H

@@ -1,0 +1,65 @@
+//===--- CharFunc.h - Characteristic-function construction ------*- C++-*-===//
+///
+/// \file
+/// Builds the characteristic function χ ⊆ {0,1}^n of a system of boolean
+/// clock equations: one BDD presence variable per clock variable, χ the
+/// conjunction of
+///   * h_a ⇔ h_b                for every equality,
+///   * h_k ⇔ h_a <op> h_b       for every equation,
+///   * (h_[C] ∨ h_[¬C] ⇔ h_ĉ) ∧ ¬(h_[C] ∧ h_[¬C])  for every condition.
+///
+/// This is the "very common representation in hardware verification" the
+/// paper benchmarks against. Construction is budget-bounded; the returned
+/// χ is invalid when the budget tripped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_SOLVER_CHARFUNC_H
+#define SIGNALC_SOLVER_CHARFUNC_H
+
+#include "bdd/Bdd.h"
+#include "clock/ClockSystem.h"
+
+#include <vector>
+
+namespace sigc {
+
+/// An abstract constraint feeding the characteristic function. Variables
+/// are dense indices chosen by the caller.
+struct CharConstraint {
+  enum class Kind {
+    Equal,     ///< v0 ⇔ v1
+    Equation,  ///< v0 ⇔ v1 <op> v2
+    Partition, ///< (v1 ∨ v2 ⇔ v0) ∧ ¬(v1 ∧ v2)   [v0=ĉ, v1=[C], v2=[¬C]]
+    ForceOff,  ///< ¬v0 (a clock proved empty)
+  };
+  Kind Kind = Kind::Equal;
+  ClockOp Op = ClockOp::Inter;
+  uint32_t V0 = 0, V1 = 0, V2 = 0;
+};
+
+/// Result of a characteristic-function build.
+struct CharFuncResult {
+  BddRef Chi;             ///< Invalid when the budget tripped.
+  uint64_t PeakNodes = 0; ///< Manager size after construction.
+  unsigned NumVars = 0;
+  unsigned DeterminedVars = 0; ///< Filled by analyzeCharFunc().
+};
+
+/// Conjoins all \p Constraints over \p NumVars variables into χ.
+CharFuncResult buildCharFunc(BddManager &Mgr, unsigned NumVars,
+                             const std::vector<CharConstraint> &Constraints);
+
+/// Runs the complete resolution step on χ: counts the variables whose value
+/// is functionally determined by the others (the explicit definitions the
+/// compiler is after). Polynomial in |χ| — the paper's point is that |χ|
+/// itself is the problem. \returns the count, or 0 if χ is invalid.
+unsigned analyzeCharFunc(BddManager &Mgr, BddRef Chi, unsigned NumVars);
+
+/// Translates a ClockSystem into constraints with variable ids equal to
+/// the system's ClockVarIds.
+std::vector<CharConstraint> systemConstraints(const ClockSystem &Sys);
+
+} // namespace sigc
+
+#endif // SIGNALC_SOLVER_CHARFUNC_H

@@ -1,0 +1,78 @@
+//===--- Solver.h - The three Figure-13 resolution strategies ---*- C++-*-===//
+///
+/// \file
+/// One interface over the three representations of the boolean equation
+/// system compared in the paper's experimental section (Figure 13):
+///
+///   TreeBdd   "Tree and BDD (T&BDD)" — the arborescent canonical form of
+///             Section 3.4 (ClockForest), the paper's contribution.
+///   CharFunc  "BDD characteristic function" — the whole system as a single
+///             BDD over one presence variable per clock variable; complete
+///             but (as the paper demonstrates) usually intractable.
+///   Hybrid    "BDD charac. func. after T&BDD" — characteristic function of
+///             the triangularized system, whose equivalent variables were
+///             eliminated by the tree pass first.
+///
+/// Every run is bounded by a sigc::Budget; exceeding it yields the paper's
+/// "unable-cpu" / "unable-mem" verdicts instead of results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_SOLVER_SOLVER_H
+#define SIGNALC_SOLVER_SOLVER_H
+
+#include "clock/ClockSystem.h"
+#include "forest/ClockForest.h"
+#include "support/Budget.h"
+
+#include <memory>
+#include <string>
+
+namespace sigc {
+
+/// Which representation a solver run used.
+enum class SolverKind {
+  TreeBdd,
+  CharFunc,
+  Hybrid,
+};
+
+/// \returns the Figure-13 column name of \p K.
+const char *solverKindName(SolverKind K);
+
+/// Outcome of one resolution run; mirrors one cell group of Figure 13.
+struct SolveResult {
+  SolverKind Kind = SolverKind::TreeBdd;
+  BudgetVerdict Verdict = BudgetVerdict::Ok;
+  bool TemporallyCorrect = true;
+  uint64_t BddNodes = 0; ///< The paper's "nodes" column.
+  uint64_t TimeMs = 0;   ///< The paper's "time" column.
+  unsigned NumVars = 0;  ///< Variables of the system presented to the run.
+  unsigned FreeClocks = 0;
+  unsigned DeterminedVars = 0; ///< CharFunc: variables functionally forced.
+  ForestBuildStats TreeStats;  ///< TreeBdd/Hybrid only.
+
+  bool ok() const { return Verdict == BudgetVerdict::Ok && TemporallyCorrect; }
+};
+
+/// Abstract resolution strategy.
+class ClockSolver {
+public:
+  virtual ~ClockSolver();
+
+  /// Solves the clock system of \p Prog under \p Limits.
+  /// Diagnostics are only produced for temporal errors.
+  virtual SolveResult solve(const ClockSystem &Sys, const KernelProgram &Prog,
+                            const StringInterner &Names,
+                            DiagnosticEngine &Diags,
+                            const Budget &Limits) = 0;
+
+  virtual SolverKind kind() const = 0;
+};
+
+/// Creates a solver for \p Kind.
+std::unique_ptr<ClockSolver> makeSolver(SolverKind Kind);
+
+} // namespace sigc
+
+#endif // SIGNALC_SOLVER_SOLVER_H

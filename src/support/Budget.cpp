@@ -1,0 +1,49 @@
+//===--- Budget.cpp -------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+using namespace sigc;
+
+const char *sigc::budgetVerdictName(BudgetVerdict V) {
+  switch (V) {
+  case BudgetVerdict::Ok:
+    return "ok";
+  case BudgetVerdict::UnableCpu:
+    return "unable-cpu";
+  case BudgetVerdict::UnableMem:
+    return "unable-mem";
+  }
+  return "unknown";
+}
+
+void Budget::start() {
+  Start = Clock::now();
+  Verdict = BudgetVerdict::Ok;
+}
+
+uint64_t Budget::elapsedMs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            Start)
+          .count());
+}
+
+bool Budget::checkTime() {
+  if (Verdict != BudgetVerdict::Ok)
+    return false;
+  if (TimeLimitMs != 0 && elapsedMs() > TimeLimitMs) {
+    Verdict = BudgetVerdict::UnableCpu;
+    return false;
+  }
+  return true;
+}
+
+bool Budget::checkNodes(uint64_t Nodes) {
+  if (Verdict != BudgetVerdict::Ok)
+    return false;
+  if (NodeLimit != 0 && Nodes > NodeLimit) {
+    Verdict = BudgetVerdict::UnableMem;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,61 @@
+//===--- Diagnostics.cpp --------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+using namespace sigc;
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  else if (Severity == DiagSeverity::Warning)
+    ++NumWarnings;
+  Diags.push_back({Severity, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  report(DiagSeverity::Error, Loc, std::move(Message));
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  report(DiagSeverity::Warning, Loc, std::move(Message));
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  report(DiagSeverity::Note, Loc, std::move(Message));
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (SM && D.Loc.isValid())
+      Out += SM->describe(D.Loc);
+    else
+      Out += "<signalc>";
+    Out += ": ";
+    Out += severityName(D.Severity);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  NumWarnings = 0;
+}

@@ -1,0 +1,78 @@
+//===--- Diagnostics.h - Diagnostic engine ----------------------*- C++-*-===//
+///
+/// \file
+/// Error reporting for the whole pipeline. The project does not use C++
+/// exceptions (per the coding standard); every phase reports problems through
+/// a DiagnosticEngine and callers test hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_SUPPORT_DIAGNOSTICS_H
+#define SIGNALC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace sigc {
+
+class SourceManager;
+
+/// Severity of a diagnostic message.
+enum class DiagSeverity {
+  Note,
+  Warning,
+  Error,
+};
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics emitted by all compiler phases.
+///
+/// Messages follow the LLVM style: start lowercase, no trailing period.
+class DiagnosticEngine {
+public:
+  DiagnosticEngine() = default;
+  explicit DiagnosticEngine(const SourceManager *SM) : SM(SM) {}
+
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  /// Convenience overloads for phase-level problems with no location.
+  void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
+  void warning(std::string Message) {
+    warning(SourceLoc(), std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic as "file:line:col: severity: message\n".
+  std::string render() const;
+
+  /// Drops all recorded diagnostics (used by tests and the REPL-style
+  /// examples).
+  void clear();
+
+private:
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  const SourceManager *SM = nullptr;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,52 @@
+//===--- SourceLoc.h - Source locations -------------------------*- C++-*-===//
+///
+/// \file
+/// Lightweight source locations and ranges used by the lexer, parser and
+/// diagnostics engine. A SourceLoc is a byte offset into a buffer managed by
+/// SourceManager; line/column rendering is resolved lazily.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_SUPPORT_SOURCELOC_H
+#define SIGNALC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace sigc {
+
+/// A position in a source buffer, encoded as a byte offset.
+/// Offset UINT32_MAX denotes an invalid/unknown location.
+class SourceLoc {
+public:
+  SourceLoc() = default;
+  explicit SourceLoc(uint32_t Offset) : Offset(Offset) {}
+
+  /// \returns true if this location points into a real buffer.
+  bool isValid() const { return Offset != Invalid; }
+
+  uint32_t offset() const { return Offset; }
+
+  bool operator==(const SourceLoc &RHS) const { return Offset == RHS.Offset; }
+  bool operator!=(const SourceLoc &RHS) const { return Offset != RHS.Offset; }
+  bool operator<(const SourceLoc &RHS) const { return Offset < RHS.Offset; }
+
+private:
+  static constexpr uint32_t Invalid = 0xFFFFFFFFu;
+  uint32_t Offset = Invalid;
+};
+
+/// A half-open range [Begin, End) of source text.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,76 @@
+//===--- SourceManager.cpp ------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <cassert>
+
+using namespace sigc;
+
+SourceLoc SourceManager::addBuffer(std::string Name, std::string Text) {
+  Buffer B;
+  B.Name = std::move(Name);
+  B.Text = std::move(Text);
+  B.Start = NextStart;
+  // +1 so that a location one-past-the-end of a buffer still resolves to it.
+  NextStart += static_cast<uint32_t>(B.Text.size()) + 1;
+  Buffers.push_back(std::move(B));
+  return SourceLoc(Buffers.back().Start);
+}
+
+const SourceManager::Buffer *SourceManager::findBuffer(SourceLoc Loc) const {
+  if (!Loc.isValid())
+    return nullptr;
+  // Buffers are sorted by Start; binary search for the enclosing one.
+  uint32_t Off = Loc.offset();
+  int Lo = 0, Hi = static_cast<int>(Buffers.size()) - 1;
+  while (Lo <= Hi) {
+    int Mid = (Lo + Hi) / 2;
+    const Buffer &B = Buffers[Mid];
+    uint32_t End = B.Start + static_cast<uint32_t>(B.Text.size());
+    if (Off < B.Start)
+      Hi = Mid - 1;
+    else if (Off > End)
+      Lo = Mid + 1;
+    else
+      return &B;
+  }
+  return nullptr;
+}
+
+std::string_view SourceManager::bufferText(SourceLoc Loc) const {
+  const Buffer *B = findBuffer(Loc);
+  assert(B && "location does not belong to any buffer");
+  return B->Text;
+}
+
+std::string_view SourceManager::bufferName(SourceLoc Loc) const {
+  const Buffer *B = findBuffer(Loc);
+  assert(B && "location does not belong to any buffer");
+  return B->Name;
+}
+
+LineColumn SourceManager::lineColumn(SourceLoc Loc) const {
+  const Buffer *B = findBuffer(Loc);
+  if (!B)
+    return {};
+  uint32_t Rel = Loc.offset() - B->Start;
+  LineColumn LC{1, 1};
+  for (uint32_t I = 0; I < Rel && I < B->Text.size(); ++I) {
+    if (B->Text[I] == '\n') {
+      ++LC.Line;
+      LC.Column = 1;
+    } else {
+      ++LC.Column;
+    }
+  }
+  return LC;
+}
+
+std::string SourceManager::describe(SourceLoc Loc) const {
+  const Buffer *B = findBuffer(Loc);
+  if (!B)
+    return "<unknown>";
+  LineColumn LC = lineColumn(Loc);
+  return B->Name + ":" + std::to_string(LC.Line) + ":" +
+         std::to_string(LC.Column);
+}

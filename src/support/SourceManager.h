@@ -1,0 +1,67 @@
+//===--- SourceManager.h - Source buffer ownership --------------*- C++-*-===//
+///
+/// \file
+/// Owns source buffers and maps SourceLoc offsets back to
+/// (file, line, column) triples for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_SUPPORT_SOURCEMANAGER_H
+#define SIGNALC_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sigc {
+
+/// A (line, column) pair, both 1-based.
+struct LineColumn {
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// Owns the text of every source buffer fed to the compiler and resolves
+/// byte offsets into human-readable positions.
+///
+/// Buffers are laid out in one virtual address space: buffer N starts where
+/// buffer N-1 ended, so a plain SourceLoc identifies both the buffer and the
+/// position inside it.
+class SourceManager {
+public:
+  /// Registers \p Text under \p Name. \returns the location of its first
+  /// byte.
+  SourceLoc addBuffer(std::string Name, std::string Text);
+
+  /// \returns the full text of the buffer containing \p Loc.
+  std::string_view bufferText(SourceLoc Loc) const;
+
+  /// \returns the name under which the buffer containing \p Loc was added.
+  std::string_view bufferName(SourceLoc Loc) const;
+
+  /// Resolves \p Loc to a 1-based line/column inside its buffer.
+  LineColumn lineColumn(SourceLoc Loc) const;
+
+  /// Renders \p Loc as "name:line:col" (or "<unknown>").
+  std::string describe(SourceLoc Loc) const;
+
+  unsigned numBuffers() const { return static_cast<unsigned>(Buffers.size()); }
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Text;
+    uint32_t Start = 0; ///< Global offset of the first byte.
+  };
+
+  const Buffer *findBuffer(SourceLoc Loc) const;
+
+  std::vector<Buffer> Buffers;
+  uint32_t NextStart = 0;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,28 @@
+//===--- StringInterner.cpp -----------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace sigc;
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return Symbol(It->second);
+  uint32_t Id = static_cast<uint32_t>(Spellings.size());
+  Spellings.emplace_back(Text);
+  Index.emplace(std::string_view(Spellings.back()), Id);
+  return Symbol(Id);
+}
+
+std::string_view StringInterner::spelling(Symbol Sym) const {
+  if (!Sym.isValid() || Sym.id() >= Spellings.size())
+    return {};
+  return Spellings[Sym.id()];
+}
+
+Symbol StringInterner::lookup(std::string_view Text) const {
+  auto It = Index.find(Text);
+  if (It == Index.end())
+    return Symbol();
+  return Symbol(It->second);
+}

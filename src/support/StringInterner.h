@@ -1,0 +1,70 @@
+//===--- StringInterner.h - Interned identifiers ----------------*- C++-*-===//
+///
+/// \file
+/// Interns identifier spellings so the rest of the compiler can compare
+/// names as small integers (Symbol).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_SUPPORT_STRINGINTERNER_H
+#define SIGNALC_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sigc {
+
+/// An interned identifier. Value 0 is reserved as the invalid symbol.
+class Symbol {
+public:
+  Symbol() = default;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != 0; }
+  uint32_t id() const { return Id; }
+
+  bool operator==(const Symbol &RHS) const { return Id == RHS.Id; }
+  bool operator!=(const Symbol &RHS) const { return Id != RHS.Id; }
+  bool operator<(const Symbol &RHS) const { return Id < RHS.Id; }
+
+private:
+  uint32_t Id = 0;
+};
+
+/// Bidirectional map between identifier text and Symbol.
+class StringInterner {
+public:
+  StringInterner() { Spellings.emplace_back(); } // slot 0 = invalid
+
+  /// Interns \p Text, returning the same Symbol for equal spellings.
+  Symbol intern(std::string_view Text);
+
+  /// \returns the spelling of \p Sym; empty for the invalid symbol.
+  std::string_view spelling(Symbol Sym) const;
+
+  /// \returns the Symbol for \p Text if already interned, invalid otherwise.
+  Symbol lookup(std::string_view Text) const;
+
+  unsigned size() const { return static_cast<unsigned>(Spellings.size()) - 1; }
+
+private:
+  // Deque: element addresses are stable, so the string_view keys in Index
+  // (which point into the stored strings) never dangle.
+  std::deque<std::string> Spellings;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace sigc
+
+namespace std {
+template <> struct hash<sigc::Symbol> {
+  size_t operator()(const sigc::Symbol &S) const noexcept {
+    return std::hash<uint32_t>()(S.id());
+  }
+};
+} // namespace std
+
+#endif // SIGNALC_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,46 @@
+//===--- TestUtil.h - Shared test helpers -----------------------*- C++-*-===//
+
+#ifndef SIGNALC_TESTS_TESTUTIL_H
+#define SIGNALC_TESTS_TESTUTIL_H
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace sigc::test {
+
+/// Compiles \p Source and expects success; failures print diagnostics.
+inline std::unique_ptr<Compilation> compileOk(const std::string &Source) {
+  auto C = compileSource("<test>", Source);
+  EXPECT_TRUE(C->Ok) << "stage: " << C->FailedStage << "\n"
+                     << C->Diags.render();
+  return C;
+}
+
+/// Compiles \p Source and expects failure in \p Stage.
+inline std::unique_ptr<Compilation> compileErr(const std::string &Source,
+                                               const std::string &Stage) {
+  auto C = compileSource("<test>", Source);
+  EXPECT_FALSE(C->Ok);
+  EXPECT_EQ(C->FailedStage, Stage) << C->Diags.render();
+  return C;
+}
+
+/// Wraps a body and locals into a one-process source with the given
+/// interface lines, for compact test programs.
+inline std::string proc(const std::string &Interface, const std::string &Body,
+                        const std::string &Locals = "") {
+  std::string Out = "process P =\n  ( " + Interface + " )\n  (|\n" + Body +
+                    "\n  |)\n";
+  if (!Locals.empty())
+    Out += "  where " + Locals + " end";
+  Out += ";\n";
+  return Out;
+}
+
+} // namespace sigc::test
+
+#endif // SIGNALC_TESTS_TESTUTIL_H

@@ -1,0 +1,359 @@
+//===--- bdd_test.cpp - ROBDD package unit & property tests ---------------===//
+
+#include "bdd/Bdd.h"
+#include "bdd/BddDot.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace sigc;
+
+namespace {
+
+class BddTest : public ::testing::Test {
+protected:
+  BddManager M;
+};
+
+} // namespace
+
+TEST_F(BddTest, TerminalIdentities) {
+  EXPECT_TRUE(M.top().isTrue());
+  EXPECT_TRUE(M.bottom().isFalse());
+  EXPECT_NE(M.top(), M.bottom());
+}
+
+TEST_F(BddTest, VarAndComplement) {
+  BddRef X = M.var(0);
+  BddRef NX = M.nvar(0);
+  EXPECT_EQ(M.apply_not(X), NX);
+  EXPECT_EQ(M.apply_not(NX), X);
+}
+
+TEST_F(BddTest, CanonicalSharing) {
+  // Same function built two ways must be the same node.
+  BddRef A = M.var(0), B = M.var(1);
+  BddRef F1 = M.apply_or(A, B);
+  BddRef F2 = M.apply_not(M.apply_and(M.apply_not(A), M.apply_not(B)));
+  EXPECT_EQ(F1, F2) << "De Morgan failed canonicity";
+}
+
+TEST_F(BddTest, AndIdentities) {
+  BddRef A = M.var(0);
+  EXPECT_EQ(M.apply_and(A, M.top()), A);
+  EXPECT_EQ(M.apply_and(A, M.bottom()), M.bottom());
+  EXPECT_EQ(M.apply_and(A, A), A);
+  EXPECT_EQ(M.apply_and(A, M.apply_not(A)), M.bottom());
+}
+
+TEST_F(BddTest, OrIdentities) {
+  BddRef A = M.var(0);
+  EXPECT_EQ(M.apply_or(A, M.bottom()), A);
+  EXPECT_EQ(M.apply_or(A, M.top()), M.top());
+  EXPECT_EQ(M.apply_or(A, A), A);
+  EXPECT_EQ(M.apply_or(A, M.apply_not(A)), M.top());
+}
+
+TEST_F(BddTest, DiffSemantics) {
+  BddRef A = M.var(0), B = M.var(1);
+  BddRef D = M.apply_diff(A, B);
+  // A\B == A ∧ ¬B
+  EXPECT_EQ(D, M.apply_and(A, M.apply_not(B)));
+  EXPECT_EQ(M.apply_diff(A, A), M.bottom());
+  EXPECT_EQ(M.apply_diff(A, M.bottom()), A);
+}
+
+TEST_F(BddTest, XorIffDuality) {
+  BddRef A = M.var(0), B = M.var(1);
+  EXPECT_EQ(M.apply_xor(A, B), M.apply_not(M.apply_iff(A, B)));
+  EXPECT_EQ(M.apply_xor(A, A), M.bottom());
+  EXPECT_EQ(M.apply_iff(A, A), M.top());
+}
+
+TEST_F(BddTest, ImpliesIsInclusion) {
+  BddRef A = M.var(0), B = M.var(1);
+  BddRef AB = M.apply_and(A, B);
+  EXPECT_TRUE(M.implies(AB, A));
+  EXPECT_TRUE(M.implies(AB, B));
+  EXPECT_FALSE(M.implies(A, AB));
+  EXPECT_TRUE(M.implies(M.bottom(), A));
+  EXPECT_TRUE(M.implies(A, M.top()));
+}
+
+TEST_F(BddTest, IteBasis) {
+  BddRef A = M.var(0), B = M.var(1), C = M.var(2);
+  BddRef F = M.ite(A, B, C);
+  // Shannon expansion check against evaluation.
+  for (int Bits = 0; Bits < 8; ++Bits) {
+    std::vector<bool> Env{(Bits & 1) != 0, (Bits & 2) != 0, (Bits & 4) != 0};
+    bool Expect = Env[0] ? Env[1] : Env[2];
+    EXPECT_EQ(M.evaluate(F, Env), Expect);
+  }
+}
+
+TEST_F(BddTest, RestrictCofactors) {
+  BddRef A = M.var(0), B = M.var(1);
+  BddRef F = M.apply_and(A, B);
+  EXPECT_EQ(M.restrict(F, 0, true), B);
+  EXPECT_EQ(M.restrict(F, 0, false), M.bottom());
+  // Restricting an absent variable is the identity.
+  EXPECT_EQ(M.restrict(F, 7, true), F);
+}
+
+TEST_F(BddTest, ExistsForall) {
+  BddRef A = M.var(0), B = M.var(1);
+  BddRef F = M.apply_and(A, B);
+  EXPECT_EQ(M.exists(F, 0), B);
+  EXPECT_EQ(M.forall(F, 0), M.bottom());
+  BddRef G = M.apply_or(A, B);
+  EXPECT_EQ(M.exists(G, 0), M.top());
+  EXPECT_EQ(M.forall(G, 0), B);
+}
+
+TEST_F(BddTest, ExistsMany) {
+  BddRef F = M.apply_and(M.var(0), M.apply_and(M.var(1), M.var(2)));
+  EXPECT_EQ(M.existsMany(F, {0, 1, 2}), M.top());
+  EXPECT_EQ(M.existsMany(F, {0, 1}), M.var(2));
+}
+
+TEST_F(BddTest, ComposeSubstitutes) {
+  BddRef A = M.var(0), B = M.var(1), C = M.var(2);
+  BddRef F = M.apply_or(A, B);
+  // F[B := A∧C] = A ∨ (A∧C) = A... no: A ∨ (A∧C) simplifies to A.
+  BddRef G = M.compose(F, 1, M.apply_and(A, C));
+  EXPECT_EQ(G, A);
+  // F[A := C] = C ∨ B.
+  EXPECT_EQ(M.compose(F, 0, C), M.apply_or(C, B));
+}
+
+TEST_F(BddTest, SupportIsSorted) {
+  BddRef F = M.apply_and(M.var(3), M.apply_or(M.var(1), M.var(5)));
+  std::vector<BddVar> S = M.support(F);
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[0], 1u);
+  EXPECT_EQ(S[1], 3u);
+  EXPECT_EQ(S[2], 5u);
+}
+
+TEST_F(BddTest, SatCount) {
+  BddRef A = M.var(0), B = M.var(1);
+  EXPECT_DOUBLE_EQ(M.satCount(M.apply_and(A, B), 2), 1.0);
+  EXPECT_DOUBLE_EQ(M.satCount(M.apply_or(A, B), 2), 3.0);
+  EXPECT_DOUBLE_EQ(M.satCount(M.top(), 2), 4.0);
+  EXPECT_DOUBLE_EQ(M.satCount(M.bottom(), 2), 0.0);
+  EXPECT_DOUBLE_EQ(M.satCount(M.apply_xor(A, B), 5), 16.0);
+}
+
+TEST_F(BddTest, AnySatFindsWitness) {
+  BddRef F = M.apply_and(M.var(0), M.apply_not(M.var(2)));
+  auto Path = M.anySat(F);
+  std::vector<bool> Env(3, false);
+  for (auto &[Var, Val] : Path)
+    Env[Var] = Val;
+  EXPECT_TRUE(M.evaluate(F, Env));
+}
+
+TEST_F(BddTest, CountNodes) {
+  BddRef A = M.var(0), B = M.var(1);
+  EXPECT_EQ(M.countNodes(M.top()), 0u);
+  EXPECT_EQ(M.countNodes(A), 1u);
+  BddRef F = M.apply_and(A, B);
+  EXPECT_EQ(M.countNodes(F), 2u);
+  // Shared counting does not double count.
+  EXPECT_EQ(M.countNodesMany({F, A}), 3u); // F's two nodes + A's own node.
+}
+
+TEST_F(BddTest, CountNodesSharedSubgraph) {
+  BddRef A = M.var(0), B = M.var(1);
+  BddRef F = M.apply_and(A, B);
+  // B's projection node is exactly the inner node of F, so the union is 2.
+  EXPECT_EQ(M.countNodesMany({F, M.var(1)}), 2u);
+}
+
+TEST_F(BddTest, NodeBudgetYieldsInvalid) {
+  Budget Bud(0, 16);
+  M.setBudget(&Bud);
+  // Build a function that needs far more than 16 nodes.
+  BddRef F = M.top();
+  for (BddVar V = 0; V < 32; ++V) {
+    F = M.apply_and(F, M.apply_xor(M.var(2 * V), M.var(2 * V + 1)));
+    if (!F.isValid())
+      break;
+  }
+  EXPECT_FALSE(F.isValid());
+  EXPECT_EQ(Bud.verdict(), BudgetVerdict::UnableMem);
+}
+
+TEST_F(BddTest, InvalidPropagates) {
+  EXPECT_FALSE(M.apply_and(BddRef::invalid(), M.top()).isValid());
+  EXPECT_FALSE(M.ite(M.top(), BddRef::invalid(), M.top()).isValid());
+  EXPECT_FALSE(M.restrict(BddRef::invalid(), 0, true).isValid());
+}
+
+TEST_F(BddTest, DotExportMentionsNodes) {
+  BddRef F = M.apply_and(M.var(0), M.var(1));
+  std::string Dot = bddToDot(M, {F});
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("x0"), std::string::npos);
+  EXPECT_NE(Dot.find("x1"), std::string::npos);
+}
+
+TEST_F(BddTest, DotCustomNames) {
+  BddRef F = M.var(0);
+  std::string Dot =
+      bddToDot(M, {F}, [](BddVar) { return std::string("COND"); });
+  EXPECT_NE(Dot.find("COND"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: random formula pairs, BDD equality ⇔ semantic equality.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A tiny random boolean formula evaluator + BDD builder.
+struct Formula {
+  // Encoded as a postfix program over N variables.
+  enum OpCode { PushVar, Not, And, Or, Xor };
+  struct Op {
+    OpCode Code;
+    unsigned Var = 0;
+  };
+  std::vector<Op> Code;
+
+  static Formula random(std::mt19937 &Rng, unsigned NumVars, unsigned Size) {
+    Formula F;
+    unsigned Depth = 0;
+    while (F.Code.size() < Size || Depth < 1) {
+      unsigned Choice = Rng() % 5;
+      if (Depth == 0 || Choice == 0) {
+        F.Code.push_back({PushVar, static_cast<unsigned>(Rng() % NumVars)});
+        ++Depth;
+      } else if (Choice == 1) {
+        F.Code.push_back({Not});
+      } else if (Depth >= 2) {
+        F.Code.push_back({static_cast<OpCode>(2 + Rng() % 3)});
+        --Depth;
+      } else {
+        F.Code.push_back({PushVar, static_cast<unsigned>(Rng() % NumVars)});
+        ++Depth;
+      }
+      if (F.Code.size() > 4 * Size)
+        break;
+    }
+    return F;
+  }
+
+  bool eval(const std::vector<bool> &Env) const {
+    std::vector<bool> Stack;
+    for (const Op &O : Code) {
+      switch (O.Code) {
+      case PushVar:
+        Stack.push_back(Env[O.Var]);
+        break;
+      case Not:
+        Stack.back() = !Stack.back();
+        break;
+      case And:
+      case Or:
+      case Xor: {
+        bool B = Stack.back();
+        Stack.pop_back();
+        bool A = Stack.back();
+        Stack.back() = O.Code == And ? (A && B) : O.Code == Or ? (A || B)
+                                                               : (A != B);
+        break;
+      }
+      }
+    }
+    bool R = Stack.back();
+    return R;
+  }
+
+  BddRef build(BddManager &M) const {
+    std::vector<BddRef> Stack;
+    for (const Op &O : Code) {
+      switch (O.Code) {
+      case PushVar:
+        Stack.push_back(M.var(O.Var));
+        break;
+      case Not:
+        Stack.back() = M.apply_not(Stack.back());
+        break;
+      case And:
+      case Or:
+      case Xor: {
+        BddRef B = Stack.back();
+        Stack.pop_back();
+        BddRef A = Stack.back();
+        Stack.back() = O.Code == And ? M.apply_and(A, B)
+                       : O.Code == Or ? M.apply_or(A, B)
+                                      : M.apply_xor(A, B);
+        break;
+      }
+      }
+    }
+    return Stack.back();
+  }
+};
+
+class BddPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(BddPropertyTest, BddMatchesTruthTable) {
+  std::mt19937 Rng(GetParam());
+  BddManager M;
+  constexpr unsigned NumVars = 5;
+  Formula F = Formula::random(Rng, NumVars, 12);
+  BddRef B = F.build(M);
+  for (unsigned Bits = 0; Bits < (1u << NumVars); ++Bits) {
+    std::vector<bool> Env;
+    for (unsigned V = 0; V < NumVars; ++V)
+      Env.push_back((Bits >> V) & 1);
+    EXPECT_EQ(M.evaluate(B, Env), F.eval(Env)) << "seed " << GetParam();
+  }
+}
+
+TEST_P(BddPropertyTest, EqualFunctionsShareNode) {
+  std::mt19937 Rng(GetParam() * 7919 + 13);
+  BddManager M;
+  constexpr unsigned NumVars = 4;
+  Formula F = Formula::random(Rng, NumVars, 10);
+  Formula G = Formula::random(Rng, NumVars, 10);
+  BddRef BF = F.build(M);
+  BddRef BG = G.build(M);
+  bool SameSemantics = true;
+  for (unsigned Bits = 0; Bits < (1u << NumVars); ++Bits) {
+    std::vector<bool> Env;
+    for (unsigned V = 0; V < NumVars; ++V)
+      Env.push_back((Bits >> V) & 1);
+    if (F.eval(Env) != G.eval(Env)) {
+      SameSemantics = false;
+      break;
+    }
+  }
+  EXPECT_EQ(BF == BG, SameSemantics) << "canonicity violated, seed "
+                                     << GetParam();
+}
+
+TEST_P(BddPropertyTest, QuantifierShannon) {
+  // ∃x.F == F|x=0 ∨ F|x=1 and ∀x.F == F|x=0 ∧ F|x=1 for random F.
+  std::mt19937 Rng(GetParam() * 31337 + 5);
+  BddManager M;
+  Formula F = Formula::random(Rng, 5, 14);
+  BddRef B = F.build(M);
+  for (BddVar V = 0; V < 5; ++V) {
+    BddRef E = M.exists(B, V);
+    BddRef A = M.forall(B, V);
+    EXPECT_EQ(E, M.apply_or(M.restrict(B, V, false), M.restrict(B, V, true)));
+    EXPECT_EQ(A, M.apply_and(M.restrict(B, V, false), M.restrict(B, V, true)));
+    // ∀x.F ⇒ F ⇒ ∃x.F
+    EXPECT_TRUE(M.implies(A, B));
+    EXPECT_TRUE(M.implies(B, E));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, BddPropertyTest,
+                         ::testing::Range(0u, 24u));

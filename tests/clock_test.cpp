@@ -1,0 +1,155 @@
+//===--- clock_test.cpp - Table-1 extraction and union-find ---------------===//
+
+#include "TestUtil.h"
+#include "clock/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+using namespace sigc::test;
+
+TEST(UnionFind, Basics) {
+  UnionFind UF(5);
+  EXPECT_FALSE(UF.same(0, 1));
+  UF.unite(0, 1);
+  EXPECT_TRUE(UF.same(0, 1));
+  UF.unite(1, 2);
+  EXPECT_TRUE(UF.same(0, 2));
+  EXPECT_FALSE(UF.same(0, 3));
+}
+
+TEST(UnionFind, RepresentativeStable) {
+  UnionFind UF(4);
+  uint32_t R = UF.unite(0, 1);
+  EXPECT_EQ(UF.find(0), R);
+  EXPECT_EQ(UF.find(1), R);
+}
+
+TEST(UnionFind, Ensure) {
+  UnionFind UF(2);
+  UF.ensure(10);
+  EXPECT_EQ(UF.size(), 10u);
+  EXPECT_EQ(UF.find(9), 9u);
+}
+
+TEST(UnionFind, Representatives) {
+  UnionFind UF(4);
+  UF.unite(0, 3);
+  auto Reps = UF.representatives();
+  EXPECT_EQ(Reps.size(), 3u);
+}
+
+TEST(UnionFind, TransitiveChains) {
+  UnionFind UF(100);
+  for (uint32_t I = 0; I + 1 < 100; ++I)
+    UF.unite(I, I + 1);
+  EXPECT_TRUE(UF.same(0, 99));
+  EXPECT_EQ(UF.representatives().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Table-1 extraction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string clocksOf(const std::string &Source) {
+  auto C = compileOk(Source);
+  if (!C->Ok)
+    return "<failed>";
+  return C->Clocks.dump(*C->Kernel, C->names());
+}
+
+} // namespace
+
+TEST(ClockExtract, FuncRowYieldsEqualities) {
+  std::string S = clocksOf(proc("? integer A, B; ! integer Y;",
+                                "   Y := A + B"));
+  EXPECT_NE(S.find("^Y = ^A"), std::string::npos) << S;
+  EXPECT_NE(S.find("^Y = ^B"), std::string::npos) << S;
+}
+
+TEST(ClockExtract, DelayRowYieldsEquality) {
+  std::string S = clocksOf(proc("? integer A; ! integer Y;",
+                                "   Y := A $ 1 init 0"));
+  EXPECT_NE(S.find("^Y = ^A"), std::string::npos) << S;
+}
+
+TEST(ClockExtract, WhenRowYieldsIntersection) {
+  std::string S = clocksOf(proc("? integer A; boolean C; ! integer Y;",
+                                "   Y := A when C"));
+  EXPECT_NE(S.find("^Y = ^A ^* [C]"), std::string::npos) << S;
+}
+
+TEST(ClockExtract, WhenNotUsesNegLiteral) {
+  std::string S = clocksOf(proc("? integer A; boolean C; ! integer Y;",
+                                "   Y := A when (not C)"));
+  EXPECT_NE(S.find("^Y = ^A ^* [~C]"), std::string::npos) << S;
+}
+
+TEST(ClockExtract, ConstantWhenIsEqualityWithLiteral) {
+  std::string S = clocksOf(proc("? boolean C; ! integer Y;",
+                                "   Y := 1 when C"));
+  EXPECT_NE(S.find("^Y = [C]"), std::string::npos) << S;
+}
+
+TEST(ClockExtract, DefaultRowYieldsUnion) {
+  std::string S = clocksOf(proc("? integer A, B; ! integer Y;",
+                                "   Y := A default B"));
+  EXPECT_NE(S.find("^Y = ^A ^+ ^B"), std::string::npos) << S;
+}
+
+TEST(ClockExtract, PartitionConstraintsPerBoolean) {
+  std::string S = clocksOf(proc("? boolean C; ! boolean Y;",
+                                "   Y := not C"));
+  EXPECT_NE(S.find("[C] ^+ [~C] = ^C"), std::string::npos) << S;
+  EXPECT_NE(S.find("[C] ^* [~C] = 0"), std::string::npos) << S;
+  EXPECT_NE(S.find("[Y] ^+ [~Y] = ^Y"), std::string::npos) << S;
+}
+
+TEST(ClockExtract, EventSignalsGetNoLiterals) {
+  auto C = compileOk(proc("? boolean B; ! event Y;", "   Y := when B"));
+  for (SignalId S = 0; S < C->Kernel->numSignals(); ++S) {
+    if (C->Kernel->Signals[S].Type == TypeKind::Event) {
+      EXPECT_EQ(C->Clocks.posLiteral(S), InvalidClockVar);
+    }
+  }
+}
+
+TEST(ClockExtract, SynchroYieldsEquality) {
+  auto C = compileOk(proc("? integer A, B; ! integer Y;",
+                          "   Y := A\n   | synchro {A, B}"));
+  bool Found = false;
+  for (const ClockEquality &E : C->Clocks.equalities()) {
+    const ClockVarInfo &IA = C->Clocks.varInfo(E.A);
+    const ClockVarInfo &IB = C->Clocks.varInfo(E.B);
+    std::string NA(C->names().spelling(C->Kernel->Signals[IA.Signal].Name));
+    std::string NB(C->names().spelling(C->Kernel->Signals[IB.Signal].Name));
+    if ((NA == "A" && NB == "B") || (NA == "B" && NB == "A"))
+      Found = true;
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(ClockExtract, VariableCountMatchesKernelPrediction) {
+  auto C = compileOk(proc("? boolean A; integer B; ! integer Y;",
+                          "   Y := B when A"));
+  EXPECT_EQ(C->Clocks.numVars(), C->Kernel->countClockVariables());
+}
+
+TEST(ClockExtract, VarNames) {
+  auto C = compileOk(proc("? boolean C; ! boolean Y;", "   Y := C"));
+  SignalId CSig = 0;
+  for (SignalId S = 0; S < C->Kernel->numSignals(); ++S)
+    if (C->names().spelling(C->Kernel->Signals[S].Name) == "C")
+      CSig = S;
+  EXPECT_EQ(C->Clocks.varName(C->Clocks.signalClock(CSig), *C->Kernel,
+                              C->names()),
+            "^C");
+  EXPECT_EQ(C->Clocks.varName(C->Clocks.posLiteral(CSig), *C->Kernel,
+                              C->names()),
+            "[C]");
+  EXPECT_EQ(C->Clocks.varName(C->Clocks.negLiteral(CSig), *C->Kernel,
+                              C->names()),
+            "[~C]");
+}

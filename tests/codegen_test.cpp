@@ -1,0 +1,177 @@
+//===--- codegen_test.cpp - Step IR and C emission -------------------------===//
+
+#include "TestUtil.h"
+#include "codegen/CEmitter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+using namespace sigc;
+using namespace sigc::test;
+
+TEST(StepProgram, SlotsAssigned) {
+  auto C = compileOk(proc("? integer A; boolean C1; ! integer Y;",
+                          "   Y := A when C1"));
+  EXPECT_GT(C->Step.NumClockSlots, 0u);
+  EXPECT_GT(C->Step.NumValueSlots, 0u);
+  // Every live signal has distinct value slots.
+  std::vector<int> Seen;
+  for (int Slot : C->Step.SignalValueSlot) {
+    if (Slot < 0)
+      continue;
+    EXPECT_EQ(std::count(Seen.begin(), Seen.end(), Slot), 0);
+    Seen.push_back(Slot);
+  }
+}
+
+TEST(StepProgram, DelayHasStateSlot) {
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := A $ 1 init 42"));
+  ASSERT_EQ(C->Step.StateInit.size(), 1u);
+  EXPECT_EQ(C->Step.StateInit[0].Int, 42);
+}
+
+TEST(StepProgram, IODescriptors) {
+  auto C = compileOk(proc("? integer A; boolean C1; ! integer Y;",
+                          "   Y := A when C1"));
+  ASSERT_EQ(C->Step.Inputs.size(), 2u);
+  ASSERT_EQ(C->Step.Outputs.size(), 1u);
+  EXPECT_EQ(C->Step.Outputs[0].Name, "Y");
+  // A and C1 are unrelated inputs, so each brings its own free clock.
+  EXPECT_EQ(C->Step.ClockInputs.size(), 2u);
+}
+
+TEST(StepProgram, GuardsCoveredByNestedBlocks) {
+  auto C = compileOk(proc("? integer A; boolean C1; ! integer Y;",
+                          "   Y := A when C1"));
+  // Walk the nested structure: instrs inside a guarded block must carry
+  // exactly that guard (or -1 in the root block for clock computations).
+  const StepProgram &SP = C->Step;
+  std::function<void(int, int)> Check = [&](int BlockIdx, int Guard) {
+    const StepBlock &B = SP.Blocks[BlockIdx];
+    for (const StepBlock::Item &It : B.Items) {
+      if (It.IsBlock) {
+        Check(It.Index, SP.Blocks[It.Index].GuardSlot);
+        continue;
+      }
+      const StepInstr &In = SP.Instrs[It.Index];
+      EXPECT_EQ(In.Guard, Guard) << "instruction in wrong block";
+    }
+  };
+  Check(SP.RootBlock, -1);
+}
+
+TEST(StepProgram, DumpsAreNonEmpty) {
+  auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A + 1"));
+  EXPECT_NE(C->Step.dump().find("eval-func"), std::string::npos);
+  EXPECT_NE(C->Step.dumpNested().find("read-clock"), std::string::npos);
+}
+
+TEST(CEmitter, SanitizeIdent) {
+  EXPECT_EQ(sanitizeIdent("^C"), "ck_C");
+  EXPECT_EQ(sanitizeIdent("[C]"), "on_C");
+  EXPECT_EQ(sanitizeIdent("[~C]"), "on_not_C");
+  EXPECT_EQ(sanitizeIdent("t$1"), "t_1");
+  EXPECT_EQ(sanitizeIdent("123"), "x123");
+}
+
+namespace {
+
+std::string emit(Compilation &C, bool Nested, bool Driver = false) {
+  CEmitOptions O;
+  O.Nested = Nested;
+  O.WithDriver = Driver;
+  return emitC(*C.Kernel, C.Step, C.names(), "p", O);
+}
+
+} // namespace
+
+TEST(CEmitter, GeneratesStepFunction) {
+  auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A * 2"));
+  std::string Code = emit(*C, true);
+  EXPECT_NE(Code.find("void p_step(p_state_t *st, const p_in_t *in, "
+                      "p_out_t *out)"),
+            std::string::npos)
+      << Code;
+  EXPECT_NE(Code.find("void p_init(p_state_t *st)"), std::string::npos);
+  EXPECT_NE(Code.find("out->Y_present = 1"), std::string::npos);
+}
+
+TEST(CEmitter, NestedUsesBlockStructure) {
+  auto C = compileOk(proc("? integer A; boolean C1; ! integer Y;",
+                          "   Y := A when C1"));
+  std::string Nested = emit(*C, true);
+  std::string Flat = emit(*C, false);
+  // Flat has one if per guarded statement (single-line bodies), nested
+  // opens multi-statement blocks; both must mention the output write.
+  EXPECT_NE(Nested.find("if ("), std::string::npos);
+  EXPECT_NE(Flat.find("if ("), std::string::npos);
+  // Nested form has strictly fewer guard tests in the text.
+  auto countIfs = [](const std::string &S) {
+    size_t N = 0, Pos = 0;
+    while ((Pos = S.find("if (", Pos)) != std::string::npos) {
+      ++N;
+      Pos += 4;
+    }
+    return N;
+  };
+  EXPECT_LT(countIfs(Nested), countIfs(Flat));
+}
+
+TEST(CEmitter, DelayStateInStruct) {
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := A $ 1 init 5"));
+  std::string Code = emit(*C, true);
+  EXPECT_NE(Code.find("long s0;"), std::string::npos) << Code;
+  EXPECT_NE(Code.find("st->s0 = 5L;"), std::string::npos) << Code;
+}
+
+TEST(CEmitter, DivisionGuardedAgainstZero) {
+  auto C = compileOk(proc("? integer A, B; ! integer Y;", "   Y := A / B"));
+  std::string Code = emit(*C, true);
+  EXPECT_NE(Code.find("== 0 ? 0 :"), std::string::npos) << Code;
+}
+
+TEST(CEmitter, DriverEmitsMain) {
+  auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A + 1"));
+  std::string Code = emit(*C, true, /*Driver=*/true);
+  EXPECT_NE(Code.find("int main(void)"), std::string::npos);
+  EXPECT_NE(Code.find("printf"), std::string::npos);
+}
+
+TEST(CEmitter, GeneratedCCompilesWithSystemCompiler) {
+  auto C = compileOk(proc("? integer A; boolean C1; ! integer Y;",
+                          "   T := A when C1\n"
+                          "   | Y := T + (T $ 1 init 0)",
+                          "integer T;"));
+  for (bool Nested : {true, false}) {
+    std::string Code = emit(*C, Nested, /*Driver=*/true);
+    std::string Path = ::testing::TempDir() + "signalc_emit_test.c";
+    FILE *F = fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    fputs(Code.c_str(), F);
+    fclose(F);
+    std::string Cmd = "cc -std=c99 -Wall -Werror -o /dev/null -c " + Path +
+                      " 2>&1";
+    int Rc = system(Cmd.c_str());
+    EXPECT_EQ(Rc, 0) << "generated C does not compile (nested=" << Nested
+                     << ")\n"
+                     << Code;
+  }
+}
+
+TEST(CEmitter, BooleanOutputsUseIntType) {
+  auto C = compileOk(proc("? boolean A; ! boolean Y;", "   Y := not A"));
+  std::string Code = emit(*C, true);
+  EXPECT_NE(Code.find("int Y;"), std::string::npos) << Code;
+}
+
+TEST(CEmitter, RealSignalsUseDouble) {
+  auto C = compileOk(proc("? real A; ! real Y;", "   Y := A * 2.0"));
+  std::string Code = emit(*C, true);
+  EXPECT_NE(Code.find("double"), std::string::npos);
+}

@@ -1,0 +1,249 @@
+//===--- integration_test.cpp - End-to-end pipeline behaviour -------------===//
+
+#include "TestUtil.h"
+#include "codegen/CEmitter.h"
+#include "interp/StepExecutor.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+using namespace sigc::test;
+
+TEST(Integration, FailedStageIsReported) {
+  EXPECT_EQ(compileSource("<t>", "process = (")->FailedStage, "parse");
+  EXPECT_EQ(compileSource("<t>", proc("? integer A; ! integer Y;",
+                                      "   Y := Q"))
+                ->FailedStage,
+            "sema");
+  EXPECT_EQ(compileSource("<t>",
+                          proc("? integer A; boolean CC, DD; ! integer Y;",
+                               "   synchro {A, CC}\n   | synchro {A, DD}\n"
+                               "   | T := A when CC\n"
+                               "   | U := A when DD\n"
+                               "   | synchro {T, U}\n   | Y := A",
+                               "integer T, U;"))
+                ->FailedStage,
+            "clock-calculus");
+  EXPECT_EQ(compileSource("<t>", proc("? integer A; ! integer Y;",
+                                      "   Y := Z + A\n   | Z := Y + A",
+                                      "integer Z;"))
+                ->FailedStage,
+            "graph");
+}
+
+TEST(Integration, ProcessSelectionByName) {
+  std::string Two =
+      "process A = ( ? integer X; ! integer Y; ) (| Y := X |);\n"
+      "process B = ( ? integer U; ! integer V; ) (| V := U * 2 |);\n";
+  CompileOptions O;
+  O.ProcessName = "B";
+  auto C = compileSource("<t>", Two, O);
+  ASSERT_TRUE(C->Ok) << C->Diags.render();
+  EXPECT_EQ(std::string(C->names().spelling(C->Decl->Name)), "B");
+
+  O.ProcessName = "NOPE";
+  auto C2 = compileSource("<t>", Two, O);
+  EXPECT_FALSE(C2->Ok);
+}
+
+TEST(Integration, CounterEndToEnd) {
+  auto C = compileOk(proc("? integer STEP; ! integer TOTAL;",
+                          "   TOTAL := STEP + (TOTAL $ 1 init 0)"));
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  for (unsigned I = 0; I < 5; ++I)
+    Env.set("STEP", I, Value::makeInt(static_cast<int>(I)));
+  StepExecutor Exec(*C->Kernel, C->Step);
+  Exec.run(Env, 5, ExecMode::Nested);
+  EXPECT_EQ(formatEvents(Env.outputs()),
+            "0 TOTAL=0\n1 TOTAL=1\n2 TOTAL=3\n3 TOTAL=6\n4 TOTAL=10\n");
+}
+
+TEST(Integration, WatchdogScenario) {
+  // A watchdog: when DO_RELOAD is true the counter reloads, otherwise it
+  // counts down each tick; EXPIRED fires at zero. The clock of CNT is the
+  // master clock; the reload branch lives on [DO_RELOAD] — the same
+  // inclusion-based cycle elimination as the paper's ALARM applies.
+  auto C = compileOk(proc(
+      "? integer RELOAD; boolean DO_RELOAD; ! boolean EXPIRED;",
+      "   R := RELOAD when DO_RELOAD\n"
+      "   | CNT := R default (PREV - 1)\n"
+      "   | PREV := CNT $ 1 init 0\n"
+      "   | synchro {CNT, DO_RELOAD}\n"
+      "   | synchro {RELOAD, DO_RELOAD}\n"
+      "   | EXPIRED := CNT <= 0",
+      "integer R, CNT, PREV;"));
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  bool Do[] = {true, false, false, false, true};
+  for (unsigned I = 0; I < 5; ++I) {
+    Env.set("DO_RELOAD", I, Value::makeBool(Do[I]));
+    Env.set("RELOAD", I, Value::makeInt(3));
+  }
+  StepExecutor Exec(*C->Kernel, C->Step);
+  Exec.run(Env, 5, ExecMode::Nested);
+  EXPECT_EQ(formatEvents(Env.outputs()),
+            "0 EXPIRED=false\n1 EXPIRED=false\n2 EXPIRED=false\n"
+            "3 EXPIRED=true\n4 EXPIRED=false\n");
+}
+
+TEST(Integration, EmittedCMatchesInterpreterOnCounter) {
+  // Compile the counter, emit C with the deterministic driver, build and
+  // run it, and compare against the StepExecutor fed by the same LCG.
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := A + (Y $ 1 init 0)"));
+  CEmitOptions O;
+  O.Nested = true;
+  O.WithDriver = true;
+  O.DriverSteps = 8;
+  std::string Code = emitC(*C->Kernel, C->Step, C->names(), "p", O);
+
+  std::string Dir = ::testing::TempDir();
+  std::string CPath = Dir + "sig_int_test.c";
+  std::string Bin = Dir + "sig_int_test";
+  FILE *F = fopen(CPath.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  fputs(Code.c_str(), F);
+  fclose(F);
+  ASSERT_EQ(system(("cc -std=c99 -O1 -o " + Bin + " " + CPath).c_str()), 0);
+
+  FILE *P = popen((Bin + " 2>/dev/null").c_str(), "r");
+  ASSERT_NE(P, nullptr);
+  std::string Got;
+  char Buf[256];
+  while (fgets(Buf, sizeof Buf, P))
+    Got += Buf;
+  pclose(P);
+
+  // Recreate the driver's LCG to compute the expected outputs.
+  unsigned long long State = 0x12345678ULL;
+  auto Rng = [&]() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 33;
+  };
+  long long Total = 0;
+  std::string Expect;
+  for (unsigned I = 0; I < 8; ++I) {
+    long long A = static_cast<long long>(Rng() % 100);
+    Total += A;
+    Expect += std::to_string(I) + " Y=" + std::to_string(Total) + "\n";
+  }
+  EXPECT_EQ(Got, Expect);
+}
+
+namespace {
+
+/// Emits, compiles and runs both control structures of one program and
+/// returns their stdout; used to prove nested C ≡ flat C behaviourally.
+std::pair<std::string, std::string> runBothCStructures(
+    Compilation &C, const std::string &Tag) {
+  std::string Results[2];
+  for (int ModeIdx = 0; ModeIdx < 2; ++ModeIdx) {
+    CEmitOptions O;
+    O.Nested = ModeIdx == 0;
+    O.WithDriver = true;
+    O.DriverSteps = 16;
+    std::string Code = emitC(*C.Kernel, C.Step, C.names(), "p", O);
+    std::string Base = ::testing::TempDir() + "sig_diff_" + Tag + "_" +
+                       std::to_string(ModeIdx);
+    FILE *F = fopen((Base + ".c").c_str(), "w");
+    EXPECT_NE(F, nullptr);
+    fputs(Code.c_str(), F);
+    fclose(F);
+    EXPECT_EQ(system(("cc -std=c99 -O1 -o " + Base + " " + Base + ".c")
+                         .c_str()),
+              0);
+    FILE *P = popen((Base + " 2>/dev/null").c_str(), "r");
+    EXPECT_NE(P, nullptr);
+    char Buf[256];
+    while (P && fgets(Buf, sizeof Buf, P))
+      Results[ModeIdx] += Buf;
+    if (P)
+      pclose(P);
+  }
+  return {Results[0], Results[1]};
+}
+
+} // namespace
+
+TEST(Integration, NestedAndFlatCBinariesAgree) {
+  struct Case {
+    const char *Tag;
+    std::string Source;
+  } Cases[] = {
+      {"counter", proc("? integer A; ! integer Y;",
+                       "   Y := A + (Y $ 1 init 0)")},
+      {"sampler", proc("? integer A; boolean C1; ! integer Y;",
+                       "   T := A when C1\n   | Y := T + (T $ 1 init 0)",
+                       "integer T;")},
+      {"merger", proc("? integer A; boolean C1; ! integer Y;",
+                      "   U := A when C1\n   | V := A when (not C1)\n"
+                      "   | Y := U default V",
+                      "integer U, V;")},
+  };
+  for (const Case &K : Cases) {
+    auto C = compileOk(K.Source);
+    ASSERT_TRUE(C->Ok);
+    auto [Nested, Flat] = runBothCStructures(*C, K.Tag);
+    EXPECT_FALSE(Nested.empty()) << K.Tag;
+    EXPECT_EQ(Nested, Flat) << K.Tag;
+  }
+}
+
+TEST(Integration, TemporallyIncorrectDiagnosisNamesEquation) {
+  auto C = compileSource(
+      "<t>", proc("? integer A; boolean CC, DD; ! integer Y;",
+                  "   synchro {A, CC}\n   | synchro {A, DD}\n"
+                  "   | T := A when CC\n   | U := A when DD\n"
+                  "   | synchro {T, U}\n   | Y := A",
+                  "integer T, U;"));
+  EXPECT_FALSE(C->Ok);
+  EXPECT_NE(C->Diags.render().find("temporally incorrect"),
+            std::string::npos);
+}
+
+TEST(Integration, DiagnosticsCarryLocations) {
+  auto C = compileSource("<t>", proc("? integer A; ! integer Y;",
+                                     "   Y := A + Q"));
+  ASSERT_TRUE(C->Diags.hasErrors());
+  bool AnyLocated = false;
+  for (const Diagnostic &D : C->Diags.diagnostics())
+    AnyLocated |= D.Loc.isValid();
+  EXPECT_TRUE(AnyLocated);
+}
+
+TEST(Integration, MultiOutputProcess) {
+  auto C = compileOk(proc("? integer A; ! integer DBL, SQR;",
+                          "   DBL := A * 2\n   | SQR := A * A"));
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  Env.set("A", 0, Value::makeInt(5));
+  StepExecutor Exec(*C->Kernel, C->Step);
+  Exec.run(Env, 1, ExecMode::Nested);
+  std::string Out = formatEvents(Env.outputs());
+  EXPECT_NE(Out.find("DBL=10"), std::string::npos);
+  EXPECT_NE(Out.find("SQR=25"), std::string::npos);
+}
+
+TEST(Integration, RealArithmetic) {
+  auto C = compileOk(proc("? real A; ! real Y;", "   Y := A * 0.5"));
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  Env.set("A", 0, Value::makeReal(3.0));
+  StepExecutor Exec(*C->Kernel, C->Step);
+  Exec.run(Env, 1, ExecMode::Nested);
+  ASSERT_EQ(Env.outputs().size(), 1u);
+  EXPECT_DOUBLE_EQ(Env.outputs()[0].Val.Real, 1.5);
+}
+
+TEST(Integration, EventOutput) {
+  auto C = compileOk(proc("? boolean CC; ! event T;", "   T := when CC"));
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  Env.set("CC", 0, Value::makeBool(true));
+  Env.set("CC", 1, Value::makeBool(false));
+  Env.set("CC", 2, Value::makeBool(true));
+  StepExecutor Exec(*C->Kernel, C->Step);
+  Exec.run(Env, 3, ExecMode::Nested);
+  EXPECT_EQ(formatEvents(Env.outputs()), "0 T=true\n2 T=true\n");
+}

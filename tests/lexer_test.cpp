@@ -1,0 +1,131 @@
+//===--- lexer_test.cpp ---------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(const std::string &Text) {
+  Lexer L(Text, SourceLoc(0));
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : L.lexAll())
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  EXPECT_EQ(kindsOf(""), std::vector<TokenKind>{TokenKind::Eof});
+  EXPECT_EQ(kindsOf("   \n\t "), std::vector<TokenKind>{TokenKind::Eof});
+}
+
+TEST(Lexer, CompositionBrackets) {
+  auto K = kindsOf("(| X | Y |)");
+  std::vector<TokenKind> Expect{TokenKind::LParenBar, TokenKind::Identifier,
+                                TokenKind::Bar, TokenKind::Identifier,
+                                TokenKind::BarRParen, TokenKind::Eof};
+  EXPECT_EQ(K, Expect);
+}
+
+TEST(Lexer, ParenVsParenBar) {
+  auto K = kindsOf("( (|");
+  std::vector<TokenKind> Expect{TokenKind::LParen, TokenKind::LParenBar,
+                                TokenKind::Eof};
+  EXPECT_EQ(K, Expect);
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto K = kindsOf(":= ^= /= <= >=");
+  std::vector<TokenKind> Expect{TokenKind::Assign, TokenKind::ClockEq,
+                                TokenKind::Ne, TokenKind::Le, TokenKind::Ge,
+                                TokenKind::Eof};
+  EXPECT_EQ(K, Expect);
+}
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  auto K = kindsOf("WHEN when When DEFAULT default");
+  for (unsigned I = 0; I < 3; ++I)
+    EXPECT_EQ(K[I], TokenKind::KwWhen);
+  EXPECT_EQ(K[3], TokenKind::KwDefault);
+  EXPECT_EQ(K[4], TokenKind::KwDefault);
+}
+
+TEST(Lexer, IdentifiersWithUnderscore) {
+  Lexer L("BRAKING_STATE _x x_1", SourceLoc(0));
+  auto Tokens = L.lexAll();
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "BRAKING_STATE");
+  EXPECT_EQ(Tokens[1].Text, "_x");
+  EXPECT_EQ(Tokens[2].Text, "x_1");
+}
+
+TEST(Lexer, PercentLineComment) {
+  auto K = kindsOf("X % this is ignored := |)\nY");
+  std::vector<TokenKind> Expect{TokenKind::Identifier, TokenKind::Identifier,
+                                TokenKind::Eof};
+  EXPECT_EQ(K, Expect);
+}
+
+TEST(Lexer, IntegerAndRealLiterals) {
+  auto K = kindsOf("42 3.14 1e5 2.5e-3 7");
+  std::vector<TokenKind> Expect{TokenKind::IntLiteral, TokenKind::RealLiteral,
+                                TokenKind::RealLiteral,
+                                TokenKind::RealLiteral, TokenKind::IntLiteral,
+                                TokenKind::Eof};
+  EXPECT_EQ(K, Expect);
+}
+
+TEST(Lexer, DollarAndInit) {
+  auto K = kindsOf("X $ 1 init 0");
+  std::vector<TokenKind> Expect{TokenKind::Identifier, TokenKind::Dollar,
+                                TokenKind::IntLiteral, TokenKind::KwInit,
+                                TokenKind::IntLiteral, TokenKind::Eof};
+  EXPECT_EQ(K, Expect);
+}
+
+TEST(Lexer, SlashVsNe) {
+  auto K = kindsOf("a / b /= c");
+  std::vector<TokenKind> Expect{TokenKind::Identifier, TokenKind::Slash,
+                                TokenKind::Identifier, TokenKind::Ne,
+                                TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(K, Expect);
+}
+
+TEST(Lexer, ErrorTokenForStray) {
+  auto K = kindsOf("#");
+  EXPECT_EQ(K[0], TokenKind::Error);
+  auto K2 = kindsOf(": x");
+  EXPECT_EQ(K2[0], TokenKind::Error);
+}
+
+TEST(Lexer, LocationsAdvance) {
+  Lexer L("ab cd", SourceLoc(100));
+  auto Tokens = L.lexAll();
+  EXPECT_EQ(Tokens[0].Loc.offset(), 100u);
+  EXPECT_EQ(Tokens[1].Loc.offset(), 103u);
+}
+
+TEST(Lexer, DotNotPartOfInteger) {
+  // "1." followed by non-digit stays an integer then an error token.
+  Lexer L("3 .", SourceLoc(0));
+  auto Tokens = L.lexAll();
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+TEST(Lexer, AllKeywords) {
+  auto K = kindsOf("process where end boolean integer real event cell init "
+                   "not and or xor mod synchro true false");
+  std::vector<TokenKind> Expect{
+      TokenKind::KwProcess, TokenKind::KwWhere,   TokenKind::KwEnd,
+      TokenKind::KwBoolean, TokenKind::KwInteger, TokenKind::KwReal,
+      TokenKind::KwEvent,   TokenKind::KwCell,    TokenKind::KwInit,
+      TokenKind::KwNot,     TokenKind::KwAnd,     TokenKind::KwOr,
+      TokenKind::KwXor,     TokenKind::KwMod,     TokenKind::KwSynchro,
+      TokenKind::KwTrue,    TokenKind::KwFalse,   TokenKind::Eof};
+  EXPECT_EQ(K, Expect);
+}

@@ -1,0 +1,275 @@
+//===--- parser_test.cpp --------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+#include "parser/Parser.h"
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+
+namespace {
+
+struct ParseFixture {
+  SourceManager SM;
+  AstContext Ctx;
+  DiagnosticEngine Diags{&SM};
+
+  Expr *expr(const std::string &Text) {
+    SourceLoc Start = SM.addBuffer("<expr>", Text);
+    Parser P(SM.bufferText(Start), Start, Ctx, Diags);
+    return P.parseStandaloneExpr();
+  }
+
+  Process *process(const std::string &Text) {
+    SourceLoc Start = SM.addBuffer("<proc>", Text);
+    Parser P(SM.bufferText(Start), Start, Ctx, Diags);
+    return P.parseStandaloneProcess();
+  }
+
+  Program *program(const std::string &Text) {
+    SourceLoc Start = SM.addBuffer("<prog>", Text);
+    Parser P(SM.bufferText(Start), Start, Ctx, Diags);
+    return P.parseProgram();
+  }
+
+  std::string printed(const std::string &Text) {
+    Expr *E = expr(Text);
+    if (!E)
+      return "<error: " + Diags.render() + ">";
+    return printExpr(E, Ctx.interner());
+  }
+};
+
+} // namespace
+
+TEST(Parser, NameAndLiterals) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("X"), "X");
+  EXPECT_EQ(F.printed("42"), "42");
+  EXPECT_EQ(F.printed("true"), "true");
+  EXPECT_EQ(F.printed("false"), "false");
+}
+
+TEST(Parser, ArithPrecedence) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("a + b * c"), "(a + (b * c))");
+  EXPECT_EQ(F.printed("a * b + c"), "((a * b) + c)");
+  EXPECT_EQ(F.printed("a - b - c"), "((a - b) - c)");
+  EXPECT_EQ(F.printed("a mod b * c"), "((a mod b) * c)");
+}
+
+TEST(Parser, UnaryMinusBinds) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("-a + b"), "((-a) + b)");
+  EXPECT_EQ(F.printed("a * -b"), "(a * (-b))");
+}
+
+TEST(Parser, ComparisonAndLogic) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("a < b and c"), "((a < b) and c)");
+  EXPECT_EQ(F.printed("not a or b"), "((not a) or b)");
+  EXPECT_EQ(F.printed("a and b or c and d"), "((a and b) or (c and d))");
+  EXPECT_EQ(F.printed("a /= b"), "(a /= b)");
+}
+
+TEST(Parser, WhenDefaultPrecedence) {
+  ParseFixture F;
+  // 'default' binds loosest, then 'when'.
+  EXPECT_EQ(F.printed("a default b when c"), "(a default (b when c))");
+  EXPECT_EQ(F.printed("a when b default c"), "((a when b) default c)");
+  EXPECT_EQ(F.printed("a when b or c"), "(a when (b or c))");
+}
+
+TEST(Parser, DefaultIsLeftAssociative) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("a default b default c"), "((a default b) default c)");
+}
+
+TEST(Parser, WhenChain) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("a when b when c"), "((a when b) when c)");
+}
+
+TEST(Parser, UnaryWhen) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("when c"), "(when c)");
+  EXPECT_EQ(F.printed("when not c"), "(when (not c))");
+  EXPECT_EQ(F.printed("a default when c"), "(a default (when c))");
+}
+
+TEST(Parser, EventOperator) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("event X"), "(event X)");
+}
+
+TEST(Parser, DelaySyntax) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("X $ 1 init 0"), "(X $ 1 init 0)");
+  EXPECT_EQ(F.printed("X $ init 5"), "(X $ 1 init 5)");
+  EXPECT_EQ(F.printed("X $ 3 init true"), "(X $ 3 init true)");
+  EXPECT_EQ(F.printed("X $ 1 init -2"), "(X $ 1 init -2)");
+}
+
+TEST(Parser, DelayZeroRejected) {
+  ParseFixture F;
+  EXPECT_EQ(F.expr("X $ 0 init 0"), nullptr);
+  EXPECT_TRUE(F.Diags.hasErrors());
+}
+
+TEST(Parser, CellSyntax) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("X cell B init 1"), "(X cell B init 1)");
+}
+
+TEST(Parser, ParenthesesOverride) {
+  ParseFixture F;
+  EXPECT_EQ(F.printed("(a default b) when c"), "((a default b) when c)");
+  EXPECT_EQ(F.printed("a * (b + c)"), "(a * (b + c))");
+}
+
+TEST(Parser, CompositionAndEquations) {
+  ParseFixture F;
+  Process *P = F.process("(| X := a + b | Y := X when c |)");
+  ASSERT_NE(P, nullptr) << F.Diags.render();
+  const auto *Comp = cast<CompositionProc>(P);
+  ASSERT_EQ(Comp->children().size(), 2u);
+  EXPECT_TRUE(isa<EquationProc>(Comp->children()[0]));
+  EXPECT_TRUE(isa<EquationProc>(Comp->children()[1]));
+}
+
+TEST(Parser, NestedComposition) {
+  ParseFixture F;
+  Process *P = F.process("(| (| X := a |) | Y := b |)");
+  ASSERT_NE(P, nullptr) << F.Diags.render();
+  const auto *Comp = cast<CompositionProc>(P);
+  ASSERT_EQ(Comp->children().size(), 2u);
+  EXPECT_TRUE(isa<CompositionProc>(Comp->children()[0]));
+}
+
+TEST(Parser, SynchroList) {
+  ParseFixture F;
+  Process *P = F.process("(| synchro {X, Y, when C} |)");
+  ASSERT_NE(P, nullptr) << F.Diags.render();
+  const auto *Comp = cast<CompositionProc>(P);
+  const auto *S = cast<SynchroProc>(Comp->children()[0]);
+  EXPECT_EQ(S->operands().size(), 3u);
+}
+
+TEST(Parser, SynchroNeedsTwoOperands) {
+  ParseFixture F;
+  EXPECT_EQ(F.process("(| synchro {X} |)"), nullptr);
+  EXPECT_TRUE(F.Diags.hasErrors());
+}
+
+TEST(Parser, ClockEqualityConstraint) {
+  ParseFixture F;
+  Process *P = F.process("(| X ^= Y when C |)");
+  ASSERT_NE(P, nullptr) << F.Diags.render();
+  const auto *Comp = cast<CompositionProc>(P);
+  EXPECT_TRUE(isa<ClockEqProc>(Comp->children()[0]));
+}
+
+TEST(Parser, FullProcessDecl) {
+  ParseFixture F;
+  Program *Prog = F.program(R"(
+process COUNT =
+  ( ? integer IN;
+    ! integer OUT; )
+  (| OUT := IN + Z
+   | Z := OUT $ 1 init 0
+  |)
+  where integer Z; end;
+)");
+  ASSERT_NE(Prog, nullptr) << F.Diags.render();
+  ASSERT_EQ(Prog->Processes.size(), 1u);
+  const ProcessDecl *D = Prog->Processes[0];
+  EXPECT_EQ(F.Ctx.interner().spelling(D->Name), "COUNT");
+  ASSERT_EQ(D->Signals.size(), 3u);
+  EXPECT_EQ(D->Signals[0].Dir, SignalDir::Input);
+  EXPECT_EQ(D->Signals[1].Dir, SignalDir::Output);
+  EXPECT_EQ(D->Signals[2].Dir, SignalDir::Local);
+  EXPECT_EQ(D->Signals[2].Type, TypeKind::Integer);
+}
+
+TEST(Parser, MultipleProcesses) {
+  ParseFixture F;
+  Program *Prog = F.program(
+      "process A = ( ? integer X; ! integer Y; ) (| Y := X |);\n"
+      "process B = ( ? integer U; ! integer V; ) (| V := U |);\n");
+  ASSERT_NE(Prog, nullptr) << F.Diags.render();
+  EXPECT_EQ(Prog->Processes.size(), 2u);
+  EXPECT_NE(Prog->findProcess(F.Ctx.interner().lookup("B")), nullptr);
+}
+
+TEST(Parser, CommaSeparatedDecls) {
+  ParseFixture F;
+  Program *Prog = F.program("process A = ( ? boolean X, Y, Z; ! boolean W; ) "
+                            "(| W := X and Y and Z |);");
+  ASSERT_NE(Prog, nullptr) << F.Diags.render();
+  EXPECT_EQ(Prog->Processes[0]->Signals.size(), 4u);
+}
+
+TEST(Parser, DuplicateDeclRejected) {
+  ParseFixture F;
+  EXPECT_EQ(F.program("process A = ( ? boolean X, X; ! boolean Y; ) "
+                      "(| Y := X |);"),
+            nullptr);
+  EXPECT_TRUE(F.Diags.hasErrors());
+}
+
+TEST(Parser, ErrorMessagesMentionExpectation) {
+  ParseFixture F;
+  EXPECT_EQ(F.program("process = ( ) (| |);"), nullptr);
+  std::string R = F.Diags.render();
+  EXPECT_NE(R.find("expected process name"), std::string::npos);
+}
+
+TEST(Parser, MissingCompositionClose) {
+  ParseFixture F;
+  EXPECT_EQ(F.process("(| X := a "), nullptr);
+  EXPECT_TRUE(F.Diags.hasErrors());
+}
+
+TEST(Parser, EmptyProgramRejected) {
+  ParseFixture F;
+  EXPECT_EQ(F.program(""), nullptr);
+  EXPECT_TRUE(F.Diags.hasErrors());
+}
+
+TEST(Parser, EquationRequiresAssignOrClockEq) {
+  ParseFixture F;
+  EXPECT_EQ(F.process("(| X + Y |)"), nullptr);
+  EXPECT_TRUE(F.Diags.hasErrors());
+}
+
+TEST(Parser, PaperFigure5Parses) {
+  ParseFixture F;
+  Program *Prog = F.program(R"(
+process ALARM =
+  ( ? boolean BRAKE, STOP_OK, LIMIT_REACHED;
+    ! boolean ALARM; )
+  (| BRAKING_STATE := BRAKING_NEXT_STATE $ 1 init false
+   | BRAKING_NEXT_STATE :=
+       (true when BRAKE) default (false when STOP_OK) default BRAKING_STATE
+   | synchro {when BRAKING_STATE, STOP_OK, LIMIT_REACHED}
+   | synchro {when (not BRAKING_STATE), BRAKE}
+   | ALARM := LIMIT_REACHED and (not STOP_OK)
+  |)
+  where boolean BRAKING_STATE, BRAKING_NEXT_STATE; end;
+)");
+  ASSERT_NE(Prog, nullptr) << F.Diags.render();
+  const ProcessDecl *D = Prog->Processes[0];
+  EXPECT_EQ(D->Signals.size(), 6u);
+  const auto *Body = cast<CompositionProc>(D->Body);
+  EXPECT_EQ(Body->children().size(), 5u);
+}
+
+TEST(Parser, PrintRoundTripStable) {
+  // print(parse(print(parse(text)))) == print(parse(text)).
+  ParseFixture F;
+  std::string Once = F.printed("a when b default c + d * -e");
+  ParseFixture F2;
+  std::string Twice = F2.printed(Once);
+  EXPECT_EQ(Once, Twice);
+}

@@ -1,0 +1,193 @@
+//===--- solver_test.cpp - The three Figure-13 strategies -----------------===//
+
+#include "TestUtil.h"
+#include "solver/CharFunc.h"
+#include "solver/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+using namespace sigc::test;
+
+namespace {
+
+SolveResult runSolver(Compilation &C, SolverKind Kind,
+                      Budget Limits = Budget()) {
+  auto S = makeSolver(Kind);
+  DiagnosticEngine Diags;
+  return S->solve(C.Clocks, *C.Kernel, C.names(), Diags, Limits);
+}
+
+std::string smallProgram() {
+  return proc("? integer A; boolean C1; ! integer Y;",
+              "   T := A when C1\n   | Z := T $ 1 init 0\n"
+              "   | Y := T + Z",
+              "integer T, Z;");
+}
+
+} // namespace
+
+TEST(Solver, KindNamesMatchFigure13) {
+  EXPECT_STREQ(solverKindName(SolverKind::TreeBdd), "T&BDD");
+  EXPECT_NE(std::string(solverKindName(SolverKind::CharFunc))
+                .find("characteristic"),
+            std::string::npos);
+  EXPECT_NE(std::string(solverKindName(SolverKind::Hybrid)).find("T&BDD"),
+            std::string::npos);
+}
+
+TEST(Solver, AllThreeSolveSmallProgram) {
+  auto C = compileOk(smallProgram());
+  for (SolverKind K :
+       {SolverKind::TreeBdd, SolverKind::CharFunc, SolverKind::Hybrid}) {
+    SolveResult R = runSolver(*C, K);
+    EXPECT_TRUE(R.ok()) << solverKindName(K);
+    EXPECT_GT(R.BddNodes, 0u) << solverKindName(K);
+  }
+}
+
+TEST(Solver, TreeUsesFewerNodesThanCharFunc) {
+  auto C = compileOk(smallProgram());
+  SolveResult Tree = runSolver(*C, SolverKind::TreeBdd);
+  SolveResult Char = runSolver(*C, SolverKind::CharFunc);
+  EXPECT_LT(Tree.BddNodes, Char.BddNodes);
+}
+
+TEST(Solver, HybridHasFewerVarsThanCharFunc) {
+  auto C = compileOk(smallProgram());
+  SolveResult Char = runSolver(*C, SolverKind::CharFunc);
+  SolveResult Hyb = runSolver(*C, SolverKind::Hybrid);
+  // Equalities were eliminated by the tree pass first.
+  EXPECT_LT(Hyb.NumVars, Char.NumVars);
+}
+
+TEST(Solver, CharFuncDeterminesDependentVars) {
+  auto C = compileOk(smallProgram());
+  SolveResult R = runSolver(*C, SolverKind::CharFunc);
+  // At least the literals' parents etc. are forced; exact number depends
+  // on the encoding, but something must be functionally determined.
+  EXPECT_GT(R.DeterminedVars, 0u);
+}
+
+TEST(Solver, NodeBudgetProducesUnableMem) {
+  auto C = compileOk(smallProgram());
+  SolveResult R = runSolver(*C, SolverKind::CharFunc, Budget(0, 32));
+  EXPECT_EQ(R.Verdict, BudgetVerdict::UnableMem);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Solver, TreeReportsFreeClocks) {
+  auto C = compileOk(smallProgram());
+  SolveResult R = runSolver(*C, SolverKind::TreeBdd);
+  // ^A and ^C1 are unrelated: two free clocks.
+  EXPECT_EQ(R.FreeClocks, 2u);
+}
+
+TEST(Solver, TreeStatsPropagated) {
+  auto C = compileOk(smallProgram());
+  SolveResult R = runSolver(*C, SolverKind::TreeBdd);
+  EXPECT_GT(R.TreeStats.BddNodes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Characteristic-function construction in isolation
+//===----------------------------------------------------------------------===//
+
+TEST(CharFunc, EqualConstraint) {
+  BddManager M;
+  CharConstraint C;
+  C.Kind = CharConstraint::Kind::Equal;
+  C.V0 = 0;
+  C.V1 = 1;
+  CharFuncResult R = buildCharFunc(M, 2, {C});
+  ASSERT_TRUE(R.Chi.isValid());
+  // Exactly assignments 00 and 11.
+  EXPECT_DOUBLE_EQ(M.satCount(R.Chi, 2), 2.0);
+}
+
+TEST(CharFunc, PartitionConstraint) {
+  BddManager M;
+  CharConstraint C;
+  C.Kind = CharConstraint::Kind::Partition;
+  C.V0 = 0; // parent
+  C.V1 = 1; // pos
+  C.V2 = 2; // neg
+  CharFuncResult R = buildCharFunc(M, 3, {C});
+  ASSERT_TRUE(R.Chi.isValid());
+  // Solutions: parent absent (000) or exactly one literal (110?,101?):
+  // (0,0,0), (1,1,0), (1,0,1) — 3 assignments.
+  EXPECT_DOUBLE_EQ(M.satCount(R.Chi, 3), 3.0);
+}
+
+TEST(CharFunc, EquationConstraintUnion) {
+  BddManager M;
+  CharConstraint C;
+  C.Kind = CharConstraint::Kind::Equation;
+  C.Op = ClockOp::Union;
+  C.V0 = 0;
+  C.V1 = 1;
+  C.V2 = 2;
+  CharFuncResult R = buildCharFunc(M, 3, {C});
+  // v0 ⇔ v1∨v2: 4 satisfying assignments of 8.
+  EXPECT_DOUBLE_EQ(M.satCount(R.Chi, 3), 4.0);
+}
+
+TEST(CharFunc, ForceOffConstraint) {
+  BddManager M;
+  CharConstraint C;
+  C.Kind = CharConstraint::Kind::ForceOff;
+  C.V0 = 1;
+  CharFuncResult R = buildCharFunc(M, 2, {C});
+  EXPECT_DOUBLE_EQ(M.satCount(R.Chi, 2), 2.0);
+}
+
+TEST(CharFunc, AnalyzeCountsForcedVars) {
+  BddManager M;
+  // v1 ⇔ v0 and v2 ⇔ v0 ∧ v1: v1, v2 determined by v0.
+  std::vector<CharConstraint> Cs(2);
+  Cs[0].Kind = CharConstraint::Kind::Equal;
+  Cs[0].V0 = 1;
+  Cs[0].V1 = 0;
+  Cs[1].Kind = CharConstraint::Kind::Equation;
+  Cs[1].Op = ClockOp::Inter;
+  Cs[1].V0 = 2;
+  Cs[1].V1 = 0;
+  Cs[1].V2 = 1;
+  CharFuncResult R = buildCharFunc(M, 3, Cs);
+  // v1 and v2 are forced by v0 — and v0 itself is recoverable from v1, so
+  // all three are functionally determined by the rest.
+  EXPECT_EQ(analyzeCharFunc(M, R.Chi, 3), 3u);
+}
+
+TEST(CharFunc, SystemConstraintsCoverEverything) {
+  auto C = compileOk(smallProgram());
+  std::vector<CharConstraint> Cs = systemConstraints(C->Clocks);
+  unsigned Partitions = 0, Equations = 0, Equalities = 0;
+  for (const CharConstraint &X : Cs) {
+    Partitions += X.Kind == CharConstraint::Kind::Partition;
+    Equations += X.Kind == CharConstraint::Kind::Equation;
+    Equalities += X.Kind == CharConstraint::Kind::Equal;
+  }
+  EXPECT_EQ(Partitions, C->Clocks.conditions().size());
+  EXPECT_EQ(Equations, C->Clocks.equations().size());
+  EXPECT_EQ(Equalities, C->Clocks.equalities().size());
+}
+
+TEST(Solver, AgreementOnTemporallyCorrectPrograms) {
+  // Every Figure-13 style motif: all three solvers agree the program is
+  // consistent (no solver reports a temporal error).
+  for (const std::string &Source :
+       {smallProgram(),
+        proc("? integer A, B; ! integer Y;", "   Y := A default B"),
+        proc("? boolean CC; ! integer Y;",
+             "   U := 1 when CC\n   | V := 2 when (not CC)\n"
+             "   | Y := U default V",
+             "integer U, V;")}) {
+    auto C = compileOk(Source);
+    for (SolverKind K :
+         {SolverKind::TreeBdd, SolverKind::CharFunc, SolverKind::Hybrid}) {
+      SolveResult R = runSolver(*C, K);
+      EXPECT_TRUE(R.ok()) << solverKindName(K) << "\n" << Source;
+    }
+  }
+}

@@ -1,0 +1,140 @@
+//===--- support_test.cpp - Diagnostics, interner, budget, sources --------===//
+
+#include "support/Budget.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace sigc;
+
+TEST(StringInterner, SameSpellingSameSymbol) {
+  StringInterner I;
+  EXPECT_EQ(I.intern("foo"), I.intern("foo"));
+  EXPECT_NE(I.intern("foo"), I.intern("bar"));
+}
+
+TEST(StringInterner, SpellingRoundTrip) {
+  StringInterner I;
+  Symbol S = I.intern("BRAKING_STATE");
+  EXPECT_EQ(I.spelling(S), "BRAKING_STATE");
+}
+
+TEST(StringInterner, InvalidSymbol) {
+  StringInterner I;
+  EXPECT_FALSE(Symbol().isValid());
+  EXPECT_EQ(I.spelling(Symbol()), "");
+}
+
+TEST(StringInterner, LookupWithoutInterning) {
+  StringInterner I;
+  EXPECT_FALSE(I.lookup("nothere").isValid());
+  Symbol S = I.intern("here");
+  EXPECT_EQ(I.lookup("here"), S);
+}
+
+TEST(StringInterner, ManySymbolsStayStable) {
+  StringInterner I;
+  std::vector<Symbol> Syms;
+  for (int K = 0; K < 1000; ++K)
+    Syms.push_back(I.intern("sym" + std::to_string(K)));
+  for (int K = 0; K < 1000; ++K)
+    EXPECT_EQ(I.spelling(Syms[K]), "sym" + std::to_string(K));
+}
+
+TEST(SourceManager, LineColumn) {
+  SourceManager SM;
+  SourceLoc Start = SM.addBuffer("a.sig", "ab\ncd\nef");
+  EXPECT_EQ(SM.lineColumn(Start).Line, 1u);
+  EXPECT_EQ(SM.lineColumn(Start).Column, 1u);
+  SourceLoc AtD(Start.offset() + 4);
+  EXPECT_EQ(SM.lineColumn(AtD).Line, 2u);
+  EXPECT_EQ(SM.lineColumn(AtD).Column, 2u);
+}
+
+TEST(SourceManager, MultipleBuffers) {
+  SourceManager SM;
+  SourceLoc A = SM.addBuffer("a", "xxxx");
+  SourceLoc B = SM.addBuffer("b", "yyyy");
+  EXPECT_EQ(SM.bufferName(A), "a");
+  EXPECT_EQ(SM.bufferName(B), "b");
+  EXPECT_EQ(SM.bufferText(B), "yyyy");
+}
+
+TEST(SourceManager, Describe) {
+  SourceManager SM;
+  SourceLoc A = SM.addBuffer("f.sig", "line\nnext");
+  EXPECT_EQ(SM.describe(SourceLoc(A.offset() + 5)), "f.sig:2:1");
+  EXPECT_EQ(SM.describe(SourceLoc()), "<unknown>");
+}
+
+TEST(Diagnostics, CountsErrorsAndWarnings) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning("watch out");
+  EXPECT_FALSE(D.hasErrors());
+  D.error("boom");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.warningCount(), 1u);
+}
+
+TEST(Diagnostics, RenderStyle) {
+  DiagnosticEngine D;
+  D.error("something failed");
+  std::string R = D.render();
+  EXPECT_NE(R.find("error: something failed"), std::string::npos);
+}
+
+TEST(Diagnostics, Clear) {
+  DiagnosticEngine D;
+  D.error("x");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diagnostics().empty());
+}
+
+TEST(Budget, UnlimitedByDefault) {
+  Budget B;
+  B.start();
+  EXPECT_TRUE(B.checkTime());
+  EXPECT_TRUE(B.checkNodes(1ull << 40));
+  EXPECT_EQ(B.verdict(), BudgetVerdict::Ok);
+}
+
+TEST(Budget, NodeLimitTripsUnableMem) {
+  Budget B(0, 100);
+  B.start();
+  EXPECT_TRUE(B.checkNodes(100));
+  EXPECT_FALSE(B.checkNodes(101));
+  EXPECT_EQ(B.verdict(), BudgetVerdict::UnableMem);
+  // Sticky.
+  EXPECT_FALSE(B.checkNodes(1));
+  EXPECT_FALSE(B.checkTime());
+}
+
+TEST(Budget, TimeLimitTripsUnableCpu) {
+  Budget B(1, 0);
+  B.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(B.checkTime());
+  EXPECT_EQ(B.verdict(), BudgetVerdict::UnableCpu);
+}
+
+TEST(Budget, VerdictNames) {
+  EXPECT_STREQ(budgetVerdictName(BudgetVerdict::Ok), "ok");
+  EXPECT_STREQ(budgetVerdictName(BudgetVerdict::UnableCpu), "unable-cpu");
+  EXPECT_STREQ(budgetVerdictName(BudgetVerdict::UnableMem), "unable-mem");
+}
+
+TEST(Budget, RestartResetsVerdict) {
+  Budget B(0, 10);
+  B.start();
+  EXPECT_FALSE(B.checkNodes(11));
+  B.start();
+  EXPECT_EQ(B.verdict(), BudgetVerdict::Ok);
+  EXPECT_TRUE(B.checkNodes(5));
+}

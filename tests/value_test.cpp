@@ -1,0 +1,152 @@
+//===--- value_test.cpp - Scalar Value semantics ---------------------------===//
+
+#include "ast/Ast.h"
+#include "ast/AstPrinter.h"
+#include "sema/Kernel.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+
+TEST(Value, Constructors) {
+  EXPECT_EQ(Value::makeBool(true).Kind, TypeKind::Boolean);
+  EXPECT_EQ(Value::makeInt(7).Int, 7);
+  EXPECT_DOUBLE_EQ(Value::makeReal(2.5).Real, 2.5);
+  EXPECT_TRUE(Value::makeEvent().asBool());
+}
+
+TEST(Value, CrossKindNumericEquality) {
+  EXPECT_EQ(Value::makeInt(3), Value::makeReal(3.0));
+  EXPECT_NE(Value::makeInt(3), Value::makeReal(3.5));
+  EXPECT_NE(Value::makeInt(1), Value::makeBool(true));
+}
+
+TEST(Value, AsReal) {
+  EXPECT_DOUBLE_EQ(Value::makeInt(-4).asReal(), -4.0);
+  EXPECT_DOUBLE_EQ(Value::makeReal(0.25).asReal(), 0.25);
+}
+
+TEST(Value, Str) {
+  EXPECT_EQ(Value::makeBool(false).str(), "false");
+  EXPECT_EQ(Value::makeInt(42).str(), "42");
+  EXPECT_EQ(Value::makeEvent().str(), "tick");
+}
+
+TEST(Value, TypeNames) {
+  EXPECT_STREQ(typeName(TypeKind::Boolean), "boolean");
+  EXPECT_STREQ(typeName(TypeKind::Integer), "integer");
+  EXPECT_STREQ(typeName(TypeKind::Real), "real");
+  EXPECT_STREQ(typeName(TypeKind::Event), "event");
+}
+
+TEST(Value, OpNames) {
+  EXPECT_STREQ(binaryOpName(BinaryOp::Ne), "/=");
+  EXPECT_STREQ(binaryOpName(BinaryOp::Mod), "mod");
+  EXPECT_STREQ(unaryOpName(UnaryOp::Not), "not");
+  EXPECT_TRUE(isPredicateOp(BinaryOp::Le));
+  EXPECT_FALSE(isPredicateOp(BinaryOp::Add));
+  EXPECT_TRUE(isLogicalOp(BinaryOp::Xor));
+  EXPECT_FALSE(isLogicalOp(BinaryOp::Eq));
+}
+
+//===----------------------------------------------------------------------===//
+// evalFuncTree: the pointwise evaluator shared by both interpreters.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds "arg0 <op> arg1" as a kernel Func equation.
+KernelEq binaryEq(BinaryOp Op) {
+  KernelEq Eq;
+  Eq.Kind = KernelEqKind::Func;
+  Eq.Args = {0, 1};
+  FuncNode A0;
+  A0.Kind = FuncNode::Kind::Arg;
+  A0.ArgIndex = 0;
+  FuncNode A1;
+  A1.Kind = FuncNode::Kind::Arg;
+  A1.ArgIndex = 1;
+  FuncNode B;
+  B.Kind = FuncNode::Kind::Binary;
+  B.BOp = Op;
+  B.Lhs = 0;
+  B.Rhs = 1;
+  Eq.Nodes = {A0, A1, B};
+  return Eq;
+}
+
+} // namespace
+
+TEST(EvalFuncTree, IntegerArithmetic) {
+  KernelEq Add = binaryEq(BinaryOp::Add);
+  EXPECT_EQ(evalFuncTree(Add, {Value::makeInt(2), Value::makeInt(3)}).Int,
+            5);
+  KernelEq Div = binaryEq(BinaryOp::Div);
+  EXPECT_EQ(evalFuncTree(Div, {Value::makeInt(7), Value::makeInt(2)}).Int,
+            3);
+  // Division by zero yields zero (matching the generated C).
+  EXPECT_EQ(evalFuncTree(Div, {Value::makeInt(7), Value::makeInt(0)}).Int,
+            0);
+}
+
+TEST(EvalFuncTree, EuclideanMod) {
+  KernelEq Mod = binaryEq(BinaryOp::Mod);
+  EXPECT_EQ(evalFuncTree(Mod, {Value::makeInt(7), Value::makeInt(3)}).Int,
+            1);
+  EXPECT_EQ(evalFuncTree(Mod, {Value::makeInt(-7), Value::makeInt(3)}).Int,
+            2);
+  EXPECT_EQ(evalFuncTree(Mod, {Value::makeInt(5), Value::makeInt(0)}).Int,
+            0);
+}
+
+TEST(EvalFuncTree, MixedWidening) {
+  KernelEq Mul = binaryEq(BinaryOp::Mul);
+  Value R = evalFuncTree(Mul, {Value::makeInt(2), Value::makeReal(1.5)});
+  EXPECT_EQ(R.Kind, TypeKind::Real);
+  EXPECT_DOUBLE_EQ(R.Real, 3.0);
+}
+
+TEST(EvalFuncTree, Comparisons) {
+  EXPECT_TRUE(evalFuncTree(binaryEq(BinaryOp::Lt),
+                           {Value::makeInt(1), Value::makeInt(2)})
+                  .asBool());
+  EXPECT_TRUE(evalFuncTree(binaryEq(BinaryOp::Ge),
+                           {Value::makeReal(2.0), Value::makeInt(2)})
+                  .asBool());
+  EXPECT_TRUE(evalFuncTree(binaryEq(BinaryOp::Ne),
+                           {Value::makeBool(true), Value::makeBool(false)})
+                  .asBool());
+}
+
+TEST(EvalFuncTree, Logic) {
+  EXPECT_FALSE(evalFuncTree(binaryEq(BinaryOp::And),
+                            {Value::makeBool(true), Value::makeBool(false)})
+                   .asBool());
+  EXPECT_TRUE(evalFuncTree(binaryEq(BinaryOp::Xor),
+                           {Value::makeBool(true), Value::makeBool(false)})
+                  .asBool());
+}
+
+TEST(EvalFuncTree, UnaryAndConst) {
+  // not(arg0) and a constant leaf.
+  KernelEq Eq;
+  Eq.Kind = KernelEqKind::Func;
+  Eq.Args = {0};
+  FuncNode A0;
+  A0.Kind = FuncNode::Kind::Arg;
+  A0.ArgIndex = 0;
+  FuncNode N;
+  N.Kind = FuncNode::Kind::Unary;
+  N.UOp = UnaryOp::Not;
+  N.Lhs = 0;
+  Eq.Nodes = {A0, N};
+  EXPECT_TRUE(evalFuncTree(Eq, {Value::makeBool(false)}).asBool());
+
+  KernelEq CEq;
+  CEq.Kind = KernelEqKind::Func;
+  FuncNode CN;
+  CN.Kind = FuncNode::Kind::Const;
+  CN.Const = Value::makeInt(9);
+  CEq.Nodes = {CN};
+  EXPECT_EQ(evalFuncTree(CEq, {}).Int, 9);
+}
