@@ -151,12 +151,15 @@ int main(int Argc, char **Argv) {
 
   const StringInterner &Names = C->names();
   std::string ProcName(Names.spelling(C->Decl->Name));
-  std::printf("process %s: %u signals, %u clock variables, %u clock "
-              "classes alive, %u free clock(s)\n",
-              ProcName.c_str(), C->Kernel->numSignals(),
-              C->Clocks.numVars(),
-              static_cast<unsigned>(C->Forest->dfsOrder().size()),
-              static_cast<unsigned>(C->Forest->freeClocks().size()));
+  // Status goes to stderr so stdout carries only the requested artifacts
+  // (in particular, `--emit-c > file.c` must produce compilable C).
+  std::fprintf(stderr,
+               "process %s: %u signals, %u clock variables, %u clock "
+               "classes alive, %u free clock(s)\n",
+               ProcName.c_str(), C->Kernel->numSignals(),
+               C->Clocks.numVars(),
+               static_cast<unsigned>(C->Forest->dfsOrder().size()),
+               static_cast<unsigned>(C->Forest->freeClocks().size()));
 
   if (DumpKernel)
     std::printf("kernel:\n%s", C->Kernel->dump(Names).c_str());

@@ -1,0 +1,316 @@
+//===--- Oracle.cpp -------------------------------------------------------===//
+
+#include "testing/Oracle.h"
+
+#include "codegen/CEmitter.h"
+#include "driver/Driver.h"
+#include "interp/Environment.h"
+#include "interp/KernelInterp.h"
+#include "interp/StepExecutor.h"
+#include "testing/TraceCompare.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace sigc;
+
+namespace {
+
+/// Formats one failure report: header, diff, then the full source so the
+/// failure reproduces from the log alone.
+std::string failure(const std::string &Name, const std::string &What,
+                    const std::string &Detail, const std::string &Source) {
+  std::string Out = "[" + Name + "] " + What + "\n";
+  if (!Detail.empty())
+    Out += Detail;
+  Out += "--- program ---\n" + Source;
+  return Out;
+}
+
+/// The host compiler command, probed once ("" = none found).
+const std::string &hostCC() {
+  static const std::string CC = [] {
+    for (const char *Cand : {"cc", "gcc", "clang"}) {
+      std::string Probe =
+          std::string("command -v ") + Cand + " >/dev/null 2>&1";
+      if (std::system(Probe.c_str()) == 0)
+        return std::string(Cand);
+    }
+    return std::string();
+  }();
+  return CC;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Renders a C literal for \p V that round-trips exactly.
+std::string cInputLiteral(const Value &V) {
+  switch (V.Kind) {
+  case TypeKind::Boolean:
+  case TypeKind::Event:
+    return V.asBool() ? "1" : "0";
+  case TypeKind::Integer:
+    return std::to_string(V.Int) + "L";
+  case TypeKind::Real: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof Buf, "%.17g", V.Real);
+    return Buf;
+  }
+  case TypeKind::Unknown:
+    break;
+  }
+  return "0";
+}
+
+/// Builds the scripted-replay harness appended to the emitted step code:
+/// every free-clock tick and input value of every instant is precomputed
+/// from the same RandomEnvironment the in-process paths used (its answers
+/// are pure functions of seed, name and instant) and baked into arrays.
+std::string buildHarness(const Compilation &C, const std::string &Proc,
+                         const OracleOptions &Options) {
+  const StepProgram &Step = C.Step;
+  RandomEnvironment Env(Options.EnvSeed, Options.TickPermille);
+  unsigned N = Options.Instants;
+
+  std::string Out = "\n#include <stdio.h>\n\n";
+
+  for (const auto &CI : Step.ClockInputs) {
+    Out += "static const int tick_" + sanitizeIdent(CI.Name) + "_v[" +
+           std::to_string(N) + "] = {";
+    for (unsigned I = 0; I < N; ++I)
+      Out += std::string(Env.clockTick(CI.Name, I) ? "1" : "0") + ",";
+    Out += "};\n";
+  }
+  for (const auto &SI : Step.Inputs) {
+    const char *CType = SI.Type == TypeKind::Integer  ? "long"
+                        : SI.Type == TypeKind::Real ? "double"
+                                                      : "int";
+    Out += std::string("static const ") + CType + " in_" +
+           sanitizeIdent(SI.Name) + "_v[" + std::to_string(N) + "] = {";
+    for (unsigned I = 0; I < N; ++I)
+      Out += cInputLiteral(Env.inputValue(SI.Name, SI.Type, I)) + ",";
+    Out += "};\n";
+  }
+
+  Out += "\nint main(void) {\n";
+  Out += "  " + Proc + "_state_t st;\n";
+  Out += "  " + Proc + "_in_t in;\n";
+  Out += "  " + Proc + "_out_t out;\n";
+  Out += "  " + Proc + "_init(&st);\n";
+  Out += "  for (unsigned i = 0; i < " + std::to_string(N) + "; ++i) {\n";
+  for (const auto &CI : Step.ClockInputs) {
+    std::string Id = sanitizeIdent(CI.Name);
+    Out += "    in.tick_" + Id + " = tick_" + Id + "_v[i];\n";
+  }
+  for (const auto &SI : Step.Inputs) {
+    std::string Id = sanitizeIdent(SI.Name);
+    Out += "    in." + Id + " = in_" + Id + "_v[i];\n";
+  }
+  Out += "    " + Proc + "_step(&st, &in, &out);\n";
+  for (const auto &SO : Step.Outputs) {
+    std::string Id = sanitizeIdent(SO.Name);
+    const char *Fmt = SO.Type == TypeKind::Integer  ? "%ld"
+                      : SO.Type == TypeKind::Real ? "%.17g"
+                                                    : "%d";
+    Out += "    if (out." + Id + "_present) printf(\"%u " + Id + "=" + Fmt +
+           "\\n\", i, out." + Id + ");\n";
+  }
+  Out += "  }\n  return 0;\n}\n";
+  return Out;
+}
+
+/// Parses the harness' stdout back into output events.
+bool parseHarnessTrace(const std::string &Text, const StepProgram &Step,
+                       std::vector<OutputEvent> &Events,
+                       std::string &Error) {
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    size_t Sp = Line.find(' ');
+    size_t Eq = Line.find('=', Sp);
+    if (Sp == std::string::npos || Eq == std::string::npos) {
+      Error = "unparseable harness output line: '" + Line + "'";
+      return false;
+    }
+    unsigned Instant =
+        static_cast<unsigned>(std::strtoul(Line.c_str(), nullptr, 10));
+    std::string Ident = Line.substr(Sp + 1, Eq - Sp - 1);
+    std::string Val = Line.substr(Eq + 1);
+
+    const StepProgram::SignalIODesc *Desc = nullptr;
+    for (const auto &SO : Step.Outputs)
+      if (sanitizeIdent(SO.Name) == Ident)
+        Desc = &SO;
+    if (!Desc) {
+      Error = "harness printed unknown output '" + Ident + "'";
+      return false;
+    }
+
+    Value V;
+    switch (Desc->Type) {
+    case TypeKind::Boolean:
+      V = Value::makeBool(std::strtol(Val.c_str(), nullptr, 10) != 0);
+      break;
+    case TypeKind::Event:
+      V = Value::makeEvent();
+      break;
+    case TypeKind::Integer:
+      V = Value::makeInt(std::strtoll(Val.c_str(), nullptr, 10));
+      break;
+    case TypeKind::Real:
+      V = Value::makeReal(std::strtod(Val.c_str(), nullptr));
+      break;
+    case TypeKind::Unknown:
+      Error = "output '" + Ident + "' has unknown type";
+      return false;
+    }
+    Events.push_back({Instant, Desc->Name, V});
+  }
+  return true;
+}
+
+/// Compiles and runs the emitted C; fills \p Events with the subprocess
+/// trace. \returns false with \p Error set on any failure.
+bool runCRoundTrip(Compilation &C, const std::string &ProcName,
+                   const OracleOptions &Options,
+                   std::vector<OutputEvent> &Events, std::string &Error) {
+  const std::string &CC = hostCC();
+  if (CC.empty()) {
+    Error = "no host C compiler";
+    return false;
+  }
+
+  char Template[] = "/tmp/sigc-oracle-XXXXXX";
+  char *Dir = mkdtemp(Template);
+  if (!Dir) {
+    Error = "mkdtemp failed";
+    return false;
+  }
+  std::string D = Dir;
+  std::string CPath = D + "/prog.c", Bin = D + "/prog";
+  std::string OutPath = D + "/out.txt", LogPath = D + "/cc.log";
+
+  CEmitOptions EO;
+  EO.Nested = Options.EmitNested;
+  EO.WithDriver = false;
+  std::string Proc = sanitizeIdent(ProcName);
+  std::string CSource = emitC(*C.Kernel, C.Step, C.names(), Proc, EO);
+  CSource += buildHarness(C, Proc, Options);
+
+  bool Ok = false;
+  {
+    std::ofstream OutFile(CPath);
+    OutFile << CSource;
+  }
+  std::string Compile =
+      CC + " -O1 -o " + Bin + " " + CPath + " > " + LogPath + " 2>&1";
+  if (std::system(Compile.c_str()) != 0) {
+    Error = "host C compilation failed:\n" + readFile(LogPath) +
+            "--- emitted C ---\n" + CSource;
+  } else if (std::system((Bin + " > " + OutPath + " 2>/dev/null").c_str()) !=
+             0) {
+    Error = "emitted program exited non-zero";
+  } else {
+    Ok = parseHarnessTrace(readFile(OutPath), C.Step, Events, Error);
+  }
+
+  for (const std::string &F : {CPath, Bin, OutPath, LogPath})
+    std::remove(F.c_str());
+  rmdir(D.c_str());
+  return Ok;
+}
+
+} // namespace
+
+bool sigc::hostCCompilerAvailable() { return !hostCC().empty(); }
+
+OracleReport sigc::checkDifferential(const std::string &Name,
+                                     const std::string &Source,
+                                     const OracleOptions &Options) {
+  OracleReport R;
+
+  auto C = compileSource("<oracle:" + Name + ">", Source);
+  if (!C->Ok) {
+    R.Error = failure(Name, "compilation failed during " + C->FailedStage,
+                      C->Diags.render(), Source);
+    return R;
+  }
+
+  // Path 1: reference fixpoint interpreter.
+  RandomEnvironment EnvRef(Options.EnvSeed, Options.TickPermille);
+  KernelInterp Ref(*C->Kernel, C->Clocks, *C->Forest, C->names());
+  if (!Ref.run(EnvRef, Options.Instants)) {
+    R.Error = failure(Name, "reference interpreter got stuck", "", Source);
+    return R;
+  }
+
+  // Path 2: flat step program.
+  RandomEnvironment EnvFlat(Options.EnvSeed, Options.TickPermille);
+  StepExecutor ExecFlat(*C->Kernel, C->Step);
+  ExecFlat.run(EnvFlat, Options.Instants, ExecMode::Flat);
+  R.GuardTestsFlat = ExecFlat.guardTests();
+
+  // Path 3: nested step program.
+  RandomEnvironment EnvNested(Options.EnvSeed, Options.TickPermille);
+  StepExecutor ExecNested(*C->Kernel, C->Step);
+  ExecNested.run(EnvNested, Options.Instants, ExecMode::Nested);
+  R.GuardTestsNested = ExecNested.guardTests();
+
+  TraceDiff D = compareTraces("interp", EnvRef.outputs(), "step-flat",
+                              EnvFlat.outputs());
+  if (!D.Equal) {
+    R.Error = failure(Name, "interpreter vs flat step divergence", D.Report,
+                      Source);
+    return R;
+  }
+  D = compareTraces("step-flat", EnvFlat.outputs(), "step-nested",
+                    EnvNested.outputs());
+  if (!D.Equal) {
+    R.Error =
+        failure(Name, "flat vs nested step divergence", D.Report, Source);
+    return R;
+  }
+
+  // Path 4: the emitted C, through the host compiler.
+  if (Options.EmitCRoundTrip && hostCCompilerAvailable()) {
+    const StringInterner &Names = C->names();
+    std::string ProcName(Names.spelling(C->Decl->Name));
+    std::vector<OutputEvent> CEvents;
+    std::string Error;
+    if (!runCRoundTrip(*C, ProcName, Options, CEvents, Error)) {
+      R.Error = failure(Name, "emitted-C round-trip failed", Error, Source);
+      return R;
+    }
+    R.CRoundTripRan = true;
+    D = compareTraces("step-nested", EnvNested.outputs(), "emitted-c",
+                      CEvents);
+    if (!D.Equal) {
+      R.Error = failure(Name, "in-process vs emitted-C divergence", D.Report,
+                        Source);
+      return R;
+    }
+  }
+
+  R.Ok = true;
+  return R;
+}
+
+OracleReport sigc::checkRandomDifferential(
+    uint64_t Seed, const RandomProgramOptions &GenOptions,
+    const OracleOptions &Options) {
+  std::string Name = "random-" + std::to_string(Seed);
+  std::string Source = generateRandomProgram("RAND", Seed, GenOptions);
+  return checkDifferential(Name, Source, Options);
+}

@@ -1,0 +1,72 @@
+//===--- Oracle.h - Differential simulation oracle --------------*- C++-*-===//
+///
+/// \file
+/// The differential oracle behind the repo's correctness story: compile a
+/// SIGNAL source, then run the same random input trace through every
+/// execution path the compiler has —
+///
+///   1. the reference fixpoint interpreter (KernelInterp),
+///   2. the compiled step program, flat control structure,
+///   3. the compiled step program, nested control structure,
+///   4. optionally, the emitted C round-tripped through the host C
+///      compiler and executed as a subprocess,
+///
+/// and demand bit-identical output traces. Any divergence is a bug in the
+/// clock hierarchy, the schedule, the step compiler or the C emitter, and
+/// the report carries the program source plus the first differing events
+/// so the failure reproduces from the test log alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_TESTING_ORACLE_H
+#define SIGNALC_TESTING_ORACLE_H
+
+#include "testing/RandomProgram.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sigc {
+
+/// Options of one oracle run.
+struct OracleOptions {
+  unsigned Instants = 64;      ///< Reactions to execute.
+  uint64_t EnvSeed = 1;        ///< RandomEnvironment seed.
+  unsigned TickPermille = 800; ///< Free-clock tick probability.
+  /// Also compile the emitted C with the host C compiler and compare the
+  /// subprocess trace. Skipped (not failed) when no compiler is found.
+  bool EmitCRoundTrip = false;
+  /// Emit the nested control structure in the round-trip (flat otherwise).
+  bool EmitNested = true;
+};
+
+/// Outcome of one oracle run.
+struct OracleReport {
+  bool Ok = false;
+  /// On failure: which paths diverged, the first differing events, and
+  /// the program source (empty when Ok).
+  std::string Error;
+  /// Guard-test counters, exposed so tests can assert the Figure-9
+  /// effect (nested does at most as many tests as flat).
+  uint64_t GuardTestsFlat = 0;
+  uint64_t GuardTestsNested = 0;
+  /// True when the C round-trip actually ran (compiler available).
+  bool CRoundTripRan = false;
+};
+
+/// Runs the differential oracle on \p Source (named \p Name in reports).
+OracleReport checkDifferential(const std::string &Name,
+                               const std::string &Source,
+                               const OracleOptions &Options = {});
+
+/// Generates a random program from \p Seed and runs the oracle on it.
+OracleReport checkRandomDifferential(uint64_t Seed,
+                                     const RandomProgramOptions &GenOptions,
+                                     const OracleOptions &Options = {});
+
+/// \returns true when a host C compiler usable for the round-trip exists.
+bool hostCCompilerAvailable();
+
+} // namespace sigc
+
+#endif // SIGNALC_TESTING_ORACLE_H

@@ -1,0 +1,379 @@
+//===--- RandomProgram.cpp ------------------------------------------------===//
+
+#include "testing/RandomProgram.h"
+
+#include <cassert>
+#include <random>
+#include <vector>
+
+using namespace sigc;
+
+namespace {
+
+/// The generator's view of one signal.
+struct GenSignal {
+  std::string Name;
+  bool IsBool = false;
+  int Class = -1;     ///< Abstract clock class.
+  bool Defined = false; ///< Has a defining equation (inputs do not).
+};
+
+/// Moduli applied to integer Func results to keep values bounded.
+constexpr int64_t Moduli[] = {97, 101, 251, 1009, 9973};
+
+class Generator {
+public:
+  Generator(std::string Name, uint64_t Seed,
+            const RandomProgramOptions &Options)
+      : ProcName(std::move(Name)), Options(Options), Rng(Seed) {
+    // Enforce the documented minimums: "when" conditions need a boolean
+    // signal, and a process without outputs is unobservable.
+    if (this->Options.BoolInputs == 0)
+      this->Options.BoolInputs = 1;
+    if (this->Options.MaxOutputs == 0)
+      this->Options.MaxOutputs = 1;
+  }
+
+  std::string run();
+
+private:
+  unsigned pick(unsigned Bound) {
+    return Bound == 0 ? 0 : static_cast<unsigned>(Rng() % Bound);
+  }
+  bool percent(unsigned P) { return pick(100) < P; }
+
+  int newClass(bool Derived) {
+    ClassDerived.push_back(Derived);
+    return static_cast<int>(ClassDerived.size()) - 1;
+  }
+
+  /// Merges clock class \p From into \p To (both must be free).
+  void mergeClasses(int To, int From) {
+    if (To == From)
+      return;
+    assert(!ClassDerived[To] && !ClassDerived[From]);
+    for (GenSignal &S : Signals)
+      if (S.Class == From)
+        S.Class = To;
+  }
+
+  int addSignal(const std::string &Name, bool IsBool, int Class,
+                bool Defined) {
+    Signals.push_back({Name, IsBool, Class, Defined});
+    return static_cast<int>(Signals.size()) - 1;
+  }
+
+  /// Indices of signals usable as operands with pivot class \p Class:
+  /// same class always; other free classes too when \p Class is free
+  /// (uses merge the classes, like the calculus' unification).
+  std::vector<int> operandPool(int Class, bool WantBool) const {
+    std::vector<int> Pool;
+    bool PivotFree = !ClassDerived[Class];
+    for (int I = 0; I < static_cast<int>(Signals.size()); ++I) {
+      const GenSignal &S = Signals[I];
+      if (S.IsBool != WantBool)
+        continue;
+      if (S.Class == Class || (PivotFree && !ClassDerived[S.Class]))
+        Pool.push_back(I);
+    }
+    return Pool;
+  }
+
+  /// Picks a random signal index, optionally filtered by type.
+  int pickSignal(int WantBool /* -1 = any */) {
+    std::vector<int> Pool;
+    for (int I = 0; I < static_cast<int>(Signals.size()); ++I)
+      if (WantBool < 0 || Signals[I].IsBool == (WantBool == 1))
+        Pool.push_back(I);
+    return Pool[pick(static_cast<unsigned>(Pool.size()))];
+  }
+
+  /// Emits an expression over \p Class-compatible operands; signals that
+  /// get used are recorded in \p Used so the caller can merge classes.
+  std::string genExpr(int Class, bool WantBool, unsigned Depth,
+                      std::vector<int> &Used);
+
+  std::string genIntLeaf(int Class, std::vector<int> &Used);
+  std::string genBoolLeaf(int Class, std::vector<int> &Used);
+
+  void genFunc(unsigned Index);
+  void genDelay(unsigned Index);
+  void genWhen(unsigned Index);
+  void genDefault(unsigned Index);
+  void genAccumulator(unsigned Index);
+  void maybeGenSynchro();
+
+  void eq(const std::string &Text) {
+    Body += Body.empty() ? "   " : "   | ";
+    Body += Text + "\n";
+  }
+
+  std::string ProcName;
+  RandomProgramOptions Options;
+  std::mt19937_64 Rng;
+
+  std::vector<GenSignal> Signals;
+  std::vector<bool> ClassDerived; ///< Indexed by class id.
+  std::string Body;
+};
+
+std::string Generator::genIntLeaf(int Class, std::vector<int> &Used) {
+  std::vector<int> Pool = operandPool(Class, /*WantBool=*/false);
+  if (Pool.empty() || percent(20))
+    return std::to_string(pick(10));
+  int S = Pool[pick(static_cast<unsigned>(Pool.size()))];
+  Used.push_back(S);
+  return Signals[S].Name;
+}
+
+std::string Generator::genBoolLeaf(int Class, std::vector<int> &Used) {
+  std::vector<int> Pool = operandPool(Class, /*WantBool=*/true);
+  if (Pool.empty() || percent(15))
+    return pick(2) ? "true" : "false";
+  int S = Pool[pick(static_cast<unsigned>(Pool.size()))];
+  Used.push_back(S);
+  return Signals[S].Name;
+}
+
+std::string Generator::genExpr(int Class, bool WantBool, unsigned Depth,
+                               std::vector<int> &Used) {
+  if (Depth == 0)
+    return WantBool ? genBoolLeaf(Class, Used) : genIntLeaf(Class, Used);
+
+  if (!WantBool) {
+    switch (pick(6)) {
+    case 0:
+      return "(" + genExpr(Class, false, Depth - 1, Used) + " + " +
+             genExpr(Class, false, Depth - 1, Used) + ")";
+    case 1:
+      return "(" + genExpr(Class, false, Depth - 1, Used) + " - " +
+             genExpr(Class, false, Depth - 1, Used) + ")";
+    case 2:
+      return "(" + genExpr(Class, false, Depth - 1, Used) + " * " +
+             genExpr(Class, false, Depth - 1, Used) + ")";
+    case 3:
+      return "(" + genExpr(Class, false, Depth - 1, Used) + " / " +
+             genExpr(Class, false, Depth - 1, Used) + ")";
+    case 4:
+      return "(" + genExpr(Class, false, Depth - 1, Used) + " mod " +
+             std::to_string(2 + pick(9)) + ")";
+    default:
+      return genIntLeaf(Class, Used);
+    }
+  }
+
+  switch (pick(8)) {
+  case 0:
+    return "(" + genExpr(Class, true, Depth - 1, Used) + " and " +
+           genExpr(Class, true, Depth - 1, Used) + ")";
+  case 1:
+    return "(" + genExpr(Class, true, Depth - 1, Used) + " or " +
+           genExpr(Class, true, Depth - 1, Used) + ")";
+  case 2:
+    return "(" + genExpr(Class, true, Depth - 1, Used) + " xor " +
+           genExpr(Class, true, Depth - 1, Used) + ")";
+  case 3:
+    return "(not " + genExpr(Class, true, Depth - 1, Used) + ")";
+  case 4:
+    return "(" + genExpr(Class, false, Depth - 1, Used) + " < " +
+           genExpr(Class, false, Depth - 1, Used) + ")";
+  case 5:
+    return "(" + genExpr(Class, false, Depth - 1, Used) + " >= " +
+           genExpr(Class, false, Depth - 1, Used) + ")";
+  case 6:
+    return "(" + genExpr(Class, false, Depth - 1, Used) + " = " +
+           genExpr(Class, false, Depth - 1, Used) + ")";
+  default:
+    return genBoolLeaf(Class, Used);
+  }
+}
+
+/// Merges the classes of all \p Used signals into \p Class. Only called
+/// when the pool discipline already guaranteed compatibility.
+static int unifyUsed(std::vector<GenSignal> &Signals,
+                     std::vector<bool> &ClassDerived, int Class,
+                     const std::vector<int> &Used) {
+  for (int S : Used) {
+    int C = Signals[S].Class;
+    if (C == Class)
+      continue;
+    assert(!ClassDerived[Class] && !ClassDerived[C]);
+    (void)ClassDerived;
+    for (GenSignal &Sig : Signals)
+      if (Sig.Class == C)
+        Sig.Class = Class;
+  }
+  return Class;
+}
+
+void Generator::genFunc(unsigned Index) {
+  bool WantBool = percent(40);
+  int Pivot = pickSignal(-1);
+  int Class = Signals[Pivot].Class;
+
+  std::vector<int> Used;
+  std::string Expr =
+      genExpr(Class, WantBool, 1 + pick(Options.MaxExprDepth), Used);
+  std::string Name = (WantBool ? "SB" : "SI") + std::to_string(Index);
+  if (!WantBool) {
+    int64_t M = Moduli[pick(sizeof(Moduli) / sizeof(Moduli[0]))];
+    Expr = "(" + Expr + ") mod " + std::to_string(M);
+  }
+  Class = unifyUsed(Signals, ClassDerived, Class, Used);
+  addSignal(Name, WantBool, Class, /*Defined=*/true);
+  eq(Name + " := " + Expr);
+}
+
+void Generator::genDelay(unsigned Index) {
+  int Src = pickSignal(-1);
+  // Copy: addSignal reallocates Signals.
+  GenSignal S = Signals[Src];
+  std::string Name = (S.IsBool ? "DB" : "DI") + std::to_string(Index);
+  std::string Init =
+      S.IsBool ? (pick(2) ? "true" : "false") : std::to_string(pick(10));
+  addSignal(Name, S.IsBool, S.Class, /*Defined=*/true);
+  eq(Name + " := " + S.Name + " $ 1 init " + Init);
+}
+
+void Generator::genWhen(unsigned Index) {
+  int Val = pickSignal(-1);
+  int Cond = pickSignal(/*WantBool=*/1);
+  // Copy: addSignal reallocates Signals.
+  GenSignal V = Signals[Val];
+  std::string Name = (V.IsBool ? "WB" : "WI") + std::to_string(Index);
+  std::string CondText = percent(25) ? "(not " + Signals[Cond].Name + ")"
+                                     : Signals[Cond].Name;
+  addSignal(Name, V.IsBool, newClass(/*Derived=*/true), /*Defined=*/true);
+  eq(Name + " := " + V.Name + " when " + CondText);
+}
+
+void Generator::genDefault(unsigned Index) {
+  int A = pickSignal(-1);
+  int B = pickSignal(Signals[A].IsBool ? 1 : 0);
+  // Copies: addSignal reallocates Signals.
+  GenSignal SA = Signals[A], SB = Signals[B];
+  std::string Name = (SA.IsBool ? "MB" : "MI") + std::to_string(Index);
+  addSignal(Name, SA.IsBool, newClass(/*Derived=*/true), /*Defined=*/true);
+  eq(Name + " := " + SA.Name + " default " + SB.Name);
+}
+
+void Generator::genAccumulator(unsigned Index) {
+  // Z := N $ 1 init 0 | N := (expr + Z) mod M, everything in one class.
+  int Pivot = pickSignal(-1);
+  int Class = Signals[Pivot].Class;
+  std::string Z = "Z" + std::to_string(Index);
+  std::string N = "AC" + std::to_string(Index);
+
+  std::vector<int> Used;
+  std::string Expr = genExpr(Class, /*WantBool=*/false, 1, Used);
+  Class = unifyUsed(Signals, ClassDerived, Class, Used);
+
+  int64_t M = Moduli[pick(sizeof(Moduli) / sizeof(Moduli[0]))];
+  addSignal(Z, /*IsBool=*/false, Class, /*Defined=*/true);
+  addSignal(N, /*IsBool=*/false, Class, /*Defined=*/true);
+  eq(Z + " := " + N + " $ 1 init 0");
+  eq(N + " := (" + Expr + " + " + Z + ") mod " + std::to_string(M));
+}
+
+void Generator::maybeGenSynchro() {
+  // Collect one representative per free class.
+  std::vector<int> Reps;
+  std::vector<bool> Seen(ClassDerived.size(), false);
+  for (int I = 0; I < static_cast<int>(Signals.size()); ++I) {
+    int C = Signals[I].Class;
+    if (!ClassDerived[C] && !Seen[C]) {
+      Seen[C] = true;
+      Reps.push_back(I);
+    }
+  }
+  if (Reps.size() < 2)
+    return;
+  unsigned A = pick(static_cast<unsigned>(Reps.size()));
+  unsigned B = pick(static_cast<unsigned>(Reps.size()));
+  if (A == B)
+    return;
+  int SA = Reps[A], SB = Reps[B];
+  eq("synchro {" + Signals[SA].Name + ", " + Signals[SB].Name + "}");
+  mergeClasses(Signals[SA].Class, Signals[SB].Class);
+}
+
+std::string Generator::run() {
+  for (unsigned I = 1; I <= Options.IntInputs; ++I)
+    addSignal("I" + std::to_string(I), /*IsBool=*/false,
+              newClass(/*Derived=*/false), /*Defined=*/false);
+  for (unsigned I = 1; I <= Options.BoolInputs; ++I)
+    addSignal("B" + std::to_string(I), /*IsBool=*/true,
+              newClass(/*Derived=*/false), /*Defined=*/false);
+  assert(Options.BoolInputs >= 1 && "when conditions need a boolean");
+
+  for (unsigned I = 1; I <= Options.Equations; ++I) {
+    if (percent(Options.SynchroPercent))
+      maybeGenSynchro();
+    if (percent(Options.AccumulatorPercent)) {
+      genAccumulator(I);
+      continue;
+    }
+    switch (pick(4)) {
+    case 0:
+      genFunc(I);
+      break;
+    case 1:
+      genDelay(I);
+      break;
+    case 2:
+      genWhen(I);
+      break;
+    default:
+      genDefault(I);
+      break;
+    }
+  }
+
+  // Pick the outputs: the most recently defined signals, newest first,
+  // so the deepest parts of the DAG are observed.
+  unsigned NumOutputs = 1 + pick(Options.MaxOutputs);
+  std::vector<int> Outputs;
+  for (int I = static_cast<int>(Signals.size()) - 1;
+       I >= 0 && Outputs.size() < NumOutputs; --I)
+    if (Signals[I].Defined)
+      Outputs.push_back(I);
+
+  std::string Decl = "process " + ProcName + " =\n  ( ?\n";
+  for (const GenSignal &S : Signals)
+    if (!S.Defined)
+      Decl += std::string("    ") + (S.IsBool ? "boolean " : "integer ") +
+              S.Name + ";\n";
+  Decl += "  !\n";
+  for (int I : Outputs)
+    Decl += std::string("    ") +
+            (Signals[I].IsBool ? "boolean " : "integer ") + Signals[I].Name +
+            ";\n";
+  Decl += "  )\n  (|\n" + Body + "  |)\n";
+
+  std::string Locals;
+  for (int I = 0; I < static_cast<int>(Signals.size()); ++I) {
+    const GenSignal &S = Signals[I];
+    if (!S.Defined)
+      continue;
+    bool IsOutput = false;
+    for (int O : Outputs)
+      IsOutput |= O == I;
+    if (IsOutput)
+      continue;
+    Locals += std::string("    ") + (S.IsBool ? "boolean " : "integer ") +
+              S.Name + ";\n";
+  }
+  if (!Locals.empty())
+    Decl += "  where\n" + Locals + "  end";
+  Decl += ";\n";
+  return Decl;
+}
+
+} // namespace
+
+std::string sigc::generateRandomProgram(const std::string &Name,
+                                        uint64_t Seed,
+                                        const RandomProgramOptions &Options) {
+  Generator G(Name, Seed, Options);
+  return G.run();
+}

@@ -1,0 +1,53 @@
+//===--- RandomProgram.h - Random kernel-program generation -----*- C++-*-===//
+///
+/// \file
+/// Generates random but *well-clocked* SIGNAL source programs for
+/// differential testing. Programs are built as a DAG of equations over a
+/// small signal pool; a clock-class discipline guarantees the clock
+/// calculus accepts every generated program:
+///
+///   * every signal carries an abstract clock class,
+///   * pointwise functions only combine signals of one class — or of
+///     several *free* classes (input roots), which the generator merges,
+///     mirroring the unification the calculus will perform,
+///   * "when" and "default" results open a fresh derived class, since
+///     their clocks are new nodes of the hierarchy,
+///   * delays stay in the class of their source (ŷ = x̂).
+///
+/// Integer results are reduced "mod" a small constant so values stay
+/// bounded under feedback (no signed overflow on any path, including the
+/// emitted C). An accumulator motif (Z := N $ 1 | N := f(..., Z)) injects
+/// stateful feedback, which is what distinguishes a schedule bug from a
+/// pointwise bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_TESTING_RANDOMPROGRAM_H
+#define SIGNALC_TESTING_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace sigc {
+
+/// Knobs of the random generator.
+struct RandomProgramOptions {
+  unsigned IntInputs = 2;       ///< Integer input signals.
+  unsigned BoolInputs = 2;      ///< Boolean input signals.
+  unsigned Equations = 12;      ///< Derived-signal equations to generate.
+  unsigned MaxExprDepth = 3;    ///< Operator-tree depth for Func equations.
+  unsigned MaxOutputs = 4;      ///< Output signals exported (at least 1).
+  unsigned SynchroPercent = 10; ///< Chance per equation slot to emit a
+                                ///< synchro between two free classes.
+  unsigned AccumulatorPercent = 20; ///< Chance a slot becomes the two-
+                                    ///< equation delay-feedback motif.
+};
+
+/// Generates one process named \p Name from \p Seed. Same seed, same
+/// options, same source — byte for byte.
+std::string generateRandomProgram(const std::string &Name, uint64_t Seed,
+                                  const RandomProgramOptions &Options = {});
+
+} // namespace sigc
+
+#endif // SIGNALC_TESTING_RANDOMPROGRAM_H

@@ -1,0 +1,63 @@
+//===--- TraceCompare.cpp -------------------------------------------------===//
+
+#include "testing/TraceCompare.h"
+
+#include <algorithm>
+
+using namespace sigc;
+
+std::vector<OutputEvent> sigc::canonicalTrace(std::vector<OutputEvent> Events) {
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const OutputEvent &L, const OutputEvent &R) {
+                     if (L.Instant != R.Instant)
+                       return L.Instant < R.Instant;
+                     return L.Signal < R.Signal;
+                   });
+  return Events;
+}
+
+namespace {
+
+std::string renderEvent(const OutputEvent &E) {
+  return std::to_string(E.Instant) + " " + E.Signal + "=" + E.Val.str();
+}
+
+} // namespace
+
+TraceDiff sigc::compareTraces(const std::string &NameA,
+                              std::vector<OutputEvent> A,
+                              const std::string &NameB,
+                              std::vector<OutputEvent> B) {
+  A = canonicalTrace(std::move(A));
+  B = canonicalTrace(std::move(B));
+
+  size_t N = std::min(A.size(), B.size());
+  size_t Mismatch = N;
+  for (size_t I = 0; I < N; ++I) {
+    if (!(A[I] == B[I])) {
+      Mismatch = I;
+      break;
+    }
+  }
+  if (Mismatch == N && A.size() == B.size())
+    return {};
+
+  TraceDiff D;
+  D.Equal = false;
+  std::string &R = D.Report;
+  R += "traces diverge (" + NameA + ": " + std::to_string(A.size()) +
+       " events, " + NameB + ": " + std::to_string(B.size()) + " events)\n";
+
+  size_t ContextFrom = Mismatch >= 3 ? Mismatch - 3 : 0;
+  for (size_t I = ContextFrom; I < Mismatch; ++I)
+    R += "  both: " + renderEvent(A[I]) + "\n";
+  if (Mismatch < A.size())
+    R += "  " + NameA + ": " + renderEvent(A[Mismatch]) + "\n";
+  else
+    R += "  " + NameA + ": <end of trace>\n";
+  if (Mismatch < B.size())
+    R += "  " + NameB + ": " + renderEvent(B[Mismatch]) + "\n";
+  else
+    R += "  " + NameB + ": <end of trace>\n";
+  return D;
+}

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 namespace sigc::test {
@@ -39,6 +41,48 @@ inline std::string proc(const std::string &Interface, const std::string &Body,
     Out += "  where " + Locals + " end";
   Out += ";\n";
   return Out;
+}
+
+/// Normalizes dump/emission output for golden-file comparison: CRLF to
+/// LF, trailing whitespace stripped per line, exactly one trailing
+/// newline. Content differences still fail; whitespace drift does not.
+inline std::string normalizeDump(const std::string &Text) {
+  std::string Out;
+  std::string Line;
+  std::istringstream In(Text);
+  while (std::getline(In, Line)) {
+    while (!Line.empty() && (Line.back() == ' ' || Line.back() == '\t' ||
+                             Line.back() == '\r'))
+      Line.pop_back();
+    Out += Line;
+    Out += '\n';
+  }
+  while (Out.size() >= 2 && Out[Out.size() - 1] == '\n' &&
+         Out[Out.size() - 2] == '\n')
+    Out.pop_back();
+  return Out;
+}
+
+/// Reads a file under tests/ (e.g. "golden/FIG5_ALARM.tree.txt").
+/// The directory comes from the SIGNALC_TEST_DIR compile definition the
+/// build sets on every test target.
+inline std::string readTestFile(const std::string &RelPath) {
+  std::string Path = std::string(SIGNALC_TEST_DIR) + "/" + RelPath;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Compares \p Actual against the golden file at \p RelPath, after
+/// normalizing both sides.
+inline void expectMatchesGolden(const std::string &Actual,
+                                const std::string &RelPath) {
+  std::string Golden = readTestFile(RelPath);
+  EXPECT_EQ(normalizeDump(Actual), normalizeDump(Golden))
+      << "output differs from golden file " << RelPath
+      << " (regenerate it if the change is intentional)";
 }
 
 } // namespace sigc::test

@@ -1,0 +1,231 @@
+//===--- differential_test.cpp - Simulation-oracle differential suite -----===//
+///
+/// Drives the src/testing/ oracle over
+///   * the Figure-13 builtin program suite (plus the Figure-5 alarm),
+///   * 100+ random well-clocked programs,
+///   * the emitted-C round-trip, when a host C compiler is present,
+/// asserting that the fixpoint interpreter, the flat step program, the
+/// nested step program and the compiled C all produce identical traces —
+/// the executable form of the paper's claim that the hierarchization
+/// preserves the program's semantics (Section 3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+#include "testing/Oracle.h"
+#include "testing/RandomProgram.h"
+#include "testing/TraceCompare.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+
+//===----------------------------------------------------------------------===//
+// The oracle itself must be able to see a divergence.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCompare, EqualTracesCompareEqual) {
+  std::vector<OutputEvent> A = {{0, "X", Value::makeInt(1)},
+                                {0, "Y", Value::makeInt(2)},
+                                {1, "X", Value::makeInt(3)}};
+  // Same events, different within-instant order: canonically equal.
+  std::vector<OutputEvent> B = {{0, "Y", Value::makeInt(2)},
+                                {0, "X", Value::makeInt(1)},
+                                {1, "X", Value::makeInt(3)}};
+  EXPECT_TRUE(compareTraces("a", A, "b", B).Equal);
+}
+
+TEST(TraceCompare, ValueDivergenceIsReported) {
+  std::vector<OutputEvent> A = {{0, "X", Value::makeInt(1)},
+                                {1, "X", Value::makeInt(2)}};
+  std::vector<OutputEvent> B = {{0, "X", Value::makeInt(1)},
+                                {1, "X", Value::makeInt(5)}};
+  TraceDiff D = compareTraces("left", A, "right", B);
+  EXPECT_FALSE(D.Equal);
+  EXPECT_NE(D.Report.find("left: 1 X=2"), std::string::npos) << D.Report;
+  EXPECT_NE(D.Report.find("right: 1 X=5"), std::string::npos) << D.Report;
+}
+
+TEST(TraceCompare, MissingEventIsReported) {
+  std::vector<OutputEvent> A = {{0, "X", Value::makeInt(1)},
+                                {2, "X", Value::makeInt(2)}};
+  std::vector<OutputEvent> B = {{0, "X", Value::makeInt(1)}};
+  TraceDiff D = compareTraces("full", A, "short", B);
+  EXPECT_FALSE(D.Equal);
+  EXPECT_NE(D.Report.find("<end of trace>"), std::string::npos) << D.Report;
+}
+
+TEST(Oracle, RejectsUncompilableSource) {
+  OracleReport R = checkDifferential("broken", "process = (");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("compilation failed"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Random program generation.
+//===----------------------------------------------------------------------===//
+
+TEST(RandomProgram, DeterministicForFixedSeed) {
+  RandomProgramOptions O;
+  EXPECT_EQ(generateRandomProgram("P", 42, O),
+            generateRandomProgram("P", 42, O));
+}
+
+TEST(RandomProgram, DifferentSeedsDiffer) {
+  RandomProgramOptions O;
+  EXPECT_NE(generateRandomProgram("P", 1, O),
+            generateRandomProgram("P", 2, O));
+}
+
+TEST(RandomProgram, ClampsDegenerateOptions) {
+  // Zero boolean inputs / zero outputs are clamped to the documented
+  // minimums instead of corrupting the generator.
+  RandomProgramOptions Gen;
+  Gen.BoolInputs = 0;
+  Gen.MaxOutputs = 0;
+  std::string S = generateRandomProgram("P", 5, Gen);
+  EXPECT_NE(S.find("boolean B1"), std::string::npos) << S;
+  OracleOptions O;
+  O.Instants = 16;
+  OracleReport R = checkRandomDifferential(5, Gen, O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Figure-13 builtin suite.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialBuiltins, Figure5Alarm) {
+  OracleOptions O;
+  O.Instants = 96;
+  O.EnvSeed = 7;
+  OracleReport R = checkDifferential("FIG5_ALARM", alarmFigure5Source(), O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_LE(R.GuardTestsNested, R.GuardTestsFlat);
+}
+
+namespace {
+
+class Figure13Differential
+    : public ::testing::TestWithParam<Figure13Program> {};
+
+} // namespace
+
+TEST_P(Figure13Differential, AllPathsAgree) {
+  const Figure13Program &P = GetParam();
+  OracleOptions O;
+  O.Instants = 48;
+  O.EnvSeed = 3;
+  OracleReport R = checkDifferential(P.Name, P.Source, O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  // Note: nested mode is not universally cheaper in *tests* — a deep tree
+  // with few instructions per block can test more block guards than the
+  // flat program tests instruction guards (STOPWATCH does). Equality of
+  // traces is the invariant; the guard economics are the benchmarks' job.
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, Figure13Differential,
+                         ::testing::ValuesIn(figure13Suite()),
+                         [](const auto &Info) { return Info.param.Name; });
+
+//===----------------------------------------------------------------------===//
+// Emitted-C round-trip (compiles the generated C with the host cc).
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialEmitC, AlarmNested) {
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  OracleOptions O;
+  O.Instants = 64;
+  O.EnvSeed = 11;
+  O.EmitCRoundTrip = true;
+  O.EmitNested = true;
+  OracleReport R = checkDifferential("FIG5_ALARM", alarmFigure5Source(), O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.CRoundTripRan);
+}
+
+TEST(DifferentialEmitC, AlarmFlat) {
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  OracleOptions O;
+  O.Instants = 64;
+  O.EnvSeed = 11;
+  O.EmitCRoundTrip = true;
+  O.EmitNested = false;
+  OracleReport R = checkDifferential("FIG5_ALARM", alarmFigure5Source(), O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.CRoundTripRan);
+}
+
+TEST(DifferentialEmitC, RandomPrograms) {
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  RandomProgramOptions Gen;
+  OracleOptions O;
+  O.Instants = 32;
+  O.EmitCRoundTrip = true;
+  for (uint64_t Seed = 9000; Seed < 9008; ++Seed) {
+    O.EnvSeed = Seed;
+    OracleReport R = checkRandomDifferential(Seed, Gen, O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.CRoundTripRan);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Random-program sweep: 100+ seeds through all in-process paths.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class RandomDifferential : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(RandomDifferential, AllPathsAgree) {
+  unsigned Block = GetParam();
+  RandomProgramOptions Gen;
+  OracleOptions O;
+  O.Instants = 48;
+  for (uint64_t Seed = Block * 16; Seed < (Block + 1) * 16ull; ++Seed) {
+    O.EnvSeed = Seed * 31 + 1;
+    OracleReport R = checkRandomDifferential(Seed, Gen, O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+  }
+}
+
+// 8 blocks x 16 seeds = 128 random programs.
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomDifferential,
+                         ::testing::Range(0u, 8u));
+
+//===----------------------------------------------------------------------===//
+// Sparse clocks and bigger programs: variations of the generator knobs.
+//===----------------------------------------------------------------------===//
+
+TEST(RandomDifferential, SparseTicks) {
+  RandomProgramOptions Gen;
+  OracleOptions O;
+  O.Instants = 64;
+  O.TickPermille = 300; // mostly-absent free clocks
+  for (uint64_t Seed = 500; Seed < 516; ++Seed) {
+    O.EnvSeed = Seed + 99;
+    OracleReport R = checkRandomDifferential(Seed, Gen, O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+  }
+}
+
+TEST(RandomDifferential, LargerPrograms) {
+  RandomProgramOptions Gen;
+  Gen.Equations = 32;
+  Gen.IntInputs = 4;
+  Gen.BoolInputs = 4;
+  Gen.MaxOutputs = 6;
+  OracleOptions O;
+  O.Instants = 32;
+  for (uint64_t Seed = 700; Seed < 712; ++Seed) {
+    O.EnvSeed = Seed;
+    OracleReport R = checkRandomDifferential(Seed, Gen, O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+  }
+}

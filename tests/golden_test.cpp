@@ -1,0 +1,75 @@
+//===--- golden_test.cpp - Golden-file pins of --dump-tree / --emit-c -----===//
+///
+/// Pins the resolved clock forest (--dump-tree) and the nested C emission
+/// (--emit-c=nested) of five builtin programs against checked-in golden
+/// files under tests/golden/. These are change detectors: any alteration
+/// of the hierarchization or the code generator shows up as a readable
+/// diff here before the differential suite has to find it dynamically.
+///
+/// To regenerate after an intentional change, write the new dumps over
+/// tests/golden/<NAME>.tree.txt / <NAME>.c.txt (the test failure message
+/// carries the full actual output).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "codegen/CEmitter.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+using namespace sigc::test;
+
+namespace {
+
+/// Names of the pinned Figure-13 programs (FIG5_ALARM is pinned
+/// separately; STOPWATCH/WATCH/ALARM dumps are large and churn-prone).
+const char *PinnedPrograms[] = {"CHRONO", "SUPERVISOR", "PACE_MAKER",
+                                "ROBOT"};
+
+std::string builtinSource(const std::string &Name) {
+  if (Name == "FIG5_ALARM")
+    return alarmFigure5Source();
+  for (const Figure13Program &P : figure13Suite())
+    if (P.Name == Name)
+      return P.Source;
+  ADD_FAILURE() << "unknown builtin " << Name;
+  return "";
+}
+
+void checkGolden(const std::string &Name) {
+  auto C = compileOk(builtinSource(Name));
+  if (!C->Ok)
+    return;
+  const StringInterner &Names = C->names();
+  std::string Proc(Names.spelling(C->Decl->Name));
+
+  expectMatchesGolden(C->Forest->dump(C->Clocks, *C->Kernel, Names),
+                      "golden/" + Name + ".tree.txt");
+
+  CEmitOptions EO;
+  EO.Nested = true;
+  expectMatchesGolden(emitC(*C->Kernel, C->Step, Names, Proc, EO),
+                      "golden/" + Name + ".c.txt");
+}
+
+} // namespace
+
+TEST(Golden, NormalizeDumpStripsTrailingWhitespace) {
+  EXPECT_EQ(normalizeDump("a  \nb\t\r\n\n\nc"), "a\nb\n\n\nc\n");
+  EXPECT_EQ(normalizeDump("x\n"), "x\n");
+  EXPECT_EQ(normalizeDump(""), "");
+}
+
+TEST(Golden, Figure5AlarmTreeAndC) { checkGolden("FIG5_ALARM"); }
+
+class GoldenFigure13 : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(GoldenFigure13, TreeAndC) { checkGolden(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(Pinned, GoldenFigure13,
+                         ::testing::ValuesIn(PinnedPrograms),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });

@@ -138,3 +138,105 @@ TEST(Budget, RestartResetsVerdict) {
   EXPECT_EQ(B.verdict(), BudgetVerdict::Ok);
   EXPECT_TRUE(B.checkNodes(5));
 }
+
+//===----------------------------------------------------------------------===//
+// Edge cases: re-interning, buffer boundaries, exhaustion interplay.
+//===----------------------------------------------------------------------===//
+
+TEST(StringInterner, ReinterningAfterGrowthKeepsSymbol) {
+  // The symbol handed out for a spelling must survive arbitrary later
+  // interning (table growth, rehashing) and re-interning the same text —
+  // including via a spelling() view into the interner's own storage.
+  StringInterner I;
+  Symbol First = I.intern("pivot");
+  for (int K = 0; K < 4096; ++K)
+    I.intern("filler" + std::to_string(K));
+  EXPECT_EQ(I.intern("pivot"), First);
+  std::string_view Sp = I.spelling(First);
+  EXPECT_EQ(I.intern(Sp), First);
+  EXPECT_EQ(I.lookup("pivot"), First);
+}
+
+TEST(StringInterner, EmptyAndNearIdenticalSpellings) {
+  StringInterner I;
+  Symbol Empty = I.intern("");
+  EXPECT_TRUE(Empty.isValid());
+  EXPECT_EQ(I.spelling(Empty), "");
+  EXPECT_EQ(I.intern(""), Empty);
+  // Prefix/suffix neighbours must not collide.
+  Symbol A = I.intern("CLOCK");
+  Symbol B = I.intern("CLOCK_");
+  Symbol C = I.intern("CLOC");
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(B, C);
+}
+
+TEST(SourceManager, LineColumnAtBufferBoundaries) {
+  SourceManager SM;
+  // "ab\ncd" occupies offsets Start..Start+4; Start+5 is one-past-the-end.
+  SourceLoc Start = SM.addBuffer("edge.sig", "ab\ncd");
+
+  // Last character of the buffer.
+  LineColumn Last = SM.lineColumn(SourceLoc(Start.offset() + 4));
+  EXPECT_EQ(Last.Line, 2u);
+  EXPECT_EQ(Last.Column, 2u);
+
+  // The newline itself belongs to line 1.
+  LineColumn NL = SM.lineColumn(SourceLoc(Start.offset() + 2));
+  EXPECT_EQ(NL.Line, 1u);
+  EXPECT_EQ(NL.Column, 3u);
+
+  // One-past-the-end still resolves to this buffer (EOF diagnostics).
+  SourceLoc End(Start.offset() + 5);
+  EXPECT_EQ(SM.bufferName(End), "edge.sig");
+  LineColumn AtEnd = SM.lineColumn(End);
+  EXPECT_EQ(AtEnd.Line, 2u);
+  EXPECT_EQ(AtEnd.Column, 3u);
+}
+
+TEST(SourceManager, AdjacentBuffersDoNotBleed) {
+  SourceManager SM;
+  SourceLoc A = SM.addBuffer("a.sig", "aaa");
+  SourceLoc B = SM.addBuffer("b.sig", "bbb");
+  // One-past-the-end of A is still A; the next offset is B's first char.
+  EXPECT_EQ(SM.bufferName(SourceLoc(A.offset() + 3)), "a.sig");
+  EXPECT_EQ(B.offset(), A.offset() + 4);
+  EXPECT_EQ(SM.bufferName(B), "b.sig");
+  EXPECT_EQ(SM.lineColumn(B).Line, 1u);
+  EXPECT_EQ(SM.lineColumn(B).Column, 1u);
+}
+
+TEST(SourceManager, EmptyBufferResolves) {
+  SourceManager SM;
+  SourceLoc A = SM.addBuffer("empty.sig", "");
+  SourceLoc B = SM.addBuffer("next.sig", "x");
+  EXPECT_EQ(SM.bufferName(A), "empty.sig");
+  EXPECT_EQ(SM.describe(A), "empty.sig:1:1");
+  EXPECT_EQ(SM.bufferName(B), "next.sig");
+}
+
+TEST(Budget, NodeExhaustionIsStickyAcrossTimeChecks) {
+  // Once unable-mem trips, later time checks must not flip the verdict.
+  Budget B(100000, 10);
+  B.start();
+  EXPECT_FALSE(B.checkNodes(11));
+  EXPECT_FALSE(B.checkTime());
+  EXPECT_EQ(B.verdict(), BudgetVerdict::UnableMem);
+}
+
+TEST(Budget, ExhaustionAtExactLimitIsOk) {
+  Budget B(0, 10);
+  B.start();
+  EXPECT_TRUE(B.checkNodes(10));
+  EXPECT_EQ(B.verdict(), BudgetVerdict::Ok);
+}
+
+TEST(Budget, ElapsedIsMonotonic) {
+  Budget B;
+  B.start();
+  uint64_t E1 = B.elapsedMs();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  uint64_t E2 = B.elapsedMs();
+  EXPECT_GE(E2, E1);
+}
