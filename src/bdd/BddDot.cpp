@@ -9,17 +9,32 @@ using namespace sigc;
 std::string sigc::bddToDot(const BddManager &Mgr,
                            const std::vector<BddRef> &Roots,
                            const std::function<std::string(BddVar)> &VarName) {
+  // Complement-edge rendering: there is a single "1" terminal; a
+  // complemented reference is drawn as an edge with an odot arrowhead
+  // (so "odot into 1" reads as the False constant). Sharing is per node,
+  // so F and ¬F point at the same drawn subgraph.
   std::string Out = "digraph bdd {\n";
   Out += "  node [shape=circle];\n";
-  Out += "  f [label=\"0\", shape=box];\n";
   Out += "  t [label=\"1\", shape=box];\n";
 
-  auto nodeId = [](BddRef R) -> std::string {
-    if (R.isFalse())
-      return "f";
-    if (R.isTrue())
+  auto nodeId = [](uint32_t NodeIdx) -> std::string {
+    if (NodeIdx == 0)
       return "t";
-    return "n" + std::to_string(R.index());
+    return "n" + std::to_string(NodeIdx);
+  };
+  auto edge = [&](const std::string &From, BddRef To, bool Dashed) {
+    std::string Attrs;
+    if (Dashed)
+      Attrs += "style=dashed";
+    if (To.isComplement()) {
+      if (!Attrs.empty())
+        Attrs += ", ";
+      Attrs += "arrowhead=odot";
+    }
+    std::string E = "  " + From + " -> " + nodeId(To.nodeIndex());
+    if (!Attrs.empty())
+      E += " [" + Attrs + "]";
+    return E + ";\n";
   };
 
   std::unordered_set<uint32_t> Seen;
@@ -30,26 +45,27 @@ std::string sigc::bddToDot(const BddManager &Mgr,
       continue;
     Out += "  r" + std::to_string(I) + " [label=\"root" + std::to_string(I) +
            "\", shape=plaintext];\n";
-    Out += "  r" + std::to_string(I) + " -> " + nodeId(R) + ";\n";
+    Out += edge("r" + std::to_string(I), R, false);
     if (!R.isTerminal())
-      Stack.push_back(R);
+      Stack.push_back(R.regular());
   }
 
   while (!Stack.empty()) {
     BddRef Cur = Stack.back();
     Stack.pop_back();
-    if (Cur.isTerminal() || !Seen.insert(Cur.index()).second)
+    if (Cur.isTerminal() || !Seen.insert(Cur.nodeIndex()).second)
       continue;
     BddVar V = Mgr.nodeVar(Cur);
     std::string Label = VarName ? VarName(V) : ("x" + std::to_string(V));
-    Out += "  " + nodeId(Cur) + " [label=\"" + Label + "\"];\n";
+    Out += "  " + nodeId(Cur.nodeIndex()) + " [label=\"" + Label + "\"];\n";
+    // Cur is regular, so nodeLow/nodeHigh return the stored edges verbatim.
     BddRef Low = Mgr.nodeLow(Cur), High = Mgr.nodeHigh(Cur);
-    Out += "  " + nodeId(Cur) + " -> " + nodeId(Low) + " [style=dashed];\n";
-    Out += "  " + nodeId(Cur) + " -> " + nodeId(High) + ";\n";
+    Out += edge(nodeId(Cur.nodeIndex()), Low, /*Dashed=*/true);
+    Out += edge(nodeId(Cur.nodeIndex()), High, /*Dashed=*/false);
     if (!Low.isTerminal())
-      Stack.push_back(Low);
+      Stack.push_back(Low.regular());
     if (!High.isTerminal())
-      Stack.push_back(High);
+      Stack.push_back(High.regular());
   }
   Out += "}\n";
   return Out;

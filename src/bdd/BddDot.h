@@ -2,7 +2,9 @@
 ///
 /// \file
 /// Renders a BDD (or a set of shared BDDs) as a Graphviz "dot" digraph for
-/// debugging and documentation.
+/// debugging and documentation. Complement edges are drawn with an "odot"
+/// arrowhead into the single "1" terminal box; dashed edges are
+/// else-branches.
 ///
 //===----------------------------------------------------------------------===//
 

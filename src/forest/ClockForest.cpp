@@ -290,6 +290,12 @@ bool ClockForest::build(const ClockSystem &Sys, const KernelProgram &Prog,
   CondVars.clear();
   Stats = ForestBuildStats();
 
+  // One BDD variable per condition: size the manager's unique table and
+  // operation caches for this program before the hot loops start. The
+  // inclusion tests below (Mgr.implies) are ITE-to-constant checks that
+  // allocate no nodes, so their cost is pure cache-probe time.
+  Mgr.presize(static_cast<unsigned>(Sys.conditions().size()));
+
   // Step 0: equalities via union-find ("choose one variable which will
   // replace the others", Section 3.3).
   Classes.reset(Sys.numVars());

@@ -37,7 +37,7 @@ public:
 
     Budget Bud = Limits;
     Bud.start();
-    BddManager Mgr;
+    BddManager Mgr(static_cast<unsigned>(Sys.conditions().size()));
     Mgr.setBudget(&Bud);
     ClockForest Forest(Mgr);
 
@@ -72,7 +72,7 @@ public:
 
     Budget Bud = Limits;
     Bud.start();
-    BddManager Mgr;
+    BddManager Mgr(Sys.numVars());
     Mgr.setBudget(&Bud);
 
     std::vector<CharConstraint> Constraints = systemConstraints(Sys);
@@ -104,7 +104,7 @@ public:
     Bud.start();
 
     // Phase 1: the tree pass, in its own manager.
-    BddManager TreeMgr;
+    BddManager TreeMgr(static_cast<unsigned>(Sys.conditions().size()));
     TreeMgr.setBudget(&Bud);
     ClockForest Forest(TreeMgr);
     bool TreeOk = Forest.build(Sys, Prog, Names, Diags);

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <random>
+#include <set>
 
 using namespace sigc;
 
@@ -355,5 +357,300 @@ TEST_P(BddPropertyTest, QuantifierShannon) {
   }
 }
 
+TEST_P(BddPropertyTest, ThenEdgesAreNeverComplemented) {
+  // The complement-edge canonical form: only else-edges (and external
+  // references) may carry the complement bit. Walk every reachable node of
+  // a random BDD and check the stored then-edge is regular.
+  std::mt19937 Rng(GetParam() * 48271 + 3);
+  BddManager M;
+  Formula F = Formula::random(Rng, 6, 16);
+  BddRef B = F.build(M);
+  std::vector<BddRef> Stack{B.regular()};
+  std::set<uint32_t> Seen;
+  while (!Stack.empty()) {
+    BddRef Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur.isTerminal() || !Seen.insert(Cur.nodeIndex()).second)
+      continue;
+    // Cur is regular, so nodeHigh returns the stored then-edge verbatim.
+    BddRef High = M.nodeHigh(Cur);
+    EXPECT_FALSE(High.isComplement())
+        << "complemented then-edge stored, seed " << GetParam();
+    Stack.push_back(M.nodeLow(Cur).regular());
+    Stack.push_back(High.regular());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomFormulas, BddPropertyTest,
                          ::testing::Range(0u, 24u));
+
+//===----------------------------------------------------------------------===//
+// Complement-edge structural properties
+//===----------------------------------------------------------------------===//
+
+TEST_F(BddTest, NegationIsFreeAndShared) {
+  BddRef F = M.apply_and(M.var(0), M.apply_or(M.var(1), M.nvar(2)));
+  uint64_t Before = M.numNodes();
+  BddRef NF = M.apply_not(F);
+  // ¬ is a complement-bit flip: no allocation, same node, involution.
+  EXPECT_EQ(M.numNodes(), Before);
+  EXPECT_EQ(NF.nodeIndex(), F.nodeIndex());
+  EXPECT_NE(NF, F);
+  EXPECT_EQ(M.apply_not(NF), F);
+  // F and ¬F share every node.
+  EXPECT_EQ(M.countNodes(F), M.countNodes(NF));
+  EXPECT_EQ(M.countNodesMany({F, NF}), M.countNodes(F));
+}
+
+TEST_F(BddTest, SingleTerminalComplementPair) {
+  EXPECT_EQ(M.bottom(), !M.top());
+  EXPECT_EQ(M.top().nodeIndex(), M.bottom().nodeIndex());
+  EXPECT_EQ(M.numNodes(), 0u);
+}
+
+TEST_F(BddTest, ImpliesAllocatesNoNodes) {
+  // The inclusion test the forest's hot loops run per candidate parent:
+  // an ITE-to-constant check that recurses over existing edges only.
+  BddRef F = M.top(), G = M.top();
+  for (BddVar V = 0; V < 12; ++V) {
+    F = M.apply_and(F, M.apply_or(M.var(2 * V), M.var(2 * V + 1)));
+    if (V % 2 == 0)
+      G = M.apply_and(G, M.apply_or(M.var(2 * V), M.var(2 * V + 1)));
+  }
+  uint64_t Before = M.numNodes();
+  // Cold queries allocate nothing...
+  EXPECT_TRUE(M.implies(F, G));
+  EXPECT_FALSE(M.implies(G, F));
+  EXPECT_TRUE(M.implies(M.apply_and(F, G), F));
+  EXPECT_EQ(M.numNodes(), Before);
+  // ...and neither do cache-warm repeats.
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_TRUE(M.implies(F, G));
+    EXPECT_FALSE(M.implies(G, F));
+  }
+  EXPECT_EQ(M.numNodes(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: op-cache collisions must miss, not corrupt
+//===----------------------------------------------------------------------===//
+
+TEST(BddCollisionTest, TinyCacheStaysSound) {
+  // Pre-rework, cache entries stored only a mixed 64-bit hash: two triples
+  // colliding on the full hash silently returned the wrong BDD. With a
+  // 1-entry cache every second operation collides, so any keyed-by-hash
+  // bug turns into immediate truth-table mismatches.
+  BddManager M;
+  M.setCacheCapacityForTesting(1);
+  std::mt19937 Rng(20260728);
+  constexpr unsigned NumVars = 6;
+  for (int Round = 0; Round < 40; ++Round) {
+    Formula F = Formula::random(Rng, NumVars, 14);
+    BddRef B = F.build(M);
+    ASSERT_TRUE(B.isValid());
+    for (unsigned Bits = 0; Bits < (1u << NumVars); ++Bits) {
+      std::vector<bool> Env;
+      for (unsigned V = 0; V < NumVars; ++V)
+        Env.push_back((Bits >> V) & 1);
+      ASSERT_EQ(M.evaluate(B, Env), F.eval(Env))
+          << "round " << Round << " row " << Bits;
+    }
+  }
+  // The tiny cache really did collide; the operand check turned every
+  // collision into a miss instead of a wrong result.
+  EXPECT_GT(M.cacheCollisions(), 0u);
+  EXPECT_GT(M.cacheHits(), 0u);
+}
+
+TEST(BddCollisionTest, TinyCacheQuantifiersAndCofactors) {
+  BddManager M;
+  M.setCacheCapacityForTesting(2);
+  std::mt19937 Rng(7);
+  constexpr unsigned NumVars = 5;
+  for (int Round = 0; Round < 25; ++Round) {
+    Formula F = Formula::random(Rng, NumVars, 12);
+    BddRef B = F.build(M);
+    for (BddVar V = 0; V < NumVars; ++V) {
+      BddRef R0 = M.restrict(B, V, false), R1 = M.restrict(B, V, true);
+      EXPECT_EQ(M.exists(B, V), M.apply_or(R0, R1));
+      EXPECT_EQ(M.forall(B, V), M.apply_and(R0, R1));
+    }
+  }
+  EXPECT_GT(M.cacheCollisions(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: budget-tripped var() must not skew numVars()
+//===----------------------------------------------------------------------===//
+
+TEST(BddBudgetTest, FailedVarDoesNotGrowNumVars) {
+  BddManager M;
+  Budget Bud(0, 3);
+  M.setBudget(&Bud);
+  ASSERT_TRUE(M.var(0).isValid());
+  ASSERT_TRUE(M.var(1).isValid());
+  ASSERT_TRUE(M.var(2).isValid());
+  ASSERT_EQ(M.numVars(), 3u);
+  // The node budget is now exhausted: the allocation fails and the
+  // variable count must not move (pre-fix it jumped to 41 and skewed
+  // every later satCount(F, numVars())).
+  EXPECT_FALSE(M.var(40).isValid());
+  EXPECT_EQ(M.numVars(), 3u);
+  EXPECT_FALSE(M.nvar(50).isValid());
+  EXPECT_EQ(M.numVars(), 3u);
+  EXPECT_EQ(Bud.verdict(), BudgetVerdict::UnableMem);
+}
+
+//===----------------------------------------------------------------------===//
+// existsMany: descending order, early exit, set semantics
+//===----------------------------------------------------------------------===//
+
+TEST_F(BddTest, ExistsManyOrderIndependentWithDuplicates) {
+  BddRef F = M.apply_and(M.apply_xor(M.var(0), M.var(3)),
+                         M.apply_or(M.var(1), M.nvar(2)));
+  std::vector<BddVar> Asc{0, 1, 2, 3};
+  std::vector<BddVar> Desc{3, 2, 1, 0};
+  std::vector<BddVar> Dup{1, 3, 1, 0, 2, 3};
+  BddRef Seq = F;
+  for (BddVar V : Asc)
+    Seq = M.exists(Seq, V);
+  EXPECT_EQ(M.existsMany(F, Asc), Seq);
+  EXPECT_EQ(M.existsMany(F, Desc), Seq);
+  EXPECT_EQ(M.existsMany(F, Dup), Seq);
+}
+
+TEST_F(BddTest, ExistsManyEarlyExitsOnTerminal) {
+  BddRef F = M.apply_and(M.var(0), M.var(1));
+  // Quantifying the deepest variables first collapses to a terminal before
+  // the shallow ones are ever visited; after that no work may happen.
+  EXPECT_EQ(M.existsMany(F, {0, 1, 5, 9}), M.top());
+  uint64_t Before = M.numNodes();
+  EXPECT_EQ(M.existsMany(M.top(), {0, 1, 2, 3}), M.top());
+  EXPECT_EQ(M.existsMany(M.bottom(), {0, 1, 2, 3}), M.bottom());
+  EXPECT_EQ(M.numNodes(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized truth-table cross-check of every public operation (≤8 vars):
+// the safety net of the complement-edge migration.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class BddOpsCrossCheckTest : public ::testing::TestWithParam<unsigned> {};
+
+/// Brute-force truth table of \p F over \p NumVars variables; row index
+/// bit V holds variable V's value.
+std::vector<bool> tableOf(const BddManager &M, BddRef F, unsigned NumVars) {
+  std::vector<bool> Table;
+  Table.reserve(1u << NumVars);
+  for (unsigned Bits = 0; Bits < (1u << NumVars); ++Bits) {
+    std::vector<bool> Env;
+    for (unsigned V = 0; V < NumVars; ++V)
+      Env.push_back((Bits >> V) & 1);
+    Table.push_back(M.evaluate(F, Env));
+  }
+  return Table;
+}
+
+} // namespace
+
+TEST_P(BddOpsCrossCheckTest, EveryOpMatchesBruteForce) {
+  std::mt19937 Rng(GetParam() * 2654435761u + 17);
+  BddManager M;
+  constexpr unsigned NumVars = 8;
+  const unsigned Rows = 1u << NumVars;
+  Formula FF = Formula::random(Rng, NumVars, 18);
+  Formula GG = Formula::random(Rng, NumVars, 18);
+  Formula HH = Formula::random(Rng, NumVars, 12);
+  BddRef F = FF.build(M), G = GG.build(M), H = HH.build(M);
+  std::vector<bool> TF = tableOf(M, F, NumVars);
+  std::vector<bool> TG = tableOf(M, G, NumVars);
+  std::vector<bool> TH = tableOf(M, H, NumVars);
+
+  auto check = [&](BddRef R, const std::function<bool(unsigned)> &Expect,
+                   const char *Op) {
+    ASSERT_TRUE(R.isValid()) << Op;
+    std::vector<bool> TR = tableOf(M, R, NumVars);
+    for (unsigned I = 0; I < Rows; ++I)
+      ASSERT_EQ(TR[I], Expect(I))
+          << Op << " mismatch at row " << I << ", seed " << GetParam();
+  };
+
+  check(M.apply_and(F, G), [&](unsigned I) { return TF[I] && TG[I]; }, "and");
+  check(M.apply_or(F, G), [&](unsigned I) { return TF[I] || TG[I]; }, "or");
+  check(M.apply_not(F), [&](unsigned I) { return !TF[I]; }, "not");
+  check(M.apply_xor(F, G), [&](unsigned I) { return TF[I] != TG[I]; }, "xor");
+  check(M.apply_iff(F, G), [&](unsigned I) { return TF[I] == TG[I]; }, "iff");
+  check(M.apply_diff(F, G), [&](unsigned I) { return TF[I] && !TG[I]; },
+        "diff");
+  check(M.apply_imp(F, G), [&](unsigned I) { return !TF[I] || TG[I]; },
+        "imp");
+  check(M.ite(F, G, H), [&](unsigned I) { return TF[I] ? TG[I] : TH[I]; },
+        "ite");
+
+  BddVar V = static_cast<BddVar>(Rng() % NumVars);
+  auto rowWith = [&](unsigned I, bool Val) {
+    return Val ? (I | (1u << V)) : (I & ~(1u << V));
+  };
+  check(M.restrict(F, V, true),
+        [&](unsigned I) { return TF[rowWith(I, true)]; }, "restrict1");
+  check(M.restrict(F, V, false),
+        [&](unsigned I) { return TF[rowWith(I, false)]; }, "restrict0");
+  check(M.exists(F, V),
+        [&](unsigned I) {
+          return TF[rowWith(I, false)] || TF[rowWith(I, true)];
+        },
+        "exists");
+  check(M.forall(F, V),
+        [&](unsigned I) {
+          return TF[rowWith(I, false)] && TF[rowWith(I, true)];
+        },
+        "forall");
+  check(M.compose(F, V, G),
+        [&](unsigned I) { return TF[rowWith(I, TG[I])]; }, "compose");
+
+  // existsMany over a random variable subset, against brute-force
+  // quantification over all assignments of the subset.
+  std::vector<BddVar> Subset;
+  unsigned SubsetMask = 0;
+  for (BddVar SV = 0; SV < NumVars; ++SV)
+    if (Rng() % 2) {
+      Subset.push_back(SV);
+      SubsetMask |= 1u << SV;
+    }
+  check(M.existsMany(F, Subset),
+        [&](unsigned I) {
+          // Any completion of the non-subset bits of row I satisfies F?
+          for (unsigned Sub = SubsetMask;; Sub = (Sub - 1) & SubsetMask) {
+            if (TF[(I & ~SubsetMask) | Sub])
+              return true;
+            if (Sub == 0)
+              return false;
+          }
+        },
+        "existsMany");
+
+  // implies and satCount against the same tables.
+  bool BruteImp = true, BruteConv = true;
+  unsigned Ones = 0;
+  for (unsigned I = 0; I < Rows; ++I) {
+    BruteImp &= !TF[I] || TG[I];
+    BruteConv &= !TG[I] || TF[I];
+    Ones += TF[I] ? 1 : 0;
+  }
+  EXPECT_EQ(M.implies(F, G), BruteImp) << "seed " << GetParam();
+  EXPECT_EQ(M.implies(G, F), BruteConv) << "seed " << GetParam();
+  EXPECT_DOUBLE_EQ(M.satCount(F, NumVars), static_cast<double>(Ones));
+
+  // anySat returns a genuine witness whenever F is satisfiable.
+  if (!F.isFalse()) {
+    std::vector<bool> Env(NumVars, false);
+    for (auto &[Var, Val] : M.anySat(F))
+      Env[Var] = Val;
+    EXPECT_TRUE(M.evaluate(F, Env)) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOpSuites, BddOpsCrossCheckTest,
+                         ::testing::Range(0u, 16u));

@@ -277,8 +277,11 @@ TEST(Forest, DeepChainDepthGrows) {
 
 TEST(Forest, BudgetExhaustionReportsUnable) {
   // A tiny node budget must abort resolution with UnableMem, not crash.
+  // (Two nodes: with complement edges this program needs only four BDD
+  // nodes in total — ¬x shares x's node — so the pre-rework limit of
+  // eight no longer trips.)
   CompileOptions Options;
-  Options.Limits = Budget(0, 8);
+  Options.Limits = Budget(0, 2);
   auto C = compileSource("<budget>", proc("? integer IN; ! integer OUT;",
                                           "   C1 := (IN mod 2) = 0\n"
                                           "   | S1 := IN when C1\n"
