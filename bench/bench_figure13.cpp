@@ -68,7 +68,7 @@ int main() {
     auto C = compileSource(P.Name, P.Source);
     if (!C->Kernel) {
       std::printf("%-11s  failed to reach the clock phase: %s\n",
-                  P.Name.c_str(), C->FailedStage.c_str());
+                  P.Name.c_str(), C->failedStageName());
       continue;
     }
 

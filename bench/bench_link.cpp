@@ -1,0 +1,176 @@
+//===--- bench_link.cpp - Separate compilation + linking benchmark --------===//
+///
+/// Measures the separate-compilation toolchain on generated N-stage
+/// pipelines:
+///
+///   * serial vs parallel compilation of the N units (the first scaling
+///     win: compilations share no state, so threads are free speedup),
+///   * link time (interface extraction + channel matching + BDD
+///     implication checks) as N grows,
+///   * linked-step throughput against the monolithic compilation of the
+///     textually composed program — the price of crossing process
+///     boundaries at run time.
+///
+/// Usage: bench_link [--json FILE] [--stages N,N,...] [--instants K]
+/// The JSON output is uploaded by CI as BENCH_link.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "interp/Environment.h"
+#include "interp/LinkedExecutor.h"
+#include "interp/StepExecutor.h"
+#include "link/Linker.h"
+#include "testing/RandomProgram.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace sigc;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+struct Row {
+  unsigned Stages = 0;
+  double CompileSerialMs = 0;
+  double CompileParallelMs = 0;
+  double LinkMs = 0;
+  double MonoCompileMs = 0;
+  double LinkedStepsPerSec = 0;
+  double MonoStepsPerSec = 0;
+  uint64_t ForestNodes = 0; ///< Sum over units, unchanged by link.
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<unsigned> StageCounts = {2, 4, 8};
+  unsigned Instants = 4096;
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else if (Arg == "--stages" && I + 1 < Argc) {
+      StageCounts.clear();
+      std::string List = Argv[++I], Cur;
+      for (char C : List + ",")
+        if (C == ',') {
+          if (!Cur.empty())
+            StageCounts.push_back(
+                static_cast<unsigned>(std::stoul(Cur)));
+          Cur.clear();
+        } else {
+          Cur += C;
+        }
+    } else if (Arg == "--instants" && I + 1 < Argc) {
+      Instants = static_cast<unsigned>(std::stoul(Argv[++I]));
+    }
+  }
+
+  std::printf("Separate compilation + linking on generated pipelines\n\n");
+  std::printf("%-7s %10s %10s %8s %10s %12s %12s\n", "stages", "serial",
+              "parallel", "link", "mono", "linked", "monolithic");
+  std::printf("%-7s %10s %10s %8s %10s %12s %12s\n", "", "(ms)", "(ms)",
+              "(ms)", "(ms)", "(steps/s)", "(steps/s)");
+
+  RandomProgramOptions StageOptions;
+  StageOptions.Equations = 96;
+  StageOptions.IntInputs = 4;
+  StageOptions.BoolInputs = 4;
+
+  std::vector<Row> Rows;
+  for (unsigned N : StageCounts) {
+    GeneratedChain Chain =
+        generateProcessChain(/*Seed=*/42, N, StageOptions,
+                             /*MaxChannels=*/2,
+                             /*SynchroChannelPercent=*/30);
+    std::vector<LinkInput> Inputs;
+    for (size_t K = 0; K < Chain.Sources.size(); ++K)
+      Inputs.push_back({Chain.Names[K], Chain.Sources[K]});
+
+    Row R;
+    R.Stages = N;
+
+    LinkOptions Serial;
+    Serial.ParallelCompile = false;
+    LinkResult SerialRes = compileAndLinkSources(Inputs, Serial);
+    if (!SerialRes.Sys) {
+      std::fprintf(stderr, "stages=%u: link failed: %s\n", N,
+                   SerialRes.Error.c_str());
+      return 1;
+    }
+    R.CompileSerialMs = SerialRes.CompileMs;
+
+    LinkResult Par = compileAndLinkSources(Inputs);
+    if (!Par.Sys) {
+      std::fprintf(stderr, "stages=%u: parallel link failed: %s\n", N,
+                   Par.Error.c_str());
+      return 1;
+    }
+    R.CompileParallelMs = Par.CompileMs;
+    R.LinkMs = Par.LinkMs;
+    for (uint64_t Nodes : Par.Sys->ForestNodesAtLink)
+      R.ForestNodes += Nodes;
+
+    auto T0 = std::chrono::steady_clock::now();
+    auto Mono = compileSource("<bench-mono>", Chain.ComposedSource);
+    R.MonoCompileMs = msSince(T0);
+    if (!Mono->Ok) {
+      std::fprintf(stderr, "stages=%u: monolithic compile failed:\n%s", N,
+                   Mono->Diags.render().c_str());
+      return 1;
+    }
+
+    {
+      RandomEnvironment Env(7);
+      LinkedExecutor Exec(*Par.Sys);
+      T0 = std::chrono::steady_clock::now();
+      Exec.run(Env, Instants);
+      double Ms = msSince(T0);
+      R.LinkedStepsPerSec = Ms > 0 ? 1000.0 * Instants / Ms : 0;
+    }
+    {
+      RandomEnvironment Env(7);
+      StepExecutor Exec(*Mono->Kernel, Mono->Step);
+      T0 = std::chrono::steady_clock::now();
+      Exec.run(Env, Instants, ExecMode::Nested);
+      double Ms = msSince(T0);
+      R.MonoStepsPerSec = Ms > 0 ? 1000.0 * Instants / Ms : 0;
+    }
+
+    std::printf("%-7u %10.2f %10.2f %8.2f %10.2f %12.0f %12.0f\n", N,
+                R.CompileSerialMs, R.CompileParallelMs, R.LinkMs,
+                R.MonoCompileMs, R.LinkedStepsPerSec, R.MonoStepsPerSec);
+    Rows.push_back(R);
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    Out << "{\n  \"benchmarks\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      Out << "    {\"name\": \"link/stages=" << R.Stages << "\", "
+          << "\"compile_serial_ms\": " << R.CompileSerialMs << ", "
+          << "\"compile_parallel_ms\": " << R.CompileParallelMs << ", "
+          << "\"link_ms\": " << R.LinkMs << ", "
+          << "\"mono_compile_ms\": " << R.MonoCompileMs << ", "
+          << "\"linked_steps_per_sec\": " << R.LinkedStepsPerSec << ", "
+          << "\"mono_steps_per_sec\": " << R.MonoStepsPerSec << ", "
+          << "\"forest_nodes\": " << R.ForestNodes << "}"
+          << (I + 1 < Rows.size() ? "," : "") << "\n";
+    }
+    Out << "  ]\n}\n";
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

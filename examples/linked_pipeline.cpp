@@ -1,0 +1,100 @@
+//===--- linked_pipeline.cpp - Separate compilation and linking -----------===//
+///
+/// Two processes, compiled in isolation and composed by the linker:
+///
+///   SENSOR   reads a raw integer stream, filters it ("when EVENFLAG")
+///            and exports the filtered stream plus a running sum,
+///   MONITOR  imports both, accumulates the filtered stream and raises
+///            a boolean ALERT when the sum crosses a threshold.
+///
+/// The demo prints each process's clock interface (including the
+/// endochrony verdict the paper's arborescent calculus makes decidable),
+/// links them — matching SENSOR's exports to MONITOR's imports and
+/// discharging MONITOR's "synchro" obligation with a BDD implication on
+/// SENSOR's forest — and runs the linked system without ever building a
+/// global clock hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/LinkedExecutor.h"
+#include "link/LinkEmitter.h"
+#include "link/Linker.h"
+
+#include <cstdio>
+
+using namespace sigc;
+
+int main() {
+  const char *SensorSource = R"(
+% SENSOR: filter the raw stream and export the kept values + a sum.
+process SENSOR =
+  ( ? integer RAW;
+    ! integer KEPT, SUM; )
+  (| EVENFLAG := (RAW mod 2) = 0
+   | KEPT := RAW when EVENFLAG          % exported at a subclock of RAW
+   | SUM := KEPT + (SUM $ 1 init 0)     % same clock as KEPT
+  |)
+  where
+    boolean EVENFLAG;
+  end;
+)";
+
+  const char *MonitorSource = R"(
+% MONITOR: consume SENSOR's exports; synchro is an interface obligation
+% the linker must prove on SENSOR's clock forest.
+process MONITOR =
+  ( ? integer KEPT, SUM;
+    ! integer TOTAL; boolean ALERT; )
+  (| synchro {KEPT, SUM}
+   | TOTAL := KEPT + (TOTAL $ 1 init 0)
+   | ALERT := SUM > 20
+  |);
+)";
+
+  // 1. Separate compilation (on worker threads) + interface link.
+  LinkResult R = compileAndLinkSources(
+      {{"SENSOR", SensorSource}, {"MONITOR", MonitorSource}});
+  if (!R.Sys) {
+    std::fprintf(stderr, "link failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  LinkedSystem &Sys = *R.Sys;
+
+  std::printf("== 1. per-process clock interfaces ==\n");
+  for (const LinkUnit &U : Sys.Units)
+    std::printf("%s", U.Iface.dump().c_str());
+
+  std::printf("\n== 2. the linked system ==\n%s", Sys.dump().c_str());
+  std::printf("(no re-resolution: ");
+  for (size_t U = 0; U < Sys.Units.size(); ++U)
+    std::printf("%s%s kept %llu forest nodes", U ? ", " : "",
+                Sys.Units[U].Name.c_str(),
+                static_cast<unsigned long long>(Sys.ForestNodesAtLink[U]));
+  std::printf(")\n");
+
+  // 3. Run the linked system: RAW = 1..10, every even value flows through
+  // the channel into MONITOR.
+  std::printf("\n== 3. linked simulation ==\n");
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  for (unsigned I = 0; I < 10; ++I)
+    Env.set("RAW", I, Value::makeInt(static_cast<int>(I) + 1));
+  LinkedExecutor Exec(Sys);
+  if (!Exec.run(Env, 10)) {
+    std::fprintf(stderr, "linked run stopped: %s\n", Exec.error().c_str());
+    return 1;
+  }
+  std::printf("%s", formatEvents(Env.outputs()).c_str());
+  std::printf("(TOTAL accumulates KEPT: 2, 6, 12, 20, 30; ALERT fires "
+              "once SUM > 20)\n");
+
+  // 4. The linked C emission: one step function per process plus a
+  // generated system driver.
+  CEmitOptions EO;
+  EO.Nested = true;
+  std::string CSource = emitLinkedC(Sys, "pipeline", EO);
+  std::printf("\n== 4. linked C emission: %zu bytes, symbols "
+              "pipeline_init/pipeline_step ==\n",
+              CSource.size());
+  return 0;
+}

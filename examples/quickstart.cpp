@@ -36,7 +36,7 @@ process HALF =
   auto C = compileSource("quickstart.sig", Source);
   if (!C->Ok) {
     std::fprintf(stderr, "compilation failed (%s):\n%s",
-                 C->FailedStage.c_str(), C->Diags.render().c_str());
+                 C->failedStageName(), C->Diags.render().c_str());
     return 1;
   }
 

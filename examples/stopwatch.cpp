@@ -41,7 +41,7 @@ process STOPWATCH =
   auto C = compileSource("stopwatch.sig", Source);
   if (!C->Ok) {
     std::fprintf(stderr, "compilation failed (%s):\n%s",
-                 C->FailedStage.c_str(), C->Diags.render().c_str());
+                 C->failedStageName(), C->Diags.render().c_str());
     return 1;
   }
   std::printf("STOPWATCH compiled: %u clock variables resolved into %zu "

@@ -17,7 +17,8 @@ class NestedBuilder {
 public:
   NestedBuilder(StepProgram &Prog, ClockForest &Forest,
                 const std::unordered_map<ForestNodeId, int> &SlotOfNode)
-      : Prog(Prog), Forest(Forest), SlotOfNode(SlotOfNode) {
+      : Prog(Prog), Forest(Forest), SlotOfNode(SlotOfNode),
+        SlotComputed(SlotOfNode.size(), false) {
     Prog.Blocks.emplace_back(); // Root block, guard -1.
     Prog.RootBlock = 0;
     Stack.push_back({InvalidForestNode, 0});
@@ -30,6 +31,12 @@ public:
     Prog.Blocks[Stack.back().Block].Items.push_back({false, InstrIdx});
   }
 
+  /// Records that the slot of clock \p Node is computed from here on and
+  /// may be used as a block guard.
+  void markComputed(ForestNodeId Node) {
+    SlotComputed[SlotOfNode.at(Node)] = true;
+  }
+
 private:
   struct Frame {
     ForestNodeId Node;
@@ -37,11 +44,23 @@ private:
   };
 
   void openPathTo(ForestNodeId Target) {
-    // Path of tree nodes from the root to Target.
+    // Path of tree nodes from the root to Target. A block's guard test
+    // reads the guard's clock slot at block-entry time, so only
+    // already-computed ancestors can participate in the nesting:
+    // reparenting (a derived clock inserted under a deeper parent whose
+    // presence the schedule computes later) would otherwise read a slot
+    // that is still zero and wrongly skip the subtree. Dropping an
+    // uncomputed ancestor is sound — the instruction's own guard implies
+    // every ancestor by clock inclusion; the ancestor test is only the
+    // Figure-9 sharing optimization.
     std::vector<ForestNodeId> Path;
-    for (ForestNodeId N = Target; N != InvalidForestNode;
-         N = Forest.node(N).Parent)
-      Path.push_back(N);
+    if (Target != InvalidForestNode) {
+      Path.push_back(Target);
+      for (ForestNodeId N = Forest.node(Target).Parent;
+           N != InvalidForestNode; N = Forest.node(N).Parent)
+        if (SlotComputed[SlotOfNode.at(N)])
+          Path.push_back(N);
+    }
     // Stack[0] is the unguarded root; align the rest with Path reversed.
     size_t Keep = 1;
     for (size_t I = 0; I < Path.size(); ++I) {
@@ -68,6 +87,7 @@ private:
   StepProgram &Prog;
   ClockForest &Forest;
   const std::unordered_map<ForestNodeId, int> &SlotOfNode;
+  std::vector<bool> SlotComputed;
   std::vector<Frame> Stack;
 };
 
@@ -233,6 +253,11 @@ StepProgram sigc::compileStep(const KernelProgram &Prog,
     int InstrIdx = static_cast<int>(SP.Instrs.size());
     SP.Instrs.push_back(In);
     Nest.append(InstrIdx, GuardNode);
+    // From here on the action's clock slot holds its final value (a
+    // literal skipped by an absent condition clock correctly stays 0),
+    // so later instructions may nest under it.
+    if (A.Kind == ActionKind::ClockInput || A.Kind == ActionKind::ClockEval)
+      Nest.markComputed(A.Clock);
   }
 
   return SP;

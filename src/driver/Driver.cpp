@@ -7,6 +7,24 @@
 
 using namespace sigc;
 
+const char *sigc::to_string(CompileStage Stage) {
+  switch (Stage) {
+  case CompileStage::None:
+    return "none";
+  case CompileStage::Parse:
+    return "parse";
+  case CompileStage::Select:
+    return "select";
+  case CompileStage::Sema:
+    return "sema";
+  case CompileStage::ClockCalculus:
+    return "clock-calculus";
+  case CompileStage::Graph:
+    return "graph";
+  }
+  return "none";
+}
+
 std::unique_ptr<Compilation> sigc::compileSource(std::string BufferName,
                                                  std::string Source,
                                                  const CompileOptions &Options) {
@@ -18,7 +36,7 @@ std::unique_ptr<Compilation> sigc::compileSource(std::string BufferName,
   Parser P(Text, Start, C->Ctx, C->Diags);
   C->Ast = P.parseProgram();
   if (!C->Ast || C->Diags.hasErrors()) {
-    C->FailedStage = "parse";
+    C->FailedStage = CompileStage::Parse;
     return C;
   }
 
@@ -29,8 +47,15 @@ std::unique_ptr<Compilation> sigc::compileSource(std::string BufferName,
     Symbol Name = C->Ctx.interner().lookup(Options.ProcessName);
     C->Decl = Name.isValid() ? C->Ast->findProcess(Name) : nullptr;
     if (!C->Decl) {
-      C->Diags.error("no process named '" + Options.ProcessName + "'");
-      C->FailedStage = "select";
+      std::string Declared;
+      for (const ProcessDecl *D : C->Ast->Processes) {
+        if (!Declared.empty())
+          Declared += ", ";
+        Declared += C->Ctx.interner().spelling(D->Name);
+      }
+      C->Diags.error("no process named '" + Options.ProcessName +
+                     "' in this file; declared processes: " + Declared);
+      C->FailedStage = CompileStage::Select;
       return C;
     }
   }
@@ -39,7 +64,7 @@ std::unique_ptr<Compilation> sigc::compileSource(std::string BufferName,
   Sema S(C->Ctx, C->Diags);
   C->Kernel = S.analyze(*C->Decl);
   if (!C->Kernel || C->Diags.hasErrors()) {
-    C->FailedStage = "sema";
+    C->FailedStage = CompileStage::Sema;
     return C;
   }
 
@@ -51,14 +76,14 @@ std::unique_ptr<Compilation> sigc::compileSource(std::string BufferName,
   C->Forest = std::make_unique<ClockForest>(C->Bdds);
   if (!C->Forest->build(C->Clocks, *C->Kernel, C->Ctx.interner(),
                         C->Diags)) {
-    C->FailedStage = "clock-calculus";
+    C->FailedStage = CompileStage::ClockCalculus;
     return C;
   }
 
   // Dependency graph + schedule.
   if (!C->Graph.build(*C->Kernel, C->Clocks, *C->Forest, C->Ctx.interner(),
                       C->Diags)) {
-    C->FailedStage = "graph";
+    C->FailedStage = CompileStage::Graph;
     return C;
   }
 

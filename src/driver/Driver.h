@@ -42,6 +42,20 @@ struct CompileOptions {
   std::string ProcessName;
 };
 
+/// The pipeline stage a failed compilation stopped in. Kept as an enum so
+/// the driver, the tests and the linker all spell stage names identically.
+enum class CompileStage {
+  None,          ///< No failure: the compilation completed.
+  Parse,
+  Select,        ///< Process selection (--process / ProcessName).
+  Sema,
+  ClockCalculus,
+  Graph,
+};
+
+/// \returns the canonical lowercase name ("parse", "clock-calculus", ...).
+const char *to_string(CompileStage Stage);
+
 /// Every artifact of one compilation, stage by stage.
 class Compilation {
 public:
@@ -61,8 +75,11 @@ public:
 
   /// True when every stage completed.
   bool Ok = false;
-  /// The stage that failed, for error reporting ("parse", "sema", ...).
-  std::string FailedStage;
+  /// The stage that failed; CompileStage::None when Ok.
+  CompileStage FailedStage = CompileStage::None;
+
+  /// The canonical name of the failed stage ("parse", "sema", ...).
+  const char *failedStageName() const { return to_string(FailedStage); }
 
   /// The interner used for all names.
   StringInterner &names() { return Ctx.interner(); }

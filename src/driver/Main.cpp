@@ -4,15 +4,22 @@
 /// Usage:
 ///   signalc [options] file.sig
 ///   signalc --builtin NAME          compile a Figure-13 suite program
+///   signalc --link P1,P2,... file.sig   separate compilation + link
 ///
 /// Options:
 ///   --process NAME     pick a process when the file declares several
+///   --link P1,P2,...   compile each named process separately (in
+///                      parallel) and link them by clock interface
 ///   --dump-kernel      print the flattened kernel equations
 ///   --dump-clocks      print the extracted boolean equation system
 ///   --dump-tree        print the resolved clock forest
 ///   --dump-graph       print the scheduled dependency actions
 ///   --dump-step        print the step program (flat listing)
-///   --emit-c[=nested|flat]  print generated C (default nested)
+///   --dump-interface   print the process's separate-compilation
+///                      interface (every unit's, in --link mode)
+///   --dump-link        print the linked-system summary (--link mode)
+///   --emit-c[=nested|flat]  print generated C (default nested); in
+///                      --link mode, the composed linked system
 ///   --with-driver      add a main() to the generated C
 ///   --simulate N       run N instants with a random environment
 ///   --seed S           PRNG seed for --simulate
@@ -21,13 +28,17 @@
 
 #include "codegen/CEmitter.h"
 #include "driver/Driver.h"
+#include "interp/LinkedExecutor.h"
 #include "interp/StepExecutor.h"
+#include "link/LinkEmitter.h"
+#include "link/Linker.h"
 #include "programs/Programs.h"
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace sigc;
 
@@ -37,20 +48,40 @@ void printUsage() {
   std::fprintf(stderr,
                "usage: signalc [options] file.sig\n"
                "       signalc --builtin NAME [options]\n"
+               "       signalc --link P1,P2,... file.sig [options]\n"
                "options: --process NAME --dump-kernel --dump-clocks\n"
                "         --dump-tree --dump-tree-dot --dump-graph "
                "--dump-step\n"
+               "         --dump-interface --dump-link\n"
                "         --emit-c[=nested|flat] --with-driver\n"
                "         --simulate N --seed S\n");
+}
+
+std::vector<std::string> splitCommas(const std::string &List) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : List) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string File, Builtin, ProcessName;
+  std::string File, Builtin, ProcessName, LinkList;
   bool DumpKernel = false, DumpClocks = false, DumpTree = false;
   bool DumpTreeDot = false;
   bool DumpGraph = false, DumpStep = false, EmitC = false;
+  bool DumpInterface = false, DumpLink = false;
   bool WithDriver = false, Nested = true;
   unsigned Simulate = 0;
   uint64_t Seed = 1;
@@ -66,6 +97,9 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--process") {
       if (const char *V = next())
         ProcessName = V;
+    } else if (Arg == "--link") {
+      if (const char *V = next())
+        LinkList = V;
     } else if (Arg == "--dump-kernel") {
       DumpKernel = true;
     } else if (Arg == "--dump-clocks") {
@@ -78,6 +112,10 @@ int main(int Argc, char **Argv) {
       DumpGraph = true;
     } else if (Arg == "--dump-step") {
       DumpStep = true;
+    } else if (Arg == "--dump-interface") {
+      DumpInterface = true;
+    } else if (Arg == "--dump-link") {
+      DumpLink = true;
     } else if (Arg == "--emit-c" || Arg == "--emit-c=nested") {
       EmitC = true;
     } else if (Arg == "--emit-c=flat") {
@@ -136,6 +174,57 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Link mode: separate compilation of N processes, then interface link.
+  //===--------------------------------------------------------------------===//
+  if (!LinkList.empty()) {
+    // Flags that only make sense for a single compilation are not
+    // silently swallowed.
+    if (DumpKernel || DumpClocks || DumpTree || DumpTreeDot || DumpGraph ||
+        DumpStep || !ProcessName.empty())
+      std::fprintf(stderr,
+                   "signalc: warning: --process and the per-stage --dump-* "
+                   "flags are ignored in --link mode (use --dump-interface "
+                   "/ --dump-link)\n");
+    std::vector<std::string> Names = splitCommas(LinkList);
+    LinkResult R = compileAndLink(BufferName, Source, Names);
+    if (!R.Sys) {
+      std::fprintf(stderr, "signalc: link failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    LinkedSystem &Sys = *R.Sys;
+    std::fprintf(stderr,
+                 "linked %zu process(es), %zu channel(s), %zu root(s); "
+                 "compile %.2f ms, link %.2f ms\n",
+                 Sys.Units.size(), Sys.Channels.size(), Sys.Roots.size(),
+                 R.CompileMs, R.LinkMs);
+
+    if (DumpInterface)
+      for (const LinkUnit &U : Sys.Units)
+        std::fputs(U.Iface.dump().c_str(), stdout);
+    if (DumpLink)
+      std::fputs(Sys.dump().c_str(), stdout);
+    if (EmitC) {
+      CEmitOptions EO;
+      EO.Nested = Nested;
+      EO.WithDriver = WithDriver;
+      std::fputs(emitLinkedC(Sys, "linked_sys", EO).c_str(), stdout);
+    }
+    if (Simulate) {
+      RandomEnvironment Env(Seed);
+      LinkedExecutor Exec(Sys);
+      if (!Exec.run(Env, Simulate)) {
+        std::fprintf(stderr, "signalc: linked simulation stopped: %s\n",
+                     Exec.error().c_str());
+        return 1;
+      }
+      std::printf("linked simulation (%u instants, seed %llu):\n%s",
+                  Simulate, static_cast<unsigned long long>(Seed),
+                  formatEvents(Env.outputs()).c_str());
+    }
+    return 0;
+  }
+
   CompileOptions Options;
   Options.ProcessName = ProcessName;
   auto C = compileSource(BufferName, std::move(Source), Options);
@@ -145,7 +234,7 @@ int main(int Argc, char **Argv) {
     std::fputs(Diags.c_str(), stderr);
   if (!C->Ok) {
     std::fprintf(stderr, "signalc: compilation failed during %s\n",
-                 C->FailedStage.c_str());
+                 C->failedStageName());
     return 1;
   }
 
@@ -179,6 +268,8 @@ int main(int Argc, char **Argv) {
                     .c_str());
   if (DumpStep)
     std::printf("step program:\n%s", C->Step.dump().c_str());
+  if (DumpInterface)
+    std::fputs(extractInterface(*C).dump().c_str(), stdout);
 
   if (EmitC) {
     CEmitOptions EO;

@@ -36,7 +36,10 @@ int CondDepGraph::addAction(const Action &A) {
 }
 
 void CondDepGraph::addEdge(int From, int To) {
-  assert(From >= 0 && To >= 0 && From != To);
+  assert(From >= 0 && To >= 0);
+  // A self-edge (Y := Y + A) is a legal *input* to the graph: it is an
+  // instantaneous cycle the topological sort rejects with a proper
+  // diagnostic, exactly like any longer cycle.
   Succs[From].push_back(To);
 }
 

@@ -1,0 +1,140 @@
+//===--- LinkedExecutor.cpp -----------------------------------------------===//
+
+#include "interp/LinkedExecutor.h"
+
+using namespace sigc;
+
+bool LinkedExecutor::UnitEnv::clockTick(const std::string &ClockName,
+                                        unsigned Instant) {
+  auto It = BoundTicks.find(ClockName);
+  if (It != BoundTicks.end())
+    return It->second;
+  return Outer->clockTick(ClockName, Instant);
+}
+
+Value LinkedExecutor::UnitEnv::inputValue(const std::string &SignalName,
+                                          TypeKind Type, unsigned Instant) {
+  auto It = BoundInputs.find(SignalName);
+  if (It == BoundInputs.end())
+    return Outer->inputValue(SignalName, Type, Instant);
+  if (!It->second.Present) {
+    // The consumer computed "present" for a channel whose producer did
+    // not emit: a dynamic clock-interface violation. The step must still
+    // finish (step() reports the error afterwards), so hand back a
+    // type-correct zero — a default Value would trip asReal()'s
+    // non-numeric assertion further down the step.
+    if (Error && Error->empty())
+      *Error = "instant " + std::to_string(Instant) + ": consumer reads '" +
+               SignalName + "' but its producer emitted nothing";
+    switch (Type) {
+    case TypeKind::Boolean:
+      return Value::makeBool(false);
+    case TypeKind::Event:
+      return Value::makeEvent();
+    case TypeKind::Real:
+      return Value::makeReal(0.0);
+    case TypeKind::Integer:
+    case TypeKind::Unknown:
+      break;
+    }
+    return Value::makeInt(0);
+  }
+  return It->second.Val;
+}
+
+void LinkedExecutor::UnitEnv::writeOutput(const std::string &SignalName,
+                                          unsigned Instant, const Value &V) {
+  Produced[SignalName] = {true, V};
+  auto It = ExternalOutput.find(SignalName);
+  if (It != ExternalOutput.end() && It->second)
+    Outer->writeOutput(SignalName, Instant, V);
+}
+
+LinkedExecutor::LinkedExecutor(const LinkedSystem &Sys) : Sys(Sys) {
+  States.reserve(Sys.Units.size());
+  for (const LinkUnit &U : Sys.Units)
+    States.emplace_back(*U.Comp->Kernel, U.Comp->Step);
+  for (unsigned U = 0; U < Sys.Units.size(); ++U) {
+    UnitEnv &E = States[U].Env;
+    E.Error = &Error;
+    for (const auto &SO : Sys.Units[U].Comp->Step.Outputs)
+      E.ExternalOutput[SO.Name] = false;
+    for (const LinkedExternal &Ext : Sys.ExternalOutputs)
+      if (Ext.Unit == U)
+        E.ExternalOutput[Ext.Name] = true;
+  }
+  for (const LinkChannel &Ch : Sys.Channels)
+    States[Ch.Consumer].InChannels.push_back(&Ch);
+}
+
+void LinkedExecutor::reset() {
+  for (UnitState &S : States)
+    S.Exec.reset();
+  Error.clear();
+}
+
+bool LinkedExecutor::step(Environment &Env, unsigned Instant) {
+  if (!Error.empty())
+    return false;
+  for (UnitState &S : States) {
+    S.Env.Outer = &Env;
+    S.Env.BoundTicks.clear();
+    S.Env.BoundInputs.clear();
+    S.Env.Produced.clear();
+  }
+
+  for (unsigned U : Sys.Order) {
+    UnitState &S = States[U];
+    const StepProgram &Step = Sys.Units[U].Comp->Step;
+
+    // Wire this unit's channels from its producers' recorded outputs.
+    for (const LinkChannel *Ch : S.InChannels) {
+      const UnitEnv &ProdEnv = States[Ch->Producer].Env;
+      auto It = ProdEnv.Produced.find(Ch->Name);
+      ChannelValue CV;
+      if (It != ProdEnv.Produced.end())
+        CV = It->second;
+      S.Env.BoundInputs[Ch->Name] = CV;
+      if (Ch->ConsumerClockInput >= 0)
+        S.Env.BoundTicks[Step.ClockInputs[Ch->ConsumerClockInput].Name] =
+            CV.Present;
+    }
+
+    S.Exec.step(S.Env, Instant, ExecMode::Nested);
+
+    // Dynamic check for channels whose clock the consumer derives: both
+    // sides must agree on presence this instant.
+    for (const LinkChannel *Ch : S.InChannels) {
+      if (Ch->ConsumerClockInput >= 0)
+        continue;
+      int Slot = Step.SignalClockSlot[Ch->ConsumerSig];
+      bool ConsumerPresent = Slot >= 0 && S.Exec.clockPresent(Slot);
+      bool ProducerPresent = S.Env.BoundInputs[Ch->Name].Present;
+      if (ConsumerPresent != ProducerPresent && Error.empty())
+        Error = "instant " + std::to_string(Instant) + ": channel '" +
+                Ch->Name + "' clock mismatch — producer '" +
+                Sys.Units[Ch->Producer].Name +
+                (ProducerPresent ? "' emitted" : "' was silent") +
+                " while consumer '" + Sys.Units[Ch->Consumer].Name +
+                (ConsumerPresent ? "' expected a value"
+                                 : "' expected silence");
+    }
+    if (!Error.empty())
+      return false;
+  }
+  return true;
+}
+
+bool LinkedExecutor::run(Environment &Env, unsigned Count) {
+  for (unsigned I = 0; I < Count; ++I)
+    if (!step(Env, I))
+      return false;
+  return true;
+}
+
+uint64_t LinkedExecutor::guardTests() const {
+  uint64_t Total = 0;
+  for (const UnitState &S : States)
+    Total += S.Exec.guardTests();
+  return Total;
+}

@@ -1,0 +1,102 @@
+//===--- LinkedExecutor.h - Linked-system execution -------------*- C++-*-===//
+///
+/// \file
+/// Executes a LinkedSystem instant by instant: each unit's StepProgram
+/// runs unchanged through its own StepExecutor, in the linker's
+/// cross-process order; channel wiring happens in the environment layer.
+/// A per-unit adapter environment
+///
+///   * answers a bound clock input with the producer's presence of the
+///     channel signal this instant,
+///   * answers a channel input value with the producer's output value,
+///   * forwards everything else (unbound ticks, external inputs) to the
+///     outer environment by name — exactly the queries the monolithic
+///     compilation of the composed program would make,
+///   * records every unit output; only external outputs reach the outer
+///     environment's trace.
+///
+/// Channels whose consumer derives the clock itself (ConsumerClockInput
+/// == -1) are checked dynamically: after the consumer's step, both sides
+/// must agree on presence, otherwise the run stops with a diagnostic (a
+/// clock-interface violation the linker could not prove either way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_INTERP_LINKEDEXECUTOR_H
+#define SIGNALC_INTERP_LINKEDEXECUTOR_H
+
+#include "interp/StepExecutor.h"
+#include "link/Linker.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sigc {
+
+/// Interprets a linked multi-process system.
+class LinkedExecutor {
+public:
+  explicit LinkedExecutor(const LinkedSystem &Sys);
+
+  /// Re-initializes every unit's delay states.
+  void reset();
+
+  /// Runs one reaction across all units. \returns false on a dynamic
+  /// clock-constraint violation (see error()).
+  bool step(Environment &Env, unsigned Instant);
+
+  /// Runs \p Count reactions starting at instant 0.
+  bool run(Environment &Env, unsigned Count);
+
+  /// Non-empty after step()/run() returned false.
+  const std::string &error() const { return Error; }
+
+  /// Guard tests summed over every unit's executor.
+  uint64_t guardTests() const;
+
+private:
+  struct ChannelValue {
+    bool Present = false;
+    Value Val;
+  };
+
+  /// The per-unit adapter environment; rebuilt state per instant.
+  class UnitEnv : public Environment {
+  public:
+    Environment *Outer = nullptr;
+    /// Clock-input name -> tick bound by a channel this instant.
+    std::unordered_map<std::string, bool> BoundTicks;
+    /// Channel input name -> the producer's value this instant.
+    std::unordered_map<std::string, ChannelValue> BoundInputs;
+    /// Output name -> recorded value (all of this unit's outputs).
+    std::unordered_map<std::string, ChannelValue> Produced;
+    /// Output names that are external (forwarded to Outer).
+    std::unordered_map<std::string, bool> ExternalOutput;
+    std::string *Error = nullptr;
+
+    bool clockTick(const std::string &ClockName, unsigned Instant) override;
+    Value inputValue(const std::string &SignalName, TypeKind Type,
+                     unsigned Instant) override;
+    void writeOutput(const std::string &SignalName, unsigned Instant,
+                     const Value &V) override;
+  };
+
+  struct UnitState {
+    StepExecutor Exec;
+    UnitEnv Env;
+    /// Channels feeding this unit (the consumer side), precomputed so
+    /// the per-instant loop never rescans the full channel list.
+    std::vector<const LinkChannel *> InChannels;
+    UnitState(const KernelProgram &Prog, const StepProgram &Step)
+        : Exec(Prog, Step) {}
+  };
+
+  const LinkedSystem &Sys;
+  std::vector<UnitState> States;
+  std::string Error;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_INTERP_LINKEDEXECUTOR_H

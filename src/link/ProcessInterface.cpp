@@ -1,0 +1,146 @@
+//===--- ProcessInterface.cpp ---------------------------------------------===//
+
+#include "link/ProcessInterface.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace sigc;
+
+namespace {
+
+/// Root of \p N's tree (ClockForest keeps rootOf private).
+ForestNodeId treeRootOf(const ClockForest &Forest, ForestNodeId N) {
+  while (Forest.node(N).Parent != InvalidForestNode)
+    N = Forest.node(N).Parent;
+  return N;
+}
+
+} // namespace
+
+ProcessInterface sigc::extractInterface(Compilation &C) {
+  ProcessInterface I;
+  I.ProcessName = std::string(C.names().spelling(C.Kernel->Name));
+  ClockForest &Forest = *C.Forest;
+  I.ForestNodes = Forest.dfsOrder().size();
+
+  // The interface signals and the forest nodes they live on.
+  std::unordered_set<ForestNodeId> Wanted;
+  auto noteSignal = [&](SignalId S) {
+    ForestNodeId N = Forest.nodeOf(C.Clocks.signalClock(S));
+    if (N != InvalidForestNode) {
+      Wanted.insert(N);
+      Wanted.insert(treeRootOf(Forest, N)); // Roots carry master-clock status.
+    }
+  };
+  for (SignalId S : C.Kernel->inputs())
+    noteSignal(S);
+  for (SignalId S : C.Kernel->outputs())
+    noteSignal(S);
+
+  // Restricted forest shape: keep the DFS order (parents first) and wire
+  // each kept node to its nearest kept ancestor.
+  std::unordered_map<ForestNodeId, int> IndexOf;
+  for (ForestNodeId N : Forest.dfsOrder()) {
+    if (!Wanted.count(N))
+      continue;
+    InterfaceClock IC;
+    IC.Node = N;
+    IC.Name = C.Clocks.varName(Forest.node(N).Rep, *C.Kernel, C.names());
+    IC.TreeRoot = Forest.node(N).Parent == InvalidForestNode;
+    IC.FreeRoot = IC.TreeRoot && Forest.node(N).Def == ClockDefKind::Root;
+    for (ForestNodeId A = Forest.node(N).Parent; A != InvalidForestNode;
+         A = Forest.node(A).Parent) {
+      auto It = IndexOf.find(A);
+      if (It != IndexOf.end()) {
+        IC.Parent = It->second;
+        break;
+      }
+    }
+    IndexOf.emplace(N, static_cast<int>(I.Clocks.size()));
+    I.Clocks.push_back(IC);
+  }
+
+  auto fillSignals = [&](const std::vector<SignalId> &Ids,
+                         std::vector<InterfaceSignal> &Out) {
+    for (SignalId S : Ids) {
+      InterfaceSignal IS;
+      IS.Name = std::string(C.names().spelling(C.Kernel->Signals[S].Name));
+      IS.Type = C.Kernel->Signals[S].Type;
+      IS.Sig = S;
+      ForestNodeId N = Forest.nodeOf(C.Clocks.signalClock(S));
+      if (N != InvalidForestNode)
+        IS.Clock = IndexOf.at(N);
+      Out.push_back(IS);
+    }
+  };
+  fillSignals(C.Kernel->inputs(), I.Imports);
+  fillSignals(C.Kernel->outputs(), I.Exports);
+
+  // Endochrony verdict over the *full* forest: one root = one master
+  // clock = the process paces itself from its inputs' values alone.
+  std::vector<ForestNodeId> Roots = Forest.roots();
+  I.RootCount = static_cast<unsigned>(Roots.size());
+  I.FreeRootCount = static_cast<unsigned>(Forest.freeClocks().size());
+  I.Endochronous = I.RootCount == 1;
+  if (!I.Endochronous) {
+    I.ExochronyReason = std::to_string(I.RootCount) +
+                        " independent clock roots remain unresolved:";
+    for (ForestNodeId R : Roots) {
+      I.ExochronyReason +=
+          " " + C.Clocks.varName(Forest.node(R).Rep, *C.Kernel, C.names());
+      I.ExochronyReason +=
+          Forest.node(R).Def == ClockDefKind::Root ? " (free)" : " (residual)";
+    }
+    I.ExochronyReason += "; the environment must decide their relative rates";
+  }
+  return I;
+}
+
+std::string ProcessInterface::dump() const {
+  std::string Out = "interface of process " + ProcessName + "\n";
+  Out += "  forest: " + std::to_string(ForestNodes) + " nodes, " +
+         std::to_string(RootCount) + " root(s), " +
+         std::to_string(FreeRootCount) + " free\n";
+  if (Endochronous)
+    Out += "  endochronous: yes (single master clock)\n";
+  else
+    Out += "  endochronous: no — " + ExochronyReason + "\n";
+
+  Out += "  clocks:\n";
+  // Depth within the restricted forest, for indentation.
+  std::vector<unsigned> Depth(Clocks.size(), 0);
+  for (size_t K = 0; K < Clocks.size(); ++K) {
+    if (Clocks[K].Parent >= 0)
+      Depth[K] = Depth[Clocks[K].Parent] + 1;
+    Out += "    c" + std::to_string(K) + ": " +
+           std::string(Depth[K] * 2, ' ') + Clocks[K].Name;
+    if (Clocks[K].FreeRoot)
+      Out += "  [free root]";
+    else if (Clocks[K].TreeRoot)
+      Out += "  [residual root]";
+    if (Clocks[K].Parent >= 0)
+      Out += "  < c" + std::to_string(Clocks[K].Parent);
+    Out += "\n";
+  }
+
+  auto section = [&](const char *Title,
+                     const std::vector<InterfaceSignal> &Sigs) {
+    Out += std::string("  ") + Title + ":\n";
+    size_t Width = 0;
+    for (const InterfaceSignal &S : Sigs)
+      Width = std::max(Width, S.Name.size());
+    for (const InterfaceSignal &S : Sigs) {
+      Out += "    " + S.Name + std::string(Width - S.Name.size(), ' ') +
+             " : " + typeName(S.Type) + " @ ";
+      Out += S.Clock < 0 ? std::string("null") : "c" + std::to_string(S.Clock);
+      Out += "\n";
+    }
+    if (Sigs.empty())
+      Out += "    (none)\n";
+  };
+  section("imports", Imports);
+  section("exports", Exports);
+  return Out;
+}

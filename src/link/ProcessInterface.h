@@ -1,0 +1,95 @@
+//===--- ProcessInterface.h - Clock interface of a compilation --*- C++-*-===//
+///
+/// \file
+/// The separate-compilation interface of one compiled SIGNAL process.
+/// The paper's arborescent clock calculus makes this possible: after
+/// hierarchization, a process's temporal behaviour towards the outside
+/// world is captured by
+///
+///   * its imported (input) and exported (output) signals,
+///   * the shape of the clock forest *restricted to those signals* — the
+///     nearest-ancestor relation between their clock classes,
+///   * the forest's roots: a process with a single root has a master
+///     clock that determines every other clock (it is *endochronous*) and
+///     can be driven by value streams alone; several roots mean the
+///     environment must decide their relative rates (*exochronous*).
+///
+/// A ProcessInterface is extracted once after compilation and is all the
+/// linker needs: linking matches interfaces instead of re-running the
+/// global clock resolution on the composed system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_LINK_PROCESSINTERFACE_H
+#define SIGNALC_LINK_PROCESSINTERFACE_H
+
+#include "driver/Driver.h"
+
+#include <string>
+#include <vector>
+
+namespace sigc {
+
+/// One clock class of the restricted forest.
+struct InterfaceClock {
+  /// Canonical clock name of the class representative ("^X", "[C]", ...).
+  std::string Name;
+  /// Index of the nearest ancestor clock that is itself part of the
+  /// interface; -1 for a root of the restricted forest.
+  int Parent = -1;
+  /// The node in the owning compilation's forest (valid while the
+  /// Compilation lives; the linker uses it for BDD compatibility checks).
+  ForestNodeId Node = InvalidForestNode;
+  /// True when the node is the root of its tree in the full forest.
+  bool TreeRoot = false;
+  /// True for a tree root the environment drives (ClockDefKind::Root):
+  /// a free clock the step program reads as a tick input.
+  bool FreeRoot = false;
+};
+
+/// One imported or exported signal.
+struct InterfaceSignal {
+  std::string Name;
+  TypeKind Type = TypeKind::Unknown;
+  SignalId Sig = InvalidSignal;
+  /// Index into ProcessInterface::Clocks; -1 when the signal's clock was
+  /// proved null (the signal never occurs).
+  int Clock = -1;
+};
+
+/// The complete linking interface of one compiled process.
+struct ProcessInterface {
+  std::string ProcessName;
+  std::vector<InterfaceSignal> Imports; ///< Declared inputs.
+  std::vector<InterfaceSignal> Exports; ///< Declared outputs.
+  /// Interface clock classes in forest DFS order: parents precede
+  /// children, so Parent indices always point backwards.
+  std::vector<InterfaceClock> Clocks;
+
+  /// Roots of the full forest (not just the restricted shape).
+  unsigned RootCount = 0;
+  /// Roots the environment must tick (ClockDefKind::Root).
+  unsigned FreeRootCount = 0;
+  /// Single-root forests are endochronous: one master clock determines
+  /// the presence of everything else.
+  bool Endochronous = false;
+  /// When exochronous: which roots remain unresolved, so the reader knows
+  /// *why* the process needs environment pacing (empty when endochronous).
+  std::string ExochronyReason;
+
+  /// Alive forest nodes at extraction time. The linker re-reads the count
+  /// at link time and asserts equality: linking must never re-resolve a
+  /// process's internals.
+  uint64_t ForestNodes = 0;
+
+  /// Renders the interface as readable text (tests, --dump-interface).
+  std::string dump() const;
+};
+
+/// Extracts the interface of a successfully compiled process.
+/// (Non-const \p C: forest queries use path compression internally.)
+ProcessInterface extractInterface(Compilation &C);
+
+} // namespace sigc
+
+#endif // SIGNALC_LINK_PROCESSINTERFACE_H

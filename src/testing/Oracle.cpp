@@ -6,13 +6,16 @@
 #include "driver/Driver.h"
 #include "interp/Environment.h"
 #include "interp/KernelInterp.h"
+#include "interp/LinkedExecutor.h"
 #include "interp/StepExecutor.h"
+#include "link/LinkEmitter.h"
 #include "testing/TraceCompare.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include <unistd.h>
@@ -243,7 +246,8 @@ OracleReport sigc::checkDifferential(const std::string &Name,
 
   auto C = compileSource("<oracle:" + Name + ">", Source);
   if (!C->Ok) {
-    R.Error = failure(Name, "compilation failed during " + C->FailedStage,
+    R.Error = failure(Name, "compilation failed during " +
+                          std::string(C->failedStageName()),
                       C->Diags.render(), Source);
     return R;
   }
@@ -313,4 +317,377 @@ OracleReport sigc::checkRandomDifferential(
   std::string Name = "random-" + std::to_string(Seed);
   std::string Source = generateRandomProgram("RAND", Seed, GenOptions);
   return checkDifferential(Name, Source, Options);
+}
+
+//===----------------------------------------------------------------------===//
+// Linked-system differential oracle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Signal names of the clock class behind clock input \p ClockInputIdx of
+/// \p C. (Clock slots are assigned in forest DFS order, so the slot is
+/// the node's DFS position.)
+std::vector<std::string> clockInputClassSignals(Compilation &C,
+                                                size_t ClockInputIdx) {
+  std::vector<std::string> Names;
+  int Slot = C.Step.ClockInputs[ClockInputIdx].Slot;
+  std::vector<ForestNodeId> Dfs = C.Forest->dfsOrder();
+  if (Slot < 0 || Slot >= static_cast<int>(Dfs.size()))
+    return Names;
+  ClockVarId Rep = C.Forest->rep(C.Forest->node(Dfs[Slot]).Rep);
+  for (ClockVarId V = 0; V < C.Clocks.numVars(); ++V) {
+    if (C.Forest->rep(V) != Rep ||
+        C.Clocks.varInfo(V).Kind != ClockVarKind::SignalClock)
+      continue;
+    Names.push_back(std::string(
+        C.names().spelling(C.Kernel->Signals[C.Clocks.varInfo(V).Signal]
+                               .Name)));
+  }
+  return Names;
+}
+
+/// Separate compilation cannot promise that an anonymous master clock
+/// keeps its *name* when the composed program is compiled monolithically:
+/// a consumer equation over a channel joins the producer's clock class,
+/// and the class representative — whose name the step program uses for
+/// the environment tick query — may change. The clock *interface*
+/// correspondence is still exact, so the oracle computes it: each mono
+/// free clock maps to the unique unbound linked clock whose class shares
+/// a signal with it. The mono run is then driven through this renaming,
+/// and traces must match bit for bit.
+bool monoToLinkedClockNames(Compilation &Mono, LinkedSystem &Sys,
+                            std::map<std::string, std::string> &Map,
+                            std::string &Error) {
+  struct LinkedClock {
+    std::string Name;
+    std::vector<std::string> Signals;
+  };
+  std::vector<LinkedClock> Unbound;
+  for (const LinkedRoot &R : Sys.Roots)
+    Unbound.push_back(
+        {R.Name, clockInputClassSignals(*Sys.Units[R.Unit].Comp,
+                                        static_cast<size_t>(R.ClockInput))});
+
+  for (size_t K = 0; K < Mono.Step.ClockInputs.size(); ++K) {
+    const std::string &MonoName = Mono.Step.ClockInputs[K].Name;
+    std::vector<std::string> MonoSigs = clockInputClassSignals(Mono, K);
+    const LinkedClock *Match = nullptr;
+    for (const LinkedClock &LC : Unbound)
+      for (const std::string &S : LC.Signals)
+        for (const std::string &M : MonoSigs)
+          if (S == M) {
+            if (Match && Match != &LC) {
+              Error = "mono clock '" + MonoName +
+                      "' maps to several linked clocks ('" + Match->Name +
+                      "', '" + LC.Name + "')";
+              return false;
+            }
+            Match = &LC;
+          }
+    if (!Match) {
+      Error = "mono clock '" + MonoName + "' maps to no linked clock";
+      return false;
+    }
+    Map[MonoName] = Match->Name;
+  }
+  return true;
+}
+
+/// Environment adapter renaming clock queries through the mono-to-linked
+/// interface correspondence; everything else passes through.
+class RenamedClockEnvironment : public Environment {
+public:
+  RenamedClockEnvironment(Environment &Inner,
+                          const std::map<std::string, std::string> &Map)
+      : Inner(Inner), Map(Map) {}
+
+  bool clockTick(const std::string &ClockName, unsigned Instant) override {
+    auto It = Map.find(ClockName);
+    return Inner.clockTick(It == Map.end() ? ClockName : It->second,
+                           Instant);
+  }
+  Value inputValue(const std::string &SignalName, TypeKind Type,
+                   unsigned Instant) override {
+    return Inner.inputValue(SignalName, Type, Instant);
+  }
+
+private:
+  Environment &Inner;
+  const std::map<std::string, std::string> &Map;
+};
+
+/// Scripted-replay harness for a linked emission: every external tick and
+/// input value of every instant is precomputed from the same
+/// RandomEnvironment the in-process paths used and baked into arrays.
+std::string buildLinkedHarness(const LinkedCInterface &CI,
+                               const std::string &SysName,
+                               const OracleOptions &Options) {
+  RandomEnvironment Env(Options.EnvSeed, Options.TickPermille);
+  unsigned N = Options.Instants;
+
+  std::string Out = "\n#include <stdio.h>\n\n";
+  for (const auto &T : CI.Ticks) {
+    Out += "static const int " + T.Field + "_v[" + std::to_string(N) + "] = {";
+    for (unsigned I = 0; I < N; ++I)
+      Out += std::string(Env.clockTick(T.ClockName, I) ? "1" : "0") + ",";
+    Out += "};\n";
+  }
+  for (const auto &V : CI.Inputs) {
+    const char *CType = V.Type == TypeKind::Integer ? "long"
+                        : V.Type == TypeKind::Real  ? "double"
+                                                    : "int";
+    Out += std::string("static const ") + CType + " in_" + V.Field + "_v[" +
+           std::to_string(N) + "] = {";
+    for (unsigned I = 0; I < N; ++I)
+      Out += cInputLiteral(Env.inputValue(V.SignalName, V.Type, I)) + ",";
+    Out += "};\n";
+  }
+
+  Out += "\nint main(void) {\n";
+  Out += "  " + SysName + "_state_t st;\n";
+  Out += "  " + SysName + "_in_t in;\n";
+  Out += "  " + SysName + "_out_t out;\n";
+  Out += "  " + SysName + "_init(&st);\n";
+  Out += "  for (unsigned i = 0; i < " + std::to_string(N) + "; ++i) {\n";
+  for (const auto &T : CI.Ticks)
+    Out += "    in." + T.Field + " = " + T.Field + "_v[i];\n";
+  for (const auto &V : CI.Inputs)
+    Out += "    in." + V.Field + " = in_" + V.Field + "_v[i];\n";
+  Out += "    " + SysName + "_step(&st, &in, &out);\n";
+  for (const auto &V : CI.Outputs) {
+    const char *Fmt = V.Type == TypeKind::Integer ? "%ld"
+                      : V.Type == TypeKind::Real  ? "%.17g"
+                                                  : "%d";
+    Out += "    if (out." + V.Field + "_present) printf(\"%u " + V.Field +
+           "=" + Fmt + "\\n\", i, out." + V.Field + ");\n";
+  }
+  Out += "  }\n  return 0;\n}\n";
+  return Out;
+}
+
+/// Parses the linked harness' stdout back into output events.
+bool parseLinkedTrace(const std::string &Text, const LinkedCInterface &CI,
+                      std::vector<OutputEvent> &Events, std::string &Error) {
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    size_t Sp = Line.find(' ');
+    size_t Eq = Line.find('=', Sp);
+    if (Sp == std::string::npos || Eq == std::string::npos) {
+      Error = "unparseable harness output line: '" + Line + "'";
+      return false;
+    }
+    unsigned Instant =
+        static_cast<unsigned>(std::strtoul(Line.c_str(), nullptr, 10));
+    std::string Ident = Line.substr(Sp + 1, Eq - Sp - 1);
+    std::string Val = Line.substr(Eq + 1);
+
+    const LinkedCInterface::ValueField *Desc = nullptr;
+    for (const auto &V : CI.Outputs)
+      if (V.Field == Ident)
+        Desc = &V;
+    if (!Desc) {
+      Error = "harness printed unknown output '" + Ident + "'";
+      return false;
+    }
+    Value V;
+    switch (Desc->Type) {
+    case TypeKind::Boolean:
+      V = Value::makeBool(std::strtol(Val.c_str(), nullptr, 10) != 0);
+      break;
+    case TypeKind::Event:
+      V = Value::makeEvent();
+      break;
+    case TypeKind::Integer:
+      V = Value::makeInt(std::strtoll(Val.c_str(), nullptr, 10));
+      break;
+    case TypeKind::Real:
+      V = Value::makeReal(std::strtod(Val.c_str(), nullptr));
+      break;
+    case TypeKind::Unknown:
+      Error = "output '" + Ident + "' has unknown type";
+      return false;
+    }
+    Events.push_back({Instant, Desc->SignalName, V});
+  }
+  return true;
+}
+
+/// Compiles and runs the linked C emission; fills \p Events with the
+/// subprocess trace.
+bool runLinkedCRoundTrip(const LinkedSystem &Sys,
+                         const OracleOptions &Options,
+                         std::vector<OutputEvent> &Events,
+                         std::string &Error) {
+  const std::string &CC = hostCC();
+  if (CC.empty()) {
+    Error = "no host C compiler";
+    return false;
+  }
+  char Template[] = "/tmp/sigc-linkoracle-XXXXXX";
+  char *Dir = mkdtemp(Template);
+  if (!Dir) {
+    Error = "mkdtemp failed";
+    return false;
+  }
+  std::string D = Dir;
+  std::string CPath = D + "/sys.c", Bin = D + "/sys";
+  std::string OutPath = D + "/out.txt", LogPath = D + "/cc.log";
+
+  CEmitOptions EO;
+  EO.Nested = Options.EmitNested;
+  EO.WithDriver = false;
+  std::string SysName = "linked_sys";
+  LinkedCInterface CI = linkedCInterface(Sys);
+  std::string CSource = emitLinkedC(Sys, SysName, EO);
+  CSource += buildLinkedHarness(CI, SysName, Options);
+
+  bool Ok = false;
+  {
+    std::ofstream OutFile(CPath);
+    OutFile << CSource;
+  }
+  std::string Compile =
+      CC + " -O1 -o " + Bin + " " + CPath + " > " + LogPath + " 2>&1";
+  if (std::system(Compile.c_str()) != 0) {
+    Error = "host C compilation failed:\n" + readFile(LogPath) +
+            "--- emitted C ---\n" + CSource;
+  } else if (std::system((Bin + " > " + OutPath + " 2>/dev/null").c_str()) !=
+             0) {
+    Error = "emitted linked program exited non-zero";
+  } else {
+    Ok = parseLinkedTrace(readFile(OutPath), CI, Events, Error);
+  }
+
+  for (const std::string &F : {CPath, Bin, OutPath, LogPath})
+    std::remove(F.c_str());
+  rmdir(D.c_str());
+  return Ok;
+}
+
+} // namespace
+
+OracleReport sigc::checkLinkedDifferential(
+    const std::string &Name, const std::vector<LinkInput> &Processes,
+    const std::string &ComposedSource, const OracleOptions &Options) {
+  OracleReport R;
+  std::string AllSources;
+  for (const LinkInput &P : Processes)
+    AllSources += P.Source;
+  AllSources += "--- composed ---\n" + ComposedSource;
+
+  // Separate compilation + link.
+  LinkResult Link = compileAndLinkSources(Processes);
+  if (!Link.Sys) {
+    R.Error = failure(Name, "link failed", Link.Error + "\n", AllSources);
+    return R;
+  }
+  LinkedSystem &Sys = *Link.Sys;
+
+  // Linking must not have re-resolved any unit.
+  for (size_t U = 0; U < Sys.Units.size(); ++U)
+    if (Sys.ForestNodesAtLink[U] != Sys.Units[U].Iface.ForestNodes) {
+      R.Error = failure(Name, "link re-resolved a unit's forest",
+                        "unit " + Sys.Units[U].Name + "\n", AllSources);
+      return R;
+    }
+
+  // Monolithic compilation of the textual composition.
+  auto Mono = compileSource("<linked-oracle:" + Name + ">", ComposedSource);
+  if (!Mono->Ok) {
+    R.Error = failure(Name,
+                      "monolithic compilation failed during " +
+                          std::string(Mono->failedStageName()),
+                      Mono->Diags.render(), AllSources);
+    return R;
+  }
+
+  // The clock-interface correspondence: mono master-clock names need not
+  // survive separate compilation; structure must (see the helper above).
+  std::map<std::string, std::string> ClockMap;
+  std::string MapError;
+  if (!monoToLinkedClockNames(*Mono, Sys, ClockMap, MapError)) {
+    R.Error = failure(Name, "clock-interface correspondence failed",
+                      MapError + "\n", AllSources);
+    return R;
+  }
+
+  // Path 1a: monolithic fixpoint interpreter (reference).
+  RandomEnvironment EnvRef(Options.EnvSeed, Options.TickPermille);
+  RenamedClockEnvironment EnvRefRenamed(EnvRef, ClockMap);
+  KernelInterp Ref(*Mono->Kernel, Mono->Clocks, *Mono->Forest,
+                   Mono->names());
+  if (!Ref.run(EnvRefRenamed, Options.Instants)) {
+    R.Error = failure(Name, "monolithic interpreter got stuck", "",
+                      AllSources);
+    return R;
+  }
+
+  // Path 1b: monolithic nested step program.
+  RandomEnvironment EnvMono(Options.EnvSeed, Options.TickPermille);
+  RenamedClockEnvironment EnvMonoRenamed(EnvMono, ClockMap);
+  StepExecutor ExecMono(*Mono->Kernel, Mono->Step);
+  ExecMono.run(EnvMonoRenamed, Options.Instants, ExecMode::Nested);
+  R.GuardTestsMono = ExecMono.guardTests();
+
+  TraceDiff D = compareTraces("mono-interp", EnvRefRenamed.outputs(),
+                              "mono-step", EnvMonoRenamed.outputs());
+  if (!D.Equal) {
+    R.Error = failure(Name, "monolithic interp vs step divergence", D.Report,
+                      AllSources);
+    return R;
+  }
+
+  // Path 2: the linked system, per-unit step programs wired by channels.
+  RandomEnvironment EnvLinked(Options.EnvSeed, Options.TickPermille);
+  LinkedExecutor Linked(Sys);
+  if (!Linked.run(EnvLinked, Options.Instants)) {
+    R.Error = failure(Name, "linked execution stopped", Linked.error() + "\n",
+                      AllSources);
+    return R;
+  }
+  R.GuardTestsLinked = Linked.guardTests();
+
+  D = compareTraces("mono-step", EnvMonoRenamed.outputs(), "linked",
+                    EnvLinked.outputs());
+  if (!D.Equal) {
+    R.Error = failure(Name, "monolithic vs linked divergence", D.Report,
+                      AllSources);
+    return R;
+  }
+
+  // Path 3: the linked C emission, through the host compiler.
+  if (Options.EmitCRoundTrip && hostCCompilerAvailable()) {
+    std::vector<OutputEvent> CEvents;
+    std::string Error;
+    if (!runLinkedCRoundTrip(Sys, Options, CEvents, Error)) {
+      R.Error = failure(Name, "linked-C round-trip failed", Error,
+                        AllSources);
+      return R;
+    }
+    R.CRoundTripRan = true;
+    D = compareTraces("linked", EnvLinked.outputs(), "linked-c", CEvents);
+    if (!D.Equal) {
+      R.Error = failure(Name, "linked interp vs linked-C divergence",
+                        D.Report, AllSources);
+      return R;
+    }
+  }
+
+  R.Ok = true;
+  return R;
+}
+
+OracleReport sigc::checkRandomPairDifferential(
+    uint64_t Seed, const ProcessPairOptions &GenOptions,
+    const OracleOptions &Options) {
+  GeneratedPair Pair = generateProcessPair(Seed, GenOptions);
+  std::vector<LinkInput> Processes = {{Pair.ProducerName, Pair.ProducerSource},
+                                      {Pair.ConsumerName,
+                                       Pair.ConsumerSource}};
+  return checkLinkedDifferential("random-pair-" + std::to_string(Seed),
+                                 Processes, Pair.ComposedSource, Options);
 }

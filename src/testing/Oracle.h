@@ -21,10 +21,12 @@
 #ifndef SIGNALC_TESTING_ORACLE_H
 #define SIGNALC_TESTING_ORACLE_H
 
+#include "link/Linker.h"
 #include "testing/RandomProgram.h"
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sigc {
 
@@ -50,6 +52,10 @@ struct OracleReport {
   /// effect (nested does at most as many tests as flat).
   uint64_t GuardTestsFlat = 0;
   uint64_t GuardTestsNested = 0;
+  /// Linked-oracle counters: the monolithic nested run vs the linked
+  /// system (sum over units). Zero for single-process reports.
+  uint64_t GuardTestsMono = 0;
+  uint64_t GuardTestsLinked = 0;
   /// True when the C round-trip actually ran (compiler available).
   bool CRoundTripRan = false;
 };
@@ -66,6 +72,39 @@ OracleReport checkRandomDifferential(uint64_t Seed,
 
 /// \returns true when a host C compiler usable for the round-trip exists.
 bool hostCCompilerAvailable();
+
+//===----------------------------------------------------------------------===//
+// Linked-system differential oracle
+//===----------------------------------------------------------------------===//
+//
+// The separate-compilation counterpart: compile N processes in isolation,
+// link them by interface, and demand the linked execution's trace be
+// bit-identical to the *monolithic* compilation of the textually composed
+// program — the executable form of the claim that interface matching can
+// replace global clock resolution. Verified paths:
+//
+//   1. the monolithic compilation's nested step program (itself cross-
+//      checked against the fixpoint interpreter),
+//   2. the LinkedExecutor over the separately compiled units,
+//   3. optionally, the linked C emission round-tripped through the host
+//      C compiler.
+//
+// The report also fails if linking re-resolved any process's forest (node
+// counts must not change between compilation and link).
+
+/// Runs the linked differential oracle: \p Processes are compiled and
+/// linked, \p ComposedSource is compiled monolithically, and all paths
+/// must produce one trace.
+OracleReport checkLinkedDifferential(const std::string &Name,
+                                     const std::vector<LinkInput> &Processes,
+                                     const std::string &ComposedSource,
+                                     const OracleOptions &Options = {});
+
+/// Generates a producer/consumer pair from \p Seed and runs the linked
+/// oracle on it.
+OracleReport checkRandomPairDifferential(uint64_t Seed,
+                                         const ProcessPairOptions &GenOptions,
+                                         const OracleOptions &Options = {});
 
 } // namespace sigc
 

@@ -14,8 +14,25 @@ namespace {
 struct GenSignal {
   std::string Name;
   bool IsBool = false;
-  int Class = -1;     ///< Abstract clock class.
+  int Class = -1;       ///< Abstract clock class.
   bool Defined = false; ///< Has a defining equation (inputs do not).
+  bool IsChannel = false; ///< Imported from an upstream process.
+};
+
+/// A channel handed to a downstream generator: the exporter's signal plus
+/// the exporter-side clock class, so the consumer knows which channels it
+/// may legally declare synchronous.
+struct ChannelIn {
+  std::string Name;
+  bool IsBool = false;
+  int ProducerClass = -1;
+};
+
+/// Everything one generator run produced, for flexible rendering.
+struct GenResult {
+  std::vector<GenSignal> Signals;
+  std::vector<int> Outputs; ///< Indices into Signals.
+  std::vector<std::string> Eqs;
 };
 
 /// Moduli applied to integer Func results to keep values bounded.
@@ -23,18 +40,48 @@ constexpr int64_t Moduli[] = {97, 101, 251, 1009, 9973};
 
 class Generator {
 public:
-  Generator(std::string Name, uint64_t Seed,
-            const RandomProgramOptions &Options)
-      : ProcName(std::move(Name)), Options(Options), Rng(Seed) {
+  /// \p Prefix is prepended to every generated signal name, so multiple
+  /// processes of one system never collide. \p Channels become extra
+  /// undefined signals, each in its own *derived* class: the generator
+  /// then never merges an import's clock with a free input's — the
+  /// producer paces imports, not the environment.
+  Generator(uint64_t Seed, const RandomProgramOptions &Options,
+            std::string Prefix = "",
+            const std::vector<ChannelIn> &Channels = {},
+            unsigned SynchroChannelPercent = 0)
+      : Options(Options), Prefix(std::move(Prefix)), Rng(Seed) {
     // Enforce the documented minimums: "when" conditions need a boolean
     // signal, and a process without outputs is unobservable.
     if (this->Options.BoolInputs == 0)
       this->Options.BoolInputs = 1;
     if (this->Options.MaxOutputs == 0)
       this->Options.MaxOutputs = 1;
+    if (this->Options.Equations == 0)
+      this->Options.Equations = 1;
+
+    for (const ChannelIn &Ch : Channels) {
+      int S = addSignal(Ch.Name, Ch.IsBool, newClass(/*Derived=*/true),
+                        /*Defined=*/false);
+      Signals[S].IsChannel = true;
+    }
+    // Consumer-side synchro between channels the producer keeps
+    // synchronous: a provable interface obligation.
+    for (size_t I = 0; I < Channels.size(); ++I)
+      for (size_t J = I + 1; J < Channels.size(); ++J) {
+        if (Channels[I].ProducerClass != Channels[J].ProducerClass ||
+            Signals[I].Class == Signals[J].Class)
+          continue;
+        if (!percent(SynchroChannelPercent))
+          continue;
+        eq("synchro {" + Channels[I].Name + ", " + Channels[J].Name + "}");
+        int To = Signals[I].Class, From = Signals[J].Class;
+        for (GenSignal &S : Signals)
+          if (S.Class == From)
+            S.Class = To;
+      }
   }
 
-  std::string run();
+  GenResult run();
 
 private:
   unsigned pick(unsigned Bound) {
@@ -59,7 +106,7 @@ private:
 
   int addSignal(const std::string &Name, bool IsBool, int Class,
                 bool Defined) {
-    Signals.push_back({Name, IsBool, Class, Defined});
+    Signals.push_back({Name, IsBool, Class, Defined, false});
     return static_cast<int>(Signals.size()) - 1;
   }
 
@@ -103,18 +150,15 @@ private:
   void genAccumulator(unsigned Index);
   void maybeGenSynchro();
 
-  void eq(const std::string &Text) {
-    Body += Body.empty() ? "   " : "   | ";
-    Body += Text + "\n";
-  }
+  void eq(const std::string &Text) { Eqs.push_back(Text); }
 
-  std::string ProcName;
   RandomProgramOptions Options;
+  std::string Prefix;
   std::mt19937_64 Rng;
 
   std::vector<GenSignal> Signals;
   std::vector<bool> ClassDerived; ///< Indexed by class id.
-  std::string Body;
+  std::vector<std::string> Eqs;
 };
 
 std::string Generator::genIntLeaf(int Class, std::vector<int> &Used) {
@@ -214,12 +258,20 @@ void Generator::genFunc(unsigned Index) {
   std::vector<int> Used;
   std::string Expr =
       genExpr(Class, WantBool, 1 + pick(Options.MaxExprDepth), Used);
-  std::string Name = (WantBool ? "SB" : "SI") + std::to_string(Index);
+  std::string Name =
+      Prefix + (WantBool ? "SB" : "SI") + std::to_string(Index);
   if (!WantBool) {
     int64_t M = Moduli[pick(sizeof(Moduli) / sizeof(Moduli[0]))];
     Expr = "(" + Expr + ") mod " + std::to_string(M);
   }
-  Class = unifyUsed(Signals, ClassDerived, Class, Used);
+  // The compiled constraint is ŷ = x̂ for the *used* operands only: a
+  // constants-only body leaves ŷ a fresh free root, and an unused pivot
+  // contributes nothing. Claiming otherwise would let the pair generator
+  // demand synchrony the producer cannot prove.
+  if (Used.empty())
+    Class = newClass(/*Derived=*/false);
+  else
+    Class = unifyUsed(Signals, ClassDerived, Signals[Used[0]].Class, Used);
   addSignal(Name, WantBool, Class, /*Defined=*/true);
   eq(Name + " := " + Expr);
 }
@@ -228,7 +280,7 @@ void Generator::genDelay(unsigned Index) {
   int Src = pickSignal(-1);
   // Copy: addSignal reallocates Signals.
   GenSignal S = Signals[Src];
-  std::string Name = (S.IsBool ? "DB" : "DI") + std::to_string(Index);
+  std::string Name = Prefix + (S.IsBool ? "DB" : "DI") + std::to_string(Index);
   std::string Init =
       S.IsBool ? (pick(2) ? "true" : "false") : std::to_string(pick(10));
   addSignal(Name, S.IsBool, S.Class, /*Defined=*/true);
@@ -240,7 +292,7 @@ void Generator::genWhen(unsigned Index) {
   int Cond = pickSignal(/*WantBool=*/1);
   // Copy: addSignal reallocates Signals.
   GenSignal V = Signals[Val];
-  std::string Name = (V.IsBool ? "WB" : "WI") + std::to_string(Index);
+  std::string Name = Prefix + (V.IsBool ? "WB" : "WI") + std::to_string(Index);
   std::string CondText = percent(25) ? "(not " + Signals[Cond].Name + ")"
                                      : Signals[Cond].Name;
   addSignal(Name, V.IsBool, newClass(/*Derived=*/true), /*Defined=*/true);
@@ -252,7 +304,7 @@ void Generator::genDefault(unsigned Index) {
   int B = pickSignal(Signals[A].IsBool ? 1 : 0);
   // Copies: addSignal reallocates Signals.
   GenSignal SA = Signals[A], SB = Signals[B];
-  std::string Name = (SA.IsBool ? "MB" : "MI") + std::to_string(Index);
+  std::string Name = Prefix + (SA.IsBool ? "MB" : "MI") + std::to_string(Index);
   addSignal(Name, SA.IsBool, newClass(/*Derived=*/true), /*Defined=*/true);
   eq(Name + " := " + SA.Name + " default " + SB.Name);
 }
@@ -261,12 +313,17 @@ void Generator::genAccumulator(unsigned Index) {
   // Z := N $ 1 init 0 | N := (expr + Z) mod M, everything in one class.
   int Pivot = pickSignal(-1);
   int Class = Signals[Pivot].Class;
-  std::string Z = "Z" + std::to_string(Index);
-  std::string N = "AC" + std::to_string(Index);
+  std::string Z = Prefix + "Z" + std::to_string(Index);
+  std::string N = Prefix + "AC" + std::to_string(Index);
 
   std::vector<int> Used;
   std::string Expr = genExpr(Class, /*WantBool=*/false, 1, Used);
-  Class = unifyUsed(Signals, ClassDerived, Class, Used);
+  // As in genFunc: only the used operands constrain the clock; a
+  // constants-only body ties Z and N just to each other.
+  if (Used.empty())
+    Class = newClass(/*Derived=*/false);
+  else
+    Class = unifyUsed(Signals, ClassDerived, Signals[Used[0]].Class, Used);
 
   int64_t M = Moduli[pick(sizeof(Moduli) / sizeof(Moduli[0]))];
   addSignal(Z, /*IsBool=*/false, Class, /*Defined=*/true);
@@ -297,12 +354,12 @@ void Generator::maybeGenSynchro() {
   mergeClasses(Signals[SA].Class, Signals[SB].Class);
 }
 
-std::string Generator::run() {
+GenResult Generator::run() {
   for (unsigned I = 1; I <= Options.IntInputs; ++I)
-    addSignal("I" + std::to_string(I), /*IsBool=*/false,
+    addSignal(Prefix + "I" + std::to_string(I), /*IsBool=*/false,
               newClass(/*Derived=*/false), /*Defined=*/false);
   for (unsigned I = 1; I <= Options.BoolInputs; ++I)
-    addSignal("B" + std::to_string(I), /*IsBool=*/true,
+    addSignal(Prefix + "B" + std::to_string(I), /*IsBool=*/true,
               newClass(/*Derived=*/false), /*Defined=*/false);
   assert(Options.BoolInputs >= 1 && "when conditions need a boolean");
 
@@ -329,44 +386,130 @@ std::string Generator::run() {
     }
   }
 
+  GenResult R;
   // Pick the outputs: the most recently defined signals, newest first,
   // so the deepest parts of the DAG are observed.
   unsigned NumOutputs = 1 + pick(Options.MaxOutputs);
-  std::vector<int> Outputs;
   for (int I = static_cast<int>(Signals.size()) - 1;
-       I >= 0 && Outputs.size() < NumOutputs; --I)
+       I >= 0 && R.Outputs.size() < NumOutputs; --I)
     if (Signals[I].Defined)
-      Outputs.push_back(I);
+      R.Outputs.push_back(I);
+  R.Signals = std::move(Signals);
+  R.Eqs = std::move(Eqs);
+  return R;
+}
 
-  std::string Decl = "process " + ProcName + " =\n  ( ?\n";
-  for (const GenSignal &S : Signals)
-    if (!S.Defined)
-      Decl += std::string("    ") + (S.IsBool ? "boolean " : "integer ") +
-              S.Name + ";\n";
-  Decl += "  !\n";
-  for (int I : Outputs)
-    Decl += std::string("    ") +
-            (Signals[I].IsBool ? "boolean " : "integer ") + Signals[I].Name +
-            ";\n";
-  Decl += "  )\n  (|\n" + Body + "  |)\n";
+bool isOutput(const GenResult &R, int I) {
+  for (int O : R.Outputs)
+    if (O == I)
+      return true;
+  return false;
+}
 
-  std::string Locals;
-  for (int I = 0; I < static_cast<int>(Signals.size()); ++I) {
-    const GenSignal &S = Signals[I];
-    if (!S.Defined)
-      continue;
-    bool IsOutput = false;
-    for (int O : Outputs)
-      IsOutput |= O == I;
-    if (IsOutput)
-      continue;
-    Locals += std::string("    ") + (S.IsBool ? "boolean " : "integer ") +
-              S.Name + ";\n";
-  }
+std::string declLine(const GenSignal &S) {
+  return std::string("    ") + (S.IsBool ? "boolean " : "integer ") + S.Name +
+         ";\n";
+}
+
+/// Renders a complete process declaration in the house style.
+std::string renderProcess(const std::string &ProcName,
+                          const std::string &Inputs,
+                          const std::string &Outputs,
+                          const std::string &Locals,
+                          const std::vector<std::string> &Eqs) {
+  std::string Out = "process " + ProcName + " =\n  ( ?\n" + Inputs +
+                    "  !\n" + Outputs + "  )\n  (|\n";
+  for (size_t I = 0; I < Eqs.size(); ++I)
+    Out += (I == 0 ? "   " : "   | ") + Eqs[I] + "\n";
+  Out += "  |)\n";
   if (!Locals.empty())
-    Decl += "  where\n" + Locals + "  end";
-  Decl += ";\n";
-  return Decl;
+    Out += "  where\n" + Locals + "  end";
+  Out += ";\n";
+  return Out;
+}
+
+/// Renders one generator result as a standalone process: undefined
+/// signals (free inputs and channels alike) become inputs, the chosen
+/// outputs become outputs, every other defined signal a local.
+std::string renderStandalone(const std::string &ProcName,
+                             const GenResult &R) {
+  std::string Inputs, Outputs, Locals;
+  for (const GenSignal &S : R.Signals)
+    if (!S.Defined)
+      Inputs += declLine(S);
+  for (int I : R.Outputs)
+    Outputs += declLine(R.Signals[I]);
+  for (int I = 0; I < static_cast<int>(R.Signals.size()); ++I)
+    if (R.Signals[I].Defined && !isOutput(R, I))
+      Locals += declLine(R.Signals[I]);
+  return renderProcess(ProcName, Inputs, Outputs, Locals, R.Eqs);
+}
+
+/// The whole chain builder: N stages, stage k importing a subset of stage
+/// k-1's outputs. Also renders the monolithic composition.
+GeneratedChain buildChain(uint64_t Seed,
+                          const std::vector<RandomProgramOptions> &Stages,
+                          const std::vector<std::string> &Names,
+                          const std::vector<std::string> &Prefixes,
+                          const std::string &SystemName,
+                          unsigned MaxChannels,
+                          unsigned SynchroChannelPercent) {
+  std::mt19937_64 Master(Seed * 0x9E3779B97F4A7C15ull + 1);
+  GeneratedChain Chain;
+  Chain.Names = Names;
+  Chain.SystemName = SystemName;
+
+  std::vector<GenResult> Results;
+  std::vector<std::vector<int>> Consumed; // Per stage: consumed outputs.
+  for (size_t K = 0; K < Stages.size(); ++K) {
+    std::vector<ChannelIn> Channels;
+    if (K > 0) {
+      // Wire up to MaxChannels of the previous stage's outputs.
+      const GenResult &Prev = Results[K - 1];
+      unsigned Want = 1 + static_cast<unsigned>(
+                              Master() % (MaxChannels ? MaxChannels : 1));
+      for (int O : Prev.Outputs) {
+        if (Channels.size() >= Want)
+          break;
+        const GenSignal &S = Prev.Signals[O];
+        Channels.push_back({S.Name, S.IsBool, S.Class});
+        Consumed[K - 1].push_back(O);
+        Chain.Channels.push_back(S.Name);
+      }
+    }
+    Generator G(Master(), Stages[K], Prefixes[K], Channels,
+                SynchroChannelPercent);
+    Results.push_back(G.run());
+    Consumed.emplace_back();
+  }
+
+  for (size_t K = 0; K < Stages.size(); ++K)
+    Chain.Sources.push_back(renderStandalone(Names[K], Results[K]));
+
+  // Monolithic composition: all bodies in one process; consumed channel
+  // signals become locals, everything externally visible stays an output.
+  std::string Inputs, Outputs, Locals;
+  std::vector<std::string> Eqs;
+  for (size_t K = 0; K < Stages.size(); ++K) {
+    const GenResult &R = Results[K];
+    for (const GenSignal &S : R.Signals)
+      if (!S.Defined && !S.IsChannel)
+        Inputs += declLine(S);
+    for (int I : R.Outputs) {
+      bool IsConsumed = false;
+      for (int C : Consumed[K])
+        IsConsumed |= C == I;
+      (IsConsumed ? Locals : Outputs) += declLine(R.Signals[I]);
+    }
+    for (int I = 0; I < static_cast<int>(R.Signals.size()); ++I)
+      if (R.Signals[I].Defined && !isOutput(R, I))
+        Locals += declLine(R.Signals[I]);
+    for (const std::string &E : R.Eqs)
+      Eqs.push_back(E);
+  }
+  Chain.ComposedSource =
+      renderProcess(SystemName, Inputs, Outputs, Locals, Eqs);
+  return Chain;
 }
 
 } // namespace
@@ -374,6 +517,38 @@ std::string Generator::run() {
 std::string sigc::generateRandomProgram(const std::string &Name,
                                         uint64_t Seed,
                                         const RandomProgramOptions &Options) {
-  Generator G(Name, Seed, Options);
-  return G.run();
+  Generator G(Seed, Options);
+  return renderStandalone(Name, G.run());
+}
+
+GeneratedPair sigc::generateProcessPair(uint64_t Seed,
+                                        const ProcessPairOptions &Options) {
+  GeneratedChain Chain = buildChain(
+      Seed, {Options.Producer, Options.Consumer}, {"PROD", "CONS"},
+      {"P_", "C_"}, "SYS", Options.MaxChannels,
+      Options.SynchroChannelPercent);
+  GeneratedPair P;
+  P.ProducerName = Chain.Names[0];
+  P.ConsumerName = Chain.Names[1];
+  P.SystemName = Chain.SystemName;
+  P.ProducerSource = Chain.Sources[0];
+  P.ConsumerSource = Chain.Sources[1];
+  P.ComposedSource = Chain.ComposedSource;
+  P.Channels = Chain.Channels;
+  return P;
+}
+
+GeneratedChain sigc::generateProcessChain(
+    uint64_t Seed, unsigned Stages, const RandomProgramOptions &StageOptions,
+    unsigned MaxChannels, unsigned SynchroChannelPercent) {
+  if (Stages == 0)
+    Stages = 1;
+  std::vector<RandomProgramOptions> PerStage(Stages, StageOptions);
+  std::vector<std::string> Names, Prefixes;
+  for (unsigned K = 0; K < Stages; ++K) {
+    Names.push_back("STAGE" + std::to_string(K));
+    Prefixes.push_back("S" + std::to_string(K) + "_");
+  }
+  return buildChain(Seed, PerStage, Names, Prefixes, "SYS", MaxChannels,
+                    SynchroChannelPercent);
 }

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sigc {
 
@@ -47,6 +48,64 @@ struct RandomProgramOptions {
 /// options, same source — byte for byte.
 std::string generateRandomProgram(const std::string &Name, uint64_t Seed,
                                   const RandomProgramOptions &Options = {});
+
+//===----------------------------------------------------------------------===//
+// Multi-process generation (separate-compilation testing)
+//===----------------------------------------------------------------------===//
+//
+// A generated *pair* (or longer *chain*) is a producer whose outputs feed
+// a consumer's imports, plus the textual composition of the two bodies
+// into one monolithic process. The differential linker oracle compiles
+// the pieces separately, links them, and demands the linked trace equal
+// the monolithic compilation's trace.
+//
+// The consumer's discipline keeps every channel in its own clock class
+// (imports are paced by the producer, so the generator must not merge
+// them with the consumer's free inputs); with some probability it emits a
+// "synchro" between two channels the producer is known to keep
+// synchronous, which is exactly the interface obligation the linker must
+// discharge with a BDD implication on the producer's forest.
+
+/// Knobs of the two-process generator.
+struct ProcessPairOptions {
+  RandomProgramOptions Producer;
+  RandomProgramOptions Consumer;
+  /// Producer outputs wired into the consumer (at least 1, at most the
+  /// producer's output count).
+  unsigned MaxChannels = 3;
+  /// Chance to synchro two channels that are synchronous in the producer.
+  unsigned SynchroChannelPercent = 40;
+};
+
+/// One generated producer/consumer system.
+struct GeneratedPair {
+  std::string ProducerName, ConsumerName, SystemName;
+  std::string ProducerSource, ConsumerSource;
+  /// The monolithic textual composition: producer and consumer bodies in
+  /// one process, channels turned into locals.
+  std::string ComposedSource;
+  /// The producer outputs the consumer imports.
+  std::vector<std::string> Channels;
+};
+
+/// Generates one pair from \p Seed, deterministically.
+GeneratedPair generateProcessPair(uint64_t Seed,
+                                  const ProcessPairOptions &Options = {});
+
+/// An N-stage pipeline: stage k imports channels from stage k-1.
+struct GeneratedChain {
+  std::vector<std::string> Names;   ///< Process name per stage.
+  std::vector<std::string> Sources; ///< Source per stage.
+  std::string SystemName;
+  std::string ComposedSource;
+  std::vector<std::string> Channels; ///< All inter-stage channels.
+};
+
+/// Generates an N-stage chain from \p Seed, deterministically.
+GeneratedChain generateProcessChain(uint64_t Seed, unsigned Stages,
+                                    const RandomProgramOptions &StageOptions = {},
+                                    unsigned MaxChannels = 2,
+                                    unsigned SynchroChannelPercent = 30);
 
 } // namespace sigc
 

@@ -17,17 +17,18 @@ namespace sigc::test {
 /// Compiles \p Source and expects success; failures print diagnostics.
 inline std::unique_ptr<Compilation> compileOk(const std::string &Source) {
   auto C = compileSource("<test>", Source);
-  EXPECT_TRUE(C->Ok) << "stage: " << C->FailedStage << "\n"
+  EXPECT_TRUE(C->Ok) << "stage: " << C->failedStageName() << "\n"
                      << C->Diags.render();
   return C;
 }
 
 /// Compiles \p Source and expects failure in \p Stage.
 inline std::unique_ptr<Compilation> compileErr(const std::string &Source,
-                                               const std::string &Stage) {
+                                               CompileStage Stage) {
   auto C = compileSource("<test>", Source);
   EXPECT_FALSE(C->Ok);
-  EXPECT_EQ(C->FailedStage, Stage) << C->Diags.render();
+  EXPECT_EQ(C->failedStageName(), std::string(to_string(Stage)))
+      << C->Diags.render();
   return C;
 }
 

@@ -195,7 +195,7 @@ TEST(Forest, ContradictoryClockRejected) {
                            "   | T := A when CC\n   | U := A when DD\n"
                            "   | synchro {T, U}\n   | Y := A",
                            "integer T, U;"),
-                      "clock-calculus");
+                      CompileStage::ClockCalculus);
   EXPECT_NE(C->Diags.render().find("temporally incorrect"),
             std::string::npos);
 }
@@ -291,7 +291,7 @@ TEST(Forest, BudgetExhaustionReportsUnable) {
                                           "boolean C1, C2; integer S1, S2;"),
                          Options);
   EXPECT_FALSE(C->Ok);
-  EXPECT_EQ(C->FailedStage, "clock-calculus");
+  EXPECT_EQ(C->FailedStage, CompileStage::ClockCalculus);
   EXPECT_EQ(C->ForestBudget.verdict(), BudgetVerdict::UnableMem);
 }
 

@@ -14,6 +14,7 @@
 
 #include "TestUtil.h"
 #include "codegen/CEmitter.h"
+#include "link/ProcessInterface.h"
 #include "programs/Programs.h"
 
 #include <gtest/gtest.h>
@@ -52,6 +53,11 @@ void checkGolden(const std::string &Name) {
   EO.Nested = true;
   expectMatchesGolden(emitC(*C->Kernel, C->Step, Names, Proc, EO),
                       "golden/" + Name + ".c.txt");
+
+  // The separate-compilation interface (--dump-interface): pins the
+  // restricted forest shape and the endochrony verdict.
+  expectMatchesGolden(extractInterface(*C).dump(),
+                      "golden/" + Name + ".iface.txt");
 }
 
 } // namespace

@@ -47,12 +47,12 @@ TEST(Graph, InstantaneousCycleRejected) {
   auto C = compileErr(proc("? integer A; ! integer Y;",
                            "   Y := Z + A\n   | Z := Y + A",
                            "integer Z;"),
-                      "graph");
+                      CompileStage::Graph);
   EXPECT_NE(C->Diags.render().find("dependency cycle"), std::string::npos);
 }
 
 TEST(Graph, SelfCycleRejected) {
-  compileErr(proc("? integer A; ! integer Y;", "   Y := Y + A"), "graph");
+  compileErr(proc("? integer A; ! integer Y;", "   Y := Y + A"), CompileStage::Graph);
 }
 
 TEST(Graph, StoreDelayAfterLoadAndSource) {

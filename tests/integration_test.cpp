@@ -10,11 +10,12 @@ using namespace sigc;
 using namespace sigc::test;
 
 TEST(Integration, FailedStageIsReported) {
-  EXPECT_EQ(compileSource("<t>", "process = (")->FailedStage, "parse");
+  EXPECT_EQ(compileSource("<t>", "process = (")->FailedStage,
+            CompileStage::Parse);
   EXPECT_EQ(compileSource("<t>", proc("? integer A; ! integer Y;",
                                       "   Y := Q"))
                 ->FailedStage,
-            "sema");
+            CompileStage::Sema);
   EXPECT_EQ(compileSource("<t>",
                           proc("? integer A; boolean CC, DD; ! integer Y;",
                                "   synchro {A, CC}\n   | synchro {A, DD}\n"
@@ -23,12 +24,21 @@ TEST(Integration, FailedStageIsReported) {
                                "   | synchro {T, U}\n   | Y := A",
                                "integer T, U;"))
                 ->FailedStage,
-            "clock-calculus");
+            CompileStage::ClockCalculus);
   EXPECT_EQ(compileSource("<t>", proc("? integer A; ! integer Y;",
                                       "   Y := Z + A\n   | Z := Y + A",
                                       "integer Z;"))
                 ->FailedStage,
-            "graph");
+            CompileStage::Graph);
+}
+
+TEST(Integration, CompileStageNamesAreCanonical) {
+  EXPECT_STREQ(to_string(CompileStage::None), "none");
+  EXPECT_STREQ(to_string(CompileStage::Parse), "parse");
+  EXPECT_STREQ(to_string(CompileStage::Select), "select");
+  EXPECT_STREQ(to_string(CompileStage::Sema), "sema");
+  EXPECT_STREQ(to_string(CompileStage::ClockCalculus), "clock-calculus");
+  EXPECT_STREQ(to_string(CompileStage::Graph), "graph");
 }
 
 TEST(Integration, ProcessSelectionByName) {
@@ -44,6 +54,14 @@ TEST(Integration, ProcessSelectionByName) {
   O.ProcessName = "NOPE";
   auto C2 = compileSource("<t>", Two, O);
   EXPECT_FALSE(C2->Ok);
+  EXPECT_EQ(C2->FailedStage, CompileStage::Select);
+  // The diagnostic must name every declared process, so a typo'd
+  // --process does not send the user source-diving.
+  std::string Diags = C2->Diags.render();
+  EXPECT_NE(Diags.find("no process named 'NOPE'"), std::string::npos)
+      << Diags;
+  EXPECT_NE(Diags.find("declared processes: A, B"), std::string::npos)
+      << Diags;
 }
 
 TEST(Integration, CounterEndToEnd) {

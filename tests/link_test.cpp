@@ -1,0 +1,350 @@
+//===--- link_test.cpp - Separate compilation + linker unit tests ---------===//
+///
+/// Covers the src/link/ subsystem: ProcessInterface extraction (restricted
+/// forest shape, endochrony verdicts), channel matching and its error
+/// cases, the BDD-implication compatibility check, the cross-process
+/// schedule, the no-re-resolution guarantee, parallel vs serial
+/// compilation, the LinkedExecutor (including the dynamic clock check)
+/// and the linked C emission's surface.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "interp/LinkedExecutor.h"
+#include "link/LinkEmitter.h"
+#include "link/Linker.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+using namespace sigc::test;
+
+namespace {
+
+const char *SensorSource = R"(
+process SENSOR =
+  ( ? integer RAW;
+    ! integer KEPT, SUM; )
+  (| EVENFLAG := (RAW mod 2) = 0
+   | KEPT := RAW when EVENFLAG
+   | SUM := KEPT + (SUM $ 1 init 0)
+  |)
+  where
+    boolean EVENFLAG;
+  end;
+)";
+
+const char *MonitorSource = R"(
+process MONITOR =
+  ( ? integer KEPT, SUM;
+    ! integer TOTAL; boolean ALERT; )
+  (| synchro {KEPT, SUM}
+   | TOTAL := KEPT + (TOTAL $ 1 init 0)
+   | ALERT := SUM > 20
+  |);
+)";
+
+LinkResult linkSensorMonitor() {
+  return compileAndLinkSources(
+      {{"SENSOR", SensorSource}, {"MONITOR", MonitorSource}});
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ProcessInterface extraction
+//===----------------------------------------------------------------------===//
+
+TEST(ProcessInterface, SingleRootIsEndochronous) {
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := A + (Y $ 1 init 0)"));
+  ProcessInterface I = extractInterface(*C);
+  EXPECT_EQ(I.ProcessName, "P");
+  EXPECT_EQ(I.RootCount, 1u);
+  EXPECT_TRUE(I.Endochronous);
+  EXPECT_TRUE(I.ExochronyReason.empty());
+  ASSERT_EQ(I.Imports.size(), 1u);
+  ASSERT_EQ(I.Exports.size(), 1u);
+  // One shared clock class: A and Y are synchronous.
+  EXPECT_EQ(I.Imports[0].Clock, I.Exports[0].Clock);
+}
+
+TEST(ProcessInterface, IndependentInputsAreExochronous) {
+  auto C = compileOk(proc("? integer A, B; ! integer Y, Z;",
+                          "   Y := A * 2\n   | Z := B * 3"));
+  ProcessInterface I = extractInterface(*C);
+  EXPECT_EQ(I.RootCount, 2u);
+  EXPECT_EQ(I.FreeRootCount, 2u);
+  EXPECT_FALSE(I.Endochronous);
+  // The diagnostic names both unresolved roots and says whose problem
+  // their relative rates are.
+  EXPECT_NE(I.ExochronyReason.find("2 independent clock roots"),
+            std::string::npos)
+      << I.ExochronyReason;
+  EXPECT_NE(I.ExochronyReason.find("environment"), std::string::npos);
+}
+
+TEST(ProcessInterface, RestrictedShapeKeepsAncestry) {
+  // Y lives on a subclock of A: the restricted forest must place Y's
+  // class under A's, even though intermediate classes are not part of
+  // the interface.
+  auto C = compileOk(proc("? integer A; boolean CC; ! integer Y;",
+                          "   synchro {A, CC}\n   | Y := A when CC"));
+  ProcessInterface I = extractInterface(*C);
+  ASSERT_EQ(I.Imports.size(), 2u);
+  ASSERT_EQ(I.Exports.size(), 1u);
+  int AClock = I.Imports[0].Clock;
+  int YClock = I.Exports[0].Clock;
+  ASSERT_GE(AClock, 0);
+  ASSERT_GE(YClock, 0);
+  EXPECT_NE(AClock, YClock);
+  EXPECT_EQ(I.Clocks[YClock].Parent, AClock);
+  EXPECT_TRUE(I.Clocks[AClock].FreeRoot);
+  EXPECT_FALSE(I.Clocks[YClock].TreeRoot);
+}
+
+TEST(ProcessInterface, DumpCarriesAllSections) {
+  auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A * 2"));
+  std::string Dump = extractInterface(*C).dump();
+  EXPECT_NE(Dump.find("interface of process P"), std::string::npos);
+  EXPECT_NE(Dump.find("endochronous: yes"), std::string::npos);
+  EXPECT_NE(Dump.find("imports:"), std::string::npos);
+  EXPECT_NE(Dump.find("exports:"), std::string::npos);
+  EXPECT_NE(Dump.find("A : integer"), std::string::npos);
+  EXPECT_NE(Dump.find("Y : integer"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Linking
+//===----------------------------------------------------------------------===//
+
+TEST(Linker, PipelineLinksByName) {
+  LinkResult R = linkSensorMonitor();
+  ASSERT_TRUE(R.Sys) << R.Error;
+  LinkedSystem &Sys = *R.Sys;
+  ASSERT_EQ(Sys.Units.size(), 2u);
+  EXPECT_EQ(Sys.Units[0].Name, "SENSOR");
+  EXPECT_EQ(Sys.Units[1].Name, "MONITOR");
+  ASSERT_EQ(Sys.Channels.size(), 2u);
+  EXPECT_EQ(Sys.Channels[0].Name, "KEPT");
+  EXPECT_EQ(Sys.Channels[1].Name, "SUM");
+  // Producer before consumer.
+  ASSERT_EQ(Sys.Order.size(), 2u);
+  EXPECT_EQ(Sys.Order[0], 0u);
+  EXPECT_EQ(Sys.Order[1], 1u);
+  // RAW stays external; TOTAL/ALERT are the system outputs.
+  ASSERT_EQ(Sys.ExternalInputs.size(), 1u);
+  EXPECT_EQ(Sys.ExternalInputs[0].Name, "RAW");
+  ASSERT_EQ(Sys.ExternalOutputs.size(), 2u);
+  // A single unbound root paces the linked system.
+  EXPECT_TRUE(Sys.endochronous());
+}
+
+TEST(Linker, NoReResolutionAtLink) {
+  LinkResult R = linkSensorMonitor();
+  ASSERT_TRUE(R.Sys) << R.Error;
+  ASSERT_EQ(R.Sys->ForestNodesAtLink.size(), 2u);
+  for (size_t U = 0; U < 2; ++U)
+    EXPECT_EQ(R.Sys->ForestNodesAtLink[U],
+              R.Sys->Units[U].Iface.ForestNodes);
+}
+
+TEST(Linker, SynchroObligationDischargedByImplies) {
+  // MONITOR demands KEPT and SUM synchronous; SENSOR proves it (their
+  // relative BDDs are equal). The channels bind the consumer clock.
+  LinkResult R = linkSensorMonitor();
+  ASSERT_TRUE(R.Sys) << R.Error;
+  for (const LinkChannel &Ch : R.Sys->Channels)
+    EXPECT_GE(Ch.ConsumerClockInput, 0) << Ch.Name;
+}
+
+TEST(Linker, UnprovableSynchroIsRejected) {
+  // K1 and K2 are *not* synchronous in the producer (disjoint samplings),
+  // so the consumer's synchro cannot be discharged.
+  const char *Prod = R"(
+process PROD =
+  ( ? integer A; boolean CC; ! integer K1, K2; )
+  (| synchro {A, CC}
+   | K1 := A when CC
+   | K2 := A when (not CC)
+  |);
+)";
+  const char *Cons = R"(
+process CONS =
+  ( ? integer K1, K2; ! integer Y; )
+  (| synchro {K1, K2}
+   | Y := K1 + K2
+  |);
+)";
+  LinkResult R = compileAndLinkSources({{"PROD", Prod}, {"CONS", Cons}});
+  ASSERT_FALSE(R.Sys);
+  EXPECT_NE(R.Error.find("must be synchronous"), std::string::npos)
+      << R.Error;
+  EXPECT_NE(R.Error.find("cannot prove"), std::string::npos) << R.Error;
+}
+
+TEST(Linker, TypeMismatchIsRejected) {
+  const char *Prod =
+      "process PROD = ( ? integer A; ! integer X; ) (| X := A |);";
+  const char *Cons =
+      "process CONS = ( ? boolean X; ! boolean Y; ) (| Y := not X |);";
+  LinkResult R = compileAndLinkSources({{"PROD", Prod}, {"CONS", Cons}});
+  ASSERT_FALSE(R.Sys);
+  EXPECT_NE(R.Error.find("channel 'X'"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("integer"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("boolean"), std::string::npos) << R.Error;
+}
+
+TEST(Linker, DuplicateExportIsRejected) {
+  const char *P1 = "process P1 = ( ? integer A; ! integer X; ) (| X := A |);";
+  const char *P2 =
+      "process P2 = ( ? integer B; ! integer X; ) (| X := B * 2 |);";
+  LinkResult R = compileAndLinkSources({{"P1", P1}, {"P2", P2}});
+  ASSERT_FALSE(R.Sys);
+  EXPECT_NE(R.Error.find("exported by both"), std::string::npos) << R.Error;
+}
+
+TEST(Linker, CrossProcessCycleIsRejected) {
+  const char *P1 =
+      "process P1 = ( ? integer B; ! integer A; ) (| A := B + 1 |);";
+  const char *P2 =
+      "process P2 = ( ? integer A; ! integer B; ) (| B := A * 2 |);";
+  LinkResult R = compileAndLinkSources({{"P1", P1}, {"P2", P2}});
+  ASSERT_FALSE(R.Sys);
+  EXPECT_NE(R.Error.find("cyclic"), std::string::npos) << R.Error;
+}
+
+TEST(Linker, UncompilableUnitReportsItsDiagnostics) {
+  const char *Bad = "process BAD = ( ? integer A; ! integer Y; ) (| Y := Q |);";
+  const char *Good =
+      "process GOOD = ( ? integer B; ! integer Z; ) (| Z := B |);";
+  LinkResult R = compileAndLinkSources({{"BAD", Bad}, {"GOOD", Good}});
+  ASSERT_FALSE(R.Sys);
+  EXPECT_NE(R.Error.find("did not compile"), std::string::npos) << R.Error;
+}
+
+TEST(Linker, SingleFileLinkByProcessNames) {
+  std::string Two = std::string(SensorSource) + MonitorSource;
+  LinkResult R = compileAndLink("<two>", Two, {"SENSOR", "MONITOR"});
+  ASSERT_TRUE(R.Sys) << R.Error;
+  EXPECT_EQ(R.Sys->Channels.size(), 2u);
+
+  LinkResult Bad = compileAndLink("<two>", Two, {"SENSOR", "NOPE"});
+  ASSERT_FALSE(Bad.Sys);
+  EXPECT_NE(Bad.Error.find("no process named 'NOPE'"), std::string::npos)
+      << Bad.Error;
+  EXPECT_NE(Bad.Error.find("SENSOR, MONITOR"), std::string::npos)
+      << Bad.Error;
+}
+
+TEST(Linker, ParallelAndSerialCompilationAgree) {
+  LinkOptions Serial;
+  Serial.ParallelCompile = false;
+  LinkResult A = compileAndLinkSources(
+      {{"SENSOR", SensorSource}, {"MONITOR", MonitorSource}}, Serial);
+  LinkResult B = linkSensorMonitor();
+  ASSERT_TRUE(A.Sys) << A.Error;
+  ASSERT_TRUE(B.Sys) << B.Error;
+  ASSERT_EQ(A.Sys->Units.size(), B.Sys->Units.size());
+  for (size_t U = 0; U < A.Sys->Units.size(); ++U)
+    EXPECT_EQ(A.Sys->Units[U].Iface.dump(), B.Sys->Units[U].Iface.dump());
+  EXPECT_EQ(A.Sys->dump(), B.Sys->dump());
+}
+
+//===----------------------------------------------------------------------===//
+// Linked execution
+//===----------------------------------------------------------------------===//
+
+TEST(LinkedExecutor, PipelineProducesTheExpectedTrace) {
+  LinkResult R = linkSensorMonitor();
+  ASSERT_TRUE(R.Sys) << R.Error;
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  for (unsigned I = 0; I < 10; ++I)
+    Env.set("RAW", I, Value::makeInt(static_cast<int>(I) + 1));
+  LinkedExecutor Exec(*R.Sys);
+  ASSERT_TRUE(Exec.run(Env, 10)) << Exec.error();
+  // KEPT = 2,4,6,8,10 at instants 1,3,5,7,9; TOTAL accumulates; ALERT
+  // fires when SUM (= TOTAL here) exceeds 20.
+  EXPECT_EQ(formatEvents(Env.outputs()),
+            "1 TOTAL=2\n1 ALERT=false\n"
+            "3 TOTAL=6\n3 ALERT=false\n"
+            "5 TOTAL=12\n5 ALERT=false\n"
+            "7 TOTAL=20\n7 ALERT=false\n"
+            "9 TOTAL=30\n9 ALERT=true\n");
+}
+
+TEST(LinkedExecutor, DynamicClockMismatchIsDetected) {
+  // The consumer *derives* X's clock from its own condition B, so the
+  // linker cannot bind it; the executor must catch the first instant the
+  // producer and the consumer disagree about X's presence.
+  const char *Prod =
+      "process PROD = ( ? integer A; ! integer X; ) (| X := A |);";
+  const char *Cons = R"(
+process CONS =
+  ( ? integer X; boolean B; ! integer Y; )
+  (| W := when B
+   | synchro {X, W}
+   | Y := X + 1
+  |)
+  where
+    event W;
+  end;
+)";
+  LinkResult R = compileAndLinkSources({{"PROD", Prod}, {"CONS", Cons}});
+  ASSERT_TRUE(R.Sys) << R.Error;
+  ASSERT_EQ(R.Sys->Channels.size(), 1u);
+  EXPECT_EQ(R.Sys->Channels[0].ConsumerClockInput, -1)
+      << "X's clock is consumer-derived, not a free root";
+
+  // A always ticks (so X is always produced), but B is false at instant
+  // 0: the consumer expects silence while the producer emitted.
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  Env.set("A", 0, Value::makeInt(7));
+  Env.set("B", 0, Value::makeBool(false));
+  LinkedExecutor Exec(*R.Sys);
+  EXPECT_FALSE(Exec.run(Env, 1));
+  EXPECT_NE(Exec.error().find("clock mismatch"), std::string::npos)
+      << Exec.error();
+}
+
+//===----------------------------------------------------------------------===//
+// Linked C emission
+//===----------------------------------------------------------------------===//
+
+TEST(LinkEmitter, EmitsOneStepPerUnitPlusSystemDriver) {
+  LinkResult R = linkSensorMonitor();
+  ASSERT_TRUE(R.Sys) << R.Error;
+  CEmitOptions EO;
+  EO.Nested = true;
+  std::string C = emitLinkedC(*R.Sys, "sys", EO);
+  EXPECT_NE(C.find("void SENSOR_step("), std::string::npos);
+  EXPECT_NE(C.find("void MONITOR_step("), std::string::npos);
+  EXPECT_NE(C.find("void sys_step("), std::string::npos);
+  EXPECT_NE(C.find("void sys_init("), std::string::npos);
+  // Channel wiring: MONITOR's bound tick comes from SENSOR's presence
+  // (either channel works — the linker proved their clocks equal).
+  EXPECT_TRUE(C.find("= out_u0.KEPT_present") != std::string::npos ||
+              C.find("= out_u0.SUM_present") != std::string::npos)
+      << C;
+  // Channel values flow from SENSOR's out struct into MONITOR's in.
+  EXPECT_NE(C.find("= out_u0.KEPT;"), std::string::npos);
+  EXPECT_NE(C.find("= out_u0.SUM;"), std::string::npos);
+  // External interface: RAW in, TOTAL/ALERT out.
+  EXPECT_NE(C.find("in->RAW"), std::string::npos);
+  EXPECT_NE(C.find("out->TOTAL"), std::string::npos);
+  EXPECT_NE(C.find("out->ALERT"), std::string::npos);
+}
+
+TEST(LinkEmitter, InterfaceFieldsAreDeduplicatedAndNamed) {
+  LinkResult R = linkSensorMonitor();
+  ASSERT_TRUE(R.Sys) << R.Error;
+  LinkedCInterface CI = linkedCInterface(*R.Sys);
+  ASSERT_EQ(CI.Ticks.size(), 1u); // One unbound root.
+  ASSERT_EQ(CI.Inputs.size(), 1u);
+  EXPECT_EQ(CI.Inputs[0].SignalName, "RAW");
+  ASSERT_EQ(CI.Outputs.size(), 2u);
+  EXPECT_EQ(CI.Outputs[0].SignalName, "TOTAL");
+  EXPECT_EQ(CI.Outputs[1].SignalName, "ALERT");
+}

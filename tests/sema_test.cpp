@@ -41,7 +41,7 @@ TEST(Sema, NestedWhenIsFlattened) {
 
 TEST(Sema, UndeclaredSignalRejected) {
   auto C = compileErr(proc("? integer A; ! integer Y;", "   Y := A + Z"),
-                      "sema");
+                      CompileStage::Sema);
   EXPECT_NE(C->Diags.render().find("undeclared signal 'Z'"),
             std::string::npos);
 }
@@ -49,7 +49,7 @@ TEST(Sema, UndeclaredSignalRejected) {
 TEST(Sema, DoubleDefinitionRejected) {
   auto C = compileErr(proc("? integer A; ! integer Y;",
                            "   Y := A\n   | Y := A + 1"),
-                      "sema");
+                      CompileStage::Sema);
   EXPECT_NE(C->Diags.render().find("defined more than once"),
             std::string::npos);
 }
@@ -57,14 +57,14 @@ TEST(Sema, DoubleDefinitionRejected) {
 TEST(Sema, InputCannotBeDefined) {
   auto C = compileErr(proc("? integer A; ! integer Y;",
                            "   A := 1 when (A > 0)\n   | Y := A"),
-                      "sema");
+                      CompileStage::Sema);
   EXPECT_NE(C->Diags.render().find("cannot be defined"), std::string::npos);
 }
 
 TEST(Sema, OutputMustBeDefined) {
   auto C = compileErr(proc("? integer A; ! integer Y;",
                            "   synchro {A, A}"),
-                      "sema");
+                      CompileStage::Sema);
   EXPECT_NE(C->Diags.render().find("never defined"), std::string::npos);
 }
 
@@ -76,25 +76,25 @@ TEST(Sema, UndefinedLocalWarnsAndIsFree) {
 
 TEST(Sema, TypeErrorArithOnBool) {
   auto C = compileErr(proc("? boolean A; ! integer Y;", "   Y := A + 1"),
-                      "sema");
+                      CompileStage::Sema);
   EXPECT_NE(C->Diags.render().find("numeric"), std::string::npos);
 }
 
 TEST(Sema, TypeErrorNotOnInteger) {
-  compileErr(proc("? integer A; ! boolean Y;", "   Y := not A"), "sema");
+  compileErr(proc("? integer A; ! boolean Y;", "   Y := not A"), CompileStage::Sema);
 }
 
 TEST(Sema, TypeErrorWhenConditionNotBool) {
   auto C = compileErr(proc("? integer A, B; ! integer Y;",
                            "   Y := A when B"),
-                      "sema");
+                      CompileStage::Sema);
   EXPECT_NE(C->Diags.render().find("must be boolean"), std::string::npos);
 }
 
 TEST(Sema, TypeErrorDefaultMismatch) {
   compileErr(proc("? integer A; boolean B; ! integer Y;",
                   "   Y := A default B"),
-             "sema");
+             CompileStage::Sema);
 }
 
 TEST(Sema, IntegerWidensToReal) {
@@ -103,15 +103,15 @@ TEST(Sema, IntegerWidensToReal) {
 }
 
 TEST(Sema, RealDoesNotNarrowToInteger) {
-  compileErr(proc("? real A; ! integer Y;", "   Y := A"), "sema");
+  compileErr(proc("? real A; ! integer Y;", "   Y := A"), CompileStage::Sema);
 }
 
 TEST(Sema, ModRequiresIntegers) {
-  compileErr(proc("? real A; ! real Y;", "   Y := A mod 2"), "sema");
+  compileErr(proc("? real A; ! real Y;", "   Y := A mod 2"), CompileStage::Sema);
 }
 
 TEST(Sema, OrderingComparisonNeedsNumbers) {
-  compileErr(proc("? boolean A, B; ! boolean Y;", "   Y := A < B"), "sema");
+  compileErr(proc("? boolean A, B; ! boolean Y;", "   Y := A < B"), CompileStage::Sema);
 }
 
 TEST(Sema, EqualityOnBooleansAllowed) {
@@ -120,12 +120,12 @@ TEST(Sema, EqualityOnBooleansAllowed) {
 
 TEST(Sema, DelayOfConstantRejected) {
   compileErr(proc("? integer A; ! integer Y;", "   Y := 3 $ 1 init 0"),
-             "sema");
+             CompileStage::Sema);
 }
 
 TEST(Sema, DelayInitTypeMismatch) {
   compileErr(proc("? integer A; ! integer Y;", "   Y := A $ 1 init true"),
-             "sema");
+             CompileStage::Sema);
 }
 
 TEST(Sema, DeepDelayExpandsToChain) {
@@ -140,7 +140,7 @@ TEST(Sema, DeepDelayExpandsToChain) {
 TEST(Sema, ConstantDefaultOperandRejected) {
   auto C = compileErr(proc("? integer A; ! integer Y;",
                            "   Y := A default 0"),
-                      "sema");
+                      CompileStage::Sema);
   EXPECT_NE(C->Diags.render().find("sample it with 'when'"),
             std::string::npos);
 }
@@ -218,7 +218,7 @@ TEST(Sema, FreshNamesUnspeakable) {
 TEST(Sema, SingleAssignmentAcrossNestedComposition) {
   compileErr(proc("? integer A; ! integer Y;",
                   "   (| Y := A |)\n   | (| Y := A + 1 |)"),
-             "sema");
+             CompileStage::Sema);
 }
 
 TEST(Sema, FuncArgsDeduplicated) {
