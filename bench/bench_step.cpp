@@ -1,0 +1,190 @@
+//===--- bench_step.cpp - Execution-engine throughput: flat/nested/VM -----===//
+///
+/// Measures interpreter throughput (instants per second) of the three
+/// execution engines over identical random traces:
+///
+///   * flat   — StepExecutor, every instruction tests its own guard,
+///   * nested — StepExecutor, block guards along the clock tree,
+///   * vm     — VmExecutor over the slot-resolved CompiledStep bytecode
+///              (pre-resolved descriptor indices, postfix expression
+///              bytecode on a reusable operand stack, skip-offset block
+///              linearization; zero per-instant heap allocation).
+///
+/// Workloads: the Figure-13 builtin suite and deep divider chains at
+/// dense and sparse root activity (the deeper and sparser, the more the
+/// clock hierarchy pays — the paper's Figure-9 effect; the denser, the
+/// more the VM's allocation-free expression engine pays).
+///
+/// Usage: bench_step [--json FILE] [--instants K] [--no-builtins]
+/// The JSON output is uploaded by CI as BENCH_interp.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "interp/StepExecutor.h"
+#include "interp/VmExecutor.h"
+#include "programs/Programs.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace sigc;
+
+namespace {
+
+/// Random environment that drops outputs: throughput runs measure the
+/// engines, not trace recording, and stay allocation-free end to end.
+class DiscardEnvironment : public RandomEnvironment {
+public:
+  using RandomEnvironment::RandomEnvironment;
+  void writeOutput(EnvOutputId, unsigned, const Value &) override {}
+};
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+struct Row {
+  std::string Name;
+  unsigned TickPermille = 800;
+  double FlatPerSec = 0, NestedPerSec = 0, VmPerSec = 0;
+  double GuardsFlat = 0, GuardsNested = 0, GuardsVm = 0;
+  double InstrsNested = 0, InstrsVm = 0;
+};
+
+template <typename Exec, typename Run>
+double throughput(Exec &E, unsigned TickPermille, unsigned Instants,
+                  Run RunFn) {
+  // Warm up and time the same environment instance, so the one-time
+  // binding resolution stays outside the measured window. Random
+  // answers are pure functions of (seed, name, instant): re-running
+  // instants 0..N-1 after reset() replays the identical trace.
+  DiscardEnvironment Env(42, TickPermille);
+  RunFn(E, Env, Instants / 8 + 1); // Bind + warm caches.
+  E.reset();
+  E.resetCounters();
+  auto T0 = std::chrono::steady_clock::now();
+  RunFn(E, Env, Instants);
+  double S = secondsSince(T0);
+  return S > 0 ? Instants / S : 0;
+}
+
+Row benchProgram(const std::string &Name, const std::string &Source,
+                 unsigned TickPermille, unsigned Instants) {
+  auto C = compileSource("<bench:" + Name + ">", Source);
+  if (!C->Ok) {
+    std::fprintf(stderr, "%s: compilation failed:\n%s", Name.c_str(),
+                 C->Diags.render().c_str());
+    std::exit(1);
+  }
+  Row R;
+  R.Name = Name;
+  R.TickPermille = TickPermille;
+
+  {
+    StepExecutor Exec(*C->Kernel, C->Step);
+    R.FlatPerSec = throughput(Exec, TickPermille, Instants,
+                              [](StepExecutor &E, Environment &Env,
+                                 unsigned N) {
+                                E.run(Env, N, ExecMode::Flat);
+                              });
+    R.GuardsFlat = static_cast<double>(Exec.guardTests()) / Instants;
+  }
+  {
+    StepExecutor Exec(*C->Kernel, C->Step);
+    R.NestedPerSec = throughput(Exec, TickPermille, Instants,
+                                [](StepExecutor &E, Environment &Env,
+                                   unsigned N) {
+                                  E.run(Env, N, ExecMode::Nested);
+                                });
+    R.GuardsNested = static_cast<double>(Exec.guardTests()) / Instants;
+    R.InstrsNested = static_cast<double>(Exec.executed()) / Instants;
+  }
+  {
+    CompiledStep CS = CompiledStep::build(*C->Kernel, C->Step);
+    VmExecutor Exec(CS);
+    R.VmPerSec = throughput(Exec, TickPermille, Instants,
+                            [](VmExecutor &E, Environment &Env, unsigned N) {
+                              E.run(Env, N);
+                            });
+    R.GuardsVm = static_cast<double>(Exec.guardTests()) / Instants;
+    R.InstrsVm = static_cast<double>(Exec.executed()) / Instants;
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Instants = 20000;
+  bool Builtins = true;
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (Arg == "--instants" && I + 1 < Argc)
+      Instants = static_cast<unsigned>(std::stoul(Argv[++I]));
+    else if (Arg == "--no-builtins")
+      Builtins = false;
+  }
+
+  std::printf("Execution-engine throughput (instants/sec, %u instants)\n\n",
+              Instants);
+  std::printf("%-14s %6s %12s %12s %12s %8s %8s\n", "program", "tick",
+              "flat", "nested", "vm", "vm/flat", "vm/nest");
+
+  std::vector<Row> Rows;
+  auto Report = [&](const Row &R) {
+    std::printf("%-14s %6u %12.0f %12.0f %12.0f %7.2fx %7.2fx\n",
+                R.Name.c_str(), R.TickPermille, R.FlatPerSec, R.NestedPerSec,
+                R.VmPerSec,
+                R.FlatPerSec > 0 ? R.VmPerSec / R.FlatPerSec : 0,
+                R.NestedPerSec > 0 ? R.VmPerSec / R.NestedPerSec : 0);
+    Rows.push_back(R);
+  };
+
+  if (Builtins)
+    for (const Figure13Program &P : figure13Suite())
+      Report(benchProgram(P.Name, P.Source, 800, Instants));
+
+  // Deep divider chains: the paper's deep partition hierarchies, at
+  // dense and sparse root activity.
+  for (unsigned Stages : {16u, 48u, 96u})
+    for (unsigned Permille : {1000u, 250u}) {
+      ProgramShape Shape;
+      Shape.DividerStages = Stages;
+      Report(benchProgram("chain" + std::to_string(Stages),
+                          generateProgram("CHAIN", Shape), Permille,
+                          Instants));
+    }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    Out << "{\n  \"benchmarks\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      Out << "    {\"name\": \"step/" << R.Name << "/tick=" << R.TickPermille
+          << "\", "
+          << "\"flat_steps_per_sec\": " << R.FlatPerSec << ", "
+          << "\"nested_steps_per_sec\": " << R.NestedPerSec << ", "
+          << "\"vm_steps_per_sec\": " << R.VmPerSec << ", "
+          << "\"vm_vs_flat\": "
+          << (R.FlatPerSec > 0 ? R.VmPerSec / R.FlatPerSec : 0) << ", "
+          << "\"vm_vs_nested\": "
+          << (R.NestedPerSec > 0 ? R.VmPerSec / R.NestedPerSec : 0) << ", "
+          << "\"guards_per_instant_flat\": " << R.GuardsFlat << ", "
+          << "\"guards_per_instant_nested\": " << R.GuardsNested << ", "
+          << "\"guards_per_instant_vm\": " << R.GuardsVm << ", "
+          << "\"instrs_per_instant_vm\": " << R.InstrsVm << "}"
+          << (I + 1 < Rows.size() ? "," : "") << "\n";
+    }
+    Out << "  ]\n}\n";
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

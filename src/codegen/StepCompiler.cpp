@@ -149,6 +149,7 @@ StepProgram sigc::compileStep(const KernelProgram &Prog,
     case ActionKind::ClockInput: {
       In.Op = StepOp::ReadClockInput;
       In.Target = SlotOfNode.at(A.Clock);
+      In.Desc = static_cast<int>(SP.ClockInputs.size());
       SP.ClockInputs.push_back(
           {In.Target, clockName(A.Clock, Forest, Sys, Prog, Names)});
       break;
@@ -186,6 +187,7 @@ StepProgram sigc::compileStep(const KernelProgram &Prog,
       In.Sig = A.Sig;
       In.Guard = SP.SignalClockSlot[A.Sig];
       GuardNode = A.Clock;
+      In.Desc = static_cast<int>(SP.Inputs.size());
       SP.Inputs.push_back({A.Sig, In.Target, In.Guard,
                            Prog.Signals[A.Sig].Type, sigName(A.Sig)});
       break;
@@ -244,6 +246,7 @@ StepProgram sigc::compileStep(const KernelProgram &Prog,
       In.Sig = A.Sig;
       In.Guard = SP.SignalClockSlot[A.Sig];
       GuardNode = A.Clock;
+      In.Desc = static_cast<int>(SP.Outputs.size());
       SP.Outputs.push_back({A.Sig, In.A, In.Guard, Prog.Signals[A.Sig].Type,
                             sigName(A.Sig)});
       break;

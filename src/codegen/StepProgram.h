@@ -60,6 +60,11 @@ struct StepInstr {
   ClockOp COp = ClockOp::Inter;
   int EqIndex = -1;       ///< Kernel equation driving EvalFunc/EvalWhen.
   SignalId Sig = InvalidSignal;
+  /// Pre-resolved descriptor index: into ClockInputs for ReadClockInput,
+  /// Inputs for ReadSignal, Outputs for WriteOutput; -1 otherwise. Lets
+  /// executors reach the environment binding in O(1) instead of scanning
+  /// the descriptor tables per instruction per instant.
+  int Desc = -1;
 };
 
 /// One nested block: a guard plus an ordered mix of instructions and

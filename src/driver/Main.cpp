@@ -23,6 +23,10 @@
 ///   --with-driver      add a main() to the generated C
 ///   --simulate N       run N instants with a random environment
 ///   --seed S           PRNG seed for --simulate
+///   --mode M           execution engine for --simulate: vm (default,
+///                      the slot-resolved bytecode VM), nested or flat
+///   --stats            after --simulate, print per-run instruction and
+///                      guard-test counters to stderr
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +34,7 @@
 #include "driver/Driver.h"
 #include "interp/LinkedExecutor.h"
 #include "interp/StepExecutor.h"
+#include "interp/VmExecutor.h"
 #include "link/LinkEmitter.h"
 #include "link/Linker.h"
 #include "programs/Programs.h"
@@ -54,7 +59,19 @@ void printUsage() {
                "--dump-step\n"
                "         --dump-interface --dump-link\n"
                "         --emit-c[=nested|flat] --with-driver\n"
-               "         --simulate N --seed S\n");
+               "         --simulate N --seed S --mode vm|nested|flat "
+               "--stats\n");
+}
+
+void printStats(const std::string &Mode, unsigned Instants,
+                uint64_t Executed, uint64_t GuardTests) {
+  std::fprintf(stderr,
+               "stats: mode=%s instants=%u executed=%llu guard_tests=%llu "
+               "instrs_per_instant=%.2f\n",
+               Mode.c_str(), Instants,
+               static_cast<unsigned long long>(Executed),
+               static_cast<unsigned long long>(GuardTests),
+               static_cast<double>(Executed) / Instants);
 }
 
 std::vector<std::string> splitCommas(const std::string &List) {
@@ -82,9 +99,10 @@ int main(int Argc, char **Argv) {
   bool DumpTreeDot = false;
   bool DumpGraph = false, DumpStep = false, EmitC = false;
   bool DumpInterface = false, DumpLink = false;
-  bool WithDriver = false, Nested = true;
+  bool WithDriver = false, Nested = true, Stats = false;
   unsigned Simulate = 0;
   uint64_t Seed = 1;
+  std::string Mode = "vm";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -129,6 +147,17 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--seed") {
       if (const char *V = next())
         Seed = std::stoull(V);
+    } else if (Arg == "--mode") {
+      if (const char *V = next())
+        Mode = V;
+      if (Mode != "vm" && Mode != "nested" && Mode != "flat") {
+        std::fprintf(stderr, "signalc: unknown --mode '%s' (vm, nested, "
+                             "flat)\n",
+                     Mode.c_str());
+        return 2;
+      }
+    } else if (Arg == "--stats") {
+      Stats = true;
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return 0;
@@ -186,6 +215,10 @@ int main(int Argc, char **Argv) {
                    "signalc: warning: --process and the per-stage --dump-* "
                    "flags are ignored in --link mode (use --dump-interface "
                    "/ --dump-link)\n");
+    if (Mode != "vm")
+      std::fprintf(stderr,
+                   "signalc: warning: --mode is ignored in --link mode; "
+                   "the linked executor always runs the slot-VM\n");
     std::vector<std::string> Names = splitCommas(LinkList);
     LinkResult R = compileAndLink(BufferName, Source, Names);
     if (!R.Sys) {
@@ -221,6 +254,8 @@ int main(int Argc, char **Argv) {
       std::printf("linked simulation (%u instants, seed %llu):\n%s",
                   Simulate, static_cast<unsigned long long>(Seed),
                   formatEvents(Env.outputs()).c_str());
+      if (Stats)
+        printStats("vm", Simulate, Exec.executed(), Exec.guardTests());
     }
     return 0;
   }
@@ -281,11 +316,25 @@ int main(int Argc, char **Argv) {
 
   if (Simulate) {
     RandomEnvironment Env(Seed);
-    StepExecutor Exec(*C->Kernel, C->Step);
-    Exec.run(Env, Simulate, ExecMode::Nested);
+    uint64_t Executed = 0, GuardTests = 0;
+    if (Mode == "vm") {
+      CompiledStep CS = CompiledStep::build(*C->Kernel, C->Step);
+      VmExecutor Exec(CS);
+      Exec.run(Env, Simulate);
+      Executed = Exec.executed();
+      GuardTests = Exec.guardTests();
+    } else {
+      StepExecutor Exec(*C->Kernel, C->Step);
+      Exec.run(Env, Simulate,
+               Mode == "flat" ? ExecMode::Flat : ExecMode::Nested);
+      Executed = Exec.executed();
+      GuardTests = Exec.guardTests();
+    }
     std::printf("simulation (%u instants, seed %llu):\n%s", Simulate,
                 static_cast<unsigned long long>(Seed),
                 formatEvents(Env.outputs()).c_str());
+    if (Stats)
+      printStats(Mode, Simulate, Executed, GuardTests);
   }
   return 0;
 }

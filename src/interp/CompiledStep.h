@@ -1,0 +1,113 @@
+//===--- CompiledStep.h - Slot-resolved step bytecode -----------*- C++-*-===//
+///
+/// \file
+/// The execution-ready form of a StepProgram, built once per compilation
+/// and designed so the per-instant loop does *no* work the paper's
+/// generated code would not do (Section 4, Figure 9):
+///
+///   * every instruction carries pre-resolved descriptor indices — no
+///     linear scans of the ClockInputs/Inputs/Outputs tables at run time,
+///   * Func operator trees are flattened to three-address expression
+///     bytecode over preallocated scratch slots (the register form of a
+///     postfix flattening: same bottom-up order, but each operator
+///     dispatches once and constant subtrees fold at build time) — zero
+///     per-instant heap allocation in the steady state,
+///   * the nested block tree is linearized into a single instruction
+///     stream with skip-offsets: an absent clock advances the PC past its
+///     whole subtree in O(1) instead of recursing through execBlock,
+///   * partially-absent clock operands (slot -1) and constant "when"
+///     arms are resolved at build time into dedicated opcodes, so the
+///     hot loop never re-derives them.
+///
+/// The guard economics are preserved exactly: one SkipIfAbsent per nested
+/// block, instructions inside run unguarded. VmExecutor's GuardTests and
+/// Executed counters therefore match nested StepExecutor runs bit for bit
+/// — the regression tests pin that equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_INTERP_COMPILEDSTEP_H
+#define SIGNALC_INTERP_COMPILEDSTEP_H
+
+#include "codegen/StepProgram.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sigc {
+
+/// Opcode of one VM instruction.
+enum class VmOp : uint8_t {
+  SkipIfAbsent,   ///< if (!clock[A]) pc = Aux — linearized block guard.
+  ReadClockInput, ///< clock[Target] := env tick of clock-input desc Aux.
+  EvalClockLiteral, ///< clock[Target] := value[A] == (Aux != 0).
+  EvalClockAnd,   ///< clock[Target] := clock[A] && clock[B]
+  EvalClockOr,    ///< clock[Target] := clock[A] || clock[B]
+  EvalClockDiff,  ///< clock[Target] := clock[A] && !clock[B]
+  CopyClock,      ///< clock[Target] := clock[A]
+  SetClockFalse,  ///< clock[Target] := false (statically absent operand).
+  ReadSignal,     ///< value[Target] := env input of input desc Aux.
+  // Expression bytecode: Func trees lower to sequences of these, interior
+  // results landing in scratch value slots; exactly one instruction of
+  // each sequence carries Weight 1 (see VmInstr::Weight).
+  UnarySlot,      ///< value[Target] := UnaryOp(Aux)(value[A])
+  BinarySS,       ///< value[Target] := BinaryOp(Aux)(value[A], value[B])
+  BinarySC,       ///< value[Target] := BinaryOp(Aux)(value[A], consts[B])
+  BinaryCS,       ///< value[Target] := BinaryOp(Aux)(consts[A], value[B])
+  CopyValue,      ///< value[Target] := value[A]
+  LoadConst,      ///< value[Target] := consts[Aux]
+  Select,         ///< value[Target] := clock[Aux] ? value[A] : value[B]
+  LoadDelay,      ///< value[Target] := state[A]
+  StoreDelay,     ///< state[Target] := value[A]
+  WriteOutput,    ///< env output of output desc Aux := value[A].
+};
+
+const char *vmOpName(VmOp Op);
+
+/// One VM instruction; meanings of the fields depend on the opcode.
+struct VmInstr {
+  VmOp Op = VmOp::SetClockFalse;
+  /// Contribution to the Executed counter. A step instruction lowered to
+  /// several VM instructions (a multi-operator Func tree) counts once:
+  /// the root carries 1, interior scratch computations carry 0, keeping
+  /// the counter comparable with the nested StepExecutor's.
+  int8_t Weight = 1;
+  int32_t Target = -1;
+  int32_t A = -1;
+  int32_t B = -1;
+  int32_t Aux = -1;
+};
+
+/// A slot-resolved, allocation-free compiled reactive step.
+struct CompiledStep {
+  unsigned NumClockSlots = 0;
+  unsigned NumValueSlots = 0; ///< Signal value slots (scratch excluded).
+  unsigned NumTempSlots = 0;  ///< Scratch slots appended after the values.
+  std::vector<Value> StateInit;
+
+  std::vector<VmInstr> Code; ///< Linearized nested structure.
+  std::vector<Value> Consts; ///< Constant pool.
+
+  /// Environment-facing descriptors, copied from the StepProgram so a
+  /// CompiledStep is self-contained (the linked executor keeps one per
+  /// unit without holding the whole compilation).
+  std::vector<StepProgram::ClockInputDesc> ClockInputs;
+  std::vector<StepProgram::SignalIODesc> Inputs;
+  std::vector<StepProgram::SignalIODesc> Outputs;
+
+  /// Per-signal clock slot (-1 when empty); the linked executor's dynamic
+  /// presence check reads it.
+  std::vector<int> SignalClockSlot;
+
+  /// Builds the slot-resolved step from a compiled StepProgram.
+  static CompiledStep build(const KernelProgram &Prog,
+                            const StepProgram &Step);
+
+  /// Renders the instruction listing (tests, --dump-vm).
+  std::string dump() const;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_INTERP_COMPILEDSTEP_H

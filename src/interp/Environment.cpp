@@ -2,15 +2,46 @@
 
 #include "interp/Environment.h"
 
+#include <atomic>
 #include <cassert>
 
 using namespace sigc;
 
 Environment::~Environment() = default;
 
-void Environment::writeOutput(const std::string &SignalName, unsigned Instant,
+uint64_t Environment::nextIdentity() {
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t
+Environment::internBinding(std::vector<NamedBinding> &Table,
+                           std::unordered_map<std::string, uint32_t> &Idx,
+                           std::string_view Name, TypeKind Type) {
+  auto It = Idx.find(std::string(Name));
+  if (It != Idx.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Table.size());
+  Table.push_back({std::string(Name), Type});
+  Idx.emplace(Table.back().Name, Id);
+  return Id;
+}
+
+EnvClockId Environment::resolveClock(std::string_view Name) {
+  return internBinding(ClockB, ClockIdx, Name, TypeKind::Event);
+}
+
+EnvInputId Environment::resolveInput(std::string_view Name, TypeKind Type) {
+  return internBinding(InputB, InputIdx, Name, Type);
+}
+
+EnvOutputId Environment::resolveOutput(std::string_view Name, TypeKind Type) {
+  return internBinding(OutputB, OutputIdx, Name, Type);
+}
+
+void Environment::writeOutput(EnvOutputId Output, unsigned Instant,
                               const Value &V) {
-  Outputs.push_back({Instant, SignalName, V});
+  Outputs.push_back({Instant, OutputB[Output].Name, V});
 }
 
 std::string sigc::formatEvents(const std::vector<OutputEvent> &Events) {
@@ -21,27 +52,54 @@ std::string sigc::formatEvents(const std::vector<OutputEvent> &Events) {
   return Out;
 }
 
-uint64_t RandomEnvironment::draw(const std::string &Name,
-                                 unsigned Instant) const {
-  // splitmix64 over a combination of the seed, the name hash and the
-  // instant: a pure function of its inputs, independent of query order.
-  uint64_t X = Seed ^ (std::hash<std::string>()(Name) * 0x9e3779b97f4a7c15ull)
-               ^ (static_cast<uint64_t>(Instant) * 0xbf58476d1ce4e5b9ull);
+//===----------------------------------------------------------------------===//
+// RandomEnvironment
+//===----------------------------------------------------------------------===//
+
+uint64_t RandomEnvironment::draw(uint64_t NameSeed, unsigned Instant) {
+  // splitmix64 over a combination of the per-name seed and the instant: a
+  // pure function of its inputs, independent of query and binding order.
+  uint64_t X =
+      NameSeed ^ (static_cast<uint64_t>(Instant) * 0xbf58476d1ce4e5b9ull);
   X += 0x9e3779b97f4a7c15ull;
   X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
   X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
   return X ^ (X >> 31);
 }
 
-bool RandomEnvironment::clockTick(const std::string &ClockName,
-                                  unsigned Instant) {
-  return draw("tick:" + ClockName, Instant) % 1000 < TickPermille;
+uint64_t RandomEnvironment::nameSeed(const char *Prefix,
+                                     std::string_view Name) const {
+  // Hashed exactly as the historical per-query formula did ("tick:" /
+  // "val:" + name through std::hash), so traces are stable across the
+  // slot-resolution rework; the hash now happens once per binding.
+  std::string Key = Prefix + std::string(Name);
+  return Seed ^ (std::hash<std::string>()(Key) * 0x9e3779b97f4a7c15ull);
 }
 
-Value RandomEnvironment::inputValue(const std::string &SignalName,
-                                    TypeKind Type, unsigned Instant) {
-  uint64_t R = draw("val:" + SignalName, Instant);
-  switch (Type) {
+EnvClockId RandomEnvironment::resolveClock(std::string_view Name) {
+  EnvClockId Id = Environment::resolveClock(Name);
+  if (Id >= ClockSeed.size())
+    ClockSeed.resize(Id + 1, 0);
+  ClockSeed[Id] = nameSeed("tick:", Name);
+  return Id;
+}
+
+EnvInputId RandomEnvironment::resolveInput(std::string_view Name,
+                                           TypeKind Type) {
+  EnvInputId Id = Environment::resolveInput(Name, Type);
+  if (Id >= InputSeed.size())
+    InputSeed.resize(Id + 1, 0);
+  InputSeed[Id] = nameSeed("val:", Name);
+  return Id;
+}
+
+bool RandomEnvironment::clockTick(EnvClockId Clock, unsigned Instant) {
+  return draw(ClockSeed[Clock], Instant) % 1000 < TickPermille;
+}
+
+Value RandomEnvironment::inputValue(EnvInputId Input, unsigned Instant) {
+  uint64_t R = draw(InputSeed[Input], Instant);
+  switch (inputBindingType(Input)) {
   case TypeKind::Boolean:
     return Value::makeBool(R % 2 == 0);
   case TypeKind::Event:
@@ -58,22 +116,24 @@ Value RandomEnvironment::inputValue(const std::string &SignalName,
   return Value::makeInt(0);
 }
 
-bool ScriptedEnvironment::clockTick(const std::string &ClockName,
-                                    unsigned Instant) {
-  auto It = Ticks.find({ClockName, Instant});
+//===----------------------------------------------------------------------===//
+// ScriptedEnvironment
+//===----------------------------------------------------------------------===//
+
+bool ScriptedEnvironment::clockTick(EnvClockId Clock, unsigned Instant) {
+  auto It = Ticks.find({clockBindingName(Clock), Instant});
   if (It != Ticks.end())
     return It->second;
   return AlwaysTick;
 }
 
-Value ScriptedEnvironment::inputValue(const std::string &SignalName,
-                                      TypeKind Type, unsigned Instant) {
-  auto It = Values.find({SignalName, Instant});
+Value ScriptedEnvironment::inputValue(EnvInputId Input, unsigned Instant) {
+  auto It = Values.find({inputBindingName(Input), Instant});
   if (It != Values.end())
     return It->second;
   // Absent script entries default to neutral values; tests that care set
   // every queried value explicitly.
-  switch (Type) {
+  switch (inputBindingType(Input)) {
   case TypeKind::Boolean:
     return Value::makeBool(false);
   case TypeKind::Event:

@@ -10,6 +10,15 @@
 ///     established the signal is present,
 /// and hands back the outputs produced in that instant.
 ///
+/// The interface is split into a cold *binding* phase and a hot *query*
+/// phase. An executor resolves every name it will ever ask about exactly
+/// once (resolveClock/resolveInput/resolveOutput return dense ids), and
+/// the per-instant queries carry only those ids — no string hashing,
+/// comparison or construction on the reactive step. A thin name-based
+/// adapter (the string overloads of clockTick/inputValue/writeOutput)
+/// survives for tests, examples and the CLI; it resolves on every call
+/// and is deliberately not for hot loops.
+///
 /// Two ready-made environments cover testing and benchmarking:
 /// RandomEnvironment (deterministic PRNG) and ScriptedEnvironment (exact
 /// per-instant values). Both record outputs for comparison.
@@ -24,9 +33,19 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace sigc {
+
+/// Dense per-environment ids handed out by the binding phase. Each id
+/// space is independent; ids are only meaningful for the environment that
+/// issued them.
+using EnvClockId = uint32_t;
+using EnvInputId = uint32_t;
+using EnvOutputId = uint32_t;
+constexpr uint32_t InvalidEnvId = 0xFFFFFFFFu;
 
 /// One recorded output occurrence.
 struct OutputEvent {
@@ -42,45 +61,162 @@ struct OutputEvent {
 /// Renders a sequence of output events, one per line (testing helper).
 std::string formatEvents(const std::vector<OutputEvent> &Events);
 
+/// The environment-side half of an executor's binding: the EnvIds of a
+/// step program's descriptor tables, index-aligned with them.
+struct StepBindings {
+  std::vector<EnvClockId> Clocks;   ///< Per clock-input descriptor.
+  std::vector<EnvInputId> Inputs;   ///< Per input descriptor.
+  std::vector<EnvOutputId> Outputs; ///< Per output descriptor.
+};
+
+/// Resolves the ids of step descriptor tables against \p Env — the one
+/// binding routine shared by every executor (StepProgram and
+/// CompiledStep carry the same descriptor vector types).
+template <typename ClockDescs, typename IODescs>
+StepBindings resolveBindings(class Environment &Env, const ClockDescs &Clocks,
+                             const IODescs &Inputs, const IODescs &Outputs);
+
 /// Abstract environment; implementations decide presence and values.
+/// Reference semantics: executors hold onto one and key their binding
+/// caches on its identity(), so environments are neither copyable nor
+/// movable.
 class Environment {
 public:
+  Environment() = default;
+  Environment(const Environment &) = delete;
+  Environment &operator=(const Environment &) = delete;
   virtual ~Environment();
 
-  /// \returns true if free clock \p ClockName ticks at \p Instant.
-  virtual bool clockTick(const std::string &ClockName, unsigned Instant) = 0;
+  //===--- Binding (cold path, once per executor-environment pair) --------===//
 
-  /// \returns the value of input \p SignalName at \p Instant; called only
+  /// Registers free clock \p Name; equal names share one id.
+  virtual EnvClockId resolveClock(std::string_view Name);
+  /// Registers input signal \p Name of \p Type; equal names share one id.
+  virtual EnvInputId resolveInput(std::string_view Name, TypeKind Type);
+  /// Registers output signal \p Name of \p Type; equal names share one id.
+  virtual EnvOutputId resolveOutput(std::string_view Name, TypeKind Type);
+
+  //===--- Hot path (per instant, no strings) -----------------------------===//
+
+  /// \returns true if the bound free clock ticks at \p Instant.
+  virtual bool clockTick(EnvClockId Clock, unsigned Instant) = 0;
+
+  /// \returns the value of the bound input at \p Instant; called only
   /// when the signal is present.
-  virtual Value inputValue(const std::string &SignalName, TypeKind Type,
-                           unsigned Instant) = 0;
+  virtual Value inputValue(EnvInputId Input, unsigned Instant) = 0;
 
-  /// Receives output \p V of \p SignalName at \p Instant.
-  virtual void writeOutput(const std::string &SignalName, unsigned Instant,
+  /// Receives output \p V of the bound output at \p Instant. The default
+  /// implementation records the event under the bound name.
+  virtual void writeOutput(EnvOutputId Output, unsigned Instant,
                            const Value &V);
+
+  //===--- Name-based adapter (tests, CLI, harness generation) ------------===//
+
+  /// Resolves \p ClockName and queries it: convenience, not for hot loops.
+  bool clockTick(const std::string &ClockName, unsigned Instant) {
+    return clockTick(resolveClock(ClockName), Instant);
+  }
+  /// Resolves \p SignalName and queries it: convenience, not for hot loops.
+  Value inputValue(const std::string &SignalName, TypeKind Type,
+                   unsigned Instant) {
+    return inputValue(resolveInput(SignalName, Type), Instant);
+  }
+  /// Resolves \p SignalName and writes it: convenience, not for hot loops.
+  void writeOutput(const std::string &SignalName, unsigned Instant,
+                   const Value &V) {
+    writeOutput(resolveOutput(SignalName, V.Kind), Instant, V);
+  }
+
+  //===--- Binding-table introspection (adapters, executors) --------------===//
+
+  unsigned numClockBindings() const {
+    return static_cast<unsigned>(ClockB.size());
+  }
+  unsigned numInputBindings() const {
+    return static_cast<unsigned>(InputB.size());
+  }
+  unsigned numOutputBindings() const {
+    return static_cast<unsigned>(OutputB.size());
+  }
+  const std::string &clockBindingName(EnvClockId Id) const {
+    return ClockB[Id].Name;
+  }
+  const std::string &inputBindingName(EnvInputId Id) const {
+    return InputB[Id].Name;
+  }
+  TypeKind inputBindingType(EnvInputId Id) const { return InputB[Id].Type; }
+  const std::string &outputBindingName(EnvOutputId Id) const {
+    return OutputB[Id].Name;
+  }
+  TypeKind outputBindingType(EnvOutputId Id) const { return OutputB[Id].Type; }
 
   const std::vector<OutputEvent> &outputs() const { return Outputs; }
   void clearOutputs() { Outputs.clear(); }
 
+  /// Unique per-instance identity. Executors key their lazy binding
+  /// caches on this, not on the address: a new environment constructed
+  /// where a destroyed one lived must not look like the bound one.
+  uint64_t identity() const { return Identity; }
+
 private:
+  static uint64_t nextIdentity();
+
+  const uint64_t Identity = nextIdentity();
+
+  struct NamedBinding {
+    std::string Name;
+    TypeKind Type = TypeKind::Unknown;
+  };
+
+  /// Interns \p Name into \p Table, deduplicating by spelling.
+  static uint32_t internBinding(std::vector<NamedBinding> &Table,
+                                std::unordered_map<std::string, uint32_t> &Idx,
+                                std::string_view Name, TypeKind Type);
+
+  std::vector<NamedBinding> ClockB, InputB, OutputB;
+  std::unordered_map<std::string, uint32_t> ClockIdx, InputIdx, OutputIdx;
   std::vector<OutputEvent> Outputs;
 };
+
+template <typename ClockDescs, typename IODescs>
+StepBindings resolveBindings(Environment &Env, const ClockDescs &Clocks,
+                             const IODescs &Inputs, const IODescs &Outputs) {
+  StepBindings B;
+  B.Clocks.reserve(Clocks.size());
+  for (const auto &CI : Clocks)
+    B.Clocks.push_back(Env.resolveClock(CI.Name));
+  B.Inputs.reserve(Inputs.size());
+  for (const auto &SI : Inputs)
+    B.Inputs.push_back(Env.resolveInput(SI.Name, SI.Type));
+  B.Outputs.reserve(Outputs.size());
+  for (const auto &SO : Outputs)
+    B.Outputs.push_back(Env.resolveOutput(SO.Name, SO.Type));
+  return B;
+}
 
 /// Deterministic pseudo-random environment: every free clock ticks with
 /// probability TickPermille/1000, values are drawn uniformly.
 ///
 /// Each answer is a pure function of (seed, name, instant) — *not* of the
-/// query order — so the fixpoint interpreter and the step executor, which
-/// interrogate the environment in different orders, observe the same
-/// trace. This is what makes differential testing sound.
+/// query order or the binding order — so the fixpoint interpreter and the
+/// step executors, which interrogate the environment in different orders
+/// and bind different id spaces, observe the same trace. This is what
+/// makes differential testing sound. The per-name hash is computed once
+/// at binding time; the hot path is pure integer mixing.
 class RandomEnvironment : public Environment {
 public:
+  using Environment::clockTick;
+  using Environment::inputValue;
+  using Environment::writeOutput;
+
   explicit RandomEnvironment(uint64_t Seed, unsigned TickPermille = 800)
       : Seed(Seed), TickPermille(TickPermille) {}
 
-  bool clockTick(const std::string &ClockName, unsigned Instant) override;
-  Value inputValue(const std::string &SignalName, TypeKind Type,
-                   unsigned Instant) override;
+  EnvClockId resolveClock(std::string_view Name) override;
+  EnvInputId resolveInput(std::string_view Name, TypeKind Type) override;
+
+  bool clockTick(EnvClockId Clock, unsigned Instant) override;
+  Value inputValue(EnvInputId Input, unsigned Instant) override;
 
   void setIntRange(int64_t Lo, int64_t Hi) {
     IntLo = Lo;
@@ -88,21 +224,33 @@ public:
   }
 
 private:
-  uint64_t draw(const std::string &Name, unsigned Instant) const;
+  /// splitmix64 over the precomputed per-name seed and the instant.
+  static uint64_t draw(uint64_t NameSeed, unsigned Instant);
+  /// The per-name seed: seed ^ hash(prefix + name) * phi, fixed at bind.
+  uint64_t nameSeed(const char *Prefix, std::string_view Name) const;
 
   uint64_t Seed;
   unsigned TickPermille;
   int64_t IntLo = 0, IntHi = 99;
+  std::vector<uint64_t> ClockSeed; ///< Indexed by EnvClockId.
+  std::vector<uint64_t> InputSeed; ///< Indexed by EnvInputId.
 };
 
-/// Scripted environment: exact presence and values per instant.
+/// Scripted environment: exact presence and values per instant. The
+/// scripting API is name-keyed (tests read best that way); queries go
+/// through the bound name, so this environment is not allocation-free —
+/// it is for tests, not benchmarks.
 class ScriptedEnvironment : public Environment {
 public:
+  using Environment::clockTick;
+  using Environment::inputValue;
+  using Environment::writeOutput;
+
   /// Makes \p ClockName tick at \p Instant.
   void tick(const std::string &ClockName, unsigned Instant) {
     Ticks[{ClockName, Instant}] = true;
   }
-  /// Makes every queried clock tick at every instant below \p Limit.
+  /// Makes every queried clock tick at every instant.
   void tickAlways(bool On = true) { AlwaysTick = On; }
 
   /// Sets the value of \p SignalName at \p Instant.
@@ -110,9 +258,8 @@ public:
     Values[{SignalName, Instant}] = V;
   }
 
-  bool clockTick(const std::string &ClockName, unsigned Instant) override;
-  Value inputValue(const std::string &SignalName, TypeKind Type,
-                   unsigned Instant) override;
+  bool clockTick(EnvClockId Clock, unsigned Instant) override;
+  Value inputValue(EnvInputId Input, unsigned Instant) override;
 
 private:
   std::map<std::pair<std::string, unsigned>, bool> Ticks;

@@ -13,10 +13,33 @@ KernelInterp::KernelInterp(const KernelProgram &Prog, const ClockSystem &Sys,
   SignalNode.assign(Prog.numSignals(), -1);
   for (SignalId S = 0; S < Prog.numSignals(); ++S)
     SignalNode[S] = Forest.nodeOf(Sys.signalClock(S));
+  DelayEqOfSignal.assign(Prog.numSignals(), -1);
   for (unsigned EqI = 0; EqI < Prog.Equations.size(); ++EqI)
-    if (Prog.Equations[EqI].Kind == KernelEqKind::Delay)
+    if (Prog.Equations[EqI].Kind == KernelEqKind::Delay) {
+      DelayEqOfSignal[Prog.Equations[EqI].Target] =
+          static_cast<int>(DelayEqIndex.size());
       DelayEqIndex.push_back(static_cast<int>(EqI));
+    }
   reset();
+}
+
+void KernelInterp::bind(Environment &Env) {
+  RootClock.assign(Forest.numNodes(), InvalidEnvId);
+  for (ForestNodeId N : NodeOrder) {
+    const ClockNode &Node = Forest.node(N);
+    if (Node.Def == ClockDefKind::Root)
+      RootClock[N] = Env.resolveClock(Sys.varName(Node.Rep, Prog, Names));
+  }
+  InputId.assign(Prog.numSignals(), InvalidEnvId);
+  OutputId.assign(Prog.numSignals(), InvalidEnvId);
+  for (SignalId S = 0; S < Prog.numSignals(); ++S)
+    if (!Prog.definition(S))
+      InputId[S] = Env.resolveInput(Names.spelling(Prog.Signals[S].Name),
+                                    Prog.Signals[S].Type);
+  for (SignalId S : Prog.outputs())
+    OutputId[S] = Env.resolveOutput(Names.spelling(Prog.Signals[S].Name),
+                                    Prog.Signals[S].Type);
+  BoundIdentity = Env.identity();
 }
 
 void KernelInterp::reset() {
@@ -26,6 +49,9 @@ void KernelInterp::reset() {
 }
 
 bool KernelInterp::step(Environment &Env, unsigned Instant) {
+  if (Env.identity() != BoundIdentity)
+    bind(Env);
+
   unsigned MaxNode = Forest.numNodes();
   ClockKnown.assign(MaxNode, 0);
   ClockOn.assign(MaxNode, 0);
@@ -35,11 +61,9 @@ bool KernelInterp::step(Environment &Env, unsigned Instant) {
 
   // Free roots tick per the environment; everything else starts unknown.
   for (ForestNodeId N : NodeOrder) {
-    const ClockNode &Node = Forest.node(N);
-    if (Node.Def == ClockDefKind::Root) {
-      std::string Name = Sys.varName(Node.Rep, Prog, Names);
+    if (RootClock[N] != InvalidEnvId) {
       ClockKnown[N] = 1;
-      ClockOn[N] = Env.clockTick(Name, Instant) ? 1 : 0;
+      ClockOn[N] = Env.clockTick(RootClock[N], Instant) ? 1 : 0;
     }
   }
 
@@ -130,8 +154,7 @@ bool KernelInterp::step(Environment &Env, unsigned Instant) {
       const KernelEq *Def = Prog.definition(S);
       if (!Def) {
         // Environment input (or free local).
-        std::string Name(Names.spelling(Prog.Signals[S].Name));
-        Values[S] = Env.inputValue(Name, Prog.Signals[S].Type, Instant);
+        Values[S] = Env.inputValue(InputId[S], Instant);
         Present[S] = 1;
         ValueKnown[S] = 1;
         Progress = true;
@@ -139,13 +162,7 @@ bool KernelInterp::step(Environment &Env, unsigned Instant) {
       }
       switch (Def->Kind) {
       case KernelEqKind::Delay: {
-        // Which delay equation is this? Look up its index.
-        for (unsigned DI = 0; DI < DelayEqIndex.size(); ++DI) {
-          if (Prog.Equations[DelayEqIndex[DI]].Target == S) {
-            Values[S] = DelayState[DI];
-            break;
-          }
-        }
+        Values[S] = DelayState[DelayEqOfSignal[S]];
         Present[S] = 1;
         ValueKnown[S] = 1;
         Progress = true;
@@ -215,11 +232,11 @@ bool KernelInterp::step(Environment &Env, unsigned Instant) {
     if (!ValueKnown[S])
       return false;
 
-  // Outputs.
+  // Outputs, through the ids bound once — no name re-materialization per
+  // event.
   for (SignalId S : Prog.outputs())
     if (Present[S])
-      Env.writeOutput(std::string(Names.spelling(Prog.Signals[S].Name)),
-                      Instant, Values[S]);
+      Env.writeOutput(OutputId[S], Instant, Values[S]);
 
   // Advance delay memories.
   for (unsigned DI = 0; DI < DelayEqIndex.size(); ++DI) {

@@ -48,6 +48,11 @@ public:
   const Value &signalValue(SignalId S) const { return Values[S]; }
 
 private:
+  /// Resolves environment ids for the roots, free signals and outputs.
+  /// Called lazily whenever the environment instance changes; the hot
+  /// fixpoint loop then queries by id only (no per-instant name builds).
+  void bind(Environment &Env);
+
   const KernelProgram &Prog;
   const ClockSystem &Sys;
   ClockForest &Forest;
@@ -57,6 +62,12 @@ private:
   std::vector<int> SignalNode;             ///< Signal -> forest node (-1 null).
   std::vector<Value> DelayState;           ///< Per delay equation.
   std::vector<int> DelayEqIndex;           ///< Delay equations, in order.
+  std::vector<int> DelayEqOfSignal;        ///< Signal -> delay index (-1).
+
+  uint64_t BoundIdentity = 0;              ///< identity() of the bound env.
+  std::vector<EnvClockId> RootClock;       ///< Forest node -> env clock id.
+  std::vector<EnvInputId> InputId;         ///< Free signal -> env input id.
+  std::vector<EnvOutputId> OutputId;       ///< Output signal -> env id.
 
   // Per-instant scratch.
   std::vector<char> ClockKnown, ClockOn;   ///< Indexed by forest node id.

@@ -2,22 +2,24 @@
 
 #include "interp/LinkedExecutor.h"
 
+#include <algorithm>
+#include <cassert>
+
 using namespace sigc;
 
-bool LinkedExecutor::UnitEnv::clockTick(const std::string &ClockName,
-                                        unsigned Instant) {
-  auto It = BoundTicks.find(ClockName);
-  if (It != BoundTicks.end())
-    return It->second;
-  return Outer->clockTick(ClockName, Instant);
+bool LinkedExecutor::UnitEnv::clockTick(EnvClockId Clock, unsigned Instant) {
+  int Ch = ClockChannel[Clock];
+  if (Ch >= 0)
+    return ChanPresent[Ch] != 0;
+  return Outer->clockTick(OuterClock[Clock], Instant);
 }
 
-Value LinkedExecutor::UnitEnv::inputValue(const std::string &SignalName,
-                                          TypeKind Type, unsigned Instant) {
-  auto It = BoundInputs.find(SignalName);
-  if (It == BoundInputs.end())
-    return Outer->inputValue(SignalName, Type, Instant);
-  if (!It->second.Present) {
+Value LinkedExecutor::UnitEnv::inputValue(EnvInputId Input,
+                                          unsigned Instant) {
+  int Ch = InputChannel[Input];
+  if (Ch < 0)
+    return Outer->inputValue(OuterInput[Input], Instant);
+  if (!ChanPresent[Ch]) {
     // The consumer computed "present" for a channel whose producer did
     // not emit: a dynamic clock-interface violation. The step must still
     // finish (step() reports the error afterwards), so hand back a
@@ -25,8 +27,8 @@ Value LinkedExecutor::UnitEnv::inputValue(const std::string &SignalName,
     // non-numeric assertion further down the step.
     if (Error && Error->empty())
       *Error = "instant " + std::to_string(Instant) + ": consumer reads '" +
-               SignalName + "' but its producer emitted nothing";
-    switch (Type) {
+               inputBindingName(Input) + "' but its producer emitted nothing";
+    switch (inputBindingType(Input)) {
     case TypeKind::Boolean:
       return Value::makeBool(false);
     case TypeKind::Event:
@@ -39,77 +41,131 @@ Value LinkedExecutor::UnitEnv::inputValue(const std::string &SignalName,
     }
     return Value::makeInt(0);
   }
-  return It->second.Val;
+  return ChanVal[Ch];
 }
 
-void LinkedExecutor::UnitEnv::writeOutput(const std::string &SignalName,
+void LinkedExecutor::UnitEnv::writeOutput(EnvOutputId Output,
                                           unsigned Instant, const Value &V) {
-  Produced[SignalName] = {true, V};
-  auto It = ExternalOutput.find(SignalName);
-  if (It != ExternalOutput.end() && It->second)
-    Outer->writeOutput(SignalName, Instant, V);
+  ProducedPresent[Output] = 1;
+  ProducedVal[Output] = V;
+  if (ExternalOut[Output] != InvalidEnvId)
+    Outer->writeOutput(ExternalOut[Output], Instant, V);
 }
 
 LinkedExecutor::LinkedExecutor(const LinkedSystem &Sys) : Sys(Sys) {
   States.reserve(Sys.Units.size());
-  for (const LinkUnit &U : Sys.Units)
-    States.emplace_back(*U.Comp->Kernel, U.Comp->Step);
+  for (unsigned U = 0; U < Sys.Units.size(); ++U)
+    States.push_back(std::make_unique<UnitState>());
   for (unsigned U = 0; U < Sys.Units.size(); ++U) {
-    UnitEnv &E = States[U].Env;
-    E.Error = &Error;
-    for (const auto &SO : Sys.Units[U].Comp->Step.Outputs)
-      E.ExternalOutput[SO.Name] = false;
-    for (const LinkedExternal &Ext : Sys.ExternalOutputs)
-      if (Ext.Unit == U)
-        E.ExternalOutput[Ext.Name] = true;
+    UnitState &S = *States[U];
+    S.Compiled =
+        CompiledStep::build(*Sys.Units[U].Comp->Kernel, Sys.Units[U].Comp->Step);
+    S.Exec = std::make_unique<VmExecutor>(S.Compiled);
+    S.Env.Error = &Error;
+    // Resolve the unit's whole binding against its adapter environment
+    // up front; every routing table below is indexed by those ids.
+    S.Exec->bind(S.Env);
+    S.Env.ClockChannel.assign(S.Env.numClockBindings(), -1);
+    S.Env.InputChannel.assign(S.Env.numInputBindings(), -1);
+    S.Env.ExternalOut.assign(S.Env.numOutputBindings(), InvalidEnvId);
+    S.Env.OuterClock.assign(S.Env.numClockBindings(), InvalidEnvId);
+    S.Env.OuterInput.assign(S.Env.numInputBindings(), InvalidEnvId);
+    S.Env.ProducedPresent.assign(S.Env.numOutputBindings(), 0);
+    S.Env.ProducedVal.assign(S.Env.numOutputBindings(), Value());
   }
-  for (const LinkChannel &Ch : Sys.Channels)
-    States[Ch.Consumer].InChannels.push_back(&Ch);
+
+  // Channel wiring, by the linker's pre-resolved descriptor indices: the
+  // producer-side output id and consumer-side input/clock ids come
+  // straight out of each executor's binding arrays — no name matching.
+  for (const LinkChannel &Ch : Sys.Channels) {
+    UnitState &Cons = *States[Ch.Consumer];
+    UnitState &Prod = *States[Ch.Producer];
+    int ChanIdx = static_cast<int>(Cons.InChannels.size());
+    InChannel IC;
+    IC.Ch = &Ch;
+    IC.Producer = Ch.Producer;
+    IC.ProducerOut = Prod.Exec->bindings().Outputs[Ch.ProducerOutput];
+    Cons.InChannels.push_back(IC);
+
+    EnvInputId InId = Cons.Exec->bindings().Inputs[Ch.ConsumerInput];
+    Cons.Env.InputChannel[InId] = ChanIdx;
+    if (Ch.ConsumerClockInput >= 0) {
+      EnvClockId ClkId = Cons.Exec->bindings().Clocks[Ch.ConsumerClockInput];
+      Cons.Env.ClockChannel[ClkId] = ChanIdx;
+    }
+  }
+  for (auto &SP : States) {
+    SP->Env.ChanPresent.assign(SP->InChannels.size(), 0);
+    SP->Env.ChanVal.assign(SP->InChannels.size(), Value());
+  }
+}
+
+void LinkedExecutor::bindOuter(Environment &Outer) {
+  for (auto &SP : States) {
+    UnitState &S = *SP;
+    S.Env.Outer = &Outer;
+    for (EnvClockId Id = 0; Id < S.Env.numClockBindings(); ++Id)
+      if (S.Env.ClockChannel[Id] < 0)
+        S.Env.OuterClock[Id] = Outer.resolveClock(S.Env.clockBindingName(Id));
+    for (EnvInputId Id = 0; Id < S.Env.numInputBindings(); ++Id)
+      if (S.Env.InputChannel[Id] < 0)
+        S.Env.OuterInput[Id] = Outer.resolveInput(
+            S.Env.inputBindingName(Id), S.Env.inputBindingType(Id));
+    std::fill(S.Env.ExternalOut.begin(), S.Env.ExternalOut.end(),
+              InvalidEnvId);
+  }
+  for (const LinkedExternal &Ext : Sys.ExternalOutputs) {
+    UnitState &S = *States[Ext.Unit];
+    // The external's descriptor index in the unit's Outputs table.
+    const auto &Outs = S.Compiled.Outputs;
+    for (size_t OI = 0; OI < Outs.size(); ++OI)
+      if (Outs[OI].Sig == Ext.Sig) {
+        EnvOutputId Id = S.Exec->bindings().Outputs[OI];
+        S.Env.ExternalOut[Id] =
+            Outer.resolveOutput(Ext.Name, Outs[OI].Type);
+      }
+  }
+  BoundOuterIdentity = Outer.identity();
 }
 
 void LinkedExecutor::reset() {
-  for (UnitState &S : States)
-    S.Exec.reset();
+  for (auto &SP : States)
+    SP->Exec->reset();
   Error.clear();
 }
 
 bool LinkedExecutor::step(Environment &Env, unsigned Instant) {
   if (!Error.empty())
     return false;
-  for (UnitState &S : States) {
-    S.Env.Outer = &Env;
-    S.Env.BoundTicks.clear();
-    S.Env.BoundInputs.clear();
-    S.Env.Produced.clear();
-  }
+  if (Env.identity() != BoundOuterIdentity)
+    bindOuter(Env);
+
+  for (auto &SP : States)
+    std::fill(SP->Env.ProducedPresent.begin(), SP->Env.ProducedPresent.end(),
+              char(0));
 
   for (unsigned U : Sys.Order) {
-    UnitState &S = States[U];
-    const StepProgram &Step = Sys.Units[U].Comp->Step;
+    UnitState &S = *States[U];
 
     // Wire this unit's channels from its producers' recorded outputs.
-    for (const LinkChannel *Ch : S.InChannels) {
-      const UnitEnv &ProdEnv = States[Ch->Producer].Env;
-      auto It = ProdEnv.Produced.find(Ch->Name);
-      ChannelValue CV;
-      if (It != ProdEnv.Produced.end())
-        CV = It->second;
-      S.Env.BoundInputs[Ch->Name] = CV;
-      if (Ch->ConsumerClockInput >= 0)
-        S.Env.BoundTicks[Step.ClockInputs[Ch->ConsumerClockInput].Name] =
-            CV.Present;
+    for (size_t C = 0; C < S.InChannels.size(); ++C) {
+      const InChannel &IC = S.InChannels[C];
+      const UnitEnv &ProdEnv = States[IC.Producer]->Env;
+      S.Env.ChanPresent[C] = ProdEnv.ProducedPresent[IC.ProducerOut];
+      S.Env.ChanVal[C] = ProdEnv.ProducedVal[IC.ProducerOut];
     }
 
-    S.Exec.step(S.Env, Instant, ExecMode::Nested);
+    S.Exec->step(S.Env, Instant);
 
     // Dynamic check for channels whose clock the consumer derives: both
     // sides must agree on presence this instant.
-    for (const LinkChannel *Ch : S.InChannels) {
+    for (size_t C = 0; C < S.InChannels.size(); ++C) {
+      const LinkChannel *Ch = S.InChannels[C].Ch;
       if (Ch->ConsumerClockInput >= 0)
         continue;
-      int Slot = Step.SignalClockSlot[Ch->ConsumerSig];
-      bool ConsumerPresent = Slot >= 0 && S.Exec.clockPresent(Slot);
-      bool ProducerPresent = S.Env.BoundInputs[Ch->Name].Present;
+      int Slot = S.Compiled.SignalClockSlot[Ch->ConsumerSig];
+      bool ConsumerPresent = Slot >= 0 && S.Exec->clockPresent(Slot);
+      bool ProducerPresent = S.Env.ChanPresent[C] != 0;
       if (ConsumerPresent != ProducerPresent && Error.empty())
         Error = "instant " + std::to_string(Instant) + ": channel '" +
                 Ch->Name + "' clock mismatch — producer '" +
@@ -134,7 +190,14 @@ bool LinkedExecutor::run(Environment &Env, unsigned Count) {
 
 uint64_t LinkedExecutor::guardTests() const {
   uint64_t Total = 0;
-  for (const UnitState &S : States)
-    Total += S.Exec.guardTests();
+  for (const auto &SP : States)
+    Total += SP->Exec->guardTests();
+  return Total;
+}
+
+uint64_t LinkedExecutor::executed() const {
+  uint64_t Total = 0;
+  for (const auto &SP : States)
+    Total += SP->Exec->executed();
   return Total;
 }

@@ -1,19 +1,22 @@
 //===--- LinkedExecutor.h - Linked-system execution -------------*- C++-*-===//
 ///
 /// \file
-/// Executes a LinkedSystem instant by instant: each unit's StepProgram
-/// runs unchanged through its own StepExecutor, in the linker's
-/// cross-process order; channel wiring happens in the environment layer.
-/// A per-unit adapter environment
+/// Executes a LinkedSystem instant by instant: each unit's step runs
+/// through its own slot-VM (VmExecutor over a CompiledStep), in the
+/// linker's cross-process order; channel wiring happens in the
+/// environment layer through index-based arrays computed once from the
+/// linker's pre-resolved channel descriptors — the per-instant loop does
+/// no name hashing and no map rebuilds. A per-unit adapter environment
 ///
-///   * answers a bound clock input with the producer's presence of the
-///     channel signal this instant,
-///   * answers a channel input value with the producer's output value,
+///   * answers a channel-bound clock id with the producer's presence of
+///     the channel signal this instant,
+///   * answers a channel-bound input id with the producer's output value,
 ///   * forwards everything else (unbound ticks, external inputs) to the
-///     outer environment by name — exactly the queries the monolithic
-///     compilation of the composed program would make,
-///   * records every unit output; only external outputs reach the outer
-///     environment's trace.
+///     outer environment through ids resolved against it once — exactly
+///     the queries the monolithic compilation of the composed program
+///     would make,
+///   * records every unit output in a dense presence/value array; only
+///     external outputs reach the outer environment's trace.
 ///
 /// Channels whose consumer derives the clock itself (ConsumerClockInput
 /// == -1) are checked dynamically: after the consumer's step, both sides
@@ -25,11 +28,11 @@
 #ifndef SIGNALC_INTERP_LINKEDEXECUTOR_H
 #define SIGNALC_INTERP_LINKEDEXECUTOR_H
 
-#include "interp/StepExecutor.h"
+#include "interp/VmExecutor.h"
 #include "link/Linker.h"
 
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace sigc {
@@ -54,46 +57,62 @@ public:
 
   /// Guard tests summed over every unit's executor.
   uint64_t guardTests() const;
+  /// Instructions executed summed over every unit's executor.
+  uint64_t executed() const;
 
 private:
-  struct ChannelValue {
-    bool Present = false;
-    Value Val;
-  };
-
-  /// The per-unit adapter environment; rebuilt state per instant.
+  /// The per-unit adapter environment. All routing tables are dense
+  /// arrays indexed by this environment's own EnvIds and sized once at
+  /// construction — deliberately no name-based adapter re-exports here:
+  /// resolving a new name after construction would mint an id past the
+  /// routing arrays' end.
   class UnitEnv : public Environment {
   public:
     Environment *Outer = nullptr;
-    /// Clock-input name -> tick bound by a channel this instant.
-    std::unordered_map<std::string, bool> BoundTicks;
-    /// Channel input name -> the producer's value this instant.
-    std::unordered_map<std::string, ChannelValue> BoundInputs;
-    /// Output name -> recorded value (all of this unit's outputs).
-    std::unordered_map<std::string, ChannelValue> Produced;
-    /// Output names that are external (forwarded to Outer).
-    std::unordered_map<std::string, bool> ExternalOutput;
+    /// Clock id -> feeding in-channel index (-1 = forward to Outer).
+    std::vector<int> ClockChannel;
+    /// Input id -> feeding in-channel index (-1 = forward to Outer).
+    std::vector<int> InputChannel;
+    /// Output id -> Outer's output id when external, InvalidEnvId else.
+    std::vector<EnvOutputId> ExternalOut;
+    /// Clock/input id -> the id Outer resolved for the same name.
+    std::vector<EnvClockId> OuterClock;
+    std::vector<EnvInputId> OuterInput;
+    /// This instant's channel feed, per in-channel index.
+    std::vector<char> ChanPresent;
+    std::vector<Value> ChanVal;
+    /// This instant's production, per output id.
+    std::vector<char> ProducedPresent;
+    std::vector<Value> ProducedVal;
     std::string *Error = nullptr;
 
-    bool clockTick(const std::string &ClockName, unsigned Instant) override;
-    Value inputValue(const std::string &SignalName, TypeKind Type,
-                     unsigned Instant) override;
-    void writeOutput(const std::string &SignalName, unsigned Instant,
+    bool clockTick(EnvClockId Clock, unsigned Instant) override;
+    Value inputValue(EnvInputId Input, unsigned Instant) override;
+    void writeOutput(EnvOutputId Output, unsigned Instant,
                      const Value &V) override;
   };
 
-  struct UnitState {
-    StepExecutor Exec;
-    UnitEnv Env;
-    /// Channels feeding this unit (the consumer side), precomputed so
-    /// the per-instant loop never rescans the full channel list.
-    std::vector<const LinkChannel *> InChannels;
-    UnitState(const KernelProgram &Prog, const StepProgram &Step)
-        : Exec(Prog, Step) {}
+  /// One feeding channel of a unit, in index-resolved form.
+  struct InChannel {
+    const LinkChannel *Ch = nullptr;
+    unsigned Producer = 0;
+    EnvOutputId ProducerOut = InvalidEnvId; ///< Id in the producer's env.
   };
 
+  struct UnitState {
+    CompiledStep Compiled;
+    std::unique_ptr<VmExecutor> Exec;
+    UnitEnv Env;
+    std::vector<InChannel> InChannels;
+  };
+
+  /// Resolves the forwarding ids of every unit against \p Outer.
+  void bindOuter(Environment &Outer);
+
   const LinkedSystem &Sys;
-  std::vector<UnitState> States;
+  /// By pointer: UnitEnv (an Environment) is pinned to its address.
+  std::vector<std::unique_ptr<UnitState>> States;
+  uint64_t BoundOuterIdentity = 0;
   std::string Error;
 };
 

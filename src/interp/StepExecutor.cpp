@@ -12,17 +12,17 @@ void StepExecutor::reset() {
   StateSlots = Step.StateInit;
 }
 
+void StepExecutor::bind(Environment &Env) {
+  Bind = resolveBindings(Env, Step.ClockInputs, Step.Inputs, Step.Outputs);
+  BoundIdentity = Env.identity();
+}
+
 void StepExecutor::execInstr(const StepInstr &In, Environment &Env,
                              unsigned Instant) {
   ++Executed;
   switch (In.Op) {
   case StepOp::ReadClockInput: {
-    for (const auto &CI : Step.ClockInputs)
-      if (CI.Slot == In.Target) {
-        ClockSlots[In.Target] = Env.clockTick(CI.Name, Instant);
-        return;
-      }
-    ClockSlots[In.Target] = false;
+    ClockSlots[In.Target] = Env.clockTick(Bind.Clocks[In.Desc], Instant);
     return;
   }
   case StepOp::EvalClockLiteral: {
@@ -49,11 +49,7 @@ void StepExecutor::execInstr(const StepInstr &In, Environment &Env,
     return;
   }
   case StepOp::ReadSignal: {
-    for (const auto &SI : Step.Inputs)
-      if (SI.ValueSlot == In.Target) {
-        ValueSlots[In.Target] = Env.inputValue(SI.Name, SI.Type, Instant);
-        return;
-      }
+    ValueSlots[In.Target] = Env.inputValue(Bind.Inputs[In.Desc], Instant);
     return;
   }
   case StepOp::EvalFunc: {
@@ -91,11 +87,7 @@ void StepExecutor::execInstr(const StepInstr &In, Environment &Env,
     StateSlots[In.Target] = ValueSlots[In.A];
     return;
   case StepOp::WriteOutput: {
-    for (const auto &SO : Step.Outputs)
-      if (SO.Sig == In.Sig) {
-        Env.writeOutput(SO.Name, Instant, ValueSlots[In.A]);
-        return;
-      }
+    Env.writeOutput(Bind.Outputs[In.Desc], Instant, ValueSlots[In.A]);
     return;
   }
   }
@@ -118,6 +110,9 @@ void StepExecutor::execBlock(int BlockIdx, Environment &Env,
 }
 
 void StepExecutor::step(Environment &Env, unsigned Instant, ExecMode Mode) {
+  if (Env.identity() != BoundIdentity)
+    bind(Env);
+
   // Presence is recomputed from scratch each instant.
   std::fill(ClockSlots.begin(), ClockSlots.end(), false);
 

@@ -36,6 +36,10 @@ public:
   /// Re-initializes the delay states.
   void reset();
 
+  /// Resolves the environment binding now (otherwise done lazily on the
+  /// first step with a new environment).
+  void bind(Environment &Env);
+
   /// Runs one reaction. \p Instant tags environment queries and outputs.
   void step(Environment &Env, unsigned Instant, ExecMode Mode);
 
@@ -55,12 +59,17 @@ public:
   bool clockPresent(int Slot) const { return ClockSlots[Slot]; }
   const Value &value(int Slot) const { return ValueSlots[Slot]; }
 
+  /// The environment binding of the last bind() (linked wiring reads it).
+  const StepBindings &bindings() const { return Bind; }
+
 private:
   void execInstr(const StepInstr &In, Environment &Env, unsigned Instant);
   void execBlock(int BlockIdx, Environment &Env, unsigned Instant);
 
   const KernelProgram &Prog;
   const StepProgram &Step;
+  uint64_t BoundIdentity = 0; ///< identity() of the bound environment.
+  StepBindings Bind;
   std::vector<bool> ClockSlots;
   std::vector<Value> ValueSlots;
   std::vector<Value> StateSlots;

@@ -1,0 +1,118 @@
+//===--- VmExecutor.cpp ---------------------------------------------------===//
+
+#include "interp/VmExecutor.h"
+
+#include "sema/Kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sigc;
+
+void VmExecutor::reset() {
+  ClockSlots.assign(CS.NumClockSlots, 0);
+  // Scratch slots for interior expression results live after the values.
+  ValueSlots.assign(CS.NumValueSlots + CS.NumTempSlots, Value());
+  StateSlots = CS.StateInit;
+}
+
+void VmExecutor::bind(Environment &Env) {
+  Bind = resolveBindings(Env, CS.ClockInputs, CS.Inputs, CS.Outputs);
+  BoundIdentity = Env.identity();
+}
+
+void VmExecutor::step(Environment &Env, unsigned Instant) {
+  if (Env.identity() != BoundIdentity)
+    bind(Env);
+
+  // Presence is recomputed from scratch each instant.
+  std::fill(ClockSlots.begin(), ClockSlots.end(), 0);
+
+  const VmInstr *Code = CS.Code.data();
+  const int32_t End = static_cast<int32_t>(CS.Code.size());
+  char *Clock = ClockSlots.data();
+  Value *Vals = ValueSlots.data();
+  Value *State = StateSlots.data();
+
+  int32_t PC = 0;
+  while (PC < End) {
+    const VmInstr &In = Code[PC];
+    if (In.Op == VmOp::SkipIfAbsent) {
+      ++GuardTests;
+      PC = Clock[In.A] ? PC + 1 : In.Aux;
+      continue;
+    }
+    ++PC;
+    Executed += In.Weight;
+    switch (In.Op) {
+    case VmOp::SkipIfAbsent:
+      break; // handled above
+    case VmOp::ReadClockInput:
+      Clock[In.Target] = Env.clockTick(Bind.Clocks[In.Aux], Instant) ? 1 : 0;
+      break;
+    case VmOp::EvalClockLiteral: {
+      bool V = Vals[In.A].asBool();
+      Clock[In.Target] = (V == (In.Aux != 0)) ? 1 : 0;
+      break;
+    }
+    case VmOp::EvalClockAnd:
+      Clock[In.Target] = Clock[In.A] & Clock[In.B];
+      break;
+    case VmOp::EvalClockOr:
+      Clock[In.Target] = Clock[In.A] | Clock[In.B];
+      break;
+    case VmOp::EvalClockDiff:
+      Clock[In.Target] =
+          static_cast<char>(Clock[In.A] & (Clock[In.B] ^ 1));
+      break;
+    case VmOp::CopyClock:
+      Clock[In.Target] = Clock[In.A];
+      break;
+    case VmOp::SetClockFalse:
+      Clock[In.Target] = 0;
+      break;
+    case VmOp::ReadSignal:
+      Vals[In.Target] = Env.inputValue(Bind.Inputs[In.Aux], Instant);
+      break;
+    case VmOp::UnarySlot:
+      Vals[In.Target] =
+          evalUnaryValue(static_cast<UnaryOp>(In.Aux), Vals[In.A]);
+      break;
+    case VmOp::BinarySS:
+      Vals[In.Target] = evalBinaryValue(static_cast<BinaryOp>(In.Aux),
+                                        Vals[In.A], Vals[In.B]);
+      break;
+    case VmOp::BinarySC:
+      Vals[In.Target] = evalBinaryValue(static_cast<BinaryOp>(In.Aux),
+                                        Vals[In.A], CS.Consts[In.B]);
+      break;
+    case VmOp::BinaryCS:
+      Vals[In.Target] = evalBinaryValue(static_cast<BinaryOp>(In.Aux),
+                                        CS.Consts[In.A], Vals[In.B]);
+      break;
+    case VmOp::CopyValue:
+      Vals[In.Target] = Vals[In.A];
+      break;
+    case VmOp::LoadConst:
+      Vals[In.Target] = CS.Consts[In.Aux];
+      break;
+    case VmOp::Select:
+      Vals[In.Target] = Clock[In.Aux] ? Vals[In.A] : Vals[In.B];
+      break;
+    case VmOp::LoadDelay:
+      Vals[In.Target] = State[In.A];
+      break;
+    case VmOp::StoreDelay:
+      State[In.Target] = Vals[In.A];
+      break;
+    case VmOp::WriteOutput:
+      Env.writeOutput(Bind.Outputs[In.Aux], Instant, Vals[In.A]);
+      break;
+    }
+  }
+}
+
+void VmExecutor::run(Environment &Env, unsigned Count) {
+  for (unsigned I = 0; I < Count; ++I)
+    step(Env, I);
+}

@@ -1,0 +1,76 @@
+//===--- VmExecutor.h - CompiledStep execution ------------------*- C++-*-===//
+///
+/// \file
+/// Executes a CompiledStep instant by instant against an Environment.
+/// The per-instant loop is a flat PC walk over the VM instruction stream:
+/// absent clocks skip their subtree via SkipIfAbsent offsets, expressions
+/// run three-address over preallocated scratch slots, and every
+/// environment query uses the slot ids bound once per (executor,
+/// environment) pair. In the steady state one instant performs zero heap
+/// allocations (pinned by the counting-allocator test).
+///
+/// Guard/instruction counters mirror the nested StepExecutor exactly, so
+/// benchmarks and regression tests can compare the two modes' guard
+/// economics number for number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_INTERP_VMEXECUTOR_H
+#define SIGNALC_INTERP_VMEXECUTOR_H
+
+#include "interp/CompiledStep.h"
+#include "interp/Environment.h"
+
+#include <vector>
+
+namespace sigc {
+
+/// Interprets a CompiledStep.
+class VmExecutor {
+public:
+  explicit VmExecutor(const CompiledStep &CS) : CS(CS) { reset(); }
+
+  /// Re-initializes the delay states.
+  void reset();
+
+  /// Resolves the environment binding now (otherwise done lazily on the
+  /// first step with a new environment).
+  void bind(Environment &Env);
+
+  /// Runs one reaction. \p Instant tags environment queries and outputs.
+  void step(Environment &Env, unsigned Instant);
+
+  /// Runs \p Count reactions starting at instant 0.
+  void run(Environment &Env, unsigned Count);
+
+  /// Guard tests performed so far; equals the nested StepExecutor's count
+  /// on the same trace (one test per block entry).
+  uint64_t guardTests() const { return GuardTests; }
+  /// Instructions actually executed so far (skip tests excluded).
+  uint64_t executed() const { return Executed; }
+  void resetCounters() {
+    GuardTests = 0;
+    Executed = 0;
+  }
+
+  /// Post-step inspection (testing, linked dynamic checks).
+  bool clockPresent(int Slot) const { return ClockSlots[Slot] != 0; }
+  const Value &value(int Slot) const { return ValueSlots[Slot]; }
+
+  /// The environment binding of the last bind() (linked wiring reads it).
+  const StepBindings &bindings() const { return Bind; }
+
+private:
+  const CompiledStep &CS;
+  uint64_t BoundIdentity = 0; ///< identity() of the bound environment.
+  StepBindings Bind;
+  std::vector<char> ClockSlots;
+  std::vector<Value> ValueSlots; ///< Values, then scratch slots.
+  std::vector<Value> StateSlots;
+  uint64_t GuardTests = 0;
+  uint64_t Executed = 0;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_INTERP_VMEXECUTOR_H

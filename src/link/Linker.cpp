@@ -220,6 +220,24 @@ LinkResult sigc::linkCompiled(std::vector<LinkUnit> Units) {
     for (size_t CI = 0; CI < Cons.Step.ClockInputs.size(); ++CI)
       if (Cons.Step.ClockInputs[CI].Slot == Slot)
         Ch.ConsumerClockInput = static_cast<int>(CI);
+
+    // Resolve the descriptor indices once, here, so every executor (and
+    // any other runtime wiring) addresses the channel by array index.
+    Compilation &Prod = *Sys->Units[Ch.Producer].Comp;
+    for (size_t OI = 0; OI < Prod.Step.Outputs.size(); ++OI)
+      if (Prod.Step.Outputs[OI].Sig == Ch.ProducerSig)
+        Ch.ProducerOutput = static_cast<int>(OI);
+    for (size_t II = 0; II < Cons.Step.Inputs.size(); ++II)
+      if (Cons.Step.Inputs[II].Sig == Ch.ConsumerSig)
+        Ch.ConsumerInput = static_cast<int>(II);
+    if (Ch.ProducerOutput < 0)
+      return fail("channel '" + Ch.Name + "': producer '" +
+                  Sys->Units[Ch.Producer].Name +
+                  "' has no output descriptor for the export");
+    if (Ch.ConsumerInput < 0)
+      return fail("channel '" + Ch.Name + "': consumer '" +
+                  Sys->Units[Ch.Consumer].Name +
+                  "' has no input descriptor for the import");
   }
 
   // Consumer-imposed relations between imported clocks must be *proved*

@@ -58,6 +58,11 @@ struct LinkChannel {
   /// the import's clock itself; the executor then checks, each instant,
   /// that both sides agree (a dynamic clock-constraint check).
   int ConsumerClockInput = -1;
+  /// Index into the producer Step's Outputs descriptor table, resolved at
+  /// link time so executors wire channels by array index, never by name.
+  int ProducerOutput = -1;
+  /// Index into the consumer Step's Inputs descriptor table (same).
+  int ConsumerInput = -1;
 };
 
 /// An external (unmatched) input or output of the linked system.

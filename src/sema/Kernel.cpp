@@ -97,32 +97,13 @@ std::string KernelProgram::dump(const StringInterner &Names) const {
   return Out;
 }
 
-/// Two's-complement wrapping arithmetic: SIGNAL "integer" values wrap on
-/// overflow (runaway accumulators are a legal program, not UB). Computing
-/// through uint64_t keeps the C++ defined and matches what the emitted C
-/// produces on the targets we run on.
-static int64_t wrapAdd(int64_t A, int64_t B) {
-  return static_cast<int64_t>(static_cast<uint64_t>(A) +
-                              static_cast<uint64_t>(B));
-}
-static int64_t wrapSub(int64_t A, int64_t B) {
-  return static_cast<int64_t>(static_cast<uint64_t>(A) -
-                              static_cast<uint64_t>(B));
-}
-static int64_t wrapMul(int64_t A, int64_t B) {
-  return static_cast<int64_t>(static_cast<uint64_t>(A) *
-                              static_cast<uint64_t>(B));
-}
-static int64_t wrapNeg(int64_t A) {
-  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
-}
-
 Value sigc::evalFuncTree(const KernelEq &Eq,
                          const std::vector<Value> &ArgValues) {
   assert(Eq.Kind == KernelEqKind::Func && !Eq.Nodes.empty());
 
   // Evaluate bottom-up: children always precede parents in Nodes (the
-  // lowering emits them in post-order).
+  // lowering emits them in post-order). The operator semantics live in
+  // evalUnaryValue/evalBinaryValue (Kernel.h), shared with the step-VM.
   std::vector<Value> Results(Eq.Nodes.size());
   for (unsigned I = 0; I < Eq.Nodes.size(); ++I) {
     const FuncNode &N = Eq.Nodes[I];
@@ -134,81 +115,12 @@ Value sigc::evalFuncTree(const KernelEq &Eq,
     case FuncNode::Kind::Const:
       Results[I] = N.Const;
       break;
-    case FuncNode::Kind::Unary: {
-      const Value &V = Results[N.Lhs];
-      if (N.UOp == UnaryOp::Not)
-        Results[I] = Value::makeBool(!V.asBool());
-      else if (V.Kind == TypeKind::Integer)
-        Results[I] = Value::makeInt(wrapNeg(V.Int));
-      else
-        Results[I] = Value::makeReal(-V.asReal());
+    case FuncNode::Kind::Unary:
+      Results[I] = evalUnaryValue(N.UOp, Results[N.Lhs]);
       break;
-    }
-    case FuncNode::Kind::Binary: {
-      const Value &L = Results[N.Lhs];
-      const Value &R = Results[N.Rhs];
-      bool BothInt =
-          L.Kind == TypeKind::Integer && R.Kind == TypeKind::Integer;
-      switch (N.BOp) {
-      case BinaryOp::Add:
-        Results[I] = BothInt ? Value::makeInt(wrapAdd(L.Int, R.Int))
-                             : Value::makeReal(L.asReal() + R.asReal());
-        break;
-      case BinaryOp::Sub:
-        Results[I] = BothInt ? Value::makeInt(wrapSub(L.Int, R.Int))
-                             : Value::makeReal(L.asReal() - R.asReal());
-        break;
-      case BinaryOp::Mul:
-        Results[I] = BothInt ? Value::makeInt(wrapMul(L.Int, R.Int))
-                             : Value::makeReal(L.asReal() * R.asReal());
-        break;
-      case BinaryOp::Div:
-        // R == -1 is handled as negation: INT64_MIN / -1 overflows.
-        if (BothInt)
-          Results[I] = Value::makeInt(R.Int == 0    ? 0
-                                      : R.Int == -1 ? wrapNeg(L.Int)
-                                                    : L.Int / R.Int);
-        else
-          Results[I] = Value::makeReal(
-              R.asReal() == 0.0 ? 0.0 : L.asReal() / R.asReal());
-        break;
-      case BinaryOp::Mod:
-        // x mod -1 = 0; also sidesteps the INT64_MIN % -1 overflow.
-        Results[I] = Value::makeInt(
-            (R.Int == 0 || R.Int == -1)
-                ? 0
-                : ((L.Int % R.Int) + R.Int) % R.Int);
-        break;
-      case BinaryOp::And:
-        Results[I] = Value::makeBool(L.asBool() && R.asBool());
-        break;
-      case BinaryOp::Or:
-        Results[I] = Value::makeBool(L.asBool() || R.asBool());
-        break;
-      case BinaryOp::Xor:
-        Results[I] = Value::makeBool(L.asBool() != R.asBool());
-        break;
-      case BinaryOp::Eq:
-        Results[I] = Value::makeBool(L == R);
-        break;
-      case BinaryOp::Ne:
-        Results[I] = Value::makeBool(!(L == R));
-        break;
-      case BinaryOp::Lt:
-        Results[I] = Value::makeBool(L.asReal() < R.asReal());
-        break;
-      case BinaryOp::Le:
-        Results[I] = Value::makeBool(L.asReal() <= R.asReal());
-        break;
-      case BinaryOp::Gt:
-        Results[I] = Value::makeBool(L.asReal() > R.asReal());
-        break;
-      case BinaryOp::Ge:
-        Results[I] = Value::makeBool(L.asReal() >= R.asReal());
-        break;
-      }
+    case FuncNode::Kind::Binary:
+      Results[I] = evalBinaryValue(N.BOp, Results[N.Lhs], Results[N.Rhs]);
       break;
-    }
     }
   }
   return Results.back();

@@ -155,8 +155,94 @@ struct KernelProgram {
   std::string dump(const StringInterner &Names) const;
 };
 
+//===----------------------------------------------------------------------===//
+// Scalar operator semantics
+//===----------------------------------------------------------------------===//
+//
+// The single definition of what the host-language operators mean on
+// Values, shared by the tree evaluator below and the step-VM's postfix
+// bytecode (CompiledStep) so the two can never diverge. Inline: both
+// evaluators run these per instruction per instant.
+
+/// Two's-complement wrapping arithmetic: SIGNAL "integer" values wrap on
+/// overflow (runaway accumulators are a legal program, not UB). Computing
+/// through uint64_t keeps the C++ defined and matches what the emitted C
+/// produces on the targets we run on.
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+}
+
+/// Evaluates unary operator \p Op on \p V.
+inline Value evalUnaryValue(UnaryOp Op, const Value &V) {
+  if (Op == UnaryOp::Not)
+    return Value::makeBool(!V.asBool());
+  if (V.Kind == TypeKind::Integer)
+    return Value::makeInt(wrapNeg(V.Int));
+  return Value::makeReal(-V.asReal());
+}
+
+/// Evaluates binary operator \p Op on \p L and \p R.
+inline Value evalBinaryValue(BinaryOp Op, const Value &L, const Value &R) {
+  bool BothInt = L.Kind == TypeKind::Integer && R.Kind == TypeKind::Integer;
+  switch (Op) {
+  case BinaryOp::Add:
+    return BothInt ? Value::makeInt(wrapAdd(L.Int, R.Int))
+                   : Value::makeReal(L.asReal() + R.asReal());
+  case BinaryOp::Sub:
+    return BothInt ? Value::makeInt(wrapSub(L.Int, R.Int))
+                   : Value::makeReal(L.asReal() - R.asReal());
+  case BinaryOp::Mul:
+    return BothInt ? Value::makeInt(wrapMul(L.Int, R.Int))
+                   : Value::makeReal(L.asReal() * R.asReal());
+  case BinaryOp::Div:
+    // R == -1 is handled as negation: INT64_MIN / -1 overflows.
+    if (BothInt)
+      return Value::makeInt(R.Int == 0    ? 0
+                            : R.Int == -1 ? wrapNeg(L.Int)
+                                          : L.Int / R.Int);
+    return Value::makeReal(R.asReal() == 0.0 ? 0.0 : L.asReal() / R.asReal());
+  case BinaryOp::Mod:
+    // x mod -1 = 0; also sidesteps the INT64_MIN % -1 overflow.
+    return Value::makeInt((R.Int == 0 || R.Int == -1)
+                              ? 0
+                              : ((L.Int % R.Int) + R.Int) % R.Int);
+  case BinaryOp::And:
+    return Value::makeBool(L.asBool() && R.asBool());
+  case BinaryOp::Or:
+    return Value::makeBool(L.asBool() || R.asBool());
+  case BinaryOp::Xor:
+    return Value::makeBool(L.asBool() != R.asBool());
+  case BinaryOp::Eq:
+    return Value::makeBool(L == R);
+  case BinaryOp::Ne:
+    return Value::makeBool(!(L == R));
+  case BinaryOp::Lt:
+    return Value::makeBool(L.asReal() < R.asReal());
+  case BinaryOp::Le:
+    return Value::makeBool(L.asReal() <= R.asReal());
+  case BinaryOp::Gt:
+    return Value::makeBool(L.asReal() > R.asReal());
+  case BinaryOp::Ge:
+    return Value::makeBool(L.asReal() >= R.asReal());
+  }
+  return Value::makeInt(0);
+}
+
 /// Evaluates a Func operator tree given the values of its signal operands.
-/// Used by both the interpreter and constant folding.
+/// Used by the fixpoint interpreter, the legacy step executor and constant
+/// folding; the slot-VM flattens the same tree to postfix bytecode instead.
 Value evalFuncTree(const KernelEq &Eq, const std::vector<Value> &ArgValues);
 
 } // namespace sigc

@@ -8,6 +8,7 @@
 #include "interp/KernelInterp.h"
 #include "interp/LinkedExecutor.h"
 #include "interp/StepExecutor.h"
+#include "interp/VmExecutor.h"
 #include "link/LinkEmitter.h"
 #include "testing/TraceCompare.h"
 
@@ -264,13 +265,23 @@ OracleReport sigc::checkDifferential(const std::string &Name,
   RandomEnvironment EnvFlat(Options.EnvSeed, Options.TickPermille);
   StepExecutor ExecFlat(*C->Kernel, C->Step);
   ExecFlat.run(EnvFlat, Options.Instants, ExecMode::Flat);
-  R.GuardTestsFlat = ExecFlat.guardTests();
 
   // Path 3: nested step program.
   RandomEnvironment EnvNested(Options.EnvSeed, Options.TickPermille);
   StepExecutor ExecNested(*C->Kernel, C->Step);
   ExecNested.run(EnvNested, Options.Instants, ExecMode::Nested);
   R.GuardTestsNested = ExecNested.guardTests();
+  R.ExecutedNested = ExecNested.executed();
+  R.GuardTestsFlat = ExecFlat.guardTests();
+  R.ExecutedFlat = ExecFlat.executed();
+
+  // Path 4: the slot-resolved VM.
+  RandomEnvironment EnvVm(Options.EnvSeed, Options.TickPermille);
+  CompiledStep CS = CompiledStep::build(*C->Kernel, C->Step);
+  VmExecutor ExecVm(CS);
+  ExecVm.run(EnvVm, Options.Instants);
+  R.GuardTestsVm = ExecVm.guardTests();
+  R.ExecutedVm = ExecVm.executed();
 
   TraceDiff D = compareTraces("interp", EnvRef.outputs(), "step-flat",
                               EnvFlat.outputs());
@@ -286,8 +297,27 @@ OracleReport sigc::checkDifferential(const std::string &Name,
         failure(Name, "flat vs nested step divergence", D.Report, Source);
     return R;
   }
+  D = compareTraces("step-nested", EnvNested.outputs(), "step-vm",
+                    EnvVm.outputs());
+  if (!D.Equal) {
+    R.Error = failure(Name, "nested vs slot-VM divergence", D.Report, Source);
+    return R;
+  }
+  // The VM linearizes the nested structure: its guard economics must be
+  // exactly the nested executor's, never flat's.
+  if (R.GuardTestsVm != R.GuardTestsNested ||
+      R.ExecutedVm != R.ExecutedNested) {
+    R.Error = failure(
+        Name, "slot-VM guard/instruction counters diverge from nested",
+        "nested: guards=" + std::to_string(R.GuardTestsNested) +
+            " executed=" + std::to_string(R.ExecutedNested) +
+            "\nvm:     guards=" + std::to_string(R.GuardTestsVm) +
+            " executed=" + std::to_string(R.ExecutedVm) + "\n",
+        Source);
+    return R;
+  }
 
-  // Path 4: the emitted C, through the host compiler.
+  // Path 5: the emitted C, through the host compiler.
   if (Options.EmitCRoundTrip && hostCCompilerAvailable()) {
     const StringInterner &Names = C->names();
     std::string ProcName(Names.spelling(C->Decl->Name));
@@ -394,27 +424,50 @@ bool monoToLinkedClockNames(Compilation &Mono, LinkedSystem &Sys,
   return true;
 }
 
-/// Environment adapter renaming clock queries through the mono-to-linked
-/// interface correspondence; everything else passes through.
+/// Environment adapter renaming clock bindings through the mono-to-linked
+/// interface correspondence; everything else passes through. The renaming
+/// happens once at binding time (ids map to the inner environment's ids);
+/// the hot path is pure id forwarding. Outputs record locally, so the
+/// adapter's trace is comparable on its own.
 class RenamedClockEnvironment : public Environment {
 public:
+  using Environment::clockTick;
+  using Environment::inputValue;
+  using Environment::writeOutput;
+
   RenamedClockEnvironment(Environment &Inner,
                           const std::map<std::string, std::string> &Map)
       : Inner(Inner), Map(Map) {}
 
-  bool clockTick(const std::string &ClockName, unsigned Instant) override {
-    auto It = Map.find(ClockName);
-    return Inner.clockTick(It == Map.end() ? ClockName : It->second,
-                           Instant);
+  EnvClockId resolveClock(std::string_view Name) override {
+    EnvClockId Id = Environment::resolveClock(Name);
+    auto It = Map.find(std::string(Name));
+    if (Id >= InnerClock.size())
+      InnerClock.resize(Id + 1, InvalidEnvId);
+    InnerClock[Id] =
+        Inner.resolveClock(It == Map.end() ? std::string(Name) : It->second);
+    return Id;
   }
-  Value inputValue(const std::string &SignalName, TypeKind Type,
-                   unsigned Instant) override {
-    return Inner.inputValue(SignalName, Type, Instant);
+  EnvInputId resolveInput(std::string_view Name, TypeKind Type) override {
+    EnvInputId Id = Environment::resolveInput(Name, Type);
+    if (Id >= InnerInput.size())
+      InnerInput.resize(Id + 1, InvalidEnvId);
+    InnerInput[Id] = Inner.resolveInput(Name, Type);
+    return Id;
+  }
+
+  bool clockTick(EnvClockId Clock, unsigned Instant) override {
+    return Inner.clockTick(InnerClock[Clock], Instant);
+  }
+  Value inputValue(EnvInputId Input, unsigned Instant) override {
+    return Inner.inputValue(InnerInput[Input], Instant);
   }
 
 private:
   Environment &Inner;
   const std::map<std::string, std::string> &Map;
+  std::vector<EnvClockId> InnerClock;
+  std::vector<EnvInputId> InnerInput;
 };
 
 /// Scripted-replay harness for a linked emission: every external tick and

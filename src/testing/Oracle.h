@@ -8,7 +8,8 @@
 ///   1. the reference fixpoint interpreter (KernelInterp),
 ///   2. the compiled step program, flat control structure,
 ///   3. the compiled step program, nested control structure,
-///   4. optionally, the emitted C round-tripped through the host C
+///   4. the slot-resolved VM (CompiledStep through VmExecutor),
+///   5. optionally, the emitted C round-tripped through the host C
 ///      compiler and executed as a subprocess,
 ///
 /// and demand bit-identical output traces. Any divergence is a bug in the
@@ -48,10 +49,15 @@ struct OracleReport {
   /// On failure: which paths diverged, the first differing events, and
   /// the program source (empty when Ok).
   std::string Error;
-  /// Guard-test counters, exposed so tests can assert the Figure-9
-  /// effect (nested does at most as many tests as flat).
+  /// Guard-test and instruction counters, exposed so tests can assert
+  /// the Figure-9 effect (nested does at most as many tests as flat) and
+  /// pin the VM's guard economics to the nested structure's exactly.
   uint64_t GuardTestsFlat = 0;
   uint64_t GuardTestsNested = 0;
+  uint64_t GuardTestsVm = 0;
+  uint64_t ExecutedFlat = 0;
+  uint64_t ExecutedNested = 0;
+  uint64_t ExecutedVm = 0;
   /// Linked-oracle counters: the monolithic nested run vs the linked
   /// system (sum over units). Zero for single-process reports.
   uint64_t GuardTestsMono = 0;

@@ -10,6 +10,7 @@
 #include "TestUtil.h"
 #include "interp/KernelInterp.h"
 #include "interp/StepExecutor.h"
+#include "interp/VmExecutor.h"
 
 #include <gtest/gtest.h>
 
@@ -185,6 +186,11 @@ void expectAllModesAgree(const std::string &Source, uint64_t Seed,
   StepExecutor ExecNested(*C->Kernel, C->Step);
   ExecNested.run(EnvNested, Instants, ExecMode::Nested);
 
+  RandomEnvironment EnvVm(Seed);
+  CompiledStep CS = CompiledStep::build(*C->Kernel, C->Step);
+  VmExecutor ExecVm(CS);
+  ExecVm.run(EnvVm, Instants);
+
   RandomEnvironment EnvRef(Seed);
   KernelInterp Ref(*C->Kernel, C->Clocks, *C->Forest, C->names());
   EXPECT_TRUE(Ref.run(EnvRef, Instants)) << "fixpoint got stuck";
@@ -192,6 +198,15 @@ void expectAllModesAgree(const std::string &Source, uint64_t Seed,
   EXPECT_EQ(formatEvents(EnvFlat.outputs()),
             formatEvents(EnvNested.outputs()))
       << "flat vs nested divergence\n"
+      << Source;
+  EXPECT_EQ(formatEvents(EnvNested.outputs()), formatEvents(EnvVm.outputs()))
+      << "nested vs slot-VM divergence\n"
+      << Source;
+  EXPECT_EQ(ExecVm.guardTests(), ExecNested.guardTests())
+      << "slot-VM guard economics diverged from nested\n"
+      << Source;
+  EXPECT_EQ(ExecVm.executed(), ExecNested.executed())
+      << "slot-VM Executed counter diverged from nested\n"
       << Source;
   EXPECT_EQ(formatEvents(EnvFlat.outputs()), formatEvents(EnvRef.outputs()))
       << "step vs reference divergence\n"

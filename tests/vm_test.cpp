@@ -1,0 +1,235 @@
+//===--- vm_test.cpp - Slot-resolved VM: structure, semantics, counters ---===//
+///
+/// Tests of the CompiledStep/VmExecutor execution engine:
+///   * structural invariants of the lowered bytecode (resolved descriptor
+///     indices, well-formed skip offsets, folded constants),
+///   * trace equivalence against the nested StepExecutor on scripted and
+///     random programs (the differential oracle re-checks this at scale;
+///     here the failures localize),
+///   * the guard-economics regression pin: the VM must do exactly the
+///     nested structure's guard work — never regress to flat-level — and
+///     its Executed counter stays comparable across the multi-instruction
+///     expression lowering (Weight accounting).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "interp/StepExecutor.h"
+#include "interp/VmExecutor.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace sigc;
+using namespace sigc::test;
+
+namespace {
+
+CompiledStep buildVm(Compilation &C) {
+  return CompiledStep::build(*C.Kernel, C.Step);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Structural invariants of the lowered bytecode.
+//===----------------------------------------------------------------------===//
+
+TEST(CompiledStep, DescriptorIndicesAreResolved) {
+  auto C = compileOk(proc("? integer A; boolean C1; ! integer Y;",
+                          "   Y := (A + 1) when C1"));
+  CompiledStep CS = buildVm(*C);
+  for (const VmInstr &In : CS.Code) {
+    switch (In.Op) {
+    case VmOp::ReadClockInput:
+      ASSERT_GE(In.Aux, 0);
+      ASSERT_LT(static_cast<size_t>(In.Aux), CS.ClockInputs.size());
+      break;
+    case VmOp::ReadSignal:
+      ASSERT_GE(In.Aux, 0);
+      ASSERT_LT(static_cast<size_t>(In.Aux), CS.Inputs.size());
+      break;
+    case VmOp::WriteOutput:
+      ASSERT_GE(In.Aux, 0);
+      ASSERT_LT(static_cast<size_t>(In.Aux), CS.Outputs.size());
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+TEST(CompiledStep, SkipOffsetsAreForwardAndBounded) {
+  auto C = compileOk(proc("? integer A; boolean C1, C2; ! integer Y;",
+                          "   T1 := A when C1\n"
+                          "   | T2 := T1 when C2\n"
+                          "   | Y := T2 + 1",
+                          "integer T1, T2;"));
+  CompiledStep CS = buildVm(*C);
+  unsigned Skips = 0;
+  for (size_t PC = 0; PC < CS.Code.size(); ++PC) {
+    const VmInstr &In = CS.Code[PC];
+    if (In.Op != VmOp::SkipIfAbsent)
+      continue;
+    ++Skips;
+    EXPECT_GT(In.Aux, static_cast<int32_t>(PC)) << "skip must move forward";
+    EXPECT_LE(In.Aux, static_cast<int32_t>(CS.Code.size()));
+    EXPECT_GE(In.A, 0);
+    EXPECT_LT(In.A, static_cast<int32_t>(CS.NumClockSlots));
+    EXPECT_EQ(In.Weight, 0) << "guard tests are not executed instructions";
+  }
+  EXPECT_GT(Skips, 0u) << "a sampled program must have guarded blocks";
+}
+
+TEST(CompiledStep, ExpressionLoweringCountsOnceViaWeights) {
+  // (A * A + 1) * (A - 2) lowers to several three-address instructions;
+  // exactly one of them (the root) must carry Weight 1.
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := (A * A + 1) * (A - 2)"));
+  CompiledStep CS = buildVm(*C);
+  EXPECT_GT(CS.NumTempSlots, 0u) << "interior results need scratch slots";
+  uint64_t StepInstrs = C->Step.Instrs.size();
+  uint64_t WeightSum = 0;
+  for (const VmInstr &In : CS.Code)
+    WeightSum += In.Weight;
+  EXPECT_EQ(WeightSum, StepInstrs)
+      << "every step instruction contributes exactly 1 to Executed";
+}
+
+TEST(CompiledStep, ConstantSubtreesFoldAtBuildTime) {
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := A + (2 * 3 + 4)"));
+  CompiledStep CS = buildVm(*C);
+  bool FoldedSeen = false;
+  for (const Value &V : CS.Consts)
+    FoldedSeen |= V.Kind == TypeKind::Integer && V.Int == 10;
+  EXPECT_TRUE(FoldedSeen) << "2 * 3 + 4 should fold to the constant 10";
+}
+
+//===----------------------------------------------------------------------===//
+// Trace equivalence with the step executor.
+//===----------------------------------------------------------------------===//
+
+TEST(VmExecutor, MatchesNestedOnScriptedTrace) {
+  auto C = compileOk(proc("? integer X1, X2; ! integer X;",
+                          "   X := X1 + X2"));
+  ScriptedEnvironment EnvA, EnvB;
+  for (auto *E : {&EnvA, &EnvB}) {
+    E->tickAlways();
+    for (unsigned I = 0; I < 4; ++I) {
+      E->set("X1", I, Value::makeInt(static_cast<int>(I) + 1));
+      E->set("X2", I, Value::makeInt(10 - static_cast<int>(I)));
+    }
+  }
+  StepExecutor Nested(*C->Kernel, C->Step);
+  Nested.run(EnvA, 4, ExecMode::Nested);
+  CompiledStep CS = buildVm(*C);
+  VmExecutor Vm(CS);
+  Vm.run(EnvB, 4);
+  EXPECT_EQ(formatEvents(EnvA.outputs()), formatEvents(EnvB.outputs()));
+}
+
+TEST(VmExecutor, MatchesNestedOnBuiltinSuite) {
+  for (const Figure13Program &P : figure13Suite()) {
+    auto C = compileSource("<vm:" + P.Name + ">", P.Source);
+    ASSERT_TRUE(C->Ok) << P.Name;
+    RandomEnvironment EnvNested(17), EnvVm(17);
+    StepExecutor Nested(*C->Kernel, C->Step);
+    Nested.run(EnvNested, 48, ExecMode::Nested);
+    CompiledStep CS = buildVm(*C);
+    VmExecutor Vm(CS);
+    Vm.run(EnvVm, 48);
+    EXPECT_EQ(formatEvents(EnvNested.outputs()), formatEvents(EnvVm.outputs()))
+        << P.Name;
+    EXPECT_EQ(Vm.guardTests(), Nested.guardTests()) << P.Name;
+    EXPECT_EQ(Vm.executed(), Nested.executed()) << P.Name;
+  }
+}
+
+TEST(VmExecutor, ResetRestoresInitialState) {
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := A + (Y $ 1 init 100)"));
+  ScriptedEnvironment Env;
+  Env.tickAlways();
+  for (unsigned I = 0; I < 3; ++I)
+    Env.set("A", I, Value::makeInt(1));
+  CompiledStep CS = buildVm(*C);
+  VmExecutor Exec(CS);
+  Exec.run(Env, 3);
+  std::string First = formatEvents(Env.outputs());
+  Env.clearOutputs();
+  Exec.reset();
+  Exec.run(Env, 3);
+  EXPECT_EQ(formatEvents(Env.outputs()), First);
+}
+
+TEST(VmExecutor, RebindsWhenEnvironmentAddressIsReused) {
+  // A loop-local environment is destroyed and the next one typically
+  // lands at the same address: the binding cache must key on the
+  // environment's identity, not its address, or the second run queries
+  // a dead environment's ids (historically an out-of-bounds read).
+  auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A + 1"));
+  CompiledStep CS = CompiledStep::build(*C->Kernel, C->Step);
+  VmExecutor Exec(CS);
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    RandomEnvironment Env(Seed, 1000);
+    RandomEnvironment Ref(Seed, 1000); // fresh executor = known-good path
+    Exec.reset();
+    Exec.run(Env, 16);
+    VmExecutor Fresh(CS);
+    Fresh.run(Ref, 16);
+    EXPECT_EQ(formatEvents(Env.outputs()), formatEvents(Ref.outputs()))
+        << "stale binding after environment address reuse (seed " << Seed
+        << ")";
+  }
+}
+
+TEST(VmExecutor, RebindsWhenEnvironmentChanges) {
+  auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A + 1"));
+  CompiledStep CS = buildVm(*C);
+  VmExecutor Exec(CS);
+  ScriptedEnvironment E1, E2;
+  E1.tickAlways();
+  E2.tickAlways();
+  E1.set("A", 0, Value::makeInt(1));
+  E2.set("A", 1, Value::makeInt(41));
+  Exec.step(E1, 0);
+  Exec.step(E2, 1); // different environment: must rebind, not misroute
+  EXPECT_EQ(formatEvents(E1.outputs()), "0 Y=2\n");
+  EXPECT_EQ(formatEvents(E2.outputs()), "1 Y=42\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Guard-economics regression pin (the Figure-9 effect, satellite task).
+//===----------------------------------------------------------------------===//
+
+TEST(VmExecutor, GuardWorkNeverRegressesToFlatLevel) {
+  // A deep divider chain with a sparse root: the whole point of the
+  // clock hierarchy is that nested/VM skip absent subtrees wholesale.
+  ProgramShape Shape;
+  Shape.DividerStages = 24;
+  auto C = compileOk(generateProgram("CHAIN", Shape));
+  const unsigned Instants = 256;
+
+  RandomEnvironment EnvFlat(5, 200), EnvNested(5, 200), EnvVm(5, 200);
+  StepExecutor Flat(*C->Kernel, C->Step);
+  Flat.run(EnvFlat, Instants, ExecMode::Flat);
+  StepExecutor Nested(*C->Kernel, C->Step);
+  Nested.run(EnvNested, Instants, ExecMode::Nested);
+  CompiledStep CS = buildVm(*C);
+  VmExecutor Vm(CS);
+  Vm.run(EnvVm, Instants);
+
+  // Identical traces first — the economics are meaningless otherwise.
+  EXPECT_EQ(formatEvents(EnvNested.outputs()), formatEvents(EnvFlat.outputs()));
+  EXPECT_EQ(formatEvents(EnvVm.outputs()), formatEvents(EnvNested.outputs()));
+
+  // The pins: VM == nested exactly; both well below flat on this shape.
+  EXPECT_EQ(Vm.guardTests(), Nested.guardTests());
+  EXPECT_EQ(Vm.executed(), Nested.executed());
+  EXPECT_LT(Nested.guardTests(), Flat.guardTests() / 2)
+      << "nested guard work regressed toward flat-level scanning";
+  EXPECT_LT(Vm.guardTests(), Flat.guardTests() / 2)
+      << "VM guard work regressed toward flat-level scanning";
+  EXPECT_LE(Nested.executed(), Flat.executed());
+}
