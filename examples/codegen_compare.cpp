@@ -1,15 +1,18 @@
-//===--- codegen_compare.cpp - Figure 9 side by side ----------------------===//
+//===--- codegen_compare.cpp - One lowering, two backends -----------------===//
 ///
-/// Emits the same compiled process in both control structures — the
-/// clock-tree nesting of the paper's "code a" and the flat guards of
-/// "code b" (Figure 9) — prints both C sources, and measures the guard
-/// work each one does on the same random trace.
+/// Shows the single-lowering pipeline on one process: the CompiledStep
+/// bytecode (skip offsets along the clock tree), the C the emitter
+/// derives from that same bytecode (structured ifs — code a of the
+/// paper's Figure 9), and the guard work the hierarchy saves against the
+/// flat one-guard-per-statement structure (code b) on the same random
+/// trace.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
 #include "driver/Driver.h"
 #include "interp/StepExecutor.h"
+#include "interp/VmExecutor.h"
 
 #include <cstdio>
 
@@ -37,29 +40,27 @@ process FILTERBANK =
     return 1;
   }
 
-  CEmitOptions Nested, Flat;
-  Nested.Nested = true;
-  Flat.Nested = false;
-  std::printf("==== code a: nested along the clock tree ====\n%s\n",
-              emitC(*C->Kernel, C->Step, C->names(), "fb", Nested).c_str());
-  std::printf("==== code b: flat, one guard per statement ====\n%s\n",
-              emitC(*C->Kernel, C->Step, C->names(), "fb", Flat).c_str());
+  std::printf("==== CompiledStep bytecode (the single lowered IR) ====\n%s\n",
+              C->Compiled.dump().c_str());
+  std::printf("==== generated C: structured ifs from the skip offsets "
+              "(code a of Figure 9) ====\n%s\n",
+              emitC(C->Compiled, "fb", CEmitOptions()).c_str());
 
   constexpr unsigned Steps = 100000;
   for (unsigned Permille : {1000, 200}) {
     StepExecutor FlatExec(*C->Kernel, C->Step);
     RandomEnvironment E1(3, Permille);
     FlatExec.run(E1, Steps, ExecMode::Flat);
-    StepExecutor NestedExec(*C->Kernel, C->Step);
+    VmExecutor Vm(C->Compiled);
     RandomEnvironment E2(3, Permille);
-    NestedExec.run(E2, Steps, ExecMode::Nested);
+    Vm.run(E2, Steps);
     std::printf("tick density %4u/1000 over %u steps: flat %llu guard "
-                "tests, nested %llu (%.1fx fewer)\n",
+                "tests, bytecode/C %llu (%.1fx fewer)\n",
                 Permille, Steps,
                 static_cast<unsigned long long>(FlatExec.guardTests()),
-                static_cast<unsigned long long>(NestedExec.guardTests()),
+                static_cast<unsigned long long>(Vm.guardTests()),
                 static_cast<double>(FlatExec.guardTests()) /
-                    static_cast<double>(NestedExec.guardTests()));
+                    static_cast<double>(Vm.guardTests()));
   }
   return 0;
 }

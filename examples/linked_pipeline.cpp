@@ -91,10 +91,9 @@ process MONITOR =
   // 4. The linked C emission: one step function per process plus a
   // generated system driver.
   CEmitOptions EO;
-  EO.Nested = true;
   std::string CSource = emitLinkedC(Sys, "pipeline", EO);
   std::printf("\n== 4. linked C emission: %zu bytes, symbols "
-              "pipeline_init/pipeline_step ==\n",
+              "pipeline_init/pipeline_step/pipeline_step_batch ==\n",
               CSource.size());
   return 0;
 }

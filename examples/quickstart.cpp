@@ -48,14 +48,14 @@ process HALF =
               C->Forest->dump(C->Clocks, *C->Kernel, C->names()).c_str());
   std::printf("== 4. step program (scheduled, flat view) ==\n%s\n",
               C->Step.dump().c_str());
+  std::printf("== 5. step bytecode (the single lowered IR) ==\n%s\n",
+              C->Compiled.dump().c_str());
 
   CEmitOptions Options;
-  Options.Nested = true;
-  std::printf("== 5. generated C (nested control structure) ==\n%s\n",
-              emitC(*C->Kernel, C->Step, C->names(), "half", Options)
-                  .c_str());
+  std::printf("== 6. generated C (lowered from the bytecode) ==\n%s\n",
+              emitC(C->Compiled, "half", Options).c_str());
 
-  std::printf("== 6. simulation ==\n");
+  std::printf("== 7. simulation ==\n");
   // IN = 1, 2, 3, ..., 8 on every instant; only even values accumulate.
   ScriptedEnvironment Env;
   Env.tickAlways();

@@ -3,6 +3,9 @@
 #include "codegen/CEmitter.h"
 
 #include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
 
 using namespace sigc;
 
@@ -38,19 +41,65 @@ std::string sigc::sanitizeIdent(const std::string &Name) {
 
 namespace {
 
-const char *cTypeOf(TypeKind T) {
-  switch (T) {
+/// C storage class of a slot: the three distinct C types a Value can
+/// materialize as. Boolean and Event share `int`.
+enum class CClass { Int, Long, Double };
+
+CClass classOf(TypeKind K) {
+  switch (K) {
+  case TypeKind::Integer:
+    return CClass::Long;
+  case TypeKind::Real:
+    return CClass::Double;
   case TypeKind::Boolean:
   case TypeKind::Event:
-    return "int";
-  case TypeKind::Integer:
-    return "long";
-  case TypeKind::Real:
-    return "double";
   case TypeKind::Unknown:
+    return CClass::Int;
+  }
+  return CClass::Int;
+}
+
+const char *cTypeOf(CClass C) {
+  switch (C) {
+  case CClass::Int:
     return "int";
+  case CClass::Long:
+    return "long";
+  case CClass::Double:
+    return "double";
   }
   return "int";
+}
+
+const char *cTypeOf(TypeKind T) { return cTypeOf(classOf(T)); }
+
+unsigned classBit(CClass C) { return 1u << static_cast<unsigned>(C); }
+
+std::string intLit(int64_t I) {
+  // INT64_MIN has no literal spelling: -9223372036854775808 parses as
+  // unary minus applied to an out-of-range constant.
+  if (I == INT64_MIN)
+    return "(-9223372036854775807L - 1L)";
+  std::string S = std::to_string(I) + "L";
+  return I < 0 ? "(" + S + ")" : S;
+}
+
+std::string realLit(double D) {
+  // Build-time folds can produce non-finite constants (1e308 + 1e308);
+  // %.17g would print them as the identifiers inf/nan, which are not C.
+  if (D != D)
+    return "(0.0 / 0.0)";
+  if (D == HUGE_VAL)
+    return "(1.0 / 0.0)";
+  if (D == -HUGE_VAL)
+    return "(-1.0 / 0.0)";
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "%.17g", D);
+  std::string S = Buf;
+  // Force a floating literal when %.17g printed an integer form.
+  if (S.find_first_of(".eE") == std::string::npos)
+    S += ".0";
+  return D < 0 ? "(" + S + ")" : S;
 }
 
 std::string cLiteral(const Value &V) {
@@ -59,278 +108,563 @@ std::string cLiteral(const Value &V) {
   case TypeKind::Event:
     return V.Bool ? "1" : "0";
   case TypeKind::Integer:
-    return std::to_string(V.Int) + "L";
-  case TypeKind::Real: {
-    std::string S = std::to_string(V.Real);
-    return S;
-  }
+    return intLit(V.Int);
+  case TypeKind::Real:
+    return realLit(V.Real);
   case TypeKind::Unknown:
     return "0";
   }
   return "0";
 }
 
-/// Renders one step program as C.
+/// The statically computed Value kinds of one instruction: the kind it
+/// writes and the kinds of its value operands at that program point.
+/// These mirror the dynamic kinds VmExecutor's Values take, which is
+/// what makes the emitted C bit-compatible with the VM (wrapping integer
+/// arithmetic vs double arithmetic is decided by operand kinds).
+struct InstrKinds {
+  TypeKind Res = TypeKind::Unknown;
+  TypeKind A = TypeKind::Unknown;
+  TypeKind B = TypeKind::Unknown;
+};
+
+/// One expression operand: a slot (with its kind) or an inlined constant.
+struct Operand {
+  bool IsConst = false;
+  int32_t Slot = -1;
+  TypeKind Kind = TypeKind::Unknown;
+  Value Const;
+};
+
+/// Renders one CompiledStep as C.
 class Emitter {
 public:
-  Emitter(const KernelProgram &Prog, const StepProgram &Step,
-          const StringInterner &Names, std::string ProcName,
+  Emitter(const CompiledStep &CS, std::string ProcName,
           const CEmitOptions &Options)
-      : Prog(Prog), Step(Step), Names(Names), Proc(std::move(ProcName)),
-        Options(Options) {}
+      : CS(CS), Proc(std::move(ProcName)), Options(Options) {}
 
   std::string run();
 
 private:
-  std::string valueVar(int Slot) const { return "v" + std::to_string(Slot); }
-  std::string clockVar(int Slot) const { return "c" + std::to_string(Slot); }
-  std::string stateVar(int Slot) const {
-    return "st->s" + std::to_string(Slot);
+  unsigned numSlots() const { return CS.NumValueSlots + CS.NumTempSlots; }
+
+  TypeKind declaredType(int32_t Slot) const {
+    if (Slot >= 0 && static_cast<size_t>(Slot) < CS.ValueSlotType.size())
+      return CS.ValueSlotType[Slot];
+    return TypeKind::Integer; // scratch slots default before first write
   }
 
-  TypeKind slotType(int ValueSlot) const {
-    for (SignalId S = 0; S < Prog.numSignals(); ++S)
-      if (Step.SignalValueSlot[S] == ValueSlot)
-        return Prog.Signals[S].Type;
-    return TypeKind::Unknown;
-  }
+  /// Pass 1: simulate the kind flow of the whole stream, recording the
+  /// per-instruction kinds and which C classes each slot materializes as.
+  void annotate();
 
-  std::string funcExpr(const KernelEq &Eq, int Node) const;
-  std::string instrStmt(const StepInstr &In) const;
-  void emitFlatBody(std::string &Out) const;
-  void emitNestedBlock(int BlockIdx, unsigned Indent, std::string &Out) const;
+  /// Result kind of an operator per evalBinaryValue/evalUnaryValue.
+  static TypeKind binaryResultKind(BinaryOp Op, TypeKind L, TypeKind R);
+
+  std::string clockVar(int32_t Slot) const {
+    return "c" + std::to_string(Slot);
+  }
+  std::string valueVar(int32_t Slot, TypeKind K) const;
+
+  Operand operandA(const VmInstr &In, const InstrKinds &IK) const;
+  Operand operandB(const VmInstr &In, const InstrKinds &IK) const;
+  std::string text(const Operand &O) const;
+  std::string binaryExpr(BinaryOp Op, const Operand &L,
+                         const Operand &R) const;
+  std::string instrStmt(size_t PC) const;
+
+  void emitBody(std::string &Out) const;
   void emitDriver(std::string &Out) const;
 
-  const KernelProgram &Prog;
-  const StepProgram &Step;
-  const StringInterner &Names;
+  const CompiledStep &CS;
   std::string Proc;
   CEmitOptions Options;
+
+  std::vector<InstrKinds> Kinds;     ///< Per instruction, from annotate().
+  std::vector<unsigned> SlotClasses; ///< Bitmask of CClass per slot.
 };
 
-std::string Emitter::funcExpr(const KernelEq &Eq, int Node) const {
-  const FuncNode &N = Eq.Nodes[Node];
-  switch (N.Kind) {
-  case FuncNode::Kind::Arg:
-    return valueVar(Step.SignalValueSlot[Eq.Args[N.ArgIndex]]);
-  case FuncNode::Kind::Const:
-    return cLiteral(N.Const);
-  case FuncNode::Kind::Unary: {
-    std::string Inner = funcExpr(Eq, N.Lhs);
-    return N.UOp == UnaryOp::Not ? "(!" + Inner + ")" : "(-" + Inner + ")";
+TypeKind Emitter::binaryResultKind(BinaryOp Op, TypeKind L, TypeKind R) {
+  bool BothInt = L == TypeKind::Integer && R == TypeKind::Integer;
+  switch (Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+    return BothInt ? TypeKind::Integer : TypeKind::Real;
+  case BinaryOp::Mod:
+    return TypeKind::Integer;
+  case BinaryOp::And:
+  case BinaryOp::Or:
+  case BinaryOp::Xor:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return TypeKind::Boolean;
   }
-  case FuncNode::Kind::Binary: {
-    std::string L = funcExpr(Eq, N.Lhs);
-    std::string R = funcExpr(Eq, N.Rhs);
-    switch (N.BOp) {
-    case BinaryOp::Add:
-      return "(" + L + " + " + R + ")";
-    case BinaryOp::Sub:
-      return "(" + L + " - " + R + ")";
-    case BinaryOp::Mul:
-      return "(" + L + " * " + R + ")";
-    case BinaryOp::Div:
-      // Match the interpreter: division by zero yields zero.
-      return "((" + R + ") == 0 ? 0 : (" + L + ") / (" + R + "))";
-    case BinaryOp::Mod:
-      return "((" + R + ") == 0 ? 0 : (((" + L + ") % (" + R + ")) + (" + R +
-             ")) % (" + R + "))";
-    case BinaryOp::And:
-      return "(" + L + " && " + R + ")";
-    case BinaryOp::Or:
-      return "(" + L + " || " + R + ")";
-    case BinaryOp::Xor:
-      return "(!!" + L + " != !!" + R + ")";
-    case BinaryOp::Eq:
-      return "(" + L + " == " + R + ")";
-    case BinaryOp::Ne:
-      return "(" + L + " != " + R + ")";
-    case BinaryOp::Lt:
-      return "(" + L + " < " + R + ")";
-    case BinaryOp::Le:
-      return "(" + L + " <= " + R + ")";
-    case BinaryOp::Gt:
-      return "(" + L + " > " + R + ")";
-    case BinaryOp::Ge:
-      return "(" + L + " >= " + R + ")";
+  return TypeKind::Unknown;
+}
+
+void Emitter::annotate() {
+  Kinds.assign(CS.Code.size(), InstrKinds());
+  SlotClasses.assign(numSlots(), 0u);
+
+  // The kind each slot currently holds, evolving down the linear stream.
+  // Guards only skip code; they never change which instruction defines a
+  // slot's kind, so the linear walk sees the same kinds any execution
+  // does (a read whose defining write was skipped is never executed —
+  // the schedule guarantees it).
+  std::vector<TypeKind> Cur(numSlots(), TypeKind::Unknown);
+  auto kindAt = [&](int32_t Slot) {
+    TypeKind K = Cur[Slot];
+    return K == TypeKind::Unknown ? declaredType(Slot) : K;
+  };
+  auto touch = [&](int32_t Slot, TypeKind K) {
+    SlotClasses[Slot] |= classBit(classOf(K));
+  };
+  auto write = [&](int32_t Slot, TypeKind K) {
+    Cur[Slot] = K;
+    touch(Slot, K);
+  };
+  auto read = [&](int32_t Slot) {
+    TypeKind K = kindAt(Slot);
+    touch(Slot, K);
+    return K;
+  };
+
+  for (size_t PC = 0; PC < CS.Code.size(); ++PC) {
+    const VmInstr &In = CS.Code[PC];
+    InstrKinds &IK = Kinds[PC];
+    switch (In.Op) {
+    case VmOp::SkipIfAbsent:
+    case VmOp::ReadClockInput:
+    case VmOp::EvalClockAnd:
+    case VmOp::EvalClockOr:
+    case VmOp::EvalClockDiff:
+    case VmOp::CopyClock:
+    case VmOp::SetClockFalse:
+      break;
+    case VmOp::EvalClockLiteral:
+      IK.A = read(In.A);
+      break;
+    case VmOp::ReadSignal:
+      IK.Res = CS.Inputs[In.Aux].Type;
+      write(In.Target, IK.Res);
+      break;
+    case VmOp::UnarySlot:
+      IK.A = read(In.A);
+      IK.Res = static_cast<UnaryOp>(In.Aux) == UnaryOp::Not
+                   ? TypeKind::Boolean
+                   : (IK.A == TypeKind::Integer ? TypeKind::Integer
+                                                : TypeKind::Real);
+      write(In.Target, IK.Res);
+      break;
+    case VmOp::BinarySS:
+      IK.A = read(In.A);
+      IK.B = read(In.B);
+      IK.Res = binaryResultKind(static_cast<BinaryOp>(In.Aux), IK.A, IK.B);
+      write(In.Target, IK.Res);
+      break;
+    case VmOp::BinarySC:
+      IK.A = read(In.A);
+      IK.B = CS.Consts[In.B].Kind;
+      IK.Res = binaryResultKind(static_cast<BinaryOp>(In.Aux), IK.A, IK.B);
+      write(In.Target, IK.Res);
+      break;
+    case VmOp::BinaryCS:
+      IK.A = CS.Consts[In.A].Kind;
+      IK.B = read(In.B);
+      IK.Res = binaryResultKind(static_cast<BinaryOp>(In.Aux), IK.A, IK.B);
+      write(In.Target, IK.Res);
+      break;
+    case VmOp::CopyValue:
+      IK.A = read(In.A);
+      IK.Res = IK.A;
+      write(In.Target, IK.Res);
+      break;
+    case VmOp::LoadConst:
+      IK.Res = CS.Consts[In.Aux].Kind;
+      write(In.Target, IK.Res);
+      break;
+    case VmOp::Select:
+      IK.A = read(In.A);
+      IK.B = read(In.B);
+      // Sema rejects defaults whose arms mix integer and real, so the
+      // arms share a storage class here; the VM's dynamic kind and this
+      // static one can only differ within the int class (an event arm
+      // against a boolean arm), where the representation is identical.
+      IK.Res = classOf(IK.A) == classOf(IK.B) ? IK.A : TypeKind::Real;
+      write(In.Target, IK.Res);
+      break;
+    case VmOp::LoadDelay:
+      IK.Res = CS.StateInit[In.A].Kind;
+      write(In.Target, IK.Res);
+      break;
+    case VmOp::StoreDelay:
+      IK.A = read(In.A);
+      break;
+    case VmOp::WriteOutput:
+      IK.A = read(In.A);
+      break;
     }
-    return "0";
+  }
+}
+
+std::string Emitter::valueVar(int32_t Slot, TypeKind K) const {
+  std::string Name = "v" + std::to_string(Slot);
+  // One C variable per (slot, storage class): scratch slots are reused
+  // across expression trees of different types, so a multi-class slot
+  // splits into suffixed locals; the common single-class slot keeps the
+  // bare name.
+  unsigned Mask = SlotClasses[Slot];
+  if ((Mask & (Mask - 1)) == 0)
+    return Name;
+  switch (classOf(K)) {
+  case CClass::Int:
+    return Name + "_i";
+  case CClass::Long:
+    return Name + "_l";
+  case CClass::Double:
+    return Name + "_d";
+  }
+  return Name;
+}
+
+Operand Emitter::operandA(const VmInstr &In, const InstrKinds &IK) const {
+  Operand O;
+  if (In.Op == VmOp::BinaryCS) {
+    O.IsConst = true;
+    O.Const = CS.Consts[In.A];
+    O.Kind = O.Const.Kind;
+  } else {
+    O.Slot = In.A;
+    O.Kind = IK.A;
+  }
+  return O;
+}
+
+Operand Emitter::operandB(const VmInstr &In, const InstrKinds &IK) const {
+  Operand O;
+  if (In.Op == VmOp::BinarySC) {
+    O.IsConst = true;
+    O.Const = CS.Consts[In.B];
+    O.Kind = O.Const.Kind;
+  } else {
+    O.Slot = In.B;
+    O.Kind = IK.B;
+  }
+  return O;
+}
+
+std::string Emitter::text(const Operand &O) const {
+  return O.IsConst ? cLiteral(O.Const) : valueVar(O.Slot, O.Kind);
+}
+
+std::string Emitter::binaryExpr(BinaryOp Op, const Operand &L,
+                                const Operand &R) const {
+  std::string X = text(L), Y = text(R);
+  bool BothInt = L.Kind == TypeKind::Integer && R.Kind == TypeKind::Integer;
+  auto wrap = [&](const char *COp) {
+    // The VM's two's-complement wrapping semantics (Kernel.h wrapAdd &
+    // co): compute in unsigned, convert back.
+    return "(long)((unsigned long)" + X + " " + COp + " (unsigned long)" +
+           Y + ")";
+  };
+  auto dbl = [&](const std::string &E) { return "(double)" + E; };
+  switch (Op) {
+  case BinaryOp::Add:
+    return BothInt ? wrap("+") : "(" + dbl(X) + " + " + dbl(Y) + ")";
+  case BinaryOp::Sub:
+    return BothInt ? wrap("-") : "(" + dbl(X) + " - " + dbl(Y) + ")";
+  case BinaryOp::Mul:
+    return BothInt ? wrap("*") : "(" + dbl(X) + " * " + dbl(Y) + ")";
+  case BinaryOp::Div:
+    if (BothInt) {
+      // Division by zero yields zero; by minus one, wrapping negation
+      // (INT64_MIN / -1 overflows). Constant divisors fold the guards.
+      std::string NegX = "(long)(0UL - (unsigned long)" + X + ")";
+      if (R.IsConst) {
+        if (R.Const.Int == 0)
+          return "0L";
+        if (R.Const.Int == -1)
+          return NegX;
+        return "(" + X + " / " + Y + ")";
+      }
+      return "(" + Y + " == 0 ? 0L : " + Y + " == -1 ? " + NegX + " : " + X +
+             " / " + Y + ")";
+    }
+    if (R.IsConst)
+      return R.Const.asReal() == 0.0
+                 ? "0.0"
+                 : "(" + dbl(X) + " / " + dbl(Y) + ")";
+    return "(" + dbl(Y) + " == 0.0 ? 0.0 : " + dbl(X) + " / " + dbl(Y) + ")";
+  case BinaryOp::Mod:
+    // Euclidean-style remainder with the VM's zero/minus-one escapes.
+    if (R.IsConst) {
+      if (R.Const.Int == 0 || R.Const.Int == -1)
+        return "0L";
+      return "(((" + X + " % " + Y + ") + " + Y + ") % " + Y + ")";
+    }
+    return "((" + Y + " == 0 || " + Y + " == -1) ? 0L : ((" + X + " % " + Y +
+           ") + " + Y + ") % " + Y + ")";
+  case BinaryOp::And:
+    return "(" + X + " && " + Y + ")";
+  case BinaryOp::Or:
+    return "(" + X + " || " + Y + ")";
+  case BinaryOp::Xor:
+    return "((" + X + " != 0) != (" + Y + " != 0))";
+  case BinaryOp::Eq:
+  case BinaryOp::Ne: {
+    const char *COp = Op == BinaryOp::Eq ? "==" : "!=";
+    bool NumL = L.Kind == TypeKind::Integer || L.Kind == TypeKind::Real;
+    bool NumR = R.Kind == TypeKind::Integer || R.Kind == TypeKind::Real;
+    // Cross-kind non-numeric pairs (a boolean against an event — sema
+    // accepts any boolish pair) compare unequal in Value::operator==
+    // no matter the payloads; both backends must agree on that.
+    if (!NumL && !NumR && L.Kind != R.Kind)
+      return Op == BinaryOp::Eq ? "0" : "1";
+    if (BothInt || (!NumL && !NumR)) {
+      // X = X is a legal program; identity casts keep the comparison
+      // semantics while silencing -Wtautological-compare (the VM does
+      // not fold it either — the two backends stay instruction-equal).
+      if (!L.IsConst && !R.IsConst && L.Slot == R.Slot) {
+        const char *CT = BothInt ? "long" : "int";
+        return "((" + std::string(CT) + ")(" + X + ") " + COp + " (" + CT +
+               ")(" + Y + "))";
+      }
+      return "(" + X + " " + COp + " " + Y + ")";
+    }
+    if (NumL && NumR) // mixed numeric: Value::operator== widens to double
+      return "(" + dbl(X) + " " + COp + " " + dbl(Y) + ")";
+    return Op == BinaryOp::Eq ? "0" : "1"; // cross-kind: never equal
+  }
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge: {
+    // Orderings go through asReal() in the VM, ints included.
+    const char *COp = Op == BinaryOp::Lt   ? "<"
+                      : Op == BinaryOp::Le ? "<="
+                      : Op == BinaryOp::Gt ? ">"
+                                           : ">=";
+    return "(" + dbl(X) + " " + COp + " " + dbl(Y) + ")";
   }
   }
   return "0";
 }
 
-std::string Emitter::instrStmt(const StepInstr &In) const {
+std::string Emitter::instrStmt(size_t PC) const {
+  const VmInstr &In = CS.Code[PC];
+  const InstrKinds &IK = Kinds[PC];
   switch (In.Op) {
-  case StepOp::ReadClockInput: {
-    for (const auto &CI : Step.ClockInputs)
-      if (CI.Slot == In.Target)
-        return clockVar(In.Target) + " = in->tick_" +
-               sanitizeIdent(CI.Name) + ";";
-    return clockVar(In.Target) + " = 0;";
-  }
-  case StepOp::EvalClockLiteral:
-    return clockVar(In.Target) + " = " + (In.Positive ? "" : "!") +
-           valueVar(In.A) + ";";
-  case StepOp::EvalClockOp: {
-    std::string A = In.A >= 0 ? clockVar(In.A) : std::string("0");
-    std::string B = In.B >= 0 ? clockVar(In.B) : std::string("0");
-    switch (In.COp) {
-    case ClockOp::Inter:
-      return clockVar(In.Target) + " = " + A + " && " + B + ";";
-    case ClockOp::Union:
-      return clockVar(In.Target) + " = " + A + " || " + B + ";";
-    case ClockOp::Diff:
-      return clockVar(In.Target) + " = " + A + " && !" + B + ";";
-    }
+  case VmOp::SkipIfAbsent:
+    assert(false && "structured control handled by emitBody");
     return "";
+  case VmOp::ReadClockInput:
+    return clockVar(In.Target) + " = in->tick_" +
+           sanitizeIdent(CS.ClockInputs[In.Aux].Name) + ";";
+  case VmOp::EvalClockLiteral:
+    return clockVar(In.Target) + " = " + (In.Aux != 0 ? "" : "!") +
+           valueVar(In.A, IK.A) + ";";
+  case VmOp::EvalClockAnd:
+    return clockVar(In.Target) + " = " + clockVar(In.A) + " && " +
+           clockVar(In.B) + ";";
+  case VmOp::EvalClockOr:
+    return clockVar(In.Target) + " = " + clockVar(In.A) + " || " +
+           clockVar(In.B) + ";";
+  case VmOp::EvalClockDiff:
+    return clockVar(In.Target) + " = " + clockVar(In.A) + " && !" +
+           clockVar(In.B) + ";";
+  case VmOp::CopyClock:
+    return clockVar(In.Target) + " = " + clockVar(In.A) + ";";
+  case VmOp::SetClockFalse:
+    return clockVar(In.Target) + " = 0;";
+  case VmOp::ReadSignal:
+    return valueVar(In.Target, IK.Res) + " = in->" +
+           sanitizeIdent(CS.Inputs[In.Aux].Name) + ";";
+  case VmOp::UnarySlot: {
+    std::string A = valueVar(In.A, IK.A);
+    std::string E;
+    if (static_cast<UnaryOp>(In.Aux) == UnaryOp::Not)
+      E = "!" + A;
+    else if (IK.A == TypeKind::Integer)
+      E = "(long)(0UL - (unsigned long)" + A + ")";
+    else
+      E = "-" + A;
+    return valueVar(In.Target, IK.Res) + " = " + E + ";";
   }
-  case StepOp::ReadSignal: {
-    std::string Name;
-    for (const auto &SI : Step.Inputs)
-      if (SI.ValueSlot == In.Target)
-        Name = SI.Name;
-    return valueVar(In.Target) + " = in->" + sanitizeIdent(Name) + ";";
-  }
-  case StepOp::EvalFunc: {
-    const KernelEq &Eq = Prog.Equations[In.EqIndex];
-    return valueVar(In.Target) + " = " +
-           funcExpr(Eq, static_cast<int>(Eq.Nodes.size()) - 1) + ";";
-  }
-  case StepOp::EvalWhen: {
-    const KernelEq &Eq = Prog.Equations[In.EqIndex];
-    if (Eq.WhenValue.isSignal())
-      return valueVar(In.Target) + " = " + valueVar(In.A) + ";";
-    return valueVar(In.Target) + " = " + cLiteral(Eq.WhenValue.Const) + ";";
-  }
-  case StepOp::EvalDefault: {
-    if (In.A < 0)
-      return valueVar(In.Target) + " = " + valueVar(In.B) + ";";
-    if (In.B < 0)
-      return valueVar(In.Target) + " = " + valueVar(In.A) + ";";
-    return valueVar(In.Target) + " = " + clockVar(In.PresA) + " ? " +
-           valueVar(In.A) + " : " + valueVar(In.B) + ";";
-  }
-  case StepOp::LoadDelay:
-    return valueVar(In.Target) + " = " + stateVar(In.A) + ";";
-  case StepOp::StoreDelay:
-    return stateVar(In.Target) + " = " + valueVar(In.A) + ";";
-  case StepOp::WriteOutput: {
-    std::string Name;
-    for (const auto &SO : Step.Outputs)
-      if (SO.Sig == In.Sig)
-        Name = SO.Name;
-    std::string Id = sanitizeIdent(Name);
+  case VmOp::BinarySS:
+  case VmOp::BinarySC:
+  case VmOp::BinaryCS:
+    return valueVar(In.Target, IK.Res) + " = " +
+           binaryExpr(static_cast<BinaryOp>(In.Aux), operandA(In, IK),
+                      operandB(In, IK)) +
+           ";";
+  case VmOp::CopyValue:
+    return valueVar(In.Target, IK.Res) + " = " + valueVar(In.A, IK.A) + ";";
+  case VmOp::LoadConst:
+    return valueVar(In.Target, IK.Res) + " = " + cLiteral(CS.Consts[In.Aux]) +
+           ";";
+  case VmOp::Select:
+    return valueVar(In.Target, IK.Res) + " = " + clockVar(In.Aux) + " ? " +
+           valueVar(In.A, IK.A) + " : " + valueVar(In.B, IK.B) + ";";
+  case VmOp::LoadDelay:
+    return valueVar(In.Target, IK.Res) + " = st->s" + std::to_string(In.A) +
+           ";";
+  case VmOp::StoreDelay:
+    return "st->s" + std::to_string(In.Target) + " = " +
+           valueVar(In.A, IK.A) + ";";
+  case VmOp::WriteOutput: {
+    std::string Id = sanitizeIdent(CS.Outputs[In.Aux].Name);
     return "out->" + Id + "_present = 1; out->" + Id + " = " +
-           valueVar(In.A) + ";";
+           valueVar(In.A, IK.A) + ";";
   }
   }
   return "";
 }
 
-void Emitter::emitFlatBody(std::string &Out) const {
-  for (const StepInstr &In : Step.Instrs) {
-    if (In.Guard >= 0)
-      Out += "  if (" + clockVar(In.Guard) + ") { " + instrStmt(In) + " }\n";
-    else
-      Out += "  " + instrStmt(In) + "\n";
-  }
-}
+void Emitter::emitBody(std::string &Out) const {
+  // The skip offsets are properly nested (each SkipIfAbsent jumps past
+  // its own block's lowering), so the stream reconstructs as structured
+  // if-nesting: open an `if` at every skip, close it when the PC reaches
+  // the recorded offset. Executed-instruction weights accumulate per
+  // straight-line region and flush as one counter update at each control
+  // boundary — the C step's counters land exactly on the VM's.
+  std::vector<int32_t> CloseAt;
+  unsigned Indent = 2;
+  int64_t PendingExec = 0;
+  auto pad = [&]() { return std::string(Indent, ' '); };
+  auto flushExec = [&]() {
+    if (PendingExec > 0)
+      Out += pad() + "st->executed += " + std::to_string(PendingExec) +
+             "ULL;\n";
+    PendingExec = 0;
+  };
 
-void Emitter::emitNestedBlock(int BlockIdx, unsigned Indent,
-                              std::string &Out) const {
-  const StepBlock &B = Step.Blocks[BlockIdx];
-  std::string Pad(Indent, ' ');
-  if (B.GuardSlot >= 0)
-    Out += Pad + "if (" + clockVar(B.GuardSlot) + ") {\n";
-  unsigned Inner = B.GuardSlot >= 0 ? Indent + 2 : Indent;
-  std::string InnerPad(Inner, ' ');
-  for (const StepBlock::Item &It : B.Items) {
-    if (It.IsBlock)
-      emitNestedBlock(It.Index, Inner, Out);
-    else
-      Out += InnerPad + instrStmt(Step.Instrs[It.Index]) + "\n";
+  const int32_t End = static_cast<int32_t>(CS.Code.size());
+  for (int32_t PC = 0; PC <= End; ++PC) {
+    while (!CloseAt.empty() && CloseAt.back() == PC) {
+      flushExec();
+      CloseAt.pop_back();
+      Indent -= 2;
+      Out += pad() + "}\n";
+    }
+    if (PC == End)
+      break;
+    const VmInstr &In = CS.Code[PC];
+    if (In.Op == VmOp::SkipIfAbsent) {
+      flushExec();
+      Out += pad() + "st->guard_tests += 1ULL;\n";
+      Out += pad() + "if (" + clockVar(In.A) + ") {\n";
+      CloseAt.push_back(In.Aux);
+      Indent += 2;
+      continue;
+    }
+    PendingExec += In.Weight;
+    Out += pad() + instrStmt(static_cast<size_t>(PC)) + "\n";
   }
-  if (B.GuardSlot >= 0)
-    Out += Pad + "}\n";
+  flushExec();
 }
 
 std::string Emitter::run() {
+  annotate();
+
   std::string Out;
   Out += "/* Generated by signalc from process " + Proc + ".\n";
-  Out += " * Control structure: " +
-         std::string(Options.Nested ? "nested (clock-tree if nesting)"
-                                    : "flat (one guard per statement)") +
-         ".\n */\n";
+  Out += " * Lowered from CompiledStep bytecode: structured ifs from skip\n";
+  Out += " * offsets, typed slot locals, build-time constant folds"
+         " inlined.\n */\n";
   Out += "#include <string.h>\n";
   if (Options.WithDriver)
     Out += "#include <stdio.h>\n";
   Out += "\n";
 
-  // State struct.
+  // State struct: delay memories plus the VM-pinned counters.
   Out += "typedef struct {\n";
-  for (unsigned I = 0; I < Step.StateInit.size(); ++I)
-    Out += "  " + std::string(cTypeOf(Step.StateInit[I].Kind)) + " s" +
+  for (unsigned I = 0; I < CS.StateInit.size(); ++I)
+    Out += "  " + std::string(cTypeOf(CS.StateInit[I].Kind)) + " s" +
            std::to_string(I) + ";\n";
-  if (Step.StateInit.empty())
-    Out += "  int unused;\n";
+  Out += "  unsigned long long guard_tests;\n";
+  Out += "  unsigned long long executed;\n";
   Out += "} " + Proc + "_state_t;\n\n";
 
   // Input struct.
   Out += "typedef struct {\n";
-  for (const auto &CI : Step.ClockInputs)
+  for (const auto &CI : CS.ClockInputs)
     Out += "  int tick_" + sanitizeIdent(CI.Name) + ";\n";
-  for (const auto &SI : Step.Inputs)
+  for (const auto &SI : CS.Inputs)
     Out += "  " + std::string(cTypeOf(SI.Type)) + " " +
            sanitizeIdent(SI.Name) + ";\n";
-  if (Step.ClockInputs.empty() && Step.Inputs.empty())
+  if (CS.ClockInputs.empty() && CS.Inputs.empty())
     Out += "  int unused;\n";
   Out += "} " + Proc + "_in_t;\n\n";
 
   // Output struct.
   Out += "typedef struct {\n";
-  for (const auto &SO : Step.Outputs) {
+  for (const auto &SO : CS.Outputs) {
     std::string Id = sanitizeIdent(SO.Name);
     Out += "  int " + Id + "_present;\n";
     Out += "  " + std::string(cTypeOf(SO.Type)) + " " + Id + ";\n";
   }
-  if (Step.Outputs.empty())
+  if (CS.Outputs.empty())
     Out += "  int unused;\n";
   Out += "} " + Proc + "_out_t;\n\n";
 
   // Init.
   Out += "void " + Proc + "_init(" + Proc + "_state_t *st) {\n";
-  for (unsigned I = 0; I < Step.StateInit.size(); ++I)
+  for (unsigned I = 0; I < CS.StateInit.size(); ++I)
     Out += "  st->s" + std::to_string(I) + " = " +
-           cLiteral(Step.StateInit[I]) + ";\n";
-  if (Step.StateInit.empty())
-    Out += "  st->unused = 0;\n";
+           cLiteral(CS.StateInit[I]) + ";\n";
+  Out += "  st->guard_tests = 0ULL;\n";
+  Out += "  st->executed = 0ULL;\n";
   Out += "}\n\n";
 
-  // Step.
+  // Step: one reaction.
   Out += "void " + Proc + "_step(" + Proc + "_state_t *st, const " + Proc +
          "_in_t *in, " + Proc + "_out_t *out) {\n";
   Out += "  memset(out, 0, sizeof *out);\n";
-  for (unsigned I = 0; I < Step.NumClockSlots; ++I)
+  for (unsigned I = 0; I < CS.NumClockSlots; ++I)
     Out += "  int c" + std::to_string(I) + " = 0;\n";
-  for (unsigned I = 0; I < Step.NumValueSlots; ++I) {
-    TypeKind T = slotType(static_cast<int>(I));
-    Out += "  " + std::string(cTypeOf(T)) + " v" + std::to_string(I) +
-           " = 0;\n";
+  // Slot locals: one variable per (slot, storage class) the bytecode
+  // materializes; untouched slots need no local at all.
+  std::vector<std::string> SlotVars;
+  for (unsigned S = 0; S < numSlots(); ++S) {
+    unsigned Mask = SlotClasses[S];
+    if (!Mask)
+      continue;
+    for (CClass C : {CClass::Int, CClass::Long, CClass::Double}) {
+      if (!(Mask & classBit(C)))
+        continue;
+      TypeKind K = C == CClass::Int      ? TypeKind::Boolean
+                   : C == CClass::Long   ? TypeKind::Integer
+                                         : TypeKind::Real;
+      std::string Name = valueVar(static_cast<int32_t>(S), K);
+      SlotVars.push_back(Name);
+      Out += "  " + std::string(cTypeOf(C)) + " " + Name + " = 0;\n";
+    }
   }
   Out += "\n";
-  if (Options.Nested)
-    emitNestedBlock(Step.RootBlock, 2, Out);
-  else
-    emitFlatBody(Out);
+  emitBody(Out);
   // Silence unused-variable warnings for slots only written.
   Out += "\n";
-  for (unsigned I = 0; I < Step.NumClockSlots; ++I)
+  for (unsigned I = 0; I < CS.NumClockSlots; ++I)
     Out += "  (void)c" + std::to_string(I) + ";";
   Out += "\n";
-  for (unsigned I = 0; I < Step.NumValueSlots; ++I)
-    Out += "  (void)v" + std::to_string(I) + ";";
-  Out += "\n}\n";
+  for (const std::string &V : SlotVars)
+    Out += "  (void)" + V + ";";
+  Out += "\n}\n\n";
+
+  // Batched entry point: N reactions, one call — the C mirror of
+  // VmExecutor::stepN (one crossing of the caller boundary per batch).
+  Out += "void " + Proc + "_step_batch(" + Proc + "_state_t *st, const " +
+         Proc + "_in_t *in, " + Proc + "_out_t *out, unsigned n) {\n";
+  Out += "  unsigned i;\n";
+  Out += "  for (i = 0; i < n; ++i)\n";
+  Out += "    " + Proc + "_step(st, &in[i], &out[i]);\n";
+  Out += "}\n";
 
   if (Options.WithDriver)
     emitDriver(Out);
@@ -348,12 +682,13 @@ void Emitter::emitDriver(std::string &Out) const {
   Out += "  " + Proc + "_state_t st;\n";
   Out += "  " + Proc + "_in_t in;\n";
   Out += "  " + Proc + "_out_t out;\n";
+  Out += "  unsigned i;\n";
   Out += "  " + Proc + "_init(&st);\n";
-  Out += "  for (unsigned i = 0; i < " + std::to_string(Options.DriverSteps) +
+  Out += "  for (i = 0; i < " + std::to_string(Options.DriverSteps) +
          "; ++i) {\n";
-  for (const auto &CI : Step.ClockInputs)
+  for (const auto &CI : CS.ClockInputs)
     Out += "    in.tick_" + sanitizeIdent(CI.Name) + " = 1;\n";
-  for (const auto &SI : Step.Inputs) {
+  for (const auto &SI : CS.Inputs) {
     std::string Id = sanitizeIdent(SI.Name);
     if (SI.Type == TypeKind::Boolean || SI.Type == TypeKind::Event)
       Out += "    in." + Id + " = (int)(rng() & 1);\n";
@@ -363,7 +698,7 @@ void Emitter::emitDriver(std::string &Out) const {
       Out += "    in." + Id + " = (double)(rng() % 1000) / 10.0;\n";
   }
   Out += "    " + Proc + "_step(&st, &in, &out);\n";
-  for (const auto &SO : Step.Outputs) {
+  for (const auto &SO : CS.Outputs) {
     std::string Id = sanitizeIdent(SO.Name);
     const char *Fmt = (SO.Type == TypeKind::Real) ? "%f" : "%ld";
     if (SO.Type == TypeKind::Boolean || SO.Type == TypeKind::Event)
@@ -376,10 +711,8 @@ void Emitter::emitDriver(std::string &Out) const {
 
 } // namespace
 
-std::string sigc::emitC(const KernelProgram &Prog, const StepProgram &Step,
-                        const StringInterner &Names,
-                        const std::string &ProcName,
+std::string sigc::emitC(const CompiledStep &Step, const std::string &ProcName,
                         const CEmitOptions &Options) {
-  Emitter E(Prog, Step, Names, ProcName, Options);
+  Emitter E(Step, ProcName, Options);
   return E.run();
 }

@@ -1,28 +1,43 @@
 //===--- CEmitter.h - Sequential C code generation --------------*- C++-*-===//
 ///
 /// \file
-/// Renders a StepProgram as a self-contained C source file implementing
-/// the single-loop code generation scheme of Section 2.6. Two control
-/// structures are supported:
+/// Renders a CompiledStep — the slot-resolved bytecode that is this
+/// compiler's single lowered IR — as a self-contained C source file
+/// implementing the single-loop code generation scheme of Section 2.6.
+/// The emitter walks the same instruction stream the VM executes, so the
+/// two backends cannot drift:
 ///
-///   * nested — the if-then-else nesting along the clock tree that the
-///     paper's hierarchy enables (code a of Figure 9),
-///   * flat — one guard test per statement (code b of Figure 9),
+///   * every `SkipIfAbsent` becomes a structured `if` over the guard's
+///     clock local (the skip offsets are properly nested by
+///     construction, so the stream reconstructs as pure if-nesting —
+///     code a of Figure 9),
+///   * scratch expression slots become typed C locals; value slots take
+///     the static type the bytecode computes for them (integer
+///     arithmetic is emitted with the VM's two's-complement wrapping
+///     semantics, comparisons with its widen-to-double semantics),
+///   * constants the build-time folds produced are inlined as literals,
+///     and constant divisors fold their zero/minus-one guards away,
+///   * descriptor indices are pre-resolved, so struct field references
+///     are computed at emission time with no run-time table scans.
 ///
-/// so a reader can diff exactly what the clock inclusion tree buys.
+/// The generated state struct carries `guard_tests`/`executed` counters
+/// maintained exactly as the VM maintains its own (one guard test per
+/// `if`, instruction weights summed per straight-line region), so a C
+/// run is pinned number-for-number against a VM run of the same trace.
 ///
 /// Contract of the generated code: the caller fills the input struct with
 /// the free-clock ticks and the value of every input signal it may need
 /// this instant; the step reads an input value only when the corresponding
-/// clock is present, and sets <name>_present flags on outputs.
+/// clock is present, and sets <name>_present flags on outputs. A
+/// `<proc>_step_batch` entry point runs N instants over input/output
+/// arrays in one call — the C mirror of `VmExecutor::stepN`.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SIGNALC_CODEGEN_CEMITTER_H
 #define SIGNALC_CODEGEN_CEMITTER_H
 
-#include "codegen/StepProgram.h"
-#include "support/StringInterner.h"
+#include "interp/CompiledStep.h"
 
 #include <string>
 
@@ -30,15 +45,13 @@ namespace sigc {
 
 /// Options for C emission.
 struct CEmitOptions {
-  bool Nested = true;     ///< Clock-tree if-nesting vs. flat guards.
   bool WithDriver = false;///< Also emit a main() exercising the step with a
                           ///< deterministic pseudo-random environment.
   unsigned DriverSteps = 32;
 };
 
 /// Emits C for \p Step. \p ProcName names the generated symbols.
-std::string emitC(const KernelProgram &Prog, const StepProgram &Step,
-                  const StringInterner &Names, const std::string &ProcName,
+std::string emitC(const CompiledStep &Step, const std::string &ProcName,
                   const CEmitOptions &Options);
 
 /// Makes an arbitrary string a valid C identifier fragment.

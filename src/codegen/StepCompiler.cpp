@@ -119,6 +119,7 @@ StepProgram sigc::compileStep(const KernelProgram &Prog,
       continue;
     SP.SignalClockSlot[S] = SlotOfNode.at(N);
     SP.SignalValueSlot[S] = static_cast<int>(SP.NumValueSlots++);
+    SP.ValueSlotType.push_back(Prog.Signals[S].Type);
   }
 
   // State slots, one per delay equation with a live target.

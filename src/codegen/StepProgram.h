@@ -108,6 +108,10 @@ struct StepProgram {
   std::vector<int> SignalValueSlot;
   /// Per-signal clock slot (-1 when empty).
   std::vector<int> SignalClockSlot;
+  /// Declared type of each value slot, index-aligned with the slot space.
+  /// Lowerings that materialize slots as typed storage (the C emitter's
+  /// locals) read this instead of re-scanning the kernel signal table.
+  std::vector<TypeKind> ValueSlotType;
 
   /// Renders the flat instruction listing (tests, -dump-step).
   std::string dump() const;

@@ -25,6 +25,24 @@ const char *sigc::to_string(CompileStage Stage) {
   return "none";
 }
 
+const char *sigc::engineModeList() { return "vm, nested, flat"; }
+
+bool sigc::parseEngineMode(const std::string &Name, EngineMode &Mode,
+                           std::string &Diag) {
+  if (Name == "vm") {
+    Mode = EngineMode::Vm;
+  } else if (Name == "nested") {
+    Mode = EngineMode::Nested;
+  } else if (Name == "flat") {
+    Mode = EngineMode::Flat;
+  } else {
+    Diag = "unknown --mode '" + Name +
+           "'; valid modes: " + engineModeList();
+    return false;
+  }
+  return true;
+}
+
 std::unique_ptr<Compilation> sigc::compileSource(std::string BufferName,
                                                  std::string Source,
                                                  const CompileOptions &Options) {
@@ -87,9 +105,11 @@ std::unique_ptr<Compilation> sigc::compileSource(std::string BufferName,
     return C;
   }
 
-  // Step program.
+  // Step program, then the slot-resolved bytecode — the one lowered form
+  // both the VM executor and the C emitter consume.
   C->Step = compileStep(*C->Kernel, C->Clocks, *C->Forest, C->Graph,
                         C->Ctx.interner());
+  C->Compiled = CompiledStep::build(*C->Kernel, C->Step);
   C->Ok = true;
   return C;
 }

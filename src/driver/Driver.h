@@ -21,6 +21,7 @@
 #include "clock/ClockSystem.h"
 #include "codegen/StepProgram.h"
 #include "forest/ClockForest.h"
+#include "interp/CompiledStep.h"
 #include "graph/CondDepGraph.h"
 #include "parser/Parser.h"
 #include "sema/Kernel.h"
@@ -56,6 +57,19 @@ enum class CompileStage {
 /// \returns the canonical lowercase name ("parse", "clock-calculus", ...).
 const char *to_string(CompileStage Stage);
 
+/// Execution engines selectable with `signalc --mode`.
+enum class EngineMode { Vm, Nested, Flat };
+
+/// The canonical valid-mode list ("vm, nested, flat") for diagnostics.
+const char *engineModeList();
+
+/// Parses a --mode spelling. On an unknown mode returns false and fills
+/// \p Diag with a diagnostic naming every valid mode — the same shape as
+/// the --process typo diagnostic, so a typo never sends the user to the
+/// sources.
+bool parseEngineMode(const std::string &Name, EngineMode &Mode,
+                     std::string &Diag);
+
 /// Every artifact of one compilation, stage by stage.
 class Compilation {
 public:
@@ -72,6 +86,9 @@ public:
   std::unique_ptr<ClockForest> Forest;
   CondDepGraph Graph;
   StepProgram Step;
+  /// The single lowered IR: slot-resolved bytecode built once from Step
+  /// and consumed by both the VM executor and the C emitter.
+  CompiledStep Compiled;
 
   /// True when every stage completed.
   bool Ok = false;

@@ -14,15 +14,18 @@
 ///   --dump-clocks      print the extracted boolean equation system
 ///   --dump-tree        print the resolved clock forest
 ///   --dump-graph       print the scheduled dependency actions
-///   --dump-step        print the step program (flat listing)
+///   --dump-step        print the CompiledStep bytecode (the single
+///                      lowered IR both the VM and the C emitter consume)
 ///   --dump-interface   print the process's separate-compilation
 ///                      interface (every unit's, in --link mode)
 ///   --dump-link        print the linked-system summary (--link mode)
-///   --emit-c[=nested|flat]  print generated C (default nested); in
+///   --emit-c           print generated C lowered from the bytecode; in
 ///                      --link mode, the composed linked system
 ///   --with-driver      add a main() to the generated C
 ///   --simulate N       run N instants with a random environment
 ///   --seed S           PRNG seed for --simulate
+///   --batch B          run --simulate in stepN windows of B instants
+///                      (vm engine; bulk environment exchange)
 ///   --mode M           execution engine for --simulate: vm (default,
 ///                      the slot-resolved bytecode VM), nested or flat
 ///   --stats            after --simulate, print per-run instruction and
@@ -58,9 +61,9 @@ void printUsage() {
                "         --dump-tree --dump-tree-dot --dump-graph "
                "--dump-step\n"
                "         --dump-interface --dump-link\n"
-               "         --emit-c[=nested|flat] --with-driver\n"
-               "         --simulate N --seed S --mode vm|nested|flat "
-               "--stats\n");
+               "         --emit-c --with-driver\n"
+               "         --simulate N --seed S --batch B "
+               "--mode vm|nested|flat --stats\n");
 }
 
 void printStats(const std::string &Mode, unsigned Instants,
@@ -99,10 +102,11 @@ int main(int Argc, char **Argv) {
   bool DumpTreeDot = false;
   bool DumpGraph = false, DumpStep = false, EmitC = false;
   bool DumpInterface = false, DumpLink = false;
-  bool WithDriver = false, Nested = true, Stats = false;
-  unsigned Simulate = 0;
+  bool WithDriver = false, Stats = false;
+  unsigned Simulate = 0, Batch = 0;
   uint64_t Seed = 1;
-  std::string Mode = "vm";
+  EngineMode Mode = EngineMode::Vm;
+  std::string ModeName = "vm";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -134,11 +138,14 @@ int main(int Argc, char **Argv) {
       DumpInterface = true;
     } else if (Arg == "--dump-link") {
       DumpLink = true;
-    } else if (Arg == "--emit-c" || Arg == "--emit-c=nested") {
+    } else if (Arg == "--emit-c") {
       EmitC = true;
-    } else if (Arg == "--emit-c=flat") {
-      EmitC = true;
-      Nested = false;
+    } else if (Arg.rfind("--emit-c=", 0) == 0) {
+      std::fprintf(stderr,
+                   "signalc: --emit-c no longer takes a control-structure "
+                   "argument; the C emitter lowers the CompiledStep "
+                   "bytecode (nested structure) directly\n");
+      return 2;
     } else if (Arg == "--with-driver") {
       WithDriver = true;
     } else if (Arg == "--simulate") {
@@ -147,13 +154,15 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--seed") {
       if (const char *V = next())
         Seed = std::stoull(V);
+    } else if (Arg == "--batch") {
+      if (const char *V = next())
+        Batch = static_cast<unsigned>(std::stoul(V));
     } else if (Arg == "--mode") {
       if (const char *V = next())
-        Mode = V;
-      if (Mode != "vm" && Mode != "nested" && Mode != "flat") {
-        std::fprintf(stderr, "signalc: unknown --mode '%s' (vm, nested, "
-                             "flat)\n",
-                     Mode.c_str());
+        ModeName = V;
+      std::string Diag;
+      if (!parseEngineMode(ModeName, Mode, Diag)) {
+        std::fprintf(stderr, "signalc: %s\n", Diag.c_str());
         return 2;
       }
     } else if (Arg == "--stats") {
@@ -215,7 +224,7 @@ int main(int Argc, char **Argv) {
                    "signalc: warning: --process and the per-stage --dump-* "
                    "flags are ignored in --link mode (use --dump-interface "
                    "/ --dump-link)\n");
-    if (Mode != "vm")
+    if (Mode != EngineMode::Vm)
       std::fprintf(stderr,
                    "signalc: warning: --mode is ignored in --link mode; "
                    "the linked executor always runs the slot-VM\n");
@@ -239,14 +248,15 @@ int main(int Argc, char **Argv) {
       std::fputs(Sys.dump().c_str(), stdout);
     if (EmitC) {
       CEmitOptions EO;
-      EO.Nested = Nested;
       EO.WithDriver = WithDriver;
       std::fputs(emitLinkedC(Sys, "linked_sys", EO).c_str(), stdout);
     }
     if (Simulate) {
       RandomEnvironment Env(Seed);
       LinkedExecutor Exec(Sys);
-      if (!Exec.run(Env, Simulate)) {
+      bool Ran = Batch > 1 ? Exec.runBatched(Env, Simulate, Batch)
+                           : Exec.run(Env, Simulate);
+      if (!Ran) {
         std::fprintf(stderr, "signalc: linked simulation stopped: %s\n",
                      Exec.error().c_str());
         return 1;
@@ -302,31 +312,35 @@ int main(int Argc, char **Argv) {
                               C->Clocks)
                     .c_str());
   if (DumpStep)
-    std::printf("step program:\n%s", C->Step.dump().c_str());
+    std::printf("step bytecode:\n%s", C->Compiled.dump().c_str());
   if (DumpInterface)
     std::fputs(extractInterface(*C).dump().c_str(), stdout);
 
   if (EmitC) {
     CEmitOptions EO;
-    EO.Nested = Nested;
     EO.WithDriver = WithDriver;
-    std::string CSource = emitC(*C->Kernel, C->Step, Names, ProcName, EO);
+    std::string CSource = emitC(C->Compiled, ProcName, EO);
     std::fputs(CSource.c_str(), stdout);
   }
 
   if (Simulate) {
+    if (Batch > 1 && Mode != EngineMode::Vm)
+      std::fprintf(stderr, "signalc: warning: --batch needs the vm engine; "
+                           "running unbatched\n");
     RandomEnvironment Env(Seed);
     uint64_t Executed = 0, GuardTests = 0;
-    if (Mode == "vm") {
-      CompiledStep CS = CompiledStep::build(*C->Kernel, C->Step);
-      VmExecutor Exec(CS);
-      Exec.run(Env, Simulate);
+    if (Mode == EngineMode::Vm) {
+      VmExecutor Exec(C->Compiled);
+      if (Batch > 1)
+        Exec.runBatched(Env, Simulate, Batch);
+      else
+        Exec.run(Env, Simulate);
       Executed = Exec.executed();
       GuardTests = Exec.guardTests();
     } else {
       StepExecutor Exec(*C->Kernel, C->Step);
       Exec.run(Env, Simulate,
-               Mode == "flat" ? ExecMode::Flat : ExecMode::Nested);
+               Mode == EngineMode::Flat ? ExecMode::Flat : ExecMode::Nested);
       Executed = Exec.executed();
       GuardTests = Exec.guardTests();
     }
@@ -334,7 +348,7 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Seed),
                 formatEvents(Env.outputs()).c_str());
     if (Stats)
-      printStats(Mode, Simulate, Executed, GuardTests);
+      printStats(ModeName, Simulate, Executed, GuardTests);
   }
   return 0;
 }

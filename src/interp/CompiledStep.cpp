@@ -299,10 +299,25 @@ CompiledStep CompiledStep::build(const KernelProgram &Prog,
   CS.Inputs = Step.Inputs;
   CS.Outputs = Step.Outputs;
   CS.SignalClockSlot = Step.SignalClockSlot;
+  CS.ValueSlotType = Step.ValueSlotType;
 
   StepLowering Lower(Prog, Step, CS);
   if (Step.RootBlock >= 0)
     Lower.emitBlock(Step.RootBlock);
+
+  // Flush order for batched output exchange: each output descriptor, in
+  // the order its WriteOutput first appears in the instruction stream.
+  std::vector<char> Seen(CS.Outputs.size(), 0);
+  for (const VmInstr &In : CS.Code)
+    if (In.Op == VmOp::WriteOutput && !Seen[In.Aux]) {
+      Seen[In.Aux] = 1;
+      CS.OutputFlushOrder.push_back(In.Aux);
+    }
+  // Descriptors the code never writes (none today) still flush last so
+  // the order is total.
+  for (size_t I = 0; I < Seen.size(); ++I)
+    if (!Seen[I])
+      CS.OutputFlushOrder.push_back(static_cast<int32_t>(I));
   return CS;
 }
 
@@ -316,8 +331,11 @@ std::string CompiledStep::dump() const {
                   vmOpName(In.Op), In.Target, In.A, In.B, In.Aux, In.Weight);
     Out += Buf;
   }
-  std::snprintf(Buf, sizeof Buf, "consts: %zu, temp slots: %u\n",
-                Consts.size(), NumTempSlots);
+  std::snprintf(Buf, sizeof Buf,
+                "clock slots: %u, value slots: %u, temp slots: %u, "
+                "consts: %zu, states: %zu\n",
+                NumClockSlots, NumValueSlots, NumTempSlots, Consts.size(),
+                StateInit.size());
   Out += Buf;
   return Out;
 }

@@ -100,6 +100,16 @@ struct CompiledStep {
   /// presence check reads it.
   std::vector<int> SignalClockSlot;
 
+  /// Declared type of each value slot (scratch slots excluded); the C
+  /// emitter materializes slots as typed locals from this.
+  std::vector<TypeKind> ValueSlotType;
+
+  /// Output descriptor indices in the order their WriteOutput
+  /// instructions appear in Code. Batched execution buffers a whole
+  /// batch of outputs and flushes them instant by instant in this order,
+  /// reproducing exactly the event sequence an unbatched run records.
+  std::vector<int32_t> OutputFlushOrder;
+
   /// Builds the slot-resolved step from a compiled StepProgram.
   static CompiledStep build(const KernelProgram &Prog,
                             const StepProgram &Step);

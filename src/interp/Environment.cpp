@@ -44,6 +44,30 @@ void Environment::writeOutput(EnvOutputId Output, unsigned Instant,
   Outputs.push_back({Instant, OutputB[Output].Name, V});
 }
 
+void Environment::clockTicks(EnvClockId Clock, unsigned Start, unsigned Count,
+                             unsigned char *Out) {
+  for (unsigned I = 0; I < Count; ++I)
+    Out[I] = clockTick(Clock, Start + I) ? 1 : 0;
+}
+
+void Environment::inputValues(EnvInputId Input, unsigned Start,
+                              unsigned Count, Value *Out) {
+  for (unsigned I = 0; I < Count; ++I)
+    Out[I] = inputValue(Input, Start + I);
+}
+
+void Environment::exchangeOutputs(unsigned Start, unsigned Count,
+                                  unsigned NumOutputs, const EnvOutputId *Ids,
+                                  const unsigned char *Present,
+                                  const Value *Vals) {
+  // Instants outer, outputs inner (in the executor's emission order):
+  // the recorded event sequence is bit-identical to an unbatched run's.
+  for (unsigned I = 0; I < Count; ++I)
+    for (unsigned O = 0; O < NumOutputs; ++O)
+      if (Present[I * NumOutputs + O])
+        writeOutput(Ids[O], Start + I, Vals[I * NumOutputs + O]);
+}
+
 std::string sigc::formatEvents(const std::vector<OutputEvent> &Events) {
   std::string Out;
   for (const OutputEvent &E : Events)
@@ -95,6 +119,45 @@ EnvInputId RandomEnvironment::resolveInput(std::string_view Name,
 
 bool RandomEnvironment::clockTick(EnvClockId Clock, unsigned Instant) {
   return draw(ClockSeed[Clock], Instant) % 1000 < TickPermille;
+}
+
+void RandomEnvironment::clockTicks(EnvClockId Clock, unsigned Start,
+                                   unsigned Count, unsigned char *Out) {
+  uint64_t S = ClockSeed[Clock];
+  for (unsigned I = 0; I < Count; ++I)
+    Out[I] = draw(S, Start + I) % 1000 < TickPermille ? 1 : 0;
+}
+
+void RandomEnvironment::inputValues(EnvInputId Input, unsigned Start,
+                                    unsigned Count, Value *Out) {
+  uint64_t S = InputSeed[Input];
+  switch (inputBindingType(Input)) {
+  case TypeKind::Boolean:
+    for (unsigned I = 0; I < Count; ++I)
+      Out[I] = Value::makeBool(draw(S, Start + I) % 2 == 0);
+    return;
+  case TypeKind::Event:
+    for (unsigned I = 0; I < Count; ++I)
+      Out[I] = Value::makeEvent();
+    return;
+  case TypeKind::Integer: {
+    uint64_t Span = static_cast<uint64_t>(IntHi - IntLo + 1);
+    for (unsigned I = 0; I < Count; ++I)
+      Out[I] = Value::makeInt(IntLo +
+                              static_cast<int64_t>(draw(S, Start + I) % Span));
+    return;
+  }
+  case TypeKind::Real:
+    for (unsigned I = 0; I < Count; ++I)
+      Out[I] =
+          Value::makeReal(static_cast<double>(draw(S, Start + I) % 10000) /
+                          100.0);
+    return;
+  case TypeKind::Unknown:
+    break;
+  }
+  for (unsigned I = 0; I < Count; ++I)
+    Out[I] = Value::makeInt(0);
 }
 
 Value RandomEnvironment::inputValue(EnvInputId Input, unsigned Instant) {

@@ -110,6 +110,38 @@ public:
   virtual void writeOutput(EnvOutputId Output, unsigned Instant,
                            const Value &V);
 
+  //===--- Bulk exchange (hot path, once per batch) -----------------------===//
+  //
+  // Batched executors cross the virtual environment boundary once per
+  // descriptor per batch instead of once per query per instant. The
+  // defaults delegate to the per-instant virtuals, so every environment
+  // is batchable; RandomEnvironment overrides them with straight loops.
+  // Bulk input fetches are unconditional over the batch window — an
+  // environment whose answers are pure functions of (binding, instant),
+  // which the differential-testing contract already requires, observes
+  // no difference.
+
+  /// Fills Out[0..Count) with the ticks of \p Clock at instants
+  /// Start..Start+Count.
+  virtual void clockTicks(EnvClockId Clock, unsigned Start, unsigned Count,
+                          unsigned char *Out);
+
+  /// Fills Out[0..Count) with the values of \p Input at instants
+  /// Start..Start+Count.
+  virtual void inputValues(EnvInputId Input, unsigned Start, unsigned Count,
+                           Value *Out);
+
+  /// Delivers a whole batch of outputs in one crossing. \p Present and
+  /// \p Vals are row-major [instant][output] over \p NumOutputs outputs
+  /// whose ids are \p Ids, listed in the executor's per-instant emission
+  /// order; the default replays them through writeOutput() instant by
+  /// instant, reproducing exactly the event sequence an unbatched run
+  /// records.
+  virtual void exchangeOutputs(unsigned Start, unsigned Count,
+                               unsigned NumOutputs, const EnvOutputId *Ids,
+                               const unsigned char *Present,
+                               const Value *Vals);
+
   //===--- Name-based adapter (tests, CLI, harness generation) ------------===//
 
   /// Resolves \p ClockName and queries it: convenience, not for hot loops.
@@ -217,6 +249,12 @@ public:
 
   bool clockTick(EnvClockId Clock, unsigned Instant) override;
   Value inputValue(EnvInputId Input, unsigned Instant) override;
+
+  /// Bulk overrides: one virtual dispatch, then pure integer mixing.
+  void clockTicks(EnvClockId Clock, unsigned Start, unsigned Count,
+                  unsigned char *Out) override;
+  void inputValues(EnvInputId Input, unsigned Start, unsigned Count,
+                   Value *Out) override;
 
   void setIntRange(int64_t Lo, int64_t Hi) {
     IntLo = Lo;

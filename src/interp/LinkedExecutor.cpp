@@ -7,10 +7,32 @@
 
 using namespace sigc;
 
+namespace {
+
+/// Type-correct zero for a silent channel read — a default Value would
+/// trip asReal()'s non-numeric assertion further down the step.
+Value typedZero(TypeKind K) {
+  switch (K) {
+  case TypeKind::Boolean:
+    return Value::makeBool(false);
+  case TypeKind::Event:
+    return Value::makeEvent();
+  case TypeKind::Real:
+    return Value::makeReal(0.0);
+  case TypeKind::Integer:
+  case TypeKind::Unknown:
+    break;
+  }
+  return Value::makeInt(0);
+}
+
+} // namespace
+
 bool LinkedExecutor::UnitEnv::clockTick(EnvClockId Clock, unsigned Instant) {
   int Ch = ClockChannel[Clock];
   if (Ch >= 0)
-    return ChanPresent[Ch] != 0;
+    return ChanPresent[static_cast<size_t>(Ch) * Cap +
+                       (Instant - BatchStart)] != 0;
   return Outer->clockTick(OuterClock[Clock], Instant);
 }
 
@@ -19,37 +41,57 @@ Value LinkedExecutor::UnitEnv::inputValue(EnvInputId Input,
   int Ch = InputChannel[Input];
   if (Ch < 0)
     return Outer->inputValue(OuterInput[Input], Instant);
-  if (!ChanPresent[Ch]) {
+  size_t At = static_cast<size_t>(Ch) * Cap + (Instant - BatchStart);
+  if (!ChanPresent[At]) {
     // The consumer computed "present" for a channel whose producer did
     // not emit: a dynamic clock-interface violation. The step must still
     // finish (step() reports the error afterwards), so hand back a
-    // type-correct zero — a default Value would trip asReal()'s
-    // non-numeric assertion further down the step.
+    // type-correct zero.
     if (Error && Error->empty())
       *Error = "instant " + std::to_string(Instant) + ": consumer reads '" +
                inputBindingName(Input) + "' but its producer emitted nothing";
-    switch (inputBindingType(Input)) {
-    case TypeKind::Boolean:
-      return Value::makeBool(false);
-    case TypeKind::Event:
-      return Value::makeEvent();
-    case TypeKind::Real:
-      return Value::makeReal(0.0);
-    case TypeKind::Integer:
-    case TypeKind::Unknown:
-      break;
-    }
-    return Value::makeInt(0);
+    return typedZero(inputBindingType(Input));
   }
-  return ChanVal[Ch];
+  return ChanVal[At];
 }
 
 void LinkedExecutor::UnitEnv::writeOutput(EnvOutputId Output,
                                           unsigned Instant, const Value &V) {
-  ProducedPresent[Output] = 1;
-  ProducedVal[Output] = V;
-  if (ExternalOut[Output] != InvalidEnvId)
+  size_t At = static_cast<size_t>(Output) * Cap + (Instant - BatchStart);
+  ProducedPresent[At] = 1;
+  ProducedVal[At] = V;
+  // Batched windows defer external forwarding to the ordered flush.
+  if (!BatchMode && ExternalOut[Output] != InvalidEnvId)
     Outer->writeOutput(ExternalOut[Output], Instant, V);
+}
+
+void LinkedExecutor::UnitEnv::clockTicks(EnvClockId Clock, unsigned Start,
+                                         unsigned Count, unsigned char *Out) {
+  int Ch = ClockChannel[Clock];
+  if (Ch < 0) {
+    Outer->clockTicks(OuterClock[Clock], Start, Count, Out);
+    return;
+  }
+  const unsigned char *Row =
+      &ChanPresent[static_cast<size_t>(Ch) * Cap + (Start - BatchStart)];
+  std::copy(Row, Row + Count, Out);
+}
+
+void LinkedExecutor::UnitEnv::inputValues(EnvInputId Input, unsigned Start,
+                                          unsigned Count, Value *Out) {
+  int Ch = InputChannel[Input];
+  if (Ch < 0) {
+    Outer->inputValues(OuterInput[Input], Start, Count, Out);
+    return;
+  }
+  // A bulk prefetch reads the whole window regardless of presence, so a
+  // silent instant is not an error here — a real mismatch (the consumer
+  // present while the producer is silent) is caught per instant by the
+  // dynamic watch check after the unit's window runs.
+  size_t Base = static_cast<size_t>(Ch) * Cap + (Start - BatchStart);
+  TypeKind K = inputBindingType(Input);
+  for (unsigned I = 0; I < Count; ++I)
+    Out[I] = ChanPresent[Base + I] ? ChanVal[Base + I] : typedZero(K);
 }
 
 LinkedExecutor::LinkedExecutor(const LinkedSystem &Sys) : Sys(Sys) {
@@ -58,8 +100,7 @@ LinkedExecutor::LinkedExecutor(const LinkedSystem &Sys) : Sys(Sys) {
     States.push_back(std::make_unique<UnitState>());
   for (unsigned U = 0; U < Sys.Units.size(); ++U) {
     UnitState &S = *States[U];
-    S.Compiled =
-        CompiledStep::build(*Sys.Units[U].Comp->Kernel, Sys.Units[U].Comp->Step);
+    S.Compiled = Sys.Units[U].Comp->Compiled;
     S.Exec = std::make_unique<VmExecutor>(S.Compiled);
     S.Env.Error = &Error;
     // Resolve the unit's whole binding against its adapter environment
@@ -72,6 +113,10 @@ LinkedExecutor::LinkedExecutor(const LinkedSystem &Sys) : Sys(Sys) {
     S.Env.OuterInput.assign(S.Env.numInputBindings(), InvalidEnvId);
     S.Env.ProducedPresent.assign(S.Env.numOutputBindings(), 0);
     S.Env.ProducedVal.assign(S.Env.numOutputBindings(), Value());
+    // The per-instant emission order of the unit's outputs, as env ids:
+    // the batched external flush replays exactly this order.
+    for (int32_t D : S.Compiled.OutputFlushOrder)
+      S.FlushEnvIds.push_back(S.Exec->bindings().Outputs[D]);
   }
 
   // Channel wiring, by the linker's pre-resolved descriptor indices: the
@@ -92,11 +137,20 @@ LinkedExecutor::LinkedExecutor(const LinkedSystem &Sys) : Sys(Sys) {
     if (Ch.ConsumerClockInput >= 0) {
       EnvClockId ClkId = Cons.Exec->bindings().Clocks[Ch.ConsumerClockInput];
       Cons.Env.ClockChannel[ClkId] = ChanIdx;
+    } else {
+      Cons.DynChannels.push_back(ChanIdx);
     }
   }
   for (auto &SP : States) {
     SP->Env.ChanPresent.assign(SP->InChannels.size(), 0);
     SP->Env.ChanVal.assign(SP->InChannels.size(), Value());
+    // Watch slots mirror DynChannels: the consumer-side presence the
+    // dynamic check needs, recorded per instant by batched windows.
+    std::vector<int> Watch;
+    for (int C : SP->DynChannels)
+      Watch.push_back(
+          SP->Compiled.SignalClockSlot[SP->InChannels[C].Ch->ConsumerSig]);
+    SP->Exec->setWatchSlots(std::move(Watch));
   }
 }
 
@@ -128,6 +182,28 @@ void LinkedExecutor::bindOuter(Environment &Outer) {
   BoundOuterIdentity = Outer.identity();
 }
 
+void LinkedExecutor::reserveBatch(unsigned MaxCount) {
+  if (MaxCount <= BatchCap)
+    return;
+  BatchCap = MaxCount;
+  for (auto &SP : States) {
+    UnitState &S = *SP;
+    S.Env.Cap = BatchCap;
+    S.Env.ChanPresent.assign(S.InChannels.size() *
+                                 static_cast<size_t>(BatchCap),
+                             0);
+    S.Env.ChanVal.assign(S.InChannels.size() * static_cast<size_t>(BatchCap),
+                         Value());
+    S.Env.ProducedPresent.assign(S.Env.numOutputBindings() *
+                                     static_cast<size_t>(BatchCap),
+                                 0);
+    S.Env.ProducedVal.assign(S.Env.numOutputBindings() *
+                                 static_cast<size_t>(BatchCap),
+                             Value());
+    S.Exec->reserveBatch(BatchCap);
+  }
+}
+
 void LinkedExecutor::reset() {
   for (auto &SP : States)
     SP->Exec->reset();
@@ -140,32 +216,34 @@ bool LinkedExecutor::step(Environment &Env, unsigned Instant) {
   if (Env.identity() != BoundOuterIdentity)
     bindOuter(Env);
 
-  for (auto &SP : States)
+  for (auto &SP : States) {
     std::fill(SP->Env.ProducedPresent.begin(), SP->Env.ProducedPresent.end(),
-              char(0));
+              static_cast<unsigned char>(0));
+    SP->Env.BatchStart = Instant; // window of one, offset 0
+  }
 
   for (unsigned U : Sys.Order) {
     UnitState &S = *States[U];
 
     // Wire this unit's channels from its producers' recorded outputs.
+    const unsigned Cap = S.Env.Cap;
     for (size_t C = 0; C < S.InChannels.size(); ++C) {
       const InChannel &IC = S.InChannels[C];
       const UnitEnv &ProdEnv = States[IC.Producer]->Env;
-      S.Env.ChanPresent[C] = ProdEnv.ProducedPresent[IC.ProducerOut];
-      S.Env.ChanVal[C] = ProdEnv.ProducedVal[IC.ProducerOut];
+      size_t From = static_cast<size_t>(IC.ProducerOut) * ProdEnv.Cap;
+      S.Env.ChanPresent[C * Cap] = ProdEnv.ProducedPresent[From];
+      S.Env.ChanVal[C * Cap] = ProdEnv.ProducedVal[From];
     }
 
     S.Exec->step(S.Env, Instant);
 
     // Dynamic check for channels whose clock the consumer derives: both
     // sides must agree on presence this instant.
-    for (size_t C = 0; C < S.InChannels.size(); ++C) {
+    for (int C : S.DynChannels) {
       const LinkChannel *Ch = S.InChannels[C].Ch;
-      if (Ch->ConsumerClockInput >= 0)
-        continue;
       int Slot = S.Compiled.SignalClockSlot[Ch->ConsumerSig];
       bool ConsumerPresent = Slot >= 0 && S.Exec->clockPresent(Slot);
-      bool ProducerPresent = S.Env.ChanPresent[C] != 0;
+      bool ProducerPresent = S.Env.ChanPresent[C * Cap] != 0;
       if (ConsumerPresent != ProducerPresent && Error.empty())
         Error = "instant " + std::to_string(Instant) + ": channel '" +
                 Ch->Name + "' clock mismatch — producer '" +
@@ -181,9 +259,126 @@ bool LinkedExecutor::step(Environment &Env, unsigned Instant) {
   return true;
 }
 
+bool LinkedExecutor::stepN(Environment &Env, unsigned Start, unsigned Count) {
+  if (Count == 0)
+    return true;
+  if (!Error.empty())
+    return false;
+  if (Env.identity() != BoundOuterIdentity)
+    bindOuter(Env);
+  reserveBatch(Count);
+  const unsigned Cap = BatchCap;
+
+  for (auto &SP : States) {
+    std::fill(SP->Env.ProducedPresent.begin(), SP->Env.ProducedPresent.end(),
+              static_cast<unsigned char>(0));
+    SP->Env.BatchStart = Start;
+    SP->Env.BatchMode = true;
+  }
+
+  // The first violation an unbatched run would hit: ordered by instant,
+  // then by unit position within the instant.
+  bool HaveErr = false;
+  unsigned ErrInstant = 0;
+  size_t ErrPos = 0;
+  std::string ErrMsg;
+  auto candidate = [&](unsigned Instant, size_t Pos, std::string Msg) {
+    if (!HaveErr || Instant < ErrInstant ||
+        (Instant == ErrInstant && Pos < ErrPos)) {
+      HaveErr = true;
+      ErrInstant = Instant;
+      ErrPos = Pos;
+      ErrMsg = std::move(Msg);
+    }
+  };
+
+  for (size_t Pos = 0; Pos < Sys.Order.size(); ++Pos) {
+    UnitState &S = *States[Sys.Order[Pos]];
+
+    // Wire whole channel rows from the producers' windows (producers run
+    // earlier in the feedback-free order, so their windows are complete).
+    for (size_t C = 0; C < S.InChannels.size(); ++C) {
+      const InChannel &IC = S.InChannels[C];
+      const UnitEnv &ProdEnv = States[IC.Producer]->Env;
+      size_t From = static_cast<size_t>(IC.ProducerOut) * Cap;
+      size_t To = C * static_cast<size_t>(Cap);
+      std::copy(ProdEnv.ProducedPresent.begin() + From,
+                ProdEnv.ProducedPresent.begin() + From + Count,
+                S.Env.ChanPresent.begin() + To);
+      std::copy(ProdEnv.ProducedVal.begin() + From,
+                ProdEnv.ProducedVal.begin() + From + Count,
+                S.Env.ChanVal.begin() + To);
+    }
+
+    S.Exec->stepN(S.Env, Start, Count);
+
+    // Replay the dynamic checks per instant from the watch recording.
+    for (size_t W = 0; W < S.DynChannels.size(); ++W) {
+      int C = S.DynChannels[W];
+      const LinkChannel *Ch = S.InChannels[C].Ch;
+      for (unsigned I = 0; I < Count; ++I) {
+        bool ConsumerPresent = S.Exec->watchPresence(W, I);
+        bool ProducerPresent =
+            S.Env.ChanPresent[C * static_cast<size_t>(Cap) + I] != 0;
+        if (ConsumerPresent == ProducerPresent)
+          continue;
+        candidate(Start + I, Pos,
+                  "instant " + std::to_string(Start + I) + ": channel '" +
+                      Ch->Name + "' clock mismatch — producer '" +
+                      Sys.Units[Ch->Producer].Name +
+                      (ProducerPresent ? "' emitted" : "' was silent") +
+                      " while consumer '" + Sys.Units[Ch->Consumer].Name +
+                      (ConsumerPresent ? "' expected a value"
+                                       : "' expected silence"));
+        break;
+      }
+    }
+  }
+
+  for (auto &SP : States)
+    SP->Env.BatchMode = false;
+
+  // Flush external outputs exactly as an unbatched run forwards them —
+  // instants outer, units in link order, each unit's outputs in emission
+  // order — cut at the error point: an unbatched run completes the
+  // erroring unit's step (its outputs are forwarded) and then stops.
+  unsigned FlushCount = HaveErr ? ErrInstant - Start + 1 : Count;
+  for (unsigned I = 0; I < FlushCount; ++I) {
+    for (size_t Pos = 0; Pos < Sys.Order.size(); ++Pos) {
+      if (HaveErr && Start + I == ErrInstant && Pos > ErrPos)
+        break;
+      UnitState &S = *States[Sys.Order[Pos]];
+      for (EnvOutputId Id : S.FlushEnvIds) {
+        size_t At = static_cast<size_t>(Id) * Cap + I;
+        if (S.Env.ProducedPresent[At] &&
+            S.Env.ExternalOut[Id] != InvalidEnvId)
+          Env.writeOutput(S.Env.ExternalOut[Id], Start + I,
+                          S.Env.ProducedVal[At]);
+      }
+    }
+  }
+
+  if (HaveErr) {
+    if (Error.empty())
+      Error = std::move(ErrMsg);
+    return false;
+  }
+  return true;
+}
+
 bool LinkedExecutor::run(Environment &Env, unsigned Count) {
   for (unsigned I = 0; I < Count; ++I)
     if (!step(Env, I))
+      return false;
+  return true;
+}
+
+bool LinkedExecutor::runBatched(Environment &Env, unsigned Count,
+                                unsigned BatchSize) {
+  if (BatchSize == 0)
+    BatchSize = 1;
+  for (unsigned Start = 0; Start < Count; Start += BatchSize)
+    if (!stepN(Env, Start, std::min(BatchSize, Count - Start)))
       return false;
   return true;
 }

@@ -18,10 +18,23 @@
 ///   * records every unit output in a dense presence/value array; only
 ///     external outputs reach the outer environment's trace.
 ///
+/// stepN() batches per unit: each unit runs a whole window of instants
+/// through VmExecutor::stepN before the next unit runs at all (the
+/// cross-process schedule is feedback-free, so a producer's entire
+/// window is available to its consumers). Channel feeds and produced
+/// outputs become [index × instant] matrices, external outputs are
+/// buffered and flushed to the outer environment at window end in
+/// exactly the unbatched order, and the unbatched trace/counters are
+/// reproduced bit for bit.
+///
 /// Channels whose consumer derives the clock itself (ConsumerClockInput
 /// == -1) are checked dynamically: after the consumer's step, both sides
 /// must agree on presence, otherwise the run stops with a diagnostic (a
-/// clock-interface violation the linker could not prove either way).
+/// clock-interface violation the linker could not prove either way). In
+/// batched runs the checks replay per instant from presence recorded by
+/// the VM's watch slots, and the first violation — ordered by instant,
+/// then by unit order — cuts the flush exactly where an unbatched run
+/// would have stopped.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,8 +62,23 @@ public:
   /// clock-constraint violation (see error()).
   bool step(Environment &Env, unsigned Instant);
 
+  /// Runs \p Count reactions starting at instant \p Start, batched per
+  /// unit (see the file comment). On clean runs, trace- and
+  /// counter-identical to \p Count step()s. On a dynamic
+  /// clock-interface violation the outer environment's trace is still
+  /// cut exactly where an unbatched run stops, but the executors have
+  /// already run the whole window (counters include post-error
+  /// instants) and the diagnostic is always the watch-check's "clock
+  /// mismatch" wording, where an unbatched run may report the
+  /// consumer-side read first.
+  bool stepN(Environment &Env, unsigned Start, unsigned Count);
+
   /// Runs \p Count reactions starting at instant 0.
   bool run(Environment &Env, unsigned Count);
+
+  /// Runs \p Count reactions starting at instant 0, stepN-batched in
+  /// windows of \p BatchSize.
+  bool runBatched(Environment &Env, unsigned Count, unsigned BatchSize);
 
   /// Non-empty after step()/run() returned false.
   const std::string &error() const { return Error; }
@@ -65,7 +93,9 @@ private:
   /// arrays indexed by this environment's own EnvIds and sized once at
   /// construction — deliberately no name-based adapter re-exports here:
   /// resolving a new name after construction would mint an id past the
-  /// routing arrays' end.
+  /// routing arrays' end. Channel feeds and produced outputs are
+  /// [index * Cap + (instant - BatchStart)] matrices; unbatched steps
+  /// run with offset 0, batched windows fill whole rows.
   class UnitEnv : public Environment {
   public:
     Environment *Outer = nullptr;
@@ -78,18 +108,28 @@ private:
     /// Clock/input id -> the id Outer resolved for the same name.
     std::vector<EnvClockId> OuterClock;
     std::vector<EnvInputId> OuterInput;
-    /// This instant's channel feed, per in-channel index.
-    std::vector<char> ChanPresent;
+    /// Channel feed matrix, [in-channel index * Cap + offset].
+    std::vector<unsigned char> ChanPresent;
     std::vector<Value> ChanVal;
-    /// This instant's production, per output id.
-    std::vector<char> ProducedPresent;
+    /// Production matrix, [output id * Cap + offset].
+    std::vector<unsigned char> ProducedPresent;
     std::vector<Value> ProducedVal;
+    /// Stride and base of the current window (Cap >= 1 always).
+    unsigned Cap = 1;
+    unsigned BatchStart = 0;
+    /// True while a stepN window runs: external outputs are buffered for
+    /// the ordered flush instead of being forwarded immediately.
+    bool BatchMode = false;
     std::string *Error = nullptr;
 
     bool clockTick(EnvClockId Clock, unsigned Instant) override;
     Value inputValue(EnvInputId Input, unsigned Instant) override;
     void writeOutput(EnvOutputId Output, unsigned Instant,
                      const Value &V) override;
+    void clockTicks(EnvClockId Clock, unsigned Start, unsigned Count,
+                    unsigned char *Out) override;
+    void inputValues(EnvInputId Input, unsigned Start, unsigned Count,
+                     Value *Out) override;
   };
 
   /// One feeding channel of a unit, in index-resolved form.
@@ -104,14 +144,24 @@ private:
     std::unique_ptr<VmExecutor> Exec;
     UnitEnv Env;
     std::vector<InChannel> InChannels;
+    /// In-channel indices needing the dynamic presence check, aligned
+    /// with the executor's watch slots.
+    std::vector<int> DynChannels;
+    /// Output env ids in the unit's per-instant emission order (the
+    /// batched external flush walks these).
+    std::vector<EnvOutputId> FlushEnvIds;
   };
 
   /// Resolves the forwarding ids of every unit against \p Outer.
   void bindOuter(Environment &Outer);
 
+  /// Grows every unit's window matrices to \p MaxCount instants.
+  void reserveBatch(unsigned MaxCount);
+
   const LinkedSystem &Sys;
   /// By pointer: UnitEnv (an Environment) is pinned to its address.
   std::vector<std::unique_ptr<UnitState>> States;
+  unsigned BatchCap = 1;
   uint64_t BoundOuterIdentity = 0;
   std::string Error;
 };

@@ -9,6 +9,50 @@
 
 using namespace sigc;
 
+namespace {
+
+/// Unbatched port: every query crosses the environment boundary.
+struct DirectPort {
+  Environment &Env;
+  const StepBindings &Bind;
+  bool tick(int32_t Desc, unsigned Instant) {
+    return Env.clockTick(Bind.Clocks[Desc], Instant);
+  }
+  const Value input(int32_t Desc, unsigned Instant) {
+    return Env.inputValue(Bind.Inputs[Desc], Instant);
+  }
+  void output(int32_t Desc, unsigned Instant, const Value &V) {
+    Env.writeOutput(Bind.Outputs[Desc], Instant, V);
+  }
+};
+
+/// Batched port: ticks and inputs come out of the prefetched buffers,
+/// outputs land in the flush buffers; no environment crossing at all.
+struct BatchPort {
+  const unsigned char *Ticks; ///< [desc * Cap + I]
+  const Value *Ins;           ///< [desc * Cap + I]
+  unsigned Cap = 0;
+  unsigned I = 0; ///< Batch-relative instant.
+  unsigned char *OutPresent;  ///< [I * NumOut + flush pos]
+  Value *OutVals;
+  const int32_t *FlushPos; ///< Output desc -> flush position.
+  unsigned NumOut = 0;
+
+  bool tick(int32_t Desc, unsigned) {
+    return Ticks[static_cast<size_t>(Desc) * Cap + I] != 0;
+  }
+  const Value &input(int32_t Desc, unsigned) {
+    return Ins[static_cast<size_t>(Desc) * Cap + I];
+  }
+  void output(int32_t Desc, unsigned, const Value &V) {
+    size_t At = static_cast<size_t>(I) * NumOut + FlushPos[Desc];
+    OutPresent[At] = 1;
+    OutVals[At] = V;
+  }
+};
+
+} // namespace
+
 void VmExecutor::reset() {
   ClockSlots.assign(CS.NumClockSlots, 0);
   // Scratch slots for interior expression results live after the values.
@@ -19,12 +63,19 @@ void VmExecutor::reset() {
 void VmExecutor::bind(Environment &Env) {
   Bind = resolveBindings(Env, CS.ClockInputs, CS.Inputs, CS.Outputs);
   BoundIdentity = Env.identity();
+  // The flush table maps each output descriptor to its batch-flush
+  // position (code order of the WriteOutput instructions) and each
+  // position to the environment id just bound.
+  FlushPos.assign(CS.Outputs.size(), 0);
+  FlushIds.assign(CS.OutputFlushOrder.size(), InvalidEnvId);
+  for (size_t Pos = 0; Pos < CS.OutputFlushOrder.size(); ++Pos) {
+    FlushPos[CS.OutputFlushOrder[Pos]] = static_cast<int32_t>(Pos);
+    FlushIds[Pos] = Bind.Outputs[CS.OutputFlushOrder[Pos]];
+  }
 }
 
-void VmExecutor::step(Environment &Env, unsigned Instant) {
-  if (Env.identity() != BoundIdentity)
-    bind(Env);
-
+template <typename Port>
+void VmExecutor::execInstant(Port &P, unsigned Instant) {
   // Presence is recomputed from scratch each instant.
   std::fill(ClockSlots.begin(), ClockSlots.end(), 0);
 
@@ -48,7 +99,7 @@ void VmExecutor::step(Environment &Env, unsigned Instant) {
     case VmOp::SkipIfAbsent:
       break; // handled above
     case VmOp::ReadClockInput:
-      Clock[In.Target] = Env.clockTick(Bind.Clocks[In.Aux], Instant) ? 1 : 0;
+      Clock[In.Target] = P.tick(In.Aux, Instant) ? 1 : 0;
       break;
     case VmOp::EvalClockLiteral: {
       bool V = Vals[In.A].asBool();
@@ -72,7 +123,7 @@ void VmExecutor::step(Environment &Env, unsigned Instant) {
       Clock[In.Target] = 0;
       break;
     case VmOp::ReadSignal:
-      Vals[In.Target] = Env.inputValue(Bind.Inputs[In.Aux], Instant);
+      Vals[In.Target] = P.input(In.Aux, Instant);
       break;
     case VmOp::UnarySlot:
       Vals[In.Target] =
@@ -106,13 +157,83 @@ void VmExecutor::step(Environment &Env, unsigned Instant) {
       State[In.Target] = Vals[In.A];
       break;
     case VmOp::WriteOutput:
-      Env.writeOutput(Bind.Outputs[In.Aux], Instant, Vals[In.A]);
+      P.output(In.Aux, Instant, Vals[In.A]);
       break;
     }
   }
 }
 
+void VmExecutor::step(Environment &Env, unsigned Instant) {
+  if (Env.identity() != BoundIdentity)
+    bind(Env);
+  DirectPort P{Env, Bind};
+  execInstant(P, Instant);
+}
+
+void VmExecutor::reserveBatch(unsigned MaxCount) {
+  if (MaxCount <= BatchCap)
+    return;
+  BatchCap = MaxCount;
+  TickBuf.assign(CS.ClockInputs.size() * static_cast<size_t>(BatchCap), 0);
+  InBuf.assign(CS.Inputs.size() * static_cast<size_t>(BatchCap), Value());
+  OutPresent.assign(static_cast<size_t>(BatchCap) * CS.Outputs.size(), 0);
+  OutVals.assign(static_cast<size_t>(BatchCap) * CS.Outputs.size(), Value());
+  WatchBuf.assign(WatchSlots.size() * static_cast<size_t>(BatchCap), 0);
+}
+
+void VmExecutor::setWatchSlots(std::vector<int> Slots) {
+  WatchSlots = std::move(Slots);
+  WatchBuf.assign(WatchSlots.size() * static_cast<size_t>(BatchCap), 0);
+}
+
+void VmExecutor::stepN(Environment &Env, unsigned Start, unsigned Count) {
+  if (Count == 0)
+    return;
+  if (Env.identity() != BoundIdentity)
+    bind(Env);
+  reserveBatch(Count);
+
+  const unsigned NumOut = static_cast<unsigned>(CS.Outputs.size());
+
+  // One boundary crossing per descriptor: prefetch the whole window.
+  for (size_t D = 0; D < CS.ClockInputs.size(); ++D)
+    Env.clockTicks(Bind.Clocks[D], Start, Count, &TickBuf[D * BatchCap]);
+  for (size_t D = 0; D < CS.Inputs.size(); ++D)
+    Env.inputValues(Bind.Inputs[D], Start, Count, &InBuf[D * BatchCap]);
+  std::fill(OutPresent.begin(),
+            OutPresent.begin() + static_cast<size_t>(Count) * NumOut, 0);
+
+  BatchPort P;
+  P.Ticks = TickBuf.data();
+  P.Ins = InBuf.data();
+  P.Cap = BatchCap;
+  P.OutPresent = OutPresent.data();
+  P.OutVals = OutVals.data();
+  P.FlushPos = FlushPos.data();
+  P.NumOut = NumOut;
+
+  for (unsigned I = 0; I < Count; ++I) {
+    P.I = I;
+    execInstant(P, Start + I);
+    for (size_t W = 0; W < WatchSlots.size(); ++W)
+      WatchBuf[W * BatchCap + I] =
+          WatchSlots[W] >= 0 ? ClockSlots[WatchSlots[W]] : 0;
+  }
+
+  // One crossing back: flush the batch's outputs in unbatched order.
+  Env.exchangeOutputs(Start, Count, NumOut, FlushIds.data(),
+                      OutPresent.data(), OutVals.data());
+}
+
 void VmExecutor::run(Environment &Env, unsigned Count) {
   for (unsigned I = 0; I < Count; ++I)
     step(Env, I);
+}
+
+void VmExecutor::runBatched(Environment &Env, unsigned Count,
+                            unsigned BatchSize) {
+  if (BatchSize == 0)
+    BatchSize = 1;
+  for (unsigned Start = 0; Start < Count; Start += BatchSize)
+    stepN(Env, Start, std::min(BatchSize, Count - Start));
 }

@@ -9,6 +9,13 @@
 /// environment) pair. In the steady state one instant performs zero heap
 /// allocations (pinned by the counting-allocator test).
 ///
+/// stepN() runs a whole batch of instants with one environment crossing
+/// per descriptor: free-clock ticks and input values are fetched up
+/// front through the bulk exchange API, outputs are buffered and flushed
+/// once at batch end in exactly the order an unbatched run would record
+/// them. Slots stay hot across the batch; traces and counters are
+/// bit-identical to N calls of step().
+///
 /// Guard/instruction counters mirror the nested StepExecutor exactly, so
 /// benchmarks and regression tests can compare the two modes' guard
 /// economics number for number.
@@ -40,8 +47,33 @@ public:
   /// Runs one reaction. \p Instant tags environment queries and outputs.
   void step(Environment &Env, unsigned Instant);
 
+  /// Runs \p Count reactions starting at instant \p Start, crossing the
+  /// environment boundary once per descriptor per batch (bulk tick and
+  /// input prefetch, one output flush). Trace and counters equal \p Count
+  /// calls of step(). Allocation-free once the batch buffers exist (see
+  /// reserveBatch).
+  void stepN(Environment &Env, unsigned Start, unsigned Count);
+
   /// Runs \p Count reactions starting at instant 0.
   void run(Environment &Env, unsigned Count);
+
+  /// Runs \p Count reactions starting at instant 0, stepN-batched in
+  /// windows of \p BatchSize.
+  void runBatched(Environment &Env, unsigned Count, unsigned BatchSize);
+
+  /// Preallocates the batch buffers for batches of up to \p MaxCount
+  /// instants; stepN grows them on demand otherwise (a one-time
+  /// allocation, after which stepN is allocation-free).
+  void reserveBatch(unsigned MaxCount);
+
+  /// Clock slots whose presence stepN records per instant (the linked
+  /// executor's dynamic channel checks read them back).
+  void setWatchSlots(std::vector<int> Slots);
+  /// Presence of watch slot \p Watch at batch-relative instant \p I of
+  /// the last stepN.
+  bool watchPresence(size_t Watch, unsigned I) const {
+    return WatchBuf[Watch * BatchCap + I] != 0;
+  }
 
   /// Guard tests performed so far; equals the nested StepExecutor's count
   /// on the same trace (one test per block entry).
@@ -61,6 +93,10 @@ public:
   const StepBindings &bindings() const { return Bind; }
 
 private:
+  /// One instant's PC walk; \p Port supplies ticks/inputs and receives
+  /// outputs (direct environment queries or batch buffers).
+  template <typename Port> void execInstant(Port &P, unsigned Instant);
+
   const CompiledStep &CS;
   uint64_t BoundIdentity = 0; ///< identity() of the bound environment.
   StepBindings Bind;
@@ -69,6 +105,17 @@ private:
   std::vector<Value> StateSlots;
   uint64_t GuardTests = 0;
   uint64_t Executed = 0;
+
+  //===--- Batch state ----------------------------------------------------===//
+  unsigned BatchCap = 0;               ///< Capacity of all batch buffers.
+  std::vector<unsigned char> TickBuf;  ///< [clock desc][instant].
+  std::vector<Value> InBuf;            ///< [input desc][instant].
+  std::vector<unsigned char> OutPresent; ///< [instant][flush position].
+  std::vector<Value> OutVals;            ///< [instant][flush position].
+  std::vector<int32_t> FlushPos;       ///< Output desc -> flush position.
+  std::vector<EnvOutputId> FlushIds;   ///< Flush position -> bound env id.
+  std::vector<int> WatchSlots;
+  std::vector<unsigned char> WatchBuf; ///< [watch][instant].
 };
 
 } // namespace sigc

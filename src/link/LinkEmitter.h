@@ -5,12 +5,16 @@
 /// step function is emitted unchanged by CEmitter (one `<proc>_step` per
 /// process), followed by a generated system driver —
 ///
-///   <sys>_state_t   every unit's state struct,
-///   <sys>_in_t      the system's external ticks and input values
-///                   (channel-bound ticks and values do not appear),
-///   <sys>_out_t     the external outputs,
-///   <sys>_step()    calls the units in link order and wires the
-///                   channels between their in/out structs.
+///   <sys>_state_t      every unit's state struct,
+///   <sys>_in_t         the system's external ticks and input values
+///                      (channel-bound ticks and values do not appear),
+///   <sys>_out_t        the external outputs,
+///   <sys>_step()       calls the units in link order and wires the
+///                      channels between their in/out structs,
+///   <sys>_step_batch() runs N instants per-unit-batched in fixed-size
+///                      chunks (each unit runs a whole window before
+///                      the next unit starts — the link order is
+///                      feedback-free), mirroring LinkedExecutor::stepN.
 ///
 /// External fields are deduplicated by name, mirroring the interpreter's
 /// name-keyed environment: two units importing the same unmatched signal

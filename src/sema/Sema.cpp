@@ -162,14 +162,24 @@ TypeKind Sema::checkExpr(const ProcessDecl &D, Expr *E) {
     TypeKind R = checkExpr(D, Df->alternative());
     if (L == TypeKind::Unknown || R == TypeKind::Unknown)
       return TypeKind::Unknown;
-    if (isNumeric(L) && isNumeric(R))
-      Result = (L == TypeKind::Real || R == TypeKind::Real) ? TypeKind::Real
-                                                            : TypeKind::Integer;
-    else if (isBoolish(L) && isBoolish(R))
+    if (isNumeric(L) && isNumeric(R)) {
+      // No implicit integer/real promotion across the merge: the arms'
+      // runtime kinds would then depend on which arm is present each
+      // instant, which no static lowering (the C emitter's typed slot
+      // locals in particular) can reproduce. SIGNAL's default requires
+      // like-typed operands; enforce it.
+      if (L != R) {
+        Diags.error(E->loc(), std::string("operands of 'default' must have "
+                                          "the same numeric type, got ") +
+                                  typeName(L) + " and " + typeName(R));
+        return TypeKind::Unknown;
+      }
+      Result = L;
+    } else if (isBoolish(L) && isBoolish(R)) {
       Result = (L == TypeKind::Event && R == TypeKind::Event)
                    ? TypeKind::Event
                    : TypeKind::Boolean;
-    else {
+    } else {
       Diags.error(E->loc(), std::string("operands of 'default' have "
                                         "incompatible types ") +
                                 typeName(L) + " and " + typeName(R));

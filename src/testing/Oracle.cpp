@@ -80,9 +80,12 @@ std::string cInputLiteral(const Value &V) {
 /// every free-clock tick and input value of every instant is precomputed
 /// from the same RandomEnvironment the in-process paths used (its answers
 /// are pure functions of seed, name and instant) and baked into arrays.
+/// Instants run through the batched entry point over input/output
+/// arrays, exercising the same boundary the VM's stepN amortizes; the
+/// generated counters print as one trailing #counters line.
 std::string buildHarness(const Compilation &C, const std::string &Proc,
                          const OracleOptions &Options) {
-  const StepProgram &Step = C.Step;
+  const CompiledStep &Step = C.Compiled;
   RandomEnvironment Env(Options.EnvSeed, Options.TickPermille);
   unsigned N = Options.Instants;
 
@@ -106,90 +109,155 @@ std::string buildHarness(const Compilation &C, const std::string &Proc,
     Out += "};\n";
   }
 
+  Out += "\nstatic " + Proc + "_in_t in_v[" + std::to_string(N) + "];\n";
+  Out += "static " + Proc + "_out_t out_v[" + std::to_string(N) + "];\n";
   Out += "\nint main(void) {\n";
   Out += "  " + Proc + "_state_t st;\n";
-  Out += "  " + Proc + "_in_t in;\n";
-  Out += "  " + Proc + "_out_t out;\n";
+  Out += "  unsigned i;\n";
   Out += "  " + Proc + "_init(&st);\n";
-  Out += "  for (unsigned i = 0; i < " + std::to_string(N) + "; ++i) {\n";
+  Out += "  for (i = 0; i < " + std::to_string(N) + "; ++i) {\n";
   for (const auto &CI : Step.ClockInputs) {
     std::string Id = sanitizeIdent(CI.Name);
-    Out += "    in.tick_" + Id + " = tick_" + Id + "_v[i];\n";
+    Out += "    in_v[i].tick_" + Id + " = tick_" + Id + "_v[i];\n";
   }
   for (const auto &SI : Step.Inputs) {
     std::string Id = sanitizeIdent(SI.Name);
-    Out += "    in." + Id + " = in_" + Id + "_v[i];\n";
+    Out += "    in_v[i]." + Id + " = in_" + Id + "_v[i];\n";
   }
-  Out += "    " + Proc + "_step(&st, &in, &out);\n";
+  Out += "  }\n";
+  Out += "  " + Proc + "_step_batch(&st, in_v, out_v, " + std::to_string(N) +
+         ");\n";
+  Out += "  for (i = 0; i < " + std::to_string(N) + "; ++i) {\n";
   for (const auto &SO : Step.Outputs) {
     std::string Id = sanitizeIdent(SO.Name);
     const char *Fmt = SO.Type == TypeKind::Integer  ? "%ld"
                       : SO.Type == TypeKind::Real ? "%.17g"
                                                     : "%d";
-    Out += "    if (out." + Id + "_present) printf(\"%u " + Id + "=" + Fmt +
-           "\\n\", i, out." + Id + ");\n";
+    Out += "    if (out_v[i]." + Id + "_present) printf(\"%u " + Id + "=" +
+           Fmt + "\\n\", i, out_v[i]." + Id + ");\n";
   }
-  Out += "  }\n  return 0;\n}\n";
+  Out += "  }\n";
+  Out += "  printf(\"#counters guards=%llu executed=%llu\\n\", "
+         "st.guard_tests, st.executed);\n";
+  Out += "  return 0;\n}\n";
   return Out;
 }
 
-/// Parses the harness' stdout back into output events.
-bool parseHarnessTrace(const std::string &Text, const StepProgram &Step,
-                       std::vector<OutputEvent> &Events,
-                       std::string &Error) {
+/// One classified line of a harness' stdout: a trailing "#counters
+/// guards=G executed=E" line or an "INSTANT IDENT=VALUE" event line.
+struct HarnessLine {
+  bool IsCounters = false;
+  unsigned Instant = 0;
+  std::string Ident;
+  std::string Val;
+};
+
+/// Classifies and splits one harness stdout line, filling the counter
+/// outputs for #counters lines. The one parser both the single-process
+/// and the linked round-trip share. \returns false with \p Error set on
+/// an unparseable line.
+bool splitHarnessLine(const std::string &Line, HarnessLine &Out,
+                      uint64_t &CGuards, uint64_t &CExecuted,
+                      std::string &Error) {
+  if (Line[0] == '#') {
+    unsigned long long G = 0, E = 0;
+    if (std::sscanf(Line.c_str(), "#counters guards=%llu executed=%llu", &G,
+                    &E) != 2) {
+      Error = "unparseable harness comment line: '" + Line + "'";
+      return false;
+    }
+    CGuards = G;
+    CExecuted = E;
+    Out.IsCounters = true;
+    return true;
+  }
+  size_t Sp = Line.find(' ');
+  size_t Eq = Line.find('=', Sp);
+  if (Sp == std::string::npos || Eq == std::string::npos) {
+    Error = "unparseable harness output line: '" + Line + "'";
+    return false;
+  }
+  Out.IsCounters = false;
+  Out.Instant =
+      static_cast<unsigned>(std::strtoul(Line.c_str(), nullptr, 10));
+  Out.Ident = Line.substr(Sp + 1, Eq - Sp - 1);
+  Out.Val = Line.substr(Eq + 1);
+  return true;
+}
+
+/// Parses one printed output value back into a Value of \p Type.
+/// \returns false for unknown-typed outputs.
+bool parseTypedValue(TypeKind Type, const std::string &Text, Value &V) {
+  switch (Type) {
+  case TypeKind::Boolean:
+    V = Value::makeBool(std::strtol(Text.c_str(), nullptr, 10) != 0);
+    return true;
+  case TypeKind::Event:
+    V = Value::makeEvent();
+    return true;
+  case TypeKind::Integer:
+    V = Value::makeInt(std::strtoll(Text.c_str(), nullptr, 10));
+    return true;
+  case TypeKind::Real:
+    V = Value::makeReal(std::strtod(Text.c_str(), nullptr));
+    return true;
+  case TypeKind::Unknown:
+    break;
+  }
+  return false;
+}
+
+/// Parses the harness' stdout back into output events plus the generated
+/// program's own guard/executed counters.
+bool parseHarnessTrace(const std::string &Text, const CompiledStep &Step,
+                       std::vector<OutputEvent> &Events, uint64_t &CGuards,
+                       uint64_t &CExecuted, std::string &Error) {
   std::istringstream In(Text);
   std::string Line;
   while (std::getline(In, Line)) {
     if (Line.empty())
       continue;
-    size_t Sp = Line.find(' ');
-    size_t Eq = Line.find('=', Sp);
-    if (Sp == std::string::npos || Eq == std::string::npos) {
-      Error = "unparseable harness output line: '" + Line + "'";
+    HarnessLine HL;
+    if (!splitHarnessLine(Line, HL, CGuards, CExecuted, Error))
       return false;
-    }
-    unsigned Instant =
-        static_cast<unsigned>(std::strtoul(Line.c_str(), nullptr, 10));
-    std::string Ident = Line.substr(Sp + 1, Eq - Sp - 1);
-    std::string Val = Line.substr(Eq + 1);
+    if (HL.IsCounters)
+      continue;
 
     const StepProgram::SignalIODesc *Desc = nullptr;
     for (const auto &SO : Step.Outputs)
-      if (sanitizeIdent(SO.Name) == Ident)
+      if (sanitizeIdent(SO.Name) == HL.Ident)
         Desc = &SO;
     if (!Desc) {
-      Error = "harness printed unknown output '" + Ident + "'";
+      Error = "harness printed unknown output '" + HL.Ident + "'";
       return false;
     }
 
     Value V;
-    switch (Desc->Type) {
-    case TypeKind::Boolean:
-      V = Value::makeBool(std::strtol(Val.c_str(), nullptr, 10) != 0);
-      break;
-    case TypeKind::Event:
-      V = Value::makeEvent();
-      break;
-    case TypeKind::Integer:
-      V = Value::makeInt(std::strtoll(Val.c_str(), nullptr, 10));
-      break;
-    case TypeKind::Real:
-      V = Value::makeReal(std::strtod(Val.c_str(), nullptr));
-      break;
-    case TypeKind::Unknown:
-      Error = "output '" + Ident + "' has unknown type";
+    if (!parseTypedValue(Desc->Type, HL.Val, V)) {
+      Error = "output '" + HL.Ident + "' has unknown type";
       return false;
     }
-    Events.push_back({Instant, Desc->Name, V});
+    Events.push_back({HL.Instant, Desc->Name, V});
   }
   return true;
 }
 
+/// The compile command of every C round-trip: the emitted code must be
+/// warning-free strict C99 (CI's "every oracle-emitted C file compiles
+/// -std=c99 -Wall -Werror" gate runs right here, on every oracle run).
+std::string ccCommand(const std::string &Bin, const std::string &CPath,
+                      const std::string &LogPath) {
+  return hostCC() + " -std=c99 -Wall -Werror -O1 -o " + Bin + " " + CPath +
+         " > " + LogPath + " 2>&1";
+}
+
 /// Compiles and runs the emitted C; fills \p Events with the subprocess
-/// trace. \returns false with \p Error set on any failure.
+/// trace and \p CGuards / \p CExecuted with the generated counters.
+/// \returns false with \p Error set on any failure.
 bool runCRoundTrip(Compilation &C, const std::string &ProcName,
                    const OracleOptions &Options,
-                   std::vector<OutputEvent> &Events, std::string &Error) {
+                   std::vector<OutputEvent> &Events, uint64_t &CGuards,
+                   uint64_t &CExecuted, std::string &Error) {
   const std::string &CC = hostCC();
   if (CC.empty()) {
     Error = "no host C compiler";
@@ -207,10 +275,9 @@ bool runCRoundTrip(Compilation &C, const std::string &ProcName,
   std::string OutPath = D + "/out.txt", LogPath = D + "/cc.log";
 
   CEmitOptions EO;
-  EO.Nested = Options.EmitNested;
   EO.WithDriver = false;
   std::string Proc = sanitizeIdent(ProcName);
-  std::string CSource = emitC(*C.Kernel, C.Step, C.names(), Proc, EO);
+  std::string CSource = emitC(C.Compiled, Proc, EO);
   CSource += buildHarness(C, Proc, Options);
 
   bool Ok = false;
@@ -218,16 +285,15 @@ bool runCRoundTrip(Compilation &C, const std::string &ProcName,
     std::ofstream OutFile(CPath);
     OutFile << CSource;
   }
-  std::string Compile =
-      CC + " -O1 -o " + Bin + " " + CPath + " > " + LogPath + " 2>&1";
-  if (std::system(Compile.c_str()) != 0) {
+  if (std::system(ccCommand(Bin, CPath, LogPath).c_str()) != 0) {
     Error = "host C compilation failed:\n" + readFile(LogPath) +
             "--- emitted C ---\n" + CSource;
   } else if (std::system((Bin + " > " + OutPath + " 2>/dev/null").c_str()) !=
              0) {
     Error = "emitted program exited non-zero";
   } else {
-    Ok = parseHarnessTrace(readFile(OutPath), C.Step, Events, Error);
+    Ok = parseHarnessTrace(readFile(OutPath), C.Compiled, Events, CGuards,
+                           CExecuted, Error);
   }
 
   for (const std::string &F : {CPath, Bin, OutPath, LogPath})
@@ -239,6 +305,8 @@ bool runCRoundTrip(Compilation &C, const std::string &ProcName,
 } // namespace
 
 bool sigc::hostCCompilerAvailable() { return !hostCC().empty(); }
+
+const std::string &sigc::hostCCompilerCommand() { return hostCC(); }
 
 OracleReport sigc::checkDifferential(const std::string &Name,
                                      const std::string &Source,
@@ -275,13 +343,39 @@ OracleReport sigc::checkDifferential(const std::string &Name,
   R.GuardTestsFlat = ExecFlat.guardTests();
   R.ExecutedFlat = ExecFlat.executed();
 
-  // Path 4: the slot-resolved VM.
+  // Path 4: the slot-resolved VM (the Compilation's single lowered IR).
   RandomEnvironment EnvVm(Options.EnvSeed, Options.TickPermille);
-  CompiledStep CS = CompiledStep::build(*C->Kernel, C->Step);
-  VmExecutor ExecVm(CS);
+  VmExecutor ExecVm(C->Compiled);
   ExecVm.run(EnvVm, Options.Instants);
   R.GuardTestsVm = ExecVm.guardTests();
   R.ExecutedVm = ExecVm.executed();
+
+  // Path 4b: the same VM batched — stepN windows over the bulk
+  // environment exchange must reproduce the unbatched run bit for bit,
+  // counters included.
+  RandomEnvironment EnvVmB(Options.EnvSeed, Options.TickPermille);
+  VmExecutor ExecVmB(C->Compiled);
+  ExecVmB.runBatched(EnvVmB, Options.Instants,
+                     Options.BatchSize ? Options.BatchSize : 1);
+  if (formatEvents(EnvVmB.outputs()) != formatEvents(EnvVm.outputs())) {
+    TraceDiff BD = compareTraces("step-vm", EnvVm.outputs(), "step-vm-batch",
+                                 EnvVmB.outputs());
+    R.Error = failure(Name, "batched VM diverges from unbatched",
+                      BD.Equal ? "same events, different order\n" : BD.Report,
+                      Source);
+    return R;
+  }
+  if (ExecVmB.guardTests() != R.GuardTestsVm ||
+      ExecVmB.executed() != R.ExecutedVm) {
+    R.Error = failure(
+        Name, "batched VM counters diverge from unbatched",
+        "vm:       guards=" + std::to_string(R.GuardTestsVm) +
+            " executed=" + std::to_string(R.ExecutedVm) +
+            "\nvm-batch: guards=" + std::to_string(ExecVmB.guardTests()) +
+            " executed=" + std::to_string(ExecVmB.executed()) + "\n",
+        Source);
+    return R;
+  }
 
   TraceDiff D = compareTraces("interp", EnvRef.outputs(), "step-flat",
                               EnvFlat.outputs());
@@ -317,13 +411,16 @@ OracleReport sigc::checkDifferential(const std::string &Name,
     return R;
   }
 
-  // Path 5: the emitted C, through the host compiler.
+  // Path 5: the emitted C, through the host compiler. Same bytecode,
+  // same trace, and the generated counters must land exactly on the
+  // VM's.
   if (Options.EmitCRoundTrip && hostCCompilerAvailable()) {
     const StringInterner &Names = C->names();
     std::string ProcName(Names.spelling(C->Decl->Name));
     std::vector<OutputEvent> CEvents;
     std::string Error;
-    if (!runCRoundTrip(*C, ProcName, Options, CEvents, Error)) {
+    if (!runCRoundTrip(*C, ProcName, Options, CEvents, R.GuardTestsC,
+                       R.ExecutedC, Error)) {
       R.Error = failure(Name, "emitted-C round-trip failed", Error, Source);
       return R;
     }
@@ -333,6 +430,16 @@ OracleReport sigc::checkDifferential(const std::string &Name,
     if (!D.Equal) {
       R.Error = failure(Name, "in-process vs emitted-C divergence", D.Report,
                         Source);
+      return R;
+    }
+    if (R.GuardTestsC != R.GuardTestsVm || R.ExecutedC != R.ExecutedVm) {
+      R.Error = failure(
+          Name, "emitted-C guard/instruction counters diverge from the VM",
+          "vm: guards=" + std::to_string(R.GuardTestsVm) +
+              " executed=" + std::to_string(R.ExecutedVm) +
+              "\nc:  guards=" + std::to_string(R.GuardTestsC) +
+              " executed=" + std::to_string(R.ExecutedC) + "\n",
+          Source);
       return R;
     }
   }
@@ -473,7 +580,10 @@ private:
 /// Scripted-replay harness for a linked emission: every external tick and
 /// input value of every instant is precomputed from the same
 /// RandomEnvironment the in-process paths used and baked into arrays.
-std::string buildLinkedHarness(const LinkedCInterface &CI,
+/// Instants run through the per-unit-batched system entry point; the
+/// units' generated counters print summed as one #counters line.
+std::string buildLinkedHarness(const LinkedSystem &Sys,
+                               const LinkedCInterface &CI,
                                const std::string &SysName,
                                const OracleOptions &Options) {
   RandomEnvironment Env(Options.EnvSeed, Options.TickPermille);
@@ -497,74 +607,72 @@ std::string buildLinkedHarness(const LinkedCInterface &CI,
     Out += "};\n";
   }
 
+  Out += "\nstatic " + SysName + "_in_t in_v[" + std::to_string(N) + "];\n";
+  Out += "static " + SysName + "_out_t out_v[" + std::to_string(N) + "];\n";
   Out += "\nint main(void) {\n";
   Out += "  " + SysName + "_state_t st;\n";
-  Out += "  " + SysName + "_in_t in;\n";
-  Out += "  " + SysName + "_out_t out;\n";
+  Out += "  unsigned i;\n";
   Out += "  " + SysName + "_init(&st);\n";
-  Out += "  for (unsigned i = 0; i < " + std::to_string(N) + "; ++i) {\n";
+  Out += "  for (i = 0; i < " + std::to_string(N) + "; ++i) {\n";
   for (const auto &T : CI.Ticks)
-    Out += "    in." + T.Field + " = " + T.Field + "_v[i];\n";
+    Out += "    in_v[i]." + T.Field + " = " + T.Field + "_v[i];\n";
   for (const auto &V : CI.Inputs)
-    Out += "    in." + V.Field + " = in_" + V.Field + "_v[i];\n";
-  Out += "    " + SysName + "_step(&st, &in, &out);\n";
+    Out += "    in_v[i]." + V.Field + " = in_" + V.Field + "_v[i];\n";
+  Out += "  }\n";
+  Out += "  " + SysName + "_step_batch(&st, in_v, out_v, " +
+         std::to_string(N) + ");\n";
+  Out += "  for (i = 0; i < " + std::to_string(N) + "; ++i) {\n";
   for (const auto &V : CI.Outputs) {
     const char *Fmt = V.Type == TypeKind::Integer ? "%ld"
                       : V.Type == TypeKind::Real  ? "%.17g"
                                                   : "%d";
-    Out += "    if (out." + V.Field + "_present) printf(\"%u " + V.Field +
-           "=" + Fmt + "\\n\", i, out." + V.Field + ");\n";
+    Out += "    if (out_v[i]." + V.Field + "_present) printf(\"%u " +
+           V.Field + "=" + Fmt + "\\n\", i, out_v[i]." + V.Field + ");\n";
   }
-  Out += "  }\n  return 0;\n}\n";
+  Out += "  }\n";
+  std::string Guards, Executed;
+  for (unsigned U = 0; U < Sys.Units.size(); ++U) {
+    std::string Member = "st.u" + std::to_string(U) + ".";
+    Guards += (U ? " + " : "") + Member + "guard_tests";
+    Executed += (U ? " + " : "") + Member + "executed";
+  }
+  Out += "  printf(\"#counters guards=%llu executed=%llu\\n\", " + Guards +
+         ", " + Executed + ");\n";
+  Out += "  return 0;\n}\n";
   return Out;
 }
 
-/// Parses the linked harness' stdout back into output events.
+/// Parses the linked harness' stdout back into output events plus the
+/// summed per-unit counters (line grammar shared with the
+/// single-process parser via splitHarnessLine/parseTypedValue).
 bool parseLinkedTrace(const std::string &Text, const LinkedCInterface &CI,
-                      std::vector<OutputEvent> &Events, std::string &Error) {
+                      std::vector<OutputEvent> &Events, uint64_t &CGuards,
+                      uint64_t &CExecuted, std::string &Error) {
   std::istringstream In(Text);
   std::string Line;
   while (std::getline(In, Line)) {
     if (Line.empty())
       continue;
-    size_t Sp = Line.find(' ');
-    size_t Eq = Line.find('=', Sp);
-    if (Sp == std::string::npos || Eq == std::string::npos) {
-      Error = "unparseable harness output line: '" + Line + "'";
+    HarnessLine HL;
+    if (!splitHarnessLine(Line, HL, CGuards, CExecuted, Error))
       return false;
-    }
-    unsigned Instant =
-        static_cast<unsigned>(std::strtoul(Line.c_str(), nullptr, 10));
-    std::string Ident = Line.substr(Sp + 1, Eq - Sp - 1);
-    std::string Val = Line.substr(Eq + 1);
+    if (HL.IsCounters)
+      continue;
 
     const LinkedCInterface::ValueField *Desc = nullptr;
     for (const auto &V : CI.Outputs)
-      if (V.Field == Ident)
+      if (V.Field == HL.Ident)
         Desc = &V;
     if (!Desc) {
-      Error = "harness printed unknown output '" + Ident + "'";
+      Error = "harness printed unknown output '" + HL.Ident + "'";
       return false;
     }
     Value V;
-    switch (Desc->Type) {
-    case TypeKind::Boolean:
-      V = Value::makeBool(std::strtol(Val.c_str(), nullptr, 10) != 0);
-      break;
-    case TypeKind::Event:
-      V = Value::makeEvent();
-      break;
-    case TypeKind::Integer:
-      V = Value::makeInt(std::strtoll(Val.c_str(), nullptr, 10));
-      break;
-    case TypeKind::Real:
-      V = Value::makeReal(std::strtod(Val.c_str(), nullptr));
-      break;
-    case TypeKind::Unknown:
-      Error = "output '" + Ident + "' has unknown type";
+    if (!parseTypedValue(Desc->Type, HL.Val, V)) {
+      Error = "output '" + HL.Ident + "' has unknown type";
       return false;
     }
-    Events.push_back({Instant, Desc->SignalName, V});
+    Events.push_back({HL.Instant, Desc->SignalName, V});
   }
   return true;
 }
@@ -573,8 +681,8 @@ bool parseLinkedTrace(const std::string &Text, const LinkedCInterface &CI,
 /// subprocess trace.
 bool runLinkedCRoundTrip(const LinkedSystem &Sys,
                          const OracleOptions &Options,
-                         std::vector<OutputEvent> &Events,
-                         std::string &Error) {
+                         std::vector<OutputEvent> &Events, uint64_t &CGuards,
+                         uint64_t &CExecuted, std::string &Error) {
   const std::string &CC = hostCC();
   if (CC.empty()) {
     Error = "no host C compiler";
@@ -591,28 +699,26 @@ bool runLinkedCRoundTrip(const LinkedSystem &Sys,
   std::string OutPath = D + "/out.txt", LogPath = D + "/cc.log";
 
   CEmitOptions EO;
-  EO.Nested = Options.EmitNested;
   EO.WithDriver = false;
   std::string SysName = "linked_sys";
   LinkedCInterface CI = linkedCInterface(Sys);
   std::string CSource = emitLinkedC(Sys, SysName, EO);
-  CSource += buildLinkedHarness(CI, SysName, Options);
+  CSource += buildLinkedHarness(Sys, CI, SysName, Options);
 
   bool Ok = false;
   {
     std::ofstream OutFile(CPath);
     OutFile << CSource;
   }
-  std::string Compile =
-      CC + " -O1 -o " + Bin + " " + CPath + " > " + LogPath + " 2>&1";
-  if (std::system(Compile.c_str()) != 0) {
+  if (std::system(ccCommand(Bin, CPath, LogPath).c_str()) != 0) {
     Error = "host C compilation failed:\n" + readFile(LogPath) +
             "--- emitted C ---\n" + CSource;
   } else if (std::system((Bin + " > " + OutPath + " 2>/dev/null").c_str()) !=
              0) {
     Error = "emitted linked program exited non-zero";
   } else {
-    Ok = parseLinkedTrace(readFile(OutPath), CI, Events, Error);
+    Ok = parseLinkedTrace(readFile(OutPath), CI, Events, CGuards, CExecuted,
+                          Error);
   }
 
   for (const std::string &F : {CPath, Bin, OutPath, LogPath})
@@ -712,11 +818,43 @@ OracleReport sigc::checkLinkedDifferential(
     return R;
   }
 
-  // Path 3: the linked C emission, through the host compiler.
+  // Path 2b: the linked system batched per unit — stepN windows must
+  // reproduce the unbatched linked run bit for bit, counters included.
+  RandomEnvironment EnvLinkedB(Options.EnvSeed, Options.TickPermille);
+  LinkedExecutor LinkedB(Sys);
+  if (!LinkedB.runBatched(EnvLinkedB, Options.Instants,
+                          Options.BatchSize ? Options.BatchSize : 1)) {
+    R.Error = failure(Name, "batched linked execution stopped",
+                      LinkedB.error() + "\n", AllSources);
+    return R;
+  }
+  if (formatEvents(EnvLinkedB.outputs()) != formatEvents(EnvLinked.outputs())) {
+    TraceDiff BD = compareTraces("linked", EnvLinked.outputs(),
+                                 "linked-batch", EnvLinkedB.outputs());
+    R.Error = failure(Name, "batched linked diverges from unbatched",
+                      BD.Equal ? "same events, different order\n" : BD.Report,
+                      AllSources);
+    return R;
+  }
+  if (LinkedB.guardTests() != Linked.guardTests() ||
+      LinkedB.executed() != Linked.executed()) {
+    R.Error = failure(
+        Name, "batched linked counters diverge from unbatched",
+        "linked:       guards=" + std::to_string(Linked.guardTests()) +
+            " executed=" + std::to_string(Linked.executed()) +
+            "\nlinked-batch: guards=" + std::to_string(LinkedB.guardTests()) +
+            " executed=" + std::to_string(LinkedB.executed()) + "\n",
+        AllSources);
+    return R;
+  }
+
+  // Path 3: the linked C emission, through the host compiler; the
+  // per-unit generated counters (summed) must land on the linked VM's.
   if (Options.EmitCRoundTrip && hostCCompilerAvailable()) {
     std::vector<OutputEvent> CEvents;
     std::string Error;
-    if (!runLinkedCRoundTrip(Sys, Options, CEvents, Error)) {
+    if (!runLinkedCRoundTrip(Sys, Options, CEvents, R.GuardTestsC,
+                             R.ExecutedC, Error)) {
       R.Error = failure(Name, "linked-C round-trip failed", Error,
                         AllSources);
       return R;
@@ -726,6 +864,17 @@ OracleReport sigc::checkLinkedDifferential(
     if (!D.Equal) {
       R.Error = failure(Name, "linked interp vs linked-C divergence",
                         D.Report, AllSources);
+      return R;
+    }
+    if (R.GuardTestsC != Linked.guardTests() ||
+        R.ExecutedC != Linked.executed()) {
+      R.Error = failure(
+          Name, "linked-C counters diverge from the linked VM",
+          "linked: guards=" + std::to_string(Linked.guardTests()) +
+              " executed=" + std::to_string(Linked.executed()) +
+              "\nc:      guards=" + std::to_string(R.GuardTestsC) +
+              " executed=" + std::to_string(R.ExecutedC) + "\n",
+          AllSources);
       return R;
     }
   }

@@ -8,9 +8,13 @@
 ///   1. the reference fixpoint interpreter (KernelInterp),
 ///   2. the compiled step program, flat control structure,
 ///   3. the compiled step program, nested control structure,
-///   4. the slot-resolved VM (CompiledStep through VmExecutor),
-///   5. optionally, the emitted C round-tripped through the host C
-///      compiler and executed as a subprocess,
+///   4. the slot-resolved VM (CompiledStep through VmExecutor), both
+///      instant by instant and batched through the bulk environment
+///      exchange (stepN windows),
+///   5. optionally, the emitted C — lowered from the same CompiledStep
+///      bytecode — round-tripped through the host C compiler (-std=c99
+///      -Wall -Werror) and executed as a subprocess, its generated
+///      guard/executed counters pinned equal to the VM's,
 ///
 /// and demand bit-identical output traces. Any divergence is a bug in the
 /// clock hierarchy, the schedule, the step compiler or the C emitter, and
@@ -36,11 +40,15 @@ struct OracleOptions {
   unsigned Instants = 64;      ///< Reactions to execute.
   uint64_t EnvSeed = 1;        ///< RandomEnvironment seed.
   unsigned TickPermille = 800; ///< Free-clock tick probability.
-  /// Also compile the emitted C with the host C compiler and compare the
-  /// subprocess trace. Skipped (not failed) when no compiler is found.
+  /// Window size of the batched VM/linked legs (stepN); every oracle run
+  /// drives both the unbatched and the batched engine and demands
+  /// identical traces and counters.
+  unsigned BatchSize = 8;
+  /// Also compile the emitted C with the host C compiler (-std=c99
+  /// -Wall -Werror) and compare the subprocess trace and its
+  /// guard/executed counters against the VM's. Skipped (not failed)
+  /// when no compiler is found.
   bool EmitCRoundTrip = false;
-  /// Emit the nested control structure in the round-trip (flat otherwise).
-  bool EmitNested = true;
 };
 
 /// Outcome of one oracle run.
@@ -58,6 +66,11 @@ struct OracleReport {
   uint64_t ExecutedFlat = 0;
   uint64_t ExecutedNested = 0;
   uint64_t ExecutedVm = 0;
+  /// Counters of the emitted-C leg, parsed from the generated program's
+  /// own state struct and pinned equal to the VM's (0 until the
+  /// round-trip runs).
+  uint64_t GuardTestsC = 0;
+  uint64_t ExecutedC = 0;
   /// Linked-oracle counters: the monolithic nested run vs the linked
   /// system (sum over units). Zero for single-process reports.
   uint64_t GuardTestsMono = 0;
@@ -79,6 +92,11 @@ OracleReport checkRandomDifferential(uint64_t Seed,
 /// \returns true when a host C compiler usable for the round-trip exists.
 bool hostCCompilerAvailable();
 
+/// The probed host C compiler command ("" when none was found) — the one
+/// probe shared by the oracle's round-trips and bench_step's emitted-C
+/// leg.
+const std::string &hostCCompilerCommand();
+
 //===----------------------------------------------------------------------===//
 // Linked-system differential oracle
 //===----------------------------------------------------------------------===//
@@ -91,9 +109,10 @@ bool hostCCompilerAvailable();
 //
 //   1. the monolithic compilation's nested step program (itself cross-
 //      checked against the fixpoint interpreter),
-//   2. the LinkedExecutor over the separately compiled units,
+//   2. the LinkedExecutor over the separately compiled units, both
+//      instant by instant and batched per unit (stepN windows),
 //   3. optionally, the linked C emission round-tripped through the host
-//      C compiler.
+//      C compiler, its per-unit counters pinned to the linked VM's.
 //
 // The report also fails if linking re-resolved any process's forest (node
 // counts must not change between compilation and link).

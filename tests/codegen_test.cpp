@@ -79,20 +79,33 @@ TEST(CEmitter, SanitizeIdent) {
   EXPECT_EQ(sanitizeIdent("123"), "x123");
 }
 
+TEST(StepProgram, ValueSlotTypesRecorded) {
+  auto C = compileOk(proc("? integer A; boolean C1; ! real Y;",
+                          "   Y := 0.5 when C1"));
+  ASSERT_EQ(C->Step.ValueSlotType.size(),
+            static_cast<size_t>(C->Step.NumValueSlots));
+  bool SawInt = false, SawReal = false;
+  for (TypeKind K : C->Step.ValueSlotType) {
+    SawInt |= K == TypeKind::Integer;
+    SawReal |= K == TypeKind::Real;
+  }
+  EXPECT_TRUE(SawInt);
+  EXPECT_TRUE(SawReal);
+}
+
 namespace {
 
-std::string emit(Compilation &C, bool Nested, bool Driver = false) {
+std::string emit(Compilation &C, bool Driver = false) {
   CEmitOptions O;
-  O.Nested = Nested;
   O.WithDriver = Driver;
-  return emitC(*C.Kernel, C.Step, C.names(), "p", O);
+  return emitC(C.Compiled, "p", O);
 }
 
 } // namespace
 
 TEST(CEmitter, GeneratesStepFunction) {
   auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A * 2"));
-  std::string Code = emit(*C, true);
+  std::string Code = emit(*C);
   EXPECT_NE(Code.find("void p_step(p_state_t *st, const p_in_t *in, "
                       "p_out_t *out)"),
             std::string::npos)
@@ -101,44 +114,123 @@ TEST(CEmitter, GeneratesStepFunction) {
   EXPECT_NE(Code.find("out->Y_present = 1"), std::string::npos);
 }
 
-TEST(CEmitter, NestedUsesBlockStructure) {
-  auto C = compileOk(proc("? integer A; boolean C1; ! integer Y;",
-                          "   Y := A when C1"));
-  std::string Nested = emit(*C, true);
-  std::string Flat = emit(*C, false);
-  // Flat has one if per guarded statement (single-line bodies), nested
-  // opens multi-statement blocks; both must mention the output write.
-  EXPECT_NE(Nested.find("if ("), std::string::npos);
-  EXPECT_NE(Flat.find("if ("), std::string::npos);
-  // Nested form has strictly fewer guard tests in the text.
-  auto countIfs = [](const std::string &S) {
+TEST(CEmitter, EmitsBatchEntryPoint) {
+  auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A * 2"));
+  std::string Code = emit(*C);
+  EXPECT_NE(Code.find("void p_step_batch(p_state_t *st, const p_in_t *in, "
+                      "p_out_t *out, unsigned n)"),
+            std::string::npos)
+      << Code;
+}
+
+TEST(CEmitter, StructuredIfsMatchSkipInstructionCount) {
+  // The emitter reconstructs exactly one `if` per SkipIfAbsent — the
+  // bytecode's guard economics carry into the C text one for one.
+  auto C = compileOk(proc("? integer A; boolean C1, C2; ! integer Y;",
+                          "   T1 := A when C1\n"
+                          "   | T2 := T1 when C2\n"
+                          "   | Y := T2 + 1",
+                          "integer T1, T2;"));
+  std::string Code = emit(*C);
+  size_t Skips = 0;
+  for (const VmInstr &In : C->Compiled.Code)
+    Skips += In.Op == VmOp::SkipIfAbsent;
+  auto count = [](const std::string &S, const std::string &Needle) {
     size_t N = 0, Pos = 0;
-    while ((Pos = S.find("if (", Pos)) != std::string::npos) {
+    while ((Pos = S.find(Needle, Pos)) != std::string::npos) {
       ++N;
-      Pos += 4;
+      Pos += Needle.size();
     }
     return N;
   };
-  EXPECT_LT(countIfs(Nested), countIfs(Flat));
+  EXPECT_GT(Skips, 0u);
+  // Each skip contributes one guard-counter bump and one if.
+  EXPECT_EQ(count(Code, "st->guard_tests += 1ULL;"), Skips) << Code;
+  EXPECT_EQ(count(Code, "if (c"), Skips) << Code;
+}
+
+TEST(CEmitter, CountersLiveInStateStruct) {
+  auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A + 1"));
+  std::string Code = emit(*C);
+  EXPECT_NE(Code.find("unsigned long long guard_tests;"), std::string::npos);
+  EXPECT_NE(Code.find("unsigned long long executed;"), std::string::npos);
+  EXPECT_NE(Code.find("st->guard_tests = 0ULL;"), std::string::npos);
+  EXPECT_NE(Code.find("st->executed += "), std::string::npos);
+}
+
+TEST(CEmitter, FoldedConstantsAreInlined) {
+  // 2 * 3 + 4 folds at bytecode build time; the C must carry the folded
+  // literal, not the expression.
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := A + (2 * 3 + 4)"));
+  std::string Code = emit(*C);
+  EXPECT_NE(Code.find("10L"), std::string::npos) << Code;
+  EXPECT_EQ(Code.find("2L * 3L"), std::string::npos) << Code;
+}
+
+TEST(CEmitter, ScratchSlotsBecomeLocals) {
+  // A multi-operator tree needs scratch slots; they surface as locals
+  // past the value-slot range.
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := (A * A + 1) * (A - 2)"));
+  ASSERT_GT(C->Compiled.NumTempSlots, 0u);
+  std::string Code = emit(*C);
+  std::string TempVar = "v" + std::to_string(C->Compiled.NumValueSlots);
+  EXPECT_NE(Code.find("long " + TempVar), std::string::npos) << Code;
 }
 
 TEST(CEmitter, DelayStateInStruct) {
   auto C = compileOk(proc("? integer A; ! integer Y;",
                           "   Y := A $ 1 init 5"));
-  std::string Code = emit(*C, true);
+  std::string Code = emit(*C);
   EXPECT_NE(Code.find("long s0;"), std::string::npos) << Code;
   EXPECT_NE(Code.find("st->s0 = 5L;"), std::string::npos) << Code;
 }
 
 TEST(CEmitter, DivisionGuardedAgainstZero) {
   auto C = compileOk(proc("? integer A, B; ! integer Y;", "   Y := A / B"));
-  std::string Code = emit(*C, true);
-  EXPECT_NE(Code.find("== 0 ? 0 :"), std::string::npos) << Code;
+  std::string Code = emit(*C);
+  EXPECT_NE(Code.find("== 0 ? 0L :"), std::string::npos) << Code;
+}
+
+TEST(CEmitter, ConstantDivisorFoldsTheGuard) {
+  auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A / 3"));
+  std::string Code = emit(*C);
+  EXPECT_NE(Code.find("/ 3L"), std::string::npos) << Code;
+  EXPECT_EQ(Code.find("== 0 ? 0L :"), std::string::npos) << Code;
+}
+
+TEST(CEmitter, NonFiniteFoldedConstantsSpellValidC) {
+  // Build-time folding evaluates real arithmetic, so a constant can
+  // overflow to infinity; %.17g would print the identifier `inf`, which
+  // is not C. The emitter must spell non-finite values as expressions.
+  auto C = compileOk(proc("? boolean CC; ! real Y;",
+                          "   Y := (1.0e308 + 1.0e308) when CC"));
+  std::string Code = emit(*C);
+  EXPECT_NE(Code.find("(1.0 / 0.0)"), std::string::npos) << Code;
+  EXPECT_EQ(Code.find("= inf"), std::string::npos) << Code;
+
+  std::string Path = ::testing::TempDir() + "signalc_inf_test.c";
+  FILE *F = fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  fputs(Code.c_str(), F);
+  fclose(F);
+  EXPECT_EQ(system(("cc -std=c99 -Wall -Werror -o /dev/null -c " + Path +
+                    " 2>&1")
+                       .c_str()),
+            0)
+      << Code;
+}
+
+TEST(CEmitter, IntegerArithmeticWrapsLikeTheVm) {
+  auto C = compileOk(proc("? integer A, B; ! integer Y;", "   Y := A + B"));
+  std::string Code = emit(*C);
+  EXPECT_NE(Code.find("(long)((unsigned long)"), std::string::npos) << Code;
 }
 
 TEST(CEmitter, DriverEmitsMain) {
   auto C = compileOk(proc("? integer A; ! integer Y;", "   Y := A + 1"));
-  std::string Code = emit(*C, true, /*Driver=*/true);
+  std::string Code = emit(*C, /*Driver=*/true);
   EXPECT_NE(Code.find("int main(void)"), std::string::npos);
   EXPECT_NE(Code.find("printf"), std::string::npos);
 }
@@ -148,30 +240,26 @@ TEST(CEmitter, GeneratedCCompilesWithSystemCompiler) {
                           "   T := A when C1\n"
                           "   | Y := T + (T $ 1 init 0)",
                           "integer T;"));
-  for (bool Nested : {true, false}) {
-    std::string Code = emit(*C, Nested, /*Driver=*/true);
-    std::string Path = ::testing::TempDir() + "signalc_emit_test.c";
-    FILE *F = fopen(Path.c_str(), "w");
-    ASSERT_NE(F, nullptr);
-    fputs(Code.c_str(), F);
-    fclose(F);
-    std::string Cmd = "cc -std=c99 -Wall -Werror -o /dev/null -c " + Path +
-                      " 2>&1";
-    int Rc = system(Cmd.c_str());
-    EXPECT_EQ(Rc, 0) << "generated C does not compile (nested=" << Nested
-                     << ")\n"
-                     << Code;
-  }
+  std::string Code = emit(*C, /*Driver=*/true);
+  std::string Path = ::testing::TempDir() + "signalc_emit_test.c";
+  FILE *F = fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  fputs(Code.c_str(), F);
+  fclose(F);
+  std::string Cmd = "cc -std=c99 -Wall -Werror -o /dev/null -c " + Path +
+                    " 2>&1";
+  int Rc = system(Cmd.c_str());
+  EXPECT_EQ(Rc, 0) << "generated C does not compile\n" << Code;
 }
 
 TEST(CEmitter, BooleanOutputsUseIntType) {
   auto C = compileOk(proc("? boolean A; ! boolean Y;", "   Y := not A"));
-  std::string Code = emit(*C, true);
+  std::string Code = emit(*C);
   EXPECT_NE(Code.find("int Y;"), std::string::npos) << Code;
 }
 
 TEST(CEmitter, RealSignalsUseDouble) {
   auto C = compileOk(proc("? real A; ! real Y;", "   Y := A * 2.0"));
-  std::string Code = emit(*C, true);
+  std::string Code = emit(*C);
   EXPECT_NE(Code.find("double"), std::string::npos);
 }

@@ -116,6 +116,9 @@ TEST_P(Figure13Differential, AllPathsAgree) {
   OracleOptions O;
   O.Instants = 48;
   O.EnvSeed = 3;
+  // The C leg runs on the whole builtin suite (skipped, not failed, on
+  // compiler-less hosts); counters pin to the VM inside the oracle.
+  O.EmitCRoundTrip = true;
   OracleReport R = checkDifferential(P.Name, P.Source, O);
   EXPECT_TRUE(R.Ok) << R.Error;
   // Note: nested mode is not universally cheaper in *tests* — a deep tree
@@ -132,28 +135,58 @@ INSTANTIATE_TEST_SUITE_P(Suite, Figure13Differential,
 // Emitted-C round-trip (compiles the generated C with the host cc).
 //===----------------------------------------------------------------------===//
 
-TEST(DifferentialEmitC, AlarmNested) {
+TEST(DifferentialEmitC, Alarm) {
   if (!hostCCompilerAvailable())
     GTEST_SKIP() << "no host C compiler";
   OracleOptions O;
   O.Instants = 64;
   O.EnvSeed = 11;
   O.EmitCRoundTrip = true;
-  O.EmitNested = true;
   OracleReport R = checkDifferential("FIG5_ALARM", alarmFigure5Source(), O);
   EXPECT_TRUE(R.Ok) << R.Error;
   EXPECT_TRUE(R.CRoundTripRan);
+  // The generated C maintains its own guard/executed counters and the
+  // oracle pins them to the VM's; the parsed values surface here.
+  EXPECT_EQ(R.GuardTestsC, R.GuardTestsVm);
+  EXPECT_EQ(R.ExecutedC, R.ExecutedVm);
+  EXPECT_GT(R.GuardTestsC, 0u);
+  EXPECT_GT(R.ExecutedC, 0u);
 }
 
-TEST(DifferentialEmitC, AlarmFlat) {
+TEST(DifferentialEmitC, AlarmLargeBatchWindow) {
+  // The batched VM leg at a window larger than the instant count — one
+  // stepN call covers the whole run.
   if (!hostCCompilerAvailable())
     GTEST_SKIP() << "no host C compiler";
   OracleOptions O;
   O.Instants = 64;
   O.EnvSeed = 11;
+  O.BatchSize = 128;
   O.EmitCRoundTrip = true;
-  O.EmitNested = false;
   OracleReport R = checkDifferential("FIG5_ALARM", alarmFigure5Source(), O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(DifferentialEmitC, BooleanVsEventComparisonMatchesValueSemantics) {
+  // Sema accepts `=` between any boolish pair, and Value::operator==
+  // makes a boolean and an event compare unequal regardless of payload;
+  // the emitted C must fold the comparison the same way the VM
+  // evaluates it (historically it compared the int representations and
+  // answered true).
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  const char *Source =
+      "process P =\n"
+      "  ( ? boolean B; event E; ! boolean Y, N; )\n"
+      "  (| Y := B = E\n"
+      "   | N := B /= E\n"
+      "   | synchro {B, E}\n"
+      "  |);\n";
+  OracleOptions O;
+  O.Instants = 24;
+  O.EnvSeed = 13;
+  O.EmitCRoundTrip = true;
+  OracleReport R = checkDifferential("bool-vs-event", Source, O);
   EXPECT_TRUE(R.Ok) << R.Error;
   EXPECT_TRUE(R.CRoundTripRan);
 }
@@ -170,6 +203,8 @@ TEST(DifferentialEmitC, RandomPrograms) {
     OracleReport R = checkRandomDifferential(Seed, Gen, O);
     EXPECT_TRUE(R.Ok) << R.Error;
     EXPECT_TRUE(R.CRoundTripRan);
+    EXPECT_EQ(R.GuardTestsC, R.GuardTestsVm);
+    EXPECT_EQ(R.ExecutedC, R.ExecutedVm);
   }
 }
 
@@ -188,8 +223,14 @@ TEST_P(RandomDifferential, AllPathsAgree) {
   RandomProgramOptions Gen;
   OracleOptions O;
   O.Instants = 48;
+  // Every random program round-trips through the host C compiler too
+  // (8 blocks x 16 seeds = 128 programs through the emitted-C leg).
+  O.EmitCRoundTrip = true;
   for (uint64_t Seed = Block * 16; Seed < (Block + 1) * 16ull; ++Seed) {
     O.EnvSeed = Seed * 31 + 1;
+    // Vary the batched leg's window so the sweep covers every
+    // batch/instant-count phase, not just one.
+    O.BatchSize = 1 + static_cast<unsigned>(Seed % 9);
     OracleReport R = checkRandomDifferential(Seed, Gen, O);
     EXPECT_TRUE(R.Ok) << R.Error;
   }
@@ -208,6 +249,7 @@ TEST(RandomDifferential, SparseTicks) {
   OracleOptions O;
   O.Instants = 64;
   O.TickPermille = 300; // mostly-absent free clocks
+  O.EmitCRoundTrip = true;
   for (uint64_t Seed = 500; Seed < 516; ++Seed) {
     O.EnvSeed = Seed + 99;
     OracleReport R = checkRandomDifferential(Seed, Gen, O);
@@ -223,6 +265,7 @@ TEST(RandomDifferential, LargerPrograms) {
   Gen.MaxOutputs = 6;
   OracleOptions O;
   O.Instants = 32;
+  O.EmitCRoundTrip = true;
   for (uint64_t Seed = 700; Seed < 712; ++Seed) {
     O.EnvSeed = Seed;
     OracleReport R = checkRandomDifferential(Seed, Gen, O);

@@ -1,13 +1,15 @@
-//===--- golden_test.cpp - Golden-file pins of --dump-tree / --emit-c -----===//
+//===--- golden_test.cpp - Golden-file pins of the compiler's dumps -------===//
 ///
-/// Pins the resolved clock forest (--dump-tree) and the nested C emission
-/// (--emit-c=nested) of five builtin programs against checked-in golden
-/// files under tests/golden/. These are change detectors: any alteration
-/// of the hierarchization or the code generator shows up as a readable
-/// diff here before the differential suite has to find it dynamically.
+/// Pins the resolved clock forest (--dump-tree), the CompiledStep
+/// bytecode (--dump-step), the C emission (--emit-c) and the
+/// separate-compilation interface (--dump-interface) of five builtin
+/// programs against checked-in golden files under tests/golden/. These
+/// are change detectors: any alteration of the hierarchization, the
+/// bytecode lowering or the code generator shows up as a readable diff
+/// here before the differential suite has to find it dynamically.
 ///
 /// To regenerate after an intentional change, write the new dumps over
-/// tests/golden/<NAME>.tree.txt / <NAME>.c.txt (the test failure message
+/// tests/golden/<NAME>.{tree,step,c,iface}.txt (the test failure message
 /// carries the full actual output).
 ///
 //===----------------------------------------------------------------------===//
@@ -49,9 +51,11 @@ void checkGolden(const std::string &Name) {
   expectMatchesGolden(C->Forest->dump(C->Clocks, *C->Kernel, Names),
                       "golden/" + Name + ".tree.txt");
 
-  CEmitOptions EO;
-  EO.Nested = true;
-  expectMatchesGolden(emitC(*C->Kernel, C->Step, Names, Proc, EO),
+  // The single lowered IR (--dump-step): the bytecode both the VM and
+  // the C emitter consume.
+  expectMatchesGolden(C->Compiled.dump(), "golden/" + Name + ".step.txt");
+
+  expectMatchesGolden(emitC(C->Compiled, Proc, CEmitOptions()),
                       "golden/" + Name + ".c.txt");
 
   // The separate-compilation interface (--dump-interface): pins the

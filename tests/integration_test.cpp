@@ -41,6 +41,25 @@ TEST(Integration, CompileStageNamesAreCanonical) {
   EXPECT_STREQ(to_string(CompileStage::Graph), "graph");
 }
 
+TEST(Integration, UnknownEngineModeNamesValidModes) {
+  // Same diagnostic shape as the --process typo fix: a typo'd --mode
+  // must name every valid mode instead of sending the user to the
+  // sources.
+  EngineMode Mode = EngineMode::Vm;
+  std::string Diag;
+  EXPECT_TRUE(parseEngineMode("vm", Mode, Diag));
+  EXPECT_EQ(Mode, EngineMode::Vm);
+  EXPECT_TRUE(parseEngineMode("nested", Mode, Diag));
+  EXPECT_EQ(Mode, EngineMode::Nested);
+  EXPECT_TRUE(parseEngineMode("flat", Mode, Diag));
+  EXPECT_EQ(Mode, EngineMode::Flat);
+
+  EXPECT_FALSE(parseEngineMode("vmm", Mode, Diag));
+  EXPECT_NE(Diag.find("unknown --mode 'vmm'"), std::string::npos) << Diag;
+  EXPECT_NE(Diag.find("valid modes: vm, nested, flat"), std::string::npos)
+      << Diag;
+}
+
 TEST(Integration, ProcessSelectionByName) {
   std::string Two =
       "process A = ( ? integer X; ! integer Y; ) (| Y := X |);\n"
@@ -111,10 +130,9 @@ TEST(Integration, EmittedCMatchesInterpreterOnCounter) {
   auto C = compileOk(proc("? integer A; ! integer Y;",
                           "   Y := A + (Y $ 1 init 0)"));
   CEmitOptions O;
-  O.Nested = true;
   O.WithDriver = true;
   O.DriverSteps = 8;
-  std::string Code = emitC(*C->Kernel, C->Step, C->names(), "p", O);
+  std::string Code = emitC(C->Compiled, "p", O);
 
   std::string Dir = ::testing::TempDir();
   std::string CPath = Dir + "sig_int_test.c";
@@ -151,31 +169,68 @@ TEST(Integration, EmittedCMatchesInterpreterOnCounter) {
 
 namespace {
 
-/// Emits, compiles and runs both control structures of one program and
-/// returns their stdout; used to prove nested C ≡ flat C behaviourally.
-std::pair<std::string, std::string> runBothCStructures(
-    Compilation &C, const std::string &Tag) {
+/// Emits one program, appends a harness driving it once instant by
+/// instant and once through the batched entry point, compiles and runs
+/// both binaries, and returns their stdout — proving the emitted C's
+/// step ≡ step_batch behaviourally (counters included).
+std::pair<std::string, std::string> runStepAndBatchC(Compilation &C,
+                                                     const std::string &Tag) {
   std::string Results[2];
-  for (int ModeIdx = 0; ModeIdx < 2; ++ModeIdx) {
-    CEmitOptions O;
-    O.Nested = ModeIdx == 0;
-    O.WithDriver = true;
-    O.DriverSteps = 16;
-    std::string Code = emitC(*C.Kernel, C.Step, C.names(), "p", O);
-    std::string Base = ::testing::TempDir() + "sig_diff_" + Tag + "_" +
-                       std::to_string(ModeIdx);
-    FILE *F = fopen((Base + ".c").c_str(), "w");
+  std::string Base = emitC(C.Compiled, "p", CEmitOptions());
+  for (int BatchIdx = 0; BatchIdx < 2; ++BatchIdx) {
+    std::string Code = Base;
+    Code += "\n#include <stdio.h>\n";
+    Code += "static unsigned long rng_state = 0x9876543UL;\n";
+    Code += "static unsigned long rng(void) {\n";
+    Code += "  rng_state = rng_state * 6364136223846793005UL + "
+            "1442695040888963407UL;\n";
+    Code += "  return rng_state >> 33;\n}\n";
+    Code += "static p_in_t in_v[16]; static p_out_t out_v[16];\n";
+    Code += "int main(void) {\n  p_state_t st;\n  unsigned i;\n";
+    Code += "  p_init(&st);\n";
+    Code += "  for (i = 0; i < 16u; ++i) {\n";
+    for (const auto &CI : C.Compiled.ClockInputs)
+      Code += "    in_v[i].tick_" + sanitizeIdent(CI.Name) + " = 1;\n";
+    for (const auto &SI : C.Compiled.Inputs) {
+      std::string Id = sanitizeIdent(SI.Name);
+      if (SI.Type == TypeKind::Integer)
+        Code += "    in_v[i]." + Id + " = (long)(rng() % 100);\n";
+      else
+        Code += "    in_v[i]." + Id + " = (int)(rng() & 1);\n";
+    }
+    Code += "  }\n";
+    if (BatchIdx == 0)
+      Code += "  for (i = 0; i < 16u; ++i) p_step(&st, &in_v[i], "
+              "&out_v[i]);\n";
+    else
+      Code += "  p_step_batch(&st, in_v, out_v, 16u);\n";
+    Code += "  for (i = 0; i < 16u; ++i) {\n";
+    for (const auto &SO : C.Compiled.Outputs) {
+      std::string Id = sanitizeIdent(SO.Name);
+      Code += "    if (out_v[i]." + Id + "_present) printf(\"%u " + Id +
+              "=%ld\\n\", i, (long)out_v[i]." + Id + ");\n";
+    }
+    Code += "  }\n";
+    Code += "  printf(\"guards=%llu executed=%llu\\n\", st.guard_tests, "
+            "st.executed);\n";
+    Code += "  return 0;\n}\n";
+
+    std::string BasePath = ::testing::TempDir() + "sig_batch_" + Tag + "_" +
+                           std::to_string(BatchIdx);
+    FILE *F = fopen((BasePath + ".c").c_str(), "w");
     EXPECT_NE(F, nullptr);
     fputs(Code.c_str(), F);
     fclose(F);
-    EXPECT_EQ(system(("cc -std=c99 -O1 -o " + Base + " " + Base + ".c")
+    EXPECT_EQ(system(("cc -std=c99 -Wall -Werror -O1 -o " + BasePath + " " +
+                      BasePath + ".c")
                          .c_str()),
-              0);
-    FILE *P = popen((Base + " 2>/dev/null").c_str(), "r");
+              0)
+        << Code;
+    FILE *P = popen((BasePath + " 2>/dev/null").c_str(), "r");
     EXPECT_NE(P, nullptr);
     char Buf[256];
     while (P && fgets(Buf, sizeof Buf, P))
-      Results[ModeIdx] += Buf;
+      Results[BatchIdx] += Buf;
     if (P)
       pclose(P);
   }
@@ -184,7 +239,7 @@ std::pair<std::string, std::string> runBothCStructures(
 
 } // namespace
 
-TEST(Integration, NestedAndFlatCBinariesAgree) {
+TEST(Integration, SteppedAndBatchedCBinariesAgree) {
   struct Case {
     const char *Tag;
     std::string Source;
@@ -202,9 +257,9 @@ TEST(Integration, NestedAndFlatCBinariesAgree) {
   for (const Case &K : Cases) {
     auto C = compileOk(K.Source);
     ASSERT_TRUE(C->Ok);
-    auto [Nested, Flat] = runBothCStructures(*C, K.Tag);
-    EXPECT_FALSE(Nested.empty()) << K.Tag;
-    EXPECT_EQ(Nested, Flat) << K.Tag;
+    auto [Stepped, Batched] = runStepAndBatchC(*C, K.Tag);
+    EXPECT_FALSE(Stepped.empty()) << K.Tag;
+    EXPECT_EQ(Stepped, Batched) << K.Tag;
   }
 }
 

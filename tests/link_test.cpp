@@ -317,12 +317,14 @@ TEST(LinkEmitter, EmitsOneStepPerUnitPlusSystemDriver) {
   LinkResult R = linkSensorMonitor();
   ASSERT_TRUE(R.Sys) << R.Error;
   CEmitOptions EO;
-  EO.Nested = true;
   std::string C = emitLinkedC(*R.Sys, "sys", EO);
   EXPECT_NE(C.find("void SENSOR_step("), std::string::npos);
   EXPECT_NE(C.find("void MONITOR_step("), std::string::npos);
   EXPECT_NE(C.find("void sys_step("), std::string::npos);
   EXPECT_NE(C.find("void sys_init("), std::string::npos);
+  // The per-unit-batched system entry point (mirror of
+  // LinkedExecutor::stepN).
+  EXPECT_NE(C.find("void sys_step_batch("), std::string::npos);
   // Channel wiring: MONITOR's bound tick comes from SENSOR's presence
   // (either channel works — the linker proved their clocks equal).
   EXPECT_TRUE(C.find("= out_u0.KEPT_present") != std::string::npos ||

@@ -39,6 +39,20 @@ TEST(Sema, NestedWhenIsFlattened) {
   EXPECT_TRUE(FoundWhen);
 }
 
+TEST(Sema, MixedNumericDefaultRejected) {
+  // Integer/real promotion across a default would make the merged
+  // signal's runtime kind depend on which arm is present each instant —
+  // unreproducible by any static lowering (the C emitter's typed
+  // locals). SIGNAL requires like-typed operands; so do we.
+  auto C = compileErr(proc("? integer A; real B; boolean CC; ! real Y;",
+                           "   Y := (A when CC) default B"),
+                      CompileStage::Sema);
+  EXPECT_NE(C->Diags.render().find(
+                "operands of 'default' must have the same numeric type"),
+            std::string::npos)
+      << C->Diags.render();
+}
+
 TEST(Sema, UndeclaredSignalRejected) {
   auto C = compileErr(proc("? integer A; ! integer Y;", "   Y := A + Z"),
                       CompileStage::Sema);

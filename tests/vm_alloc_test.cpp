@@ -121,6 +121,31 @@ TEST(VmAllocation, ZeroHeapAllocationsPerInstantInSteadyState) {
   EXPECT_GT(Env.Events, 0u) << "the run must actually produce outputs";
 }
 
+TEST(VmAllocation, BatchedStepNIsZeroAllocInSteadyState) {
+  // stepN's batch buffers (tick/input prefetch, output flush, watch
+  // recording) are preallocated; once warm, whole batched windows run
+  // without a single heap allocation — the boundary-amortization cannot
+  // buy throughput with hidden allocation.
+  ProgramShape Shape;
+  Shape.DividerStages = 24;
+  auto C = compileOk(generateProgram("CHAIN", Shape));
+
+  VmExecutor Exec(C->Compiled);
+  DiscardEnvironment Env(42, 800);
+
+  // Warm up: binding, batch-buffer growth and lazy setup happen here.
+  Exec.runBatched(Env, 64, 32);
+
+  uint64_t Allocs = allocsDuring([&] {
+    for (unsigned Round = 0; Round < 8; ++Round)
+      Exec.runBatched(Env, 512, 32);
+  });
+  EXPECT_EQ(Allocs, 0u)
+      << "stepN allocated on the hot path; batch buffers must be "
+         "preallocated and reused";
+  EXPECT_GT(Env.Events, 0u) << "the run must actually produce outputs";
+}
+
 TEST(VmAllocation, LegacyStepExecutorAllocatesWhatTheVmEliminated) {
   ProgramShape Shape;
   Shape.DividerStages = 24;

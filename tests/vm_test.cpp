@@ -200,6 +200,61 @@ TEST(VmExecutor, RebindsWhenEnvironmentChanges) {
 }
 
 //===----------------------------------------------------------------------===//
+// Instant batching: stepN must be invisible next to step().
+//===----------------------------------------------------------------------===//
+
+TEST(VmExecutor, BatchedMatchesSteppedOnBuiltinSuite) {
+  // Exact event-sequence identity (not just canonical-trace identity):
+  // the batched flush replays outputs in the unbatched order, so the raw
+  // recorded vectors must be equal, at every batch/instant phase.
+  const unsigned Instants = 53; // deliberately no multiple of any batch
+  for (const Figure13Program &P : figure13Suite()) {
+    auto C = compileSource("<vmbatch:" + P.Name + ">", P.Source);
+    ASSERT_TRUE(C->Ok) << P.Name;
+    RandomEnvironment EnvStep(23);
+    VmExecutor Stepped(C->Compiled);
+    Stepped.run(EnvStep, Instants);
+    for (unsigned Batch : {1u, 2u, 7u, 64u}) {
+      RandomEnvironment EnvBatch(23);
+      VmExecutor Batched(C->Compiled);
+      Batched.runBatched(EnvBatch, Instants, Batch);
+      EXPECT_EQ(formatEvents(EnvBatch.outputs()),
+                formatEvents(EnvStep.outputs()))
+          << P.Name << " batch=" << Batch;
+      EXPECT_EQ(Batched.guardTests(), Stepped.guardTests())
+          << P.Name << " batch=" << Batch;
+      EXPECT_EQ(Batched.executed(), Stepped.executed())
+          << P.Name << " batch=" << Batch;
+    }
+  }
+}
+
+TEST(VmExecutor, BatchedDelayStateCarriesAcrossWindows) {
+  // A delay chain is where a windowing bug (state reset or instant
+  // mis-tagging between batches) shows first.
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := A + (Y $ 1 init 0)"));
+  RandomEnvironment E1(5, 1000), E2(5, 1000);
+  VmExecutor Stepped(C->Compiled), Batched(C->Compiled);
+  Stepped.run(E1, 20);
+  Batched.runBatched(E2, 20, 7);
+  EXPECT_EQ(formatEvents(E2.outputs()), formatEvents(E1.outputs()));
+}
+
+TEST(VmExecutor, BatchedOutputOrderWithinInstantIsUnbatchedOrder) {
+  auto C = compileOk(proc("? integer A; ! integer DBL, SQR;",
+                          "   DBL := A * 2\n   | SQR := A * A"));
+  RandomEnvironment E1(9, 1000), E2(9, 1000);
+  VmExecutor Stepped(C->Compiled), Batched(C->Compiled);
+  Stepped.run(E1, 6);
+  Batched.stepN(E2, 0, 6);
+  // Raw sequences equal — per instant, DBL before SQR on both paths.
+  ASSERT_EQ(E1.outputs().size(), E2.outputs().size());
+  for (size_t I = 0; I < E1.outputs().size(); ++I)
+    EXPECT_TRUE(E1.outputs()[I] == E2.outputs()[I]) << I;
+}
+
+//===----------------------------------------------------------------------===//
 // Guard-economics regression pin (the Figure-9 effect, satellite task).
 //===----------------------------------------------------------------------===//
 
