@@ -5,6 +5,9 @@
 #include "codegen/StepCompiler.h"
 #include "sema/Sema.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 using namespace sigc;
 
 const char *sigc::to_string(CompileStage Stage) {
@@ -40,6 +43,32 @@ bool sigc::parseEngineMode(const std::string &Name, EngineMode &Mode,
            "'; valid modes: " + engineModeList();
     return false;
   }
+  return true;
+}
+
+bool sigc::parseCliUnsigned(const std::string &Flag, const char *Text,
+                            uint64_t Max, uint64_t &Out, std::string &Diag) {
+  if (!Text) {
+    Diag = "missing value for " + Flag;
+    return false;
+  }
+  std::string S(Text);
+  if (S.empty() || S.find_first_not_of("0123456789") != std::string::npos) {
+    Diag = "invalid value '" + S + "' for " + Flag +
+           ": expected an unsigned integer";
+    return false;
+  }
+  // All-digits input can still overflow; strtoull saturates and sets
+  // errno, so both the 2^64 overflow and the caller's own ceiling become
+  // the same out-of-range diagnostic.
+  errno = 0;
+  uint64_t V = std::strtoull(S.c_str(), nullptr, 10);
+  if (errno == ERANGE || V > Max) {
+    Diag = "value '" + S + "' for " + Flag + " is out of range (max " +
+           std::to_string(Max) + ")";
+    return false;
+  }
+  Out = V;
   return true;
 }
 

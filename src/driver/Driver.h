@@ -70,6 +70,15 @@ const char *engineModeList();
 bool parseEngineMode(const std::string &Name, EngineMode &Mode,
                      std::string &Diag);
 
+/// Parses the numeric operand of CLI flag \p Flag into \p Out. \p Text
+/// may be null (flag given as the last argument): every failure — a
+/// missing operand, a non-numeric spelling, or a value above \p Max —
+/// returns false and fills \p Diag with a diagnostic naming the flag, so
+/// `--batch abc` and `--seed 99999999999999999999` are exit-code-2
+/// diagnoses instead of uncaught std::stoul exceptions.
+bool parseCliUnsigned(const std::string &Flag, const char *Text, uint64_t Max,
+                      uint64_t &Out, std::string &Diag);
+
 /// Every artifact of one compilation, stage by stage.
 class Compilation {
 public:

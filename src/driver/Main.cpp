@@ -26,6 +26,10 @@
 ///   --seed S           PRNG seed for --simulate
 ///   --batch B          run --simulate in stepN windows of B instants
 ///                      (vm engine; bulk environment exchange)
+///   --fleet N          run --simulate over a fleet of N instances of the
+///                      process (SoA lane-block sweep; instance j draws
+///                      from seed S + j)
+///   --threads T        shard the fleet across T worker threads
 ///   --mode M           execution engine for --simulate: vm (default,
 ///                      the slot-resolved bytecode VM), nested or flat
 ///   --stats            after --simulate, print per-run instruction and
@@ -35,6 +39,7 @@
 
 #include "codegen/CEmitter.h"
 #include "driver/Driver.h"
+#include "interp/FleetExecutor.h"
 #include "interp/LinkedExecutor.h"
 #include "interp/StepExecutor.h"
 #include "interp/VmExecutor.h"
@@ -42,8 +47,10 @@
 #include "link/Linker.h"
 #include "programs/Programs.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -63,7 +70,8 @@ void printUsage() {
                "         --dump-interface --dump-link\n"
                "         --emit-c --with-driver\n"
                "         --simulate N --seed S --batch B "
-               "--mode vm|nested|flat --stats\n");
+               "--fleet N --threads T\n"
+               "         --mode vm|nested|flat --stats\n");
 }
 
 void printStats(const std::string &Mode, unsigned Instants,
@@ -103,7 +111,7 @@ int main(int Argc, char **Argv) {
   bool DumpGraph = false, DumpStep = false, EmitC = false;
   bool DumpInterface = false, DumpLink = false;
   bool WithDriver = false, Stats = false;
-  unsigned Simulate = 0, Batch = 0;
+  unsigned Simulate = 0, Batch = 0, Fleet = 0, FleetThreads = 1;
   uint64_t Seed = 1;
   EngineMode Mode = EngineMode::Vm;
   std::string ModeName = "vm";
@@ -148,15 +156,29 @@ int main(int Argc, char **Argv) {
       return 2;
     } else if (Arg == "--with-driver") {
       WithDriver = true;
-    } else if (Arg == "--simulate") {
-      if (const char *V = next())
-        Simulate = static_cast<unsigned>(std::stoul(V));
-    } else if (Arg == "--seed") {
-      if (const char *V = next())
-        Seed = std::stoull(V);
-    } else if (Arg == "--batch") {
-      if (const char *V = next())
-        Batch = static_cast<unsigned>(std::stoul(V));
+    } else if (Arg == "--simulate" || Arg == "--batch" || Arg == "--fleet" ||
+               Arg == "--threads" || Arg == "--seed") {
+      // Checked numeric parse: a missing, malformed or out-of-range
+      // operand is a diagnosed exit, never an uncaught std::stoul throw
+      // and never a silently dropped flag.
+      bool IsSeed = Arg == "--seed";
+      uint64_t V = 0;
+      std::string Diag;
+      if (!parseCliUnsigned(Arg, next(), IsSeed ? UINT64_MAX : UINT32_MAX, V,
+                            Diag)) {
+        std::fprintf(stderr, "signalc: %s\n", Diag.c_str());
+        return 2;
+      }
+      if (IsSeed)
+        Seed = V;
+      else if (Arg == "--simulate")
+        Simulate = static_cast<unsigned>(V);
+      else if (Arg == "--batch")
+        Batch = static_cast<unsigned>(V);
+      else if (Arg == "--fleet")
+        Fleet = static_cast<unsigned>(V);
+      else
+        FleetThreads = static_cast<unsigned>(V);
     } else if (Arg == "--mode") {
       if (const char *V = next())
         ModeName = V;
@@ -228,6 +250,9 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "signalc: warning: --mode is ignored in --link mode; "
                    "the linked executor always runs the slot-VM\n");
+    if (Fleet)
+      std::fprintf(stderr,
+                   "signalc: warning: --fleet is ignored in --link mode\n");
     std::vector<std::string> Names = splitCommas(LinkList);
     LinkResult R = compileAndLink(BufferName, Source, Names);
     if (!R.Sys) {
@@ -321,6 +346,40 @@ int main(int Argc, char **Argv) {
     EO.WithDriver = WithDriver;
     std::string CSource = emitC(C->Compiled, ProcName, EO);
     std::fputs(CSource.c_str(), stdout);
+  }
+
+  if (Simulate && Fleet) {
+    // Fleet simulation: N instances of the compiled process, each with
+    // its own deterministic environment (seed S + j), swept in SoA
+    // lane blocks and sharded over --threads workers. Traces print per
+    // instance in instance order; counters are fleet-wide sums.
+    if (Mode != EngineMode::Vm)
+      std::fprintf(stderr, "signalc: warning: --fleet always runs the "
+                           "slot-VM fleet engine; --mode ignored\n");
+    std::vector<std::unique_ptr<RandomEnvironment>> Owned;
+    std::vector<Environment *> Envs;
+    for (unsigned J = 0; J < Fleet; ++J) {
+      Owned.push_back(std::make_unique<RandomEnvironment>(Seed + J));
+      Envs.push_back(Owned.back().get());
+    }
+    FleetExecutor::Config Cfg;
+    Cfg.Threads = FleetThreads;
+    FleetExecutor Exec(C->Compiled, Fleet, Cfg);
+    if (Batch > 1)
+      Exec.runBatched(Envs, Simulate, Batch);
+    else
+      Exec.run(Envs, Simulate);
+    std::printf("fleet simulation (%u instances, %u instants, seed %llu, "
+                "%u thread(s)):\n",
+                Fleet, Simulate, static_cast<unsigned long long>(Seed),
+                Exec.threads());
+    for (unsigned J = 0; J < Fleet; ++J)
+      std::printf("instance %u:\n%s", J,
+                  formatEvents(Owned[J]->outputs()).c_str());
+    if (Stats)
+      printStats("fleet", Simulate * Fleet, Exec.executed(),
+                 Exec.guardTests());
+    return 0;
   }
 
   if (Simulate) {

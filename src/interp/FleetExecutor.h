@@ -1,0 +1,169 @@
+//===--- FleetExecutor.h - One program, many instances ----------*- C++-*-===//
+///
+/// \file
+/// Executes a fleet of independent instances of one CompiledStep — the
+/// production shape the ROADMAP names: millions of sessions (one per
+/// device or user) of the *same* compiled program. Where VmExecutor
+/// batches over *time* (stepN windows), FleetExecutor batches over
+/// *instances*, and the two compose: each window of instants is swept
+/// across the whole fleet.
+///
+/// Layout and loop structure:
+///
+///   * fleet state is structure-of-arrays — `state.slot[instance]`, not
+///     `instance.slot[]` — so the per-instruction sweep walks contiguous
+///     lanes,
+///   * the inner loop sweeps each bytecode instruction across a
+///     lane-block of K instances: opcode dispatch happens once per
+///     instruction per block instead of once per instruction per
+///     instance, and the per-lane bodies are branch-predictable (clock
+///     ops are fully branchless over the lane mask),
+///   * control flow is predicated, not branched: a SkipIfAbsent narrows
+///     a per-lane active mask (saved on a preallocated mask stack)
+///     instead of moving the PC, so lanes whose clock is absent ride
+///     through the block without executing — with the scalar fast path
+///     preserved: when every lane is inactive the PC skips the whole
+///     subtree exactly as the scalar VM does,
+///   * instance ranges are sharded across a std::thread pool in
+///     lane-block-aligned contiguous chunks. Shards share nothing
+///     mutable: each owns its scratch slots, batch buffers and counter
+///     accumulators, and each instance owns its Environment, so the
+///     result is deterministic for any thread count.
+///
+/// Guard economics are preserved exactly per instance: a lane bumps the
+/// guard counter only when it reaches the guard (its enclosing blocks
+/// are active), and executes an instruction only when its own mask bit
+/// is set. The fleet's guardTests()/executed() totals therefore equal
+/// the *sum* of per-instance scalar VmExecutor runs — pinned by the
+/// differential oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_INTERP_FLEETEXECUTOR_H
+#define SIGNALC_INTERP_FLEETEXECUTOR_H
+
+#include "interp/CompiledStep.h"
+#include "interp/Environment.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sigc {
+
+/// Interprets a CompiledStep across a fleet of instances.
+class FleetExecutor {
+public:
+  struct Config {
+    /// Lanes swept per instruction: the instance-block size K. One
+    /// dispatch per instruction serves K instances.
+    unsigned LaneBlock = 64;
+    /// Worker threads instance ranges are sharded across. 1 executes
+    /// inline on the calling thread (and is the allocation-free path:
+    /// spawning std::threads allocates).
+    unsigned Threads = 1;
+  };
+
+  FleetExecutor(const CompiledStep &CS, unsigned Instances, Config Cfg);
+  FleetExecutor(const CompiledStep &CS, unsigned Instances)
+      : FleetExecutor(CS, Instances, Config()) {}
+
+  unsigned instances() const { return NumInstances; }
+  unsigned laneBlock() const { return K; }
+  unsigned threads() const { return Cfg.Threads; }
+
+  /// Re-initializes every instance's delay state.
+  void reset();
+
+  /// Resolves the environment bindings of every instance now (otherwise
+  /// done lazily when a step sees an unbound environment).
+  /// \p Envs has one environment per instance; instance i only ever
+  /// touches Envs[i], so per-instance environments make the threaded
+  /// sweep share no mutable state.
+  void bind(const std::vector<Environment *> &Envs);
+
+  /// Runs \p Count reactions starting at instant \p Start for every
+  /// instance: per lane-block, ticks and inputs are prefetched for the
+  /// whole window, every instant sweeps the bytecode across the block's
+  /// lanes, and outputs flush once per instance in exactly the order a
+  /// scalar unbatched run records them.
+  void stepN(const std::vector<Environment *> &Envs, unsigned Start,
+             unsigned Count);
+
+  /// Runs \p Count reactions starting at instant 0 in one window.
+  void run(const std::vector<Environment *> &Envs, unsigned Count);
+
+  /// Runs \p Count reactions starting at instant 0, windowed by
+  /// \p Window instants (bounds the batch-buffer footprint).
+  void runBatched(const std::vector<Environment *> &Envs, unsigned Count,
+                  unsigned Window);
+
+  /// Preallocates every shard's batch buffers for windows of up to
+  /// \p MaxCount instants; stepN grows them on demand otherwise (a
+  /// one-time allocation, after which single-threaded sweeps are
+  /// allocation-free).
+  void reserveWindow(unsigned MaxCount);
+
+  /// Guard tests summed over every instance; equals the sum of scalar
+  /// per-instance VmExecutor counts on the same traces.
+  uint64_t guardTests() const { return GuardTests; }
+  /// Instructions executed summed over every instance.
+  uint64_t executed() const { return Executed; }
+  void resetCounters() {
+    GuardTests = 0;
+    Executed = 0;
+  }
+
+  /// Delay state \p Slot of instance \p Instance (tests).
+  const Value &state(unsigned Slot, unsigned Instance) const {
+    return StateSoA[static_cast<size_t>(Slot) * NumInstances + Instance];
+  }
+
+private:
+  /// Per-shard workspace: everything one worker thread touches while
+  /// sweeping its instance range. Shards are constructed up front and
+  /// reused; nothing here is shared.
+  struct Shard {
+    unsigned FirstInstance = 0;
+    unsigned EndInstance = 0;
+    std::vector<char> ClockSoA;  ///< [clock slot][lane], current block.
+    std::vector<Value> ValueSoA; ///< [value slot][lane], current block.
+    std::vector<unsigned char> Active;    ///< [lane] predicate mask.
+    std::vector<unsigned char> MaskStack; ///< [depth][lane] saved masks.
+    std::vector<int32_t> CloseAt;         ///< [depth] region close PCs.
+    std::vector<unsigned char> TickBuf;   ///< [clock desc][lane][instant].
+    std::vector<Value> InBuf;             ///< [input desc][lane][instant].
+    std::vector<unsigned char> OutPresent; ///< [lane][instant][flush pos].
+    std::vector<Value> OutVals;            ///< [lane][instant][flush pos].
+    uint64_t GuardTests = 0;
+    uint64_t Executed = 0;
+  };
+
+  /// Sweeps one lane-block (\p I0 ..< \p I0+NB) through one window.
+  void execBlock(Shard &S, const std::vector<Environment *> &Envs,
+                 unsigned I0, unsigned NB, unsigned Start, unsigned Count);
+  /// Runs one shard's instance range through one window.
+  void execShard(Shard &S, const std::vector<Environment *> &Envs,
+                 unsigned Start, unsigned Count);
+  void ensureShardCapacity(Shard &S);
+
+  const CompiledStep &CS;
+  unsigned NumInstances;
+  unsigned K;       ///< Lane-block size (Cfg.LaneBlock).
+  Config Cfg;
+  unsigned MaxDepth; ///< Deepest SkipIfAbsent nesting in CS.Code.
+
+  std::vector<Value> StateSoA; ///< [state slot][instance], whole fleet.
+  std::vector<StepBindings> Bind;     ///< Per instance.
+  std::vector<uint64_t> BoundIds;     ///< identity() per bound env.
+  std::vector<EnvOutputId> FlushIds;  ///< [instance][flush position].
+  std::vector<int32_t> FlushPos;      ///< Output desc -> flush position.
+  std::vector<Shard> Shards;
+  unsigned WindowCap = 0; ///< Capacity of the shard batch buffers.
+
+  uint64_t GuardTests = 0;
+  uint64_t Executed = 0;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_INTERP_FLEETEXECUTOR_H

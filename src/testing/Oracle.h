@@ -11,7 +11,10 @@
 ///   4. the slot-resolved VM (CompiledStep through VmExecutor), both
 ///      instant by instant and batched through the bulk environment
 ///      exchange (stepN windows),
-///   5. optionally, the emitted C — lowered from the same CompiledStep
+///   5. the FleetExecutor — N instances of the same bytecode swept in
+///      SoA lane blocks across shard threads, each instance pinned
+///      trace- and counter-identical to a scalar VM run,
+///   6. optionally, the emitted C — lowered from the same CompiledStep
 ///      bytecode — round-tripped through the host C compiler (-std=c99
 ///      -Wall -Werror) and executed as a subprocess, its generated
 ///      guard/executed counters pinned equal to the VM's,
@@ -49,6 +52,18 @@ struct OracleOptions {
   /// guard/executed counters against the VM's. Skipped (not failed)
   /// when no compiler is found.
   bool EmitCRoundTrip = false;
+  /// Instances of the fleet leg (0 disables it): a FleetExecutor sweeps
+  /// this many per-instance environments (instance j seeded EnvSeed+j,
+  /// instance 0 thus replaying the scalar legs' trace) and every
+  /// instance's trace — plus the summed guard/executed counters — must
+  /// equal a scalar VM run of that instance alone. When the C round-trip
+  /// also runs, the harness self-checks `<proc>_step_fleet` against
+  /// per-instance `<proc>_step_batch` over the same baked inputs.
+  unsigned FleetInstances = 5;
+  /// Lane-block size of the fleet leg (instances per SoA sweep block).
+  unsigned FleetLaneBlock = 2;
+  /// Shard threads of the fleet leg.
+  unsigned FleetThreads = 2;
 };
 
 /// Outcome of one oracle run.
@@ -75,8 +90,16 @@ struct OracleReport {
   /// system (sum over units). Zero for single-process reports.
   uint64_t GuardTestsMono = 0;
   uint64_t GuardTestsLinked = 0;
+  /// Counters of the fleet leg: totals over all fleet instances, pinned
+  /// inside the oracle to the sum of per-instance scalar VM runs.
+  uint64_t GuardTestsFleet = 0;
+  uint64_t ExecutedFleet = 0;
   /// True when the C round-trip actually ran (compiler available).
   bool CRoundTripRan = false;
+  /// True when the C harness's in-C fleet self-check ran and passed
+  /// (the harness compares `_step_fleet` against per-instance
+  /// `_step_batch` and prints a #fleet line the oracle demands).
+  bool CFleetChecked = false;
 };
 
 /// Runs the differential oracle on \p Source (named \p Name in reports).

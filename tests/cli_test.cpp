@@ -1,0 +1,170 @@
+//===--- cli_test.cpp - signalc command-line regression tests -------------===//
+///
+/// Subprocess tests of the installed `signalc` binary's argument
+/// handling. The numeric flags (--simulate, --batch, --seed, --fleet,
+/// --threads) share one checked parse: a malformed, out-of-range or
+/// missing operand must be a diagnosed exit-code-2 failure naming the
+/// flag — historically `--batch abc` was an uncaught std::stoul throw
+/// and a flag given as the last argument was silently dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct CliResult {
+  int Exit = -1;
+  std::string Output; ///< stdout and stderr, interleaved.
+};
+
+/// Runs `signalc <Args>` and captures exit code plus combined output.
+CliResult runSignalc(const std::string &Args) {
+  CliResult R;
+  std::string Cmd = std::string(SIGNALC_BIN) + " " + Args + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof Buf, P)) > 0)
+    R.Output.append(Buf, N);
+  int St = pclose(P);
+  if (WIFEXITED(St))
+    R.Exit = WEXITSTATUS(St);
+  return R;
+}
+
+const char *numericFlags[] = {"--simulate", "--batch", "--seed", "--fleet",
+                              "--threads"};
+
+} // namespace
+
+TEST(Cli, MalformedNumericOperandIsDiagnosedPerFlag) {
+  for (const char *Flag : numericFlags) {
+    CliResult R =
+        runSignalc("--builtin FIG5_ALARM " + std::string(Flag) + " abc");
+    EXPECT_EQ(R.Exit, 2) << Flag << ": " << R.Output;
+    EXPECT_NE(R.Output.find("invalid value 'abc' for " + std::string(Flag)),
+              std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+}
+
+TEST(Cli, NegativeNumericOperandIsDiagnosed) {
+  CliResult R = runSignalc("--builtin FIG5_ALARM --simulate -5");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("invalid value '-5' for --simulate"),
+            std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, OutOfRangeSeedIsDiagnosedNotThrown) {
+  // 20 digits: above 2^64-1. Historically this was an uncaught
+  // std::out_of_range from std::stoull (an abort, not a diagnostic).
+  CliResult R =
+      runSignalc("--builtin FIG5_ALARM --seed 99999999999999999999");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("for --seed is out of range"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, OutOfRangeUnsignedFlagIsDiagnosed) {
+  // Fits in 64 bits but not in the 32-bit instant/instance counts.
+  for (const char *Flag : {"--simulate", "--fleet"}) {
+    CliResult R = runSignalc("--builtin FIG5_ALARM " + std::string(Flag) +
+                             " 99999999999");
+    EXPECT_EQ(R.Exit, 2) << Flag << ": " << R.Output;
+    EXPECT_NE(R.Output.find("is out of range (max 4294967295)"),
+              std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+}
+
+TEST(Cli, MissingOperandAsLastArgumentIsDiagnosedPerFlag) {
+  // A numeric flag as the very last argument used to be silently
+  // dropped; it must diagnose the missing operand and exit 2.
+  for (const char *Flag : numericFlags) {
+    CliResult R = runSignalc("--builtin FIG5_ALARM " + std::string(Flag));
+    EXPECT_EQ(R.Exit, 2) << Flag << ": " << R.Output;
+    EXPECT_NE(R.Output.find("missing value for " + std::string(Flag)),
+              std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+}
+
+TEST(Cli, ValidNumericFlagsStillRun) {
+  CliResult R = runSignalc("--builtin FIG5_ALARM --simulate 4 --seed 3");
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+  EXPECT_NE(R.Output.find("simulation (4 instants, seed 3)"),
+            std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, FleetSimulationRunsFromTheCli) {
+  CliResult R = runSignalc(
+      "--builtin FIG5_ALARM --simulate 16 --fleet 3 --threads 2 --seed 5");
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+  EXPECT_NE(R.Output.find("fleet simulation (3 instances, 16 instants, "
+                          "seed 5"),
+            std::string::npos)
+      << R.Output;
+  // Every instance's trace prints, in instance order.
+  size_t I0 = R.Output.find("instance 0:");
+  size_t I1 = R.Output.find("instance 1:");
+  size_t I2 = R.Output.find("instance 2:");
+  EXPECT_NE(I0, std::string::npos) << R.Output;
+  EXPECT_LT(I0, I1);
+  EXPECT_LT(I1, I2);
+}
+
+TEST(Cli, FleetInstanceReplaysTheScalarSeed) {
+  // Fleet instance j draws from seed S + j: instance 1 of a seed-5 fleet
+  // must print exactly the trace of a scalar run with seed 6.
+  CliResult F = runSignalc(
+      "--builtin FIG5_ALARM --simulate 24 --fleet 3 --seed 5");
+  ASSERT_EQ(F.Exit, 0) << F.Output;
+  size_t Beg = F.Output.find("instance 1:\n");
+  size_t End = F.Output.find("instance 2:\n");
+  ASSERT_NE(Beg, std::string::npos) << F.Output;
+  ASSERT_NE(End, std::string::npos) << F.Output;
+  std::string FleetTrace =
+      F.Output.substr(Beg + 12, End - (Beg + 12));
+
+  CliResult S = runSignalc("--builtin FIG5_ALARM --simulate 24 --seed 6");
+  ASSERT_EQ(S.Exit, 0) << S.Output;
+  size_t Hdr = S.Output.find("simulation (24 instants, seed 6):\n");
+  ASSERT_NE(Hdr, std::string::npos) << S.Output;
+  std::string ScalarTrace =
+      S.Output.substr(S.Output.find('\n', Hdr) + 1);
+
+  EXPECT_EQ(FleetTrace, ScalarTrace);
+}
+
+TEST(Cli, FleetStatsSumCountersAcrossInstances) {
+  CliResult One = runSignalc(
+      "--builtin FIG5_ALARM --simulate 16 --fleet 1 --seed 9 --stats");
+  CliResult Two = runSignalc(
+      "--builtin FIG5_ALARM --simulate 16 --fleet 2 --seed 9 --stats");
+  ASSERT_EQ(One.Exit, 0) << One.Output;
+  ASSERT_EQ(Two.Exit, 0) << Two.Output;
+  EXPECT_NE(One.Output.find("stats: mode=fleet instants=16"),
+            std::string::npos)
+      << One.Output;
+  EXPECT_NE(Two.Output.find("stats: mode=fleet instants=32"),
+            std::string::npos)
+      << Two.Output;
+}
+
+TEST(Cli, UnknownOptionExitsTwo) {
+  CliResult R = runSignalc("--builtin FIG5_ALARM --no-such-flag");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("unknown option '--no-such-flag'"),
+            std::string::npos)
+      << R.Output;
+}
