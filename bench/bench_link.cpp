@@ -1,15 +1,18 @@
 //===--- bench_link.cpp - Separate compilation + linking benchmark --------===//
 ///
 /// Measures the separate-compilation toolchain on generated N-stage
-/// pipelines:
+/// pipelines, through 64 stages:
 ///
 ///   * serial vs parallel compilation of the N units (the first scaling
 ///     win: compilations share no state, so threads are free speedup),
-///   * link time (interface extraction + channel matching + BDD
-///     implication checks) as N grows,
-///   * linked-step throughput against the monolithic compilation of the
-///     textually composed program — the price of crossing process
-///     boundaries at run time.
+///   * link time (interface extraction + channel matching + joint-space
+///     BDD obligations + instruction-granularity fusion) as N grows,
+///   * fused throughput (the one cross-unit CompiledStep the linker now
+///     schedules) against two baselines: the monolithic compilation of
+///     the textually composed program, and per-unit execution of the
+///     same N compiled steps in isolation — the pre-fusion dispatch
+///     pattern of one executor + one environment exchange per unit per
+///     instant, which is the overhead fusion deletes.
 ///
 /// Usage: bench_link [--json FILE] [--stages N,N,...] [--instants K]
 /// The JSON output is uploaded by CI as BENCH_link.json.
@@ -20,12 +23,14 @@
 #include "interp/Environment.h"
 #include "interp/LinkedExecutor.h"
 #include "interp/StepExecutor.h"
+#include "interp/VmExecutor.h"
 #include "link/Linker.h"
 #include "testing/RandomProgram.h"
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,7 +50,8 @@ struct Row {
   double CompileParallelMs = 0;
   double LinkMs = 0;
   double MonoCompileMs = 0;
-  double LinkedStepsPerSec = 0;
+  double FusedStepsPerSec = 0;
+  double PerUnitStepsPerSec = 0;
   double MonoStepsPerSec = 0;
   uint64_t ForestNodes = 0; ///< Sum over units, unchanged by link.
 };
@@ -53,7 +59,7 @@ struct Row {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::vector<unsigned> StageCounts = {2, 4, 8};
+  std::vector<unsigned> StageCounts = {8, 16, 32, 64};
   unsigned Instants = 4096;
   std::string JsonPath;
   for (int I = 1; I < Argc; ++I) {
@@ -78,10 +84,12 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("Separate compilation + linking on generated pipelines\n\n");
-  std::printf("%-7s %10s %10s %8s %10s %12s %12s\n", "stages", "serial",
-              "parallel", "link", "mono", "linked", "monolithic");
-  std::printf("%-7s %10s %10s %8s %10s %12s %12s\n", "", "(ms)", "(ms)",
-              "(ms)", "(ms)", "(steps/s)", "(steps/s)");
+  std::printf("%-7s %10s %10s %8s %10s %12s %12s %12s\n", "stages",
+              "serial", "parallel", "link", "mono", "fused", "per-unit",
+              "monolithic");
+  std::printf("%-7s %10s %10s %8s %10s %12s %12s %12s\n", "", "(ms)",
+              "(ms)", "(ms)", "(ms)", "(steps/s)", "(steps/s)",
+              "(steps/s)");
 
   RandomProgramOptions StageOptions;
   StageOptions.Equations = 96;
@@ -137,7 +145,25 @@ int main(int Argc, char **Argv) {
       T0 = std::chrono::steady_clock::now();
       Exec.run(Env, Instants);
       double Ms = msSince(T0);
-      R.LinkedStepsPerSec = Ms > 0 ? 1000.0 * Instants / Ms : 0;
+      R.FusedStepsPerSec = Ms > 0 ? 1000.0 * Instants / Ms : 0;
+    }
+    {
+      // The pre-fusion dispatch pattern: every instant pays one executor
+      // call and one environment exchange *per unit*. Each unit runs its
+      // own compiled step against its own environment — same instruction
+      // mix, N times the crossing overhead the fused step pays once.
+      std::vector<std::unique_ptr<RandomEnvironment>> Envs;
+      std::vector<std::unique_ptr<VmExecutor>> Execs;
+      for (const LinkUnit &U : Par.Sys->Units) {
+        Envs.push_back(std::make_unique<RandomEnvironment>(7));
+        Execs.push_back(std::make_unique<VmExecutor>(U.Comp->Compiled));
+      }
+      T0 = std::chrono::steady_clock::now();
+      for (unsigned I = 0; I < Instants; ++I)
+        for (size_t U = 0; U < Execs.size(); ++U)
+          Execs[U]->step(*Envs[U], I);
+      double Ms = msSince(T0);
+      R.PerUnitStepsPerSec = Ms > 0 ? 1000.0 * Instants / Ms : 0;
     }
     {
       RandomEnvironment Env(7);
@@ -148,9 +174,10 @@ int main(int Argc, char **Argv) {
       R.MonoStepsPerSec = Ms > 0 ? 1000.0 * Instants / Ms : 0;
     }
 
-    std::printf("%-7u %10.2f %10.2f %8.2f %10.2f %12.0f %12.0f\n", N,
-                R.CompileSerialMs, R.CompileParallelMs, R.LinkMs,
-                R.MonoCompileMs, R.LinkedStepsPerSec, R.MonoStepsPerSec);
+    std::printf("%-7u %10.2f %10.2f %8.2f %10.2f %12.0f %12.0f %12.0f\n",
+                N, R.CompileSerialMs, R.CompileParallelMs, R.LinkMs,
+                R.MonoCompileMs, R.FusedStepsPerSec, R.PerUnitStepsPerSec,
+                R.MonoStepsPerSec);
     Rows.push_back(R);
   }
 
@@ -164,7 +191,8 @@ int main(int Argc, char **Argv) {
           << "\"compile_parallel_ms\": " << R.CompileParallelMs << ", "
           << "\"link_ms\": " << R.LinkMs << ", "
           << "\"mono_compile_ms\": " << R.MonoCompileMs << ", "
-          << "\"linked_steps_per_sec\": " << R.LinkedStepsPerSec << ", "
+          << "\"fused_steps_per_sec\": " << R.FusedStepsPerSec << ", "
+          << "\"per_unit_steps_per_sec\": " << R.PerUnitStepsPerSec << ", "
           << "\"mono_steps_per_sec\": " << R.MonoStepsPerSec << ", "
           << "\"forest_nodes\": " << R.ForestNodes << "}"
           << (I + 1 < Rows.size() ? "," : "") << "\n";

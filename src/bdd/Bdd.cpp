@@ -84,7 +84,9 @@ bool BddManager::pollBudget() {
     return true;
   if (Bud->exhausted())
     return false;
-  if (!Bud->checkNodes(Nodes.size()))
+  // Charge the budget for *live* nodes: a GC-enabled manager's reclaimed
+  // slots are capacity, not consumption.
+  if (!Bud->checkNodes(Nodes.size() - FreeList.size()))
     return false;
   if (++AllocsSincePoll >= 4096) {
     AllocsSincePoll = 0;
@@ -118,6 +120,8 @@ void BddManager::growUnique() {
   UniqueMask = NewSize - 1;
   for (uint32_t I = 1; I < Nodes.size(); ++I) {
     const Node &N = Nodes[I];
+    if (N.Var == TerminalVar)
+      continue; // Tombstone of a reclaimed slot.
     uint64_t H = hashNode(N.Var, N.Low, N.High);
     uint32_t Idx = static_cast<uint32_t>(H) & UniqueMask;
     while (UniqueTable[Idx] != NoEntry)
@@ -173,8 +177,18 @@ BddRef BddManager::mkNode(BddVar Var, BddRef Low, BddRef High) {
   if (*Slot != NoEntry)
     return withComplement(BddRef(*Slot << 1), Neg);
 
-  uint32_t Idx = static_cast<uint32_t>(Nodes.size());
-  Nodes.push_back({Var, Low.index(), High.index()});
+  // Reuse a reclaimed slot when the collector produced one: nodes never
+  // move, so refs held across a sweep stay valid, and reuse keeps the
+  // arena bounded by the live set instead of the allocation history.
+  uint32_t Idx;
+  if (!FreeList.empty()) {
+    Idx = FreeList.back();
+    FreeList.pop_back();
+    Nodes[Idx] = {Var, Low.index(), High.index()};
+  } else {
+    Idx = static_cast<uint32_t>(Nodes.size());
+    Nodes.push_back({Var, Low.index(), High.index()});
+  }
   *Slot = Idx;
 
   // Keep the open-addressed table under 2/3 load.
@@ -195,6 +209,107 @@ BddRef BddManager::var(BddVar Var) {
 BddRef BddManager::nvar(BddVar Var) { return !var(Var); }
 
 //===----------------------------------------------------------------------===//
+// Garbage collection
+//===----------------------------------------------------------------------===//
+
+void BddManager::addRef(BddRef F) {
+  if (!F.isValid() || F.isTerminal())
+    return;
+  if (ExtRefs.size() < Nodes.size())
+    ExtRefs.resize(Nodes.size(), 0);
+  ++ExtRefs[F.nodeIndex()];
+}
+
+void BddManager::decRef(BddRef F) {
+  if (!F.isValid() || F.isTerminal())
+    return;
+  assert(F.nodeIndex() < ExtRefs.size() && ExtRefs[F.nodeIndex()] > 0 &&
+         "decRef() without a matching addRef()");
+  --ExtRefs[F.nodeIndex()];
+}
+
+uint64_t BddManager::gc() {
+  if (ExtRefs.size() < Nodes.size())
+    ExtRefs.resize(Nodes.size(), 0);
+
+  // Mark: everything reachable from an externally referenced node. The
+  // complement bit does not affect reachability (F and ¬F share nodes).
+  std::vector<unsigned char> Marked(Nodes.size(), 0);
+  Marked[0] = 1;
+  std::vector<uint32_t> Stack;
+  for (uint32_t I = 1; I < Nodes.size(); ++I)
+    if (ExtRefs[I] > 0)
+      Stack.push_back(I);
+  while (!Stack.empty()) {
+    uint32_t Cur = Stack.back();
+    Stack.pop_back();
+    if (Marked[Cur])
+      continue;
+    Marked[Cur] = 1;
+    const Node &N = Nodes[Cur];
+    uint32_t L = BddRef(N.Low).nodeIndex();
+    uint32_t H = BddRef(N.High).nodeIndex();
+    if (!Marked[L])
+      Stack.push_back(L);
+    if (!Marked[H])
+      Stack.push_back(H);
+  }
+
+  // Sweep: tombstone dead slots (Var == TerminalVar) and free them for
+  // in-place reuse. Slots already on the free list stay there.
+  std::vector<unsigned char> AlreadyFree(Nodes.size(), 0);
+  for (uint32_t I : FreeList)
+    AlreadyFree[I] = 1;
+  uint64_t Reclaimed = 0;
+  for (uint32_t I = 1; I < Nodes.size(); ++I) {
+    if (Marked[I] || AlreadyFree[I])
+      continue;
+    Nodes[I] = {TerminalVar, 0, 0};
+    FreeList.push_back(I);
+    ++Reclaimed;
+  }
+
+  // Rebuild the unique table over the survivors only.
+  std::fill(UniqueTable.begin(), UniqueTable.end(), NoEntry);
+  for (uint32_t I = 1; I < Nodes.size(); ++I) {
+    const Node &N = Nodes[I];
+    if (N.Var == TerminalVar)
+      continue;
+    uint64_t H = hashNode(N.Var, N.Low, N.High);
+    uint32_t Idx = static_cast<uint32_t>(H) & UniqueMask;
+    while (UniqueTable[Idx] != NoEntry)
+      Idx = (Idx + 1) & UniqueMask;
+    UniqueTable[Idx] = I;
+  }
+
+  // Invalidate both operation caches: entries key on node indices, and a
+  // reused index must never make a pre-sweep entry look like a verified
+  // hit for a different function.
+  std::fill(IteCache.begin(), IteCache.end(), CacheEntry{0, 0, 0, 0, 0});
+  std::fill(OpCache.begin(), OpCache.end(), CacheEntry{0, 0, 0, 0, 0});
+
+  ++GcRuns;
+  GcReclaimed += Reclaimed;
+  GcFloor = numLiveNodes();
+  return Reclaimed;
+}
+
+void BddManager::maybeCollect() {
+  if (!GcEnabled || !Bud || Bud->nodeLimit() == 0 || Bud->exhausted())
+    return;
+  uint64_t Live = Nodes.size() - FreeList.size();
+  uint64_t Limit = Bud->nodeLimit();
+  // Collect when within 25% of the node limit — but only once the live
+  // count has grown by limit/8 past the last sweep's floor, so a sweep
+  // that found little garbage is not repeated on every operation.
+  if (Live * 4 < Limit * 3)
+    return;
+  if (numLiveNodes() <= GcFloor + Limit / 8)
+    return;
+  gc();
+}
+
+//===----------------------------------------------------------------------===//
 // ITE
 //===----------------------------------------------------------------------===//
 
@@ -208,6 +323,9 @@ BddRef BddManager::cofactor(BddRef F, BddVar Top, bool High) const {
 BddRef BddManager::ite(BddRef F, BddRef G, BddRef H) {
   if (!F.isValid() || !G.isValid() || !H.isValid())
     return BddRef::invalid();
+  // Safe collection point: no intermediate results are in flight at a
+  // public entry, so everything unprotected is genuinely garbage.
+  maybeCollect();
   return iteRec(F, G, H);
 }
 
@@ -365,6 +483,7 @@ bool BddManager::impliesRec(BddRef F, BddRef G) {
 BddRef BddManager::restrict(BddRef F, BddVar Var, bool Value) {
   if (!F.isValid())
     return BddRef::invalid();
+  maybeCollect();
   return restrictRec(F, Var, Value);
 }
 
@@ -401,6 +520,7 @@ BddRef BddManager::restrictRec(BddRef F, BddVar Var, bool Value) {
 BddRef BddManager::exists(BddRef F, BddVar Var) {
   if (!F.isValid())
     return F;
+  maybeCollect();
   return existsRec(F, Var);
 }
 
@@ -408,6 +528,7 @@ BddRef BddManager::forall(BddRef F, BddVar Var) {
   // ∀x.F = ¬∃x.¬F — free with complement edges.
   if (!F.isValid())
     return F;
+  maybeCollect();
   return !existsRec(!F, Var);
 }
 
@@ -446,6 +567,9 @@ BddRef BddManager::existsRec(BddRef F, BddVar Var) {
 BddRef BddManager::existsMany(BddRef F, const std::vector<BddVar> &Vars) {
   if (!F.isValid())
     return F;
+  // One collection point up front; the loop below holds an unprotected
+  // intermediate R, so no collecting between variables.
+  maybeCollect();
   // Deepest (largest) variables first: quantifying bottom-up keeps each
   // pass inside the still-unquantified lower region of the graph instead
   // of re-traversing from the root for every variable.
@@ -466,6 +590,7 @@ BddRef BddManager::existsMany(BddRef F, const std::vector<BddVar> &Vars) {
 BddRef BddManager::compose(BddRef F, BddVar Var, BddRef G) {
   if (!F.isValid() || !G.isValid())
     return BddRef::invalid();
+  maybeCollect();
   return composeRec(F, Var, G);
 }
 

@@ -36,10 +36,18 @@
 ///   * the False terminal is the complemented True terminal: there is
 ///     exactly one terminal node (index 0).
 ///
-/// Nodes are referenced by 32-bit packed refs into an arena. There is no
-/// garbage collector: managers are cheap and short-lived (one per solver
-/// run), which matches how the compiler uses them and keeps reference
-/// semantics trivial.
+/// Nodes are referenced by 32-bit packed refs into an arena. Garbage
+/// collection is *opt-in* (enableGC()): the compiler's per-solver managers
+/// stay collector-free and keep their trivial reference semantics, while
+/// long-lived managers — the linker's joint clock space over many producer
+/// forests — take external reference counts (addRef/decRef) on the roots
+/// they keep and let mark-and-sweep reclaim everything else when the node
+/// Budget comes under pressure. Freed slots are reused in place (nodes
+/// never move, so held refs to live nodes stay valid across a sweep), the
+/// unique table is rebuilt over the survivors, and both operation caches
+/// are invalidated — a reused index must never satisfy a stale probe.
+/// Collection runs only at public-operation entry, never mid-recursion, so
+/// in-flight intermediate results need no protection protocol.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -223,6 +231,41 @@ public:
   /// \returns true once the attached budget has tripped.
   bool budgetExhausted() const { return Bud && Bud->exhausted(); }
 
+  //===--- Garbage collection (opt-in) -------------------------------------===//
+  //
+  // Off by default: compiler-side managers are short-lived and hold plain
+  // unref'd BddRefs everywhere (ClockForest nodes, solver scratch), so a
+  // collector must never run behind their back. A manager that opts in
+  // promises that everything it needs across operations is addRef'd.
+
+  /// Opts this manager into garbage collection. Once enabled, node-budget
+  /// pressure triggers a mark-and-sweep from the addRef'd roots at the
+  /// next public-operation entry (and pollBudget counts *live* nodes, so
+  /// reclaimed garbage does not count against the Budget).
+  void enableGC() { GcEnabled = true; }
+  bool gcEnabled() const { return GcEnabled; }
+
+  /// Takes an external reference on the node \p F points at, protecting it
+  /// (and everything reachable from it) across sweeps. Terminal/invalid
+  /// refs are accepted and ignored. F and ¬F share the one count.
+  void addRef(BddRef F);
+  /// Drops one external reference previously taken with addRef().
+  void decRef(BddRef F);
+
+  /// Runs one mark-and-sweep now: marks from every node with a positive
+  /// external count, moves dead nodes to the free list for in-place reuse,
+  /// rebuilds the unique table over the survivors and invalidates both
+  /// operation caches. \returns the number of nodes reclaimed.
+  uint64_t gc();
+
+  /// Nodes currently live (allocated minus reclaimed; excludes the
+  /// terminal, like numNodes()).
+  uint64_t numLiveNodes() const { return Nodes.size() - 1 - FreeList.size(); }
+
+  /// Sweeps run / nodes reclaimed so far (tests, bench_link).
+  uint64_t gcRuns() const { return GcRuns; }
+  uint64_t gcReclaimed() const { return GcReclaimed; }
+
   /// Testing hook: clamps both operation caches to \p Entries slots
   /// (rounded down to a power of two, minimum 1) and freezes automatic
   /// cache growth, so collisions become easy to force. Never use outside
@@ -304,6 +347,10 @@ private:
   void growUnique();
   void growCachesTo(unsigned TargetLog2);
   bool pollBudget();
+  /// Collects at public-operation entry when the live count nears the node
+  /// budget. Never called from inside a recursion (locals there hold
+  /// unprotected intermediate refs).
+  void maybeCollect();
 
   /// Probes \p Cache for (Op, A, B, C); writes the computed hash to
   /// \p HashOut so a following cacheStore() does not re-hash. Defined here
@@ -361,6 +408,16 @@ private:
   Budget *Bud = nullptr;
   uint64_t AllocsSincePoll = 0;
   Counters Stats;
+
+  /// GC state. ExtRefs is index-aligned with Nodes (grown lazily);
+  /// FreeList holds reclaimed node indices for in-place reuse. Dead slots
+  /// are tombstoned with Var == TerminalVar so table rebuilds skip them.
+  bool GcEnabled = false;
+  std::vector<uint32_t> ExtRefs;
+  std::vector<uint32_t> FreeList;
+  uint64_t GcFloor = 0; ///< Live count after the last sweep (hysteresis).
+  uint64_t GcRuns = 0;
+  uint64_t GcReclaimed = 0;
 };
 
 } // namespace sigc

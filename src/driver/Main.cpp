@@ -269,8 +269,11 @@ int main(int Argc, char **Argv) {
     if (DumpInterface)
       for (const LinkUnit &U : Sys.Units)
         std::fputs(U.Iface.dump().c_str(), stdout);
-    if (DumpLink)
+    if (DumpLink) {
       std::fputs(Sys.dump().c_str(), stdout);
+      std::fputs("fused schedule:\n", stdout);
+      std::fputs(Sys.Fused.dump().c_str(), stdout);
+    }
     if (EmitC) {
       CEmitOptions EO;
       EO.WithDriver = WithDriver;

@@ -3,258 +3,56 @@
 #include "interp/LinkedExecutor.h"
 
 #include <algorithm>
-#include <cassert>
 
 using namespace sigc;
 
-namespace {
-
-/// Type-correct zero for a silent channel read — a default Value would
-/// trip asReal()'s non-numeric assertion further down the step.
-Value typedZero(TypeKind K) {
-  switch (K) {
-  case TypeKind::Boolean:
-    return Value::makeBool(false);
-  case TypeKind::Event:
-    return Value::makeEvent();
-  case TypeKind::Real:
-    return Value::makeReal(0.0);
-  case TypeKind::Integer:
-  case TypeKind::Unknown:
-    break;
+LinkedExecutor::LinkedExecutor(const LinkedSystem &Sys)
+    : Sys(Sys), Fused(Sys.Fused), Exec(Fused) {
+  // Watch the consumer/producer clock-slot pair of every dynamic
+  // channel: batched windows record their presence per instant, and a
+  // negative slot (a clock the unit proved null) records as absent —
+  // the same convention the unbatched comparison uses.
+  std::vector<int> Watch;
+  Watch.reserve(Sys.DynChecks.size() * 2);
+  for (const LinkedSystem::DynCheck &C : Sys.DynChecks) {
+    Watch.push_back(C.ConsumerSlot);
+    Watch.push_back(C.ProducerSlot);
   }
-  return Value::makeInt(0);
-}
-
-} // namespace
-
-bool LinkedExecutor::UnitEnv::clockTick(EnvClockId Clock, unsigned Instant) {
-  int Ch = ClockChannel[Clock];
-  if (Ch >= 0)
-    return ChanPresent[static_cast<size_t>(Ch) * Cap +
-                       (Instant - BatchStart)] != 0;
-  return Outer->clockTick(OuterClock[Clock], Instant);
-}
-
-Value LinkedExecutor::UnitEnv::inputValue(EnvInputId Input,
-                                          unsigned Instant) {
-  int Ch = InputChannel[Input];
-  if (Ch < 0)
-    return Outer->inputValue(OuterInput[Input], Instant);
-  size_t At = static_cast<size_t>(Ch) * Cap + (Instant - BatchStart);
-  if (!ChanPresent[At]) {
-    // The consumer computed "present" for a channel whose producer did
-    // not emit: a dynamic clock-interface violation. The step must still
-    // finish (step() reports the error afterwards), so hand back a
-    // type-correct zero.
-    if (Error && Error->empty())
-      *Error = "instant " + std::to_string(Instant) + ": consumer reads '" +
-               inputBindingName(Input) + "' but its producer emitted nothing";
-    return typedZero(inputBindingType(Input));
-  }
-  return ChanVal[At];
-}
-
-void LinkedExecutor::UnitEnv::writeOutput(EnvOutputId Output,
-                                          unsigned Instant, const Value &V) {
-  size_t At = static_cast<size_t>(Output) * Cap + (Instant - BatchStart);
-  ProducedPresent[At] = 1;
-  ProducedVal[At] = V;
-  // Batched windows defer external forwarding to the ordered flush.
-  if (!BatchMode && ExternalOut[Output] != InvalidEnvId)
-    Outer->writeOutput(ExternalOut[Output], Instant, V);
-}
-
-void LinkedExecutor::UnitEnv::clockTicks(EnvClockId Clock, unsigned Start,
-                                         unsigned Count, unsigned char *Out) {
-  int Ch = ClockChannel[Clock];
-  if (Ch < 0) {
-    Outer->clockTicks(OuterClock[Clock], Start, Count, Out);
-    return;
-  }
-  const unsigned char *Row =
-      &ChanPresent[static_cast<size_t>(Ch) * Cap + (Start - BatchStart)];
-  std::copy(Row, Row + Count, Out);
-}
-
-void LinkedExecutor::UnitEnv::inputValues(EnvInputId Input, unsigned Start,
-                                          unsigned Count, Value *Out) {
-  int Ch = InputChannel[Input];
-  if (Ch < 0) {
-    Outer->inputValues(OuterInput[Input], Start, Count, Out);
-    return;
-  }
-  // A bulk prefetch reads the whole window regardless of presence, so a
-  // silent instant is not an error here — a real mismatch (the consumer
-  // present while the producer is silent) is caught per instant by the
-  // dynamic watch check after the unit's window runs.
-  size_t Base = static_cast<size_t>(Ch) * Cap + (Start - BatchStart);
-  TypeKind K = inputBindingType(Input);
-  for (unsigned I = 0; I < Count; ++I)
-    Out[I] = ChanPresent[Base + I] ? ChanVal[Base + I] : typedZero(K);
-}
-
-LinkedExecutor::LinkedExecutor(const LinkedSystem &Sys) : Sys(Sys) {
-  States.reserve(Sys.Units.size());
-  for (unsigned U = 0; U < Sys.Units.size(); ++U)
-    States.push_back(std::make_unique<UnitState>());
-  for (unsigned U = 0; U < Sys.Units.size(); ++U) {
-    UnitState &S = *States[U];
-    S.Compiled = Sys.Units[U].Comp->Compiled;
-    S.Exec = std::make_unique<VmExecutor>(S.Compiled);
-    S.Env.Error = &Error;
-    // Resolve the unit's whole binding against its adapter environment
-    // up front; every routing table below is indexed by those ids.
-    S.Exec->bind(S.Env);
-    S.Env.ClockChannel.assign(S.Env.numClockBindings(), -1);
-    S.Env.InputChannel.assign(S.Env.numInputBindings(), -1);
-    S.Env.ExternalOut.assign(S.Env.numOutputBindings(), InvalidEnvId);
-    S.Env.OuterClock.assign(S.Env.numClockBindings(), InvalidEnvId);
-    S.Env.OuterInput.assign(S.Env.numInputBindings(), InvalidEnvId);
-    S.Env.ProducedPresent.assign(S.Env.numOutputBindings(), 0);
-    S.Env.ProducedVal.assign(S.Env.numOutputBindings(), Value());
-    // The per-instant emission order of the unit's outputs, as env ids:
-    // the batched external flush replays exactly this order.
-    for (int32_t D : S.Compiled.OutputFlushOrder)
-      S.FlushEnvIds.push_back(S.Exec->bindings().Outputs[D]);
-  }
-
-  // Channel wiring, by the linker's pre-resolved descriptor indices: the
-  // producer-side output id and consumer-side input/clock ids come
-  // straight out of each executor's binding arrays — no name matching.
-  for (const LinkChannel &Ch : Sys.Channels) {
-    UnitState &Cons = *States[Ch.Consumer];
-    UnitState &Prod = *States[Ch.Producer];
-    int ChanIdx = static_cast<int>(Cons.InChannels.size());
-    InChannel IC;
-    IC.Ch = &Ch;
-    IC.Producer = Ch.Producer;
-    IC.ProducerOut = Prod.Exec->bindings().Outputs[Ch.ProducerOutput];
-    Cons.InChannels.push_back(IC);
-
-    EnvInputId InId = Cons.Exec->bindings().Inputs[Ch.ConsumerInput];
-    Cons.Env.InputChannel[InId] = ChanIdx;
-    if (Ch.ConsumerClockInput >= 0) {
-      EnvClockId ClkId = Cons.Exec->bindings().Clocks[Ch.ConsumerClockInput];
-      Cons.Env.ClockChannel[ClkId] = ChanIdx;
-    } else {
-      Cons.DynChannels.push_back(ChanIdx);
-    }
-  }
-  for (auto &SP : States) {
-    SP->Env.ChanPresent.assign(SP->InChannels.size(), 0);
-    SP->Env.ChanVal.assign(SP->InChannels.size(), Value());
-    // Watch slots mirror DynChannels: the consumer-side presence the
-    // dynamic check needs, recorded per instant by batched windows.
-    std::vector<int> Watch;
-    for (int C : SP->DynChannels)
-      Watch.push_back(
-          SP->Compiled.SignalClockSlot[SP->InChannels[C].Ch->ConsumerSig]);
-    SP->Exec->setWatchSlots(std::move(Watch));
-  }
-}
-
-void LinkedExecutor::bindOuter(Environment &Outer) {
-  for (auto &SP : States) {
-    UnitState &S = *SP;
-    S.Env.Outer = &Outer;
-    for (EnvClockId Id = 0; Id < S.Env.numClockBindings(); ++Id)
-      if (S.Env.ClockChannel[Id] < 0)
-        S.Env.OuterClock[Id] = Outer.resolveClock(S.Env.clockBindingName(Id));
-    for (EnvInputId Id = 0; Id < S.Env.numInputBindings(); ++Id)
-      if (S.Env.InputChannel[Id] < 0)
-        S.Env.OuterInput[Id] = Outer.resolveInput(
-            S.Env.inputBindingName(Id), S.Env.inputBindingType(Id));
-    std::fill(S.Env.ExternalOut.begin(), S.Env.ExternalOut.end(),
-              InvalidEnvId);
-  }
-  for (const LinkedExternal &Ext : Sys.ExternalOutputs) {
-    UnitState &S = *States[Ext.Unit];
-    // The external's descriptor index in the unit's Outputs table.
-    const auto &Outs = S.Compiled.Outputs;
-    for (size_t OI = 0; OI < Outs.size(); ++OI)
-      if (Outs[OI].Sig == Ext.Sig) {
-        EnvOutputId Id = S.Exec->bindings().Outputs[OI];
-        S.Env.ExternalOut[Id] =
-            Outer.resolveOutput(Ext.Name, Outs[OI].Type);
-      }
-  }
-  BoundOuterIdentity = Outer.identity();
-}
-
-void LinkedExecutor::reserveBatch(unsigned MaxCount) {
-  if (MaxCount <= BatchCap)
-    return;
-  BatchCap = MaxCount;
-  for (auto &SP : States) {
-    UnitState &S = *SP;
-    S.Env.Cap = BatchCap;
-    S.Env.ChanPresent.assign(S.InChannels.size() *
-                                 static_cast<size_t>(BatchCap),
-                             0);
-    S.Env.ChanVal.assign(S.InChannels.size() * static_cast<size_t>(BatchCap),
-                         Value());
-    S.Env.ProducedPresent.assign(S.Env.numOutputBindings() *
-                                     static_cast<size_t>(BatchCap),
-                                 0);
-    S.Env.ProducedVal.assign(S.Env.numOutputBindings() *
-                                 static_cast<size_t>(BatchCap),
-                             Value());
-    S.Exec->reserveBatch(BatchCap);
-  }
+  Exec.setWatchSlots(std::move(Watch));
 }
 
 void LinkedExecutor::reset() {
-  for (auto &SP : States)
-    SP->Exec->reset();
+  Exec.reset();
   Error.clear();
+}
+
+std::string
+LinkedExecutor::mismatchMessage(const LinkedSystem::DynCheck &Check,
+                                unsigned Instant, bool ProducerPresent,
+                                bool ConsumerPresent) const {
+  const LinkChannel &Ch = Sys.Channels[Check.Channel];
+  return "instant " + std::to_string(Instant) + ": channel '" + Ch.Name +
+         "' clock mismatch — producer '" + Sys.Units[Ch.Producer].Name +
+         (ProducerPresent ? "' emitted" : "' was silent") +
+         " while consumer '" + Sys.Units[Ch.Consumer].Name +
+         (ConsumerPresent ? "' expected a value" : "' expected silence");
 }
 
 bool LinkedExecutor::step(Environment &Env, unsigned Instant) {
   if (!Error.empty())
     return false;
-  if (Env.identity() != BoundOuterIdentity)
-    bindOuter(Env);
-
-  for (auto &SP : States) {
-    std::fill(SP->Env.ProducedPresent.begin(), SP->Env.ProducedPresent.end(),
-              static_cast<unsigned char>(0));
-    SP->Env.BatchStart = Instant; // window of one, offset 0
-  }
-
-  for (unsigned U : Sys.Order) {
-    UnitState &S = *States[U];
-
-    // Wire this unit's channels from its producers' recorded outputs.
-    const unsigned Cap = S.Env.Cap;
-    for (size_t C = 0; C < S.InChannels.size(); ++C) {
-      const InChannel &IC = S.InChannels[C];
-      const UnitEnv &ProdEnv = States[IC.Producer]->Env;
-      size_t From = static_cast<size_t>(IC.ProducerOut) * ProdEnv.Cap;
-      S.Env.ChanPresent[C * Cap] = ProdEnv.ProducedPresent[From];
-      S.Env.ChanVal[C * Cap] = ProdEnv.ProducedVal[From];
-    }
-
-    S.Exec->step(S.Env, Instant);
-
-    // Dynamic check for channels whose clock the consumer derives: both
-    // sides must agree on presence this instant.
-    for (int C : S.DynChannels) {
-      const LinkChannel *Ch = S.InChannels[C].Ch;
-      int Slot = S.Compiled.SignalClockSlot[Ch->ConsumerSig];
-      bool ConsumerPresent = Slot >= 0 && S.Exec->clockPresent(Slot);
-      bool ProducerPresent = S.Env.ChanPresent[C * Cap] != 0;
-      if (ConsumerPresent != ProducerPresent && Error.empty())
-        Error = "instant " + std::to_string(Instant) + ": channel '" +
-                Ch->Name + "' clock mismatch — producer '" +
-                Sys.Units[Ch->Producer].Name +
-                (ProducerPresent ? "' emitted" : "' was silent") +
-                " while consumer '" + Sys.Units[Ch->Consumer].Name +
-                (ConsumerPresent ? "' expected a value"
-                                 : "' expected silence");
-    }
-    if (!Error.empty())
+  Exec.step(Env, Instant);
+  // The fused instant is complete (outputs emitted); now both sides of
+  // every dynamic channel must agree on presence.
+  for (const LinkedSystem::DynCheck &C : Sys.DynChecks) {
+    bool ConsumerPresent =
+        C.ConsumerSlot >= 0 && Exec.clockPresent(C.ConsumerSlot);
+    bool ProducerPresent =
+        C.ProducerSlot >= 0 && Exec.clockPresent(C.ProducerSlot);
+    if (ConsumerPresent != ProducerPresent) {
+      Error = mismatchMessage(C, Instant, ProducerPresent, ConsumerPresent);
       return false;
+    }
   }
   return true;
 }
@@ -264,106 +62,46 @@ bool LinkedExecutor::stepN(Environment &Env, unsigned Start, unsigned Count) {
     return true;
   if (!Error.empty())
     return false;
-  if (Env.identity() != BoundOuterIdentity)
-    bindOuter(Env);
-  reserveBatch(Count);
-  const unsigned Cap = BatchCap;
-
-  for (auto &SP : States) {
-    std::fill(SP->Env.ProducedPresent.begin(), SP->Env.ProducedPresent.end(),
-              static_cast<unsigned char>(0));
-    SP->Env.BatchStart = Start;
-    SP->Env.BatchMode = true;
+  if (Sys.DynChecks.empty()) {
+    Exec.stepN(Env, Start, Count);
+    return true;
   }
+
+  // Run the window against the buffering wrapper, then replay the
+  // dynamic checks from the watch recording before forwarding outputs.
+  BatchEnv.Outer = &Env;
+  BatchEnv.Buf.clear();
+  Exec.stepN(BatchEnv, Start, Count);
 
   // The first violation an unbatched run would hit: ordered by instant,
-  // then by unit position within the instant.
+  // then by check order within the instant.
   bool HaveErr = false;
   unsigned ErrInstant = 0;
-  size_t ErrPos = 0;
-  std::string ErrMsg;
-  auto candidate = [&](unsigned Instant, size_t Pos, std::string Msg) {
-    if (!HaveErr || Instant < ErrInstant ||
-        (Instant == ErrInstant && Pos < ErrPos)) {
+  for (unsigned I = 0; I < Count && !HaveErr; ++I) {
+    for (size_t K = 0; K < Sys.DynChecks.size(); ++K) {
+      const LinkedSystem::DynCheck &C = Sys.DynChecks[K];
+      bool ConsumerPresent = Exec.watchPresence(2 * K, I);
+      bool ProducerPresent = Exec.watchPresence(2 * K + 1, I);
+      if (ConsumerPresent == ProducerPresent)
+        continue;
       HaveErr = true;
-      ErrInstant = Instant;
-      ErrPos = Pos;
-      ErrMsg = std::move(Msg);
-    }
-  };
-
-  for (size_t Pos = 0; Pos < Sys.Order.size(); ++Pos) {
-    UnitState &S = *States[Sys.Order[Pos]];
-
-    // Wire whole channel rows from the producers' windows (producers run
-    // earlier in the feedback-free order, so their windows are complete).
-    for (size_t C = 0; C < S.InChannels.size(); ++C) {
-      const InChannel &IC = S.InChannels[C];
-      const UnitEnv &ProdEnv = States[IC.Producer]->Env;
-      size_t From = static_cast<size_t>(IC.ProducerOut) * Cap;
-      size_t To = C * static_cast<size_t>(Cap);
-      std::copy(ProdEnv.ProducedPresent.begin() + From,
-                ProdEnv.ProducedPresent.begin() + From + Count,
-                S.Env.ChanPresent.begin() + To);
-      std::copy(ProdEnv.ProducedVal.begin() + From,
-                ProdEnv.ProducedVal.begin() + From + Count,
-                S.Env.ChanVal.begin() + To);
-    }
-
-    S.Exec->stepN(S.Env, Start, Count);
-
-    // Replay the dynamic checks per instant from the watch recording.
-    for (size_t W = 0; W < S.DynChannels.size(); ++W) {
-      int C = S.DynChannels[W];
-      const LinkChannel *Ch = S.InChannels[C].Ch;
-      for (unsigned I = 0; I < Count; ++I) {
-        bool ConsumerPresent = S.Exec->watchPresence(W, I);
-        bool ProducerPresent =
-            S.Env.ChanPresent[C * static_cast<size_t>(Cap) + I] != 0;
-        if (ConsumerPresent == ProducerPresent)
-          continue;
-        candidate(Start + I, Pos,
-                  "instant " + std::to_string(Start + I) + ": channel '" +
-                      Ch->Name + "' clock mismatch — producer '" +
-                      Sys.Units[Ch->Producer].Name +
-                      (ProducerPresent ? "' emitted" : "' was silent") +
-                      " while consumer '" + Sys.Units[Ch->Consumer].Name +
-                      (ConsumerPresent ? "' expected a value"
-                                       : "' expected silence"));
-        break;
-      }
+      ErrInstant = Start + I;
+      Error =
+          mismatchMessage(C, ErrInstant, ProducerPresent, ConsumerPresent);
+      break;
     }
   }
 
-  for (auto &SP : States)
-    SP->Env.BatchMode = false;
-
-  // Flush external outputs exactly as an unbatched run forwards them —
-  // instants outer, units in link order, each unit's outputs in emission
-  // order — cut at the error point: an unbatched run completes the
-  // erroring unit's step (its outputs are forwarded) and then stops.
-  unsigned FlushCount = HaveErr ? ErrInstant - Start + 1 : Count;
-  for (unsigned I = 0; I < FlushCount; ++I) {
-    for (size_t Pos = 0; Pos < Sys.Order.size(); ++Pos) {
-      if (HaveErr && Start + I == ErrInstant && Pos > ErrPos)
-        break;
-      UnitState &S = *States[Sys.Order[Pos]];
-      for (EnvOutputId Id : S.FlushEnvIds) {
-        size_t At = static_cast<size_t>(Id) * Cap + I;
-        if (S.Env.ProducedPresent[At] &&
-            S.Env.ExternalOut[Id] != InvalidEnvId)
-          Env.writeOutput(S.Env.ExternalOut[Id], Start + I,
-                          S.Env.ProducedVal[At]);
-      }
-    }
+  // Forward exactly what an unbatched run forwards: every instant up to
+  // and including the erroring one (a completed fused step has already
+  // emitted its outputs when the check fires).
+  for (const BufferEnv::Rec &R : BatchEnv.Buf) {
+    if (HaveErr && R.Instant > ErrInstant)
+      break; // Buf is instant-major.
+    Env.writeOutput(R.Id, R.Instant, R.V);
   }
-
-  if (HaveErr) {
-    if (Error.empty())
-      Error = std::move(ErrMsg);
-    return false;
-  }
-  return true;
+  BatchEnv.Buf.clear();
+  return !HaveErr;
 }
 
 bool LinkedExecutor::run(Environment &Env, unsigned Count) {
@@ -381,18 +119,4 @@ bool LinkedExecutor::runBatched(Environment &Env, unsigned Count,
     if (!stepN(Env, Start, std::min(BatchSize, Count - Start)))
       return false;
   return true;
-}
-
-uint64_t LinkedExecutor::guardTests() const {
-  uint64_t Total = 0;
-  for (const auto &SP : States)
-    Total += SP->Exec->guardTests();
-  return Total;
-}
-
-uint64_t LinkedExecutor::executed() const {
-  uint64_t Total = 0;
-  for (const auto &SP : States)
-    Total += SP->Exec->executed();
-  return Total;
 }

@@ -1,40 +1,30 @@
 //===--- LinkedExecutor.h - Linked-system execution -------------*- C++-*-===//
 ///
 /// \file
-/// Executes a LinkedSystem instant by instant: each unit's step runs
-/// through its own slot-VM (VmExecutor over a CompiledStep), in the
-/// linker's cross-process order; channel wiring happens in the
-/// environment layer through index-based arrays computed once from the
-/// linker's pre-resolved channel descriptors — the per-instant loop does
-/// no name hashing and no map rebuilds. A per-unit adapter environment
+/// Executes a LinkedSystem. Since the linker fuses every unit's bytecode
+/// into one CompiledStep (see link/StepFusion.h), execution is simply a
+/// VmExecutor over the fused program: channel wiring, cross-process
+/// ordering and feedback interleaving were all resolved at link time
+/// into plain slot copies, so the hot loop is exactly the single-process
+/// hot loop — one guard-nested instruction stream, one environment
+/// binding, batched windows and watch slots included.
 ///
-///   * answers a channel-bound clock id with the producer's presence of
-///     the channel signal this instant,
-///   * answers a channel-bound input id with the producer's output value,
-///   * forwards everything else (unbound ticks, external inputs) to the
-///     outer environment through ids resolved against it once — exactly
-///     the queries the monolithic compilation of the composed program
-///     would make,
-///   * records every unit output in a dense presence/value array; only
-///     external outputs reach the outer environment's trace.
-///
-/// stepN() batches per unit: each unit runs a whole window of instants
-/// through VmExecutor::stepN before the next unit runs at all (the
-/// cross-process schedule is feedback-free, so a producer's entire
-/// window is available to its consumers). Channel feeds and produced
-/// outputs become [index × instant] matrices, external outputs are
-/// buffered and flushed to the outer environment at window end in
-/// exactly the unbatched order, and the unbatched trace/counters are
-/// reproduced bit for bit.
-///
-/// Channels whose consumer derives the clock itself (ConsumerClockInput
-/// == -1) are checked dynamically: after the consumer's step, both sides
-/// must agree on presence, otherwise the run stops with a diagnostic (a
-/// clock-interface violation the linker could not prove either way). In
-/// batched runs the checks replay per instant from presence recorded by
-/// the VM's watch slots, and the first violation — ordered by instant,
-/// then by unit order — cuts the flush exactly where an unbatched run
-/// would have stopped.
+/// The only linked-specific behavior left at run time is the *dynamic*
+/// channel check: a channel whose consumer derives the clock itself
+/// (ConsumerClockInput == -1) carries a DynCheck record, and after each
+/// instant the consumer's derived presence must agree with the
+/// producer's export presence, otherwise the run stops with a
+/// diagnostic (a clock-interface violation the linker could not prove
+/// either way). Unbatched steps compare the two fused clock slots right
+/// after the instant; batched windows replay the comparison from the
+/// VM's watch-slot recording, and the first violation — ordered by
+/// instant, then by check order — cuts the external flush exactly
+/// where an unbatched run would have stopped (after the erroring
+/// instant, whose outputs a completed fused step has already emitted).
+/// The cut is implemented by running batched windows against a
+/// buffering environment that delays output forwarding until the
+/// checks have passed; systems without dynamic channels skip the
+/// buffer entirely.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,33 +34,29 @@
 #include "interp/VmExecutor.h"
 #include "link/Linker.h"
 
-#include <memory>
 #include <string>
 #include <vector>
 
 namespace sigc {
 
-/// Interprets a linked multi-process system.
+/// Interprets a linked multi-process system through its fused step.
 class LinkedExecutor {
 public:
   explicit LinkedExecutor(const LinkedSystem &Sys);
 
-  /// Re-initializes every unit's delay states.
+  /// Re-initializes the fused delay states.
   void reset();
 
-  /// Runs one reaction across all units. \returns false on a dynamic
-  /// clock-constraint violation (see error()).
+  /// Runs one reaction across the fused system. \returns false on a
+  /// dynamic clock-constraint violation (see error()).
   bool step(Environment &Env, unsigned Instant);
 
-  /// Runs \p Count reactions starting at instant \p Start, batched per
-  /// unit (see the file comment). On clean runs, trace- and
-  /// counter-identical to \p Count step()s. On a dynamic
-  /// clock-interface violation the outer environment's trace is still
-  /// cut exactly where an unbatched run stops, but the executors have
-  /// already run the whole window (counters include post-error
-  /// instants) and the diagnostic is always the watch-check's "clock
-  /// mismatch" wording, where an unbatched run may report the
-  /// consumer-side read first.
+  /// Runs \p Count reactions starting at instant \p Start through the
+  /// VM's batched window. Trace- and counter-identical to \p Count
+  /// step()s on clean runs; on a dynamic violation the outer
+  /// environment's trace is still cut exactly where an unbatched run
+  /// stops, though the VM has already run the whole window (counters
+  /// include post-error instants).
   bool stepN(Environment &Env, unsigned Start, unsigned Count);
 
   /// Runs \p Count reactions starting at instant 0.
@@ -83,86 +69,71 @@ public:
   /// Non-empty after step()/run() returned false.
   const std::string &error() const { return Error; }
 
-  /// Guard tests summed over every unit's executor.
-  uint64_t guardTests() const;
-  /// Instructions executed summed over every unit's executor.
-  uint64_t executed() const;
+  /// Guard tests of the fused executor.
+  uint64_t guardTests() const { return Exec.guardTests(); }
+  /// Instructions executed by the fused executor.
+  uint64_t executed() const { return Exec.executed(); }
 
 private:
-  /// The per-unit adapter environment. All routing tables are dense
-  /// arrays indexed by this environment's own EnvIds and sized once at
-  /// construction — deliberately no name-based adapter re-exports here:
-  /// resolving a new name after construction would mint an id past the
-  /// routing arrays' end. Channel feeds and produced outputs are
-  /// [index * Cap + (instant - BatchStart)] matrices; unbatched steps
-  /// run with offset 0, batched windows fill whole rows.
-  class UnitEnv : public Environment {
+  /// Pass-through environment that buffers outputs: batched windows run
+  /// against it so a dynamic-check violation can cut the forwarded
+  /// trace at the erroring instant even though the VM flushes whole
+  /// windows. Resolution delegates to the outer environment, so every
+  /// id this wrapper sees *is* an outer id.
+  class BufferEnv : public Environment {
   public:
     Environment *Outer = nullptr;
-    /// Clock id -> feeding in-channel index (-1 = forward to Outer).
-    std::vector<int> ClockChannel;
-    /// Input id -> feeding in-channel index (-1 = forward to Outer).
-    std::vector<int> InputChannel;
-    /// Output id -> Outer's output id when external, InvalidEnvId else.
-    std::vector<EnvOutputId> ExternalOut;
-    /// Clock/input id -> the id Outer resolved for the same name.
-    std::vector<EnvClockId> OuterClock;
-    std::vector<EnvInputId> OuterInput;
-    /// Channel feed matrix, [in-channel index * Cap + offset].
-    std::vector<unsigned char> ChanPresent;
-    std::vector<Value> ChanVal;
-    /// Production matrix, [output id * Cap + offset].
-    std::vector<unsigned char> ProducedPresent;
-    std::vector<Value> ProducedVal;
-    /// Stride and base of the current window (Cap >= 1 always).
-    unsigned Cap = 1;
-    unsigned BatchStart = 0;
-    /// True while a stepN window runs: external outputs are buffered for
-    /// the ordered flush instead of being forwarded immediately.
-    bool BatchMode = false;
-    std::string *Error = nullptr;
+    struct Rec {
+      EnvOutputId Id;
+      unsigned Instant;
+      Value V;
+    };
+    std::vector<Rec> Buf;
 
-    bool clockTick(EnvClockId Clock, unsigned Instant) override;
-    Value inputValue(EnvInputId Input, unsigned Instant) override;
-    void writeOutput(EnvOutputId Output, unsigned Instant,
-                     const Value &V) override;
+    EnvClockId resolveClock(std::string_view Name) override {
+      return Outer->resolveClock(Name);
+    }
+    EnvInputId resolveInput(std::string_view Name, TypeKind Type) override {
+      return Outer->resolveInput(Name, Type);
+    }
+    EnvOutputId resolveOutput(std::string_view Name, TypeKind Type) override {
+      return Outer->resolveOutput(Name, Type);
+    }
+    bool clockTick(EnvClockId Clock, unsigned Instant) override {
+      return Outer->clockTick(Clock, Instant);
+    }
+    Value inputValue(EnvInputId Input, unsigned Instant) override {
+      return Outer->inputValue(Input, Instant);
+    }
     void clockTicks(EnvClockId Clock, unsigned Start, unsigned Count,
-                    unsigned char *Out) override;
+                    unsigned char *Out) override {
+      Outer->clockTicks(Clock, Start, Count, Out);
+    }
     void inputValues(EnvInputId Input, unsigned Start, unsigned Count,
-                     Value *Out) override;
+                     Value *Out) override {
+      Outer->inputValues(Input, Start, Count, Out);
+    }
+    // The default exchangeOutputs replays the window through
+    // writeOutput instant by instant in emission order, so Buf holds
+    // exactly the unbatched forwarding sequence.
+    void writeOutput(EnvOutputId Output, unsigned Instant,
+                     const Value &V) override {
+      Buf.push_back({Output, Instant, V});
+    }
   };
 
-  /// One feeding channel of a unit, in index-resolved form.
-  struct InChannel {
-    const LinkChannel *Ch = nullptr;
-    unsigned Producer = 0;
-    EnvOutputId ProducerOut = InvalidEnvId; ///< Id in the producer's env.
-  };
-
-  struct UnitState {
-    CompiledStep Compiled;
-    std::unique_ptr<VmExecutor> Exec;
-    UnitEnv Env;
-    std::vector<InChannel> InChannels;
-    /// In-channel indices needing the dynamic presence check, aligned
-    /// with the executor's watch slots.
-    std::vector<int> DynChannels;
-    /// Output env ids in the unit's per-instant emission order (the
-    /// batched external flush walks these).
-    std::vector<EnvOutputId> FlushEnvIds;
-  };
-
-  /// Resolves the forwarding ids of every unit against \p Outer.
-  void bindOuter(Environment &Outer);
-
-  /// Grows every unit's window matrices to \p MaxCount instants.
-  void reserveBatch(unsigned MaxCount);
+  /// Appends the pinned mismatch diagnostic for \p Check at \p Instant.
+  std::string mismatchMessage(const LinkedSystem::DynCheck &Check,
+                              unsigned Instant, bool ProducerPresent,
+                              bool ConsumerPresent) const;
 
   const LinkedSystem &Sys;
-  /// By pointer: UnitEnv (an Environment) is pinned to its address.
-  std::vector<std::unique_ptr<UnitState>> States;
-  unsigned BatchCap = 1;
-  uint64_t BoundOuterIdentity = 0;
+  /// Owned copy: VmExecutor holds its program by reference, and the
+  /// executor must not dangle if the LinkedSystem is mutated or freed
+  /// mid-lifetime the way per-unit Compilations could be.
+  CompiledStep Fused;
+  VmExecutor Exec;
+  BufferEnv BatchEnv;
   std::string Error;
 };
 

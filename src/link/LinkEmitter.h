@@ -1,26 +1,27 @@
 //===--- LinkEmitter.h - C emission for linked systems ----------*- C++-*-===//
 ///
 /// \file
-/// Renders a LinkedSystem as one self-contained C source file: each unit's
-/// step function is emitted unchanged by CEmitter (one `<proc>_step` per
-/// process), followed by a generated system driver —
+/// Renders a LinkedSystem as one self-contained C source file by
+/// emitting the *fused* CompiledStep (see link/StepFusion.h) through
+/// the ordinary single-process CEmitter: the linker has already
+/// interleaved every unit's bytecode along the cross-process dependence
+/// order and turned channels into slot copies, so the linked system
+/// compiles to exactly the code shape a monolithic compilation of the
+/// composed program would get —
 ///
-///   <sys>_state_t      every unit's state struct,
-///   <sys>_in_t         the system's external ticks and input values
-///                      (channel-bound ticks and values do not appear),
-///   <sys>_out_t        the external outputs,
-///   <sys>_step()       calls the units in link order and wires the
-///                      channels between their in/out structs,
-///   <sys>_step_batch() runs N instants per-unit-batched in fixed-size
-///                      chunks (each unit runs a whole window before
-///                      the next unit starts — the link order is
-///                      feedback-free), mirroring LinkedExecutor::stepN.
+///   <sys>_state_t       the fused delay state (plus counters),
+///   <sys>_in_t          the system's external ticks and input values
+///                       (channel-bound ticks and values do not appear),
+///   <sys>_out_t         the external outputs,
+///   <sys>_step()        one fused reaction,
+///   <sys>_step_batch()  N instants over input/output arrays,
+///   <sys>_step_fleet()  the lane-blocked many-instance entry point.
 ///
-/// External fields are deduplicated by name, mirroring the interpreter's
-/// name-keyed environment: two units importing the same unmatched signal
-/// read the same field. linkedCInterface() exposes the exact field list
-/// so harness generators (the differential oracle) stay in lockstep with
-/// the emitted struct layout.
+/// External fields are deduplicated by name, mirroring the
+/// interpreter's name-keyed environment: two units importing the same
+/// unmatched signal read the same field. linkedCInterface() exposes the
+/// exact field list so harness generators (the differential oracle)
+/// stay in lockstep with the emitted struct layout.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,12 +56,9 @@ struct LinkedCInterface {
 /// Computes the deduplicated external field lists of \p Sys.
 LinkedCInterface linkedCInterface(const LinkedSystem &Sys);
 
-/// C symbol prefix of unit \p U ("<sanitized name>", suffixed on clashes).
-std::string linkedUnitSymbol(const LinkedSystem &Sys, unsigned U);
-
-/// Emits the complete linked C translation unit. \p SysName names the
-/// system-level symbols. Options.Nested selects each unit's control
-/// structure; Options.WithDriver appends a deterministic main().
+/// Emits the complete linked C translation unit from the fused step.
+/// \p SysName names the system-level symbols. Options.WithDriver
+/// appends a deterministic main().
 std::string emitLinkedC(const LinkedSystem &Sys, const std::string &SysName,
                         const CEmitOptions &Options);
 

@@ -2,6 +2,9 @@
 
 #include "link/Linker.h"
 
+#include "link/JointClockSpace.h"
+#include "link/StepFusion.h"
+
 #include <algorithm>
 #include <chrono>
 #include <map>
@@ -93,7 +96,8 @@ std::string LinkedSystem::dump() const {
   return Out;
 }
 
-LinkResult sigc::linkCompiled(std::vector<LinkUnit> Units) {
+LinkResult sigc::linkCompiled(std::vector<LinkUnit> Units,
+                              const LinkOptions &Options) {
   auto T0 = std::chrono::steady_clock::now();
   if (Units.empty())
     return fail("nothing to link: no processes given");
@@ -166,43 +170,6 @@ LinkResult sigc::linkCompiled(std::vector<LinkUnit> Units) {
         Sys->ExternalOutputs.push_back({U, E.Sig, E.Name, E.Type});
     }
 
-  // --- Cross-process schedule: Kahn over the channel dataflow ------------
-  {
-    std::vector<unsigned> InDeg(Sys->Units.size(), 0);
-    std::vector<std::vector<unsigned>> Succ(Sys->Units.size());
-    for (const LinkChannel &Ch : Sys->Channels) {
-      // Count each producer->consumer pair once.
-      if (std::find(Succ[Ch.Producer].begin(), Succ[Ch.Producer].end(),
-                    Ch.Consumer) == Succ[Ch.Producer].end()) {
-        Succ[Ch.Producer].push_back(Ch.Consumer);
-        ++InDeg[Ch.Consumer];
-      }
-    }
-    std::vector<unsigned> Ready;
-    for (unsigned U = 0; U < Sys->Units.size(); ++U)
-      if (InDeg[U] == 0)
-        Ready.push_back(U);
-    while (!Ready.empty()) {
-      // Smallest index first: a deterministic order.
-      auto It = std::min_element(Ready.begin(), Ready.end());
-      unsigned U = *It;
-      Ready.erase(It);
-      Sys->Order.push_back(U);
-      for (unsigned V : Succ[U])
-        if (--InDeg[V] == 0)
-          Ready.push_back(V);
-    }
-    if (Sys->Order.size() != Sys->Units.size()) {
-      std::string Cycle;
-      for (unsigned U = 0; U < Sys->Units.size(); ++U)
-        if (InDeg[U] != 0)
-          Cycle += (Cycle.empty() ? "" : ", ") + Sys->Units[U].Name;
-      return fail("channel dataflow between processes is cyclic (" + Cycle +
-                  "); instant-level feedback across link units is not "
-                  "supported — compose those processes before compiling");
-    }
-  }
-
   // --- Clock-interface compatibility -------------------------------------
   // For each channel, find how the consumer computes the import's clock.
   // A free-root class simply adopts the producer's presence (its tick
@@ -240,10 +207,54 @@ LinkResult sigc::linkCompiled(std::vector<LinkUnit> Units) {
                   "' has no input descriptor for the import");
   }
 
+  // --- Scheduling priority: Kahn over the unit-level channel dataflow ----
+  // A feedback cycle between units is NOT an error any more: fusion
+  // schedules at instruction granularity, where only a true same-instant
+  // dependency cycle (diagnosed there, with the channel path) is fatal.
+  // The Kahn order is kept as the round priority, so acyclic systems fuse
+  // to plain concatenation in topological order.
+  std::vector<unsigned> Prio;
+  {
+    std::vector<unsigned> InDeg(Sys->Units.size(), 0);
+    std::vector<std::vector<unsigned>> Succ(Sys->Units.size());
+    for (const LinkChannel &Ch : Sys->Channels) {
+      // Count each producer->consumer pair once.
+      if (std::find(Succ[Ch.Producer].begin(), Succ[Ch.Producer].end(),
+                    Ch.Consumer) == Succ[Ch.Producer].end()) {
+        Succ[Ch.Producer].push_back(Ch.Consumer);
+        ++InDeg[Ch.Consumer];
+      }
+    }
+    std::vector<unsigned> Ready;
+    for (unsigned U = 0; U < Sys->Units.size(); ++U)
+      if (InDeg[U] == 0)
+        Ready.push_back(U);
+    while (!Ready.empty()) {
+      // Smallest index first: a deterministic order.
+      auto It = std::min_element(Ready.begin(), Ready.end());
+      unsigned U = *It;
+      Ready.erase(It);
+      Prio.push_back(U);
+      for (unsigned V : Succ[U])
+        if (--InDeg[V] == 0)
+          Ready.push_back(V);
+    }
+  }
+
+  // The joint BDD clock space is built lazily: only links with an
+  // obligation spanning two producers pay for it.
+  std::unique_ptr<JointClockSpace> Joint;
+  auto jointSpace = [&]() -> JointClockSpace & {
+    if (!Joint)
+      Joint = std::make_unique<JointClockSpace>(*Sys, Options.Limits);
+    return *Joint;
+  };
+
   // Consumer-imposed relations between imported clocks must be *proved*
-  // on the producer side: group the channels of one consumer by forest
+  // on the exporting side: group the channels of one consumer by forest
   // node (same node = the consumer demands synchrony), then discharge
-  // each demand with implies() on the producer's relative BDDs.
+  // each demand with implies() on the producer's relative BDDs — or, when
+  // the demand spans two producers, with implies() in the joint space.
   for (unsigned U = 0; U < Sys->Units.size(); ++U) {
     Compilation &Cons = *Sys->Units[U].Comp;
     std::map<ForestNodeId, std::vector<LinkChannel *>> ByNode;
@@ -256,14 +267,22 @@ LinkResult sigc::linkCompiled(std::vector<LinkUnit> Units) {
       for (size_t K = 1; K < Chans.size(); ++K) {
         LinkChannel &A = *Chans[0];
         LinkChannel &B = *Chans[K];
-        if (A.Producer != B.Producer)
-          return fail("imports '" + A.Name + "' and '" + B.Name + "' of '" +
-                      Sys->Units[U].Name +
-                      "' must be synchronous, but they come from different "
-                      "producers ('" + Sys->Units[A.Producer].Name +
-                      "', '" + Sys->Units[B.Producer].Name +
-                      "'); a cross-producer clock relation cannot be "
-                      "proved at link time");
+        if (A.Producer != B.Producer) {
+          if (!jointSpace().proveEqual(A.Producer, A.ProducerSig, B.Producer,
+                                       B.ProducerSig))
+            return fail("imports '" + A.Name + "' and '" + B.Name +
+                        "' of '" + Sys->Units[U].Name +
+                        "' must be synchronous, but the joint clock space "
+                        "across producers '" + Sys->Units[A.Producer].Name +
+                        "' and '" + Sys->Units[B.Producer].Name +
+                        "' cannot prove their clocks equal" +
+                        (jointSpace().exhausted()
+                             ? std::string(" (") +
+                                   budgetVerdictName(jointSpace().verdict()) +
+                                   ": the joint-space budget tripped)"
+                             : ""));
+          continue;
+        }
         Compilation &Prod = *Sys->Units[A.Producer].Comp;
         bool SameTree = false;
         bool Fwd = producerProves(Prod, A.ProducerSig, B.ProducerSig,
@@ -298,12 +317,22 @@ LinkResult sigc::linkCompiled(std::vector<LinkUnit> Units) {
           continue; // The consumer does not demand NI ⊆ NJ.
         LinkChannel &A = *Reps[I].second;
         LinkChannel &B = *Reps[J].second;
-        if (A.Producer != B.Producer)
-          return fail("import '" + A.Name + "' of '" + Sys->Units[U].Name +
-                      "' is constrained inside the clock of import '" +
-                      B.Name + "', but the two channels come from "
-                      "different producers; the inclusion cannot be "
-                      "proved at link time");
+        if (A.Producer != B.Producer) {
+          if (!jointSpace().proveIncluded(A.Producer, A.ProducerSig,
+                                          B.Producer, B.ProducerSig))
+            return fail("import '" + A.Name + "' of '" + Sys->Units[U].Name +
+                        "' must be contained in the clock of import '" +
+                        B.Name + "', but the joint clock space across "
+                        "producers '" + Sys->Units[A.Producer].Name +
+                        "' and '" + Sys->Units[B.Producer].Name +
+                        "' cannot prove the inclusion" +
+                        (jointSpace().exhausted()
+                             ? std::string(" (") +
+                                   budgetVerdictName(jointSpace().verdict()) +
+                                   ": the joint-space budget tripped)"
+                             : ""));
+          continue;
+        }
         Compilation &Prod = *Sys->Units[A.Producer].Comp;
         bool SameTree = false;
         if (!producerProves(Prod, A.ProducerSig, B.ProducerSig, SameTree))
@@ -343,6 +372,14 @@ LinkResult sigc::linkCompiled(std::vector<LinkUnit> Units) {
     }
   }
 
+  // --- Fusion: one CompiledStep for the whole system ---------------------
+  FusionResult Fusion = fuseLinkedSteps(*Sys, Prio);
+  if (!Fusion.Ok)
+    return fail(std::move(Fusion.Error));
+  Sys->Fused = std::move(Fusion.Fused);
+  Sys->DynChecks = std::move(Fusion.DynChecks);
+  Sys->Order = std::move(Fusion.Order);
+
   LinkResult R;
   R.Sys = std::move(Sys);
   R.LinkMs = msSince(T0);
@@ -381,8 +418,9 @@ std::vector<LinkUnit> compileUnits(
   return Units;
 }
 
-LinkResult linkAfterCompile(std::vector<LinkUnit> Units, double CompileMs) {
-  LinkResult R = linkCompiled(std::move(Units));
+LinkResult linkAfterCompile(std::vector<LinkUnit> Units, double CompileMs,
+                            const LinkOptions &Options) {
+  LinkResult R = linkCompiled(std::move(Units), Options);
   R.CompileMs = CompileMs;
   return R;
 }
@@ -400,7 +438,7 @@ LinkResult sigc::compileAndLink(const std::string &BufferName,
   for (const std::string &P : ProcessNames)
     Jobs.emplace_back(BufferName, Source, P);
   std::vector<LinkUnit> Units = compileUnits(Jobs, Options);
-  return linkAfterCompile(std::move(Units), msSince(T0));
+  return linkAfterCompile(std::move(Units), msSince(T0), Options);
 }
 
 LinkResult sigc::compileAndLinkSources(const std::vector<LinkInput> &Inputs,
@@ -413,5 +451,5 @@ LinkResult sigc::compileAndLinkSources(const std::vector<LinkInput> &Inputs,
   std::vector<LinkUnit> Units = compileUnits(Jobs, Options);
   for (size_t I = 0; I < Units.size(); ++I)
     Units[I].Name = std::string(); // Taken from the compiled process.
-  return linkAfterCompile(std::move(Units), msSince(T0));
+  return linkAfterCompile(std::move(Units), msSince(T0), Options);
 }

@@ -11,25 +11,37 @@
 ///      the same name; types must agree,
 ///   3. clock-interface compatibility — when a consumer constrains two
 ///      imported clocks (same class, or one contained in the other), the
-///      producer must *prove* the corresponding relation on its own
-///      forest, via BDD implies() on the exporters' relative BDDs. This
-///      is the paper's point: the forest is canonical, so interface
-///      obligations reduce to implication tests, not to re-resolution,
-///   4. a cross-process schedule — topological order of the units along
-///      the channel dataflow (instant-level feedback between processes is
-///      rejected; see the ROADMAP for the finer-grained interleaving),
+///      exporting side must *prove* the corresponding relation. With a
+///      single producer the proof runs on that producer's own forest, via
+///      BDD implies() on the exporters' relative BDDs — the paper's
+///      point: the forest is canonical, so interface obligations reduce
+///      to implication tests, not to re-resolution. When the obligation
+///      spans *two* producers, their forests are translated into a joint
+///      BDD clock space (JointClockSpace.h) keyed by shared condition
+///      signals, environment roots, and channel bindings, and the same
+///      implies() discharges it there,
+///   4. instruction-granularity fusion (StepFusion.h) — the units'
+///      CompiledStep bytecode is interleaved along the cross-process
+///      dependence order into ONE fused CompiledStep for the whole
+///      system. Instant-level feedback between processes is legal
+///      whenever the instruction-level dependence graph is acyclic; a
+///      true cycle is diagnosed with the channel path around it,
 ///   5. the linked system's own interface: unbound free clocks become the
 ///      system's roots, unmatched imports/exports its external signals.
 ///
-/// The linked system executes by running each unit's existing StepProgram
-/// unchanged, wiring channel presence and values between them
-/// (LinkedExecutor in src/interp/, emitLinkedC in LinkEmitter.h).
+/// The linked system executes by running the fused CompiledStep on the
+/// ordinary slot VM — LinkedExecutor in src/interp/ is a thin shim over
+/// VmExecutor that adds the dynamic clock checks for consumer-derived
+/// import clocks, and emitLinkedC in LinkEmitter.h emits the fused
+/// bytecode through the single CEmitter lowering (so batch and fleet
+/// entry points come for free).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SIGNALC_LINK_LINKER_H
 #define SIGNALC_LINK_LINKER_H
 
+#include "interp/CompiledStep.h"
 #include "link/ProcessInterface.h"
 
 #include <memory>
@@ -81,16 +93,33 @@ struct LinkedRoot {
   std::string Name;   ///< The clock input's name ("^X", ...).
 };
 
-/// The composed system: N untouched compilations plus the wiring.
+/// The composed system: N untouched compilations plus the wiring, plus
+/// the fused CompiledStep the whole system executes as.
 struct LinkedSystem {
   std::vector<LinkUnit> Units;
   std::vector<LinkChannel> Channels;
-  /// Unit indices in a channel-dataflow-respecting execution order.
+  /// Unit indices in a channel-dataflow-respecting execution order (for
+  /// feedback systems, by first fused instruction).
   std::vector<unsigned> Order;
 
   std::vector<LinkedExternal> ExternalInputs;
   std::vector<LinkedExternal> ExternalOutputs;
   std::vector<LinkedRoot> Roots;
+
+  /// The whole system as one CompiledStep: every unit's bytecode rebased
+  /// into a shared slot space and interleaved along the cross-process
+  /// dependence order, channels rewired to plain CopyClock/CopyValue.
+  CompiledStep Fused;
+
+  /// A channel whose consumer *derives* the import's clock itself
+  /// (LinkChannel::ConsumerClockInput == -1): each instant, both sides'
+  /// presence bits must agree. Slots index into Fused's clock space.
+  struct DynCheck {
+    unsigned Channel = 0; ///< Index into Channels.
+    int ConsumerSlot = 0; ///< Fused clock slot of the consumer's clock.
+    int ProducerSlot = 0; ///< Fused clock slot of the producer's clock.
+  };
+  std::vector<DynCheck> DynChecks;
 
   /// Endochrony of the *system*: a single unbound root paces everything.
   bool endochronous() const { return Roots.size() == 1; }
@@ -141,8 +170,11 @@ LinkResult compileAndLinkSources(const std::vector<LinkInput> &Inputs,
                                  const LinkOptions &Options = {});
 
 /// Links already-compiled units (each must be Ok). Extracts interfaces,
-/// matches channels, verifies clock compatibility, orders the units.
-LinkResult linkCompiled(std::vector<LinkUnit> Units);
+/// matches channels, verifies clock compatibility (joint BDD space for
+/// cross-producer obligations, bounded by \p Options.Limits), and fuses
+/// the units' bytecode into LinkedSystem::Fused.
+LinkResult linkCompiled(std::vector<LinkUnit> Units,
+                        const LinkOptions &Options = {});
 
 } // namespace sigc
 

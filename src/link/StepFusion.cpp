@@ -1,0 +1,635 @@
+//===--- StepFusion.cpp ---------------------------------------------------===//
+
+#include "link/StepFusion.h"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <set>
+
+using namespace sigc;
+
+namespace {
+
+/// Type-correct zero for a dynamic channel's prelude: a default Value
+/// would trip asReal()'s non-numeric assertion if a mismatch instant
+/// reads the slot before the producer writes it.
+Value typedZeroValue(TypeKind K) {
+  switch (K) {
+  case TypeKind::Boolean:
+    return Value::makeBool(false);
+  case TypeKind::Event:
+    return Value::makeEvent();
+  case TypeKind::Real:
+    return Value::makeReal(0.0);
+  case TypeKind::Integer:
+  case TypeKind::Unknown:
+    break;
+  }
+  return Value::makeInt(0);
+}
+
+bool writesClock(VmOp Op) {
+  switch (Op) {
+  case VmOp::ReadClockInput:
+  case VmOp::EvalClockLiteral:
+  case VmOp::EvalClockAnd:
+  case VmOp::EvalClockOr:
+  case VmOp::EvalClockDiff:
+  case VmOp::CopyClock:
+  case VmOp::SetClockFalse:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool writesValue(VmOp Op) {
+  switch (Op) {
+  case VmOp::ReadSignal:
+  case VmOp::UnarySlot:
+  case VmOp::BinarySS:
+  case VmOp::BinarySC:
+  case VmOp::BinaryCS:
+  case VmOp::CopyValue:
+  case VmOp::LoadConst:
+  case VmOp::Select:
+  case VmOp::LoadDelay:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// One rebased instruction awaiting scheduling.
+struct FInstr {
+  VmInstr In;                  ///< Operands already in fused slot space.
+  std::vector<int32_t> Guards; ///< Guard path (fused clock slots), outer
+                               ///< block first.
+  int CrossUnit = -1;    ///< Producer unit this instruction copies from.
+  int CrossIdx = -1;     ///< Index of the producer's writing instruction.
+  int CrossChannel = -1; ///< Channel behind the copy (cycle diagnosis).
+  bool CrossIsClock = false;
+  int32_t CrossSlot = -1;
+};
+
+} // namespace
+
+FusionResult sigc::fuseLinkedSteps(const LinkedSystem &Sys,
+                                   const std::vector<unsigned> &Prio) {
+  FusionResult R;
+  CompiledStep &F = R.Fused;
+  const size_t NU = Sys.Units.size();
+
+  // --- Slot rebasing -----------------------------------------------------
+  // Clock/value/state spaces concatenate per unit. Scratch slots live
+  // past ALL value slots (the VM sizes its value array as values then
+  // temps), so a unit's scratch slot v maps to TotalValues + TempBase +
+  // (v - unit's NumValueSlots).
+  std::vector<int32_t> ClockBase(NU, 0), ValueBase(NU, 0), TempBase(NU, 0),
+      StateBase(NU, 0);
+  uint32_t TotalClocks = 0, TotalValues = 0, TotalTemps = 0, TotalStates = 0;
+  for (size_t U = 0; U < NU; ++U) {
+    const CompiledStep &CS = Sys.Units[U].Comp->Compiled;
+    ClockBase[U] = static_cast<int32_t>(TotalClocks);
+    TotalClocks += CS.NumClockSlots;
+    ValueBase[U] = static_cast<int32_t>(TotalValues);
+    TotalValues += CS.NumValueSlots;
+    TempBase[U] = static_cast<int32_t>(TotalTemps);
+    TotalTemps += CS.NumTempSlots;
+    StateBase[U] = static_cast<int32_t>(TotalStates);
+    TotalStates += static_cast<uint32_t>(CS.StateInit.size());
+  }
+  auto mapClock = [&](size_t U, int32_t C) { return ClockBase[U] + C; };
+  auto mapValue = [&](size_t U, int32_t V) {
+    const CompiledStep &CS = Sys.Units[U].Comp->Compiled;
+    return V < static_cast<int32_t>(CS.NumValueSlots)
+               ? ValueBase[U] + V
+               : static_cast<int32_t>(TotalValues) + TempBase[U] +
+                     (V - static_cast<int32_t>(CS.NumValueSlots));
+  };
+  auto mapState = [&](size_t U, int32_t S) { return StateBase[U] + S; };
+
+  F.NumClockSlots = TotalClocks;
+  F.NumValueSlots = TotalValues;
+  F.NumTempSlots = TotalTemps;
+  for (size_t U = 0; U < NU; ++U) {
+    const CompiledStep &CS = Sys.Units[U].Comp->Compiled;
+    F.StateInit.insert(F.StateInit.end(), CS.StateInit.begin(),
+                       CS.StateInit.end());
+    F.ValueSlotType.insert(F.ValueSlotType.end(), CS.ValueSlotType.begin(),
+                           CS.ValueSlotType.end());
+  }
+
+  auto addConst = [&](const Value &V) -> int32_t {
+    for (size_t I = 0; I < F.Consts.size(); ++I)
+      if (F.Consts[I].Kind == V.Kind && F.Consts[I] == V)
+        return static_cast<int32_t>(I);
+    F.Consts.push_back(V);
+    return static_cast<int32_t>(F.Consts.size()) - 1;
+  };
+
+  // --- Channel lookup tables ---------------------------------------------
+  // First channel wins when several bind the same consumer clock input
+  // (synchronous imports proved equal at link time).
+  std::vector<std::map<int, int>> BoundCI(NU), BoundIn(NU);
+  std::vector<std::set<int>> ConsumedOut(NU);
+  for (size_t C = 0; C < Sys.Channels.size(); ++C) {
+    const LinkChannel &Ch = Sys.Channels[C];
+    if (Ch.ConsumerClockInput >= 0)
+      BoundCI[Ch.Consumer].emplace(Ch.ConsumerClockInput,
+                                   static_cast<int>(C));
+    BoundIn[Ch.Consumer].emplace(Ch.ConsumerInput, static_cast<int>(C));
+    ConsumedOut[Ch.Producer].insert(Ch.ProducerOutput);
+  }
+
+  // --- Fused descriptor tables -------------------------------------------
+  // Unbound clock inputs and unbound inputs dedup by name (the executor
+  // and the C interface both pace same-named roots/inputs from one
+  // environment stream); outputs are one per external output, in
+  // ExternalOutputs order. The names line up with linkedCInterface.
+  std::map<std::string, int> ClockDescByName, InDescByName;
+  std::vector<std::map<int, int>> CIMap(NU), InMap(NU), OutMap(NU);
+  for (size_t U = 0; U < NU; ++U) {
+    const CompiledStep &CS = Sys.Units[U].Comp->Compiled;
+    for (size_t CI = 0; CI < CS.ClockInputs.size(); ++CI) {
+      if (BoundCI[U].count(static_cast<int>(CI)))
+        continue;
+      const StepProgram::ClockInputDesc &D = CS.ClockInputs[CI];
+      auto [It, Inserted] =
+          ClockDescByName.emplace(D.Name, static_cast<int>(F.ClockInputs.size()));
+      if (Inserted)
+        F.ClockInputs.push_back(
+            {D.Slot >= 0 ? mapClock(U, D.Slot) : -1, D.Name});
+      CIMap[U][static_cast<int>(CI)] = It->second;
+    }
+    for (size_t II = 0; II < CS.Inputs.size(); ++II) {
+      if (BoundIn[U].count(static_cast<int>(II)))
+        continue;
+      const StepProgram::SignalIODesc &D = CS.Inputs[II];
+      auto [It, Inserted] =
+          InDescByName.emplace(D.Name, static_cast<int>(F.Inputs.size()));
+      if (Inserted) {
+        StepProgram::SignalIODesc ND = D;
+        ND.ValueSlot = D.ValueSlot >= 0 ? mapValue(U, D.ValueSlot) : -1;
+        ND.ClockSlot = D.ClockSlot >= 0 ? mapClock(U, D.ClockSlot) : -1;
+        F.Inputs.push_back(ND);
+      }
+      InMap[U][static_cast<int>(II)] = It->second;
+    }
+  }
+  for (const LinkedExternal &E : Sys.ExternalOutputs) {
+    const CompiledStep &CS = Sys.Units[E.Unit].Comp->Compiled;
+    for (size_t OI = 0; OI < CS.Outputs.size(); ++OI)
+      if (CS.Outputs[OI].Sig == E.Sig) {
+        StepProgram::SignalIODesc ND = CS.Outputs[OI];
+        ND.ValueSlot = ND.ValueSlot >= 0 ? mapValue(E.Unit, ND.ValueSlot) : -1;
+        ND.ClockSlot = ND.ClockSlot >= 0 ? mapClock(E.Unit, ND.ClockSlot) : -1;
+        OutMap[E.Unit][static_cast<int>(OI)] =
+            static_cast<int>(F.Outputs.size());
+        F.Outputs.push_back(ND);
+      }
+  }
+
+  // --- Pass 1: rebase + rewire each unit's bytecode ----------------------
+  std::vector<std::vector<FInstr>> Lists(NU);
+
+  // Typed-zero preludes for dynamic channels (one per producer slot).
+  std::vector<std::set<int32_t>> Preluded(NU);
+  for (const LinkChannel &Ch : Sys.Channels) {
+    if (Ch.ConsumerClockInput >= 0)
+      continue;
+    const CompiledStep &PCS = Sys.Units[Ch.Producer].Comp->Compiled;
+    const StepProgram::SignalIODesc &OD = PCS.Outputs[Ch.ProducerOutput];
+    if (OD.ValueSlot < 0)
+      continue;
+    int32_t Slot = mapValue(Ch.Producer, OD.ValueSlot);
+    if (!Preluded[Ch.Producer].insert(Slot).second)
+      continue;
+    FInstr P;
+    P.In.Op = VmOp::LoadConst;
+    P.In.Weight = 0;
+    P.In.Target = Slot;
+    P.In.Aux = addConst(typedZeroValue(OD.Type));
+    Lists[Ch.Producer].push_back(P);
+  }
+
+  for (size_t U = 0; U < NU; ++U) {
+    const CompiledStep &CS = Sys.Units[U].Comp->Compiled;
+    std::vector<std::pair<int32_t, int32_t>> GuardStack; // (slot, end idx)
+    for (size_t I = 0; I < CS.Code.size(); ++I) {
+      while (!GuardStack.empty() &&
+             GuardStack.back().second <= static_cast<int32_t>(I))
+        GuardStack.pop_back();
+      const VmInstr &In = CS.Code[I];
+      if (In.Op == VmOp::SkipIfAbsent) {
+        // Blocks are properly nested by construction; remember the guard
+        // path instead of the jump (guards re-synthesize after
+        // interleaving).
+        GuardStack.emplace_back(mapClock(U, In.A), In.Aux);
+        continue;
+      }
+      FInstr FI;
+      FI.In = In;
+      FI.Guards.reserve(GuardStack.size());
+      for (const auto &G : GuardStack)
+        FI.Guards.push_back(G.first);
+      switch (In.Op) {
+      case VmOp::ReadClockInput: {
+        FI.In.Target = mapClock(U, In.Target);
+        auto B = BoundCI[U].find(In.Aux);
+        if (B != BoundCI[U].end()) {
+          const LinkChannel &Ch = Sys.Channels[B->second];
+          const CompiledStep &PCS = Sys.Units[Ch.Producer].Comp->Compiled;
+          int32_t Src =
+              mapClock(Ch.Producer, PCS.Outputs[Ch.ProducerOutput].ClockSlot);
+          FI.In.Op = VmOp::CopyClock;
+          FI.In.A = Src;
+          FI.In.Aux = -1;
+          FI.CrossUnit = static_cast<int>(Ch.Producer);
+          FI.CrossChannel = B->second;
+          FI.CrossIsClock = true;
+          FI.CrossSlot = Src;
+        } else {
+          FI.In.Aux = CIMap[U].at(In.Aux);
+        }
+        break;
+      }
+      case VmOp::ReadSignal: {
+        FI.In.Target = mapValue(U, In.Target);
+        auto B = BoundIn[U].find(In.Aux);
+        if (B != BoundIn[U].end()) {
+          const LinkChannel &Ch = Sys.Channels[B->second];
+          const CompiledStep &PCS = Sys.Units[Ch.Producer].Comp->Compiled;
+          int32_t Src =
+              mapValue(Ch.Producer, PCS.Outputs[Ch.ProducerOutput].ValueSlot);
+          FI.In.Op = VmOp::CopyValue;
+          FI.In.A = Src;
+          FI.In.Aux = -1;
+          FI.CrossUnit = static_cast<int>(Ch.Producer);
+          FI.CrossChannel = B->second;
+          FI.CrossIsClock = false;
+          FI.CrossSlot = Src;
+        } else {
+          FI.In.Aux = InMap[U].at(In.Aux);
+        }
+        break;
+      }
+      case VmOp::WriteOutput:
+        if (ConsumedOut[U].count(In.Aux))
+          continue; // Channel-internal: consumers copy the slot directly.
+        FI.In.A = mapValue(U, In.A);
+        FI.In.Aux = OutMap[U].at(In.Aux);
+        break;
+      case VmOp::EvalClockLiteral:
+        FI.In.Target = mapClock(U, In.Target);
+        FI.In.A = mapValue(U, In.A);
+        break;
+      case VmOp::EvalClockAnd:
+      case VmOp::EvalClockOr:
+      case VmOp::EvalClockDiff:
+        FI.In.Target = mapClock(U, In.Target);
+        FI.In.A = mapClock(U, In.A);
+        FI.In.B = mapClock(U, In.B);
+        break;
+      case VmOp::CopyClock:
+        FI.In.Target = mapClock(U, In.Target);
+        FI.In.A = mapClock(U, In.A);
+        break;
+      case VmOp::SetClockFalse:
+        FI.In.Target = mapClock(U, In.Target);
+        break;
+      case VmOp::UnarySlot:
+        FI.In.Target = mapValue(U, In.Target);
+        FI.In.A = mapValue(U, In.A);
+        break;
+      case VmOp::BinarySS:
+        FI.In.Target = mapValue(U, In.Target);
+        FI.In.A = mapValue(U, In.A);
+        FI.In.B = mapValue(U, In.B);
+        break;
+      case VmOp::BinarySC:
+        FI.In.Target = mapValue(U, In.Target);
+        FI.In.A = mapValue(U, In.A);
+        FI.In.B = addConst(CS.Consts[In.B]);
+        break;
+      case VmOp::BinaryCS:
+        FI.In.Target = mapValue(U, In.Target);
+        FI.In.A = addConst(CS.Consts[In.A]);
+        FI.In.B = mapValue(U, In.B);
+        break;
+      case VmOp::CopyValue:
+        FI.In.Target = mapValue(U, In.Target);
+        FI.In.A = mapValue(U, In.A);
+        break;
+      case VmOp::LoadConst:
+        FI.In.Target = mapValue(U, In.Target);
+        FI.In.Aux = addConst(CS.Consts[In.Aux]);
+        break;
+      case VmOp::Select:
+        FI.In.Target = mapValue(U, In.Target);
+        FI.In.A = mapValue(U, In.A);
+        FI.In.B = mapValue(U, In.B);
+        FI.In.Aux = mapClock(U, In.Aux);
+        break;
+      case VmOp::LoadDelay:
+        FI.In.Target = mapValue(U, In.Target);
+        FI.In.A = mapState(U, In.A);
+        break;
+      case VmOp::StoreDelay:
+        FI.In.Target = mapState(U, In.Target);
+        FI.In.A = mapValue(U, In.A);
+        break;
+      case VmOp::SkipIfAbsent:
+        break; // Handled above.
+      }
+      Lists[U].push_back(std::move(FI));
+    }
+  }
+
+  // --- Pass 2: cross-unit dependence edges -------------------------------
+  // Each rewired copy waits for the producer's LAST write of the source
+  // slot (the defining equation; the typed-zero prelude is earlier and
+  // ordered before it by a write-after-write edge).
+  std::vector<std::map<int32_t, int>> LastClockW(NU), LastValueW(NU);
+  for (size_t U = 0; U < NU; ++U)
+    for (size_t I = 0; I < Lists[U].size(); ++I) {
+      const VmInstr &In = Lists[U][I].In;
+      if (writesClock(In.Op))
+        LastClockW[U][In.Target] = static_cast<int>(I);
+      else if (writesValue(In.Op))
+        LastValueW[U][In.Target] = static_cast<int>(I);
+    }
+  for (size_t U = 0; U < NU; ++U)
+    for (FInstr &FI : Lists[U]) {
+      if (FI.CrossUnit < 0)
+        continue;
+      auto &M = FI.CrossIsClock ? LastClockW[FI.CrossUnit]
+                                : LastValueW[FI.CrossUnit];
+      auto It = M.find(FI.CrossSlot);
+      if (It != M.end())
+        FI.CrossIdx = It->second;
+      else
+        FI.CrossUnit = -1; // Nothing ever writes the slot: no constraint.
+    }
+
+  // --- Pass 3: intra-unit dependence edges -------------------------------
+  // A unit's bytecode order is NOT preserved wholesale: under feedback
+  // the consumer half of a unit may have to wait for another process
+  // while its producer half runs ahead (the compiler is free to order a
+  // unit's clock classes either way, so the import-consuming block can
+  // precede the export-defining one). What must be preserved is the
+  // dependence order: read-after-write, write-after-read and write-
+  // after-write on every clock/value/state slot, with an instruction's
+  // guard path counting as reads of the guard clock slots.
+  std::vector<std::vector<std::vector<int>>> Succs(NU);
+  std::vector<std::vector<int>> PredsLeft(NU);
+  for (size_t U = 0; U < NU; ++U) {
+    const std::vector<FInstr> &L = Lists[U];
+    Succs[U].resize(L.size());
+    PredsLeft[U].assign(L.size(), 0);
+    enum { SKClock, SKValue, SKState };
+    struct SlotUse {
+      int LastWrite = -1;
+      std::vector<int> ReadersSince;
+    };
+    std::map<std::pair<int, int32_t>, SlotUse> Use;
+    std::set<std::pair<int, int>> Edges; // (from, to), deduped
+    auto addEdge = [&](int From, int To) {
+      if (From >= 0 && From != To && Edges.emplace(From, To).second) {
+        Succs[U][From].push_back(To);
+        ++PredsLeft[U][To];
+      }
+    };
+    auto read = [&](int I, int K, int32_t S) {
+      SlotUse &SU = Use[{K, S}];
+      addEdge(SU.LastWrite, I);
+      SU.ReadersSince.push_back(I);
+    };
+    auto write = [&](int I, int K, int32_t S) {
+      SlotUse &SU = Use[{K, S}];
+      addEdge(SU.LastWrite, I);
+      for (int R : SU.ReadersSince)
+        addEdge(R, I);
+      SU.LastWrite = I;
+      SU.ReadersSince.clear();
+    };
+    for (size_t IS = 0; IS < L.size(); ++IS) {
+      int I = static_cast<int>(IS);
+      const VmInstr &In = L[IS].In;
+      for (int32_t G : L[IS].Guards)
+        read(I, SKClock, G);
+      switch (In.Op) {
+      case VmOp::CopyClock:
+        if (L[IS].CrossUnit < 0) // Rewired copies read another unit.
+          read(I, SKClock, In.A);
+        break;
+      case VmOp::EvalClockLiteral:
+        read(I, SKValue, In.A);
+        break;
+      case VmOp::EvalClockAnd:
+      case VmOp::EvalClockOr:
+      case VmOp::EvalClockDiff:
+        read(I, SKClock, In.A);
+        read(I, SKClock, In.B);
+        break;
+      case VmOp::UnarySlot:
+      case VmOp::BinarySC:
+        read(I, SKValue, In.A);
+        break;
+      case VmOp::CopyValue:
+        if (L[IS].CrossUnit < 0)
+          read(I, SKValue, In.A);
+        break;
+      case VmOp::BinarySS:
+        read(I, SKValue, In.A);
+        read(I, SKValue, In.B);
+        break;
+      case VmOp::BinaryCS:
+        read(I, SKValue, In.B);
+        break;
+      case VmOp::Select:
+        read(I, SKValue, In.A);
+        read(I, SKValue, In.B);
+        read(I, SKClock, In.Aux);
+        break;
+      case VmOp::LoadDelay:
+        read(I, SKState, In.A);
+        break;
+      case VmOp::StoreDelay:
+        read(I, SKValue, In.A);
+        write(I, SKState, In.Target);
+        break;
+      case VmOp::WriteOutput:
+        read(I, SKValue, In.A);
+        break;
+      default:
+        break;
+      }
+      if (writesClock(In.Op))
+        write(I, SKClock, In.Target);
+      else if (writesValue(In.Op))
+        write(I, SKValue, In.Target);
+    }
+  }
+
+  // --- Schedule: rounds over the dependence order ------------------------
+  // Each round sweeps every unit, emitting its ready instructions in
+  // index order (re-sweeping while anything lands). When nothing is
+  // cross-blocked the lowest unscheduled index is always ready, so an
+  // acyclic system with Prio a topological order degenerates to plain
+  // concatenation of whole units; feedback systems interleave the
+  // independent halves across rounds.
+  std::vector<unsigned> Rounds = Prio;
+  {
+    // A cyclic unit graph yields a partial Kahn order: append the rest.
+    std::vector<char> InPrio(NU, 0);
+    for (unsigned U : Rounds)
+      if (U < NU)
+        InPrio[U] = 1;
+    for (unsigned U = 0; U < NU; ++U)
+      if (!InPrio[U])
+        Rounds.push_back(U);
+  }
+  std::vector<std::vector<char>> Emitted(NU);
+  std::vector<size_t> Cursor(NU, 0); // First unscheduled index.
+  for (size_t U = 0; U < NU; ++U)
+    Emitted[U].assign(Lists[U].size(), 0);
+  std::vector<const FInstr *> Sched;
+  std::vector<int> FirstAt(NU, -1);
+  size_t Total = 0;
+  for (const auto &L : Lists)
+    Total += L.size();
+  Sched.reserve(Total);
+  while (Sched.size() < Total) {
+    bool Progress = false;
+    for (unsigned U : Rounds) {
+      bool Landed = true;
+      while (Landed) {
+        Landed = false;
+        for (size_t I = Cursor[U]; I < Lists[U].size(); ++I) {
+          if (Emitted[U][I] || PredsLeft[U][I] > 0)
+            continue;
+          const FInstr &FI = Lists[U][I];
+          if (FI.CrossUnit >= 0 && !Emitted[FI.CrossUnit][FI.CrossIdx])
+            continue;
+          if (FirstAt[U] < 0)
+            FirstAt[U] = static_cast<int>(Sched.size());
+          Sched.push_back(&FI);
+          Emitted[U][I] = 1;
+          for (int S : Succs[U][I])
+            --PredsLeft[U][S];
+          while (Cursor[U] < Lists[U].size() && Emitted[U][Cursor[U]])
+            ++Cursor[U];
+          Landed = Progress = true;
+        }
+      }
+    }
+    if (Progress)
+      continue;
+
+    // A true instruction-level cycle. In every stalled unit the lowest
+    // unscheduled instruction has its intra-unit predecessors scheduled
+    // (they sit at lower indices), so it must be waiting on the producer
+    // of some channel; walking those wait edges must reach a repeat —
+    // print that cycle in dataflow direction.
+    std::vector<int> WaitOn(NU, -1), WaitCh(NU, -1);
+    int Start = -1;
+    for (size_t U = 0; U < NU; ++U)
+      if (Cursor[U] < Lists[U].size()) {
+        const FInstr &FI = Lists[U][Cursor[U]];
+        WaitOn[U] = FI.CrossUnit;
+        WaitCh[U] = FI.CrossChannel;
+        if (Start < 0)
+          Start = static_cast<int>(U);
+      }
+    int Cur = Start;
+    for (size_t K = 0; K < NU; ++K)
+      Cur = WaitOn[Cur];
+    std::vector<int> Cycle;
+    int C0 = Cur;
+    do {
+      Cycle.push_back(Cur);
+      Cur = WaitOn[Cur];
+    } while (Cur != C0);
+    // WaitOn[u] -[WaitCh[u]]-> u carries the data, so the flow path walks
+    // the wait cycle backwards.
+    std::string Path = Sys.Units[Cycle.front()].Name;
+    for (size_t K = Cycle.size(); K-- > 0;)
+      Path += " -[" + Sys.Channels[WaitCh[Cycle[K]]].Name + "]-> " +
+              Sys.Units[Cycle[K]].Name;
+    R.Error = "channel dataflow between processes is cyclic at instruction "
+              "granularity (" +
+              Path +
+              "): every signal on the cycle needs another's same-instant "
+              "value — break the cycle with a delay ($)";
+    return R;
+  }
+
+  // --- Emit: SkipIfAbsent re-synthesis over the interleaved stream -------
+  std::vector<std::pair<int32_t, size_t>> Open; // (guard slot, skip index)
+  auto closeTo = [&](size_t Depth) {
+    while (Open.size() > Depth) {
+      F.Code[Open.back().second].Aux = static_cast<int32_t>(F.Code.size());
+      Open.pop_back();
+    }
+  };
+  for (const FInstr *FIp : Sched) {
+    const FInstr &FI = *FIp;
+    size_t Common = 0;
+    while (Common < Open.size() && Common < FI.Guards.size() &&
+           Open[Common].first == FI.Guards[Common])
+      ++Common;
+    closeTo(Common);
+    for (size_t G = Common; G < FI.Guards.size(); ++G) {
+      VmInstr S;
+      S.Op = VmOp::SkipIfAbsent;
+      S.Weight = 0;
+      S.A = FI.Guards[G];
+      Open.emplace_back(FI.Guards[G], F.Code.size());
+      F.Code.push_back(S);
+    }
+    F.Code.push_back(FI.In);
+  }
+  closeTo(0);
+
+  // --- Flush order: first appearance of each WriteOutput -----------------
+  std::vector<char> Seen(F.Outputs.size(), 0);
+  for (const VmInstr &In : F.Code)
+    if (In.Op == VmOp::WriteOutput && !Seen[In.Aux]) {
+      Seen[In.Aux] = 1;
+      F.OutputFlushOrder.push_back(In.Aux);
+    }
+  for (size_t I = 0; I < F.Outputs.size(); ++I)
+    if (!Seen[I])
+      F.OutputFlushOrder.push_back(static_cast<int32_t>(I));
+
+  // --- Dynamic checks ----------------------------------------------------
+  for (size_t C = 0; C < Sys.Channels.size(); ++C) {
+    const LinkChannel &Ch = Sys.Channels[C];
+    if (Ch.ConsumerClockInput >= 0)
+      continue;
+    const CompiledStep &CCS = Sys.Units[Ch.Consumer].Comp->Compiled;
+    const CompiledStep &PCS = Sys.Units[Ch.Producer].Comp->Compiled;
+    int CSlot = CCS.SignalClockSlot[Ch.ConsumerSig];
+    int PSlot = PCS.Outputs[Ch.ProducerOutput].ClockSlot;
+    LinkedSystem::DynCheck D;
+    D.Channel = static_cast<unsigned>(C);
+    D.ConsumerSlot = CSlot >= 0 ? mapClock(Ch.Consumer, CSlot) : -1;
+    D.ProducerSlot = PSlot >= 0 ? mapClock(Ch.Producer, PSlot) : -1;
+    R.DynChecks.push_back(D);
+  }
+
+  // --- Unit order by first fused instruction -----------------------------
+  for (unsigned U = 0; U < NU; ++U)
+    R.Order.push_back(U);
+  std::stable_sort(R.Order.begin(), R.Order.end(),
+                   [&](unsigned A, unsigned B) {
+                     int FA = FirstAt[A] < 0 ? INT_MAX : FirstAt[A];
+                     int FB = FirstAt[B] < 0 ? INT_MAX : FirstAt[B];
+                     return FA < FB;
+                   });
+
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,61 @@
+//===--- StepFusion.h - Cross-unit CompiledStep fusion ----------*- C++-*-===//
+///
+/// \file
+/// Fuses the units of a link into ONE CompiledStep: every unit's bytecode
+/// is rebased into a shared slot space (clock, value, scratch, state and
+/// constant pools concatenated/deduplicated) and interleaved along the
+/// cross-process dependence order at *instruction* granularity. Channels
+/// disappear into the bytecode:
+///
+///   * a consumer's ReadClockInput whose clock a channel binds becomes a
+///     CopyClock from the producer's export clock slot,
+///   * a consumer's ReadSignal of an imported signal becomes a CopyValue
+///     from the producer's export value slot,
+///   * a producer's WriteOutput of a channel-consumed export is dropped
+///     (only external outputs reach the environment),
+///   * dynamic channels (consumer derives the clock itself) get a
+///     typed-zero prelude on the producer's export slot, so a mismatch
+///     instant reads a type-correct zero rather than stale garbage, plus
+///     a DynCheck record the executor verifies after each instant.
+///
+/// Scheduling works on per-unit instruction queues: intra-unit order is
+/// preserved wholesale, and the only cross-unit edges are the rewired
+/// copies (consumer copy after the producer's last write of the source
+/// slot). Units take turns emitting their maximal ready prefix, so a
+/// feedback pair legally interleaves whenever the instruction-level
+/// graph is acyclic — a true cycle is diagnosed with the channel path
+/// around it. SkipIfAbsent guards are re-synthesized over the interleaved
+/// stream from each instruction's original guard path, preserving the
+/// proper nesting the VM, the C emitter and the fleet executor's mask
+/// stack all rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_LINK_STEPFUSION_H
+#define SIGNALC_LINK_STEPFUSION_H
+
+#include "link/Linker.h"
+
+namespace sigc {
+
+/// Outcome of fusing a linked system's units.
+struct FusionResult {
+  bool Ok = false;
+  std::string Error; ///< Cycle diagnostic (names the channel path).
+  CompiledStep Fused;
+  std::vector<LinkedSystem::DynCheck> DynChecks;
+  /// Units ordered by first fused instruction (equals the unit-level
+  /// topological order whenever one exists).
+  std::vector<unsigned> Order;
+};
+
+/// Fuses \p Sys's units. \p Prio is the preferred unit order for the
+/// scheduling rounds (a Kahn-derived order; cyclic systems may pass any
+/// permutation). Requires Units, Channels (descriptor indices resolved)
+/// and External{Inputs,Outputs} to be final.
+FusionResult fuseLinkedSteps(const LinkedSystem &Sys,
+                             const std::vector<unsigned> &Prio);
+
+} // namespace sigc
+
+#endif // SIGNALC_LINK_STEPFUSION_H

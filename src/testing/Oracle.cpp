@@ -766,10 +766,9 @@ private:
 /// Scripted-replay harness for a linked emission: every external tick and
 /// input value of every instant is precomputed from the same
 /// RandomEnvironment the in-process paths used and baked into arrays.
-/// Instants run through the per-unit-batched system entry point; the
-/// units' generated counters print summed as one #counters line.
-std::string buildLinkedHarness(const LinkedSystem &Sys,
-                               const LinkedCInterface &CI,
+/// Instants run through the batched entry point of the fused step; its
+/// generated counters print as one #counters line.
+std::string buildLinkedHarness(const LinkedCInterface &CI,
                                const std::string &SysName,
                                const OracleOptions &Options) {
   RandomEnvironment Env(Options.EnvSeed, Options.TickPermille);
@@ -816,14 +815,8 @@ std::string buildLinkedHarness(const LinkedSystem &Sys,
            V.Field + "=" + Fmt + "\\n\", i, out_v[i]." + V.Field + ");\n";
   }
   Out += "  }\n";
-  std::string Guards, Executed;
-  for (unsigned U = 0; U < Sys.Units.size(); ++U) {
-    std::string Member = "st.u" + std::to_string(U) + ".";
-    Guards += (U ? " + " : "") + Member + "guard_tests";
-    Executed += (U ? " + " : "") + Member + "executed";
-  }
-  Out += "  printf(\"#counters guards=%llu executed=%llu\\n\", " + Guards +
-         ", " + Executed + ");\n";
+  Out += "  printf(\"#counters guards=%llu executed=%llu\\n\", "
+         "st.guard_tests, st.executed);\n";
   Out += "  return 0;\n}\n";
   return Out;
 }
@@ -889,7 +882,7 @@ bool runLinkedCRoundTrip(const LinkedSystem &Sys,
   std::string SysName = "linked_sys";
   LinkedCInterface CI = linkedCInterface(Sys);
   std::string CSource = emitLinkedC(Sys, SysName, EO);
-  CSource += buildLinkedHarness(Sys, CI, SysName, Options);
+  CSource += buildLinkedHarness(CI, SysName, Options);
 
   bool Ok = false;
   {
@@ -1034,8 +1027,68 @@ OracleReport sigc::checkLinkedDifferential(
     return R;
   }
 
-  // Path 3: the linked C emission, through the host compiler; the
-  // per-unit generated counters (summed) must land on the linked VM's.
+  // Path 2c: the fleet executor over the fused step — FleetInstances
+  // instances swept in SoA lane blocks across shard threads. Instance j
+  // is seeded EnvSeed+j; every instance's trace must equal a linked run
+  // of that instance alone, and the fleet's counters must be exactly
+  // the per-instance sums.
+  if (Options.FleetInstances) {
+    unsigned M = Options.FleetInstances;
+    std::vector<std::unique_ptr<RandomEnvironment>> FleetOwned;
+    std::vector<Environment *> FleetEnvs;
+    for (unsigned J = 0; J < M; ++J) {
+      FleetOwned.push_back(std::make_unique<RandomEnvironment>(
+          Options.EnvSeed + J, Options.TickPermille));
+      FleetEnvs.push_back(FleetOwned.back().get());
+    }
+    FleetExecutor::Config FC;
+    FC.LaneBlock = Options.FleetLaneBlock ? Options.FleetLaneBlock : 1;
+    FC.Threads = Options.FleetThreads ? Options.FleetThreads : 1;
+    FleetExecutor Fleet(Sys.Fused, M, FC);
+    Fleet.runBatched(FleetEnvs, Options.Instants,
+                     Options.BatchSize ? Options.BatchSize : 1);
+    R.GuardTestsFleet = Fleet.guardTests();
+    R.ExecutedFleet = Fleet.executed();
+
+    uint64_t SumGuards = 0, SumExecuted = 0;
+    for (unsigned J = 0; J < M; ++J) {
+      RandomEnvironment EnvJ(Options.EnvSeed + J, Options.TickPermille);
+      LinkedExecutor ExecJ(Sys);
+      if (!ExecJ.run(EnvJ, Options.Instants)) {
+        R.Error = failure(Name,
+                          "linked execution stopped for fleet instance " +
+                              std::to_string(J),
+                          ExecJ.error() + "\n", AllSources);
+        return R;
+      }
+      SumGuards += ExecJ.guardTests();
+      SumExecuted += ExecJ.executed();
+      TraceDiff FD = compareTraces("linked-vm", EnvJ.outputs(),
+                                   "linked-fleet", FleetOwned[J]->outputs());
+      if (!FD.Equal) {
+        R.Error = failure(Name,
+                          "linked fleet instance " + std::to_string(J) +
+                              " diverges from the linked VM (lane block " +
+                              std::to_string(FC.LaneBlock) + ", " +
+                              std::to_string(FC.Threads) + " threads)",
+                          FD.Report, AllSources);
+        return R;
+      }
+    }
+    if (R.GuardTestsFleet != SumGuards || R.ExecutedFleet != SumExecuted) {
+      R.Error = failure(
+          Name, "linked fleet counters diverge from per-instance sums",
+          "linked sum: guards=" + std::to_string(SumGuards) +
+              " executed=" + std::to_string(SumExecuted) +
+              "\nfleet:      guards=" + std::to_string(R.GuardTestsFleet) +
+              " executed=" + std::to_string(R.ExecutedFleet) + "\n",
+          AllSources);
+      return R;
+    }
+  }
+
+  // Path 3: the linked C emission, through the host compiler; the fused
+  // step's generated counters must land on the linked VM's.
   if (Options.EmitCRoundTrip && hostCCompilerAvailable()) {
     std::vector<OutputEvent> CEvents;
     std::string Error;

@@ -552,3 +552,66 @@ GeneratedChain sigc::generateProcessChain(
   return buildChain(Seed, PerStage, Names, Prefixes, "SYS", MaxChannels,
                     SynchroChannelPercent);
 }
+
+GeneratedPair sigc::generateFeedbackPair(uint64_t Seed) {
+  std::mt19937_64 Master(Seed * 0x9E3779B97F4A7C15ull + 1);
+  auto Coef = [&] { return std::to_string(1 + Master() % 9); };
+  std::string M =
+      std::to_string(Moduli[Master() % (sizeof(Moduli) / sizeof(Moduli[0]))]);
+  // The three equations of the loop. FC reads FB *in FB's own class*:
+  // combining it with FA's class would unify the import's clock with
+  // LOOPA's root and close a true instruction-level cycle — this is the
+  // shape discipline the fused linker accepts.
+  std::string EqA = "FA := (FX + " + Coef() + ") mod " + M;
+  std::string EqB = "FB := (FA * " + Coef() + " + " + Coef() + ") mod " + M;
+  std::string EqC = "FC := (FB * " + Coef() + " + " + Coef() + ") mod " + M;
+
+  GeneratedPair P;
+  P.ProducerName = "LOOPA";
+  P.ConsumerName = "LOOPB";
+  P.SystemName = "FBSYS";
+  P.Channels = {"FA", "FB"};
+  P.ProducerSource = renderProcess(
+      "LOOPA", "    integer FX;\n    integer FB;\n",
+      "    integer FA;\n    integer FC;\n", "", {EqA, EqC});
+  P.ConsumerSource = renderProcess("LOOPB", "    integer FA;\n",
+                                   "    integer FB;\n", "", {EqB});
+  P.ComposedSource = renderProcess(
+      "FBSYS", "    integer FX;\n", "    integer FC;\n",
+      "    integer FA;\n    integer FB;\n", {EqA, EqB, EqC});
+  return P;
+}
+
+GeneratedChain sigc::generateDiamondSystem(uint64_t Seed) {
+  std::mt19937_64 Master(Seed * 0x9E3779B97F4A7C15ull + 1);
+  auto Coef = [&] { return std::to_string(1 + Master() % 9); };
+  std::string M =
+      std::to_string(Moduli[Master() % (sizeof(Moduli) / sizeof(Moduli[0]))]);
+  // A true diamond: DIAS fans DX out to DIAA and DIAB over channels, so
+  // both middle producers' roots resolve to DIAS's presence of DX, and
+  // the consumer's synchro {DA, DB} — an obligation no single
+  // producer's forest can see — is one implication in the joint space.
+  std::string EqX = "DX := (SRC + " + Coef() + ") mod " + M;
+  std::string EqA = "DA := (DX * " + Coef() + " + " + Coef() + ") mod " + M;
+  std::string EqB = "DB := (DX + " + Coef() + ") mod " + M;
+  std::string EqY = "DY := (DA + DB * " + Coef() + ") mod " + M;
+
+  GeneratedChain D;
+  D.Names = {"DIAS", "DIAA", "DIAB", "DIAK"};
+  D.SystemName = "DIASYS";
+  D.Channels = {"DX", "DA", "DB"};
+  D.Sources.push_back(renderProcess("DIAS", "    integer SRC;\n",
+                                    "    integer DX;\n", "", {EqX}));
+  D.Sources.push_back(renderProcess("DIAA", "    integer DX;\n",
+                                    "    integer DA;\n", "", {EqA}));
+  D.Sources.push_back(renderProcess("DIAB", "    integer DX;\n",
+                                    "    integer DB;\n", "", {EqB}));
+  D.Sources.push_back(
+      renderProcess("DIAK", "    integer DA;\n    integer DB;\n",
+                    "    integer DY;\n", "", {"synchro {DA, DB}", EqY}));
+  D.ComposedSource = renderProcess(
+      "DIASYS", "    integer SRC;\n", "    integer DY;\n",
+      "    integer DX;\n    integer DA;\n    integer DB;\n",
+      {EqX, EqA, EqB, "synchro {DA, DB}", EqY});
+  return D;
+}

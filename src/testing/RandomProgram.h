@@ -107,6 +107,22 @@ GeneratedChain generateProcessChain(uint64_t Seed, unsigned Stages,
                                     unsigned MaxChannels = 2,
                                     unsigned SynchroChannelPercent = 30);
 
+/// Generates a *feedback* pair: LOOPA exports FA into LOOPB and imports
+/// LOOPB's FB right back, so the channel graph has a unit-level cycle.
+/// The dataflow is still acyclic at instruction granularity (FB is only
+/// used in its own clock class, never combined with FA's), which is
+/// exactly the composition instruction-level fusion accepts and
+/// whole-unit scheduling had to reject. Coefficients and the bounding
+/// modulus vary with \p Seed, deterministically.
+GeneratedPair generateFeedbackPair(uint64_t Seed);
+
+/// Generates a *diamond*: two producers pace their exports from one
+/// shared external input, and the consumer's synchro spans both — an
+/// obligation no single producer's forest can discharge, only the joint
+/// clock space. Returned in chain form (three processes; the last is
+/// the consumer). Coefficients vary with \p Seed, deterministically.
+GeneratedChain generateDiamondSystem(uint64_t Seed);
+
 } // namespace sigc
 
 #endif // SIGNALC_TESTING_RANDOMPROGRAM_H

@@ -654,3 +654,125 @@ TEST_P(BddOpsCrossCheckTest, EveryOpMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(RandomOpSuites, BddOpsCrossCheckTest,
                          ::testing::Range(0u, 16u));
+
+//===----------------------------------------------------------------------===//
+// Garbage collection: the linker's joint clock space opts in, promises
+// addRef'd roots, and expects sweeps to reclaim everything else while
+// the operation caches forget the dead entries.
+//===----------------------------------------------------------------------===//
+
+TEST(BddGcTest, LiveRefsSurviveTheSweepAndGarbageIsReclaimed) {
+  BddManager M;
+  M.enableGC();
+  BddRef A = M.var(0), B = M.var(1), C = M.var(2);
+  BddRef F = M.apply_or(M.apply_and(A, B), C);
+  M.addRef(F);
+
+  // Unprotected churn: distinct conjunction ladders, dead the moment the
+  // next one replaces them.
+  std::mt19937 Rng(7);
+  for (int I = 0; I < 24; ++I) {
+    BddRef T = (Rng() & 1) ? M.var(3 + Rng() % 8) : M.nvar(3 + Rng() % 8);
+    for (int K = 0; K < 10; ++K) {
+      BddRef V = (Rng() & 1) ? M.var(3 + Rng() % 8) : M.nvar(3 + Rng() % 8);
+      T = (Rng() & 1) ? M.apply_and(T, V) : M.apply_or(T, V);
+    }
+  }
+
+  uint64_t LiveBefore = M.numLiveNodes();
+  uint64_t Reclaimed = M.gc();
+  EXPECT_GT(Reclaimed, 0u);
+  EXPECT_EQ(M.gcRuns(), 1u);
+  EXPECT_EQ(M.gcReclaimed(), Reclaimed);
+  EXPECT_EQ(M.numLiveNodes(), LiveBefore - Reclaimed);
+
+  // The protected root still computes (x0 & x1) | x2.
+  for (unsigned Bits = 0; Bits < 8; ++Bits) {
+    std::vector<bool> Env(11, false);
+    Env[0] = Bits & 1;
+    Env[1] = Bits & 2;
+    Env[2] = Bits & 4;
+    bool Want = (Env[0] && Env[1]) || Env[2];
+    EXPECT_EQ(M.evaluate(F, Env), Want) << "assignment " << Bits;
+  }
+
+  // Dropping the last external ref makes the root garbage for the next
+  // sweep.
+  M.decRef(F);
+  EXPECT_GT(M.gc(), 0u);
+  EXPECT_EQ(M.gcRuns(), 2u);
+}
+
+TEST(BddGcTest, SweepInvalidatesTheOperationCachesNoStaleHits) {
+  BddManager M;
+  M.enableGC();
+  M.setCacheCapacityForTesting(64);
+  BddRef A = M.var(0), B = M.var(1);
+  BddRef G = M.apply_and(A, B); // Seeds an ite-cache entry.
+  (void)G;
+
+  // Everything is unprotected: the sweep frees the nodes for in-place
+  // reuse, so any surviving cache entry would hand back an index that
+  // now means something else.
+  EXPECT_GT(M.gc(), 0u);
+
+  uint64_t Hits = M.cacheHits();
+  BddRef A2 = M.var(0), B2 = M.var(1);
+  BddRef G2 = M.apply_and(A2, B2);
+  EXPECT_EQ(M.cacheHits(), Hits) << "stale ite-cache hit after a sweep";
+  for (unsigned Bits = 0; Bits < 4; ++Bits) {
+    std::vector<bool> Env(2, false);
+    Env[0] = Bits & 1;
+    Env[1] = Bits & 2;
+    EXPECT_EQ(M.evaluate(G2, Env), Env[0] && Env[1]);
+  }
+}
+
+TEST(BddGcTest, BudgetPressureTriggersCollectionInsteadOfExhaustion) {
+  BddManager M;
+  Budget Bud(0, 2000); // Unlimited time, 2000 live nodes.
+  Bud.start();
+  M.setBudget(&Bud);
+  M.enableGC();
+
+  // A small protected working set, verified again after the churn.
+  BddRef Keep =
+      M.apply_or(M.apply_and(M.var(0), M.var(1)), M.var(2));
+  M.addRef(Keep);
+
+  // Churn far more garbage than the node limit. The GC contract: refs a
+  // caller needs across a public operation must be addRef'd, because any
+  // public entry is a safe collection point.
+  auto protectedOp = [&](BddRef F, BddRef G, bool IsAnd) {
+    M.addRef(F);
+    M.addRef(G);
+    BddRef R = IsAnd ? M.apply_and(F, G) : M.apply_or(F, G);
+    M.decRef(F);
+    M.decRef(G);
+    return R;
+  };
+  std::mt19937 Rng(11);
+  for (int I = 0; I < 400; ++I) {
+    BddRef T = (Rng() & 1) ? M.var(Rng() % 24) : M.nvar(Rng() % 24);
+    for (int K = 0; K < 30 && T.isValid(); ++K) {
+      BddRef V = (Rng() & 1) ? M.var(Rng() % 24) : M.nvar(Rng() % 24);
+      T = protectedOp(T, V, Rng() & 1);
+    }
+    ASSERT_TRUE(T.isValid()) << "budget tripped at iteration " << I;
+  }
+
+  EXPECT_FALSE(Bud.exhausted());
+  EXPECT_EQ(Bud.verdict(), BudgetVerdict::Ok);
+  EXPECT_GT(M.gcRuns(), 0u);
+  EXPECT_GT(M.gcReclaimed(), 0u);
+  EXPECT_LE(M.numLiveNodes(), Bud.nodeLimit());
+
+  for (unsigned Bits = 0; Bits < 8; ++Bits) {
+    std::vector<bool> Env(24, false);
+    Env[0] = Bits & 1;
+    Env[1] = Bits & 2;
+    Env[2] = Bits & 4;
+    bool Want = (Env[0] && Env[1]) || Env[2];
+    EXPECT_EQ(M.evaluate(Keep, Env), Want) << "assignment " << Bits;
+  }
+}

@@ -16,6 +16,8 @@
 
 #include "TestUtil.h"
 #include "codegen/CEmitter.h"
+#include "link/LinkEmitter.h"
+#include "link/Linker.h"
 #include "link/ProcessInterface.h"
 #include "programs/Programs.h"
 
@@ -83,3 +85,70 @@ INSTANTIATE_TEST_SUITE_P(Pinned, GoldenFigure13,
                          [](const auto &Info) {
                            return std::string(Info.param);
                          });
+
+//===----------------------------------------------------------------------===//
+// Linked-system pins: the fused schedule (--dump-link) and the linked C
+// emission of two builtin compositions. LINKED_PIPELINE is the
+// sensor/monitor producer-consumer example; LINKED_FEEDBACK is a
+// unit-level cycle whose fused schedule interleaves LOOPA's producer
+// half, all of LOOPB, then LOOPA's consumer half — the schedule shape IS
+// the feature, so it is pinned. Regenerate with:
+//   signalc --link <procs> --dump-link <src>  >  <NAME>.link.txt
+//   signalc --link <procs> --emit-c    <src>  >  <NAME>.c.txt
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *GoldenSensorSource = R"(
+process SENSOR =
+  ( ? integer RAW;
+    ! integer KEPT, SUM; )
+  (| EVENFLAG := (RAW mod 2) = 0
+   | KEPT := RAW when EVENFLAG
+   | SUM := KEPT + (SUM $ 1 init 0)
+  |)
+  where
+    boolean EVENFLAG;
+  end;
+)";
+
+const char *GoldenMonitorSource = R"(
+process MONITOR =
+  ( ? integer KEPT, SUM;
+    ! integer TOTAL; boolean ALERT; )
+  (| synchro {KEPT, SUM}
+   | TOTAL := KEPT + (TOTAL $ 1 init 0)
+   | ALERT := SUM > 20
+  |);
+)";
+
+const char *GoldenLoopASource =
+    "process LOOPA = ( ? integer FX, FB; ! integer FA, FC; )"
+    " (| FA := (FX + 1) mod 97 | FC := (FB * 2 + 3) mod 97 |);";
+
+const char *GoldenLoopBSource =
+    "process LOOPB = ( ? integer FA; ! integer FB; )"
+    " (| FB := (FA * 4 + 5) mod 97 |);";
+
+void checkLinkedGolden(const std::string &Name,
+                       const std::vector<LinkInput> &Inputs) {
+  LinkResult R = compileAndLinkSources(Inputs);
+  ASSERT_TRUE(R.Sys) << R.Error;
+  expectMatchesGolden(R.Sys->dump() + "fused schedule:\n" +
+                          R.Sys->Fused.dump(),
+                      "golden/" + Name + ".link.txt");
+  expectMatchesGolden(emitLinkedC(*R.Sys, "linked_sys", CEmitOptions()),
+                      "golden/" + Name + ".c.txt");
+}
+
+} // namespace
+
+TEST(GoldenLinked, PipelineFusedScheduleAndC) {
+  checkLinkedGolden("LINKED_PIPELINE", {{"SENSOR", GoldenSensorSource},
+                                        {"MONITOR", GoldenMonitorSource}});
+}
+
+TEST(GoldenLinked, FeedbackFusedScheduleAndC) {
+  checkLinkedGolden("LINKED_FEEDBACK", {{"LOOPA", GoldenLoopASource},
+                                        {"LOOPB", GoldenLoopBSource}});
+}

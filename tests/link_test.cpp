@@ -212,6 +212,59 @@ TEST(Linker, CrossProcessCycleIsRejected) {
   LinkResult R = compileAndLinkSources({{"P1", P1}, {"P2", P2}});
   ASSERT_FALSE(R.Sys);
   EXPECT_NE(R.Error.find("cyclic"), std::string::npos) << R.Error;
+  // The diagnostic walks the wait edges and names the channel path in
+  // dataflow direction, plus the repair.
+  bool PathP1First =
+      R.Error.find("P1 -[A]-> P2 -[B]-> P1") != std::string::npos;
+  bool PathP2First =
+      R.Error.find("P2 -[B]-> P1 -[A]-> P2") != std::string::npos;
+  EXPECT_TRUE(PathP1First || PathP2First) << R.Error;
+  EXPECT_NE(R.Error.find("break the cycle with a delay ($)"),
+            std::string::npos)
+      << R.Error;
+}
+
+TEST(Linker, FeedbackCompositionLinksWhenInstructionGraphIsAcyclic) {
+  // A unit-level cycle (LOOPA -> LOOPB -> LOOPA) whose instruction-level
+  // dependence graph is acyclic: LOOPB needs only LOOPA's FA half, and
+  // LOOPA's FB half runs after LOOPB. Whole-unit scheduling had to
+  // reject this; fusion interleaves the halves.
+  const char *A = "process LOOPA = ( ? integer FX, FB; ! integer FA, FC; )"
+                  " (| FA := (FX + 1) mod 97 | FC := (FB * 2 + 3) mod 97 |);";
+  const char *B = "process LOOPB = ( ? integer FA; ! integer FB; )"
+                  " (| FB := (FA * 4 + 5) mod 97 |);";
+  LinkResult R = compileAndLinkSources({{"LOOPA", A}, {"LOOPB", B}});
+  ASSERT_TRUE(R.Sys) << R.Error;
+  EXPECT_EQ(R.Sys->Channels.size(), 2u);
+  ASSERT_EQ(R.Sys->ExternalInputs.size(), 1u);
+  EXPECT_EQ(R.Sys->ExternalInputs[0].Name, "FX");
+  ASSERT_EQ(R.Sys->ExternalOutputs.size(), 1u);
+  EXPECT_EQ(R.Sys->ExternalOutputs[0].Name, "FC");
+  // The fused schedule starts in LOOPA (its root paces the system) and
+  // interleaves LOOPB before LOOPA's consumer half finishes.
+  ASSERT_EQ(R.Sys->Order.size(), 2u);
+  EXPECT_EQ(R.Sys->Order[0], 0u);
+  EXPECT_FALSE(R.Sys->Fused.Code.empty());
+}
+
+TEST(Linker, TwoProducerObligationLinksThroughTheJointSpace) {
+  // DIAK's synchro spans DIAA's and DIAB's exports; neither producer's
+  // forest alone can discharge it — only the joint space, which resolves
+  // both roots to DIAS's presence of DX.
+  const char *S = "process DIAS = ( ? integer SRC; ! integer DX; )"
+                  " (| DX := (SRC + 1) mod 97 |);";
+  const char *A = "process DIAA = ( ? integer DX; ! integer DA; )"
+                  " (| DA := (DX * 2 + 1) mod 97 |);";
+  const char *B = "process DIAB = ( ? integer DX; ! integer DB; )"
+                  " (| DB := (DX + 5) mod 97 |);";
+  const char *K = "process DIAK = ( ? integer DA, DB; ! integer DY; )"
+                  " (| synchro {DA, DB} | DY := (DA + DB * 3) mod 97 |);";
+  LinkResult R = compileAndLinkSources(
+      {{"DIAS", S}, {"DIAA", A}, {"DIAB", B}, {"DIAK", K}});
+  ASSERT_TRUE(R.Sys) << R.Error;
+  EXPECT_EQ(R.Sys->Channels.size(), 4u);
+  ASSERT_EQ(R.Sys->Roots.size(), 1u);
+  EXPECT_FALSE(R.Sys->Fused.Code.empty());
 }
 
 TEST(Linker, UncompilableUnitReportsItsDiagnostics) {
@@ -313,30 +366,26 @@ process CONS =
 // Linked C emission
 //===----------------------------------------------------------------------===//
 
-TEST(LinkEmitter, EmitsOneStepPerUnitPlusSystemDriver) {
+TEST(LinkEmitter, EmitsTheFusedStepWithAllEntryPoints) {
   LinkResult R = linkSensorMonitor();
   ASSERT_TRUE(R.Sys) << R.Error;
   CEmitOptions EO;
   std::string C = emitLinkedC(*R.Sys, "sys", EO);
-  EXPECT_NE(C.find("void SENSOR_step("), std::string::npos);
-  EXPECT_NE(C.find("void MONITOR_step("), std::string::npos);
+  // One fused translation unit: system-level entry points only, no
+  // per-unit step functions survive the fusion.
   EXPECT_NE(C.find("void sys_step("), std::string::npos);
   EXPECT_NE(C.find("void sys_init("), std::string::npos);
-  // The per-unit-batched system entry point (mirror of
-  // LinkedExecutor::stepN).
   EXPECT_NE(C.find("void sys_step_batch("), std::string::npos);
-  // Channel wiring: MONITOR's bound tick comes from SENSOR's presence
-  // (either channel works — the linker proved their clocks equal).
-  EXPECT_TRUE(C.find("= out_u0.KEPT_present") != std::string::npos ||
-              C.find("= out_u0.SUM_present") != std::string::npos)
-      << C;
-  // Channel values flow from SENSOR's out struct into MONITOR's in.
-  EXPECT_NE(C.find("= out_u0.KEPT;"), std::string::npos);
-  EXPECT_NE(C.find("= out_u0.SUM;"), std::string::npos);
-  // External interface: RAW in, TOTAL/ALERT out.
+  EXPECT_NE(C.find("void sys_step_fleet("), std::string::npos);
+  EXPECT_EQ(C.find("void SENSOR_step("), std::string::npos);
+  EXPECT_EQ(C.find("void MONITOR_step("), std::string::npos);
+  // Channels were resolved into slot copies at link time: no channel
+  // fields cross the C interface, only the true externals do.
   EXPECT_NE(C.find("in->RAW"), std::string::npos);
   EXPECT_NE(C.find("out->TOTAL"), std::string::npos);
   EXPECT_NE(C.find("out->ALERT"), std::string::npos);
+  EXPECT_EQ(C.find("in->KEPT"), std::string::npos);
+  EXPECT_EQ(C.find("in->SUM"), std::string::npos);
 }
 
 TEST(LinkEmitter, InterfaceFieldsAreDeduplicatedAndNamed) {

@@ -238,8 +238,118 @@ TEST(RandomChainDifferential, ThreeAndFourStages) {
 }
 
 //===----------------------------------------------------------------------===//
+// Feedback and diamond systems: the compositions instruction-level
+// fusion exists for. Whole-unit linking had to reject both — the loop
+// because the unit graph is cyclic, the diamond because its synchro
+// obligation spans two producers' forests.
+//===----------------------------------------------------------------------===//
+
+TEST(FeedbackDifferential, LoopMatchesMonolithic) {
+  for (uint64_t Seed = 0; Seed < 12; ++Seed) {
+    GeneratedPair P = generateFeedbackPair(Seed);
+    std::vector<LinkInput> Inputs = {{P.ProducerName, P.ProducerSource},
+                                     {P.ConsumerName, P.ConsumerSource}};
+    OracleOptions O;
+    O.Instants = 48;
+    O.EnvSeed = Seed * 7 + 3;
+    OracleReport R = checkLinkedDifferential(
+        "feedback-" + std::to_string(Seed), Inputs, P.ComposedSource, O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+  }
+}
+
+TEST(FeedbackDifferential, SparseTicks) {
+  for (uint64_t Seed = 20; Seed < 26; ++Seed) {
+    GeneratedPair P = generateFeedbackPair(Seed);
+    std::vector<LinkInput> Inputs = {{P.ProducerName, P.ProducerSource},
+                                     {P.ConsumerName, P.ConsumerSource}};
+    OracleOptions O;
+    O.Instants = 64;
+    O.TickPermille = 350;
+    O.EnvSeed = Seed + 11;
+    OracleReport R = checkLinkedDifferential(
+        "feedback-sparse-" + std::to_string(Seed), Inputs, P.ComposedSource,
+        O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+  }
+}
+
+TEST(FeedbackDifferential, EmittedC) {
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  for (uint64_t Seed = 0; Seed < 4; ++Seed) {
+    GeneratedPair P = generateFeedbackPair(Seed);
+    std::vector<LinkInput> Inputs = {{P.ProducerName, P.ProducerSource},
+                                     {P.ConsumerName, P.ConsumerSource}};
+    OracleOptions O;
+    O.Instants = 32;
+    O.EnvSeed = Seed + 1;
+    O.EmitCRoundTrip = true;
+    OracleReport R = checkLinkedDifferential(
+        "feedback-c-" + std::to_string(Seed), Inputs, P.ComposedSource, O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.CRoundTripRan);
+  }
+}
+
+TEST(DiamondDifferential, JointObligationMatchesMonolithic) {
+  for (uint64_t Seed = 0; Seed < 12; ++Seed) {
+    GeneratedChain D = generateDiamondSystem(Seed);
+    std::vector<LinkInput> Inputs;
+    for (size_t K = 0; K < D.Sources.size(); ++K)
+      Inputs.push_back({D.Names[K], D.Sources[K]});
+    OracleOptions O;
+    O.Instants = 48;
+    O.EnvSeed = Seed * 5 + 2;
+    OracleReport R = checkLinkedDifferential(
+        "diamond-" + std::to_string(Seed), Inputs, D.ComposedSource, O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+  }
+}
+
+TEST(DiamondDifferential, EmittedC) {
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  for (uint64_t Seed = 0; Seed < 4; ++Seed) {
+    GeneratedChain D = generateDiamondSystem(Seed);
+    std::vector<LinkInput> Inputs;
+    for (size_t K = 0; K < D.Sources.size(); ++K)
+      Inputs.push_back({D.Names[K], D.Sources[K]});
+    OracleOptions O;
+    O.Instants = 32;
+    O.EnvSeed = Seed + 9;
+    O.EmitCRoundTrip = true;
+    OracleReport R = checkLinkedDifferential(
+        "diamond-c-" + std::to_string(Seed), Inputs, D.ComposedSource, O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.CRoundTripRan);
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Generator sanity for the multi-process mode.
 //===----------------------------------------------------------------------===//
+
+TEST(FeedbackGenerator, DeterministicAndChannelShaped) {
+  GeneratedPair A = generateFeedbackPair(7);
+  GeneratedPair B = generateFeedbackPair(7);
+  EXPECT_EQ(A.ProducerSource, B.ProducerSource);
+  EXPECT_EQ(A.ConsumerSource, B.ConsumerSource);
+  EXPECT_EQ(A.ComposedSource, B.ComposedSource);
+  ASSERT_EQ(A.Channels.size(), 2u);
+  EXPECT_NE(A.ProducerSource, generateFeedbackPair(8).ProducerSource);
+}
+
+TEST(DiamondGenerator, DeterministicWithSpanningSynchro) {
+  GeneratedChain A = generateDiamondSystem(3);
+  GeneratedChain B = generateDiamondSystem(3);
+  ASSERT_EQ(A.Sources.size(), 4u);
+  EXPECT_EQ(A.Sources, B.Sources);
+  EXPECT_EQ(A.ComposedSource, B.ComposedSource);
+  // The consumer carries the obligation that spans both producers.
+  EXPECT_NE(A.Sources[3].find("synchro {DA, DB}"), std::string::npos);
+  EXPECT_NE(A.Sources, generateDiamondSystem(4).Sources);
+}
 
 TEST(ProcessPairGenerator, DeterministicForFixedSeed) {
   ProcessPairOptions O;
