@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Smoke-drive a running `signalc --serve` socket.
+
+Connects N concurrent sessions, streams the same recorded stimulus
+trace into each, reads each response stream to EOF, and checks that
+every session got the same non-empty response bytes (same stimulus =>
+same outputs; the response carries no timestamps, so byte equality is
+the right check). CI runs this against `--serve-limit N` so the server
+exits on its own and its per-session teardown lines can be inspected.
+
+Usage: serve_smoke.py SOCKET TRACE [SESSIONS]
+"""
+
+import os
+import socket
+import sys
+import threading
+import time
+
+
+def drive(sock_path, stimulus, responses, idx):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.settimeout(60)
+    # The socket file appears on bind, fractionally before listen().
+    for _ in range(100):
+        try:
+            s.connect(sock_path)
+            break
+        except ConnectionRefusedError:
+            time.sleep(0.05)
+    s.sendall(stimulus)
+    # Keep our write side open until the server closes: the server
+    # treats EOF before the stimulus trailer as a disconnect.
+    chunks = []
+    while True:
+        b = s.recv(65536)
+        if not b:
+            break
+        chunks.append(b)
+    s.close()
+    responses[idx] = b"".join(chunks)
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__.strip())
+    sock_path, trace_path = sys.argv[1], sys.argv[2]
+    sessions = int(sys.argv[3]) if len(sys.argv) > 3 else 2
+
+    with open(trace_path, "rb") as f:
+        stimulus = f.read()
+
+    # The server is started in the background; wait for the socket file.
+    # No probe connection: with --serve-limit every accepted connection
+    # counts as a session, so a probe would eat a slot.
+    for _ in range(600):
+        if os.path.exists(sock_path):
+            break
+        time.sleep(0.05)
+    else:
+        sys.exit(f"serve_smoke: {sock_path}: server never came up")
+
+    responses = [b""] * sessions
+    threads = [
+        threading.Thread(target=drive, args=(sock_path, stimulus, responses, i))
+        for i in range(sessions)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if not responses[0]:
+        sys.exit("serve_smoke: session 0 got an empty response")
+    for i, r in enumerate(responses[1:], start=1):
+        if r != responses[0]:
+            sys.exit(
+                f"serve_smoke: session {i} response differs from session 0 "
+                f"({len(r)} vs {len(responses[0])} bytes)"
+            )
+    print(
+        f"serve_smoke: {sessions} session(s), "
+        f"{len(responses[0])} response byte(s) each, all identical"
+    )
+
+
+if __name__ == "__main__":
+    main()

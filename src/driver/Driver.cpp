@@ -5,6 +5,7 @@
 #include "codegen/StepCompiler.h"
 #include "sema/Sema.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 
@@ -70,6 +71,45 @@ bool sigc::parseCliUnsigned(const std::string &Flag, const char *Text,
   }
   Out = V;
   return true;
+}
+
+namespace {
+
+/// Bounded Levenshtein distance (insert/delete/substitute, unit cost).
+unsigned editDistance(const std::string &A, const std::string &B) {
+  std::vector<unsigned> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = static_cast<unsigned>(J);
+  for (size_t I = 1; I <= A.size(); ++I) {
+    unsigned Diag = Row[0];
+    Row[0] = static_cast<unsigned>(I);
+    for (size_t J = 1; J <= B.size(); ++J) {
+      unsigned Sub = Diag + (A[I - 1] != B[J - 1]);
+      Diag = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1, Sub});
+    }
+  }
+  return Row[B.size()];
+}
+
+} // namespace
+
+std::string sigc::suggestNearestFlag(const std::string &Arg,
+                                     const std::vector<std::string> &Known) {
+  std::string Best;
+  unsigned BestDist = ~0u;
+  for (const std::string &K : Known) {
+    unsigned D = editDistance(Arg, K);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = K;
+    }
+  }
+  // A suggestion is only useful when the typo is plausibly the flag:
+  // within a third of its length (and never for wildly short inputs).
+  if (Best.empty() || BestDist > std::max<size_t>(1, Best.size() / 3))
+    return std::string();
+  return Best;
 }
 
 std::unique_ptr<Compilation> sigc::compileSource(std::string BufferName,

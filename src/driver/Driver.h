@@ -79,6 +79,15 @@ bool parseEngineMode(const std::string &Name, EngineMode &Mode,
 bool parseCliUnsigned(const std::string &Flag, const char *Text, uint64_t Max,
                       uint64_t &Out, std::string &Diag);
 
+/// \returns the element of \p Known nearest to \p Arg by edit distance,
+/// or empty when nothing is plausibly close (distance > 1/3 of the
+/// flag's length, so `--simulte` suggests `--simulate` but line noise
+/// suggests nothing). Extends the --process/--mode typo idiom to the
+/// driver's own flag table: an unknown top-level flag names its nearest
+/// neighbour instead of sending the user to --help.
+std::string suggestNearestFlag(const std::string &Arg,
+                               const std::vector<std::string> &Known);
+
 /// Every artifact of one compilation, stage by stage.
 class Compilation {
 public:

@@ -26,6 +26,20 @@
 ///   --seed S           PRNG seed for --simulate
 ///   --batch B          run --simulate in stepN windows of B instants
 ///                      (vm engine; bulk environment exchange)
+///   --record FILE      while simulating, record the trace (clock ticks,
+///                      input values, outputs) to FILE in the binary
+///                      trace format (vm engine)
+///   --frame W          instants per trace frame for --record (default 64)
+///   --replay FILE      re-execute the trace recorded in FILE (mmap-backed)
+///                      instead of drawing from a random environment,
+///                      verifying outputs against the recording
+///   --replay-buffered  use buffered read(2) instead of mmap for --replay
+///                      (the pipe/socket-shaped path)
+///   --serve SOCK       serve trace-stream sessions over the Unix domain
+///                      socket SOCK; each client session runs on its own
+///                      fleet lane
+///   --max-sessions N   concurrent-session capacity for --serve
+///   --serve-limit K    exit after K sessions have ended (bounded serve)
 ///   --fleet N          run --simulate over a fleet of N instances of the
 ///                      process (SoA lane-block sweep; instance j draws
 ///                      from seed S + j)
@@ -43,6 +57,8 @@
 #include "interp/LinkedExecutor.h"
 #include "interp/StepExecutor.h"
 #include "interp/VmExecutor.h"
+#include "io/Server.h"
+#include "io/TraceEnvironment.h"
 #include "link/LinkEmitter.h"
 #include "link/Linker.h"
 #include "programs/Programs.h"
@@ -71,7 +87,10 @@ void printUsage() {
                "         --emit-c --with-driver\n"
                "         --simulate N --seed S --batch B "
                "--fleet N --threads T\n"
-               "         --mode vm|nested|flat --stats\n");
+               "         --mode vm|nested|flat --stats\n"
+               "         --record FILE --frame W --replay FILE "
+               "--replay-buffered\n"
+               "         --serve SOCK --max-sessions N --serve-limit K\n");
 }
 
 void printStats(const std::string &Mode, unsigned Instants,
@@ -106,12 +125,15 @@ std::vector<std::string> splitCommas(const std::string &List) {
 
 int main(int Argc, char **Argv) {
   std::string File, Builtin, ProcessName, LinkList;
+  std::string RecordFile, ReplayFile, ServeSock;
   bool DumpKernel = false, DumpClocks = false, DumpTree = false;
   bool DumpTreeDot = false;
   bool DumpGraph = false, DumpStep = false, EmitC = false;
   bool DumpInterface = false, DumpLink = false;
-  bool WithDriver = false, Stats = false;
+  bool WithDriver = false, Stats = false, ReplayBuffered = false;
   unsigned Simulate = 0, Batch = 0, Fleet = 0, FleetThreads = 1;
+  unsigned FrameInstants = TraceDefaultFrameInstants;
+  unsigned MaxSessions = 4, ServeLimit = 0;
   uint64_t Seed = 1;
   EngineMode Mode = EngineMode::Vm;
   std::string ModeName = "vm";
@@ -156,8 +178,20 @@ int main(int Argc, char **Argv) {
       return 2;
     } else if (Arg == "--with-driver") {
       WithDriver = true;
+    } else if (Arg == "--record") {
+      if (const char *V = next())
+        RecordFile = V;
+    } else if (Arg == "--replay") {
+      if (const char *V = next())
+        ReplayFile = V;
+    } else if (Arg == "--replay-buffered") {
+      ReplayBuffered = true;
+    } else if (Arg == "--serve") {
+      if (const char *V = next())
+        ServeSock = V;
     } else if (Arg == "--simulate" || Arg == "--batch" || Arg == "--fleet" ||
-               Arg == "--threads" || Arg == "--seed") {
+               Arg == "--threads" || Arg == "--seed" || Arg == "--frame" ||
+               Arg == "--max-sessions" || Arg == "--serve-limit") {
       // Checked numeric parse: a missing, malformed or out-of-range
       // operand is a diagnosed exit, never an uncaught std::stoul throw
       // and never a silently dropped flag.
@@ -169,6 +203,12 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "signalc: %s\n", Diag.c_str());
         return 2;
       }
+      if ((Arg == "--frame" || Arg == "--max-sessions") &&
+          (V == 0 || (Arg == "--frame" && V > 65535))) {
+        std::fprintf(stderr, "signalc: value '%llu' for %s is out of range\n",
+                     static_cast<unsigned long long>(V), Arg.c_str());
+        return 2;
+      }
       if (IsSeed)
         Seed = V;
       else if (Arg == "--simulate")
@@ -177,6 +217,12 @@ int main(int Argc, char **Argv) {
         Batch = static_cast<unsigned>(V);
       else if (Arg == "--fleet")
         Fleet = static_cast<unsigned>(V);
+      else if (Arg == "--frame")
+        FrameInstants = static_cast<unsigned>(V);
+      else if (Arg == "--max-sessions")
+        MaxSessions = static_cast<unsigned>(V);
+      else if (Arg == "--serve-limit")
+        ServeLimit = static_cast<unsigned>(V);
       else
         FleetThreads = static_cast<unsigned>(V);
     } else if (Arg == "--mode") {
@@ -195,7 +241,22 @@ int main(int Argc, char **Argv) {
     } else if (!Arg.empty() && Arg[0] != '-') {
       File = Arg;
     } else {
-      std::fprintf(stderr, "signalc: unknown option '%s'\n", Arg.c_str());
+      // The --process/--mode typo idiom, extended to the flag table
+      // itself: a near-miss names its neighbour instead of sending the
+      // user to --help.
+      static const std::vector<std::string> KnownFlags = {
+          "--builtin", "--process", "--link", "--dump-kernel",
+          "--dump-clocks", "--dump-tree", "--dump-tree-dot", "--dump-graph",
+          "--dump-step", "--dump-interface", "--dump-link", "--emit-c",
+          "--with-driver", "--simulate", "--seed", "--batch", "--fleet",
+          "--threads", "--mode", "--stats", "--record", "--frame",
+          "--replay", "--replay-buffered", "--serve", "--max-sessions",
+          "--serve-limit", "--help"};
+      std::string Suggest = suggestNearestFlag(Arg, KnownFlags);
+      std::string Hint =
+          Suggest.empty() ? "" : "; did you mean '" + Suggest + "'?";
+      std::fprintf(stderr, "signalc: unknown option '%s'%s\n", Arg.c_str(),
+                   Hint.c_str());
       printUsage();
       return 2;
     }
@@ -253,6 +314,10 @@ int main(int Argc, char **Argv) {
     if (Fleet)
       std::fprintf(stderr,
                    "signalc: warning: --fleet is ignored in --link mode\n");
+    if (!RecordFile.empty() || !ReplayFile.empty() || !ServeSock.empty())
+      std::fprintf(stderr,
+                   "signalc: warning: --record/--replay/--serve are ignored "
+                   "in --link mode\n");
     std::vector<std::string> Names = splitCommas(LinkList);
     LinkResult R = compileAndLink(BufferName, Source, Names);
     if (!R.Sys) {
@@ -350,6 +415,117 @@ int main(int Argc, char **Argv) {
     std::string CSource = emitC(C->Compiled, ProcName, EO);
     std::fputs(CSource.c_str(), stdout);
   }
+
+  if (!ServeSock.empty()) {
+    // Serving front end: each client connection is a trace-stream
+    // session on its own fleet lane.
+    ServeOptions SO;
+    SO.SocketPath = ServeSock;
+    SO.MaxSessions = MaxSessions;
+    if (Batch > 0)
+      SO.BatchInstants = Batch;
+    SO.SessionLimit = ServeLimit;
+    return runTraceServer(C->Compiled, ProcName, SO);
+  }
+
+  if (!ReplayFile.empty()) {
+    // Replay: the recorded trace is the environment. Outputs the
+    // re-execution produces are verified against the recorded ones.
+    std::unique_ptr<TraceSource> Src;
+    std::string OpenErr;
+    if (ReplayBuffered) {
+      int Fd = FdTraceSource::openFile(ReplayFile, OpenErr);
+      if (Fd < 0) {
+        std::fprintf(stderr, "signalc: %s\n", OpenErr.c_str());
+        return 2;
+      }
+      Src = std::make_unique<FdTraceSource>(Fd, /*OwnsFd=*/true);
+    } else {
+      auto M = std::make_unique<MmapTraceSource>();
+      if (!M->open(ReplayFile, OpenErr)) {
+        std::fprintf(stderr, "signalc: %s\n", OpenErr.c_str());
+        return 2;
+      }
+      Src = std::move(M);
+    }
+    TraceReader Reader(*Src);
+    if (!Reader.readHeader() || !Reader.matchesStep(C->Compiled)) {
+      std::fprintf(stderr, "signalc: %s: %s\n", ReplayFile.c_str(),
+                   Reader.error().str().c_str());
+      return 2;
+    }
+    TraceEnvironment Env(Reader);
+    Env.setVerifyOutputs(true);
+    VmExecutor Exec(C->Compiled);
+    unsigned Window = Batch > 1 ? Batch : Reader.spec().FrameInstants;
+    unsigned At = 0;
+    for (;;) {
+      unsigned N = Env.prepare(At, Window);
+      if (N == 0)
+        break;
+      Exec.stepN(Env, At, N);
+      At += N;
+    }
+    if (Env.failed()) {
+      std::fprintf(stderr, "signalc: %s: %s\n", ReplayFile.c_str(),
+                   Env.error().str().c_str());
+      return 2;
+    }
+    if (!Env.divergence().empty()) {
+      std::fprintf(stderr, "signalc: replay diverged from the trace: %s\n",
+                   Env.divergence().c_str());
+      return 1;
+    }
+    std::printf("replay (%u instants, %s): %llu output(s) match the trace\n",
+                At, ReplayBuffered ? "buffered" : "mmap",
+                static_cast<unsigned long long>(Env.outputCount()));
+    if (Stats && At)
+      printStats("vm", At, Exec.executed(), Exec.guardTests());
+    return 0;
+  }
+
+  if (Simulate && !RecordFile.empty() && !Fleet) {
+    // Record: a normal random simulation whose exchanged windows are
+    // mirrored into a trace file. Always the batched VM — recording
+    // frames flush as bulk windows complete.
+    if (Mode != EngineMode::Vm)
+      std::fprintf(stderr, "signalc: warning: --record always runs the "
+                           "batched vm engine; --mode ignored\n");
+    std::string OpenErr;
+    int Fd = FdSink::openFile(RecordFile, OpenErr);
+    if (Fd < 0) {
+      std::fprintf(stderr, "signalc: cannot open '%s': %s\n",
+                   RecordFile.c_str(), OpenErr.c_str());
+      return 2;
+    }
+    FdSink Sink(Fd, /*OwnsFd=*/true);
+    TraceWriter Writer(Sink,
+                       TraceSpec::fromStep(C->Compiled, ProcName,
+                                           FrameInstants));
+    RandomEnvironment Rnd(Seed);
+    RecordingEnvironment Env(Rnd, Writer);
+    VmExecutor Exec(C->Compiled);
+    if (Batch > 1)
+      Exec.runBatched(Env, Simulate, Batch);
+    else
+      Exec.run(Env, Simulate);
+    if (!Writer.finish(Simulate)) {
+      std::fprintf(stderr, "signalc: write failed on '%s'\n",
+                   RecordFile.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "recorded %u instant(s) to %s\n", Simulate,
+                 RecordFile.c_str());
+    std::printf("simulation (%u instants, seed %llu):\n%s", Simulate,
+                static_cast<unsigned long long>(Seed),
+                formatEvents(Rnd.outputs()).c_str());
+    if (Stats)
+      printStats("vm", Simulate, Exec.executed(), Exec.guardTests());
+    return 0;
+  }
+  if (!RecordFile.empty())
+    std::fprintf(stderr, "signalc: warning: --record needs --simulate N "
+                         "(and no --fleet); nothing recorded\n");
 
   if (Simulate && Fleet) {
     // Fleet simulation: N instances of the compiled process, each with

@@ -83,15 +83,26 @@ void FleetExecutor::reset() {
 
 void FleetExecutor::bind(const std::vector<Environment *> &Envs) {
   assert(Envs.size() >= NumInstances && "one environment per instance");
+  for (unsigned Inst = 0; Inst < NumInstances; ++Inst)
+    bindInstance(Inst, *Envs[Inst]);
+}
+
+void FleetExecutor::bindInstance(unsigned Inst, Environment &Env) {
+  assert(Inst < NumInstances && "instance out of range");
   const size_t NumOut = CS.Outputs.size();
-  for (unsigned Inst = 0; Inst < NumInstances; ++Inst) {
-    Bind[Inst] =
-        resolveBindings(*Envs[Inst], CS.ClockInputs, CS.Inputs, CS.Outputs);
-    BoundIds[Inst] = Envs[Inst]->identity();
-    for (size_t Pos = 0; Pos < CS.OutputFlushOrder.size(); ++Pos)
-      FlushIds[Inst * NumOut + Pos] =
-          Bind[Inst].Outputs[CS.OutputFlushOrder[Pos]];
-  }
+  Bind[Inst] = resolveBindings(Env, CS.ClockInputs, CS.Inputs, CS.Outputs);
+  BoundIds[Inst] = Env.identity();
+  for (size_t Pos = 0; Pos < CS.OutputFlushOrder.size(); ++Pos)
+    FlushIds[Inst * NumOut + Pos] = Bind[Inst].Outputs[CS.OutputFlushOrder[Pos]];
+}
+
+void FleetExecutor::resetLanes(unsigned First, unsigned Num) {
+  assert(First + Num <= NumInstances && "lane range out of bounds");
+  unsigned NumState = static_cast<unsigned>(CS.StateInit.size());
+  for (unsigned Slot = 0; Slot < NumState; ++Slot)
+    std::fill_n(StateSoA.begin() + static_cast<size_t>(Slot) * NumInstances +
+                    First,
+                Num, CS.StateInit[Slot]);
 }
 
 void FleetExecutor::ensureShardCapacity(Shard &S) {
@@ -410,6 +421,35 @@ void FleetExecutor::stepN(const std::vector<Environment *> &Envs,
     S.GuardTests = 0;
     S.Executed = 0;
   }
+}
+
+void FleetExecutor::stepLanes(const std::vector<Environment *> &Envs,
+                              unsigned First, unsigned Num, unsigned Start,
+                              unsigned Count) {
+  if (Count == 0 || Num == 0)
+    return;
+  assert(First + Num <= NumInstances && "lane range out of bounds");
+  assert(Envs.size() >= First + Num && "environments cover the lane range");
+
+  for (unsigned Inst = First; Inst < First + Num; ++Inst)
+    if (Envs[Inst]->identity() != BoundIds[Inst])
+      bindInstance(Inst, *Envs[Inst]);
+
+  if (Count > WindowCap)
+    WindowCap = Count;
+  ensureShardCapacity(LaneShard);
+
+  // The range need not be lane-block aligned: execBlock handles any
+  // (I0, NB<=K), and per-lane semantics (state, counters, flush order)
+  // are independent of how lanes group into blocks.
+  for (unsigned I0 = First; I0 < First + Num; I0 += K)
+    execBlock(LaneShard, Envs, I0, std::min(K, First + Num - I0), Start,
+              Count);
+
+  GuardTests += LaneShard.GuardTests;
+  Executed += LaneShard.Executed;
+  LaneShard.GuardTests = 0;
+  LaneShard.Executed = 0;
 }
 
 void FleetExecutor::run(const std::vector<Environment *> &Envs,

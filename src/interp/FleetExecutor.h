@@ -74,12 +74,22 @@ public:
   /// Re-initializes every instance's delay state.
   void reset();
 
+  /// Re-initializes the delay state of instances [First, First+Num) only
+  /// — a lane range being handed to a new session keeps the rest of the
+  /// fleet untouched.
+  void resetLanes(unsigned First, unsigned Num);
+
   /// Resolves the environment bindings of every instance now (otherwise
   /// done lazily when a step sees an unbound environment).
   /// \p Envs has one environment per instance; instance i only ever
   /// touches Envs[i], so per-instance environments make the threaded
   /// sweep share no mutable state.
   void bind(const std::vector<Environment *> &Envs);
+
+  /// (Re)binds one instance to \p Env — sessions come and go
+  /// independently, and rebinding a joining session's lanes must not
+  /// touch the rest of the fleet.
+  void bindInstance(unsigned Inst, Environment &Env);
 
   /// Runs \p Count reactions starting at instant \p Start for every
   /// instance: per lane-block, ticks and inputs are prefetched for the
@@ -88,6 +98,16 @@ public:
   /// scalar unbatched run records them.
   void stepN(const std::vector<Environment *> &Envs, unsigned Start,
              unsigned Count);
+
+  /// Runs \p Count reactions starting at instant \p Start for instances
+  /// [First, First+Num) only, leaving every other lane untouched. \p Envs
+  /// is indexed by absolute instance id (entries outside the range are
+  /// not read). Unlike stepN, different lane ranges may sit at different
+  /// instants — the serving front end's shape, where each session is a
+  /// lane range advancing at its own pace. Single-threaded: sessions are
+  /// small slices; the thread pool belongs to whole-fleet sweeps.
+  void stepLanes(const std::vector<Environment *> &Envs, unsigned First,
+                 unsigned Num, unsigned Start, unsigned Count);
 
   /// Runs \p Count reactions starting at instant 0 in one window.
   void run(const std::vector<Environment *> &Envs, unsigned Count);
@@ -158,6 +178,7 @@ private:
   std::vector<EnvOutputId> FlushIds;  ///< [instance][flush position].
   std::vector<int32_t> FlushPos;      ///< Output desc -> flush position.
   std::vector<Shard> Shards;
+  Shard LaneShard; ///< Scratch workspace for stepLanes (no instance range).
   unsigned WindowCap = 0; ///< Capacity of the shard batch buffers.
 
   uint64_t GuardTests = 0;

@@ -1,0 +1,416 @@
+//===--- Server.cpp -------------------------------------------------------===//
+
+#include "io/Server.h"
+
+#include "interp/FleetExecutor.h"
+#include "io/TraceEnvironment.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace sigc;
+
+namespace {
+
+/// Longest prefix of a stream we buffer while its header is still
+/// incomplete. Frame payloads are bounded by the spec once the header is
+/// in; before that, this is the only bound a hostile client sees.
+constexpr size_t MaxHeaderBytes = 16u << 20;
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+/// Appends response bytes to the session's output queue.
+struct QueueSink : TraceSink {
+  std::vector<uint8_t> *Q = nullptr;
+  bool write(const uint8_t *Data, size_t Len) override {
+    Q->insert(Q->end(), Data, Data + Len);
+    return true;
+  }
+};
+
+struct Session {
+  int Fd = -1;
+  unsigned Id = 0;   ///< Monotone session number (diagnostics).
+  unsigned Lane = 0; ///< Fleet instance this session owns.
+
+  // Inbound stream.
+  std::vector<uint8_t> In;
+  size_t InPos = 0;      ///< Consumed prefix of In.
+  uint64_t InOffset = 0; ///< Stream offset of In[InPos] (diagnostics).
+  bool HeaderDone = false;
+  bool TrailerSeen = false;
+  unsigned Total = 0; ///< Declared total instants (once TrailerSeen).
+
+  // Execution.
+  std::unique_ptr<StreamEnvironment> Env;
+  unsigned Executed = 0; ///< Instants stepped so far.
+  bool Finished = false; ///< Response trailer written.
+  uint64_t GuardTests = 0, Instrs = 0;
+
+  // Outbound stream.
+  QueueSink Sink;
+  std::unique_ptr<TraceWriter> Echo;
+  std::vector<uint8_t> Out;
+  size_t OutPos = 0;
+
+  size_t queuedBytes() const { return Out.size() - OutPos; }
+};
+
+class Server {
+public:
+  Server(const CompiledStep &CS, const std::string &ProcName,
+         const ServeOptions &Opts)
+      : CS(CS), Opts(Opts), Expected(TraceSpec::fromStep(CS, ProcName)),
+        Exec(CS, Opts.MaxSessions), Envs(Opts.MaxSessions, nullptr),
+        Slots(Opts.MaxSessions) {
+    for (unsigned L = 0; L < Opts.MaxSessions; ++L)
+      FreeLanes.push_back(Opts.MaxSessions - 1 - L);
+  }
+
+  int run();
+
+private:
+  void acceptClients();
+  void readSession(Session &S);
+  bool parseSession(Session &S); ///< False: session torn down.
+  bool stepSession(Session &S);  ///< True when progress was made.
+  void sendSession(Session &S);
+  void teardown(Session &S, const char *How);
+  Session *sessionAt(size_t Slot) { return Slots[Slot].get(); }
+
+  const CompiledStep &CS;
+  const ServeOptions &Opts;
+  TraceSpec Expected;
+  FleetExecutor Exec;
+  std::vector<Environment *> Envs;
+  std::vector<std::unique_ptr<Session>> Slots; ///< Indexed by lane.
+  std::vector<unsigned> FreeLanes;
+  int ListenFd = -1;
+  unsigned NextId = 0;
+  unsigned Ended = 0;
+  size_t RR = 0; ///< Round-robin scan start.
+};
+
+void Server::teardown(Session &S, const char *How) {
+  // Always printed: scripted drivers (and the CI smoke test) sum these.
+  std::fprintf(stderr,
+               "session %u: instants=%u outputs=%llu guard_tests=%llu "
+               "executed=%llu (%s)\n",
+               S.Id, S.Executed,
+               static_cast<unsigned long long>(S.Env ? S.Env->outputCount()
+                                                     : 0),
+               static_cast<unsigned long long>(S.GuardTests),
+               static_cast<unsigned long long>(S.Instrs), How);
+  ::close(S.Fd);
+  Envs[S.Lane] = nullptr;
+  FreeLanes.push_back(S.Lane);
+  Slots[S.Lane].reset();
+  ++Ended;
+}
+
+void Server::acceptClients() {
+  while (!FreeLanes.empty()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN (or a transient error): try again next wakeup.
+    if (!setNonBlocking(Fd)) {
+      ::close(Fd);
+      continue;
+    }
+    unsigned Lane = FreeLanes.back();
+    FreeLanes.pop_back();
+    auto S = std::make_unique<Session>();
+    S->Fd = Fd;
+    S->Id = NextId++;
+    S->Lane = Lane;
+    Slots[Lane] = std::move(S);
+  }
+}
+
+void Server::readSession(Session &S) {
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    ssize_t N = ::recv(S.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      S.In.insert(S.In.end(), Buf, Buf + N);
+      if (static_cast<size_t>(N) == sizeof(Buf))
+        continue; // More may be pending.
+      break;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    if (N < 0 && errno == EINTR)
+      continue;
+    // EOF or a hard error. EOF after the trailer is the client closing
+    // its write side while we drain — only a pre-trailer EOF is a
+    // mid-stream disconnect.
+    if (!S.TrailerSeen) {
+      teardown(S, "disconnected");
+      return;
+    }
+    break;
+  }
+  if (!parseSession(S))
+    return;
+  // Reclaim the consumed prefix once it dominates the buffer.
+  if (S.InPos > (64u << 10) && S.InPos > S.In.size() / 2) {
+    S.In.erase(S.In.begin(), S.In.begin() + static_cast<long>(S.InPos));
+    S.InPos = 0;
+  }
+}
+
+bool Server::parseSession(Session &S) {
+  if (!S.HeaderDone) {
+    TraceSpec Spec;
+    size_t HeaderLen = 0;
+    TraceError Err;
+    if (!parseTraceHeader(S.In.data() + S.InPos, S.In.size() - S.InPos, Spec,
+                          HeaderLen, Err)) {
+      if (Err.needMoreData()) {
+        if (S.In.size() - S.InPos > MaxHeaderBytes) {
+          std::fprintf(stderr, "session %u: header exceeds %zu bytes\n", S.Id,
+                       MaxHeaderBytes);
+          teardown(S, "protocol error");
+          return false;
+        }
+        return true; // Wait for more bytes.
+      }
+      std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
+      teardown(S, "protocol error");
+      return false;
+    }
+    TraceSpec Check = TraceSpec::fromStep(CS, Spec.ProcName,
+                                          Spec.FrameInstants);
+    std::string Diff = Spec.diff(Check);
+    if (!Diff.empty()) {
+      std::fprintf(stderr,
+                   "session %u: trace interface does not match the served "
+                   "process: %s\n",
+                   S.Id, Diff.c_str());
+      teardown(S, "interface mismatch");
+      return false;
+    }
+    S.InPos += HeaderLen;
+    S.InOffset += HeaderLen;
+    S.HeaderDone = true;
+    S.Env = std::make_unique<StreamEnvironment>(Spec);
+    S.Sink.Q = &S.Out;
+    // The response header goes out immediately: an outputs-only stream
+    // with the same frame capacity the client chose.
+    S.Echo = std::make_unique<TraceWriter>(S.Sink, Spec.outputsOnly());
+    S.Env->setEcho(S.Echo.get());
+    Exec.resetLanes(S.Lane, 1);
+    Envs[S.Lane] = S.Env.get();
+  }
+  while (!S.TrailerSeen) {
+    TraceFrame F = S.Env->takeRecycledFrame();
+    size_t Consumed = 0;
+    TraceError Err;
+    TraceFrameStatus St =
+        decodeTraceFrame(S.Env->streamSpec(), S.In.data() + S.InPos,
+                         S.In.size() - S.InPos, S.InOffset, F, Consumed,
+                         S.Total, Err);
+    if (St == TraceFrameStatus::NeedMore)
+      return true;
+    if (St == TraceFrameStatus::Error) {
+      std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
+      teardown(S, "protocol error");
+      return false;
+    }
+    S.InPos += Consumed;
+    S.InOffset += Consumed;
+    if (St == TraceFrameStatus::End) {
+      if (S.Total != S.Env->residentEnd()) {
+        std::fprintf(stderr,
+                     "session %u: trailer declares %u instants but frames "
+                     "covered %u\n",
+                     S.Id, S.Total, S.Env->residentEnd());
+        teardown(S, "protocol error");
+        return false;
+      }
+      S.TrailerSeen = true;
+      return true;
+    }
+    if (F.Start != S.Env->residentEnd()) {
+      std::fprintf(stderr,
+                   "session %u: frame starts at instant %u, expected %u\n",
+                   S.Id, F.Start, S.Env->residentEnd());
+      teardown(S, "protocol error");
+      return false;
+    }
+    S.Env->pushFrame(std::move(F));
+  }
+  return true;
+}
+
+bool Server::stepSession(Session &S) {
+  if (!S.HeaderDone || S.Finished)
+    return false;
+  unsigned Resident = S.Env->residentEnd();
+  if (S.Executed < Resident && S.queuedBytes() <= Opts.MaxQueuedBytes) {
+    unsigned N = std::min(Opts.BatchInstants, Resident - S.Executed);
+    uint64_t G0 = Exec.guardTests(), E0 = Exec.executed();
+    Exec.stepLanes(Envs, S.Lane, 1, S.Executed, N);
+    S.GuardTests += Exec.guardTests() - G0;
+    S.Instrs += Exec.executed() - E0;
+    S.Executed += N;
+    S.Env->release(S.Executed);
+    return true;
+  }
+  if (S.TrailerSeen && S.Executed == S.Total) {
+    S.Echo->finish(S.Total);
+    S.Finished = true;
+    return true;
+  }
+  return false;
+}
+
+void Server::sendSession(Session &S) {
+  while (S.OutPos < S.Out.size()) {
+    ssize_t N = ::send(S.Fd, S.Out.data() + S.OutPos, S.Out.size() - S.OutPos,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return;
+      teardown(S, "disconnected");
+      return;
+    }
+    S.OutPos += static_cast<size_t>(N);
+  }
+  S.Out.clear();
+  S.OutPos = 0;
+  if (S.Finished)
+    teardown(S, "clean");
+}
+
+int Server::run() {
+  if (Opts.SocketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "signalc: socket path too long: %s\n",
+                 Opts.SocketPath.c_str());
+    return 2;
+  }
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "signalc: socket: %s\n", std::strerror(errno));
+    return 2;
+  }
+  ::unlink(Opts.SocketPath.c_str());
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(ListenFd, 64) < 0 || !setNonBlocking(ListenFd)) {
+    std::fprintf(stderr, "signalc: cannot serve on %s: %s\n",
+                 Opts.SocketPath.c_str(), std::strerror(errno));
+    ::close(ListenFd);
+    return 2;
+  }
+  std::fprintf(stderr,
+               "serving %s on %s (max %u sessions, batch %u)\n",
+               Expected.ProcName.c_str(), Opts.SocketPath.c_str(),
+               Opts.MaxSessions, Opts.BatchInstants);
+
+  std::vector<pollfd> Polls;
+  std::vector<size_t> PollSlot; // Poll index -> lane (listen fd excluded).
+  for (;;) {
+    if (Opts.SessionLimit && Ended >= Opts.SessionLimit) {
+      bool Active = false;
+      for (auto &Slot : Slots)
+        Active |= Slot != nullptr;
+      if (!Active)
+        break;
+    }
+
+    Polls.clear();
+    PollSlot.clear();
+    bool AcceptMore =
+        !FreeLanes.empty() &&
+        !(Opts.SessionLimit && NextId >= Opts.SessionLimit);
+    Polls.push_back({ListenFd, static_cast<short>(AcceptMore ? POLLIN : 0),
+                     0});
+    bool Runnable = false;
+    for (size_t L = 0; L < Slots.size(); ++L) {
+      Session *S = sessionAt(L);
+      if (!S)
+        continue;
+      short Ev = 0;
+      if (!S->TrailerSeen)
+        Ev |= POLLIN;
+      if (S->queuedBytes() > 0)
+        Ev |= POLLOUT;
+      Polls.push_back({S->Fd, Ev, 0});
+      PollSlot.push_back(L);
+      if (S->HeaderDone && !S->Finished &&
+          ((S->Executed < S->Env->residentEnd() &&
+            S->queuedBytes() <= Opts.MaxQueuedBytes) ||
+           (S->TrailerSeen && S->Executed == S->Total)))
+        Runnable = true;
+    }
+
+    int Ready = ::poll(Polls.data(), Polls.size(), Runnable ? 0 : -1);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "signalc: poll: %s\n", std::strerror(errno));
+      break;
+    }
+
+    if (Polls[0].revents & POLLIN)
+      acceptClients();
+    for (size_t P = 1; P < Polls.size(); ++P) {
+      Session *S = sessionAt(PollSlot[P - 1]);
+      if (!S || S->Fd != Polls[P].fd)
+        continue; // Torn down while handling an earlier event.
+      if (Polls[P].revents & (POLLIN | POLLHUP | POLLERR))
+        readSession(*S);
+      S = sessionAt(PollSlot[P - 1]);
+      if (S && S->Fd == Polls[P].fd && (Polls[P].revents & POLLOUT))
+        sendSession(*S);
+    }
+
+    // Scheduler pass: advance every runnable session by one batch, fair
+    // round-robin (the scan starts one lane later each wakeup).
+    size_t NumSlots = Slots.size();
+    RR = NumSlots ? (RR + 1) % NumSlots : 0;
+    for (size_t Scan = 0; Scan < NumSlots; ++Scan) {
+      size_t L = (RR + Scan) % NumSlots;
+      Session *S = sessionAt(L);
+      if (S && stepSession(*S)) {
+        // Push what the batch produced without waiting for POLLOUT.
+        S = sessionAt(L);
+        if (S && S->queuedBytes() > 0)
+          sendSession(*S);
+      }
+    }
+  }
+
+  ::close(ListenFd);
+  ::unlink(Opts.SocketPath.c_str());
+  std::fprintf(stderr, "served %u session(s)\n", Ended);
+  return 0;
+}
+
+} // namespace
+
+int sigc::runTraceServer(const CompiledStep &CS, const std::string &ProcName,
+                         const ServeOptions &Opts) {
+  return Server(CS, ProcName, Opts).run();
+}

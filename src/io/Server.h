@@ -1,0 +1,58 @@
+//===--- Server.h - Trace-stream session server -----------------*- C++-*-===//
+///
+/// \file
+/// `signalc --serve`: a Unix-domain-socket front end that runs compiled
+/// reactive sessions over the fleet executor. Each client connection is
+/// one session speaking the binary trace format in both directions:
+///
+///   client -> server   a full trace stream (header, stimulus frames,
+///                      trailer) against the compiled process interface;
+///   server -> client   an outputs-only trace stream of what the process
+///                      produced, frame by frame as batches execute.
+///
+/// Sessions map onto fleet lanes: the server owns one FleetExecutor of
+/// --max-sessions instances, a joining session claims a free lane
+/// (resetting only that lane's delay state), and each scheduler wakeup
+/// advances runnable sessions by up to one instant-batch via stepLanes —
+/// sessions at different instants coexist because lane ranges advance
+/// independently.
+///
+/// Flow control is explicit: a session whose un-drained response bytes
+/// exceed the queue bound stops being stepped until the client reads
+/// (backpressure), runnable sessions are drained fair round-robin, and a
+/// client disconnecting mid-frame tears its session down cleanly —
+/// the lane returns to the free list, everyone else is untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_IO_SERVER_H
+#define SIGNALC_IO_SERVER_H
+
+#include "interp/CompiledStep.h"
+
+#include <string>
+
+namespace sigc {
+
+struct ServeOptions {
+  std::string SocketPath;
+  /// Concurrent-session capacity — the fleet's instance count.
+  unsigned MaxSessions = 4;
+  /// Instants a runnable session advances per scheduler wakeup.
+  unsigned BatchInstants = 64;
+  /// Un-drained response bytes above which a session is not stepped.
+  size_t MaxQueuedBytes = 1 << 20;
+  /// Exit after this many sessions have ended (0 = serve forever) —
+  /// lets tests and scripted drivers run a bounded server.
+  unsigned SessionLimit = 0;
+};
+
+/// Serves sessions of \p CS (compiled from process \p ProcName) until
+/// SessionLimit is reached. \returns a process exit code: 0 on a clean
+/// bounded run, 2 on a setup failure (socket path, listen).
+int runTraceServer(const CompiledStep &CS, const std::string &ProcName,
+                   const ServeOptions &Opts);
+
+} // namespace sigc
+
+#endif // SIGNALC_IO_SERVER_H

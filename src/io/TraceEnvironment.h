@@ -1,0 +1,206 @@
+//===--- TraceEnvironment.h - Trace-backed environments ---------*- C++-*-===//
+///
+/// \file
+/// Environments that connect the compiled step's bound slot-ID
+/// Environment API to the binary trace format, in both directions:
+///
+///   * RecordingEnvironment wraps a live environment and mirrors every
+///     exchanged window — clock ticks, input values, output events —
+///     into a TraceWriter. The wrapped environment stays authoritative
+///     (it still answers queries and records its own events), so a
+///     recorded run is observationally identical to an unrecorded one.
+///   * StreamEnvironment answers queries out of a window of decoded
+///     trace frames pushed into it — the serve loop's shape, where
+///     frames arrive incrementally from a socket.
+///   * TraceEnvironment pulls those frames from a TraceReader on demand
+///     — the `--replay` shape, mmap- or read(2)-backed.
+///
+/// Replay can additionally echo everything it serves (and the outputs
+/// the re-execution produces) into a second TraceWriter: with the same
+/// frame capacity, a deterministic program re-recorded this way is
+/// byte-identical to the original file, which is exactly what the
+/// differential trace leg pins. It can also verify the produced outputs
+/// against the ones recorded in the trace, diagnosing the first
+/// divergence by instant and signal.
+///
+/// All three are allocation-free per instant once warm: frame buffers
+/// recycle through a free list, and every query is slot-ID based.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_IO_TRACEENVIRONMENT_H
+#define SIGNALC_IO_TRACEENVIRONMENT_H
+
+#include "interp/Environment.h"
+#include "io/TraceReader.h"
+#include "io/TraceWriter.h"
+
+#include <deque>
+
+namespace sigc {
+
+/// Mirrors the traffic of an inner environment into a TraceWriter.
+///
+/// Inputs are recorded densely — a value for *every* instant of the
+/// window, present or not — which is sound because the differential
+/// contract already requires answers to be pure functions of
+/// (binding, instant). Frames flush when a window completes, i.e. at
+/// each bulk exchangeOutputs; a run that never batches (per-instant
+/// writeOutput only) still records correctly but buffers frames until
+/// finish(). The caller finishes the writer after the run.
+class RecordingEnvironment : public Environment {
+public:
+  using Environment::clockTick;
+  using Environment::inputValue;
+  using Environment::writeOutput;
+
+  /// Records the traffic of \p Inner against \p Writer's spec. Names
+  /// outside the spec pass through unrecorded.
+  RecordingEnvironment(Environment &Inner, TraceWriter &Writer);
+
+  Environment &inner() { return Inner; }
+
+  EnvClockId resolveClock(std::string_view Name) override;
+  EnvInputId resolveInput(std::string_view Name, TypeKind Type) override;
+  EnvOutputId resolveOutput(std::string_view Name, TypeKind Type) override;
+
+  bool clockTick(EnvClockId Clock, unsigned Instant) override;
+  Value inputValue(EnvInputId Input, unsigned Instant) override;
+  void writeOutput(EnvOutputId Output, unsigned Instant,
+                   const Value &V) override;
+
+  void clockTicks(EnvClockId Clock, unsigned Start, unsigned Count,
+                  unsigned char *Out) override;
+  void inputValues(EnvInputId Input, unsigned Start, unsigned Count,
+                   Value *Out) override;
+  void exchangeOutputs(unsigned Start, unsigned Count, unsigned NumOutputs,
+                       const EnvOutputId *Ids, const unsigned char *Present,
+                       const Value *Vals) override;
+
+private:
+  Environment &Inner;
+  TraceWriter &Writer;
+  /// Our id -> the inner environment's id, per id space.
+  std::vector<EnvClockId> InnerClock;
+  std::vector<EnvInputId> InnerIn;
+  std::vector<EnvOutputId> InnerOut;
+  /// Our id -> index in the writer's spec (NoSpec when unrecorded).
+  std::vector<unsigned> ClockSpec, InSpec, OutSpec;
+  std::vector<EnvOutputId> InnerIdScratch; ///< Translated flush ids.
+};
+
+/// Replays a trace out of a window of resident frames pushed by the
+/// caller. Frames must arrive in instant order; release() retires
+/// instants the executor has moved past so the window stays bounded.
+class StreamEnvironment : public Environment {
+public:
+  using Environment::clockTick;
+  using Environment::inputValue;
+  using Environment::writeOutput;
+
+  explicit StreamEnvironment(TraceSpec Spec);
+
+  const TraceSpec &streamSpec() const { return Spec; }
+
+  //===--- Frame supply ---------------------------------------------------===//
+
+  /// A recycled (or fresh) frame shaped for the spec, ready to decode
+  /// into.
+  TraceFrame takeRecycledFrame();
+  /// Appends \p F to the resident window; F.Start must equal
+  /// residentEnd() (frames are contiguous by construction).
+  void pushFrame(TraceFrame &&F);
+  /// First instant not yet resident.
+  unsigned residentEnd() const { return NextPush; }
+  /// First resident instant (0 until anything is released).
+  unsigned residentBegin() const {
+    return Window.empty() ? NextPush : Window.front().Start;
+  }
+  /// Retires frames wholly below \p Instant into the free list.
+  void release(unsigned Instant);
+
+  //===--- Replay-side instrumentation ------------------------------------===//
+
+  /// Echoes every served window (and the produced outputs) into \p W.
+  /// When W's spec carries clocks/inputs they are echoed too (the
+  /// byte-identity pin); an outputsOnly() spec echoes just outputs (the
+  /// serve loop's response stream). Pass nullptr to stop echoing.
+  void setEcho(TraceWriter *W);
+  /// Compares produced outputs against the ones recorded in the trace;
+  /// the first divergence is latched in divergence().
+  void setVerifyOutputs(bool On) { VerifyOutputs = On; }
+  /// Also records OutputEvents like the in-memory environments do (off
+  /// by default here: replay streams can be arbitrarily long).
+  void setCollectOutputs(bool On) { CollectEvents = On; }
+
+  uint64_t outputCount() const { return OutputCount; }
+  /// Empty while every verified window matched the trace.
+  const std::string &divergence() const { return Divergence; }
+
+  //===--- Environment ----------------------------------------------------===//
+
+  EnvClockId resolveClock(std::string_view Name) override;
+  EnvInputId resolveInput(std::string_view Name, TypeKind Type) override;
+  EnvOutputId resolveOutput(std::string_view Name, TypeKind Type) override;
+
+  bool clockTick(EnvClockId Clock, unsigned Instant) override;
+  Value inputValue(EnvInputId Input, unsigned Instant) override;
+
+  void clockTicks(EnvClockId Clock, unsigned Start, unsigned Count,
+                  unsigned char *Out) override;
+  void inputValues(EnvInputId Input, unsigned Start, unsigned Count,
+                   Value *Out) override;
+  void exchangeOutputs(unsigned Start, unsigned Count, unsigned NumOutputs,
+                       const EnvOutputId *Ids, const unsigned char *Present,
+                       const Value *Vals) override;
+
+private:
+  /// The resident frame containing \p Instant (asserts residency).
+  const TraceFrame &frameAt(unsigned Instant) const;
+
+  TraceSpec Spec;
+  std::deque<TraceFrame> Window;
+  std::vector<TraceFrame> Free;
+  unsigned NextPush = 0;
+
+  /// Our id -> index in the spec (NoSpec for unknown names).
+  std::vector<unsigned> ClockSpec, InSpec, OutSpec;
+
+  TraceWriter *Echo = nullptr;
+  bool EchoStimulus = false; ///< Echo spec carries clocks/inputs too.
+  bool VerifyOutputs = false;
+  bool CollectEvents = false;
+  uint64_t OutputCount = 0;
+  std::string Divergence;
+};
+
+/// Replays a trace by pulling frames from a TraceReader — `--replay`.
+class TraceEnvironment : public StreamEnvironment {
+public:
+  /// \p Reader must have readHeader() already done (its spec shapes the
+  /// window) and must outlive the environment.
+  explicit TraceEnvironment(TraceReader &Reader);
+
+  /// Makes up to \p Want instants from \p Start resident, pulling frames
+  /// as needed, and retires everything below \p Start. \returns how many
+  /// instants [Start, ...) are servable: less than Want only at the end
+  /// of the trace, 0 at the end itself or on a decode error (check
+  /// failed()).
+  unsigned prepare(unsigned Start, unsigned Want);
+
+  /// True once the trailer was reached cleanly.
+  bool atEnd() const { return AtEnd; }
+  /// Total instants declared by the trailer (valid once atEnd()).
+  unsigned totalInstants() const { return Reader.totalInstants(); }
+
+  bool failed() const { return !Reader.error().ok(); }
+  const TraceError &error() const { return Reader.error(); }
+
+private:
+  TraceReader &Reader;
+  bool AtEnd = false;
+};
+
+} // namespace sigc
+
+#endif // SIGNALC_IO_TRACEENVIRONMENT_H

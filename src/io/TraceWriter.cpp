@@ -1,0 +1,157 @@
+//===--- TraceWriter.cpp --------------------------------------------------===//
+
+#include "io/TraceWriter.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace sigc;
+
+TraceSink::~TraceSink() = default;
+
+FdSink::~FdSink() {
+  if (OwnsFd && Fd >= 0)
+    ::close(Fd);
+}
+
+bool FdSink::write(const uint8_t *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+int FdSink::openFile(const std::string &Path, std::string &Error) {
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    Error = std::strerror(errno);
+  return Fd;
+}
+
+TraceWriter::TraceWriter(TraceSink &Sink, TraceSpec Spec)
+    : Sink(Sink), Spec(std::move(Spec)) {
+  sinkBytes(encodeTraceHeader(this->Spec));
+}
+
+void TraceWriter::sinkBytes(const std::vector<uint8_t> &Bytes) {
+  if (Ok && !Sink.write(Bytes.data(), Bytes.size()))
+    Ok = false;
+}
+
+TraceFrame &TraceWriter::frameFor(unsigned Instant) {
+  assert(!Finished && "trace writer already finished");
+  assert(Instant >= FlushedInstants &&
+         "data for an instant that already flushed");
+  const unsigned W = Spec.FrameInstants;
+  const unsigned FrameStart = (Instant / W) * W;
+  unsigned NextStart =
+      Pending.empty() ? FlushedInstants : Pending.back().Start + W;
+  while (NextStart <= FrameStart) {
+    // Recycle a retired frame buffer when one exists; its rows are
+    // re-zeroed here (per frame, not per instant).
+    if (!FreeFrames.empty()) {
+      Pending.push_back(std::move(FreeFrames.back()));
+      FreeFrames.pop_back();
+    } else {
+      Pending.emplace_back();
+    }
+    TraceFrame &F = Pending.back();
+    F.shape(Spec);
+    F.Start = NextStart;
+    F.Count = 0;
+    std::fill(F.ClockTicks.begin(), F.ClockTicks.end(), 0);
+    std::fill(F.OutPresent.begin(), F.OutPresent.end(), 0);
+    NextStart += W;
+  }
+  return Pending[(FrameStart - Pending.front().Start) / W];
+}
+
+void TraceWriter::putClockTicks(unsigned ClockIdx, unsigned Start,
+                                unsigned Count, const unsigned char *Ticks) {
+  const unsigned W = Spec.FrameInstants;
+  unsigned I = 0;
+  while (I < Count) {
+    TraceFrame &F = frameFor(Start + I);
+    unsigned Off = (Start + I) - F.Start;
+    unsigned Take = std::min(Count - I, W - Off);
+    std::memcpy(&F.ClockTicks[ClockIdx * static_cast<size_t>(F.Cap) + Off],
+                Ticks + I, Take);
+    I += Take;
+  }
+}
+
+void TraceWriter::putInputValues(unsigned InputIdx, unsigned Start,
+                                 unsigned Count, const Value *Vals) {
+  const unsigned W = Spec.FrameInstants;
+  unsigned I = 0;
+  while (I < Count) {
+    TraceFrame &F = frameFor(Start + I);
+    unsigned Off = (Start + I) - F.Start;
+    unsigned Take = std::min(Count - I, W - Off);
+    Value *Row = &F.InputVals[InputIdx * static_cast<size_t>(F.Cap) + Off];
+    for (unsigned J = 0; J < Take; ++J)
+      Row[J] = Vals[I + J];
+    I += Take;
+  }
+}
+
+void TraceWriter::putOutput(unsigned OutputIdx, unsigned Instant,
+                            const Value &V) {
+  TraceFrame &F = frameFor(Instant);
+  size_t At = OutputIdx * static_cast<size_t>(F.Cap) + (Instant - F.Start);
+  F.OutPresent[At] = 1;
+  F.OutVals[At] = V;
+}
+
+void TraceWriter::flushFrame(TraceFrame &F) {
+  EncodeBuf.clear();
+  encodeTraceFrame(Spec, F, EncodeBuf);
+  sinkBytes(EncodeBuf);
+}
+
+void TraceWriter::completeThrough(unsigned End) {
+  const unsigned W = Spec.FrameInstants;
+  // Materialize coverage first: even a window that carried no data (a
+  // process with no free clocks or inputs and silent outputs) must
+  // produce its frames, or replay would see a gap in the instant line.
+  if (End > FlushedInstants)
+    frameFor(End - 1);
+  while (!Pending.empty() && Pending.front().Start + W <= End) {
+    TraceFrame &F = Pending.front();
+    F.Count = W;
+    flushFrame(F);
+    FlushedInstants = F.Start + W;
+    FreeFrames.push_back(std::move(F));
+    Pending.pop_front();
+  }
+}
+
+bool TraceWriter::finish(unsigned TotalInstants) {
+  assert(!Finished && "trace writer finished twice");
+  completeThrough(TotalInstants);
+  if (!Pending.empty()) {
+    TraceFrame &F = Pending.front();
+    assert(F.Start < TotalInstants && "pending frame beyond the trace end");
+    F.Count = TotalInstants - F.Start;
+    flushFrame(F);
+    FreeFrames.push_back(std::move(F));
+    Pending.pop_front();
+    assert(Pending.empty() && "data recorded beyond the declared trace end");
+  }
+  EncodeBuf.clear();
+  encodeTraceTrailer(TotalInstants, EncodeBuf);
+  sinkBytes(EncodeBuf);
+  Finished = true;
+  return Ok;
+}

@@ -10,6 +10,7 @@
 #include "interp/LinkedExecutor.h"
 #include "interp/StepExecutor.h"
 #include "interp/VmExecutor.h"
+#include "io/TraceEnvironment.h"
 #include "link/LinkEmitter.h"
 #include "testing/TraceCompare.h"
 
@@ -498,6 +499,105 @@ OracleReport sigc::checkDifferential(const std::string &Name,
             " executed=" + std::to_string(ExecVmB.executed()) + "\n",
         Source);
     return R;
+  }
+
+  // Path 4t: record -> replay through the trace format. The batched VM
+  // run is mirrored into an in-memory trace; replaying that trace as the
+  // environment — at a *different* batch size — must reproduce the
+  // events and counters of the live run, the replayed outputs must match
+  // the recorded ones, and re-recording the replay through an echo
+  // writer with the same frame capacity must reproduce the original
+  // recording byte for byte (the writer owns the framing, so recorded
+  // bytes are independent of execution batch size).
+  {
+    unsigned B = Options.BatchSize ? Options.BatchSize : 1;
+    // A small frame capacity forces several frames even for short runs.
+    TraceSpec Spec = TraceSpec::fromStep(C->Compiled, Name, /*FrameInstants=*/8);
+    MemorySink Sink;
+    TraceWriter Writer(Sink, Spec);
+    RandomEnvironment RndRec(Options.EnvSeed, Options.TickPermille);
+    RecordingEnvironment EnvRec(RndRec, Writer);
+    VmExecutor ExecRec(C->Compiled);
+    ExecRec.runBatched(EnvRec, Options.Instants, B);
+    if (!Writer.finish(Options.Instants)) {
+      R.Error = failure(Name, "trace writer failed", "", Source);
+      return R;
+    }
+    if (formatEvents(RndRec.outputs()) != formatEvents(EnvVm.outputs())) {
+      R.Error = failure(Name, "recording wrapper perturbed the run",
+                        compareTraces("step-vm", EnvVm.outputs(), "recorded",
+                                      RndRec.outputs())
+                            .Report,
+                        Source);
+      return R;
+    }
+
+    MemoryTraceSource SrcT(Sink.bytes());
+    TraceReader Reader(SrcT);
+    if (!Reader.readHeader() || !Reader.matchesStep(C->Compiled)) {
+      R.Error = failure(Name, "recorded trace does not read back",
+                        Reader.error().str() + "\n", Source);
+      return R;
+    }
+    TraceEnvironment EnvTr(Reader);
+    EnvTr.setVerifyOutputs(true);
+    EnvTr.setCollectOutputs(true);
+    MemorySink EchoSink;
+    TraceWriter Echo(EchoSink, Reader.spec());
+    EnvTr.setEcho(&Echo);
+    VmExecutor ExecTr(C->Compiled);
+    unsigned At = 0;
+    for (;;) {
+      unsigned N = EnvTr.prepare(At, B + 3); // Deliberately different window.
+      if (N == 0)
+        break;
+      ExecTr.stepN(EnvTr, At, N);
+      At += N;
+    }
+    if (EnvTr.failed() || At != Options.Instants) {
+      R.Error = failure(Name, "trace replay stopped early",
+                        "replayed " + std::to_string(At) + " of " +
+                            std::to_string(Options.Instants) + " instants: " +
+                            EnvTr.error().str() + "\n",
+                        Source);
+      return R;
+    }
+    Echo.finish(At);
+    if (!EnvTr.divergence().empty()) {
+      R.Error = failure(Name, "replay diverges from the recorded outputs",
+                        EnvTr.divergence() + "\n", Source);
+      return R;
+    }
+    if (formatEvents(EnvTr.outputs()) != formatEvents(EnvVm.outputs())) {
+      R.Error = failure(Name, "replayed events diverge from the live run",
+                        compareTraces("step-vm", EnvVm.outputs(), "replay",
+                                      EnvTr.outputs())
+                            .Report,
+                        Source);
+      return R;
+    }
+    if (ExecTr.guardTests() != R.GuardTestsVm ||
+        ExecTr.executed() != R.ExecutedVm) {
+      R.Error = failure(
+          Name, "replay counters diverge from the live run",
+          "vm:     guards=" + std::to_string(R.GuardTestsVm) +
+              " executed=" + std::to_string(R.ExecutedVm) +
+              "\nreplay: guards=" + std::to_string(ExecTr.guardTests()) +
+              " executed=" + std::to_string(ExecTr.executed()) + "\n",
+          Source);
+      return R;
+    }
+    if (EchoSink.bytes() != Sink.bytes()) {
+      R.Error = failure(Name,
+                        "re-recorded replay is not byte-identical to the "
+                        "original trace",
+                        "original " + std::to_string(Sink.bytes().size()) +
+                            " bytes, re-recorded " +
+                            std::to_string(EchoSink.bytes().size()) +
+                            " bytes\n",
+                        Source);
+      return R;
+    }
   }
 
   // Path 4c: the fleet executor — FleetInstances instances of the same

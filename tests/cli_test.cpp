@@ -15,6 +15,7 @@
 #include <string>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 namespace {
 
@@ -167,4 +168,117 @@ TEST(Cli, UnknownOptionExitsTwo) {
   EXPECT_NE(R.Output.find("unknown option '--no-such-flag'"),
             std::string::npos)
       << R.Output;
+}
+
+TEST(Cli, UnknownOptionSuggestsTheNearestFlag) {
+  // A one-character typo of a known flag earns a suggestion.
+  CliResult R = runSignalc("--builtin FIG5_ALARM --simulte 4");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("unknown option '--simulte'"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("did you mean '--simulate'?"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, UnknownOptionFarFromEverythingGetsNoSuggestion) {
+  // Nothing plausibly close: the diagnostic must not guess.
+  CliResult R = runSignalc("--builtin FIG5_ALARM --zzqxj");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("unknown option '--zzqxj'"), std::string::npos)
+      << R.Output;
+  EXPECT_EQ(R.Output.find("did you mean"), std::string::npos) << R.Output;
+}
+
+//===----------------------------------------------------------------------===//
+// Record / replay round trips through the binary trace format.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A per-test temp path under gtest's temp dir.
+std::string tempTracePath(const char *Tag) {
+  return ::testing::TempDir() + "sigc_cli_" + Tag + "_" +
+         std::to_string(::getpid()) + ".sgtr";
+}
+
+} // namespace
+
+TEST(Cli, RecordThenReplayRoundTripsFromTheCli) {
+  std::string Path = tempTracePath("roundtrip");
+  CliResult Rec = runSignalc(
+      "--builtin FIG5_ALARM --simulate 50 --seed 7 --record " + Path);
+  ASSERT_EQ(Rec.Exit, 0) << Rec.Output;
+  EXPECT_NE(Rec.Output.find("recorded 50 instant(s) to"), std::string::npos)
+      << Rec.Output;
+
+  // Replay through both sources: the mmap fast path and the buffered
+  // read(2) path must agree.
+  CliResult Mmap =
+      runSignalc("--builtin FIG5_ALARM --replay " + Path);
+  EXPECT_EQ(Mmap.Exit, 0) << Mmap.Output;
+  EXPECT_NE(Mmap.Output.find("replay (50 instants, mmap):"),
+            std::string::npos)
+      << Mmap.Output;
+  EXPECT_NE(Mmap.Output.find("match the trace"), std::string::npos)
+      << Mmap.Output;
+
+  CliResult Buf = runSignalc("--builtin FIG5_ALARM --replay " + Path +
+                             " --replay-buffered");
+  EXPECT_EQ(Buf.Exit, 0) << Buf.Output;
+  EXPECT_NE(Buf.Output.find("replay (50 instants, buffered):"),
+            std::string::npos)
+      << Buf.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(Cli, ReplayOfGarbageIsAPositionedExitTwo) {
+  std::string Path = tempTracePath("garbage");
+  FILE *F = fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  fputs("this is not a signal trace at all", F);
+  fclose(F);
+
+  CliResult R = runSignalc("--builtin FIG5_ALARM --replay " + Path);
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("offset 0"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("bad magic"), std::string::npos) << R.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(Cli, ReplayOfTruncatedRecordingIsAPositionedExitTwo) {
+  std::string Path = tempTracePath("truncated");
+  CliResult Rec = runSignalc(
+      "--builtin FIG5_ALARM --simulate 40 --seed 3 --record " + Path);
+  ASSERT_EQ(Rec.Exit, 0) << Rec.Output;
+
+  // Chop the file mid-stream: the replay must diagnose the truncation
+  // with a byte offset, not read past the end or pass silently.
+  FILE *F = fopen(Path.c_str(), "rb+");
+  ASSERT_NE(F, nullptr);
+  fseek(F, 0, SEEK_END);
+  long Size = ftell(F);
+  ASSERT_GT(Size, 40);
+  fclose(F);
+  ASSERT_EQ(truncate(Path.c_str(), Size - 20), 0);
+
+  for (const char *Extra : {"", " --replay-buffered"}) {
+    CliResult R = runSignalc("--builtin FIG5_ALARM --replay " + Path + Extra);
+    EXPECT_EQ(R.Exit, 2) << R.Output;
+    EXPECT_NE(R.Output.find("offset"), std::string::npos) << R.Output;
+    EXPECT_NE(R.Output.find("stream ends inside"), std::string::npos)
+        << R.Output;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(Cli, ReplayAgainstTheWrongProcessIsAnInterfaceMismatch) {
+  std::string Path = tempTracePath("mismatch");
+  CliResult Rec = runSignalc(
+      "--builtin FIG5_ALARM --simulate 20 --seed 5 --record " + Path);
+  ASSERT_EQ(Rec.Exit, 0) << Rec.Output;
+
+  CliResult R = runSignalc("--builtin WATCH --replay " + Path);
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("does not match"), std::string::npos) << R.Output;
+  std::remove(Path.c_str());
 }

@@ -1,0 +1,388 @@
+//===--- serve_test.cpp - signalc --serve session front end ---------------===//
+///
+/// End-to-end tests of the trace-stream server: a bounded `signalc
+/// --serve` subprocess on a Unix domain socket, driven by real clients.
+///
+///   * two concurrent sessions receive correct, independent outputs-only
+///     response streams, and the per-session counters the server prints
+///     equal the scalar VM run on the same stimulus,
+///   * a client disconnecting mid-frame tears its session down as
+///     "disconnected" while a full session on the same server completes
+///     cleanly,
+///   * a stimulus recorded against a different interface is rejected as
+///     an interface mismatch, not executed.
+///
+/// Requests are built in-process with TraceWriter against the same
+/// compiled interface the server loads (--builtin FIG5_ALARM).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "interp/VmExecutor.h"
+#include "io/TraceEnvironment.h"
+#include "io/TraceReader.h"
+#include "io/TraceWriter.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+using namespace sigc;
+using namespace sigc::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Server subprocess management
+//===----------------------------------------------------------------------===//
+
+struct ScopedServer {
+  pid_t Pid = -1;
+  std::string Sock, LogPath;
+
+  /// Spawns `signalc --builtin FIG5_ALARM --serve` with stderr captured
+  /// to a log file.
+  void spawn(unsigned MaxSessions, unsigned Limit) {
+    static int Counter = 0;
+    std::string Base = ::testing::TempDir() + "sigc_serve_" +
+                       std::to_string(::getpid()) + "_" +
+                       std::to_string(Counter++);
+    Sock = Base + ".sock";
+    LogPath = Base + ".log";
+    ::unlink(Sock.c_str());
+    std::string MS = std::to_string(MaxSessions);
+    std::string SL = std::to_string(Limit);
+    Pid = ::fork();
+    ASSERT_NE(Pid, -1);
+    if (Pid == 0) {
+      int Log = ::open(LogPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (Log >= 0) {
+        ::dup2(Log, 1);
+        ::dup2(Log, 2);
+        ::close(Log);
+      }
+      ::execl(SIGNALC_BIN, SIGNALC_BIN, "--builtin", "FIG5_ALARM", "--serve",
+              Sock.c_str(), "--max-sessions", MS.c_str(), "--serve-limit",
+              SL.c_str(), static_cast<char *>(nullptr));
+      _exit(127);
+    }
+  }
+
+  /// Waits for the bounded server to exit and returns its exit code.
+  int wait() {
+    int St = 0;
+    ::waitpid(Pid, &St, 0);
+    Pid = -1;
+    return WIFEXITED(St) ? WEXITSTATUS(St) : -1;
+  }
+
+  std::string log() const {
+    std::ifstream In(LogPath);
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    return SS.str();
+  }
+
+  ~ScopedServer() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, nullptr, 0);
+    }
+    if (!Sock.empty())
+      ::unlink(Sock.c_str());
+    if (!LogPath.empty())
+      ::unlink(LogPath.c_str());
+  }
+};
+
+/// Connects to \p Sock, retrying while the server is still starting.
+int connectClient(const std::string &Sock) {
+  for (int Try = 0; Try < 1000; ++Try) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Sock.c_str(), sizeof(Addr.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0) {
+      // A stuck server must fail the test, not hang it.
+      timeval TV{30, 0};
+      ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+      return Fd;
+    }
+    ::close(Fd);
+    ::usleep(10 * 1000);
+  }
+  return -1;
+}
+
+bool sendAll(int Fd, const uint8_t *Data, size_t Len) {
+  size_t At = 0;
+  while (At < Len) {
+    ssize_t N = ::send(Fd, Data + At, Len - At, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    At += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads until the server closes the connection.
+std::vector<uint8_t> recvAll(int Fd) {
+  std::vector<uint8_t> Out;
+  uint8_t Buf[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof Buf, 0);
+    if (N > 0) {
+      Out.insert(Out.end(), Buf, Buf + N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    break; // EOF, timeout, or reset after teardown: caller validates.
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Stimulus construction and response decoding
+//===----------------------------------------------------------------------===//
+
+struct Stimulus {
+  std::vector<uint8_t> Bytes;
+  std::vector<OutputEvent> Events; ///< The live run's outputs.
+  uint64_t GuardTests = 0, Executed = 0;
+};
+
+/// Records \p Instants instants of \p C under seed \p Seed into a
+/// request trace (frame capacity 8), remembering the live outputs and
+/// the scalar VM counters the server must reproduce lane-for-lane.
+Stimulus recordStimulus(const Compilation &C, unsigned Instants,
+                        uint64_t Seed) {
+  Stimulus St;
+  MemorySink Sink;
+  TraceWriter W(Sink, TraceSpec::fromStep(C.Compiled, "ALARM", 8));
+  RandomEnvironment Rnd(Seed);
+  RecordingEnvironment Rec(Rnd, W);
+  VmExecutor Vm(C.Compiled);
+  Vm.runBatched(Rec, Instants, 8);
+  EXPECT_TRUE(W.finish(Instants));
+  St.Bytes = Sink.takeBytes();
+  St.Events = Rnd.outputs();
+  St.GuardTests = Vm.guardTests();
+  St.Executed = Vm.executed();
+  return St;
+}
+
+/// Decodes an outputs-only response stream into output events.
+std::vector<OutputEvent> parseResponse(const std::vector<uint8_t> &Bytes) {
+  std::vector<OutputEvent> Events;
+  MemoryTraceSource Src(Bytes);
+  TraceReader Reader(Src);
+  EXPECT_TRUE(Reader.readHeader()) << Reader.error().str();
+  if (!Reader.error().ok())
+    return Events;
+  const TraceSpec &Spec = Reader.spec();
+  EXPECT_TRUE(Spec.Clocks.empty()) << "response must be outputs-only";
+  EXPECT_TRUE(Spec.Inputs.empty()) << "response must be outputs-only";
+  TraceFrame F;
+  for (;;) {
+    TraceFrameStatus StFr = Reader.nextFrame(F);
+    if (StFr == TraceFrameStatus::End)
+      break;
+    EXPECT_EQ(static_cast<int>(StFr),
+              static_cast<int>(TraceFrameStatus::Frame))
+        << Reader.error().str();
+    if (StFr != TraceFrameStatus::Frame)
+      break;
+    for (unsigned I = 0; I < F.Count; ++I)
+      for (size_t O = 0; O < Spec.Outputs.size(); ++O)
+        if (F.OutPresent[O * F.Cap + I])
+          Events.push_back({F.Start + I, Spec.Outputs[O].Name,
+                            F.OutVals[O * F.Cap + I]});
+  }
+  return Events;
+}
+
+/// Canonical order for comparing event lists that may interleave
+/// same-instant outputs differently (emission order vs descriptor order).
+std::vector<OutputEvent> sorted(std::vector<OutputEvent> E) {
+  std::sort(E.begin(), E.end(), [](const OutputEvent &A,
+                                   const OutputEvent &B) {
+    return std::make_tuple(A.Instant, A.Signal, A.Val.str()) <
+           std::make_tuple(B.Instant, B.Signal, B.Val.str());
+  });
+  return E;
+}
+
+struct SessionStats {
+  unsigned Instants = 0;
+  unsigned long long Outputs = 0, GuardTests = 0, Executed = 0;
+  std::string How;
+};
+
+/// Parses every per-session teardown line out of the server's log.
+std::vector<SessionStats> parseSessionLines(const std::string &Log) {
+  std::vector<SessionStats> Out;
+  std::istringstream In(Log);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    SessionStats S;
+    unsigned Id = 0;
+    if (std::sscanf(Line.c_str(),
+                    "session %u: instants=%u outputs=%llu guard_tests=%llu "
+                    "executed=%llu",
+                    &Id, &S.Instants, &S.Outputs, &S.GuardTests,
+                    &S.Executed) != 5)
+      continue;
+    size_t L = Line.rfind('('), R = Line.rfind(')');
+    if (L != std::string::npos && R != std::string::npos && R > L)
+      S.How = Line.substr(L + 1, R - L - 1);
+    Out.push_back(S);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Tests
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, TwoConcurrentSessionsGetIndependentCorrectResponses) {
+  auto C = compileOk(alarmFigure5Source());
+  // 320 instants at the default 64-instant serve batch: each session
+  // needs several scheduler wakeups, so the two lanes genuinely
+  // interleave at different instants.
+  Stimulus A = recordStimulus(*C, 320, 21);
+  Stimulus B = recordStimulus(*C, 320, 22);
+  ASSERT_NE(A.Bytes, B.Bytes);
+
+  ScopedServer Server;
+  Server.spawn(/*MaxSessions=*/2, /*Limit=*/2);
+  ASSERT_GT(Server.Pid, 0);
+
+  std::vector<uint8_t> RespA, RespB;
+  std::thread TA([&] {
+    int Fd = connectClient(Server.Sock);
+    ASSERT_GE(Fd, 0);
+    ASSERT_TRUE(sendAll(Fd, A.Bytes.data(), A.Bytes.size()));
+    RespA = recvAll(Fd);
+    ::close(Fd);
+  });
+  std::thread TB([&] {
+    int Fd = connectClient(Server.Sock);
+    ASSERT_GE(Fd, 0);
+    ASSERT_TRUE(sendAll(Fd, B.Bytes.data(), B.Bytes.size()));
+    RespB = recvAll(Fd);
+    ::close(Fd);
+  });
+  TA.join();
+  TB.join();
+  EXPECT_EQ(Server.wait(), 0);
+
+  // Each client got exactly its own session's outputs.
+  EXPECT_EQ(sorted(parseResponse(RespA)), sorted(A.Events));
+  EXPECT_EQ(sorted(parseResponse(RespB)), sorted(B.Events));
+
+  // The per-session counters the server prints are the scalar VM's
+  // numbers for the same stimulus — lane execution is counter-faithful.
+  std::string Log = Server.log();
+  std::vector<SessionStats> Stats = parseSessionLines(Log);
+  ASSERT_EQ(Stats.size(), 2u) << Log;
+  unsigned long long Outputs = 0, Guards = 0, Executed = 0;
+  for (const SessionStats &S : Stats) {
+    EXPECT_EQ(S.How, "clean") << Log;
+    EXPECT_EQ(S.Instants, 320u) << Log;
+    Outputs += S.Outputs;
+    Guards += S.GuardTests;
+    Executed += S.Executed;
+  }
+  EXPECT_EQ(Outputs, A.Events.size() + B.Events.size()) << Log;
+  EXPECT_EQ(Guards, A.GuardTests + B.GuardTests) << Log;
+  EXPECT_EQ(Executed, A.Executed + B.Executed) << Log;
+  EXPECT_NE(Log.find("served 2 session(s)"), std::string::npos) << Log;
+}
+
+TEST(Serve, MidFrameDisconnectTearsDownWithoutDisturbingOthers) {
+  auto C = compileOk(alarmFigure5Source());
+  Stimulus Full = recordStimulus(*C, 160, 33);
+
+  // A prefix ending inside the first frame's payload.
+  TraceSpec Spec;
+  size_t HeaderLen = 0;
+  TraceError Err;
+  ASSERT_TRUE(parseTraceHeader(Full.Bytes.data(), Full.Bytes.size(), Spec,
+                               HeaderLen, Err))
+      << Err.str();
+  size_t CutLen = HeaderLen + TraceFrameHeaderBytes + 3;
+  ASSERT_LT(CutLen, Full.Bytes.size());
+
+  ScopedServer Server;
+  Server.spawn(/*MaxSessions=*/2, /*Limit=*/2);
+  ASSERT_GT(Server.Pid, 0);
+
+  // Session 1: header plus a partial frame, then a hard close.
+  int FdA = connectClient(Server.Sock);
+  ASSERT_GE(FdA, 0);
+  ASSERT_TRUE(sendAll(FdA, Full.Bytes.data(), CutLen));
+  ::close(FdA);
+
+  // Session 2: a complete trace on the same server must be unaffected.
+  int FdB = connectClient(Server.Sock);
+  ASSERT_GE(FdB, 0);
+  ASSERT_TRUE(sendAll(FdB, Full.Bytes.data(), Full.Bytes.size()));
+  std::vector<uint8_t> Resp = recvAll(FdB);
+  ::close(FdB);
+
+  EXPECT_EQ(Server.wait(), 0);
+  EXPECT_EQ(sorted(parseResponse(Resp)), sorted(Full.Events));
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("(disconnected)"), std::string::npos) << Log;
+  EXPECT_NE(Log.find("(clean)"), std::string::npos) << Log;
+  EXPECT_NE(Log.find("served 2 session(s)"), std::string::npos) << Log;
+}
+
+TEST(Serve, WrongInterfaceIsRejectedNotExecuted) {
+  // A stimulus recorded against a different process interface.
+  auto Other = compileOk(proc("? integer A; ! integer Y;", "   Y := A + 1"));
+  Stimulus Wrong = recordStimulus(*Other, 20, 5);
+
+  ScopedServer Server;
+  Server.spawn(/*MaxSessions=*/1, /*Limit=*/1);
+  ASSERT_GT(Server.Pid, 0);
+
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, Wrong.Bytes.data(), Wrong.Bytes.size()));
+  std::vector<uint8_t> Resp = recvAll(Fd);
+  ::close(Fd);
+
+  EXPECT_EQ(Server.wait(), 0);
+  EXPECT_TRUE(Resp.empty()) << "a rejected session must not stream outputs";
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("does not match the served process"), std::string::npos)
+      << Log;
+  EXPECT_NE(Log.find("(interface mismatch)"), std::string::npos) << Log;
+}

@@ -1,0 +1,439 @@
+//===--- trace_io_test.cpp - Trace format, writer, reader, replay ---------===//
+///
+/// Tests of the binary trace pipeline:
+///   * writer/reader round trips over every signal type, multi-frame
+///     traces with a partial last frame, and the empty (zero-instant)
+///     trace,
+///   * the framing invariant: the bytes a recording produces do not
+///     depend on the delivery batch size, and a verified replay echoed
+///     through a writer with the same frame capacity is byte-identical,
+///   * source equivalence: mmap-backed and buffered-read replay of the
+///     same file decode the same trace,
+///   * the corrupt-input regression suite: truncated header, bad magic,
+///     unsupported version, byteswapped endian mark, header-hash damage,
+///     interface mismatch, mid-frame EOF, oversized frame lengths and
+///     payload corruption must each produce a positioned diagnostic of
+///     the right kind — never UB, never a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "interp/VmExecutor.h"
+#include "io/TraceEnvironment.h"
+#include "io/TraceReader.h"
+#include "io/TraceWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+using namespace sigc;
+using namespace sigc::test;
+
+namespace {
+
+/// A process exercising every wire value encoding: integer, boolean and
+/// real inputs; sampled integer, boolean and real outputs.
+std::unique_ptr<Compilation> compileMixed() {
+  return compileOk(proc("? integer A; boolean C1; real R; "
+                        "! integer Y; boolean B; real S;",
+                        "   Y := (A + 1) when C1\n"
+                        "   | B := not C1\n"
+                        "   | S := R * 2.0"));
+}
+
+struct Recording {
+  std::vector<uint8_t> Bytes;
+  std::vector<OutputEvent> Events;
+};
+
+/// Records \p Instants instants of \p C under a seeded random environment
+/// into an in-memory trace. \p Batch 0 runs unbatched (per-instant
+/// queries only); otherwise the run is stepN-batched.
+Recording record(const Compilation &C, unsigned Instants, unsigned FrameCap,
+                 unsigned Batch, uint64_t Seed = 11) {
+  Recording R;
+  MemorySink Sink;
+  TraceWriter W(Sink, TraceSpec::fromStep(C.Compiled, "P", FrameCap));
+  RandomEnvironment Rnd(Seed);
+  RecordingEnvironment Rec(Rnd, W);
+  VmExecutor Vm(C.Compiled);
+  if (Batch == 0)
+    Vm.run(Rec, Instants);
+  else
+    Vm.runBatched(Rec, Instants, Batch);
+  EXPECT_TRUE(W.finish(Instants));
+  R.Bytes = Sink.takeBytes();
+  R.Events = Rnd.outputs();
+  return R;
+}
+
+/// Replays \p Bytes against \p C through the given source, verifying the
+/// recorded outputs, and returns the replayed events.
+std::vector<OutputEvent> replayVerified(const Compilation &C,
+                                        TraceSource &Src) {
+  TraceReader Reader(Src);
+  EXPECT_TRUE(Reader.readHeader()) << Reader.error().str();
+  EXPECT_TRUE(Reader.matchesStep(C.Compiled)) << Reader.error().str();
+  TraceEnvironment Env(Reader);
+  Env.setVerifyOutputs(true);
+  Env.setCollectOutputs(true);
+  VmExecutor Vm(C.Compiled);
+  unsigned At = 0;
+  for (;;) {
+    unsigned N = Env.prepare(At, Env.streamSpec().FrameInstants);
+    if (N == 0)
+      break;
+    Vm.stepN(Env, At, N);
+    At += N;
+  }
+  EXPECT_FALSE(Env.failed()) << Env.error().str();
+  EXPECT_TRUE(Env.atEnd());
+  EXPECT_EQ(Env.divergence(), "");
+  return Env.outputs();
+}
+
+/// Writes \p Bytes to a fresh temp file and returns its path.
+std::string writeTempTrace(const std::vector<uint8_t> &Bytes) {
+  std::string Path = ::testing::TempDir() + "sigc_trace_" +
+                     std::to_string(::getpid()) + "_" +
+                     std::to_string(::testing::UnitTest::GetInstance()
+                                        ->current_test_info()
+                                        ->line()) +
+                     ".sgtr";
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  EXPECT_NE(F, nullptr);
+  if (!Bytes.empty()) {
+    EXPECT_EQ(std::fwrite(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+  }
+  std::fclose(F);
+  return Path;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+TEST(TraceRoundTrip, AllValueTypesSurviveRecordAndReplay) {
+  auto C = compileMixed();
+  Recording R = record(*C, 40, 8, 8);
+  ASSERT_FALSE(R.Events.empty());
+
+  MemoryTraceSource Src(R.Bytes);
+  std::vector<OutputEvent> Replayed = replayVerified(*C, Src);
+  EXPECT_EQ(Replayed, R.Events);
+}
+
+TEST(TraceRoundTrip, PartialLastFrameAndTrailerAccounting) {
+  auto C = compileMixed();
+  // 21 instants at frame capacity 8: two full frames, one 5-instant
+  // partial, then the trailer.
+  Recording R = record(*C, 21, 8, 4);
+
+  MemoryTraceSource Src(R.Bytes);
+  TraceReader Reader(Src);
+  ASSERT_TRUE(Reader.readHeader()) << Reader.error().str();
+  EXPECT_EQ(Reader.spec().FrameInstants, 8u);
+
+  TraceFrame F;
+  std::vector<std::pair<unsigned, unsigned>> Seen;
+  for (;;) {
+    TraceFrameStatus St = Reader.nextFrame(F);
+    if (St == TraceFrameStatus::End)
+      break;
+    ASSERT_EQ(St, TraceFrameStatus::Frame) << Reader.error().str();
+    Seen.push_back({F.Start, F.Count});
+  }
+  std::vector<std::pair<unsigned, unsigned>> Expected = {
+      {0, 8}, {8, 8}, {16, 5}};
+  EXPECT_EQ(Seen, Expected);
+  EXPECT_EQ(Reader.totalInstants(), 21u);
+  EXPECT_EQ(Reader.offset(), R.Bytes.size()) << "trailer ends the stream";
+}
+
+TEST(TraceRoundTrip, ZeroInstantTraceIsHeaderPlusTrailer) {
+  auto C = compileMixed();
+  Recording R = record(*C, 0, 8, 0);
+  EXPECT_TRUE(R.Events.empty());
+
+  MemoryTraceSource Src(R.Bytes);
+  TraceReader Reader(Src);
+  ASSERT_TRUE(Reader.readHeader()) << Reader.error().str();
+  TraceFrame F;
+  EXPECT_EQ(Reader.nextFrame(F), TraceFrameStatus::End)
+      << Reader.error().str();
+  EXPECT_EQ(Reader.totalInstants(), 0u);
+}
+
+TEST(TraceRoundTrip, RecordedBytesAreIndependentOfBatchSize) {
+  // The writer owns the framing: batched runs delivering windows of 1, 5
+  // and 13 instants all fetch the stimulus densely and must produce
+  // identical bytes regardless of how the windows land on frame seams.
+  auto C = compileMixed();
+  Recording Batched1 = record(*C, 30, 8, 1);
+  Recording Batched5 = record(*C, 30, 8, 5);
+  Recording Batched13 = record(*C, 30, 8, 13);
+  EXPECT_EQ(Batched1.Events, Batched5.Events);
+  EXPECT_EQ(Batched1.Bytes, Batched5.Bytes)
+      << "recorded bytes must not depend on the execution batch size";
+  EXPECT_EQ(Batched1.Bytes, Batched13.Bytes);
+}
+
+TEST(TraceRoundTrip, UnbatchedRunStillReplaysCorrectly) {
+  // A run that never batches records via the per-instant overrides only
+  // (absent input instants stay at their defaults); the trace still
+  // verifies and replays to the same events.
+  auto C = compileMixed();
+  Recording R = record(*C, 30, 8, 0);
+  MemoryTraceSource Src(R.Bytes);
+  std::vector<OutputEvent> Replayed = replayVerified(*C, Src);
+  EXPECT_EQ(Replayed, R.Events);
+}
+
+TEST(TraceRoundTrip, VerifiedReplayEchoesByteIdenticalTrace) {
+  auto C = compileMixed();
+  Recording R = record(*C, 50, 8, 8);
+
+  MemoryTraceSource Src(R.Bytes);
+  TraceReader Reader(Src);
+  ASSERT_TRUE(Reader.readHeader()) << Reader.error().str();
+  ASSERT_TRUE(Reader.matchesStep(C->Compiled)) << Reader.error().str();
+
+  MemorySink EchoSink;
+  TraceWriter Echo(EchoSink, Reader.spec());
+  TraceEnvironment Env(Reader);
+  Env.setVerifyOutputs(true);
+  Env.setEcho(&Echo);
+  VmExecutor Vm(C->Compiled);
+  unsigned At = 0;
+  // A replay window coprime with the frame capacity: every frame seam is
+  // crossed mid-window at least once.
+  for (;;) {
+    unsigned N = Env.prepare(At, 7);
+    if (N == 0)
+      break;
+    Vm.stepN(Env, At, N);
+    At += N;
+  }
+  ASSERT_FALSE(Env.failed()) << Env.error().str();
+  EXPECT_EQ(Env.divergence(), "");
+  EXPECT_TRUE(Echo.finish(At));
+  EXPECT_EQ(EchoSink.bytes(), R.Bytes)
+      << "re-recorded replay must be byte-identical to the original";
+}
+
+TEST(TraceRoundTrip, MmapAndBufferedSourcesDecodeTheSameFile) {
+  auto C = compileMixed();
+  Recording R = record(*C, 33, 8, 8);
+  std::string Path = writeTempTrace(R.Bytes);
+
+  MmapTraceSource Mapped;
+  std::string Error;
+  ASSERT_TRUE(Mapped.open(Path, Error)) << Error;
+  std::vector<OutputEvent> ViaMmap = replayVerified(*C, Mapped);
+
+  // A deliberately tiny buffer forces the buffered source through its
+  // compaction and refill paths many times per trace.
+  int Fd = FdTraceSource::openFile(Path, Error);
+  ASSERT_GE(Fd, 0) << Error;
+  FdTraceSource Buffered(Fd, /*OwnsFd=*/true, /*BufSize=*/1);
+  std::vector<OutputEvent> ViaRead = replayVerified(*C, Buffered);
+
+  EXPECT_EQ(ViaMmap, R.Events);
+  EXPECT_EQ(ViaRead, R.Events);
+  ::unlink(Path.c_str());
+}
+
+TEST(TraceRoundTrip, MmapSourceRejectsNonRegularFiles) {
+  MmapTraceSource Src;
+  std::string Error;
+  EXPECT_FALSE(Src.open("/dev/null", Error));
+  EXPECT_NE(Error.find("not a regular file"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Corrupt-input regressions: every damaged stream is a positioned
+// diagnostic of the right kind.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Parses the header of \p Bytes (which must be valid) and returns its
+/// length, i.e. the offset of the first frame.
+size_t headerLen(const std::vector<uint8_t> &Bytes) {
+  TraceSpec Spec;
+  size_t Len = 0;
+  TraceError Err;
+  EXPECT_TRUE(parseTraceHeader(Bytes.data(), Bytes.size(), Spec, Len, Err))
+      << Err.str();
+  return Len;
+}
+
+/// Reads the header of \p Bytes and expects it to fail with \p Kind.
+TraceError expectHeaderError(const std::vector<uint8_t> &Bytes,
+                             TraceErrorKind Kind) {
+  MemoryTraceSource Src(Bytes);
+  TraceReader Reader(Src);
+  EXPECT_FALSE(Reader.readHeader());
+  EXPECT_EQ(static_cast<int>(Reader.error().Kind), static_cast<int>(Kind))
+      << Reader.error().str();
+  return Reader.error();
+}
+
+/// Reads the header (expecting success), then expects the first
+/// nextFrame walk to fail with \p Kind.
+TraceError expectFrameError(const std::vector<uint8_t> &Bytes,
+                            TraceErrorKind Kind) {
+  MemoryTraceSource Src(Bytes);
+  TraceReader Reader(Src);
+  EXPECT_TRUE(Reader.readHeader()) << Reader.error().str();
+  TraceFrame F;
+  TraceFrameStatus St;
+  while ((St = Reader.nextFrame(F)) == TraceFrameStatus::Frame)
+    ;
+  EXPECT_EQ(static_cast<int>(St), static_cast<int>(TraceFrameStatus::Error));
+  EXPECT_EQ(static_cast<int>(Reader.error().Kind), static_cast<int>(Kind))
+      << Reader.error().str();
+  return Reader.error();
+}
+
+} // namespace
+
+TEST(TraceCorruption, TruncatedHeaderIsAPositionedTruncation) {
+  auto C = compileMixed();
+  Recording R = record(*C, 16, 8, 8);
+  for (size_t Keep : {size_t(0), size_t(3), size_t(9), headerLen(R.Bytes) - 1}) {
+    std::vector<uint8_t> Cut(R.Bytes.begin(), R.Bytes.begin() + Keep);
+    TraceError E = expectHeaderError(Cut, TraceErrorKind::Truncated);
+    EXPECT_EQ(E.Offset, Keep) << "truncation points at the stream end";
+  }
+}
+
+TEST(TraceCorruption, BadMagicIsDiagnosedAtOffsetZero) {
+  auto C = compileMixed();
+  Recording R = record(*C, 8, 8, 8);
+  R.Bytes[0] ^= 0xFF;
+  TraceError E = expectHeaderError(R.Bytes, TraceErrorKind::BadMagic);
+  EXPECT_EQ(E.Offset, 0u);
+  EXPECT_NE(E.Message.find("SGTR"), std::string::npos) << E.Message;
+}
+
+TEST(TraceCorruption, UnsupportedVersionNamesBothVersions) {
+  auto C = compileMixed();
+  Recording R = record(*C, 8, 8, 8);
+  R.Bytes[4] = 0x63; // version 99
+  TraceError E = expectHeaderError(R.Bytes, TraceErrorKind::BadVersion);
+  EXPECT_EQ(E.Offset, 4u);
+  EXPECT_NE(E.Message.find("99"), std::string::npos) << E.Message;
+}
+
+TEST(TraceCorruption, ByteswappedEndianMarkIsDiagnosedNotGuessed) {
+  auto C = compileMixed();
+  Recording R = record(*C, 8, 8, 8);
+  std::swap(R.Bytes[6], R.Bytes[7]);
+  TraceError E = expectHeaderError(R.Bytes, TraceErrorKind::BadEndian);
+  EXPECT_EQ(E.Offset, 6u);
+  EXPECT_NE(E.Message.find("byteswapped"), std::string::npos) << E.Message;
+}
+
+TEST(TraceCorruption, DamagedHeaderBytesFailTheInterfaceHash) {
+  auto C = compileMixed();
+  Recording R = record(*C, 8, 8, 8);
+  // Flip one bit inside the process name region; the stored FNV-1a64 no
+  // longer matches.
+  R.Bytes[12] ^= 0x01;
+  TraceError E =
+      expectHeaderError(R.Bytes, TraceErrorKind::InterfaceMismatch);
+  EXPECT_NE(E.Message.find("hash"), std::string::npos) << E.Message;
+}
+
+TEST(TraceCorruption, InterfaceMismatchNamesTheFirstDifference) {
+  auto C = compileMixed();
+  Recording R = record(*C, 8, 8, 8);
+  auto Other = compileOk(proc("? integer A; ! integer Y;", "   Y := A + 1"));
+  MemoryTraceSource Src(R.Bytes);
+  TraceReader Reader(Src);
+  ASSERT_TRUE(Reader.readHeader()) << Reader.error().str();
+  EXPECT_FALSE(Reader.matchesStep(Other->Compiled));
+  EXPECT_EQ(static_cast<int>(Reader.error().Kind),
+            static_cast<int>(TraceErrorKind::InterfaceMismatch));
+  EXPECT_NE(Reader.error().Message.find("does not match"), std::string::npos)
+      << Reader.error().str();
+}
+
+TEST(TraceCorruption, MidFrameEofIsATruncationPastTheHeader) {
+  auto C = compileMixed();
+  Recording R = record(*C, 16, 8, 8);
+  size_t H = headerLen(R.Bytes);
+  // Cut inside the first frame: once mid-header, once mid-payload.
+  for (size_t Keep : {H + 7, H + TraceFrameHeaderBytes + 3}) {
+    std::vector<uint8_t> Cut(R.Bytes.begin(), R.Bytes.begin() + Keep);
+    TraceError E = expectFrameError(Cut, TraceErrorKind::Truncated);
+    EXPECT_EQ(E.Offset, Keep);
+    EXPECT_NE(E.Message.find("stream ends inside"), std::string::npos)
+        << E.Message;
+  }
+}
+
+TEST(TraceCorruption, MissingTrailerIsATruncationNotASilentEnd) {
+  auto C = compileMixed();
+  Recording R = record(*C, 16, 8, 8);
+  // Drop exactly the 16-byte trailer: every data frame is intact, but
+  // the stream must not pass as complete.
+  std::vector<uint8_t> Cut(R.Bytes.begin(), R.Bytes.end() - 16);
+  TraceError E = expectFrameError(Cut, TraceErrorKind::Truncated);
+  EXPECT_NE(E.Message.find("no trailer"), std::string::npos) << E.Message;
+}
+
+TEST(TraceCorruption, OversizedFrameLengthIsMalformedNotAnAllocation) {
+  auto C = compileMixed();
+  Recording R = record(*C, 16, 8, 8);
+  size_t H = headerLen(R.Bytes);
+  // Patch the first frame's payload length to ~2GB. The reader must
+  // reject it against the interface's maximum instead of trying to
+  // buffer it.
+  R.Bytes[H + 0] = 0xFF;
+  R.Bytes[H + 1] = 0xFF;
+  R.Bytes[H + 2] = 0xFF;
+  R.Bytes[H + 3] = 0x7F;
+  TraceError E = expectFrameError(R.Bytes, TraceErrorKind::Malformed);
+  EXPECT_EQ(E.Offset, H);
+  EXPECT_NE(E.Message.find("oversized frame"), std::string::npos)
+      << E.Message;
+}
+
+TEST(TraceCorruption, FlippedPayloadByteFailsTheChecksum) {
+  auto C = compileMixed();
+  Recording R = record(*C, 16, 8, 8);
+  size_t H = headerLen(R.Bytes);
+  R.Bytes[H + TraceFrameHeaderBytes] ^= 0x40;
+  TraceError E = expectFrameError(R.Bytes, TraceErrorKind::Corrupt);
+  EXPECT_EQ(E.Offset, H + TraceFrameHeaderBytes);
+  EXPECT_NE(E.Message.find("checksum"), std::string::npos) << E.Message;
+}
+
+TEST(TraceCorruption, OvercountedFrameInstantsAreMalformed) {
+  auto C = compileMixed();
+  Recording R = record(*C, 16, 8, 8);
+  size_t H = headerLen(R.Bytes);
+  // Claim 9 instants in a capacity-8 stream.
+  R.Bytes[H + 8] = 9;
+  TraceError E = expectFrameError(R.Bytes, TraceErrorKind::Malformed);
+  EXPECT_NE(E.Message.find("frame capacity"), std::string::npos)
+      << E.Message;
+}
+
+TEST(TraceCorruption, NonContiguousFrameStartIsMalformed) {
+  auto C = compileMixed();
+  Recording R = record(*C, 16, 8, 8);
+  size_t H = headerLen(R.Bytes);
+  // Shift the first frame's start instant: contiguity breaks (and the
+  // checksum stays valid, since only the header changed).
+  R.Bytes[H + 4] = 3;
+  TraceError E = expectFrameError(R.Bytes, TraceErrorKind::Malformed);
+  EXPECT_NE(E.Message.find("instant"), std::string::npos) << E.Message;
+}
