@@ -5,6 +5,7 @@
 #include "interp/FleetExecutor.h"
 #include "io/TraceEnvironment.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cerrno>
 #include <cstdio>
@@ -50,6 +51,7 @@ struct Session {
   std::vector<uint8_t> In;
   size_t InPos = 0;      ///< Consumed prefix of In.
   uint64_t InOffset = 0; ///< Stream offset of In[InPos] (diagnostics).
+  bool InEof = false;    ///< No more inbound bytes will ever arrive.
   bool HeaderDone = false;
   bool TrailerSeen = false;
   unsigned Total = 0; ///< Declared total instants (once TrailerSeen).
@@ -89,6 +91,20 @@ private:
   bool stepSession(Session &S);  ///< True when progress was made.
   void sendSession(Session &S);
   void teardown(Session &S, const char *How);
+  /// Inbound flow control: instants the resident frame window may run
+  /// ahead of execution. At least one client-chosen frame, so parsing
+  /// can always make progress.
+  unsigned maxAheadInstants(const Session &S) const {
+    unsigned Ahead = std::max(Opts.MaxAheadBatches, 1u) * Opts.BatchInstants;
+    return std::max(Ahead, S.Env->streamSpec().FrameInstants);
+  }
+  /// True while the session's window is far enough ahead that reading
+  /// and parsing should pause (the kernel buffer backpressures the
+  /// client) until execution catches up.
+  bool windowFull(const Session &S) const {
+    return S.HeaderDone &&
+           S.Env->residentEnd() >= S.Executed + maxAheadInstants(S);
+  }
   Session *sessionAt(size_t Slot) { return Slots[Slot].get(); }
 
   const CompiledStep &CS;
@@ -142,7 +158,7 @@ void Server::acceptClients() {
 
 void Server::readSession(Session &S) {
   uint8_t Buf[1 << 16];
-  for (;;) {
+  while (!S.InEof) {
     ssize_t N = ::recv(S.Fd, Buf, sizeof(Buf), 0);
     if (N > 0) {
       S.In.insert(S.In.end(), Buf, Buf + N);
@@ -154,14 +170,11 @@ void Server::readSession(Session &S) {
       break;
     if (N < 0 && errno == EINTR)
       continue;
-    // EOF or a hard error. EOF after the trailer is the client closing
-    // its write side while we drain — only a pre-trailer EOF is a
-    // mid-stream disconnect.
-    if (!S.TrailerSeen) {
-      teardown(S, "disconnected");
-      return;
-    }
-    break;
+    // EOF or a hard error: nothing further will arrive, but bytes
+    // already buffered may still hold complete frames — even the
+    // trailer, when the client half-closes right after sending it.
+    // parseSession decides whether this was a mid-stream disconnect.
+    S.InEof = true;
   }
   if (!parseSession(S))
     return;
@@ -180,6 +193,12 @@ bool Server::parseSession(Session &S) {
     if (!parseTraceHeader(S.In.data() + S.InPos, S.In.size() - S.InPos, Spec,
                           HeaderLen, Err)) {
       if (Err.needMoreData()) {
+        if (S.InEof) {
+          // The stream ended inside the header: a real disconnect.
+          std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
+          teardown(S, "disconnected");
+          return false;
+        }
         if (S.In.size() - S.InPos > MaxHeaderBytes) {
           std::fprintf(stderr, "session %u: header exceeds %zu bytes\n", S.Id,
                        MaxHeaderBytes);
@@ -215,7 +234,11 @@ bool Server::parseSession(Session &S) {
     Exec.resetLanes(S.Lane, 1);
     Envs[S.Lane] = S.Env.get();
   }
-  while (!S.TrailerSeen) {
+  // Inbound flow control: stop decoding (leaving bytes buffered and, via
+  // the poll loop, unread in the kernel) once the resident window is far
+  // enough ahead of execution; the scheduler resumes parsing after each
+  // batch it executes.
+  while (!S.TrailerSeen && !windowFull(S)) {
     TraceFrame F = S.Env->takeRecycledFrame();
     size_t Consumed = 0;
     TraceError Err;
@@ -223,8 +246,15 @@ bool Server::parseSession(Session &S) {
         decodeTraceFrame(S.Env->streamSpec(), S.In.data() + S.InPos,
                          S.In.size() - S.InPos, S.InOffset, F, Consumed,
                          S.Total, Err);
-    if (St == TraceFrameStatus::NeedMore)
+    if (St == TraceFrameStatus::NeedMore) {
+      if (S.InEof) {
+        // The stream ended mid-frame with no trailer: a disconnect.
+        std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
+        teardown(S, "disconnected");
+        return false;
+      }
       return true;
+    }
     if (St == TraceFrameStatus::Error) {
       std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
       teardown(S, "protocol error");
@@ -352,7 +382,10 @@ int Server::run() {
       if (!S)
         continue;
       short Ev = 0;
-      if (!S->TrailerSeen)
+      // Inbound flow control: while the resident window is full (or the
+      // stream already ended), leave arriving bytes in the kernel buffer
+      // so the client blocks in send instead of growing our memory.
+      if (!S->TrailerSeen && !S->InEof && !windowFull(*S))
         Ev |= POLLIN;
       if (S->queuedBytes() > 0)
         Ev |= POLLOUT;
@@ -393,12 +426,17 @@ int Server::run() {
     for (size_t Scan = 0; Scan < NumSlots; ++Scan) {
       size_t L = (RR + Scan) % NumSlots;
       Session *S = sessionAt(L);
-      if (S && stepSession(*S)) {
-        // Push what the batch produced without waiting for POLLOUT.
-        S = sessionAt(L);
-        if (S && S->queuedBytes() > 0)
-          sendSession(*S);
-      }
+      if (!S || !stepSession(*S))
+        continue;
+      // Execution advanced: buffered inbound bytes that flow control
+      // paused may be parseable now (stepSession never tears down, so S
+      // is still live here; parseSession may).
+      if (!S->TrailerSeen && S->In.size() > S->InPos && !parseSession(*S))
+        continue;
+      // Push what the batch produced without waiting for POLLOUT.
+      S = sessionAt(L);
+      if (S && S->queuedBytes() > 0)
+        sendSession(*S);
     }
   }
 

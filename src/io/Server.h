@@ -17,11 +17,18 @@
 /// sessions at different instants coexist because lane ranges advance
 /// independently.
 ///
-/// Flow control is explicit: a session whose un-drained response bytes
-/// exceed the queue bound stops being stepped until the client reads
-/// (backpressure), runnable sessions are drained fair round-robin, and a
-/// client disconnecting mid-frame tears its session down cleanly —
-/// the lane returns to the free list, everyone else is untouched.
+/// Flow control is explicit in both directions: a session whose
+/// un-drained response bytes exceed the queue bound stops being stepped
+/// until the client reads (outbound backpressure), and a session whose
+/// resident inbound frame window runs more than a few batches ahead of
+/// execution stops being read and parsed until execution catches up —
+/// the kernel socket buffer then backpressures the client, so a fast
+/// sender cannot grow server memory without bound. Runnable sessions are
+/// drained fair round-robin, and a client disconnecting mid-frame tears
+/// its session down cleanly — the lane returns to the free list,
+/// everyone else is untouched. A client that half-closes after its
+/// trailer is normal: buffered bytes are parsed before an EOF is
+/// declared a disconnect.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +49,11 @@ struct ServeOptions {
   unsigned BatchInstants = 64;
   /// Un-drained response bytes above which a session is not stepped.
   size_t MaxQueuedBytes = 1 << 20;
+  /// Batches of instants the inbound resident frame window may run
+  /// ahead of execution before the session stops being read and parsed
+  /// (inbound flow control; at least one client frame is always
+  /// admitted so parsing can progress).
+  unsigned MaxAheadBatches = 4;
   /// Exit after this many sessions have ended (0 = serve forever) —
   /// lets tests and scripted drivers run a bounded server.
   unsigned SessionLimit = 0;

@@ -203,15 +203,45 @@ bool StreamEnvironment::clockTick(EnvClockId Clock, unsigned Instant) {
   unsigned S = ClockSpec[Clock];
   assert(S != NoSpec && "clock not in the trace interface");
   const TraceFrame &F = frameAt(Instant);
-  return F.ClockTicks[static_cast<size_t>(S) * F.Cap + (Instant - F.Start)] !=
-         0;
+  unsigned char T =
+      F.ClockTicks[static_cast<size_t>(S) * F.Cap + (Instant - F.Start)];
+  if (Echo && EchoStimulus)
+    Echo->putClockTicks(S, Instant, 1, &T);
+  return T != 0;
 }
 
 Value StreamEnvironment::inputValue(EnvInputId Input, unsigned Instant) {
   unsigned S = InSpec[Input];
   assert(S != NoSpec && "input not in the trace interface");
   const TraceFrame &F = frameAt(Instant);
-  return F.InputVals[static_cast<size_t>(S) * F.Cap + (Instant - F.Start)];
+  Value V = F.InputVals[static_cast<size_t>(S) * F.Cap + (Instant - F.Start)];
+  if (Echo && EchoStimulus)
+    Echo->putInputValues(S, Instant, 1, &V);
+  return V;
+}
+
+void StreamEnvironment::writeOutput(EnvOutputId Output, unsigned Instant,
+                                    const Value &V) {
+  if (CollectEvents)
+    Environment::writeOutput(Output, Instant, V);
+  ++OutputCount;
+  unsigned S = OutSpec[Output];
+  if (S == NoSpec)
+    return;
+  if (Echo)
+    Echo->putOutput(S, Instant, V);
+  if (VerifyOutputs && Divergence.empty()) {
+    const TraceFrame &F = frameAt(Instant);
+    size_t FAt = static_cast<size_t>(S) * F.Cap + (Instant - F.Start);
+    if (!F.OutPresent[FAt])
+      Divergence = "instant " + std::to_string(Instant) + ": output " +
+                   outputBindingName(Output) +
+                   " produced but absent in the trace";
+    else if (F.OutVals[FAt] != V)
+      Divergence = "instant " + std::to_string(Instant) + ": output " +
+                   outputBindingName(Output) + " = " + V.str() +
+                   ", trace recorded " + F.OutVals[FAt].str();
+  }
 }
 
 void StreamEnvironment::clockTicks(EnvClockId Clock, unsigned Start,
@@ -253,16 +283,18 @@ void StreamEnvironment::exchangeOutputs(unsigned Start, unsigned Count,
                                         const EnvOutputId *Ids,
                                         const unsigned char *Present,
                                         const Value *Vals) {
-  if (CollectEvents)
-    Environment::exchangeOutputs(Start, Count, NumOutputs, Ids, Present,
-                                 Vals);
   for (unsigned I = 0; I < Count; ++I) {
     for (unsigned C = 0; C < NumOutputs; ++C) {
       size_t At = static_cast<size_t>(I) * NumOutputs + C;
       unsigned S = OutSpec[Ids[C]];
       bool Produced = Present[At] != 0;
-      if (Produced)
+      if (Produced) {
         ++OutputCount;
+        // The base (non-virtual) overload: our own writeOutput override
+        // would echo/count this cell a second time.
+        if (CollectEvents)
+          Environment::writeOutput(Ids[C], Start + I, Vals[At]);
+      }
       if (S == NoSpec)
         continue;
       if (Produced && Echo)

@@ -125,6 +125,10 @@ public:
   /// When W's spec carries clocks/inputs they are echoed too (the
   /// byte-identity pin); an outputsOnly() spec echoes just outputs (the
   /// serve loop's response stream). Pass nullptr to stop echoing.
+  /// Scalar queries echo too (per-instant executors), but like an
+  /// unbatched recording the writer then buffers frames until finish()
+  /// and only the queried instants are mirrored — byte-identity holds
+  /// for the bulk execution path.
   void setEcho(TraceWriter *W);
   /// Compares produced outputs against the ones recorded in the trace;
   /// the first divergence is latched in divergence().
@@ -145,6 +149,8 @@ public:
 
   bool clockTick(EnvClockId Clock, unsigned Instant) override;
   Value inputValue(EnvInputId Input, unsigned Instant) override;
+  void writeOutput(EnvOutputId Output, unsigned Instant,
+                   const Value &V) override;
 
   void clockTicks(EnvClockId Clock, unsigned Start, unsigned Count,
                   unsigned char *Out) override;

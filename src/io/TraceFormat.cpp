@@ -244,6 +244,7 @@ void TraceFrame::shape(const TraceSpec &Spec) {
 
 std::vector<uint8_t> sigc::encodeTraceHeader(const TraceSpec &Spec) {
   std::vector<uint8_t> Out;
+  Out.reserve(64);
   Out.insert(Out.end(), TraceMagic, TraceMagic + 4);
   putU16(Out, TraceVersion);
   putU16(Out, TraceEndianMark);
@@ -510,6 +511,17 @@ TraceFrameStatus sigc::decodeTraceFrame(const TraceSpec &Spec,
            "frame carries " + std::to_string(Count) +
                " instants but the header's frame capacity is " +
                std::to_string(Spec.FrameInstants)};
+    return TraceFrameStatus::Error;
+  }
+  // Frames cover the fixed ranges [k*W, (k+1)*W): an unaligned start
+  // means the previous frame was partial mid-stream, which would break
+  // the constant-time frame indexing replay windows rely on.
+  if (Start % Spec.FrameInstants != 0) {
+    Err = {TraceErrorKind::Malformed, StreamOffset + 4,
+           "frame starts at instant " + std::to_string(Start) +
+               ", which is not a multiple of the frame capacity " +
+               std::to_string(Spec.FrameInstants) +
+               " (only the stream's final frame may be partial)"};
     return TraceFrameStatus::Error;
   }
   if (PayloadLen > Spec.maxFramePayloadBytes()) {

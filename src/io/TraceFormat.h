@@ -40,6 +40,12 @@
 ///       per output: ceil(count/8) presence bitmap, then values of the
 ///                   *present* instants only, packed by type
 ///
+///   Frames cover the fixed instant ranges [k*W, (k+1)*W): every frame
+///   starts at a multiple of W, so only the stream's final frame may
+///   carry fewer than W instants. Decoders reject unaligned frame starts
+///   — replay windows index resident frames in constant time by dividing
+///   the instant by W, which a mid-stream partial frame would break.
+///
 ///   trailer frame: payload 0, start = total instants, count 0 — marks a
 ///   clean end of stream; EOF anywhere else is a positioned diagnostic.
 ///
@@ -173,7 +179,9 @@ bool parseTraceHeader(const uint8_t *Data, size_t Len, TraceSpec &Spec,
                       size_t &HeaderLen, TraceError &Err);
 
 /// Encodes one frame (header + payload) of \p F under \p Spec, appending
-/// to \p Out. \p F.Count may be any value in [1, Spec.FrameInstants].
+/// to \p Out. \p F.Count may be any value in [1, Spec.FrameInstants], but
+/// \p F.Start must be a multiple of Spec.FrameInstants — decoders reject
+/// unaligned frames (only the final frame of a stream may be partial).
 void encodeTraceFrame(const TraceSpec &Spec, const TraceFrame &F,
                       std::vector<uint8_t> &Out);
 

@@ -55,8 +55,8 @@ struct ScopedServer {
   std::string Sock, LogPath;
 
   /// Spawns `signalc --builtin FIG5_ALARM --serve` with stderr captured
-  /// to a log file.
-  void spawn(unsigned MaxSessions, unsigned Limit) {
+  /// to a log file. \p Batch 0 keeps the server's default batch size.
+  void spawn(unsigned MaxSessions, unsigned Limit, unsigned Batch = 0) {
     static int Counter = 0;
     std::string Base = ::testing::TempDir() + "sigc_serve_" +
                        std::to_string(::getpid()) + "_" +
@@ -66,6 +66,7 @@ struct ScopedServer {
     ::unlink(Sock.c_str());
     std::string MS = std::to_string(MaxSessions);
     std::string SL = std::to_string(Limit);
+    std::string BA = std::to_string(Batch);
     Pid = ::fork();
     ASSERT_NE(Pid, -1);
     if (Pid == 0) {
@@ -75,9 +76,15 @@ struct ScopedServer {
         ::dup2(Log, 2);
         ::close(Log);
       }
-      ::execl(SIGNALC_BIN, SIGNALC_BIN, "--builtin", "FIG5_ALARM", "--serve",
-              Sock.c_str(), "--max-sessions", MS.c_str(), "--serve-limit",
-              SL.c_str(), static_cast<char *>(nullptr));
+      if (Batch)
+        ::execl(SIGNALC_BIN, SIGNALC_BIN, "--builtin", "FIG5_ALARM",
+                "--serve", Sock.c_str(), "--max-sessions", MS.c_str(),
+                "--serve-limit", SL.c_str(), "--batch", BA.c_str(),
+                static_cast<char *>(nullptr));
+      else
+        ::execl(SIGNALC_BIN, SIGNALC_BIN, "--builtin", "FIG5_ALARM",
+                "--serve", Sock.c_str(), "--max-sessions", MS.c_str(),
+                "--serve-limit", SL.c_str(), static_cast<char *>(nullptr));
       _exit(127);
     }
   }
@@ -361,6 +368,40 @@ TEST(Serve, MidFrameDisconnectTearsDownWithoutDisturbingOthers) {
   EXPECT_NE(Log.find("(disconnected)"), std::string::npos) << Log;
   EXPECT_NE(Log.find("(clean)"), std::string::npos) << Log;
   EXPECT_NE(Log.find("served 2 session(s)"), std::string::npos) << Log;
+}
+
+TEST(Serve, HalfClosedClientUnderInboundFlowControlCompletesCleanly) {
+  // The whole stimulus — trailer included — is sent and the write side
+  // shut down before the server executes anything. Two regressions in
+  // one: (1) an EOF with a complete session still buffered must not be
+  // torn down as a disconnect, and (2) a 1-instant batch caps the
+  // resident inbound window far below the 200-instant stream, so the
+  // server must repeatedly pause parsing (inbound flow control) and
+  // resume as execution catches up, instead of decoding everything
+  // up front.
+  auto C = compileOk(alarmFigure5Source());
+  Stimulus St = recordStimulus(*C, 200, 44);
+
+  ScopedServer Server;
+  Server.spawn(/*MaxSessions=*/1, /*Limit=*/1, /*Batch=*/1);
+  ASSERT_GT(Server.Pid, 0);
+
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, St.Bytes.data(), St.Bytes.size()));
+  ASSERT_EQ(::shutdown(Fd, SHUT_WR), 0);
+  std::vector<uint8_t> Resp = recvAll(Fd);
+  ::close(Fd);
+
+  EXPECT_EQ(Server.wait(), 0);
+  EXPECT_EQ(sorted(parseResponse(Resp)), sorted(St.Events));
+
+  std::string Log = Server.log();
+  std::vector<SessionStats> Stats = parseSessionLines(Log);
+  ASSERT_EQ(Stats.size(), 1u) << Log;
+  EXPECT_EQ(Stats[0].How, "clean") << Log;
+  EXPECT_EQ(Stats[0].Instants, 200u) << Log;
+  EXPECT_EQ(Stats[0].Outputs, St.Events.size()) << Log;
 }
 
 TEST(Serve, WrongInterfaceIsRejectedNotExecuted) {

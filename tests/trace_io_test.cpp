@@ -95,6 +95,17 @@ std::vector<OutputEvent> replayVerified(const Compilation &C,
   return Env.outputs();
 }
 
+/// Parses the header of \p Bytes (which must be valid) and returns its
+/// length, i.e. the offset of the first frame.
+size_t headerLen(const std::vector<uint8_t> &Bytes) {
+  TraceSpec Spec;
+  size_t Len = 0;
+  TraceError Err;
+  EXPECT_TRUE(parseTraceHeader(Bytes.data(), Bytes.size(), Spec, Len, Err))
+      << Err.str();
+  return Len;
+}
+
 /// Writes \p Bytes to a fresh temp file and returns its path.
 std::string writeTempTrace(const std::vector<uint8_t> &Bytes) {
   std::string Path = ::testing::TempDir() + "sigc_trace_" +
@@ -226,6 +237,38 @@ TEST(TraceRoundTrip, VerifiedReplayEchoesByteIdenticalTrace) {
       << "re-recorded replay must be byte-identical to the original";
 }
 
+TEST(TraceRoundTrip, PerInstantReplayEchoesAUsableStream) {
+  // A replay driven by the per-instant executor (scalar clockTick /
+  // inputValue / writeOutput, never the bulk exchange) must still mirror
+  // what it serves into the echo writer: replaying the echoed stream
+  // reproduces the original events. Regression for an echo that only
+  // hooked the bulk paths and emitted an empty stimulus stream.
+  auto C = compileMixed();
+  Recording R = record(*C, 24, 8, 8);
+
+  MemoryTraceSource Src(R.Bytes);
+  TraceReader Reader(Src);
+  ASSERT_TRUE(Reader.readHeader()) << Reader.error().str();
+  ASSERT_TRUE(Reader.matchesStep(C->Compiled)) << Reader.error().str();
+  MemorySink EchoSink;
+  TraceWriter Echo(EchoSink, Reader.spec());
+  TraceEnvironment Env(Reader);
+  Env.setVerifyOutputs(true);
+  Env.setEcho(&Echo);
+  ASSERT_EQ(Env.prepare(0, 24), 24u) << Env.error().str();
+  VmExecutor Vm(C->Compiled);
+  Vm.run(Env, 24); // Per-instant queries only.
+  EXPECT_EQ(Env.divergence(), "");
+  EXPECT_EQ(Env.outputCount(), R.Events.size());
+  ASSERT_TRUE(Echo.finish(24));
+  ASSERT_GT(EchoSink.bytes().size(), headerLen(EchoSink.bytes()))
+      << "echo must carry frames, not just a header";
+
+  MemoryTraceSource EchoSrc(EchoSink.bytes());
+  std::vector<OutputEvent> Replayed = replayVerified(*C, EchoSrc);
+  EXPECT_EQ(Replayed, R.Events);
+}
+
 TEST(TraceRoundTrip, MmapAndBufferedSourcesDecodeTheSameFile) {
   auto C = compileMixed();
   Recording R = record(*C, 33, 8, 8);
@@ -261,17 +304,6 @@ TEST(TraceRoundTrip, MmapSourceRejectsNonRegularFiles) {
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-/// Parses the header of \p Bytes (which must be valid) and returns its
-/// length, i.e. the offset of the first frame.
-size_t headerLen(const std::vector<uint8_t> &Bytes) {
-  TraceSpec Spec;
-  size_t Len = 0;
-  TraceError Err;
-  EXPECT_TRUE(parseTraceHeader(Bytes.data(), Bytes.size(), Spec, Len, Err))
-      << Err.str();
-  return Len;
-}
 
 /// Reads the header of \p Bytes and expects it to fail with \p Kind.
 TraceError expectHeaderError(const std::vector<uint8_t> &Bytes,
@@ -425,6 +457,32 @@ TEST(TraceCorruption, OvercountedFrameInstantsAreMalformed) {
   TraceError E = expectFrameError(R.Bytes, TraceErrorKind::Malformed);
   EXPECT_NE(E.Message.find("frame capacity"), std::string::npos)
       << E.Message;
+}
+
+TEST(TraceCorruption, MidStreamPartialFrameIsMalformedNotAHang) {
+  // Two self-consistent 5-instant frames in a capacity-8 stream: each
+  // decodes cleanly in isolation and they are contiguous, but a partial
+  // frame anywhere except the end of the stream would break the replay
+  // window's constant-time frame indexing (release builds would loop
+  // forever copying zero instants per round). The second frame's start
+  // is not a multiple of the capacity and must be rejected.
+  TraceSpec Spec;
+  Spec.ProcName = "P";
+  Spec.FrameInstants = 8;
+  Spec.Clocks.push_back("C");
+  std::vector<uint8_t> Bytes = encodeTraceHeader(Spec);
+  TraceFrame F;
+  F.shape(Spec);
+  F.Count = 5;
+  F.Start = 0;
+  encodeTraceFrame(Spec, F, Bytes);
+  F.Start = 5;
+  encodeTraceFrame(Spec, F, Bytes);
+  encodeTraceTrailer(10, Bytes);
+
+  TraceError E = expectFrameError(Bytes, TraceErrorKind::Malformed);
+  EXPECT_NE(E.Message.find("final frame"), std::string::npos) << E.Message;
+  EXPECT_NE(E.Message.find("instant 5"), std::string::npos) << E.Message;
 }
 
 TEST(TraceCorruption, NonContiguousFrameStartIsMalformed) {
