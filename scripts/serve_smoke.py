@@ -1,64 +1,156 @@
 #!/usr/bin/env python3
-"""Smoke-drive a running `signalc --serve` socket.
+"""Smoke-drive a `signalc --serve` socket.
 
-Connects N concurrent sessions, streams the same recorded stimulus
-trace into each, reads each response stream to EOF, and checks that
-every session got the same non-empty response bytes (same stimulus =>
-same outputs; the response carries no timestamps, so byte equality is
-the right check). CI runs this against `--serve-limit N` so the server
-exits on its own and its per-session teardown lines can be inspected.
+Default mode — `serve_smoke.py SOCKET TRACE [SESSIONS]` — connects N
+concurrent sessions to an already-running server, streams the same
+recorded stimulus trace into each, strips the 16-byte Hello control
+frame off every response, and checks that all sessions got the same
+non-empty response bytes (same stimulus => same outputs; the response
+carries no timestamps, so byte equality is the right check). CI runs
+this against `--serve-limit N` so the server exits on its own and its
+per-session teardown lines can be inspected.
 
-Usage: serve_smoke.py SOCKET TRACE [SESSIONS]
+Chaos mode — `serve_smoke.py --chaos SIGNALC TRACE [BUILTIN]` — spawns
+its own servers and walks the fault-tolerance surface end to end:
+
+  1. kill-and-resume: a session is killed at a frame boundary and
+     resumed on a new connection with Resume(token, hash, k); the
+     concatenated responses must be byte-identical to an uninterrupted
+     run;
+  2. stalled-idle: a session that stops sending trips the idle
+     deadline, is parked, and resumes byte-identically;
+  3. graceful drain: SIGTERM mid-stream finishes resident frames,
+     closes with an early trailer, and the server exits 0.
 """
 
 import os
+import signal
 import socket
+import struct
+import subprocess
 import sys
 import threading
 import time
 
+HELLO_BYTES = 16
+CTRL_MAGIC = b"SGCT"
+CTRL_HELLO = 1
+FRAME_HEADER_BYTES = 16
 
-def drive(sock_path, stimulus, responses, idx):
+
+def strip_hello(resp):
+    """Validates and removes the leading Hello; returns (token, rest)."""
+    if len(resp) < HELLO_BYTES or resp[:4] != CTRL_MAGIC:
+        sys.exit("serve_smoke: response does not start with a control frame")
+    if resp[4] != CTRL_HELLO:
+        sys.exit(f"serve_smoke: expected a hello frame, got type {resp[4]}")
+    (token,) = struct.unpack_from("<Q", resp, 8)
+    return token, resp[HELLO_BYTES:]
+
+
+def encode_resume(token, iface_hash, instant):
+    return CTRL_MAGIC + struct.pack("<BBHQQI", 3, 0, 20, token, iface_hash,
+                                    instant)
+
+
+def header_len(trace):
+    """Length of the trace header (offset of the first frame)."""
+    at = 10  # magic(4) version(2) endian(2) frame-capacity(2)
+    (n,) = struct.unpack_from("<H", trace, at)
+    at += 2 + n  # process name
+    (clocks,) = struct.unpack_from("<H", trace, at)
+    at += 2
+    for _ in range(clocks):
+        (n,) = struct.unpack_from("<H", trace, at)
+        at += 2 + n
+    for _ in range(2):  # inputs, then outputs: type byte + name each
+        (sigs,) = struct.unpack_from("<H", trace, at)
+        at += 2
+        for _ in range(sigs):
+            (n,) = struct.unpack_from("<H", trace, at + 1)
+            at += 3 + n
+    return at + 8  # interface hash
+
+
+def spec_hash(trace):
+    """The interface hash: the header's trailing u64."""
+    (h,) = struct.unpack_from("<Q", trace, header_len(trace) - 8)
+    return h
+
+
+def prefix_len_through(stream, k):
+    """Byte length of header plus every frame covering instants < k."""
+    at = header_len(stream)
+    while at + FRAME_HEADER_BYTES <= len(stream):
+        payload, start, count = struct.unpack_from("<IIH", stream, at)
+        if count == 0 or start + count > k:  # trailer or past the cut
+            break
+        at += FRAME_HEADER_BYTES + payload
+    return at
+
+
+def connect(sock_path, timeout=60):
     s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    s.settimeout(60)
+    s.settimeout(timeout)
     # The socket file appears on bind, fractionally before listen().
     for _ in range(100):
         try:
             s.connect(sock_path)
-            break
-        except ConnectionRefusedError:
+            return s
+        except (ConnectionRefusedError, FileNotFoundError):
             time.sleep(0.05)
-    s.sendall(stimulus)
-    # Keep our write side open until the server closes: the server
-    # treats EOF before the stimulus trailer as a disconnect.
+    sys.exit(f"serve_smoke: cannot connect to {sock_path}")
+
+
+def recv_all(s):
     chunks = []
     while True:
         b = s.recv(65536)
         if not b:
-            break
+            return b"".join(chunks)
         chunks.append(b)
+
+
+def recv_exactly(s, n):
+    got = b""
+    while len(got) < n:
+        b = s.recv(n - len(got))
+        if not b:
+            sys.exit(f"serve_smoke: EOF after {len(got)}/{n} bytes")
+        got += b
+    return got
+
+
+def wait_for_socket(sock_path):
+    for _ in range(600):
+        if os.path.exists(sock_path):
+            return
+        time.sleep(0.05)
+    sys.exit(f"serve_smoke: {sock_path}: server never came up")
+
+
+#===----------------------------------------------------------------------===//
+# Default mode: concurrent identical sessions against a running server
+#===----------------------------------------------------------------------===//
+
+
+def drive(sock_path, stimulus, responses, idx):
+    s = connect(sock_path)
+    s.sendall(stimulus)
+    # Keep our write side open until the server closes: the server
+    # treats EOF before the stimulus trailer as a disconnect.
+    _token, resp = strip_hello(recv_all(s))
     s.close()
-    responses[idx] = b"".join(chunks)
+    responses[idx] = resp
 
 
-def main():
-    if len(sys.argv) < 3:
-        sys.exit(__doc__.strip())
-    sock_path, trace_path = sys.argv[1], sys.argv[2]
-    sessions = int(sys.argv[3]) if len(sys.argv) > 3 else 2
-
+def smoke(sock_path, trace_path, sessions):
     with open(trace_path, "rb") as f:
         stimulus = f.read()
 
-    # The server is started in the background; wait for the socket file.
     # No probe connection: with --serve-limit every accepted connection
     # counts as a session, so a probe would eat a slot.
-    for _ in range(600):
-        if os.path.exists(sock_path):
-            break
-        time.sleep(0.05)
-    else:
-        sys.exit(f"serve_smoke: {sock_path}: server never came up")
+    wait_for_socket(sock_path)
 
     responses = [b""] * sessions
     threads = [
@@ -82,6 +174,163 @@ def main():
         f"serve_smoke: {sessions} session(s), "
         f"{len(responses[0])} response byte(s) each, all identical"
     )
+
+
+#===----------------------------------------------------------------------===//
+# Chaos mode: kill-and-resume, stalled-idle, SIGTERM drain
+#===----------------------------------------------------------------------===//
+
+
+class Server:
+    """One scripted `signalc --serve` child with a captured log."""
+
+    def __init__(self, binary, builtin, sock, extra):
+        self.sock = sock
+        self.log_path = sock + ".log"
+        self.log_file = open(self.log_path, "wb")
+        self.proc = subprocess.Popen(
+            [binary, "--builtin", builtin, "--serve", sock] + extra,
+            stderr=self.log_file,
+        )
+        wait_for_socket(sock)
+
+    def log(self):
+        with open(self.log_path, "rb") as f:
+            return f.read().decode(errors="replace")
+
+    def wait_log(self, needle, tries=600):
+        for _ in range(tries):
+            if needle in self.log():
+                return
+            time.sleep(0.01)
+        sys.exit(f"serve_smoke: server log never contained {needle!r}:\n"
+                 + self.log())
+
+    def finish(self, expect_exit=0):
+        code = self.proc.wait(timeout=60)
+        self.log_file.close()
+        if code != expect_exit:
+            sys.exit(f"serve_smoke: server exited {code}, expected "
+                     f"{expect_exit}:\n" + self.log())
+        log = self.log()
+        os.unlink(self.log_path)
+        return log
+
+
+def full_response(binary, builtin, sock, stimulus):
+    """The uninterrupted single-session response (hello stripped)."""
+    srv = Server(binary, builtin, sock, ["--serve-limit", "1"])
+    c = connect(sock)
+    c.sendall(stimulus)
+    _token, resp = strip_hello(recv_all(c))
+    c.close()
+    srv.finish()
+    return resp
+
+
+def chaos_resume(binary, builtin, sock, stimulus, reference, k, stall):
+    """Kill (or stall) a session at frame boundary k, then resume it."""
+    how = "stall" if stall else "kill"
+    extra = ["--max-sessions", "1", "--resume", "2", "--serve-limit", "2"]
+    if stall:
+        extra += ["--idle-timeout", "150"]
+    srv = Server(binary, builtin, sock, extra)
+
+    stim_cut = prefix_len_through(stimulus, k)
+    resp_cut = prefix_len_through(reference, k)
+
+    c1 = connect(sock)
+    c1.sendall(stimulus[:stim_cut])
+    # Reading the response through instant k proves the server executed
+    # exactly that far before the interruption.
+    token, part1 = strip_hello(recv_exactly(c1, HELLO_BYTES + resp_cut))
+    if not stall:
+        c1.close()
+    srv.wait_log(f"parked at instant {k}")
+
+    c2 = connect(sock)
+    c2.sendall(encode_resume(token, spec_hash(stimulus), k))
+    c2.sendall(stimulus[:header_len(stimulus)])
+    c2.sendall(stimulus[stim_cut:])
+    _token2, part2 = strip_hello(recv_all(c2))
+    c2.close()
+    if stall:
+        c1.close()
+
+    if part1 + part2 != reference:
+        sys.exit(f"serve_smoke: {how}-and-resume response diverges "
+                 f"({len(part1)}+{len(part2)} vs {len(reference)} bytes)")
+    log = srv.finish()
+    if f"resuming session 0 at instant {k}" not in log:
+        sys.exit("serve_smoke: no resume line in:\n" + log)
+    print(f"serve_smoke: {how}-and-resume at instant {k} is byte-identical "
+          f"({len(reference)} bytes)")
+
+
+def chaos_drain(binary, builtin, sock, stimulus, k):
+    """SIGTERM mid-stream: resident frames finish, exit is 0."""
+    srv = Server(binary, builtin, sock, ["--serve-limit", "2"])
+    stim_cut = prefix_len_through(stimulus, k)
+    c = connect(sock)
+    c.sendall(stimulus[:stim_cut])
+    recv_exactly(c, HELLO_BYTES)  # admitted
+    time.sleep(0.1)  # let the sent frames land before the signal
+    srv.proc.send_signal(signal.SIGTERM)
+    srv.wait_log("draining:")
+    _token, resp = strip_hello_maybe(recv_all(c), already=True)
+    c.close()
+    log = srv.finish()
+    if "(drained)" not in log:
+        sys.exit("serve_smoke: no drained teardown in:\n" + log)
+    # The early-trailer response must be a whole stream: its trailer
+    # (count 0) declares however many instants actually executed.
+    if len(resp) < FRAME_HEADER_BYTES:
+        sys.exit("serve_smoke: drained response has no trailer")
+    payload, _start, count = struct.unpack_from("<IIH", resp,
+                                                len(resp) - FRAME_HEADER_BYTES)
+    if payload != 0 or count != 0:
+        sys.exit("serve_smoke: drained response does not end in a trailer")
+    print(f"serve_smoke: drain closed the stream with a trailer after "
+          f"{len(resp)} response byte(s), exit 0")
+
+
+def strip_hello_maybe(resp, already=False):
+    """After the Hello was consumed separately, pass bytes through."""
+    if already:
+        return None, resp
+    return strip_hello(resp)
+
+
+def chaos(binary, trace_path, builtin):
+    with open(trace_path, "rb") as f:
+        stimulus = f.read()
+    frame_w = struct.unpack_from("<H", stimulus, 8)[0]
+    tmp = f"/tmp/sigc_chaos_{os.getpid()}"
+
+    reference = full_response(binary, builtin, tmp + "_ref.sock", stimulus)
+    if not reference:
+        sys.exit("serve_smoke: reference response is empty")
+
+    k = frame_w  # The first frame boundary: one whole frame executed.
+    chaos_resume(binary, builtin, tmp + "_kill.sock", stimulus, reference, k,
+                 stall=False)
+    chaos_resume(binary, builtin, tmp + "_stall.sock", stimulus, reference, k,
+                 stall=True)
+    chaos_drain(binary, builtin, tmp + "_drain.sock", stimulus, k)
+    print("serve_smoke: chaos scenarios all passed")
+
+
+def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--chaos":
+        if len(sys.argv) < 4:
+            sys.exit(__doc__.strip())
+        chaos(sys.argv[2], sys.argv[3],
+              sys.argv[4] if len(sys.argv) > 4 else "FIG5_ALARM")
+        return
+    if len(sys.argv) < 3:
+        sys.exit(__doc__.strip())
+    smoke(sys.argv[1], sys.argv[2],
+          int(sys.argv[3]) if len(sys.argv) > 3 else 2)
 
 
 if __name__ == "__main__":

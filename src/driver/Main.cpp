@@ -40,6 +40,19 @@
 ///                      fleet lane
 ///   --max-sessions N   concurrent-session capacity for --serve
 ///   --serve-limit K    exit after K sessions have ended (bounded serve)
+///   --resume N         park up to N disconnected sessions for resume
+///                      (0, the default, disables session resume)
+///   --batch-budget N   global in-flight batch budget in instants; each
+///                      admitted session reserves its run-ahead window
+///                      against it, excess connections get a typed
+///                      at-capacity reject (0 = unlimited)
+///   --idle-timeout MS  tear down a session that sends no stimulus for
+///                      MS milliseconds while the server waits on it
+///   --write-timeout MS tear down a session whose client accepts no
+///                      response bytes for MS milliseconds
+///   --drain-grace MS   after SIGTERM/SIGINT, force exit if the drain
+///                      has not finished within MS milliseconds
+///   --sndbuf BYTES     SO_SNDBUF for accepted connections (ops knob)
 ///   --fleet N          run --simulate over a fleet of N instances of the
 ///                      process (SoA lane-block sweep; instance j draws
 ///                      from seed S + j)
@@ -63,6 +76,7 @@
 #include "link/Linker.h"
 #include "programs/Programs.h"
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -90,7 +104,10 @@ void printUsage() {
                "         --mode vm|nested|flat --stats\n"
                "         --record FILE --frame W --replay FILE "
                "--replay-buffered\n"
-               "         --serve SOCK --max-sessions N --serve-limit K\n");
+               "         --serve SOCK --max-sessions N --serve-limit K\n"
+               "         --resume N --batch-budget N --idle-timeout MS\n"
+               "         --write-timeout MS --drain-grace MS --sndbuf "
+               "BYTES\n");
 }
 
 void printStats(const std::string &Mode, unsigned Instants,
@@ -124,6 +141,11 @@ std::vector<std::string> splitCommas(const std::string &List) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // A closed pipe (a --record target or a --serve client that went away)
+  // must surface as a diagnosed write failure and an exit code, never as
+  // silent death by SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
   std::string File, Builtin, ProcessName, LinkList;
   std::string RecordFile, ReplayFile, ServeSock;
   bool DumpKernel = false, DumpClocks = false, DumpTree = false;
@@ -134,6 +156,9 @@ int main(int Argc, char **Argv) {
   unsigned Simulate = 0, Batch = 0, Fleet = 0, FleetThreads = 1;
   unsigned FrameInstants = TraceDefaultFrameInstants;
   unsigned MaxSessions = 4, ServeLimit = 0;
+  unsigned ResumeParked = 0, IdleTimeoutMs = 0, WriteTimeoutMs = 0;
+  unsigned DrainGraceMs = 0, SendBufBytes = 0;
+  uint64_t BatchBudget = 0;
   uint64_t Seed = 1;
   EngineMode Mode = EngineMode::Vm;
   std::string ModeName = "vm";
@@ -191,14 +216,17 @@ int main(int Argc, char **Argv) {
         ServeSock = V;
     } else if (Arg == "--simulate" || Arg == "--batch" || Arg == "--fleet" ||
                Arg == "--threads" || Arg == "--seed" || Arg == "--frame" ||
-               Arg == "--max-sessions" || Arg == "--serve-limit") {
+               Arg == "--max-sessions" || Arg == "--serve-limit" ||
+               Arg == "--resume" || Arg == "--batch-budget" ||
+               Arg == "--idle-timeout" || Arg == "--write-timeout" ||
+               Arg == "--drain-grace" || Arg == "--sndbuf") {
       // Checked numeric parse: a missing, malformed or out-of-range
       // operand is a diagnosed exit, never an uncaught std::stoul throw
       // and never a silently dropped flag.
-      bool IsSeed = Arg == "--seed";
+      bool IsU64 = Arg == "--seed" || Arg == "--batch-budget";
       uint64_t V = 0;
       std::string Diag;
-      if (!parseCliUnsigned(Arg, next(), IsSeed ? UINT64_MAX : UINT32_MAX, V,
+      if (!parseCliUnsigned(Arg, next(), IsU64 ? UINT64_MAX : UINT32_MAX, V,
                             Diag)) {
         std::fprintf(stderr, "signalc: %s\n", Diag.c_str());
         return 2;
@@ -209,8 +237,10 @@ int main(int Argc, char **Argv) {
                      static_cast<unsigned long long>(V), Arg.c_str());
         return 2;
       }
-      if (IsSeed)
+      if (Arg == "--seed")
         Seed = V;
+      else if (Arg == "--batch-budget")
+        BatchBudget = V;
       else if (Arg == "--simulate")
         Simulate = static_cast<unsigned>(V);
       else if (Arg == "--batch")
@@ -223,6 +253,16 @@ int main(int Argc, char **Argv) {
         MaxSessions = static_cast<unsigned>(V);
       else if (Arg == "--serve-limit")
         ServeLimit = static_cast<unsigned>(V);
+      else if (Arg == "--resume")
+        ResumeParked = static_cast<unsigned>(V);
+      else if (Arg == "--idle-timeout")
+        IdleTimeoutMs = static_cast<unsigned>(V);
+      else if (Arg == "--write-timeout")
+        WriteTimeoutMs = static_cast<unsigned>(V);
+      else if (Arg == "--drain-grace")
+        DrainGraceMs = static_cast<unsigned>(V);
+      else if (Arg == "--sndbuf")
+        SendBufBytes = static_cast<unsigned>(V);
       else
         FleetThreads = static_cast<unsigned>(V);
     } else if (Arg == "--mode") {
@@ -251,7 +291,8 @@ int main(int Argc, char **Argv) {
           "--with-driver", "--simulate", "--seed", "--batch", "--fleet",
           "--threads", "--mode", "--stats", "--record", "--frame",
           "--replay", "--replay-buffered", "--serve", "--max-sessions",
-          "--serve-limit", "--help"};
+          "--serve-limit", "--resume", "--batch-budget", "--idle-timeout",
+          "--write-timeout", "--drain-grace", "--sndbuf", "--help"};
       std::string Suggest = suggestNearestFlag(Arg, KnownFlags);
       std::string Hint =
           Suggest.empty() ? "" : "; did you mean '" + Suggest + "'?";
@@ -425,6 +466,12 @@ int main(int Argc, char **Argv) {
     if (Batch > 0)
       SO.BatchInstants = Batch;
     SO.SessionLimit = ServeLimit;
+    SO.MaxParkedSessions = ResumeParked;
+    SO.BatchBudgetInstants = BatchBudget;
+    SO.IdleTimeoutMs = IdleTimeoutMs;
+    SO.WriteTimeoutMs = WriteTimeoutMs;
+    SO.DrainGraceMs = DrainGraceMs;
+    SO.SendBufBytes = SendBufBytes;
     return runTraceServer(C->Compiled, ProcName, SO);
   }
 
@@ -510,8 +557,9 @@ int main(int Argc, char **Argv) {
     else
       Exec.run(Env, Simulate);
     if (!Writer.finish(Simulate)) {
-      std::fprintf(stderr, "signalc: write failed on '%s'\n",
-                   RecordFile.c_str());
+      // The sink latched the first failure with its byte position.
+      std::fprintf(stderr, "signalc: write failed on '%s' %s\n",
+                   RecordFile.c_str(), Sink.errorDetail().c_str());
       return 2;
     }
     std::fprintf(stderr, "recorded %u instant(s) to %s\n", Simulate,

@@ -105,6 +105,23 @@ void FleetExecutor::resetLanes(unsigned First, unsigned Num) {
                 Num, CS.StateInit[Slot]);
 }
 
+void FleetExecutor::saveLaneState(unsigned Inst, std::vector<Value> &Out) const {
+  assert(Inst < NumInstances && "instance out of range");
+  unsigned NumState = stateSlots();
+  Out.resize(NumState);
+  for (unsigned Slot = 0; Slot < NumState; ++Slot)
+    Out[Slot] = StateSoA[static_cast<size_t>(Slot) * NumInstances + Inst];
+}
+
+void FleetExecutor::restoreLaneState(unsigned Inst,
+                                     const std::vector<Value> &In) {
+  assert(Inst < NumInstances && "instance out of range");
+  assert(In.size() == stateSlots() &&
+         "checkpoint shape does not match the compiled step");
+  for (unsigned Slot = 0; Slot < In.size(); ++Slot)
+    StateSoA[static_cast<size_t>(Slot) * NumInstances + Inst] = In[Slot];
+}
+
 void FleetExecutor::ensureShardCapacity(Shard &S) {
   const unsigned NumValue = CS.NumValueSlots + CS.NumTempSlots;
   const size_t NumOut = CS.Outputs.size();

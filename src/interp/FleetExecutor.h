@@ -138,6 +138,25 @@ public:
     return StateSoA[static_cast<size_t>(Slot) * NumInstances + Instance];
   }
 
+  /// Delay-state slots per instance — the size of a lane checkpoint.
+  unsigned stateSlots() const {
+    return NumInstances ? static_cast<unsigned>(StateSoA.size() /
+                                                NumInstances)
+                        : 0;
+  }
+
+  /// Copies instance \p Inst's delay state into \p Out (resized to
+  /// stateSlots()). Values are plain structs, so a saved vector is a
+  /// complete, relocatable checkpoint of the lane: taken at a frame
+  /// boundary it captures everything the next reaction depends on
+  /// beyond the stimulus itself — the serve front end's session-resume
+  /// snapshot.
+  void saveLaneState(unsigned Inst, std::vector<Value> &Out) const;
+
+  /// Restores a checkpoint taken by saveLaneState onto instance \p Inst
+  /// (any instance of any executor compiled from the same step).
+  void restoreLaneState(unsigned Inst, const std::vector<Value> &In);
+
 private:
   /// Per-shard workspace: everything one worker thread touches while
   /// sweeping its instance range. Shards are constructed up front and

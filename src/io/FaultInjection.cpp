@@ -1,0 +1,96 @@
+//===--- FaultInjection.cpp -----------------------------------------------===//
+
+#include "io/FaultInjection.h"
+
+#include <algorithm>
+#include <cerrno>
+
+#include <unistd.h>
+
+using namespace sigc;
+
+IoSyscalls::~IoSyscalls() = default;
+
+ssize_t IoSyscalls::read(int Fd, void *Buf, size_t Len) {
+  return ::read(Fd, Buf, Len);
+}
+
+ssize_t IoSyscalls::write(int Fd, const void *Buf, size_t Len) {
+  return ::write(Fd, Buf, Len);
+}
+
+IoSyscalls &IoSyscalls::system() {
+  static IoSyscalls S;
+  return S;
+}
+
+FaultOp FaultSyscalls::nextOp(const std::vector<FaultOp> &Sched,
+                              const FaultOp &Tail, uint64_t Call) const {
+  return Call < Sched.size() ? Sched[Call] : Tail;
+}
+
+ssize_t FaultSyscalls::read(int Fd, void *Buf, size_t Len) {
+  FaultOp Op = nextOp(Plan.Reads, Plan.ReadTail, ReadCalls++);
+  switch (Op.K) {
+  case FaultOp::Eintr:
+    ++EintrReturns;
+    errno = EINTR;
+    return -1;
+  case FaultOp::Fail:
+    errno = Op.Errno;
+    return -1;
+  case FaultOp::Eof:
+    return 0;
+  case FaultOp::Short:
+    Len = std::min(Len, std::max<size_t>(Op.Max, 1));
+    break;
+  case FaultOp::Pass:
+    break;
+  }
+  if (Plan.TruncateReadAt != FaultNoByte) {
+    if (ReadPos >= Plan.TruncateReadAt)
+      return 0; // The scripted end of the stream.
+    Len = std::min<uint64_t>(Len, Plan.TruncateReadAt - ReadPos);
+  }
+  ssize_t N = IoSyscalls::read(Fd, Buf, Len);
+  if (N <= 0)
+    return N;
+  if (Plan.CorruptReadAt != FaultNoByte && Plan.CorruptReadAt >= ReadPos &&
+      Plan.CorruptReadAt < ReadPos + static_cast<uint64_t>(N))
+    static_cast<uint8_t *>(Buf)[Plan.CorruptReadAt - ReadPos] ^=
+        Plan.CorruptXor;
+  ReadPos += static_cast<uint64_t>(N);
+  return N;
+}
+
+ssize_t FaultSyscalls::write(int Fd, const void *Buf, size_t Len) {
+  FaultOp Op = nextOp(Plan.Writes, Plan.WriteTail, WriteCalls++);
+  switch (Op.K) {
+  case FaultOp::Eintr:
+    ++EintrReturns;
+    errno = EINTR;
+    return -1;
+  case FaultOp::Fail:
+    errno = Op.Errno;
+    return -1;
+  case FaultOp::Eof: // Meaningless for writes: treat as pass.
+  case FaultOp::Pass:
+    break;
+  case FaultOp::Short:
+    Len = std::min(Len, std::max<size_t>(Op.Max, 1));
+    break;
+  }
+  if (Plan.FailWriteAt != FaultNoByte) {
+    if (WritePos >= Plan.FailWriteAt) {
+      errno = Plan.FailWriteErrno;
+      return -1;
+    }
+    // Let the bytes below the fault point through, so the failure lands
+    // at exactly the scripted offset.
+    Len = std::min<uint64_t>(Len, Plan.FailWriteAt - WritePos);
+  }
+  ssize_t N = IoSyscalls::write(Fd, Buf, Len);
+  if (N > 0)
+    WritePos += static_cast<uint64_t>(N);
+  return N;
+}

@@ -8,9 +8,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include <fcntl.h>
@@ -28,9 +32,23 @@ namespace {
 /// in; before that, this is the only bound a hostile client sees.
 constexpr size_t MaxHeaderBytes = 16u << 20;
 
+/// Signals received (SIGTERM/SIGINT). The first starts a drain, the
+/// second forces exit; sigaction installs the handler without SA_RESTART
+/// so poll() wakes with EINTR the moment one arrives.
+volatile sig_atomic_t DrainSignals = 0;
+
+void drainSignalHandler(int) { ++DrainSignals; }
+
 bool setNonBlocking(int Fd) {
   int Flags = ::fcntl(Fd, F_GETFL, 0);
   return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+/// Monotonic milliseconds (deadline arithmetic).
+int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 /// Appends response bytes to the session's output queue.
@@ -42,25 +60,51 @@ struct QueueSink : TraceSink {
   }
 };
 
+/// A lane-state snapshot at a frame boundary.
+struct Checkpoint {
+  unsigned Instant = 0;
+  std::vector<Value> State;
+};
+
+/// What survives a disconnected session for a later resume.
+struct Parked {
+  uint64_t Token = 0;
+  unsigned Id = 0; ///< The original session id (diagnostics).
+  TraceSpec Spec;
+  std::deque<Checkpoint> Checkpoints;
+};
+
 struct Session {
   int Fd = -1;
   unsigned Id = 0;   ///< Monotone session number (diagnostics).
   unsigned Lane = 0; ///< Fleet instance this session owns.
+  uint64_t Token = 0;
 
   // Inbound stream.
   std::vector<uint8_t> In;
   size_t InPos = 0;      ///< Consumed prefix of In.
   uint64_t InOffset = 0; ///< Stream offset of In[InPos] (diagnostics).
   bool InEof = false;    ///< No more inbound bytes will ever arrive.
+  bool PreambleDone = false; ///< Resume-or-fresh decided.
   bool HeaderDone = false;
   bool TrailerSeen = false;
   unsigned Total = 0; ///< Declared total instants (once TrailerSeen).
 
+  /// Parked state this connection resumes (set while parsing the
+  /// preamble, consumed when the header arrives).
+  std::optional<Parked> Resume;
+
   // Execution.
   std::unique_ptr<StreamEnvironment> Env;
-  unsigned Executed = 0; ///< Instants stepped so far.
-  bool Finished = false; ///< Response trailer written.
+  unsigned StartInstant = 0; ///< 0, or the resume point.
+  unsigned Executed = 0;     ///< Absolute instant cursor.
+  bool Finished = false;     ///< Response trailer (or reject) written.
+  const char *FinKind = "clean"; ///< Teardown label once flushed.
   uint64_t GuardTests = 0, Instrs = 0;
+  std::deque<Checkpoint> Checkpoints;
+
+  // Deadlines (monotonic ms of the last inbound/outbound progress).
+  int64_t LastInMs = 0, LastOutMs = 0;
 
   // Outbound stream.
   QueueSink Sink;
@@ -86,11 +130,37 @@ public:
 
 private:
   void acceptClients();
+  void rejectConnection(int Fd, ServeRejectReason Reason,
+                        const std::string &Message);
   void readSession(Session &S);
   bool parseSession(Session &S); ///< False: session torn down.
+  bool parsePreamble(Session &S, bool &Progress); ///< False: torn down.
+  bool parseHeader(Session &S, bool &Progress);   ///< False: torn down.
+  void queueReject(Session &S, ServeRejectReason Reason,
+                   const std::string &Message, const char *Kind);
+  void pushCheckpoint(Session &S);
   bool stepSession(Session &S);  ///< True when progress was made.
   void sendSession(Session &S);
   void teardown(Session &S, const char *How);
+  void forceTeardownAll(const char *How);
+  void checkDeadlines(int64_t Now);
+  int pollTimeout(bool Runnable, int64_t Now) const;
+
+  bool resumeEnabled() const { return Opts.MaxParkedSessions > 0; }
+  /// The inbound run-ahead window one session reserves against the
+  /// global batch budget at admission.
+  uint64_t sessionReservation() const {
+    return static_cast<uint64_t>(std::max(Opts.MaxAheadBatches, 1u)) *
+           Opts.BatchInstants;
+  }
+  bool budgetExhausted() const {
+    if (!Opts.BatchBudgetInstants)
+      return false;
+    unsigned Active = 0;
+    for (const auto &Slot : Slots)
+      Active += Slot != nullptr;
+    return (Active + 1) * sessionReservation() > Opts.BatchBudgetInstants;
+  }
   /// Inbound flow control: instants the resident frame window may run
   /// ahead of execution. At least one client-chosen frame, so parsing
   /// can always make progress.
@@ -114,9 +184,15 @@ private:
   std::vector<Environment *> Envs;
   std::vector<std::unique_ptr<Session>> Slots; ///< Indexed by lane.
   std::vector<unsigned> FreeLanes;
+  std::deque<Parked> ParkedSessions; ///< Oldest first.
   int ListenFd = -1;
   unsigned NextId = 0;
+  uint64_t NextToken = 0;
   unsigned Ended = 0;
+  unsigned Rejected = 0, RejectedCapacity = 0, RejectedDraining = 0;
+  bool Draining = false;
+  int64_t DrainStartMs = 0;
+  std::vector<uint8_t> CtrlBuf; ///< Reused control-frame encode buffer.
   size_t RR = 0; ///< Round-robin scan start.
 };
 
@@ -125,11 +201,30 @@ void Server::teardown(Session &S, const char *How) {
   std::fprintf(stderr,
                "session %u: instants=%u outputs=%llu guard_tests=%llu "
                "executed=%llu (%s)\n",
-               S.Id, S.Executed,
+               S.Id, S.Executed - S.StartInstant,
                static_cast<unsigned long long>(S.Env ? S.Env->outputCount()
                                                      : 0),
                static_cast<unsigned long long>(S.GuardTests),
                static_cast<unsigned long long>(S.Instrs), How);
+  // A mid-stream loss of the client — not a protocol failure, and not a
+  // drain — parks the session so the client can come back. Everything
+  // resident was executed before we got here, so the newest checkpoint
+  // is the exact frontier the client saw (or will see) outputs for.
+  bool Recoverable = std::strcmp(How, "disconnected") == 0 ||
+                     std::strncmp(How, "stalled", 7) == 0;
+  if (resumeEnabled() && !Draining && Recoverable && S.HeaderDone &&
+      !S.Checkpoints.empty()) {
+    Parked P;
+    P.Token = S.Token;
+    P.Id = S.Id;
+    P.Spec = S.Env->streamSpec();
+    P.Checkpoints = std::move(S.Checkpoints);
+    while (ParkedSessions.size() >= Opts.MaxParkedSessions)
+      ParkedSessions.pop_front();
+    std::fprintf(stderr, "session %u: parked at instant %u for resume\n",
+                 S.Id, P.Checkpoints.back().Instant);
+    ParkedSessions.push_back(std::move(P));
+  }
   ::close(S.Fd);
   Envs[S.Lane] = nullptr;
   FreeLanes.push_back(S.Lane);
@@ -137,8 +232,37 @@ void Server::teardown(Session &S, const char *How) {
   ++Ended;
 }
 
+void Server::forceTeardownAll(const char *How) {
+  for (auto &Slot : Slots)
+    if (Slot)
+      teardown(*Slot, How);
+}
+
+void Server::rejectConnection(int Fd, ServeRejectReason Reason,
+                              const std::string &Message) {
+  // Best effort on a connection we never admitted: one nonblocking send
+  // of the typed reject frame, then close. No per-connection state is
+  // allocated — CtrlBuf is reused — so a reject storm cannot grow the
+  // server.
+  CtrlBuf.clear();
+  ServeCtrl C;
+  C.Type = ServeCtrlType::Reject;
+  C.Reason = Reason;
+  C.Message = Message;
+  encodeServeCtrl(C, CtrlBuf);
+  (void)::send(Fd, CtrlBuf.data(), CtrlBuf.size(), MSG_NOSIGNAL);
+  ::close(Fd);
+  ++Rejected;
+  if (Reason == ServeRejectReason::Draining)
+    ++RejectedDraining;
+  else
+    ++RejectedCapacity;
+  std::fprintf(stderr, "rejected connection (%s): %s\n",
+               serveRejectReasonName(Reason), Message.c_str());
+}
+
 void Server::acceptClients() {
-  while (!FreeLanes.empty()) {
+  for (;;) {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       return; // EAGAIN (or a transient error): try again next wakeup.
@@ -146,22 +270,49 @@ void Server::acceptClients() {
       ::close(Fd);
       continue;
     }
+    if (Draining) {
+      rejectConnection(Fd, ServeRejectReason::Draining,
+                       "server is draining");
+      continue;
+    }
+    if (FreeLanes.empty()) {
+      rejectConnection(Fd, ServeRejectReason::AtCapacity,
+                       "no free session lane");
+      continue;
+    }
+    if (budgetExhausted()) {
+      rejectConnection(Fd, ServeRejectReason::AtCapacity,
+                       "batch budget exhausted");
+      continue;
+    }
+    if (Opts.SessionLimit && NextId >= Opts.SessionLimit) {
+      rejectConnection(Fd, ServeRejectReason::AtCapacity,
+                       "session limit reached");
+      continue;
+    }
+    if (Opts.SendBufBytes) {
+      int Buf = static_cast<int>(Opts.SendBufBytes);
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Buf, sizeof(Buf));
+    }
     unsigned Lane = FreeLanes.back();
     FreeLanes.pop_back();
     auto S = std::make_unique<Session>();
     S->Fd = Fd;
     S->Id = NextId++;
     S->Lane = Lane;
+    S->LastInMs = S->LastOutMs = nowMs();
     Slots[Lane] = std::move(S);
   }
 }
 
 void Server::readSession(Session &S) {
   uint8_t Buf[1 << 16];
+  bool Any = false;
   while (!S.InEof) {
     ssize_t N = ::recv(S.Fd, Buf, sizeof(Buf), 0);
     if (N > 0) {
       S.In.insert(S.In.end(), Buf, Buf + N);
+      Any = true;
       if (static_cast<size_t>(N) == sizeof(Buf))
         continue; // More may be pending.
       break;
@@ -176,6 +327,8 @@ void Server::readSession(Session &S) {
     // parseSession decides whether this was a mid-stream disconnect.
     S.InEof = true;
   }
+  if (Any)
+    S.LastInMs = nowMs();
   if (!parseSession(S))
     return;
   // Reclaim the consumed prefix once it dominates the buffer.
@@ -185,55 +338,216 @@ void Server::readSession(Session &S) {
   }
 }
 
-bool Server::parseSession(Session &S) {
-  if (!S.HeaderDone) {
-    TraceSpec Spec;
-    size_t HeaderLen = 0;
-    TraceError Err;
-    if (!parseTraceHeader(S.In.data() + S.InPos, S.In.size() - S.InPos, Spec,
-                          HeaderLen, Err)) {
-      if (Err.needMoreData()) {
-        if (S.InEof) {
-          // The stream ended inside the header: a real disconnect.
-          std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
-          teardown(S, "disconnected");
-          return false;
-        }
-        if (S.In.size() - S.InPos > MaxHeaderBytes) {
-          std::fprintf(stderr, "session %u: header exceeds %zu bytes\n", S.Id,
-                       MaxHeaderBytes);
-          teardown(S, "protocol error");
-          return false;
-        }
-        return true; // Wait for more bytes.
-      }
-      std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
-      teardown(S, "protocol error");
-      return false;
-    }
-    TraceSpec Check = TraceSpec::fromStep(CS, Spec.ProcName,
-                                          Spec.FrameInstants);
-    std::string Diff = Spec.diff(Check);
-    if (!Diff.empty()) {
-      std::fprintf(stderr,
-                   "session %u: trace interface does not match the served "
-                   "process: %s\n",
-                   S.Id, Diff.c_str());
-      teardown(S, "interface mismatch");
-      return false;
-    }
-    S.InPos += HeaderLen;
-    S.InOffset += HeaderLen;
-    S.HeaderDone = true;
-    S.Env = std::make_unique<StreamEnvironment>(Spec);
-    S.Sink.Q = &S.Out;
-    // The response header goes out immediately: an outputs-only stream
-    // with the same frame capacity the client chose.
-    S.Echo = std::make_unique<TraceWriter>(S.Sink, Spec.outputsOnly());
-    S.Env->setEcho(S.Echo.get());
-    Exec.resetLanes(S.Lane, 1);
-    Envs[S.Lane] = S.Env.get();
+void Server::queueReject(Session &S, ServeRejectReason Reason,
+                         const std::string &Message, const char *Kind) {
+  CtrlBuf.clear();
+  ServeCtrl C;
+  C.Type = ServeCtrlType::Reject;
+  C.Reason = Reason;
+  C.Message = Message;
+  encodeServeCtrl(C, CtrlBuf);
+  S.Sink.Q = &S.Out;
+  S.Out.insert(S.Out.end(), CtrlBuf.begin(), CtrlBuf.end());
+  S.Finished = true;
+  S.FinKind = Kind;
+  // Stop reading: the stream is refused whatever else the client sends.
+  S.InEof = true;
+}
+
+/// Decides resume-vs-fresh from the first bytes of the connection.
+/// Returns false when the session was torn down; \p Progress is set
+/// when bytes were consumed or the decision was made.
+bool Server::parsePreamble(Session &S, bool &Progress) {
+  if (S.In.size() - S.InPos < 4) {
+    if (!S.InEof)
+      return true; // Wait for the magic.
+    std::fprintf(stderr, "session %u: offset %llu: stream ends before a "
+                         "preamble or trace header\n",
+                 S.Id, static_cast<unsigned long long>(S.InOffset));
+    teardown(S, "disconnected");
+    return false;
   }
+  if (std::memcmp(S.In.data() + S.InPos, ServeCtrlMagic, 4) != 0) {
+    // A plain trace header: a fresh session.
+    S.PreambleDone = true;
+    Progress = true;
+    return true;
+  }
+  ServeCtrl C;
+  size_t Consumed = 0;
+  TraceError Err;
+  TraceFrameStatus St =
+      decodeServeCtrl(S.In.data() + S.InPos, S.In.size() - S.InPos,
+                      S.InOffset, C, Consumed, Err);
+  if (St == TraceFrameStatus::NeedMore) {
+    if (S.InEof) {
+      std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
+      teardown(S, "disconnected");
+      return false;
+    }
+    return true;
+  }
+  if (St == TraceFrameStatus::Error) {
+    std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
+    teardown(S, "protocol error");
+    return false;
+  }
+  S.InPos += Consumed;
+  S.InOffset += Consumed;
+  S.PreambleDone = true;
+  Progress = true;
+  if (C.Type != ServeCtrlType::Resume) {
+    std::fprintf(stderr,
+                 "session %u: unexpected control frame type %u (only "
+                 "Resume is accepted from clients)\n",
+                 S.Id, static_cast<unsigned>(C.Type));
+    teardown(S, "protocol error");
+    return false;
+  }
+  auto It = std::find_if(ParkedSessions.begin(), ParkedSessions.end(),
+                         [&](const Parked &P) { return P.Token == C.Token; });
+  if (It == ParkedSessions.end()) {
+    queueReject(S, ServeRejectReason::BadResume,
+                "unknown or expired session token", "resume rejected");
+    return true;
+  }
+  if (traceSpecHash(It->Spec) != C.InterfaceHash) {
+    queueReject(S, ServeRejectReason::InterfaceMismatch,
+                "resume interface hash does not match the parked session",
+                "resume rejected");
+    return true;
+  }
+  auto Ck = std::find_if(It->Checkpoints.begin(), It->Checkpoints.end(),
+                         [&](const Checkpoint &K) {
+                           return K.Instant == C.ResumeInstant;
+                         });
+  if (Ck == It->Checkpoints.end()) {
+    queueReject(S, ServeRejectReason::BadResume,
+                "no checkpoint at instant " +
+                    std::to_string(C.ResumeInstant),
+                "resume rejected");
+    return true;
+  }
+  // Checkpoints above the resume point are about to be re-executed from
+  // possibly different stimulus: drop them.
+  It->Checkpoints.erase(Ck + 1, It->Checkpoints.end());
+  S.Resume = std::move(*It);
+  ParkedSessions.erase(It);
+  std::fprintf(stderr, "session %u: resuming session %u at instant %u\n",
+               S.Id, S.Resume->Id, C.ResumeInstant);
+  return true;
+}
+
+/// Parses and validates the trace header, then sets the session up for
+/// execution (fresh or resumed). Returns false when torn down.
+bool Server::parseHeader(Session &S, bool &Progress) {
+  TraceSpec Spec;
+  size_t HeaderLen = 0;
+  TraceError Err;
+  if (!parseTraceHeader(S.In.data() + S.InPos, S.In.size() - S.InPos, Spec,
+                        HeaderLen, Err)) {
+    if (Err.needMoreData()) {
+      if (S.InEof) {
+        // The stream ended inside the header: a real disconnect.
+        std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
+        teardown(S, "disconnected");
+        return false;
+      }
+      if (S.In.size() - S.InPos > MaxHeaderBytes) {
+        std::fprintf(stderr, "session %u: header exceeds %zu bytes\n", S.Id,
+                     MaxHeaderBytes);
+        teardown(S, "protocol error");
+        return false;
+      }
+      return true; // Wait for more bytes.
+    }
+    std::fprintf(stderr, "session %u: %s\n", S.Id, Err.str().c_str());
+    teardown(S, "protocol error");
+    return false;
+  }
+  TraceSpec Check = TraceSpec::fromStep(CS, Spec.ProcName,
+                                        Spec.FrameInstants);
+  std::string Diff = Spec.diff(Check);
+  if (!Diff.empty()) {
+    std::fprintf(stderr,
+                 "session %u: trace interface does not match the served "
+                 "process: %s\n",
+                 S.Id, Diff.c_str());
+    queueReject(S, ServeRejectReason::InterfaceMismatch,
+                "trace interface does not match the served process: " + Diff,
+                "interface mismatch");
+    Progress = true;
+    return true;
+  }
+  if (S.Resume && Spec != S.Resume->Spec) {
+    std::fprintf(stderr,
+                 "session %u: resume header differs from the parked "
+                 "session's (frame capacity or interface changed)\n",
+                 S.Id);
+    queueReject(S, ServeRejectReason::InterfaceMismatch,
+                "resume header differs from the parked session's",
+                "resume rejected");
+    Progress = true;
+    return true;
+  }
+  S.InPos += HeaderLen;
+  S.InOffset += HeaderLen;
+  S.HeaderDone = true;
+  Progress = true;
+  unsigned R0 = S.Resume ? S.Resume->Checkpoints.back().Instant : 0;
+  S.Env = std::make_unique<StreamEnvironment>(Spec);
+  S.Sink.Q = &S.Out;
+  // Hello first: the session is admitted, and the token is what a
+  // future Resume must present.
+  S.Token = S.Resume ? S.Resume->Token : ++NextToken;
+  CtrlBuf.clear();
+  ServeCtrl Hello;
+  Hello.Type = ServeCtrlType::Hello;
+  Hello.Token = S.Token;
+  encodeServeCtrl(Hello, CtrlBuf);
+  S.Out.insert(S.Out.end(), CtrlBuf.begin(), CtrlBuf.end());
+  // The response stream: an outputs-only trace with the same frame
+  // capacity the client chose. A resumed session continues the original
+  // stream headerless from the resume point, so the concatenated
+  // connections are one byte-identical stream.
+  S.Echo = std::make_unique<TraceWriter>(S.Sink, Spec.outputsOnly(), R0,
+                                         /*EmitHeader=*/!S.Resume);
+  S.Env->setEcho(S.Echo.get());
+  Exec.resetLanes(S.Lane, 1);
+  Envs[S.Lane] = S.Env.get();
+  S.StartInstant = S.Executed = R0;
+  if (S.Resume) {
+    S.Env->rebase(R0);
+    Exec.restoreLaneState(S.Lane, S.Resume->Checkpoints.back().State);
+    S.Checkpoints = std::move(S.Resume->Checkpoints);
+    S.Resume.reset();
+  } else if (resumeEnabled()) {
+    pushCheckpoint(S);
+  }
+  return true;
+}
+
+void Server::pushCheckpoint(Session &S) {
+  Checkpoint K;
+  if (S.Checkpoints.size() >= std::max(Opts.ResumeCheckpoints, 1u)) {
+    K = std::move(S.Checkpoints.front()); // Recycle the state buffer.
+    S.Checkpoints.pop_front();
+  }
+  K.Instant = S.Executed;
+  Exec.saveLaneState(S.Lane, K.State);
+  S.Checkpoints.push_back(std::move(K));
+}
+
+bool Server::parseSession(Session &S) {
+  bool Progress = false;
+  if (!S.PreambleDone && !parsePreamble(S, Progress))
+    return false;
+  if (!S.PreambleDone || S.Finished)
+    return true;
+  if (!S.HeaderDone && !parseHeader(S, Progress))
+    return false;
+  if (!S.HeaderDone || S.Finished)
+    return true;
   // Inbound flow control: stop decoding (leaving bytes buffered and, via
   // the poll loop, unread in the kernel) once the resident window is far
   // enough ahead of execution; the scheduler resumes parsing after each
@@ -292,12 +606,22 @@ bool Server::stepSession(Session &S) {
   unsigned Resident = S.Env->residentEnd();
   if (S.Executed < Resident && S.queuedBytes() <= Opts.MaxQueuedBytes) {
     unsigned N = std::min(Opts.BatchInstants, Resident - S.Executed);
+    if (resumeEnabled()) {
+      // Land every batch on a frame boundary, so a checkpoint exists at
+      // each one; only the stream's final partial frame may end between
+      // boundaries (and is then past every resumable point anyway).
+      unsigned W = S.Env->streamSpec().FrameInstants;
+      N = std::min(N, W - S.Executed % W);
+    }
     uint64_t G0 = Exec.guardTests(), E0 = Exec.executed();
     Exec.stepLanes(Envs, S.Lane, 1, S.Executed, N);
     S.GuardTests += Exec.guardTests() - G0;
     S.Instrs += Exec.executed() - E0;
     S.Executed += N;
     S.Env->release(S.Executed);
+    if (resumeEnabled() &&
+        S.Executed % S.Env->streamSpec().FrameInstants == 0)
+      pushCheckpoint(S);
     return true;
   }
   if (S.TrailerSeen && S.Executed == S.Total) {
@@ -305,27 +629,96 @@ bool Server::stepSession(Session &S) {
     S.Finished = true;
     return true;
   }
+  if (Draining && S.Executed == Resident) {
+    // Graceful drain: everything resident has executed and flushed into
+    // the queue; close the response stream with an early trailer so the
+    // client sees a well-formed (if shortened) trace.
+    S.Echo->finish(S.Executed);
+    S.Finished = true;
+    S.FinKind = "drained";
+    return true;
+  }
   return false;
 }
 
 void Server::sendSession(Session &S) {
+  bool Any = false;
   while (S.OutPos < S.Out.size()) {
     ssize_t N = ::send(S.Fd, S.Out.data() + S.OutPos, S.Out.size() - S.OutPos,
                        MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK)
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (Any)
+          S.LastOutMs = nowMs();
         return;
+      }
       teardown(S, "disconnected");
       return;
     }
     S.OutPos += static_cast<size_t>(N);
+    Any = true;
   }
   S.Out.clear();
   S.OutPos = 0;
+  S.LastOutMs = nowMs();
   if (S.Finished)
-    teardown(S, "clean");
+    teardown(S, S.FinKind);
+}
+
+void Server::checkDeadlines(int64_t Now) {
+  for (size_t L = 0; L < Slots.size(); ++L) {
+    Session *S = sessionAt(L);
+    if (!S)
+      continue;
+    if (Opts.WriteTimeoutMs && S->queuedBytes() > 0 &&
+        Now - S->LastOutMs >= static_cast<int64_t>(Opts.WriteTimeoutMs)) {
+      std::fprintf(stderr,
+                   "session %u: client accepted no output for %u ms "
+                   "(%zu bytes queued)\n",
+                   S->Id, Opts.WriteTimeoutMs, S->queuedBytes());
+      teardown(*S, "stalled (write timeout)");
+      continue;
+    }
+    // Idle: the session is waiting on stimulus it is not receiving.
+    bool AwaitingInbound =
+        !S->InEof && !S->TrailerSeen && !windowFull(*S) &&
+        (!S->HeaderDone || S->Executed == S->Env->residentEnd());
+    if (Opts.IdleTimeoutMs && !Draining && AwaitingInbound &&
+        Now - S->LastInMs >= static_cast<int64_t>(Opts.IdleTimeoutMs)) {
+      std::fprintf(stderr, "session %u: no stimulus for %u ms\n", S->Id,
+                   Opts.IdleTimeoutMs);
+      teardown(*S, "stalled (idle timeout)");
+    }
+  }
+}
+
+int Server::pollTimeout(bool Runnable, int64_t Now) const {
+  if (Runnable)
+    return 0;
+  int64_t Next = -1;
+  auto Consider = [&](int64_t Deadline) {
+    if (Next < 0 || Deadline < Next)
+      Next = Deadline;
+  };
+  for (const auto &Slot : Slots) {
+    const Session *S = Slot.get();
+    if (!S)
+      continue;
+    if (Opts.WriteTimeoutMs && S->queuedBytes() > 0)
+      Consider(S->LastOutMs + Opts.WriteTimeoutMs);
+    bool AwaitingInbound =
+        !S->InEof && !S->TrailerSeen && !windowFull(*S) &&
+        (!S->HeaderDone || S->Executed == S->Env->residentEnd());
+    if (Opts.IdleTimeoutMs && !Draining && AwaitingInbound)
+      Consider(S->LastInMs + Opts.IdleTimeoutMs);
+  }
+  if (Draining && Opts.DrainGraceMs)
+    Consider(DrainStartMs + Opts.DrainGraceMs);
+  if (Next < 0)
+    return -1;
+  return static_cast<int>(std::max<int64_t>(Next - Now, 0));
 }
 
 int Server::run() {
@@ -353,14 +746,58 @@ int Server::run() {
     ::close(ListenFd);
     return 2;
   }
+  // SIGTERM/SIGINT drive the drain state machine; no SA_RESTART, so the
+  // poll below wakes immediately.
+  DrainSignals = 0;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = drainSignalHandler;
+  ::sigemptyset(&SA.sa_mask);
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
   std::fprintf(stderr,
                "serving %s on %s (max %u sessions, batch %u)\n",
                Expected.ProcName.c_str(), Opts.SocketPath.c_str(),
                Opts.MaxSessions, Opts.BatchInstants);
 
+  int Exit = 0;
   std::vector<pollfd> Polls;
   std::vector<size_t> PollSlot; // Poll index -> lane (listen fd excluded).
   for (;;) {
+    if (DrainSignals >= 2) {
+      std::fprintf(stderr, "second signal: forcing exit\n");
+      forceTeardownAll("forced");
+      Exit = 1;
+      break;
+    }
+    if (DrainSignals && !Draining) {
+      Draining = true;
+      DrainStartMs = nowMs();
+      unsigned Active = 0;
+      for (auto &Slot : Slots)
+        Active += Slot != nullptr;
+      std::fprintf(stderr,
+                   "draining: finishing %u session(s), rejecting new "
+                   "connections\n",
+                   Active);
+      // Sessions that never completed a header have nothing to flush.
+      for (auto &Slot : Slots)
+        if (Slot && !Slot->HeaderDone)
+          teardown(*Slot, "drained");
+    }
+    if (Draining) {
+      bool Active = false;
+      for (auto &Slot : Slots)
+        Active |= Slot != nullptr;
+      if (!Active)
+        break;
+      if (Opts.DrainGraceMs && nowMs() - DrainStartMs >=
+                                   static_cast<int64_t>(Opts.DrainGraceMs)) {
+        std::fprintf(stderr, "drain grace expired: forcing exit\n");
+        forceTeardownAll("forced");
+        break;
+      }
+    }
     if (Opts.SessionLimit && Ended >= Opts.SessionLimit) {
       bool Active = false;
       for (auto &Slot : Slots)
@@ -371,11 +808,10 @@ int Server::run() {
 
     Polls.clear();
     PollSlot.clear();
-    bool AcceptMore =
-        !FreeLanes.empty() &&
-        !(Opts.SessionLimit && NextId >= Opts.SessionLimit);
-    Polls.push_back({ListenFd, static_cast<short>(AcceptMore ? POLLIN : 0),
-                     0});
+    // The listen fd is always polled: admission (or a typed reject)
+    // happens at accept time, so even a saturated or limit-bound server
+    // answers every connection instead of leaving it queued.
+    Polls.push_back({ListenFd, POLLIN, 0});
     bool Runnable = false;
     for (size_t L = 0; L < Slots.size(); ++L) {
       Session *S = sessionAt(L);
@@ -383,9 +819,10 @@ int Server::run() {
         continue;
       short Ev = 0;
       // Inbound flow control: while the resident window is full (or the
-      // stream already ended), leave arriving bytes in the kernel buffer
-      // so the client blocks in send instead of growing our memory.
-      if (!S->TrailerSeen && !S->InEof && !windowFull(*S))
+      // stream already ended, or the server is draining), leave arriving
+      // bytes in the kernel buffer so the client blocks in send instead
+      // of growing our memory.
+      if (!S->TrailerSeen && !S->InEof && !windowFull(*S) && !Draining)
         Ev |= POLLIN;
       if (S->queuedBytes() > 0)
         Ev |= POLLOUT;
@@ -394,17 +831,21 @@ int Server::run() {
       if (S->HeaderDone && !S->Finished &&
           ((S->Executed < S->Env->residentEnd() &&
             S->queuedBytes() <= Opts.MaxQueuedBytes) ||
-           (S->TrailerSeen && S->Executed == S->Total)))
+           (S->TrailerSeen && S->Executed == S->Total) ||
+           (Draining && S->Executed == S->Env->residentEnd())))
         Runnable = true;
     }
 
-    int Ready = ::poll(Polls.data(), Polls.size(), Runnable ? 0 : -1);
+    int64_t Now = nowMs();
+    int Ready = ::poll(Polls.data(), Polls.size(),
+                       pollTimeout(Runnable, Now));
     if (Ready < 0) {
       if (errno == EINTR)
-        continue;
+        continue; // A signal: the loop top reevaluates the drain state.
       std::fprintf(stderr, "signalc: poll: %s\n", std::strerror(errno));
       break;
     }
+    checkDeadlines(nowMs());
 
     if (Polls[0].revents & POLLIN)
       acceptClients();
@@ -415,7 +856,9 @@ int Server::run() {
       if (Polls[P].revents & (POLLIN | POLLHUP | POLLERR))
         readSession(*S);
       S = sessionAt(PollSlot[P - 1]);
-      if (S && S->Fd == Polls[P].fd && (Polls[P].revents & POLLOUT))
+      if (S && S->Fd == Polls[P].fd &&
+          (Polls[P].revents & (POLLOUT | POLLHUP | POLLERR)) &&
+          S->queuedBytes() > 0)
         sendSession(*S);
     }
 
@@ -426,12 +869,18 @@ int Server::run() {
     for (size_t Scan = 0; Scan < NumSlots; ++Scan) {
       size_t L = (RR + Scan) % NumSlots;
       Session *S = sessionAt(L);
-      if (!S || !stepSession(*S))
+      if (!S)
+        continue;
+      // A freshly rejected session may have its frame queued with no
+      // poll event pending: flush eagerly.
+      bool Stepped = stepSession(*S);
+      if (!Stepped && S->queuedBytes() == 0)
         continue;
       // Execution advanced: buffered inbound bytes that flow control
       // paused may be parseable now (stepSession never tears down, so S
       // is still live here; parseSession may).
-      if (!S->TrailerSeen && S->In.size() > S->InPos && !parseSession(*S))
+      if (Stepped && !S->TrailerSeen && S->In.size() > S->InPos &&
+          !parseSession(*S))
         continue;
       // Push what the batch produced without waiting for POLLOUT.
       S = sessionAt(L);
@@ -442,8 +891,13 @@ int Server::run() {
 
   ::close(ListenFd);
   ::unlink(Opts.SocketPath.c_str());
-  std::fprintf(stderr, "served %u session(s)\n", Ended);
-  return 0;
+  if (Rejected)
+    std::fprintf(stderr,
+                 "rejected %u connection(s) (at capacity %u, draining %u)\n",
+                 Rejected, RejectedCapacity, RejectedDraining);
+  std::fprintf(stderr, "served %u session(s)%s\n", Ended,
+               Draining ? " (drained)" : "");
+  return Exit;
 }
 
 } // namespace

@@ -5,10 +5,30 @@
 /// reactive sessions over the fleet executor. Each client connection is
 /// one session speaking the binary trace format in both directions:
 ///
-///   client -> server   a full trace stream (header, stimulus frames,
-///                      trailer) against the compiled process interface;
-///   server -> client   an outputs-only trace stream of what the process
-///                      produced, frame by frame as batches execute.
+///   client -> server   an optional Resume control frame, then a full
+///                      trace stream (header, stimulus frames, trailer)
+///                      against the compiled process interface;
+///   server -> client   a Hello control frame carrying the session's
+///                      resume token, then an outputs-only trace stream
+///                      of what the process produced, frame by frame as
+///                      batches execute — or a single typed Reject frame
+///                      (at-capacity / draining / interface-mismatch /
+///                      bad-resume) when the connection is refused.
+///
+/// Fault tolerance is part of the protocol. A session that disconnects
+/// (or stalls past a deadline) mid-stream is parked: its trace spec and
+/// a ring of lane-state checkpoints, one per executed frame boundary,
+/// survive the connection. A client reconnecting with Resume(token,
+/// interface hash, instant k) is rebound onto a fresh lane whose delay
+/// state is restored from the checkpoint at k; it re-sends its header
+/// and the stimulus from frame k on, nothing is re-executed, and the
+/// response continues headerless at k — concatenating the connections'
+/// response bytes (minus the fixed-size Hellos) reproduces an
+/// uninterrupted run byte for byte. SIGTERM/SIGINT starts a graceful
+/// drain: accepting stops (new connections get the draining reject),
+/// resident frames finish, output queues flush behind early trailers,
+/// and the server exits 0; a second signal — or the drain grace
+/// deadline — forces exit with per-session teardown counters.
 ///
 /// Sessions map onto fleet lanes: the server owns one FleetExecutor of
 /// --max-sessions instances, a joining session claims a free lane
@@ -57,11 +77,42 @@ struct ServeOptions {
   /// Exit after this many sessions have ended (0 = serve forever) —
   /// lets tests and scripted drivers run a bounded server.
   unsigned SessionLimit = 0;
+  /// Disconnected (or deadline-stalled) sessions parked for resume, at
+  /// most this many (oldest evicted first); 0 disables session resume
+  /// entirely. While resume is enabled, execution batches are clamped
+  /// to frame boundaries so every boundary has a lane checkpoint.
+  unsigned MaxParkedSessions = 0;
+  /// Lane-state checkpoints retained per session (the resume window:
+  /// a client may resume at any of the last this-many frame
+  /// boundaries).
+  unsigned ResumeCheckpoints = 8;
+  /// Global in-flight-batch budget, in instants: each admitted session
+  /// reserves its maximum inbound run-ahead window
+  /// (MaxAheadBatches * BatchInstants) against this budget, and a
+  /// connection whose reservation does not fit is rejected at capacity
+  /// even when lanes are free. 0 = unlimited (bounded by MaxSessions
+  /// alone).
+  uint64_t BatchBudgetInstants = 0;
+  /// A session waiting on stimulus that receives no inbound bytes for
+  /// this long is torn down as stalled. 0 = no idle deadline.
+  unsigned IdleTimeoutMs = 0;
+  /// A session with queued response bytes whose client accepts none of
+  /// them for this long is torn down as stalled. 0 = no write deadline.
+  unsigned WriteTimeoutMs = 0;
+  /// Draining (first SIGTERM/SIGINT): sessions that cannot flush within
+  /// this long are forcibly torn down and the server exits anyway.
+  /// 0 = wait indefinitely (a second signal still forces exit).
+  unsigned DrainGraceMs = 0;
+  /// SO_SNDBUF for accepted connections (0 = kernel default). Shrinking
+  /// it makes outbound backpressure — and therefore the write deadline
+  /// — reachable with small streams; an ops/testing knob.
+  unsigned SendBufBytes = 0;
 };
 
 /// Serves sessions of \p CS (compiled from process \p ProcName) until
 /// SessionLimit is reached. \returns a process exit code: 0 on a clean
-/// bounded run, 2 on a setup failure (socket path, listen).
+/// bounded run or a completed drain, 1 when a second signal forced
+/// exit, 2 on a setup failure (socket path, listen).
 int runTraceServer(const CompiledStep &CS, const std::string &ProcName,
                    const ServeOptions &Opts);
 

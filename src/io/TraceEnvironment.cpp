@@ -138,6 +138,13 @@ void RecordingEnvironment::exchangeOutputs(unsigned Start, unsigned Count,
 
 StreamEnvironment::StreamEnvironment(TraceSpec Spec) : Spec(std::move(Spec)) {}
 
+void StreamEnvironment::rebase(unsigned Instant) {
+  assert(Window.empty() && "rebase with frames resident");
+  assert(Instant % Spec.FrameInstants == 0 &&
+         "resume points are frame boundaries");
+  NextPush = Instant;
+}
+
 TraceFrame StreamEnvironment::takeRecycledFrame() {
   TraceFrame F;
   if (!Free.empty()) {

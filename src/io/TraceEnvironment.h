@@ -104,6 +104,12 @@ public:
 
   //===--- Frame supply ---------------------------------------------------===//
 
+  /// Rebases an empty window so the next pushed frame starts at
+  /// \p Instant — a resumed session's shape, where frames below the
+  /// resume point were already executed on a previous connection and
+  /// are never re-delivered.
+  void rebase(unsigned Instant);
+
   /// A recycled (or fresh) frame shaped for the spec, ready to decode
   /// into.
   TraceFrame takeRecycledFrame();

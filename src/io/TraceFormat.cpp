@@ -2,6 +2,7 @@
 
 #include "io/TraceFormat.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace sigc;
@@ -635,4 +636,126 @@ TraceFrameStatus sigc::decodeTraceFrame(const TraceSpec &Spec,
 
   Consumed = TraceFrameHeaderBytes + PayloadLen;
   return TraceFrameStatus::Frame;
+}
+
+//===----------------------------------------------------------------------===//
+// Serve control frames
+//===----------------------------------------------------------------------===//
+
+const char *sigc::serveRejectReasonName(ServeRejectReason R) {
+  switch (R) {
+  case ServeRejectReason::AtCapacity:
+    return "at capacity";
+  case ServeRejectReason::Draining:
+    return "draining";
+  case ServeRejectReason::InterfaceMismatch:
+    return "interface mismatch";
+  case ServeRejectReason::BadResume:
+    return "bad resume";
+  }
+  return "unknown";
+}
+
+void sigc::encodeServeCtrl(const ServeCtrl &C, std::vector<uint8_t> &Out) {
+  Out.insert(Out.end(), ServeCtrlMagic, ServeCtrlMagic + 4);
+  Out.push_back(static_cast<uint8_t>(C.Type));
+  Out.push_back(C.Type == ServeCtrlType::Reject
+                    ? static_cast<uint8_t>(C.Reason)
+                    : 0);
+  switch (C.Type) {
+  case ServeCtrlType::Hello:
+    putU16(Out, 8);
+    putU64(Out, C.Token);
+    break;
+  case ServeCtrlType::Reject: {
+    size_t Len = std::min<size_t>(C.Message.size(), ServeCtrlMaxBody);
+    putU16(Out, static_cast<uint16_t>(Len));
+    Out.insert(Out.end(), C.Message.data(), C.Message.data() + Len);
+    break;
+  }
+  case ServeCtrlType::Resume:
+    putU16(Out, 20);
+    putU64(Out, C.Token);
+    putU64(Out, C.InterfaceHash);
+    putU32(Out, C.ResumeInstant);
+    break;
+  }
+}
+
+TraceFrameStatus sigc::decodeServeCtrl(const uint8_t *Data, size_t Len,
+                                       uint64_t StreamOffset, ServeCtrl &C,
+                                       size_t &Consumed, TraceError &Err) {
+  if (Len < ServeCtrlHeaderBytes) {
+    Err = {TraceErrorKind::Truncated, StreamOffset + Len,
+           "stream ends inside a control frame header"};
+    return TraceFrameStatus::NeedMore;
+  }
+  if (std::memcmp(Data, ServeCtrlMagic, 4) != 0) {
+    Err = {TraceErrorKind::BadMagic, StreamOffset,
+           "bad control frame magic"};
+    return TraceFrameStatus::Error;
+  }
+  uint8_t Type = Data[4], Code = Data[5];
+  uint16_t BodyLen = getU16(Data + 6);
+  if (BodyLen > ServeCtrlMaxBody) {
+    Err = {TraceErrorKind::Malformed, StreamOffset + 6,
+           "control frame body of " + std::to_string(BodyLen) +
+               " bytes exceeds the limit"};
+    return TraceFrameStatus::Error;
+  }
+  if (Len < ServeCtrlHeaderBytes + static_cast<size_t>(BodyLen)) {
+    Err = {TraceErrorKind::Truncated, StreamOffset + Len,
+           "stream ends inside a control frame body"};
+    return TraceFrameStatus::NeedMore;
+  }
+  const uint8_t *Body = Data + ServeCtrlHeaderBytes;
+  switch (Type) {
+  case static_cast<uint8_t>(ServeCtrlType::Hello):
+    if (BodyLen != 8) {
+      Err = {TraceErrorKind::Malformed, StreamOffset + 6,
+             "hello frame body must be 8 bytes, got " +
+                 std::to_string(BodyLen)};
+      return TraceFrameStatus::Error;
+    }
+    C.Type = ServeCtrlType::Hello;
+    C.Token = getU64(Body);
+    break;
+  case static_cast<uint8_t>(ServeCtrlType::Reject):
+    if (Code < static_cast<uint8_t>(ServeRejectReason::AtCapacity) ||
+        Code > static_cast<uint8_t>(ServeRejectReason::BadResume)) {
+      Err = {TraceErrorKind::Malformed, StreamOffset + 5,
+             "unknown reject reason code " + std::to_string(Code)};
+      return TraceFrameStatus::Error;
+    }
+    C.Type = ServeCtrlType::Reject;
+    C.Reason = static_cast<ServeRejectReason>(Code);
+    C.Message.assign(reinterpret_cast<const char *>(Body), BodyLen);
+    break;
+  case static_cast<uint8_t>(ServeCtrlType::Resume):
+    if (BodyLen != 20) {
+      Err = {TraceErrorKind::Malformed, StreamOffset + 6,
+             "resume frame body must be 20 bytes, got " +
+                 std::to_string(BodyLen)};
+      return TraceFrameStatus::Error;
+    }
+    C.Type = ServeCtrlType::Resume;
+    C.Token = getU64(Body);
+    C.InterfaceHash = getU64(Body + 8);
+    C.ResumeInstant = getU32(Body + 16);
+    break;
+  default:
+    Err = {TraceErrorKind::Malformed, StreamOffset + 4,
+           "unknown control frame type " + std::to_string(Type)};
+    return TraceFrameStatus::Error;
+  }
+  Consumed = ServeCtrlHeaderBytes + BodyLen;
+  return TraceFrameStatus::Frame;
+}
+
+uint64_t sigc::traceSpecHash(const TraceSpec &Spec) {
+  // The trace header ends with its interface hash: reuse it, so a Resume
+  // request's hash is exactly the one both sides already exchanged in
+  // their stream headers.
+  std::vector<uint8_t> Header = encodeTraceHeader(Spec);
+  return getU64(Header.data() + Header.size() - 8);
 }

@@ -209,6 +209,75 @@ TraceFrameStatus decodeTraceFrame(const TraceSpec &Spec, const uint8_t *Data,
 uint64_t traceFnv64(const uint8_t *Data, size_t Len);
 uint32_t traceFnv32(const uint8_t *Data, size_t Len);
 
+//===----------------------------------------------------------------------===//
+// Serve control frames — the session-management preamble the `--serve`
+// front end speaks around the trace streams themselves.
+//===----------------------------------------------------------------------===//
+//
+// Layout (little-endian, like the trace format):
+//
+//   'S' 'G' 'C' 'T'   magic (distinct from the trace header's SGTR, so
+//                     the first four bytes of a connection say whether a
+//                     control preamble or a plain trace stream follows)
+//   u8  type          Hello / Reject / Resume
+//   u8  code          reject reason (0 otherwise)
+//   u16 body length
+//   body:
+//     Hello   u64 session token        (server -> client, on admission)
+//     Reject  diagnostic message bytes (server -> client, then close)
+//     Resume  u64 session token, u64 interface hash, u32 resume instant
+//             (client -> server, before re-sending the trace header)
+
+constexpr uint8_t ServeCtrlMagic[4] = {'S', 'G', 'C', 'T'};
+constexpr unsigned ServeCtrlHeaderBytes = 8;
+/// Every Hello is exactly this long: a fixed-size prefix a client (or a
+/// byte-identity test) can strip without parsing.
+constexpr unsigned ServeHelloBytes = 16;
+/// Bound on a Reject diagnostic (the only variable-length body).
+constexpr unsigned ServeCtrlMaxBody = 4096;
+
+enum class ServeCtrlType : uint8_t {
+  Hello = 1,  ///< Session admitted; body carries the resume token.
+  Reject = 2, ///< Connection refused; code is the reason, body the text.
+  Resume = 3, ///< Client requests to resume a parked session.
+};
+
+/// Why a connection was refused (the Reject frame's code).
+enum class ServeRejectReason : uint8_t {
+  AtCapacity = 1,        ///< No free lane / batch budget exhausted.
+  Draining = 2,          ///< The server is shutting down.
+  InterfaceMismatch = 3, ///< Stimulus interface != served process.
+  BadResume = 4,         ///< Unknown token or no checkpoint at the instant.
+};
+
+/// \returns the reason's diagnostic spelling ("at capacity", ...).
+const char *serveRejectReasonName(ServeRejectReason R);
+
+/// One decoded (or to-be-encoded) control frame.
+struct ServeCtrl {
+  ServeCtrlType Type = ServeCtrlType::Hello;
+  ServeRejectReason Reason = ServeRejectReason::AtCapacity;
+  uint64_t Token = 0;         ///< Hello / Resume.
+  uint64_t InterfaceHash = 0; ///< Resume.
+  unsigned ResumeInstant = 0; ///< Resume.
+  std::string Message;        ///< Reject.
+};
+
+/// Appends the encoding of \p C to \p Out.
+void encodeServeCtrl(const ServeCtrl &C, std::vector<uint8_t> &Out);
+
+/// Decodes one control frame from \p Data. Frame on success (\p Consumed
+/// set), NeedMore when the buffer ends inside the frame, Error (with
+/// \p Err positioned relative to \p StreamOffset) on a malformed frame.
+TraceFrameStatus decodeServeCtrl(const uint8_t *Data, size_t Len,
+                                 uint64_t StreamOffset, ServeCtrl &C,
+                                 size_t &Consumed, TraceError &Err);
+
+/// The interface hash a Resume request must present: the u64 the trace
+/// header of \p Spec embeds (it covers process name, descriptors and
+/// frame capacity, so equal hashes mean resumable-compatible streams).
+uint64_t traceSpecHash(const TraceSpec &Spec);
+
 } // namespace sigc
 
 #endif // SIGNALC_IO_TRACEFORMAT_H

@@ -2,6 +2,8 @@
 
 #include "io/TraceReader.h"
 
+#include "io/FaultInjection.h"
+
 #include <cassert>
 #include <cerrno>
 #include <cstring>
@@ -91,8 +93,10 @@ void MmapTraceSource::consume(size_t N) {
 // FdTraceSource
 //===----------------------------------------------------------------------===//
 
-FdTraceSource::FdTraceSource(int Fd, bool OwnsFd, size_t BufSize)
-    : Fd(Fd), OwnsFd(OwnsFd), Buf(std::max<size_t>(BufSize, 4096)) {}
+FdTraceSource::FdTraceSource(int Fd, bool OwnsFd, size_t BufSize,
+                             IoSyscalls *Sys)
+    : Fd(Fd), OwnsFd(OwnsFd), Sys(Sys ? Sys : &IoSyscalls::system()),
+      Buf(std::max<size_t>(BufSize, 4096)) {}
 
 FdTraceSource::~FdTraceSource() {
   if (OwnsFd && Fd >= 0)
@@ -122,7 +126,7 @@ const uint8_t *FdTraceSource::peek(size_t Min, size_t &Avail,
     Begin = 0;
   }
   while (End - Begin < Min && !Eof) {
-    ssize_t N = ::read(Fd, Buf.data() + End, Buf.size() - End);
+    ssize_t N = Sys->read(Fd, Buf.data() + End, Buf.size() - End);
     if (N < 0) {
       if (errno == EINTR)
         continue;

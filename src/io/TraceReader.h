@@ -30,6 +30,8 @@
 
 namespace sigc {
 
+class IoSyscalls;
+
 /// Sequential byte source. peek() exposes at least \p Min buffered bytes
 /// (less only at end of stream); consume() retires them.
 class TraceSource {
@@ -84,8 +86,10 @@ class FdTraceSource : public TraceSource {
 public:
   /// \p OwnsFd closes the descriptor on destruction. \p BufSize is
   /// grown as needed to hold one whole peek (a frame), so any positive
-  /// value is correct.
-  explicit FdTraceSource(int Fd, bool OwnsFd, size_t BufSize = 1 << 16);
+  /// value is correct. \p Sys overrides the read(2) layer (fault
+  /// injection); nullptr uses the real syscalls.
+  explicit FdTraceSource(int Fd, bool OwnsFd, size_t BufSize = 1 << 16,
+                         IoSyscalls *Sys = nullptr);
   ~FdTraceSource() override;
   /// Opens \p Path with open(2); false (with \p Error) on failure.
   static int openFile(const std::string &Path, std::string &Error);
@@ -96,6 +100,7 @@ public:
 private:
   int Fd;
   bool OwnsFd;
+  IoSyscalls *Sys;
   std::vector<uint8_t> Buf;
   size_t Begin = 0, End = 0;
   bool Eof = false;

@@ -2,6 +2,8 @@
 
 #include "io/TraceWriter.h"
 
+#include "io/FaultInjection.h"
+
 #include <cassert>
 #include <cerrno>
 #include <cstring>
@@ -13,6 +15,9 @@ using namespace sigc;
 
 TraceSink::~TraceSink() = default;
 
+FdSink::FdSink(int Fd, bool OwnsFd, IoSyscalls *Sys)
+    : Fd(Fd), OwnsFd(OwnsFd), Sys(Sys ? Sys : &IoSyscalls::system()) {}
+
 FdSink::~FdSink() {
   if (OwnsFd && Fd >= 0)
     ::close(Fd);
@@ -20,14 +25,20 @@ FdSink::~FdSink() {
 
 bool FdSink::write(const uint8_t *Data, size_t Len) {
   while (Len > 0) {
-    ssize_t N = ::write(Fd, Data, Len);
+    ssize_t N = Sys->write(Fd, Data, Len);
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      // Position the diagnostic at the first byte that did not reach
+      // the descriptor — everything below Written is on the sink.
+      if (Detail.empty())
+        Detail = "at byte " + std::to_string(Written) + ": " +
+                 std::strerror(errno);
       return false;
     }
     Data += N;
     Len -= static_cast<size_t>(N);
+    Written += static_cast<uint64_t>(N);
   }
   return true;
 }
@@ -40,8 +51,16 @@ int FdSink::openFile(const std::string &Path, std::string &Error) {
 }
 
 TraceWriter::TraceWriter(TraceSink &Sink, TraceSpec Spec)
+    : TraceWriter(Sink, std::move(Spec), 0, /*EmitHeader=*/true) {}
+
+TraceWriter::TraceWriter(TraceSink &Sink, TraceSpec Spec,
+                         unsigned StartInstant, bool EmitHeader)
     : Sink(Sink), Spec(std::move(Spec)) {
-  sinkBytes(encodeTraceHeader(this->Spec));
+  assert(StartInstant % this->Spec.FrameInstants == 0 &&
+         "resumed streams continue at a frame boundary");
+  FlushedInstants = StartInstant;
+  if (EmitHeader)
+    sinkBytes(encodeTraceHeader(this->Spec));
 }
 
 void TraceWriter::sinkBytes(const std::vector<uint8_t> &Bytes) {

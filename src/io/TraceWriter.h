@@ -28,6 +28,8 @@
 
 namespace sigc {
 
+class IoSyscalls;
+
 /// Destination of encoded trace bytes.
 class TraceSink {
 public:
@@ -51,11 +53,16 @@ private:
   std::vector<uint8_t> Bytes;
 };
 
-/// Writes through a file descriptor with full-write retry semantics.
+/// Writes through a file descriptor with full-write retry semantics:
+/// partial writes loop, EINTR retries, and a hard failure (ENOSPC, a
+/// closed pipe's EPIPE, ...) latches a byte-offset-positioned diagnostic
+/// instead of silently truncating the recording.
 class FdSink : public TraceSink {
 public:
-  /// \p OwnsFd closes the descriptor on destruction.
-  explicit FdSink(int Fd, bool OwnsFd) : Fd(Fd), OwnsFd(OwnsFd) {}
+  /// \p OwnsFd closes the descriptor on destruction. \p Sys overrides
+  /// the write(2) layer (fault injection); nullptr uses the real
+  /// syscalls.
+  explicit FdSink(int Fd, bool OwnsFd, IoSyscalls *Sys = nullptr);
   ~FdSink() override;
   bool write(const uint8_t *Data, size_t Len) override;
 
@@ -63,9 +70,17 @@ public:
   /// fills \p Error on failure.
   static int openFile(const std::string &Path, std::string &Error);
 
+  /// Bytes successfully written so far.
+  uint64_t written() const { return Written; }
+  /// After a failed write: "at byte N: <strerror>". Empty otherwise.
+  const std::string &errorDetail() const { return Detail; }
+
 private:
   int Fd;
   bool OwnsFd;
+  IoSyscalls *Sys;
+  uint64_t Written = 0;
+  std::string Detail;
 };
 
 /// Emits one trace stream into a sink.
@@ -73,6 +88,16 @@ class TraceWriter {
 public:
   /// Writes the header immediately. The sink must outlive the writer.
   TraceWriter(TraceSink &Sink, TraceSpec Spec);
+
+  /// Resume-mode writer: continues a stream whose frames below
+  /// \p StartInstant (a multiple of the frame capacity) were already
+  /// delivered — the serve front end's session-resume shape, where the
+  /// resumed connection carries the tail of the same logical stream.
+  /// With \p EmitHeader false no header is written, so concatenating the
+  /// original connection's bytes with this writer's yields one valid
+  /// stream, byte-identical to an uninterrupted run.
+  TraceWriter(TraceSink &Sink, TraceSpec Spec, unsigned StartInstant,
+              bool EmitHeader);
 
   const TraceSpec &spec() const { return Spec; }
 

@@ -282,3 +282,115 @@ TEST(Cli, ReplayAgainstTheWrongProcessIsAnInterfaceMismatch) {
   EXPECT_NE(R.Output.find("does not match"), std::string::npos) << R.Output;
   std::remove(Path.c_str());
 }
+
+//===----------------------------------------------------------------------===//
+// Serving flags ride the same checked numeric parse, and a dead output
+// pipe is a diagnosed exit, not death by SIGPIPE.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *serveNumericFlags[] = {"--resume",        "--batch-budget",
+                                   "--idle-timeout",  "--write-timeout",
+                                   "--drain-grace",   "--sndbuf"};
+
+} // namespace
+
+TEST(Cli, ServeFlagsRejectMalformedOperands) {
+  for (const char *Flag : serveNumericFlags) {
+    CliResult R =
+        runSignalc("--builtin FIG5_ALARM " + std::string(Flag) + " abc");
+    EXPECT_EQ(R.Exit, 2) << Flag << ": " << R.Output;
+    EXPECT_NE(R.Output.find("invalid value 'abc' for " + std::string(Flag)),
+              std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+}
+
+TEST(Cli, ServeFlagsDiagnoseMissingOperandAsLastArgument) {
+  for (const char *Flag : serveNumericFlags) {
+    CliResult R = runSignalc("--builtin FIG5_ALARM " + std::string(Flag));
+    EXPECT_EQ(R.Exit, 2) << Flag << ": " << R.Output;
+    EXPECT_NE(R.Output.find("missing value for " + std::string(Flag)),
+              std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+}
+
+TEST(Cli, ServeFlagsDiagnoseOutOfRangeOperands) {
+  // All but --batch-budget carry 32-bit counts; --batch-budget is 64-bit
+  // and must overflow only past 2^64-1.
+  for (const char *Flag : {"--resume", "--idle-timeout", "--write-timeout",
+                           "--drain-grace", "--sndbuf"}) {
+    CliResult R = runSignalc("--builtin FIG5_ALARM " + std::string(Flag) +
+                             " 99999999999");
+    EXPECT_EQ(R.Exit, 2) << Flag << ": " << R.Output;
+    EXPECT_NE(R.Output.find("is out of range (max 4294967295)"),
+              std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+  CliResult Fits =
+      runSignalc("--builtin FIG5_ALARM --simulate 4 --batch-budget "
+                 "99999999999");
+  EXPECT_EQ(Fits.Exit, 0) << Fits.Output;
+  CliResult Over = runSignalc("--builtin FIG5_ALARM --batch-budget "
+                              "99999999999999999999");
+  EXPECT_EQ(Over.Exit, 2) << Over.Output;
+  EXPECT_NE(Over.Output.find("for --batch-budget is out of range"),
+            std::string::npos)
+      << Over.Output;
+}
+
+TEST(Cli, ServeFlagTypoSuggestsTheNearestFlag) {
+  CliResult R = runSignalc("--builtin FIG5_ALARM --drain-grce 100");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("unknown option '--drain-grce'"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("did you mean '--drain-grace'?"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, RecordToDeadPipeIsExitTwoNotSigpipeDeath) {
+  // Record to a pipe whose read end is already closed: the very first
+  // header write raises EPIPE. SIGPIPE is ignored at startup, so the
+  // process must EXIT (code 2) with the sink's byte-positioned
+  // diagnostic — not die on the signal.
+  int Pipe[2];
+  ASSERT_EQ(::pipe(Pipe), 0);
+  ::close(Pipe[0]); // No reader will ever exist.
+
+  std::string ErrPath = tempTracePath("sigpipe_err");
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    ::dup2(Pipe[1], 3);
+    ::close(Pipe[1]);
+    FILE *Err = fopen(ErrPath.c_str(), "wb");
+    if (Err)
+      ::dup2(fileno(Err), 2);
+    ::execl(SIGNALC_BIN, SIGNALC_BIN, "--builtin", "FIG5_ALARM",
+            "--simulate", "20", "--record", "/dev/fd/3",
+            static_cast<char *>(nullptr));
+    _exit(127);
+  }
+  ::close(Pipe[1]);
+  int St = 0;
+  ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
+  ASSERT_TRUE(WIFEXITED(St)) << "killed by signal "
+                             << (WIFSIGNALED(St) ? WTERMSIG(St) : 0);
+  EXPECT_EQ(WEXITSTATUS(St), 2);
+
+  std::string Err;
+  if (FILE *F = fopen(ErrPath.c_str(), "rb")) {
+    char Buf[4096];
+    size_t N;
+    while ((N = fread(Buf, 1, sizeof Buf, F)) > 0)
+      Err.append(Buf, N);
+    fclose(F);
+  }
+  EXPECT_NE(Err.find("write failed on '/dev/fd/3'"), std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("at byte"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("Broken pipe"), std::string::npos) << Err;
+  std::remove(ErrPath.c_str());
+}

@@ -20,9 +20,11 @@
 #include "TestUtil.h"
 #include "interp/VmExecutor.h"
 #include "io/TraceEnvironment.h"
+#include "io/TraceFormat.h"
 #include "io/TraceReader.h"
 #include "io/TraceWriter.h"
 #include "programs/Programs.h"
+#include "testing/RandomProgram.h"
 
 #include <gtest/gtest.h>
 
@@ -54,9 +56,12 @@ struct ScopedServer {
   pid_t Pid = -1;
   std::string Sock, LogPath;
 
-  /// Spawns `signalc --builtin FIG5_ALARM --serve` with stderr captured
-  /// to a log file. \p Batch 0 keeps the server's default batch size.
-  void spawn(unsigned MaxSessions, unsigned Limit, unsigned Batch = 0) {
+  /// Spawns `signalc <Program>... --serve SOCK <Extra>...` with stderr
+  /// captured to a log file. \p Program defaults to the FIG5 alarm
+  /// builtin; pass e.g. {"/path/prog.sig"} to serve a file.
+  void spawnArgs(const std::vector<std::string> &Extra,
+                 const std::vector<std::string> &Program = {"--builtin",
+                                                           "FIG5_ALARM"}) {
     static int Counter = 0;
     std::string Base = ::testing::TempDir() + "sigc_serve_" +
                        std::to_string(::getpid()) + "_" +
@@ -64,9 +69,12 @@ struct ScopedServer {
     Sock = Base + ".sock";
     LogPath = Base + ".log";
     ::unlink(Sock.c_str());
-    std::string MS = std::to_string(MaxSessions);
-    std::string SL = std::to_string(Limit);
-    std::string BA = std::to_string(Batch);
+    std::vector<std::string> Args;
+    Args.push_back(SIGNALC_BIN);
+    Args.insert(Args.end(), Program.begin(), Program.end());
+    Args.push_back("--serve");
+    Args.push_back(Sock);
+    Args.insert(Args.end(), Extra.begin(), Extra.end());
     Pid = ::fork();
     ASSERT_NE(Pid, -1);
     if (Pid == 0) {
@@ -76,17 +84,24 @@ struct ScopedServer {
         ::dup2(Log, 2);
         ::close(Log);
       }
-      if (Batch)
-        ::execl(SIGNALC_BIN, SIGNALC_BIN, "--builtin", "FIG5_ALARM",
-                "--serve", Sock.c_str(), "--max-sessions", MS.c_str(),
-                "--serve-limit", SL.c_str(), "--batch", BA.c_str(),
-                static_cast<char *>(nullptr));
-      else
-        ::execl(SIGNALC_BIN, SIGNALC_BIN, "--builtin", "FIG5_ALARM",
-                "--serve", Sock.c_str(), "--max-sessions", MS.c_str(),
-                "--serve-limit", SL.c_str(), static_cast<char *>(nullptr));
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::execv(SIGNALC_BIN, Argv.data());
       _exit(127);
     }
+  }
+
+  void spawn(unsigned MaxSessions, unsigned Limit, unsigned Batch = 0) {
+    std::vector<std::string> Extra = {"--max-sessions",
+                                      std::to_string(MaxSessions),
+                                      "--serve-limit", std::to_string(Limit)};
+    if (Batch) {
+      Extra.push_back("--batch");
+      Extra.push_back(std::to_string(Batch));
+    }
+    spawnArgs(Extra);
   }
 
   /// Waits for the bounded server to exit and returns its exit code.
@@ -102,6 +117,23 @@ struct ScopedServer {
     std::ostringstream SS;
     SS << In.rdbuf();
     return SS.str();
+  }
+
+  /// Polls the log until \p Needle has appeared \p Times times (the
+  /// cross-process rendezvous: e.g. "the session was parked").
+  bool waitForLog(const std::string &Needle, unsigned Times = 1) const {
+    for (int Try = 0; Try < 3000; ++Try) {
+      std::string L = log();
+      size_t Seen = 0, At = 0;
+      while ((At = L.find(Needle, At)) != std::string::npos) {
+        ++Seen;
+        At += Needle.size();
+      }
+      if (Seen >= Times)
+        return true;
+      ::usleep(10 * 1000);
+    }
+    return false;
   }
 
   ~ScopedServer() {
@@ -170,6 +202,82 @@ std::vector<uint8_t> recvAll(int Fd) {
   return Out;
 }
 
+/// Reads exactly \p Len bytes (fails the test on EOF/timeout short of it).
+std::vector<uint8_t> recvExactly(int Fd, size_t Len) {
+  std::vector<uint8_t> Out;
+  uint8_t Buf[4096];
+  while (Out.size() < Len) {
+    size_t Want = std::min(sizeof Buf, Len - Out.size());
+    ssize_t N = ::recv(Fd, Buf, Want, 0);
+    if (N > 0) {
+      Out.insert(Out.end(), Buf, Buf + N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    ADD_FAILURE() << "connection ended after " << Out.size() << " of " << Len
+                  << " bytes";
+    break;
+  }
+  return Out;
+}
+
+/// Splits the fixed-size Hello control frame off the front of a session
+/// response, returning the resume token through \p Token. The remainder
+/// is the response trace stream itself.
+std::vector<uint8_t> stripHello(const std::vector<uint8_t> &Resp,
+                                uint64_t &Token) {
+  if (Resp.size() < ServeHelloBytes) {
+    ADD_FAILURE() << "response shorter than a Hello: " << Resp.size();
+    return {};
+  }
+  ServeCtrl C;
+  size_t Consumed = 0;
+  TraceError Err;
+  TraceFrameStatus St = decodeServeCtrl(Resp.data(), Resp.size(), 0, C,
+                                        Consumed, Err);
+  EXPECT_EQ(static_cast<int>(St), static_cast<int>(TraceFrameStatus::Frame))
+      << Err.str();
+  EXPECT_EQ(static_cast<int>(C.Type),
+            static_cast<int>(ServeCtrlType::Hello));
+  EXPECT_EQ(Consumed, static_cast<size_t>(ServeHelloBytes));
+  Token = C.Token;
+  return {Resp.begin() + ServeHelloBytes, Resp.end()};
+}
+
+std::vector<uint8_t> stripHello(const std::vector<uint8_t> &Resp) {
+  uint64_t Token = 0;
+  return stripHello(Resp, Token);
+}
+
+/// Decodes a response that must be a single typed Reject frame.
+ServeCtrl decodeReject(const std::vector<uint8_t> &Resp) {
+  ServeCtrl C;
+  size_t Consumed = 0;
+  TraceError Err;
+  TraceFrameStatus St = decodeServeCtrl(Resp.data(), Resp.size(), 0, C,
+                                        Consumed, Err);
+  EXPECT_EQ(static_cast<int>(St), static_cast<int>(TraceFrameStatus::Frame))
+      << Err.str();
+  EXPECT_EQ(static_cast<int>(C.Type),
+            static_cast<int>(ServeCtrlType::Reject));
+  EXPECT_EQ(Consumed, Resp.size()) << "trailing bytes after the reject";
+  return C;
+}
+
+/// The Resume preamble a reconnecting client sends.
+std::vector<uint8_t> encodeResume(uint64_t Token, uint64_t Hash,
+                                  unsigned Instant) {
+  ServeCtrl C;
+  C.Type = ServeCtrlType::Resume;
+  C.Token = Token;
+  C.InterfaceHash = Hash;
+  C.ResumeInstant = Instant;
+  std::vector<uint8_t> Out;
+  encodeServeCtrl(C, Out);
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Stimulus construction and response decoding
 //===----------------------------------------------------------------------===//
@@ -184,10 +292,10 @@ struct Stimulus {
 /// request trace (frame capacity 8), remembering the live outputs and
 /// the scalar VM counters the server must reproduce lane-for-lane.
 Stimulus recordStimulus(const Compilation &C, unsigned Instants,
-                        uint64_t Seed) {
+                        uint64_t Seed, const std::string &ProcName = "ALARM") {
   Stimulus St;
   MemorySink Sink;
-  TraceWriter W(Sink, TraceSpec::fromStep(C.Compiled, "ALARM", 8));
+  TraceWriter W(Sink, TraceSpec::fromStep(C.Compiled, ProcName, 8));
   RandomEnvironment Rnd(Seed);
   RecordingEnvironment Rec(Rnd, W);
   VmExecutor Vm(C.Compiled);
@@ -198,6 +306,63 @@ Stimulus recordStimulus(const Compilation &C, unsigned Instants,
   St.GuardTests = Vm.guardTests();
   St.Executed = Vm.executed();
   return St;
+}
+
+/// The exact response stream an uninterrupted session must produce for
+/// \p St: the stimulus replayed through the scalar VM with an
+/// outputs-only echo writer — an in-process oracle the server's bytes
+/// (Hello stripped) are compared against byte for byte.
+std::vector<uint8_t> expectedResponse(const Compilation &C,
+                                      const Stimulus &St) {
+  MemoryTraceSource Src(St.Bytes);
+  TraceReader Reader(Src);
+  EXPECT_TRUE(Reader.readHeader()) << Reader.error().str();
+  TraceEnvironment Env(Reader);
+  MemorySink Sink;
+  TraceWriter Echo(Sink, Reader.spec().outputsOnly());
+  Env.setEcho(&Echo);
+  VmExecutor Vm(C.Compiled);
+  unsigned W = Reader.spec().FrameInstants;
+  unsigned At = 0;
+  for (;;) {
+    unsigned N = Env.prepare(At, W);
+    if (N == 0)
+      break;
+    Vm.stepN(Env, At, N);
+    At += N;
+  }
+  EXPECT_TRUE(Env.atEnd()) << Reader.error().str();
+  EXPECT_TRUE(Echo.finish(At));
+  return Sink.takeBytes();
+}
+
+uint32_t readU32(const std::vector<uint8_t> &B, size_t At) {
+  return static_cast<uint32_t>(B[At]) |
+         static_cast<uint32_t>(B[At + 1]) << 8 |
+         static_cast<uint32_t>(B[At + 2]) << 16 |
+         static_cast<uint32_t>(B[At + 3]) << 24;
+}
+
+/// Length of the prefix of a (Hello-less) trace stream that covers its
+/// header plus every frame ending at or before instant \p K — i.e. the
+/// bytes a client has seen once the server flushed outputs through K.
+size_t prefixLenThrough(const std::vector<uint8_t> &Stream, unsigned K) {
+  TraceSpec Spec;
+  size_t HeaderLen = 0;
+  TraceError Err;
+  EXPECT_TRUE(parseTraceHeader(Stream.data(), Stream.size(), Spec, HeaderLen,
+                               Err))
+      << Err.str();
+  size_t At = HeaderLen;
+  while (At + TraceFrameHeaderBytes <= Stream.size()) {
+    uint32_t PayloadLen = readU32(Stream, At);
+    uint32_t Start = readU32(Stream, At + 4);
+    uint32_t Count = Stream[At + 8] | Stream[At + 9] << 8;
+    if (Count == 0 || Start + Count > K)
+      break; // Trailer, or a frame past K.
+    At += TraceFrameHeaderBytes + PayloadLen;
+  }
+  return At;
 }
 
 /// Decodes an outputs-only response stream into output events.
@@ -261,7 +426,9 @@ std::vector<SessionStats> parseSessionLines(const std::string &Log) {
                     &Id, &S.Instants, &S.Outputs, &S.GuardTests,
                     &S.Executed) != 5)
       continue;
-    size_t L = Line.rfind('('), R = Line.rfind(')');
+    // First '(' to last ')': teardown kinds may nest parens, e.g.
+    // "(stalled (idle timeout))"; the counters never contain one.
+    size_t L = Line.find('('), R = Line.rfind(')');
     if (L != std::string::npos && R != std::string::npos && R > L)
       S.How = Line.substr(L + 1, R - L - 1);
     Out.push_back(S);
@@ -307,9 +474,12 @@ TEST(Serve, TwoConcurrentSessionsGetIndependentCorrectResponses) {
   TB.join();
   EXPECT_EQ(Server.wait(), 0);
 
-  // Each client got exactly its own session's outputs.
-  EXPECT_EQ(sorted(parseResponse(RespA)), sorted(A.Events));
-  EXPECT_EQ(sorted(parseResponse(RespB)), sorted(B.Events));
+  // Each client got exactly its own session's outputs, behind its own
+  // Hello (distinct resume tokens).
+  uint64_t TokA = 0, TokB = 0;
+  EXPECT_EQ(sorted(parseResponse(stripHello(RespA, TokA))), sorted(A.Events));
+  EXPECT_EQ(sorted(parseResponse(stripHello(RespB, TokB))), sorted(B.Events));
+  EXPECT_NE(TokA, TokB);
 
   // The per-session counters the server prints are the scalar VM's
   // numbers for the same stimulus — lane execution is counter-faithful.
@@ -362,7 +532,7 @@ TEST(Serve, MidFrameDisconnectTearsDownWithoutDisturbingOthers) {
   ::close(FdB);
 
   EXPECT_EQ(Server.wait(), 0);
-  EXPECT_EQ(sorted(parseResponse(Resp)), sorted(Full.Events));
+  EXPECT_EQ(sorted(parseResponse(stripHello(Resp))), sorted(Full.Events));
 
   std::string Log = Server.log();
   EXPECT_NE(Log.find("(disconnected)"), std::string::npos) << Log;
@@ -394,7 +564,7 @@ TEST(Serve, HalfClosedClientUnderInboundFlowControlCompletesCleanly) {
   ::close(Fd);
 
   EXPECT_EQ(Server.wait(), 0);
-  EXPECT_EQ(sorted(parseResponse(Resp)), sorted(St.Events));
+  EXPECT_EQ(sorted(parseResponse(stripHello(Resp))), sorted(St.Events));
 
   std::string Log = Server.log();
   std::vector<SessionStats> Stats = parseSessionLines(Log);
@@ -420,10 +590,564 @@ TEST(Serve, WrongInterfaceIsRejectedNotExecuted) {
   ::close(Fd);
 
   EXPECT_EQ(Server.wait(), 0);
-  EXPECT_TRUE(Resp.empty()) << "a rejected session must not stream outputs";
+  // The refusal is a typed control frame, not a silent close: the client
+  // can tell an interface mismatch from a capacity reject.
+  ServeCtrl Reject = decodeReject(Resp);
+  EXPECT_EQ(static_cast<int>(Reject.Reason),
+            static_cast<int>(ServeRejectReason::InterfaceMismatch));
+  EXPECT_NE(Reject.Message.find("does not match the served process"),
+            std::string::npos)
+      << Reject.Message;
 
   std::string Log = Server.log();
   EXPECT_NE(Log.find("does not match the served process"), std::string::npos)
       << Log;
   EXPECT_NE(Log.find("(interface mismatch)"), std::string::npos) << Log;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault tolerance: kill-and-resume byte identity
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class KillMode {
+  Close, ///< The client hard-closes the connection.
+  Stall, ///< The client goes silent; the idle deadline tears it down.
+};
+
+/// The kill-and-resume oracle. Runs a session against its own bounded
+/// server, kills the connection once outputs through frame boundary
+/// \p K have arrived (the server has then provably executed exactly K
+/// instants), reconnects with Resume(token, hash, K), streams the rest
+/// of the stimulus, and demands the two connections' response bytes —
+/// Hellos stripped — concatenate to the uninterrupted run's exact
+/// bytes. Nothing is replayed: the resumed connection starts at K from
+/// a lane-state checkpoint.
+void checkKillResume(const Compilation &C, const std::string &ProcName,
+                     const std::vector<std::string> &Program,
+                     unsigned Instants, uint64_t Seed, unsigned K,
+                     KillMode Mode = KillMode::Close) {
+  SCOPED_TRACE("kill at instant " + std::to_string(K));
+  Stimulus St = recordStimulus(C, Instants, Seed, ProcName);
+  std::vector<uint8_t> Ref = expectedResponse(C, St);
+  uint64_t Hash = traceSpecHash(TraceSpec::fromStep(C.Compiled, ProcName, 8));
+  size_t StimCut = prefixLenThrough(St.Bytes, K);
+  size_t RespCut = prefixLenThrough(Ref, K);
+
+  ScopedServer Server;
+  std::vector<std::string> Extra = {"--max-sessions", "1", "--resume", "2",
+                                    "--serve-limit", "2"};
+  if (Mode == KillMode::Stall) {
+    Extra.push_back("--idle-timeout");
+    Extra.push_back("100");
+  }
+  Server.spawnArgs(Extra, Program);
+  ASSERT_GT(Server.Pid, 0);
+
+  // Connection 1: stimulus through K only. Reading the outputs through K
+  // guarantees the server's execution frontier is exactly K before the
+  // kill — output frames flush only after their batch executed.
+  int Fd1 = connectClient(Server.Sock);
+  ASSERT_GE(Fd1, 0);
+  ASSERT_TRUE(sendAll(Fd1, St.Bytes.data(), StimCut));
+  std::vector<uint8_t> Resp1 = recvExactly(Fd1, ServeHelloBytes + RespCut);
+  if (Mode == KillMode::Close)
+    ::close(Fd1);
+  // Otherwise: stay connected but silent; the idle deadline kills us.
+  ASSERT_TRUE(Server.waitForLog("parked at instant " + std::to_string(K)))
+      << Server.log();
+  if (Mode == KillMode::Stall)
+    ::close(Fd1);
+  uint64_t Token = 0;
+  std::vector<uint8_t> Part1 = stripHello(Resp1, Token);
+
+  // Connection 2: Resume preamble, the original header again, then the
+  // stimulus from frame K on.
+  int Fd2 = connectClient(Server.Sock);
+  ASSERT_GE(Fd2, 0);
+  std::vector<uint8_t> Req = encodeResume(Token, Hash, K);
+  TraceSpec Spec;
+  size_t HeaderLen = 0;
+  TraceError Err;
+  ASSERT_TRUE(parseTraceHeader(St.Bytes.data(), St.Bytes.size(), Spec,
+                               HeaderLen, Err))
+      << Err.str();
+  Req.insert(Req.end(), St.Bytes.begin(), St.Bytes.begin() + HeaderLen);
+  Req.insert(Req.end(), St.Bytes.begin() + StimCut, St.Bytes.end());
+  ASSERT_TRUE(sendAll(Fd2, Req.data(), Req.size()));
+  std::vector<uint8_t> Resp2 = recvAll(Fd2);
+  ::close(Fd2);
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+  uint64_t Token2 = 0;
+  std::vector<uint8_t> Part2 = stripHello(Resp2, Token2);
+  EXPECT_EQ(Token2, Token) << "a resumed session keeps its token";
+
+  // The pin: concatenated responses == the uninterrupted run, byte for
+  // byte (header, every output frame, trailer).
+  std::vector<uint8_t> Concat = Part1;
+  Concat.insert(Concat.end(), Part2.begin(), Part2.end());
+  EXPECT_EQ(Concat, Ref) << Server.log();
+
+  // Per-connection work sums to the whole stream: nothing re-executed.
+  std::vector<SessionStats> Stats = parseSessionLines(Server.log());
+  ASSERT_EQ(Stats.size(), 2u) << Server.log();
+  EXPECT_EQ(Stats[0].Instants, K) << Server.log();
+  EXPECT_EQ(Stats[0].How, Mode == KillMode::Close
+                              ? "disconnected"
+                              : "stalled (idle timeout)")
+      << Server.log();
+  EXPECT_EQ(Stats[1].Instants, Instants - K) << Server.log();
+  EXPECT_EQ(Stats[1].How, "clean") << Server.log();
+}
+
+/// Writes \p Source to a throwaway .sig file and returns its path.
+std::string writeProgramFile(const std::string &Source) {
+  static int Counter = 0;
+  std::string Path = ::testing::TempDir() + "sigc_serve_prog_" +
+                     std::to_string(::getpid()) + "_" +
+                     std::to_string(Counter++) + ".sig";
+  std::ofstream Out(Path);
+  Out << Source;
+  return Path;
+}
+
+/// A process producing one dense 8-byte output per instant: response
+/// volume scales with instants, which makes write-side backpressure
+/// (small --sndbuf, unread client) reachable with short tests.
+std::string denseOutputSource() {
+  return proc("? integer A; ! integer Y;", "   Y := A + 1");
+}
+
+long residentRssBytes(pid_t Pid) {
+  std::ifstream In("/proc/" + std::to_string(Pid) + "/statm");
+  long Pages = 0, Resident = 0;
+  In >> Pages >> Resident;
+  return Resident * ::sysconf(_SC_PAGESIZE);
+}
+
+} // namespace
+
+TEST(ServeResume, KillAndResumeAtEveryFrameBoundaryIsByteIdentical) {
+  auto C = compileOk(alarmFigure5Source());
+  // 80 instants, frame capacity 8: every boundary 0, 8, ..., 72 is a
+  // kill-and-resume point, each against a fresh bounded server.
+  for (unsigned K = 0; K < 80; K += 8)
+    checkKillResume(*C, "ALARM", {"--builtin", "FIG5_ALARM"}, 80, 1234 + K,
+                    K);
+}
+
+TEST(ServeResume, IdleStalledSessionParksAndResumesByteIdentical) {
+  auto C = compileOk(alarmFigure5Source());
+  // The deadline teardown path parks too: a client that goes silent past
+  // --idle-timeout can still come back.
+  checkKillResume(*C, "ALARM", {"--builtin", "FIG5_ALARM"}, 80, 77, 24,
+                  KillMode::Stall);
+}
+
+TEST(ServeResume, RandomProgramSweepResumesByteIdentical) {
+  // Same oracle over generated programs served from files: resume is a
+  // property of the protocol and the checkpoint mechanism, not of one
+  // hand-written builtin.
+  for (uint64_t Seed : {101u, 202u}) {
+    std::string Source = generateRandomProgram("RND", Seed);
+    auto C = compileOk(Source);
+    std::string File = writeProgramFile(Source);
+    checkKillResume(*C, "RND", {File}, 48, Seed, 24);
+    ::unlink(File.c_str());
+  }
+}
+
+TEST(ServeResume, BadTokenHashAndInstantAreTypedRejects) {
+  auto C = compileOk(alarmFigure5Source());
+  Stimulus St = recordStimulus(*C, 80, 5);
+  std::vector<uint8_t> Ref = expectedResponse(*C, St);
+  uint64_t Hash = traceSpecHash(TraceSpec::fromStep(C->Compiled, "ALARM", 8));
+  size_t StimCut = prefixLenThrough(St.Bytes, 8);
+  size_t RespCut = prefixLenThrough(Ref, 8);
+
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "1", "--resume", "2", "--serve-limit",
+                    "4"});
+  ASSERT_GT(Server.Pid, 0);
+
+  // An unknown token is refused before any trace bytes are read.
+  int FdA = connectClient(Server.Sock);
+  ASSERT_GE(FdA, 0);
+  std::vector<uint8_t> Bogus = encodeResume(999999, Hash, 8);
+  ASSERT_TRUE(sendAll(FdA, Bogus.data(), Bogus.size()));
+  ServeCtrl RejA = decodeReject(recvAll(FdA));
+  ::close(FdA);
+  EXPECT_EQ(static_cast<int>(RejA.Reason),
+            static_cast<int>(ServeRejectReason::BadResume));
+  EXPECT_NE(RejA.Message.find("unknown or expired session token"),
+            std::string::npos)
+      << RejA.Message;
+
+  // Park a real session at instant 8.
+  int FdB = connectClient(Server.Sock);
+  ASSERT_GE(FdB, 0);
+  ASSERT_TRUE(sendAll(FdB, St.Bytes.data(), StimCut));
+  std::vector<uint8_t> RespB = recvExactly(FdB, ServeHelloBytes + RespCut);
+  ::close(FdB);
+  ASSERT_TRUE(Server.waitForLog("parked at instant 8")) << Server.log();
+  uint64_t Token = 0;
+  stripHello(RespB, Token);
+
+  // Right token, wrong interface hash.
+  int FdC = connectClient(Server.Sock);
+  ASSERT_GE(FdC, 0);
+  std::vector<uint8_t> WrongHash = encodeResume(Token, Hash ^ 1, 8);
+  ASSERT_TRUE(sendAll(FdC, WrongHash.data(), WrongHash.size()));
+  ServeCtrl RejC = decodeReject(recvAll(FdC));
+  ::close(FdC);
+  EXPECT_EQ(static_cast<int>(RejC.Reason),
+            static_cast<int>(ServeRejectReason::InterfaceMismatch));
+
+  // Right token and hash, but no checkpoint at a mid-frame instant.
+  int FdD = connectClient(Server.Sock);
+  ASSERT_GE(FdD, 0);
+  std::vector<uint8_t> WrongAt = encodeResume(Token, Hash, 5);
+  ASSERT_TRUE(sendAll(FdD, WrongAt.data(), WrongAt.size()));
+  ServeCtrl RejD = decodeReject(recvAll(FdD));
+  ::close(FdD);
+  EXPECT_EQ(static_cast<int>(RejD.Reason),
+            static_cast<int>(ServeRejectReason::BadResume));
+  EXPECT_NE(RejD.Message.find("no checkpoint at instant 5"),
+            std::string::npos)
+      << RejD.Message;
+
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+}
+
+//===----------------------------------------------------------------------===//
+// Overload admission
+//===----------------------------------------------------------------------===//
+
+TEST(ServeOverload, SaturatedLanesGetTypedRejectWithBoundedRss) {
+  auto C = compileOk(alarmFigure5Source());
+  Stimulus St = recordStimulus(*C, 80, 6);
+  TraceSpec Spec;
+  size_t HeaderLen = 0;
+  TraceError Err;
+  ASSERT_TRUE(parseTraceHeader(St.Bytes.data(), St.Bytes.size(), Spec,
+                               HeaderLen, Err));
+
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "1", "--serve-limit", "1"});
+  ASSERT_GT(Server.Pid, 0);
+
+  // Occupy the only lane: header sent, Hello received, stream held open.
+  int Held = connectClient(Server.Sock);
+  ASSERT_GE(Held, 0);
+  ASSERT_TRUE(sendAll(Held, St.Bytes.data(), HeaderLen));
+  std::vector<uint8_t> Hello = recvExactly(Held, ServeHelloBytes);
+  ASSERT_EQ(Hello.size(), static_cast<size_t>(ServeHelloBytes));
+
+  long RssBefore = residentRssBytes(Server.Pid);
+  ASSERT_GT(RssBefore, 0);
+  for (int I = 0; I < 40; ++I) {
+    int Fd = connectClient(Server.Sock);
+    ASSERT_GE(Fd, 0);
+    ServeCtrl Rej = decodeReject(recvAll(Fd));
+    ::close(Fd);
+    EXPECT_EQ(static_cast<int>(Rej.Reason),
+              static_cast<int>(ServeRejectReason::AtCapacity));
+    EXPECT_NE(Rej.Message.find("no free session lane"), std::string::npos)
+        << Rej.Message;
+  }
+  long RssAfter = residentRssBytes(Server.Pid);
+  // A reject allocates no session state: a reject storm must not grow
+  // the server. Generous slack for allocator noise.
+  EXPECT_LT(RssAfter, RssBefore + (8 << 20))
+      << "RSS grew from " << RssBefore << " to " << RssAfter;
+
+  // The held session still completes untouched.
+  ASSERT_TRUE(sendAll(Held, St.Bytes.data() + HeaderLen,
+                      St.Bytes.size() - HeaderLen));
+  std::vector<uint8_t> Resp = recvAll(Held);
+  ::close(Held);
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+  // Hello was read separately above; the remainder is the trace stream.
+  EXPECT_EQ(sorted(parseResponse(Resp)), sorted(St.Events));
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("rejected 40 connection(s) (at capacity 40, "
+                     "draining 0)"),
+            std::string::npos)
+      << Log;
+}
+
+TEST(ServeOverload, BatchBudgetRejectsEvenWithFreeLanes) {
+  auto C = compileOk(alarmFigure5Source());
+  Stimulus St = recordStimulus(*C, 80, 7);
+  TraceSpec Spec;
+  size_t HeaderLen = 0;
+  TraceError Err;
+  ASSERT_TRUE(parseTraceHeader(St.Bytes.data(), St.Bytes.size(), Spec,
+                               HeaderLen, Err));
+
+  // Each admitted session reserves MaxAheadBatches(4) * --batch(8) = 32
+  // instants against the budget. Budget 32 admits exactly one session;
+  // the second is rejected although three lanes are free.
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "4", "--batch", "8", "--batch-budget",
+                    "32", "--serve-limit", "1"});
+  ASSERT_GT(Server.Pid, 0);
+
+  int Held = connectClient(Server.Sock);
+  ASSERT_GE(Held, 0);
+  ASSERT_TRUE(sendAll(Held, St.Bytes.data(), HeaderLen));
+  ASSERT_EQ(recvExactly(Held, ServeHelloBytes).size(),
+            static_cast<size_t>(ServeHelloBytes));
+
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ServeCtrl Rej = decodeReject(recvAll(Fd));
+  ::close(Fd);
+  EXPECT_EQ(static_cast<int>(Rej.Reason),
+            static_cast<int>(ServeRejectReason::AtCapacity));
+  EXPECT_NE(Rej.Message.find("batch budget exhausted"), std::string::npos)
+      << Rej.Message;
+
+  ASSERT_TRUE(sendAll(Held, St.Bytes.data() + HeaderLen,
+                      St.Bytes.size() - HeaderLen));
+  std::vector<uint8_t> Resp = recvAll(Held);
+  ::close(Held);
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+  EXPECT_EQ(sorted(parseResponse(Resp)), sorted(St.Events));
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDeadline, IdleClientIsTornDownWithCountersIntact) {
+  auto C = compileOk(alarmFigure5Source());
+  Stimulus St = recordStimulus(*C, 80, 8);
+  std::vector<uint8_t> Ref = expectedResponse(*C, St);
+  size_t StimCut = prefixLenThrough(St.Bytes, 8);
+  size_t RespCut = prefixLenThrough(Ref, 8);
+
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "1", "--serve-limit", "1",
+                    "--idle-timeout", "100"});
+  ASSERT_GT(Server.Pid, 0);
+
+  // One frame of stimulus, then silence: the server must not wait
+  // forever on a stalled client.
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, St.Bytes.data(), StimCut));
+  std::vector<uint8_t> Resp = recvAll(Fd); // Until the teardown EOF.
+  ::close(Fd);
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+
+  // Everything sent before the stall was executed and answered: the
+  // response is the uninterrupted run's exact prefix through instant 8.
+  std::vector<uint8_t> Got = stripHello(Resp);
+  EXPECT_EQ(Got, std::vector<uint8_t>(Ref.begin(), Ref.begin() + RespCut));
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("no stimulus for 100 ms"), std::string::npos) << Log;
+  std::vector<SessionStats> Stats = parseSessionLines(Log);
+  ASSERT_EQ(Stats.size(), 1u) << Log;
+  EXPECT_EQ(Stats[0].How, "stalled (idle timeout)") << Log;
+  EXPECT_EQ(Stats[0].Instants, 8u) << Log;
+}
+
+TEST(ServeDeadline, UnresponsiveReaderHitsWriteTimeout) {
+  auto C = compileOk(denseOutputSource());
+  Stimulus St = recordStimulus(*C, 4000, 9, "P");
+  std::string File = writeProgramFile(denseOutputSource());
+
+  // A small SO_SNDBUF makes the ~32 KiB response stream overrun the
+  // in-flight window of a client that never reads; with no write
+  // deadline the flush would wait forever.
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "1", "--serve-limit", "1",
+                    "--write-timeout", "200", "--sndbuf", "4096"},
+                   {File});
+  ASSERT_GT(Server.Pid, 0);
+
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, St.Bytes.data(), St.Bytes.size()));
+  // Never read. The server must diagnose us and exit on its own.
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+  ::close(Fd);
+  ::unlink(File.c_str());
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("accepted no output for 200 ms"), std::string::npos)
+      << Log;
+  std::vector<SessionStats> Stats = parseSessionLines(Log);
+  ASSERT_EQ(Stats.size(), 1u) << Log;
+  EXPECT_EQ(Stats[0].How, "stalled (write timeout)") << Log;
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful drain
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDrain, SigtermFinishesResidentFramesAndExitsZero) {
+  auto C = compileOk(alarmFigure5Source());
+  Stimulus St = recordStimulus(*C, 80, 10);
+  std::vector<uint8_t> Ref = expectedResponse(*C, St);
+  size_t StimCut = prefixLenThrough(St.Bytes, 16);
+  size_t RespCut = prefixLenThrough(Ref, 16);
+
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "1"}); // Unbounded: only the signal
+                                             // ends this server.
+  ASSERT_GT(Server.Pid, 0);
+
+  // Two frames in flight, outputs read back (so the server provably
+  // executed them), then SIGTERM mid-session.
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, St.Bytes.data(), StimCut));
+  std::vector<uint8_t> Part = recvExactly(Fd, ServeHelloBytes + RespCut);
+  ASSERT_EQ(::kill(Server.Pid, SIGTERM), 0);
+  std::vector<uint8_t> Rest = recvAll(Fd); // Early trailer, then EOF.
+  ::close(Fd);
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+
+  // The shortened response is still a well-formed trace: everything
+  // resident executed, closed by a trailer at the drain point.
+  std::vector<uint8_t> Resp = stripHello(Part);
+  Resp.insert(Resp.end(), Rest.begin(), Rest.end());
+  std::vector<OutputEvent> Expect;
+  for (const OutputEvent &E : St.Events)
+    if (E.Instant < 16)
+      Expect.push_back(E);
+  EXPECT_EQ(sorted(parseResponse(Resp)), sorted(Expect));
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("draining: finishing 1 session(s)"), std::string::npos)
+      << Log;
+  std::vector<SessionStats> Stats = parseSessionLines(Log);
+  ASSERT_EQ(Stats.size(), 1u) << Log;
+  EXPECT_EQ(Stats[0].How, "drained") << Log;
+  EXPECT_EQ(Stats[0].Instants, 16u) << Log;
+  EXPECT_NE(Log.find("served 1 session(s) (drained)"), std::string::npos)
+      << Log;
+}
+
+TEST(ServeDrain, SecondSignalForcesExitOne) {
+  auto C = compileOk(denseOutputSource());
+  Stimulus St = recordStimulus(*C, 4000, 11, "P");
+  std::string File = writeProgramFile(denseOutputSource());
+
+  // An unread ~32 KiB response against a 4 KiB SO_SNDBUF cannot flush:
+  // the drain never completes on its own, so the second signal must
+  // force the exit.
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "1", "--sndbuf", "4096"}, {File});
+  ASSERT_GT(Server.Pid, 0);
+
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, St.Bytes.data(), St.Bytes.size()));
+  ASSERT_EQ(recvExactly(Fd, ServeHelloBytes).size(),
+            static_cast<size_t>(ServeHelloBytes));
+  ASSERT_EQ(::kill(Server.Pid, SIGTERM), 0);
+  ASSERT_TRUE(Server.waitForLog("draining:")) << Server.log();
+  ASSERT_EQ(::kill(Server.Pid, SIGINT), 0);
+  EXPECT_EQ(Server.wait(), 1) << Server.log();
+  ::close(Fd);
+  ::unlink(File.c_str());
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("second signal: forcing exit"), std::string::npos)
+      << Log;
+  std::vector<SessionStats> Stats = parseSessionLines(Log);
+  ASSERT_EQ(Stats.size(), 1u) << Log;
+  EXPECT_EQ(Stats[0].How, "forced") << Log;
+}
+
+TEST(ServeDrain, DrainGraceExpiryForcesExitZero) {
+  auto C = compileOk(denseOutputSource());
+  Stimulus St = recordStimulus(*C, 4000, 12, "P");
+  std::string File = writeProgramFile(denseOutputSource());
+
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "1", "--sndbuf", "4096",
+                    "--drain-grace", "150"},
+                   {File});
+  ASSERT_GT(Server.Pid, 0);
+
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, St.Bytes.data(), St.Bytes.size()));
+  ASSERT_EQ(recvExactly(Fd, ServeHelloBytes).size(),
+            static_cast<size_t>(ServeHelloBytes));
+  ASSERT_EQ(::kill(Server.Pid, SIGTERM), 0);
+  // One signal only: the grace deadline bounds the drain.
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+  ::close(Fd);
+  ::unlink(File.c_str());
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("drain grace expired: forcing exit"), std::string::npos)
+      << Log;
+  EXPECT_NE(Log.find("(forced)"), std::string::npos) << Log;
+}
+
+TEST(ServeDrain, ClientDisconnectDuringDrainStillExitsZero) {
+  auto C = compileOk(denseOutputSource());
+  Stimulus St = recordStimulus(*C, 4000, 13, "P");
+  std::string File = writeProgramFile(denseOutputSource());
+
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "1", "--sndbuf", "4096"}, {File});
+  ASSERT_GT(Server.Pid, 0);
+
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, St.Bytes.data(), St.Bytes.size()));
+  ASSERT_EQ(recvExactly(Fd, ServeHelloBytes).size(),
+            static_cast<size_t>(ServeHelloBytes));
+  ASSERT_EQ(::kill(Server.Pid, SIGTERM), 0);
+  ASSERT_TRUE(Server.waitForLog("draining:")) << Server.log();
+  // The client gives up mid-drain instead of reading its queued bytes.
+  ::close(Fd);
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+  ::unlink(File.c_str());
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("(disconnected)"), std::string::npos) << Log;
+  EXPECT_NE(Log.find("served 1 session(s) (drained)"), std::string::npos)
+      << Log;
+}
+
+TEST(ServeDrain, NewConnectionsDuringDrainGetDrainingReject) {
+  auto C = compileOk(denseOutputSource());
+  Stimulus St = recordStimulus(*C, 4000, 14, "P");
+  std::string File = writeProgramFile(denseOutputSource());
+
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "2", "--sndbuf", "4096"}, {File});
+  ASSERT_GT(Server.Pid, 0);
+
+  int Held = connectClient(Server.Sock);
+  ASSERT_GE(Held, 0);
+  ASSERT_TRUE(sendAll(Held, St.Bytes.data(), St.Bytes.size()));
+  ASSERT_EQ(recvExactly(Held, ServeHelloBytes).size(),
+            static_cast<size_t>(ServeHelloBytes));
+  ASSERT_EQ(::kill(Server.Pid, SIGTERM), 0);
+  ASSERT_TRUE(Server.waitForLog("draining:")) << Server.log();
+
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ServeCtrl Rej = decodeReject(recvAll(Fd));
+  ::close(Fd);
+  EXPECT_EQ(static_cast<int>(Rej.Reason),
+            static_cast<int>(ServeRejectReason::Draining));
+  EXPECT_NE(Rej.Message.find("server is draining"), std::string::npos)
+      << Rej.Message;
+
+  ::close(Held); // Unblocks the drain; the server exits on its own.
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+  ::unlink(File.c_str());
 }
