@@ -3,6 +3,7 @@
 #include "driver/Driver.h"
 
 #include "codegen/StepCompiler.h"
+#include "native/TierController.h"
 #include "sema/Sema.h"
 
 #include <algorithm>
@@ -42,6 +43,24 @@ bool sigc::parseEngineMode(const std::string &Name, EngineMode &Mode,
   } else {
     Diag = "unknown --mode '" + Name +
            "'; valid modes: " + engineModeList();
+    return false;
+  }
+  return true;
+}
+
+const char *sigc::nativeModeList() { return "off, auto, force"; }
+
+bool sigc::parseNativeMode(const std::string &Name, NativeMode &Mode,
+                           std::string &Diag) {
+  if (Name == "off") {
+    Mode = NativeMode::Off;
+  } else if (Name == "auto") {
+    Mode = NativeMode::Auto;
+  } else if (Name == "force") {
+    Mode = NativeMode::Force;
+  } else {
+    Diag = "unknown --native '" + Name +
+           "'; valid modes: " + nativeModeList();
     return false;
   }
   return true;

@@ -29,6 +29,7 @@
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -68,6 +69,16 @@ const char *engineModeList();
 /// the --process typo diagnostic, so a typo never sends the user to the
 /// sources.
 bool parseEngineMode(const std::string &Name, EngineMode &Mode,
+                     std::string &Diag);
+
+enum class NativeMode : uint8_t; // native/TierController.h
+
+/// The canonical valid --native list ("off, auto, force") for diagnostics.
+const char *nativeModeList();
+
+/// Parses a --native spelling, with the parseEngineMode contract: an
+/// unknown mode returns false and \p Diag names every valid one.
+bool parseNativeMode(const std::string &Name, NativeMode &Mode,
                      std::string &Diag);
 
 /// Parses the numeric operand of CLI flag \p Flag into \p Out. \p Text

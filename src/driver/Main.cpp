@@ -59,8 +59,19 @@
 ///   --threads T        shard the fleet across T worker threads
 ///   --mode M           execution engine for --simulate: vm (default,
 ///                      the slot-resolved bytecode VM), nested or flat
+///   --native M         tiered native execution: off (default), auto
+///                      (cache hit runs native immediately; a miss runs
+///                      the VM while a background cc compiles, then
+///                      hot-swaps at a batch boundary) or force (block
+///                      on the compile; fail if impossible). Applies to
+///                      --simulate, --fleet and --serve.
+///   --cache-dir DIR    persistent compiled-step cache directory
+///                      (default: $XDG_CACHE_HOME/signalc)
+///   --tier-after N     minimum interpreted instants before an auto
+///                      promotion (warm-up threshold)
 ///   --stats            after --simulate, print per-run instruction and
-///                      guard-test counters to stderr
+///                      guard-test counters to stderr (and the per-tier
+///                      instant split when --native is on)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -74,6 +85,8 @@
 #include "io/TraceEnvironment.h"
 #include "link/LinkEmitter.h"
 #include "link/Linker.h"
+#include "native/NativeExecutor.h"
+#include "native/TierController.h"
 #include "programs/Programs.h"
 
 #include <csignal>
@@ -102,6 +115,8 @@ void printUsage() {
                "         --simulate N --seed S --batch B "
                "--fleet N --threads T\n"
                "         --mode vm|nested|flat --stats\n"
+               "         --native off|auto|force --cache-dir DIR "
+               "--tier-after N\n"
                "         --record FILE --frame W --replay FILE "
                "--replay-buffered\n"
                "         --serve SOCK --max-sessions N --serve-limit K\n"
@@ -119,6 +134,32 @@ void printStats(const std::string &Mode, unsigned Instants,
                static_cast<unsigned long long>(Executed),
                static_cast<unsigned long long>(GuardTests),
                static_cast<double>(Executed) / Instants);
+}
+
+const char *nativeModeName(NativeMode M) {
+  switch (M) {
+  case NativeMode::Off:
+    return "off";
+  case NativeMode::Auto:
+    return "auto";
+  case NativeMode::Force:
+    return "force";
+  }
+  return "off";
+}
+
+/// The --stats tier split: which tier executed how many instants, plus
+/// the cache outcome the run observed.
+void printTierStats(const TierController &TC) {
+  TierStats S = TC.stats();
+  std::fprintf(stderr,
+               "stats: tier native=%s cache=%s vm_instants=%llu "
+               "native_instants=%llu hash=%s%s%s\n",
+               nativeModeName(TC.mode()), S.CacheHit ? "hit" : "miss",
+               static_cast<unsigned long long>(S.VmInstants),
+               static_cast<unsigned long long>(S.NativeInstants),
+               S.Hash.c_str(), S.Error.empty() ? "" : " error=",
+               S.Error.c_str());
 }
 
 std::vector<std::string> splitCommas(const std::string &List) {
@@ -162,6 +203,7 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = 1;
   EngineMode Mode = EngineMode::Vm;
   std::string ModeName = "vm";
+  TierOptions Tier;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -265,6 +307,42 @@ int main(int Argc, char **Argv) {
         SendBufBytes = static_cast<unsigned>(V);
       else
         FleetThreads = static_cast<unsigned>(V);
+    } else if (Arg == "--native" || Arg.rfind("--native=", 0) == 0) {
+      std::string V;
+      if (Arg == "--native") {
+        const char *N = next();
+        V = N ? N : "";
+      } else {
+        V = Arg.substr(std::string("--native=").size());
+      }
+      std::string Diag;
+      if (!parseNativeMode(V, Tier.Mode, Diag)) {
+        std::fprintf(stderr, "signalc: %s\n", Diag.c_str());
+        return 2;
+      }
+    } else if (Arg == "--cache-dir" || Arg.rfind("--cache-dir=", 0) == 0) {
+      if (Arg == "--cache-dir") {
+        if (const char *V = next())
+          Tier.CacheDir = V;
+      } else {
+        Tier.CacheDir = Arg.substr(std::string("--cache-dir=").size());
+      }
+    } else if (Arg == "--tier-after" || Arg.rfind("--tier-after=", 0) == 0) {
+      const char *Text;
+      std::string Val;
+      if (Arg == "--tier-after") {
+        Text = next();
+      } else {
+        Val = Arg.substr(std::string("--tier-after=").size());
+        Text = Val.c_str();
+      }
+      uint64_t V = 0;
+      std::string Diag;
+      if (!parseCliUnsigned("--tier-after", Text, UINT32_MAX, V, Diag)) {
+        std::fprintf(stderr, "signalc: %s\n", Diag.c_str());
+        return 2;
+      }
+      Tier.TierAfter = static_cast<unsigned>(V);
     } else if (Arg == "--mode") {
       if (const char *V = next())
         ModeName = V;
@@ -292,7 +370,8 @@ int main(int Argc, char **Argv) {
           "--threads", "--mode", "--stats", "--record", "--frame",
           "--replay", "--replay-buffered", "--serve", "--max-sessions",
           "--serve-limit", "--resume", "--batch-budget", "--idle-timeout",
-          "--write-timeout", "--drain-grace", "--sndbuf", "--help"};
+          "--write-timeout", "--drain-grace", "--sndbuf", "--native",
+          "--cache-dir", "--tier-after", "--help"};
       std::string Suggest = suggestNearestFlag(Arg, KnownFlags);
       std::string Hint =
           Suggest.empty() ? "" : "; did you mean '" + Suggest + "'?";
@@ -355,6 +434,9 @@ int main(int Argc, char **Argv) {
     if (Fleet)
       std::fprintf(stderr,
                    "signalc: warning: --fleet is ignored in --link mode\n");
+    if (Tier.Mode != NativeMode::Off)
+      std::fprintf(stderr,
+                   "signalc: warning: --native is ignored in --link mode\n");
     if (!RecordFile.empty() || !ReplayFile.empty() || !ServeSock.empty())
       std::fprintf(stderr,
                    "signalc: warning: --record/--replay/--serve are ignored "
@@ -472,12 +554,16 @@ int main(int Argc, char **Argv) {
     SO.WriteTimeoutMs = WriteTimeoutMs;
     SO.DrainGraceMs = DrainGraceMs;
     SO.SendBufBytes = SendBufBytes;
+    SO.Tier = Tier;
     return runTraceServer(C->Compiled, ProcName, SO);
   }
 
   if (!ReplayFile.empty()) {
     // Replay: the recorded trace is the environment. Outputs the
     // re-execution produces are verified against the recorded ones.
+    if (Tier.Mode != NativeMode::Off)
+      std::fprintf(stderr, "signalc: warning: --native is ignored for "
+                           "--replay (verification runs the vm)\n");
     std::unique_ptr<TraceSource> Src;
     std::string OpenErr;
     if (ReplayBuffered) {
@@ -538,6 +624,9 @@ int main(int Argc, char **Argv) {
     if (Mode != EngineMode::Vm)
       std::fprintf(stderr, "signalc: warning: --record always runs the "
                            "batched vm engine; --mode ignored\n");
+    if (Tier.Mode != NativeMode::Off)
+      std::fprintf(stderr, "signalc: warning: --native is ignored while "
+                           "recording (the recorder runs the vm)\n");
     std::string OpenErr;
     int Fd = FdSink::openFile(RecordFile, OpenErr);
     if (Fd < 0) {
@@ -592,10 +681,35 @@ int main(int Argc, char **Argv) {
     FleetExecutor::Config Cfg;
     Cfg.Threads = FleetThreads;
     FleetExecutor Exec(C->Compiled, Fleet, Cfg);
-    if (Batch > 1)
-      Exec.runBatched(Envs, Simulate, Batch);
-    else
-      Exec.run(Envs, Simulate);
+    if (Tier.Mode == NativeMode::Off) {
+      if (Batch > 1)
+        Exec.runBatched(Envs, Simulate, Batch);
+      else
+        Exec.run(Envs, Simulate);
+    } else {
+      // Tiered fleet: poll the controller at window boundaries and swap
+      // the whole sweep onto the native _step_fleet entry when ready.
+      TierController TC(C->Compiled, Tier);
+      if (!TC.start()) {
+        std::fprintf(stderr, "signalc: --native force failed: %s\n",
+                     TC.error().c_str());
+        return 1;
+      }
+      unsigned Window = Batch > 1 ? Batch : 8;
+      for (unsigned At = 0; At < Simulate;) {
+        if (!Exec.nativeActive() && TC.shouldPromote(At))
+          Exec.setNative(TC.module());
+        unsigned N = std::min(Window, Simulate - At);
+        Exec.stepN(Envs, At, N);
+        if (Exec.nativeActive())
+          TC.noteNativeInstants(N);
+        else
+          TC.noteVmInstants(N);
+        At += N;
+      }
+      if (Stats)
+        printTierStats(TC);
+    }
     std::printf("fleet simulation (%u instances, %u instants, seed %llu, "
                 "%u thread(s)):\n",
                 Fleet, Simulate, static_cast<unsigned long long>(Seed),
@@ -613,9 +727,45 @@ int main(int Argc, char **Argv) {
     if (Batch > 1 && Mode != EngineMode::Vm)
       std::fprintf(stderr, "signalc: warning: --batch needs the vm engine; "
                            "running unbatched\n");
+    if (Tier.Mode != NativeMode::Off && Mode != EngineMode::Vm)
+      std::fprintf(stderr, "signalc: warning: --native needs the vm engine; "
+                           "running interpreted\n");
     RandomEnvironment Env(Seed);
     uint64_t Executed = 0, GuardTests = 0;
-    if (Mode == EngineMode::Vm) {
+    if (Mode == EngineMode::Vm && Tier.Mode != NativeMode::Off) {
+      // Tiered scalar run: the VM carries the session until the cache
+      // hit / background compile is ready, then the session hot-swaps
+      // onto the native step at a batch boundary (a pure state copy —
+      // the emitted C maintains the counters VM-exactly).
+      TierController TC(C->Compiled, Tier);
+      if (!TC.start()) {
+        std::fprintf(stderr, "signalc: --native force failed: %s\n",
+                     TC.error().c_str());
+        return 1;
+      }
+      VmExecutor Vm(C->Compiled);
+      std::unique_ptr<NativeExecutor> NX;
+      unsigned Window = Batch > 1 ? Batch : 8;
+      for (unsigned At = 0; At < Simulate;) {
+        if (!NX && TC.shouldPromote(At)) {
+          NX = std::make_unique<NativeExecutor>(C->Compiled, *TC.module());
+          NX->importState(Vm.stateSlots(), Vm.guardTests(), Vm.executed());
+        }
+        unsigned N = std::min(Window, Simulate - At);
+        if (NX) {
+          NX->stepN(Env, At, N);
+          TC.noteNativeInstants(N);
+        } else {
+          Vm.stepN(Env, At, N);
+          TC.noteVmInstants(N);
+        }
+        At += N;
+      }
+      Executed = NX ? NX->executed() : Vm.executed();
+      GuardTests = NX ? NX->guardTests() : Vm.guardTests();
+      if (Stats)
+        printTierStats(TC);
+    } else if (Mode == EngineMode::Vm) {
       VmExecutor Exec(C->Compiled);
       if (Batch > 1)
         Exec.runBatched(Env, Simulate, Batch);

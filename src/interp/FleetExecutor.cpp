@@ -2,6 +2,7 @@
 
 #include "interp/FleetExecutor.h"
 
+#include "native/NativeExecutor.h"
 #include "sema/Kernel.h"
 
 #include <algorithm>
@@ -150,9 +151,19 @@ void FleetExecutor::reserveWindow(unsigned MaxCount) {
     ensureShardCapacity(S);
 }
 
+void FleetExecutor::setNative(const NativeModule *M) {
+  assert((!M || M->numStateSlots() == CS.StateInit.size()) &&
+         "native module compiled from a different step");
+  Native = M;
+}
+
 void FleetExecutor::execBlock(Shard &S, const std::vector<Environment *> &Envs,
                               unsigned I0, unsigned NB, unsigned Start,
                               unsigned Count) {
+  if (Native) {
+    execBlockNative(S, Envs, I0, NB, Start, Count);
+    return;
+  }
   const size_t W = WindowCap;
   const unsigned NumOut = static_cast<unsigned>(CS.Outputs.size());
 
@@ -203,8 +214,12 @@ void FleetExecutor::execBlock(Shard &S, const std::vector<Environment *> &Envs,
         S.GuardTests += ActiveCount;
         const char *CRow = &Clk[static_cast<size_t>(In.A) * K];
         unsigned NewCount = 0;
-        for (unsigned L = 0; L < NB; ++L)
-          NewCount += Act[L] & CRow[L];
+        if (ActiveCount == NB)
+          for (unsigned L = 0; L < NB; ++L)
+            NewCount += static_cast<unsigned char>(CRow[L]);
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            NewCount += Act[L] & CRow[L];
         if (NewCount == 0) {
           // Scalar fast path: nobody enters, skip the whole subtree.
           PC = In.Aux;
@@ -227,6 +242,13 @@ void FleetExecutor::execBlock(Shard &S, const std::vector<Environment *> &Envs,
       }
       ++PC;
       S.Executed += static_cast<uint64_t>(In.Weight) * ActiveCount;
+      // Fast path: a fully active block needs no mask maintenance at all
+      // — every lane takes the op, so clock blends collapse to plain
+      // stores and value ops drop their per-lane predicate test. The
+      // common case by construction: a block only narrows below a guard
+      // whose clock splits the lanes, and the whole subtree is skipped
+      // when nobody enters.
+      const bool AllActive = ActiveCount == NB;
       switch (In.Op) {
       case VmOp::SkipIfAbsent:
         break; // handled above
@@ -234,113 +256,170 @@ void FleetExecutor::execBlock(Shard &S, const std::vector<Environment *> &Envs,
         char *T = &Clk[static_cast<size_t>(In.Target) * K];
         const unsigned char *Ticks =
             &S.TickBuf[static_cast<size_t>(In.Aux) * K * W];
-        for (unsigned L = 0; L < NB; ++L)
-          T[L] = blendClock(T[L], Ticks[L * W + I] != 0, Act[L]);
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = Ticks[L * W + I] != 0;
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = blendClock(T[L], Ticks[L * W + I] != 0, Act[L]);
         break;
       }
       case VmOp::EvalClockLiteral: {
         char *T = &Clk[static_cast<size_t>(In.Target) * K];
         const Value *A = &Vals[static_cast<size_t>(In.A) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = (A[L].asBool() == (In.Aux != 0)) ? 1 : 0;
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = (A[L].asBool() == (In.Aux != 0)) ? 1 : 0;
         break;
       }
       case VmOp::EvalClockAnd: {
         char *T = &Clk[static_cast<size_t>(In.Target) * K];
         const char *A = &Clk[static_cast<size_t>(In.A) * K];
         const char *B = &Clk[static_cast<size_t>(In.B) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          T[L] = blendClock(T[L], A[L] & B[L], Act[L]);
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = static_cast<char>(A[L] & B[L]);
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = blendClock(T[L], A[L] & B[L], Act[L]);
         break;
       }
       case VmOp::EvalClockOr: {
         char *T = &Clk[static_cast<size_t>(In.Target) * K];
         const char *A = &Clk[static_cast<size_t>(In.A) * K];
         const char *B = &Clk[static_cast<size_t>(In.B) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          T[L] = blendClock(T[L], A[L] | B[L], Act[L]);
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = static_cast<char>(A[L] | B[L]);
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = blendClock(T[L], A[L] | B[L], Act[L]);
         break;
       }
       case VmOp::EvalClockDiff: {
         char *T = &Clk[static_cast<size_t>(In.Target) * K];
         const char *A = &Clk[static_cast<size_t>(In.A) * K];
         const char *B = &Clk[static_cast<size_t>(In.B) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          T[L] = blendClock(T[L], static_cast<char>(A[L] & (B[L] ^ 1)),
-                            Act[L]);
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = static_cast<char>(A[L] & (B[L] ^ 1));
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = blendClock(T[L], static_cast<char>(A[L] & (B[L] ^ 1)),
+                              Act[L]);
         break;
       }
       case VmOp::CopyClock: {
         char *T = &Clk[static_cast<size_t>(In.Target) * K];
         const char *A = &Clk[static_cast<size_t>(In.A) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          T[L] = blendClock(T[L], A[L], Act[L]);
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = A[L];
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = blendClock(T[L], A[L], Act[L]);
         break;
       }
       case VmOp::SetClockFalse: {
         char *T = &Clk[static_cast<size_t>(In.Target) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          T[L] = static_cast<char>(T[L] & (Act[L] ^ 1));
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = 0;
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            T[L] = static_cast<char>(T[L] & (Act[L] ^ 1));
         break;
       }
       case VmOp::ReadSignal: {
         Value *T = &Vals[static_cast<size_t>(In.Target) * K];
         const Value *Ins = &S.InBuf[static_cast<size_t>(In.Aux) * K * W];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = Ins[L * W + I];
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = Ins[L * W + I];
         break;
       }
       case VmOp::UnarySlot: {
         Value *T = &Vals[static_cast<size_t>(In.Target) * K];
         const Value *A = &Vals[static_cast<size_t>(In.A) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = evalUnaryValue(static_cast<UnaryOp>(In.Aux), A[L]);
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = evalUnaryValue(static_cast<UnaryOp>(In.Aux), A[L]);
         break;
       }
       case VmOp::BinarySS: {
         Value *T = &Vals[static_cast<size_t>(In.Target) * K];
         const Value *A = &Vals[static_cast<size_t>(In.A) * K];
         const Value *B = &Vals[static_cast<size_t>(In.B) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = evalBinaryValue(static_cast<BinaryOp>(In.Aux), A[L], B[L]);
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = evalBinaryValue(static_cast<BinaryOp>(In.Aux), A[L],
+                                     B[L]);
         break;
       }
       case VmOp::BinarySC: {
         Value *T = &Vals[static_cast<size_t>(In.Target) * K];
         const Value *A = &Vals[static_cast<size_t>(In.A) * K];
         const Value &C = Consts[In.B];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = evalBinaryValue(static_cast<BinaryOp>(In.Aux), A[L], C);
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = evalBinaryValue(static_cast<BinaryOp>(In.Aux), A[L], C);
         break;
       }
       case VmOp::BinaryCS: {
         Value *T = &Vals[static_cast<size_t>(In.Target) * K];
         const Value &C = Consts[In.A];
         const Value *B = &Vals[static_cast<size_t>(In.B) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = evalBinaryValue(static_cast<BinaryOp>(In.Aux), C, B[L]);
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = evalBinaryValue(static_cast<BinaryOp>(In.Aux), C, B[L]);
         break;
       }
       case VmOp::CopyValue: {
         Value *T = &Vals[static_cast<size_t>(In.Target) * K];
         const Value *A = &Vals[static_cast<size_t>(In.A) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = A[L];
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = A[L];
         break;
       }
       case VmOp::LoadConst: {
         Value *T = &Vals[static_cast<size_t>(In.Target) * K];
         const Value &C = Consts[In.Aux];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = C;
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = C;
         break;
       }
       case VmOp::Select: {
@@ -348,37 +427,56 @@ void FleetExecutor::execBlock(Shard &S, const std::vector<Environment *> &Envs,
         const Value *A = &Vals[static_cast<size_t>(In.A) * K];
         const Value *B = &Vals[static_cast<size_t>(In.B) * K];
         const char *C = &Clk[static_cast<size_t>(In.Aux) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = C[L] ? A[L] : B[L];
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = C[L] ? A[L] : B[L];
         break;
       }
       case VmOp::LoadDelay: {
         Value *T = &Vals[static_cast<size_t>(In.Target) * K];
         const Value *St = &State[static_cast<size_t>(In.A) * NumInstances + I0];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             T[L] = St[L];
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              T[L] = St[L];
         break;
       }
       case VmOp::StoreDelay: {
         Value *St =
             &State[static_cast<size_t>(In.Target) * NumInstances + I0];
         const Value *A = &Vals[static_cast<size_t>(In.A) * K];
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L])
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L)
             St[L] = A[L];
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L])
+              St[L] = A[L];
         break;
       }
       case VmOp::WriteOutput: {
         const Value *A = &Vals[static_cast<size_t>(In.A) * K];
         const size_t Pos = static_cast<size_t>(FlushPos[In.Aux]);
-        for (unsigned L = 0; L < NB; ++L)
-          if (Act[L]) {
+        if (AllActive)
+          for (unsigned L = 0; L < NB; ++L) {
             size_t At = (L * W + I) * NumOut + Pos;
             S.OutPresent[At] = 1;
             S.OutVals[At] = A[L];
           }
+        else
+          for (unsigned L = 0; L < NB; ++L)
+            if (Act[L]) {
+              size_t At = (L * W + I) * NumOut + Pos;
+              S.OutPresent[At] = 1;
+              S.OutVals[At] = A[L];
+            }
         break;
       }
       }
@@ -393,6 +491,102 @@ void FleetExecutor::execBlock(Shard &S, const std::vector<Environment *> &Envs,
                                   &FlushIds[(I0 + L) * NumOut],
                                   &S.OutPresent[L * W * NumOut],
                                   &S.OutVals[L * W * NumOut]);
+}
+
+void FleetExecutor::execBlockNative(Shard &S,
+                                    const std::vector<Environment *> &Envs,
+                                    unsigned I0, unsigned NB, unsigned Start,
+                                    unsigned Count) {
+  const size_t W = WindowCap;
+  const size_t NumClk = CS.ClockInputs.size();
+  const size_t NumIn = CS.Inputs.size();
+  const size_t NumOut = CS.Outputs.size();
+  const size_t NumState = CS.StateInit.size();
+  const size_t Cells = static_cast<size_t>(NB) * Count;
+
+  const size_t ScratchBytes = Native->fleetScratchBytes(NB, Count);
+  if (S.NScratch.size() < ScratchBytes)
+    S.NScratch.resize(ScratchBytes);
+  if (S.NStates.size() < static_cast<size_t>(NB) * NumState)
+    S.NStates.resize(static_cast<size_t>(NB) * NumState);
+  if (S.NGuards.size() < NB) {
+    S.NGuards.resize(NB);
+    S.NExecs.resize(NB);
+  }
+  if (S.NTicks.size() < Cells * std::max<size_t>(1, NumClk))
+    S.NTicks.resize(Cells * std::max<size_t>(1, NumClk));
+  if (S.NIns.size() < Cells * std::max<size_t>(1, NumIn))
+    S.NIns.resize(Cells * std::max<size_t>(1, NumIn));
+  if (S.NOutP.size() < Cells * std::max<size_t>(1, NumOut)) {
+    S.NOutP.resize(Cells * std::max<size_t>(1, NumOut));
+    S.NOutV.resize(Cells * std::max<size_t>(1, NumOut));
+  }
+
+  // Prefetch through the interpreter's staging buffers (one environment
+  // crossing per descriptor per lane), then transpose into the dense
+  // instance-major rows the shim consumes.
+  for (unsigned L = 0; L < NB; ++L) {
+    Environment &E = *Envs[I0 + L];
+    const StepBindings &B = Bind[I0 + L];
+    for (size_t D = 0; D < NumClk; ++D)
+      E.clockTicks(B.Clocks[D], Start, Count, &S.TickBuf[(D * K + L) * W]);
+    for (size_t D = 0; D < NumIn; ++D)
+      E.inputValues(B.Inputs[D], Start, Count, &S.InBuf[(D * K + L) * W]);
+  }
+  for (unsigned L = 0; L < NB; ++L)
+    for (unsigned T = 0; T < Count; ++T) {
+      const size_t R = static_cast<size_t>(L) * Count + T;
+      for (size_t D = 0; D < NumClk; ++D)
+        S.NTicks[R * NumClk + D] = S.TickBuf[(D * K + L) * W + T];
+      for (size_t D = 0; D < NumIn; ++D)
+        S.NIns[R * NumIn + D] = toNative(S.InBuf[(D * K + L) * W + T]);
+    }
+
+  // StateSoA stays canonical: pack it in, run, unpack it back. Per-lane
+  // counters enter at zero and exit as this window's deltas, which fold
+  // into the shard totals exactly like the interpreted sweep's.
+  for (unsigned L = 0; L < NB; ++L) {
+    for (size_t Slot = 0; Slot < NumState; ++Slot)
+      S.NStates[static_cast<size_t>(L) * NumState + Slot] =
+          toNative(StateSoA[Slot * NumInstances + I0 + L]);
+    S.NGuards[L] = 0;
+    S.NExecs[L] = 0;
+  }
+
+  Native->runFleet(S.NScratch.data(), S.NStates.data(), S.NGuards.data(),
+                   S.NExecs.data(), S.NTicks.data(), S.NIns.data(),
+                   S.NOutP.data(), S.NOutV.data(), NB, Count);
+
+  for (unsigned L = 0; L < NB; ++L) {
+    for (size_t Slot = 0; Slot < NumState; ++Slot)
+      StateSoA[Slot * NumInstances + I0 + L] =
+          fromNative(S.NStates[static_cast<size_t>(L) * NumState + Slot],
+                     CS.StateInit[Slot].Kind);
+    S.GuardTests += S.NGuards[L];
+    S.Executed += S.NExecs[L];
+  }
+
+  // Reconstruct tagged output values by declared type into the shard's
+  // flush buffers, then flush per lane in instance order — byte-identical
+  // event sequencing to the interpreted window.
+  for (unsigned L = 0; L < NB; ++L) {
+    for (unsigned T = 0; T < Count; ++T) {
+      const size_t R = (static_cast<size_t>(L) * Count + T) * NumOut;
+      const size_t At = (static_cast<size_t>(L) * W + T) * NumOut;
+      for (size_t Pos = 0; Pos < NumOut; ++Pos) {
+        S.OutPresent[At + Pos] = S.NOutP[R + Pos];
+        S.OutVals[At + Pos] =
+            S.NOutP[R + Pos]
+                ? fromNative(S.NOutV[R + Pos],
+                             CS.Outputs[CS.OutputFlushOrder[Pos]].Type)
+                : Value();
+      }
+    }
+    Envs[I0 + L]->exchangeOutputs(Start, Count, static_cast<unsigned>(NumOut),
+                                  &FlushIds[(I0 + L) * NumOut],
+                                  &S.OutPresent[L * W * NumOut],
+                                  &S.OutVals[L * W * NumOut]);
+  }
 }
 
 void FleetExecutor::execShard(Shard &S, const std::vector<Environment *> &Envs,

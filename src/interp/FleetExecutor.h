@@ -44,6 +44,7 @@
 
 #include "interp/CompiledStep.h"
 #include "interp/Environment.h"
+#include "native/NativeModule.h"
 
 #include <cstdint>
 #include <vector>
@@ -157,6 +158,17 @@ public:
   /// (any instance of any executor compiled from the same step).
   void restoreLaneState(unsigned Inst, const std::vector<Value> &In);
 
+  /// Routes subsequent window sweeps through \p M's `sigc_native_run_fleet`
+  /// (nullptr returns to the interpreter). The swap is a pure dispatch
+  /// change at a window boundary: StateSoA stays the canonical per-lane
+  /// state — packed into the module before each window and unpacked after
+  /// — so checkpoints, resetLanes and mixed interpreted/native windows
+  /// keep working unchanged, and counters keep their scalar-sum meaning.
+  /// \p M must be a validated module for this same CompiledStep and must
+  /// outlive its use here.
+  void setNative(const NativeModule *M);
+  bool nativeActive() const { return Native != nullptr; }
+
 private:
   /// Per-shard workspace: everything one worker thread touches while
   /// sweeping its instance range. Shards are constructed up front and
@@ -175,11 +187,24 @@ private:
     std::vector<Value> OutVals;            ///< [lane][instant][flush pos].
     uint64_t GuardTests = 0;
     uint64_t Executed = 0;
+    // Native-tier marshalling scratch (grown on first native window).
+    std::vector<unsigned char> NScratch;  ///< Emitted AoS arrays.
+    std::vector<NativeValue> NStates;     ///< [lane][state slot].
+    std::vector<unsigned long long> NGuards; ///< Per-lane counter in/out.
+    std::vector<unsigned long long> NExecs;  ///< Per-lane counter in/out.
+    std::vector<unsigned char> NTicks;    ///< Dense [lane][instant][clock].
+    std::vector<NativeValue> NIns;        ///< Dense [lane][instant][input].
+    std::vector<unsigned char> NOutP;     ///< Dense [lane][instant][pos].
+    std::vector<NativeValue> NOutV;       ///< Dense [lane][instant][pos].
   };
 
   /// Sweeps one lane-block (\p I0 ..< \p I0+NB) through one window.
   void execBlock(Shard &S, const std::vector<Environment *> &Envs,
                  unsigned I0, unsigned NB, unsigned Start, unsigned Count);
+  /// Same window, but through the native module's fleet entry point.
+  void execBlockNative(Shard &S, const std::vector<Environment *> &Envs,
+                       unsigned I0, unsigned NB, unsigned Start,
+                       unsigned Count);
   /// Runs one shard's instance range through one window.
   void execShard(Shard &S, const std::vector<Environment *> &Envs,
                  unsigned Start, unsigned Count);
@@ -199,6 +224,7 @@ private:
   std::vector<Shard> Shards;
   Shard LaneShard; ///< Scratch workspace for stepLanes (no instance range).
   unsigned WindowCap = 0; ///< Capacity of the shard batch buffers.
+  const NativeModule *Native = nullptr; ///< Non-null: sweep via _step_fleet.
 
   uint64_t GuardTests = 0;
   uint64_t Executed = 0;

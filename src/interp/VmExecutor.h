@@ -32,10 +32,32 @@
 
 namespace sigc {
 
+/// Instruction-dispatch strategy of the interpreter loop. Direct-threaded
+/// dispatch (GNU labels-as-values: one indirect `goto *` per instruction,
+/// so the branch predictor keys each opcode's successor separately)
+/// is the default wherever the compiler supports it; the portable switch
+/// loop remains both as the fallback and as a benchmarking baseline.
+enum class VmDispatch : uint8_t {
+  Switch, ///< Portable `switch` dispatch.
+  Goto,   ///< Direct-threaded computed-goto dispatch.
+};
+
 /// Interprets a CompiledStep.
 class VmExecutor {
 public:
   explicit VmExecutor(const CompiledStep &CS) : CS(CS) { reset(); }
+
+  /// True when this build carries the computed-goto dispatcher
+  /// (GCC/Clang; disable with -DSIGC_VM_NO_COMPUTED_GOTO).
+  static bool computedGotoAvailable();
+
+  /// Selects the dispatch strategy. Requests for an unavailable
+  /// dispatcher fall back to the portable switch. Trace and counters are
+  /// dispatch-independent — only the loop's branch structure changes.
+  void setDispatch(VmDispatch D);
+  VmDispatch dispatch() const {
+    return UseGoto ? VmDispatch::Goto : VmDispatch::Switch;
+  }
 
   /// Re-initializes the delay states.
   void reset();
@@ -92,12 +114,34 @@ public:
   /// The environment binding of the last bind() (linked wiring reads it).
   const StepBindings &bindings() const { return Bind; }
 
+  //===--- State exchange (tier hot-swap, tests) --------------------------===//
+
+  /// The delay-state slots as they stand now. Taken at a batch boundary
+  /// this is the complete execution state beyond the stimulus itself —
+  /// what the native tier imports on a VM->native hot swap.
+  const std::vector<Value> &stateSlots() const { return StateSlots; }
+
+  /// Restores delay state captured by stateSlots() (a native->VM swap or
+  /// a checkpoint restore). Sizes must match the compiled step.
+  void setStateSlots(const std::vector<Value> &S);
+
+  /// Seeds the guard/executed counters (a swap carries them across tiers
+  /// so a swapped run's totals equal an uninterrupted run's).
+  void setCounters(uint64_t Guards, uint64_t Instrs) {
+    GuardTests = Guards;
+    Executed = Instrs;
+  }
+
 private:
   /// One instant's PC walk; \p Port supplies ticks/inputs and receives
   /// outputs (direct environment queries or batch buffers).
   template <typename Port> void execInstant(Port &P, unsigned Instant);
+  /// The two dispatch loops over the same op bodies.
+  template <typename Port> void execInstantSwitch(Port &P, unsigned Instant);
+  template <typename Port> void execInstantGoto(Port &P, unsigned Instant);
 
   const CompiledStep &CS;
+  bool UseGoto = computedGotoAvailable();
   uint64_t BoundIdentity = 0; ///< identity() of the bound environment.
   StepBindings Bind;
   std::vector<char> ClockSlots;

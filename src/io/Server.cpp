@@ -194,6 +194,13 @@ private:
   int64_t DrainStartMs = 0;
   std::vector<uint8_t> CtrlBuf; ///< Reused control-frame encode buffer.
   size_t RR = 0; ///< Round-robin scan start.
+  // Tiered native execution: the controller compiles/loads off the
+  // serving thread; the swap lands at a wakeup boundary (between
+  // stepLanes windows), so every session crosses tiers at a batch
+  // boundary and checkpoints stay tier-agnostic.
+  std::unique_ptr<TierController> Tier;
+  bool TierSwapped = false;
+  uint64_t TierVm = 0, TierNative = 0; ///< Instants stepped per tier.
 };
 
 void Server::teardown(Session &S, const char *How) {
@@ -617,6 +624,8 @@ bool Server::stepSession(Session &S) {
     Exec.stepLanes(Envs, S.Lane, 1, S.Executed, N);
     S.GuardTests += Exec.guardTests() - G0;
     S.Instrs += Exec.executed() - E0;
+    if (Tier)
+      (TierSwapped ? TierNative : TierVm) += N;
     S.Executed += N;
     S.Env->release(S.Executed);
     if (resumeEnabled() &&
@@ -722,6 +731,14 @@ int Server::pollTimeout(bool Runnable, int64_t Now) const {
 }
 
 int Server::run() {
+  if (Opts.Tier.Mode != NativeMode::Off) {
+    Tier = std::make_unique<TierController>(CS, Opts.Tier);
+    if (!Tier->start()) {
+      std::fprintf(stderr, "signalc: --native force failed: %s\n",
+                   Tier->error().c_str());
+      return 2;
+    }
+  }
   if (Opts.SocketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
     std::fprintf(stderr, "signalc: socket path too long: %s\n",
                  Opts.SocketPath.c_str());
@@ -797,6 +814,18 @@ int Server::run() {
         forceTeardownAll("forced");
         break;
       }
+    }
+
+    // Tier promotion lands here, at a wakeup boundary: every session is
+    // between batches, so the fleet-wide swap is a batch-boundary
+    // handoff for each of them and resume checkpoints stay
+    // tier-agnostic.
+    if (Tier && !TierSwapped && Tier->shouldPromote(TierVm)) {
+      Exec.setNative(Tier->module());
+      TierSwapped = true;
+      std::fprintf(stderr, "tier: sessions now run native (%s, hash %s)\n",
+                   Tier->cacheHit() ? "cache hit" : "background compile",
+                   Tier->hash().c_str());
     }
     if (Opts.SessionLimit && Ended >= Opts.SessionLimit) {
       bool Active = false;
@@ -895,6 +924,14 @@ int Server::run() {
     std::fprintf(stderr,
                  "rejected %u connection(s) (at capacity %u, draining %u)\n",
                  Rejected, RejectedCapacity, RejectedDraining);
+  if (Tier)
+    std::fprintf(stderr,
+                 "tier: vm_instants=%llu native_instants=%llu cache=%s%s%s\n",
+                 static_cast<unsigned long long>(TierVm),
+                 static_cast<unsigned long long>(TierNative),
+                 Tier->cacheHit() ? "hit" : "miss",
+                 Tier->error().empty() ? "" : " error=",
+                 Tier->error().c_str());
   std::fprintf(stderr, "served %u session(s)%s\n", Ended,
                Draining ? " (drained)" : "");
   return Exit;

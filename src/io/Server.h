@@ -56,6 +56,7 @@
 #define SIGNALC_IO_SERVER_H
 
 #include "interp/CompiledStep.h"
+#include "native/TierController.h"
 
 #include <string>
 
@@ -107,6 +108,11 @@ struct ServeOptions {
   /// it makes outbound backpressure — and therefore the write deadline
   /// — reachable with small streams; an ops/testing knob.
   unsigned SendBufBytes = 0;
+  /// Tiered native execution (--native/--cache-dir/--tier-after). When
+  /// the module is ready the whole fleet swaps at a wakeup boundary —
+  /// between stepLanes windows, so every session sees the handoff at a
+  /// batch boundary and lane checkpoints keep resuming identically.
+  TierOptions Tier;
 };
 
 /// Serves sessions of \p CS (compiled from process \p ProcName) until

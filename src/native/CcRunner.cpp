@@ -1,0 +1,83 @@
+//===--- CcRunner.cpp -----------------------------------------------------===//
+
+#include "native/CcRunner.h"
+
+#include "native/StepHash.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace sigc;
+
+namespace {
+
+std::atomic<uint64_t> SpawnCount{0};
+
+std::string readWholeFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+const std::string &sigc::hostCCompiler() {
+  static const std::string CC = [] {
+    if (const char *Env = std::getenv("CC"); Env && *Env) {
+      std::string Probe = std::string("command -v ") + Env +
+                          " >/dev/null 2>&1";
+      if (std::system(Probe.c_str()) == 0)
+        return std::string(Env);
+    }
+    for (const char *Cand : {"cc", "gcc", "clang"}) {
+      std::string Probe =
+          std::string("command -v ") + Cand + " >/dev/null 2>&1";
+      if (std::system(Probe.c_str()) == 0)
+        return std::string(Cand);
+    }
+    return std::string();
+  }();
+  return CC;
+}
+
+bool sigc::nativeCompileAvailable() { return !hostCCompiler().empty(); }
+
+uint64_t sigc::ccSpawnCount() { return SpawnCount.load(); }
+
+bool sigc::compileSharedObject(const std::string &CSource,
+                               const std::string &OutSo, std::string &Error) {
+  const std::string &CC = hostCCompiler();
+  if (CC.empty()) {
+    Error = "no host C compiler on PATH";
+    return false;
+  }
+
+  std::string CPath = OutSo + ".c", LogPath = OutSo + ".log";
+  {
+    std::ofstream Out(CPath);
+    Out << CSource;
+    if (!Out) {
+      Error = "cannot write " + CPath;
+      std::remove(CPath.c_str());
+      return false;
+    }
+  }
+
+  std::string Cmd = CC + " " + nativeCcFlags() + " -o " + OutSo + " " +
+                    CPath + " > " + LogPath + " 2>&1";
+  ++SpawnCount;
+  bool Ok = std::system(Cmd.c_str()) == 0;
+  if (!Ok) {
+    Error = "host C compilation failed:\n" + readWholeFile(LogPath);
+    // No partial artifact: some compilers leave a truncated output on
+    // failure; make sure nothing publishable remains.
+    std::remove(OutSo.c_str());
+  }
+  std::remove(CPath.c_str());
+  std::remove(LogPath.c_str());
+  return Ok;
+}

@@ -1,0 +1,39 @@
+//===--- CcRunner.h - Host C compiler invocation ----------------*- C++-*-===//
+///
+/// \file
+/// Spawns the host C compiler to turn generated C into a shared object.
+/// The compiler is probed once ($CC, then cc/gcc/clang on PATH). Every
+/// spawn increments a process-wide counter — the warm-cache acceptance
+/// criterion ("a cache hit spawns no compiler") and `--stats` read it.
+/// A failed compile never leaves a partial artifact: output goes to the
+/// requested path only on success, and the temporary source/log files are
+/// always removed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_NATIVE_CCRUNNER_H
+#define SIGNALC_NATIVE_CCRUNNER_H
+
+#include <cstdint>
+#include <string>
+
+namespace sigc {
+
+/// The probed host C compiler command ("" when none is on PATH).
+const std::string &hostCCompiler();
+
+/// True when a host C compiler is available for the native tier.
+bool nativeCompileAvailable();
+
+/// Number of compiler processes this process has spawned so far.
+uint64_t ccSpawnCount();
+
+/// Compiles \p CSource into shared object \p OutSo with nativeCcFlags().
+/// On failure returns false with \p Error holding the compiler log, and
+/// guarantees \p OutSo does not exist.
+bool compileSharedObject(const std::string &CSource, const std::string &OutSo,
+                         std::string &Error);
+
+} // namespace sigc
+
+#endif // SIGNALC_NATIVE_CCRUNNER_H

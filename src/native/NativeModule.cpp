@@ -1,0 +1,269 @@
+//===--- NativeModule.cpp -------------------------------------------------===//
+
+#include "native/NativeModule.h"
+
+#include "codegen/CEmitter.h"
+#include "native/StepHash.h"
+
+#include <dlfcn.h>
+
+#include <type_traits>
+
+using namespace sigc;
+
+namespace {
+
+/// The fixed internal process name every native unit is emitted under;
+/// keeps the cache independent of the user-visible process name.
+const char *UnitName = "sigc_unit";
+
+/// Which NativeValue field carries a value of type \p T — mirrors the
+/// emitter's C storage classes (Integer -> long, Real -> double,
+/// Boolean/Event/Unknown -> int).
+const char *fieldOf(TypeKind T) {
+  switch (T) {
+  case TypeKind::Integer:
+    return "i";
+  case TypeKind::Real:
+    return "d";
+  default:
+    return "b";
+  }
+}
+
+} // namespace
+
+std::string NativeModule::buildSource(const CompiledStep &CS,
+                                      const std::string &Hash) {
+  CEmitOptions EO;
+  EO.WithDriver = false;
+  std::string Out = emitC(CS, UnitName, EO);
+
+  const std::string NClk = std::to_string(CS.ClockInputs.size());
+  const std::string NIn = std::to_string(CS.Inputs.size());
+  const std::string NOut = std::to_string(CS.Outputs.size());
+  const std::string NState = std::to_string(CS.StateInit.size());
+
+  Out += "\n/* ---- signalc native tier shim (ABI v" +
+         std::to_string(NativeFormatVersion) + ") ---- */\n";
+  Out += "typedef struct { double d; long i; int b; } sigc_native_value_t;\n\n";
+  Out += "int sigc_native_abi_tag(void) { return " +
+         std::to_string(NativeFormatVersion) + "; }\n";
+  Out += "const char *sigc_native_hash(void) { return \"" + Hash + "\"; }\n";
+  Out += "const char *sigc_native_flags(void) { return \"" +
+         std::string(nativeCcFlags()) + "\"; }\n";
+  Out += "unsigned long sigc_native_state_bytes(void) { return (unsigned "
+         "long)sizeof(sigc_unit_state_t); }\n";
+  Out += "unsigned sigc_native_num_state(void) { return " + NState + "u; }\n";
+  Out += "void sigc_native_init(void *stv) { "
+         "sigc_unit_init((sigc_unit_state_t *)stv); }\n\n";
+
+  // State accessors: slot <-> NativeValue field by the initializer kind,
+  // the same rule that typed the struct fields.
+  Out += "void sigc_native_get_state(const void *stv, sigc_native_value_t "
+         "*out) {\n"
+         "  const sigc_unit_state_t *st = (const sigc_unit_state_t *)stv;\n";
+  for (size_t I = 0; I < CS.StateInit.size(); ++I)
+    Out += "  out[" + std::to_string(I) + "]." +
+           fieldOf(CS.StateInit[I].Kind) + " = st->s" + std::to_string(I) +
+           ";\n";
+  if (CS.StateInit.empty())
+    Out += "  (void)st; (void)out;\n";
+  Out += "}\n\n";
+  Out += "void sigc_native_set_state(void *stv, const sigc_native_value_t "
+         "*in) {\n"
+         "  sigc_unit_state_t *st = (sigc_unit_state_t *)stv;\n";
+  for (size_t I = 0; I < CS.StateInit.size(); ++I) {
+    const char *CTy = CS.StateInit[I].Kind == TypeKind::Integer ? "long"
+                      : CS.StateInit[I].Kind == TypeKind::Real ? "double"
+                                                               : "int";
+    Out += "  st->s" + std::to_string(I) + " = (" + CTy + ")in[" +
+           std::to_string(I) + "]." + fieldOf(CS.StateInit[I].Kind) + ";\n";
+  }
+  if (CS.StateInit.empty())
+    Out += "  (void)st; (void)in;\n";
+  Out += "}\n\n";
+  Out += "void sigc_native_get_counters(const void *stv, unsigned long long "
+         "*g, unsigned long long *e) {\n"
+         "  const sigc_unit_state_t *st = (const sigc_unit_state_t *)stv;\n"
+         "  *g = st->guard_tests;\n  *e = st->executed;\n}\n\n";
+  Out += "void sigc_native_set_counters(void *stv, unsigned long long g, "
+         "unsigned long long e) {\n"
+         "  sigc_unit_state_t *st = (sigc_unit_state_t *)stv;\n"
+         "  st->guard_tests = g;\n  st->executed = e;\n}\n\n";
+
+  // Scalar batch entry: columnar strided stimulus (the VmExecutor batch
+  // buffer layout), row-major flush-ordered outputs. The emitted step
+  // memsets its out struct, so absent outputs read as present=0/value=0.
+  Out += "void sigc_native_run(void *stv, const unsigned char *ticks, "
+         "unsigned long tick_stride, const sigc_native_value_t *ins, "
+         "unsigned long in_stride, unsigned char *outp, sigc_native_value_t "
+         "*outv, unsigned count) {\n"
+         "  sigc_unit_state_t *st = (sigc_unit_state_t *)stv;\n"
+         "  sigc_unit_in_t in_s;\n"
+         "  sigc_unit_out_t out_s;\n"
+         "  unsigned i;\n"
+         "  memset(&in_s, 0, sizeof in_s);\n"
+         "  (void)ticks; (void)tick_stride; (void)ins; (void)in_stride;\n"
+         "  (void)outp; (void)outv;\n"
+         "  for (i = 0; i < count; ++i) {\n";
+  for (size_t D = 0; D < CS.ClockInputs.size(); ++D)
+    Out += "    in_s.tick_" + sanitizeIdent(CS.ClockInputs[D].Name) +
+           " = ticks[" + std::to_string(D) + "ul * tick_stride + i];\n";
+  for (size_t D = 0; D < CS.Inputs.size(); ++D) {
+    const auto &SI = CS.Inputs[D];
+    Out += "    in_s." + sanitizeIdent(SI.Name) + " = ins[" +
+           std::to_string(D) + "ul * in_stride + i]." + fieldOf(SI.Type) +
+           ";\n";
+  }
+  Out += "    sigc_unit_step(st, &in_s, &out_s);\n";
+  for (size_t Pos = 0; Pos < CS.OutputFlushOrder.size(); ++Pos) {
+    const auto &SO = CS.Outputs[CS.OutputFlushOrder[Pos]];
+    std::string Id = sanitizeIdent(SO.Name);
+    std::string At = "i * " + NOut + "u + " + std::to_string(Pos) + "u";
+    Out += "    outp[" + At + "] = (unsigned char)out_s." + Id +
+           "_present;\n";
+    Out += "    outv[" + At + "]." + fieldOf(SO.Type) + " = out_s." + Id +
+           ";\n";
+  }
+  Out += "  }\n}\n\n";
+
+  // Fleet entry: dense instance-major stimulus/output rows; the emitted
+  // AoS state/in/out arrays live in host-provided scratch. Regions are
+  // 16-byte aligned within the (malloc-aligned) scratch block.
+  Out += "unsigned long sigc_native_fleet_bytes(unsigned n_instances, "
+         "unsigned n_instants) {\n"
+         "  unsigned long cells = (unsigned long)n_instances * n_instants;\n"
+         "  unsigned long b = 0;\n"
+         "  b += ((unsigned long)n_instances * sizeof(sigc_unit_state_t) + "
+         "15ul) & ~15ul;\n"
+         "  b += (cells * sizeof(sigc_unit_in_t) + 15ul) & ~15ul;\n"
+         "  b += (cells * sizeof(sigc_unit_out_t) + 15ul) & ~15ul;\n"
+         "  return b;\n}\n\n";
+  Out += "void sigc_native_run_fleet(unsigned char *scratch, "
+         "sigc_native_value_t *states, unsigned long long *guards, "
+         "unsigned long long *execs, const unsigned char *ticks, "
+         "const sigc_native_value_t *ins, unsigned char *outp, "
+         "sigc_native_value_t *outv, unsigned n_instances, "
+         "unsigned n_instants) {\n"
+         "  unsigned long cells = (unsigned long)n_instances * n_instants;\n"
+         "  sigc_unit_state_t *st = (sigc_unit_state_t *)scratch;\n"
+         "  sigc_unit_in_t *in = (sigc_unit_in_t *)(scratch + (((unsigned "
+         "long)n_instances * sizeof(sigc_unit_state_t) + 15ul) & ~15ul));\n"
+         "  sigc_unit_out_t *out = (sigc_unit_out_t *)((unsigned char *)in + "
+         "((cells * sizeof(sigc_unit_in_t) + 15ul) & ~15ul));\n"
+         "  unsigned k, t;\n"
+         "  unsigned long r;\n"
+         "  (void)states; (void)ticks; (void)ins; (void)outv; (void)r;\n"
+         "  for (k = 0; k < n_instances; ++k) {\n"
+         "    sigc_native_set_state(&st[k], &states[(unsigned long)k * " +
+         NState + "ul]);\n"
+         "    st[k].guard_tests = guards[k];\n"
+         "    st[k].executed = execs[k];\n"
+         "  }\n"
+         "  memset(out, 0, cells * sizeof(sigc_unit_out_t));\n"
+         "  for (k = 0; k < n_instances; ++k)\n"
+         "    for (t = 0; t < n_instants; ++t) {\n"
+         "      r = (unsigned long)k * n_instants + t;\n";
+  for (size_t D = 0; D < CS.ClockInputs.size(); ++D)
+    Out += "      in[r].tick_" + sanitizeIdent(CS.ClockInputs[D].Name) +
+           " = ticks[r * " + NClk + "ul + " + std::to_string(D) + "ul];\n";
+  for (size_t D = 0; D < CS.Inputs.size(); ++D) {
+    const auto &SI = CS.Inputs[D];
+    Out += "      in[r]." + sanitizeIdent(SI.Name) + " = ins[r * " + NIn +
+           "ul + " + std::to_string(D) + "ul]." + fieldOf(SI.Type) + ";\n";
+  }
+  if (CS.ClockInputs.empty() && CS.Inputs.empty())
+    Out += "      in[r].unused = 0;\n";
+  Out += "    }\n"
+         "  sigc_unit_step_fleet(st, in, out, n_instances, n_instants);\n"
+         "  for (k = 0; k < n_instances; ++k)\n"
+         "    for (t = 0; t < n_instants; ++t) {\n"
+         "      r = (unsigned long)k * n_instants + t;\n";
+  for (size_t Pos = 0; Pos < CS.OutputFlushOrder.size(); ++Pos) {
+    const auto &SO = CS.Outputs[CS.OutputFlushOrder[Pos]];
+    std::string Id = sanitizeIdent(SO.Name);
+    std::string At = "r * " + NOut + "ul + " + std::to_string(Pos) + "ul";
+    Out += "      outp[" + At + "] = (unsigned char)out[r]." + Id +
+           "_present;\n";
+    Out += "      outv[" + At + "]." + fieldOf(SO.Type) + " = out[r]." + Id +
+           ";\n";
+  }
+  if (CS.Outputs.empty())
+    Out += "      (void)outp;\n";
+  Out += "    }\n"
+         "  for (k = 0; k < n_instances; ++k) {\n"
+         "    sigc_native_get_state(&st[k], &states[(unsigned long)k * " +
+         NState + "ul]);\n"
+         "    guards[k] = st[k].guard_tests;\n"
+         "    execs[k] = st[k].executed;\n"
+         "  }\n"
+         "}\n";
+  return Out;
+}
+
+NativeModule::~NativeModule() { close(); }
+
+void NativeModule::close() {
+  if (Handle) {
+    dlclose(Handle);
+    Handle = nullptr;
+  }
+}
+
+bool NativeModule::load(const std::string &SoPath,
+                        const std::string &ExpectHash, std::string &Error) {
+  close();
+  Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *E = dlerror();
+    Error = "dlopen failed: " + std::string(E ? E : "unknown error");
+    return false;
+  }
+  Path = SoPath;
+
+  auto Resolve = [&](const char *Name, auto &Fn) {
+    Fn = reinterpret_cast<std::remove_reference_t<decltype(Fn)>>(
+        dlsym(Handle, Name));
+    if (!Fn && Error.empty())
+      Error = std::string("missing symbol ") + Name;
+  };
+  Error.clear();
+  Resolve("sigc_native_abi_tag", AbiTagFn);
+  Resolve("sigc_native_hash", HashFn);
+  Resolve("sigc_native_flags", FlagsFn);
+  Resolve("sigc_native_state_bytes", StateBytesFn);
+  Resolve("sigc_native_num_state", NumStateFn);
+  Resolve("sigc_native_init", InitFn);
+  Resolve("sigc_native_get_state", GetStateFn);
+  Resolve("sigc_native_set_state", SetStateFn);
+  Resolve("sigc_native_get_counters", GetCountersFn);
+  Resolve("sigc_native_set_counters", SetCountersFn);
+  Resolve("sigc_native_run", RunFn);
+  Resolve("sigc_native_fleet_bytes", FleetBytesFn);
+  Resolve("sigc_native_run_fleet", RunFleetFn);
+  if (!Error.empty()) {
+    close();
+    return false;
+  }
+
+  if (AbiTagFn() != NativeFormatVersion) {
+    Error = "ABI tag mismatch: artifact v" + std::to_string(AbiTagFn()) +
+            ", runtime v" + std::to_string(NativeFormatVersion);
+    close();
+    return false;
+  }
+  if (std::string(FlagsFn()) != nativeCcFlags()) {
+    Error = "compiler-flag mismatch: artifact built with \"" +
+            std::string(FlagsFn()) + "\"";
+    close();
+    return false;
+  }
+  if (ExpectHash != HashFn()) {
+    Error = "stale artifact: embedded hash " + std::string(HashFn()) +
+            " != expected " + ExpectHash;
+    close();
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,41 @@
+//===--- StepHash.h - CompiledStep content hashing --------------*- C++-*-===//
+///
+/// \file
+/// Content-hashes a CompiledStep for the persistent native-code cache.
+/// The hash covers everything that determines the generated machine code
+/// and its host-facing ABI: the bytecode stream, slot counts and types,
+/// the constant pool, the delay-state initializers, every environment
+/// descriptor (names and types — the interface), the output flush order,
+/// the native shim format version, and the host compiler flags. Two
+/// CompiledSteps hash equal exactly when a cached shared object compiled
+/// for one is a correct artifact for the other; the process name is
+/// deliberately excluded (the native unit is emitted under a fixed
+/// internal name, so renaming a process keeps its cache entry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIGNALC_NATIVE_STEPHASH_H
+#define SIGNALC_NATIVE_STEPHASH_H
+
+#include "interp/CompiledStep.h"
+
+#include <string>
+
+namespace sigc {
+
+/// Bumped whenever the generated shim ABI or the hashed serialization
+/// changes; stale cache entries from older binaries then miss instead of
+/// loading with a wrong shape.
+constexpr int NativeFormatVersion = 1;
+
+/// The flags every cached artifact is compiled with (part of the hash, so
+/// changing them invalidates the cache).
+const char *nativeCcFlags();
+
+/// \returns the 16-hex-digit content hash of \p CS (FNV-1a 64 over the
+/// canonical serialization described above).
+std::string hashCompiledStep(const CompiledStep &CS);
+
+} // namespace sigc
+
+#endif // SIGNALC_NATIVE_STEPHASH_H

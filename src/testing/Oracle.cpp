@@ -12,6 +12,9 @@
 #include "interp/VmExecutor.h"
 #include "io/TraceEnvironment.h"
 #include "link/LinkEmitter.h"
+#include "native/NativeCache.h"
+#include "native/NativeExecutor.h"
+#include "native/StepHash.h"
 #include "testing/TraceCompare.h"
 
 #include <cstdio>
@@ -728,6 +731,67 @@ OracleReport sigc::checkDifferential(const std::string &Name,
           Source);
       return R;
     }
+  }
+
+  // Path 6: the native tier's hot swap, at every batch boundary k. One
+  // artifact compiled through the production cache path (emit, host cc,
+  // atomic publish, dlopen), then for each k: interpret k instants,
+  // hand the session's delay state and counters to the native step
+  // function, finish native. Trace and final counters must be exactly
+  // the pure VM run's — the promotion is execution-invisible.
+  if (Options.NativeSwap && hostCCompilerAvailable()) {
+    char Template[] = "/tmp/sigc-oracle-native-XXXXXX";
+    char *Dir = mkdtemp(Template);
+    if (!Dir) {
+      R.Error = failure(Name, "native-swap leg: mkdtemp failed", "", Source);
+      return R;
+    }
+    NativeCache Cache(Dir);
+    std::string Hash = hashCompiledStep(C->Compiled);
+    std::string SwapError;
+    std::unique_ptr<NativeModule> Mod =
+        Cache.compileAndPublish(C->Compiled, Hash, SwapError);
+    if (Mod) {
+      SwapError.clear();
+      unsigned Step = Options.BatchSize ? Options.BatchSize : 1;
+      for (unsigned K = 0; K < Options.Instants; K += Step) {
+        RandomEnvironment Env(Options.EnvSeed, Options.TickPermille);
+        VmExecutor Vm(C->Compiled);
+        if (K)
+          Vm.stepN(Env, 0, K);
+        NativeExecutor NX(C->Compiled, *Mod);
+        NX.importState(Vm.stateSlots(), Vm.guardTests(), Vm.executed());
+        NX.stepN(Env, K, Options.Instants - K);
+        if (formatEvents(Env.outputs()) != formatEvents(EnvVm.outputs())) {
+          TraceDiff SD = compareTraces("step-vm", EnvVm.outputs(),
+                                       "swap-at-" + std::to_string(K),
+                                       Env.outputs());
+          SwapError = "VM -> native swap at instant " + std::to_string(K) +
+                      " diverges from the pure VM run\n" + SD.Report;
+          break;
+        }
+        if (NX.guardTests() != R.GuardTestsVm ||
+            NX.executed() != R.ExecutedVm) {
+          SwapError =
+              "VM -> native swap at instant " + std::to_string(K) +
+              ": counters diverge from the pure VM run\n"
+              "vm:     guards=" + std::to_string(R.GuardTestsVm) +
+              " executed=" + std::to_string(R.ExecutedVm) +
+              "\nswapped: guards=" + std::to_string(NX.guardTests()) +
+              " executed=" + std::to_string(NX.executed()) + "\n";
+          break;
+        }
+      }
+    }
+    Mod.reset(); // dlclose before the artifact is unlinked
+    std::remove(Cache.soPath(Hash).c_str());
+    rmdir(Dir);
+    if (!SwapError.empty()) {
+      R.Error = failure(Name, "native hot-swap leg failed", SwapError,
+                        Source);
+      return R;
+    }
+    R.NativeSwapRan = true;
   }
 
   R.Ok = true;

@@ -18,6 +18,11 @@
 ///      bytecode — round-tripped through the host C compiler (-std=c99
 ///      -Wall -Werror) and executed as a subprocess, its generated
 ///      guard/executed counters pinned equal to the VM's,
+///   7. optionally, the native tier's hot swap: the same bytecode
+///      compiled to a shared object through the production cache path
+///      and, at every batch boundary k, a run that interprets k
+///      instants then finishes on the dlopen'd step function — pinned
+///      trace- and counter-identical to the pure VM run,
 ///
 /// and demand bit-identical output traces. Any divergence is a bug in the
 /// clock hierarchy, the schedule, the step compiler or the C emitter, and
@@ -52,6 +57,13 @@ struct OracleOptions {
   /// guard/executed counters against the VM's. Skipped (not failed)
   /// when no compiler is found.
   bool EmitCRoundTrip = false;
+  /// Also run the native tier's hot-swap leg: the CompiledStep is
+  /// compiled to a shared object (in a throwaway cache directory) and,
+  /// for every batch boundary k, the trace of "interpret k instants,
+  /// swap the session onto the native step function, finish native"
+  /// must equal the pure-VM trace bit for bit, final counters included.
+  /// Skipped (not failed) when no host C compiler is found.
+  bool NativeSwap = false;
   /// Instances of the fleet leg (0 disables it): a FleetExecutor sweeps
   /// this many per-instance environments (instance j seeded EnvSeed+j,
   /// instance 0 thus replaying the scalar legs' trace) and every
@@ -96,6 +108,8 @@ struct OracleReport {
   uint64_t ExecutedFleet = 0;
   /// True when the C round-trip actually ran (compiler available).
   bool CRoundTripRan = false;
+  /// True when the native hot-swap leg ran (compiler available).
+  bool NativeSwapRan = false;
   /// True when the C harness's in-C fleet self-check ran and passed
   /// (the harness compares `_step_fleet` against per-instance
   /// `_step_batch` and prints a #fleet line the oracle demands).

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include <sys/wait.h>
@@ -393,4 +394,140 @@ TEST(Cli, RecordToDeadPipeIsExitTwoNotSigpipeDeath) {
   EXPECT_NE(Err.find("at byte"), std::string::npos) << Err;
   EXPECT_NE(Err.find("Broken pipe"), std::string::npos) << Err;
   std::remove(ErrPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Tiered native execution flags (--native / --cache-dir / --tier-after).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A throwaway cache directory for one test (removed with contents).
+struct TempCacheDirCli {
+  std::string Path;
+  TempCacheDirCli() {
+    Path = ::testing::TempDir() + "sigc_cli_cache_" +
+           std::to_string(::getpid());
+    std::string Cmd = "rm -rf " + Path + " && mkdir -p " + Path;
+    EXPECT_EQ(std::system(Cmd.c_str()), 0);
+  }
+  ~TempCacheDirCli() { std::system(("rm -rf " + Path).c_str()); }
+};
+
+bool cliHostCcAvailable() {
+  return std::system("command -v cc >/dev/null 2>&1 || "
+                     "command -v gcc >/dev/null 2>&1 || "
+                     "command -v clang >/dev/null 2>&1") == 0;
+}
+
+} // namespace
+
+TEST(Cli, NativeFlagTyposSuggestTheNearestFlag) {
+  struct {
+    const char *Typo, *Suggest;
+  } Cases[] = {{"--nativ", "--native"},
+               {"--cache-dri", "--cache-dir"},
+               {"--tier-aftr", "--tier-after"}};
+  for (auto C : Cases) {
+    CliResult R = runSignalc("--builtin FIG5_ALARM --simulate 1 " +
+                             std::string(C.Typo) + " x");
+    EXPECT_EQ(R.Exit, 2) << C.Typo << ": " << R.Output;
+    EXPECT_NE(R.Output.find("did you mean '" + std::string(C.Suggest) +
+                            "'?"),
+              std::string::npos)
+        << C.Typo << ": " << R.Output;
+  }
+}
+
+TEST(Cli, NativeModeOperandIsValidated) {
+  CliResult R =
+      runSignalc("--builtin FIG5_ALARM --simulate 1 --native sometimes");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("unknown --native 'sometimes'"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("valid modes: off, auto, force"), std::string::npos)
+      << R.Output;
+  // The = spelling goes through the same checked parse.
+  CliResult R2 =
+      runSignalc("--builtin FIG5_ALARM --simulate 1 --native=never");
+  EXPECT_EQ(R2.Exit, 2) << R2.Output;
+  EXPECT_NE(R2.Output.find("unknown --native 'never'"), std::string::npos)
+      << R2.Output;
+}
+
+TEST(Cli, TierAfterOperandIsChecked) {
+  CliResult Bad =
+      runSignalc("--builtin FIG5_ALARM --simulate 1 --tier-after abc");
+  EXPECT_EQ(Bad.Exit, 2) << Bad.Output;
+  EXPECT_NE(Bad.Output.find("invalid value 'abc' for --tier-after"),
+            std::string::npos)
+      << Bad.Output;
+  CliResult Missing =
+      runSignalc("--builtin FIG5_ALARM --simulate 1 --tier-after");
+  EXPECT_EQ(Missing.Exit, 2) << Missing.Output;
+  EXPECT_NE(Missing.Output.find("missing value for --tier-after"),
+            std::string::npos)
+      << Missing.Output;
+}
+
+TEST(Cli, NativeForceMatchesInterpretedTraceAndReportsTiers) {
+  if (!cliHostCcAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  TempCacheDirCli Cache;
+  CliResult Off = runSignalc("--builtin FIG5_ALARM --simulate 48 --seed 9");
+  ASSERT_EQ(Off.Exit, 0) << Off.Output;
+  CliResult Force =
+      runSignalc("--builtin FIG5_ALARM --simulate 48 --seed 9 "
+                 "--native force --cache-dir " +
+                 Cache.Path);
+  ASSERT_EQ(Force.Exit, 0) << Force.Output;
+  // Identical combined output: the native tier is trace-invisible.
+  EXPECT_EQ(Off.Output, Force.Output);
+
+  // --stats adds the tier split; the whole run went native.
+  CliResult Stats =
+      runSignalc("--builtin FIG5_ALARM --simulate 48 --seed 9 "
+                 "--native force --stats --cache-dir " +
+                 Cache.Path);
+  ASSERT_EQ(Stats.Exit, 0) << Stats.Output;
+  EXPECT_NE(Stats.Output.find("stats: tier native=force cache=hit "
+                              "vm_instants=0 native_instants=48"),
+            std::string::npos)
+      << Stats.Output;
+}
+
+TEST(Cli, AutoModeWarmHitPromotesAtTierAfter) {
+  if (!cliHostCcAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  TempCacheDirCli Cache;
+  // Warm the cache.
+  CliResult Warm = runSignalc("--builtin FIG5_ALARM --simulate 4 "
+                              "--native force --cache-dir " +
+                              Cache.Path);
+  ASSERT_EQ(Warm.Exit, 0) << Warm.Output;
+  // Warm hit: native from the promotion threshold on, VM before it.
+  CliResult R = runSignalc("--builtin FIG5_ALARM --simulate 48 --seed 9 "
+                           "--native=auto --tier-after=16 --stats "
+                           "--cache-dir=" +
+                           Cache.Path);
+  ASSERT_EQ(R.Exit, 0) << R.Output;
+  EXPECT_NE(R.Output.find("stats: tier native=auto cache=hit "
+                          "vm_instants=16 native_instants=32"),
+            std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, FleetNativeMatchesInterpretedFleet) {
+  if (!cliHostCcAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  TempCacheDirCli Cache;
+  CliResult Off =
+      runSignalc("--builtin FIG5_ALARM --simulate 32 --seed 5 --fleet 3");
+  ASSERT_EQ(Off.Exit, 0) << Off.Output;
+  CliResult Nat =
+      runSignalc("--builtin FIG5_ALARM --simulate 32 --seed 5 --fleet 3 "
+                 "--native force --cache-dir " +
+                 Cache.Path);
+  ASSERT_EQ(Nat.Exit, 0) << Nat.Output;
+  EXPECT_EQ(Off.Output, Nat.Output);
 }

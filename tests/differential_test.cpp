@@ -142,9 +142,13 @@ TEST(DifferentialEmitC, Alarm) {
   O.Instants = 64;
   O.EnvSeed = 11;
   O.EmitCRoundTrip = true;
+  // The native hot-swap leg rides along: swap at every batch boundary,
+  // trace and counters pinned to the pure VM run.
+  O.NativeSwap = true;
   OracleReport R = checkDifferential("FIG5_ALARM", alarmFigure5Source(), O);
   EXPECT_TRUE(R.Ok) << R.Error;
   EXPECT_TRUE(R.CRoundTripRan);
+  EXPECT_TRUE(R.NativeSwapRan);
   // The generated C maintains its own guard/executed counters and the
   // oracle pins them to the VM's; the parsed values surface here.
   EXPECT_EQ(R.GuardTestsC, R.GuardTestsVm);
@@ -225,6 +229,28 @@ TEST(DifferentialEmitC, RandomPrograms) {
     EXPECT_TRUE(R.CRoundTripRan);
     EXPECT_EQ(R.GuardTestsC, R.GuardTestsVm);
     EXPECT_EQ(R.ExecutedC, R.ExecutedVm);
+  }
+}
+
+TEST(DifferentialNativeSwap, RandomPrograms) {
+  // The oracle's hot-swap leg over generated programs: one native
+  // artifact per program through the production cache path, swapped in
+  // at every batch boundary (batch size varied per seed so the swap
+  // points cover different instant phases). Delay-heavy generation
+  // makes the state handoff carry real accumulator values.
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  RandomProgramOptions Gen;
+  Gen.AccumulatorPercent = 60;
+  OracleOptions O;
+  O.Instants = 40;
+  O.NativeSwap = true;
+  for (uint64_t Seed = 4200; Seed < 4204; ++Seed) {
+    O.EnvSeed = Seed + 5;
+    O.BatchSize = 1 + static_cast<unsigned>(Seed % 9);
+    OracleReport R = checkRandomDifferential(Seed, Gen, O);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.NativeSwapRan);
   }
 }
 

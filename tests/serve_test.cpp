@@ -24,6 +24,9 @@
 #include "io/TraceReader.h"
 #include "io/TraceWriter.h"
 #include "programs/Programs.h"
+#include "native/NativeCache.h"
+#include "native/StepHash.h"
+#include "testing/Oracle.h"
 #include "testing/RandomProgram.h"
 
 #include <gtest/gtest.h>
@@ -627,7 +630,8 @@ enum class KillMode {
 void checkKillResume(const Compilation &C, const std::string &ProcName,
                      const std::vector<std::string> &Program,
                      unsigned Instants, uint64_t Seed, unsigned K,
-                     KillMode Mode = KillMode::Close) {
+                     KillMode Mode = KillMode::Close,
+                     const std::vector<std::string> &ExtraArgs = {}) {
   SCOPED_TRACE("kill at instant " + std::to_string(K));
   Stimulus St = recordStimulus(C, Instants, Seed, ProcName);
   std::vector<uint8_t> Ref = expectedResponse(C, St);
@@ -642,6 +646,7 @@ void checkKillResume(const Compilation &C, const std::string &ProcName,
     Extra.push_back("--idle-timeout");
     Extra.push_back("100");
   }
+  Extra.insert(Extra.end(), ExtraArgs.begin(), ExtraArgs.end());
   Server.spawnArgs(Extra, Program);
   ASSERT_GT(Server.Pid, 0);
 
@@ -818,6 +823,102 @@ TEST(ServeResume, BadTokenHashAndInstantAreTypedRejects) {
       << RejD.Message;
 
   EXPECT_EQ(Server.wait(), 0) << Server.log();
+}
+
+//===----------------------------------------------------------------------===//
+// Tiered native execution under --serve
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A fresh tier cache directory, removed with contents.
+struct ServeCacheDir {
+  std::string Path;
+  ServeCacheDir() {
+    char Template[] = "/tmp/sigc-serve-cache-XXXXXX";
+    Path = mkdtemp(Template);
+  }
+  ~ServeCacheDir() { std::system(("rm -rf " + Path).c_str()); }
+};
+
+} // namespace
+
+TEST(ServeTier, ForceNativeKillResumeIsByteIdentical) {
+  // The resume oracle with the whole fleet running native from instant
+  // 0: lane checkpoints are taken from the canonical state the native
+  // windows write back, so parking and resuming must stay byte-exact.
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  ServeCacheDir Cache;
+  auto C = compileOk(alarmFigure5Source());
+  for (unsigned K : {0u, 24u, 64u})
+    checkKillResume(*C, "ALARM", {"--builtin", "FIG5_ALARM"}, 80, 900 + K, K,
+                    KillMode::Close,
+                    {"--native", "force", "--cache-dir", Cache.Path});
+}
+
+TEST(ServeTier, AutoWarmSwapMidStreamResumesByteIdentical) {
+  // Warm cache + --tier-after 16: sessions start on the VM and the whole
+  // fleet hot-swaps to native at a wakeup boundary mid-stream. The kill
+  // points straddle the swap (before at 8, after at 40); both must
+  // resume byte-identically — the swap is invisible to the protocol.
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  ServeCacheDir Cache;
+  auto C = compileOk(alarmFigure5Source());
+  std::string Err;
+  ASSERT_NE(NativeCache(Cache.Path).compileAndPublish(
+                C->Compiled, hashCompiledStep(C->Compiled), Err),
+            nullptr)
+      << Err;
+  for (unsigned K : {8u, 40u})
+    checkKillResume(*C, "ALARM", {"--builtin", "FIG5_ALARM"}, 80, 700 + K, K,
+                    KillMode::Close,
+                    {"--native", "auto", "--tier-after", "16", "--cache-dir",
+                     Cache.Path});
+}
+
+TEST(ServeTier, AutoSwapIsLoggedAndResponseIsExact) {
+  // One clean session across the swap: the response equals the VM-only
+  // run byte for byte, the server logs the fleet-wide swap, and the tier
+  // summary reports a warm cache hit (which also pins that the served
+  // builtin hashes identically to the in-process compile).
+  if (!hostCCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler";
+  ServeCacheDir Cache;
+  auto C = compileOk(alarmFigure5Source());
+  std::string Err;
+  ASSERT_NE(NativeCache(Cache.Path).compileAndPublish(
+                C->Compiled, hashCompiledStep(C->Compiled), Err),
+            nullptr)
+      << Err;
+  Stimulus St = recordStimulus(*C, 80, 61);
+  std::vector<uint8_t> Ref = expectedResponse(*C, St);
+
+  ScopedServer Server;
+  Server.spawnArgs({"--max-sessions", "1", "--serve-limit", "1", "--batch",
+                    "8", "--native", "auto", "--tier-after", "16",
+                    "--cache-dir", Cache.Path});
+  ASSERT_GT(Server.Pid, 0);
+
+  int Fd = connectClient(Server.Sock);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, St.Bytes.data(), St.Bytes.size()));
+  ASSERT_EQ(::shutdown(Fd, SHUT_WR), 0);
+  std::vector<uint8_t> Resp = recvAll(Fd);
+  ::close(Fd);
+  EXPECT_EQ(Server.wait(), 0) << Server.log();
+  EXPECT_EQ(stripHello(Resp), Ref) << Server.log();
+
+  std::string Log = Server.log();
+  EXPECT_NE(Log.find("tier: sessions now run native (cache hit"),
+            std::string::npos)
+      << Log;
+  // Deterministic split: --batch 8, swap at the first wakeup boundary
+  // past --tier-after 16, the remaining 64 instants native.
+  EXPECT_NE(Log.find("tier: vm_instants=16 native_instants=64 cache=hit"),
+            std::string::npos)
+      << Log;
 }
 
 //===----------------------------------------------------------------------===//

@@ -288,3 +288,57 @@ TEST(VmExecutor, GuardWorkNeverRegressesToFlatLevel) {
       << "VM guard work regressed toward flat-level scanning";
   EXPECT_LE(Nested.executed(), Flat.executed());
 }
+
+//===----------------------------------------------------------------------===//
+// Dispatch strategy: computed goto must be execution-invisible.
+//===----------------------------------------------------------------------===//
+
+TEST(VmDispatch, GotoMatchesSwitchOnBuiltinSuite) {
+  // Identical raw event sequences AND counters across dispatchers, on
+  // both the stepped and the batched path — the direct-threaded loop is
+  // a branch-structure change only.
+  for (const Figure13Program &P : figure13Suite()) {
+    auto C = compileSource("<vmdispatch:" + P.Name + ">", P.Source);
+    ASSERT_TRUE(C->Ok) << P.Name;
+    RandomEnvironment EnvSwitch(31), EnvGoto(31);
+    VmExecutor Sw(C->Compiled), Go(C->Compiled);
+    Sw.setDispatch(VmDispatch::Switch);
+    Go.setDispatch(VmDispatch::Goto);
+    ASSERT_EQ(Sw.dispatch(), VmDispatch::Switch);
+    if (VmExecutor::computedGotoAvailable()) {
+      ASSERT_EQ(Go.dispatch(), VmDispatch::Goto) << P.Name;
+    }
+    Sw.run(EnvSwitch, 48);
+    Go.run(EnvGoto, 48);
+    EXPECT_EQ(formatEvents(EnvGoto.outputs()), formatEvents(EnvSwitch.outputs()))
+        << P.Name;
+    EXPECT_EQ(Go.guardTests(), Sw.guardTests()) << P.Name;
+    EXPECT_EQ(Go.executed(), Sw.executed()) << P.Name;
+
+    RandomEnvironment BatchSwitch(31), BatchGoto(31);
+    VmExecutor BSw(C->Compiled), BGo(C->Compiled);
+    BSw.setDispatch(VmDispatch::Switch);
+    BGo.setDispatch(VmDispatch::Goto);
+    BSw.runBatched(BatchSwitch, 48, 7);
+    BGo.runBatched(BatchGoto, 48, 7);
+    EXPECT_EQ(formatEvents(BatchGoto.outputs()),
+              formatEvents(BatchSwitch.outputs()))
+        << P.Name << " (batched)";
+    EXPECT_EQ(BGo.guardTests(), BSw.guardTests()) << P.Name;
+  }
+}
+
+TEST(VmDispatch, SwitchOverrideSurvivesResetAndRebind) {
+  auto C = compileOk(proc("? integer A; ! integer Y;",
+                          "   Y := A + (Y $ 1 init 0)"));
+  VmExecutor Exec(C->Compiled);
+  Exec.setDispatch(VmDispatch::Switch);
+  RandomEnvironment E1(7, 1000);
+  Exec.run(E1, 8);
+  Exec.reset();
+  EXPECT_EQ(Exec.dispatch(), VmDispatch::Switch)
+      << "reset() must not reconsider the dispatch choice";
+  RandomEnvironment E2(7, 1000);
+  Exec.run(E2, 8);
+  EXPECT_EQ(formatEvents(E2.outputs()), formatEvents(E1.outputs()));
+}
